@@ -1,0 +1,70 @@
+//! Criterion benchmarks of the timed plane itself: DES event throughput,
+//! a full unit-cell figure point, and a full-machine mesh point — the
+//! costs of *regenerating* the paper's results, not the results themselves.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gpaw_bgp_hw::CostModel;
+use gpaw_des::{EventQueue, SimDuration};
+use gpaw_fd::config::FdConfig;
+use gpaw_fd::timed::{run_timed, ScopeSel, TimedJob};
+use gpaw_fd::Approach;
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des");
+    let n = 100_000u64;
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("queue_100k_events", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::with_capacity(1024);
+            let mut acc = 0u64;
+            for i in 0..n {
+                q.schedule(SimDuration::from_ps(i % 977), i);
+                if i % 4 == 0 {
+                    if let Some((_, e)) = q.pop() {
+                        acc ^= e;
+                    }
+                }
+            }
+            while let Some((_, e)) = q.pop() {
+                acc ^= e;
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+fn job(cores: usize, approach: Approach, batch: usize) -> TimedJob {
+    TimedJob {
+        cores,
+        grid_ext: [96, 96, 96],
+        n_grids: 64,
+        bytes_per_point: 8,
+        config: FdConfig::paper(approach).with_batch(batch),
+    }
+}
+
+fn bench_timed_runs(c: &mut Criterion) {
+    let model = CostModel::bgp();
+    let mut group = c.benchmark_group("timed_plane");
+    group.sample_size(10);
+    // Unit-cell scope: the cheap path behind the 16 384-core figures.
+    group.bench_function("unit_cell_16384c_hybrid", |b| {
+        let j = job(16_384, Approach::HybridMultiple, 8);
+        b.iter(|| black_box(run_timed(&j, &model, ScopeSel::Cell)));
+    });
+    // Full-machine scope on a mesh partition (every rank simulated).
+    group.bench_function("full_mesh_256c_flat", |b| {
+        let j = job(256, Approach::FlatOptimized, 8);
+        b.iter(|| black_box(run_timed(&j, &model, ScopeSel::Full)));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_event_queue, bench_timed_runs
+}
+criterion_main!(benches);

@@ -1,0 +1,212 @@
+//! §V design-choice ablations: each optimization the paper introduces is
+//! switched off in isolation to show what it buys, plus perturbations of
+//! the machine characteristics each one exploits.
+//!
+//! All runs: the Fig. 5 job (32 grids of 144³) at 4096 cores and the
+//! Fig. 7 job (2816 grids of 192³) at 16 384 cores.
+
+use gpaw_bench::{fig5_experiment, fig7_experiment, secs, Table};
+use gpaw_bgp_hw::CostModel;
+use gpaw_des::SimDuration;
+use gpaw_fd::config::FdConfig;
+use gpaw_fd::timed::{run_timed, ScopeSel, TimedJob};
+use gpaw_fd::Approach;
+
+fn job(cores: usize, _approach: Approach, cfg: FdConfig, big: bool) -> TimedJob {
+    let exp = if big {
+        fig7_experiment()
+    } else {
+        fig5_experiment()
+    };
+    TimedJob {
+        cores,
+        grid_ext: exp.grid_ext,
+        n_grids: exp.n_grids,
+        bytes_per_point: exp.bytes_per_point,
+        config: cfg,
+    }
+}
+
+fn main() {
+    let model = CostModel::bgp();
+    println!("§V ABLATIONS (simulated times per FD application)\n");
+
+    // ---- 1. Exchange pattern: blocking dim-by-dim vs simultaneous -------
+    println!("1. Blocking dimension-by-dimension vs simultaneous non-blocking exchange");
+    let mut t = Table::new(vec!["job", "blocking (orig)", "simultaneous+overlap", "gain"]);
+    for (label, cores, big) in [("32x144^3 @4096", 4096usize, false), ("2816x192^3 @16384", 16384, true)] {
+        let blocking = run_timed(
+            &job(cores, Approach::FlatOriginal, FdConfig::paper(Approach::FlatOriginal), big),
+            &model,
+            ScopeSel::Auto,
+        );
+        let simultaneous = run_timed(
+            &job(
+                cores,
+                Approach::FlatOptimized,
+                FdConfig::paper(Approach::FlatOptimized).with_batch(1),
+                big,
+            ),
+            &model,
+            ScopeSel::Auto,
+        );
+        t.row(vec![
+            label.to_string(),
+            secs(blocking.seconds()),
+            secs(simultaneous.seconds()),
+            format!("{:.2}x", blocking.seconds() / simultaneous.seconds()),
+        ]);
+    }
+    t.print();
+
+    // ---- 2. Double buffering on/off -------------------------------------
+    println!("\n2. Double buffering (batch i+1 posted before waiting on batch i)");
+    let mut t = Table::new(vec!["job", "off", "on", "gain"]);
+    for (label, cores, big, batch) in [
+        ("32x144^3 @4096 b=4", 4096usize, false, 4usize),
+        ("2816x192^3 @16384 b=32", 16384, true, 32),
+    ] {
+        let mut off = FdConfig::paper(Approach::HybridMultiple).with_batch(batch);
+        off.double_buffer = false;
+        let mut on = off;
+        on.double_buffer = true;
+        let r_off = run_timed(&job(cores, Approach::HybridMultiple, off, big), &model, ScopeSel::Auto);
+        let r_on = run_timed(&job(cores, Approach::HybridMultiple, on, big), &model, ScopeSel::Auto);
+        t.row(vec![
+            label.to_string(),
+            secs(r_off.seconds()),
+            secs(r_on.seconds()),
+            format!("{:.2}x", r_off.seconds() / r_on.seconds()),
+        ]);
+    }
+    t.print();
+
+    // ---- 3. Batch-size sweep --------------------------------------------
+    println!("\n3. Batch-size sweep (Hybrid multiple, 2816x192^3 @16384)");
+    let mut t = Table::new(vec!["batch", "time", "messages", "vs batch 1"]);
+    let base = run_timed(
+        &job(16384, Approach::HybridMultiple, FdConfig::paper(Approach::HybridMultiple).with_batch(1), true),
+        &model,
+        ScopeSel::Auto,
+    );
+    for b in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+        let r = run_timed(
+            &job(16384, Approach::HybridMultiple, FdConfig::paper(Approach::HybridMultiple).with_batch(b), true),
+            &model,
+            ScopeSel::Auto,
+        );
+        t.row(vec![
+            b.to_string(),
+            secs(r.seconds()),
+            r.messages.to_string(),
+            format!("{:.2}x", base.seconds() / r.seconds()),
+        ]);
+    }
+    t.print();
+
+    // ---- 4. Growing first batch ------------------------------------------
+    println!("\n4. Growing initial batch (half-size head batch exposes less cold-start latency)");
+    let mut t = Table::new(vec!["job", "fixed", "growing", "gain"]);
+    for (label, b) in [("2816x192^3 @16384 b=64", 64usize), ("b=128", 128)] {
+        let fixed = FdConfig::paper(Approach::HybridMultiple).with_batch(b);
+        let mut growing = fixed;
+        growing.growing_first_batch = true;
+        let r_f = run_timed(&job(16384, Approach::HybridMultiple, fixed, true), &model, ScopeSel::Auto);
+        let r_g = run_timed(&job(16384, Approach::HybridMultiple, growing, true), &model, ScopeSel::Auto);
+        t.row(vec![
+            label.to_string(),
+            secs(r_f.seconds()),
+            secs(r_g.seconds()),
+            format!("{:+.2}%", (r_f.seconds() / r_g.seconds() - 1.0) * 100.0),
+        ]);
+    }
+    t.print();
+
+    // ---- 5. MPI_THREAD_MULTIPLE lock cost --------------------------------
+    println!("\n5. MULTIPLE-mode library lock (the overhead master-only avoids)");
+    let mut t = Table::new(vec!["lock hold", "Hybrid multiple", "Hybrid master-only"]);
+    for lock_us in [0u64, 2, 3, 5, 10] {
+        let mut m = model.clone();
+        m.o_lock_multiple = SimDuration::from_us(lock_us);
+        let hyb = run_timed(
+            &job(16384, Approach::HybridMultiple, FdConfig::paper(Approach::HybridMultiple).with_batch(32), true),
+            &m,
+            ScopeSel::Auto,
+        );
+        let mo = run_timed(
+            &job(16384, Approach::HybridMasterOnly, FdConfig::paper(Approach::HybridMasterOnly).with_batch(128), true),
+            &m,
+            ScopeSel::Auto,
+        );
+        t.row(vec![
+            format!("{lock_us}us"),
+            secs(hyb.seconds()),
+            secs(mo.seconds()),
+        ]);
+    }
+    t.print();
+    println!("(master-only is lock-independent; hybrid multiple degrades as the lock grows)");
+
+    // ---- 6. Thread barrier cost -------------------------------------------
+    println!("\n6. Thread-barrier cost (the overhead hybrid multiple avoids)");
+    let mut t = Table::new(vec!["barrier", "Hybrid multiple", "Hybrid master-only"]);
+    for barrier_us in [1u64, 5, 10, 20] {
+        let mut m = model.clone();
+        m.t_barrier = SimDuration::from_us(barrier_us);
+        let hyb = run_timed(
+            &job(16384, Approach::HybridMultiple, FdConfig::paper(Approach::HybridMultiple).with_batch(32), true),
+            &m,
+            ScopeSel::Auto,
+        );
+        let mo = run_timed(
+            &job(16384, Approach::HybridMasterOnly, FdConfig::paper(Approach::HybridMasterOnly).with_batch(128), true),
+            &m,
+            ScopeSel::Auto,
+        );
+        t.row(vec![
+            format!("{barrier_us}us"),
+            secs(hyb.seconds()),
+            secs(mo.seconds()),
+        ]);
+    }
+    t.print();
+    println!("(hybrid multiple pays one barrier per sweep; master-only two per grid)");
+
+    // ---- 7. Torus vs mesh wrap-around -------------------------------------
+    println!("\n7. Mesh vs torus: periodic wrap traffic on sub-512-node partitions");
+    let mut t = Table::new(vec!["cores", "nodes", "topology", "Flat optimized time"]);
+    for cores in [1024usize, 2048] {
+        let r = run_timed(
+            &job(cores, Approach::FlatOptimized, FdConfig::paper(Approach::FlatOptimized).with_batch(8), false),
+            &model,
+            ScopeSel::Auto,
+        );
+        let nodes = cores / 4;
+        t.row(vec![
+            cores.to_string(),
+            nodes.to_string(),
+            if nodes >= 512 { "torus" } else { "mesh" }.to_string(),
+            secs(r.seconds()),
+        ]);
+    }
+    t.print();
+    println!("(the 256-node mesh routes wrap-around halo traffic across the whole axis)");
+
+    // ---- 8. MPI_Cart_create rank reordering --------------------------------
+    println!("\n8. MPI_Cart_create reordering (the paper uses it \"in all the following\")");
+    use gpaw_fd::timed::{job_map, job_map_unreordered, run_timed_with_map};
+    let mut t = Table::new(vec!["cores", "reordered (cart)", "linear placement", "penalty"]);
+    for cores in [256usize, 1024] {
+        let j = job(cores, Approach::FlatOptimized, FdConfig::paper(Approach::FlatOptimized).with_batch(8), false);
+        let with = run_timed_with_map(&j, job_map(&j), &model, ScopeSel::Full);
+        let without = run_timed_with_map(&j, job_map_unreordered(&j), &model, ScopeSel::Full);
+        t.row(vec![
+            cores.to_string(),
+            secs(with.seconds()),
+            secs(without.seconds()),
+            format!("{:.2}x", without.seconds() / with.seconds()),
+        ]);
+    }
+    t.print();
+    println!("(without reordering, logical neighbors land many hops apart and contend)");
+}

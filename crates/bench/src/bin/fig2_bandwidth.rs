@@ -1,0 +1,49 @@
+//! Fig. 2 — point-to-point bandwidth between two neighboring BGP nodes as
+//! a function of message size (one MPI message, sizes 10⁰..10⁷ bytes).
+//!
+//! Paper's reading: "in order to maximize the bandwidth, a message size
+//! greater than 10⁵ bytes is needed, while half the asymptotic bandwidth is
+//! achieved at approximately 10³ bytes."
+
+use gpaw_bench::Table;
+use gpaw_bgp_hw::CostModel;
+use gpaw_simmpi::ping::{bandwidth_sweep, p2p_bandwidth};
+
+fn main() {
+    let model = CostModel::bgp();
+    println!("FIG. 2 — P2P BANDWIDTH VS MESSAGE SIZE (two neighboring nodes)\n");
+
+    let sweep = bandwidth_sweep(&model);
+    let asym = sweep.last().expect("sweep not empty").bandwidth;
+
+    let mut t = Table::new(vec!["bytes", "one-way time", "MB/s", "of asymptote", "plot"]);
+    for s in &sweep {
+        let frac = s.bandwidth / asym;
+        let bar = "#".repeat((frac * 40.0).round() as usize);
+        t.row(vec![
+            s.bytes.to_string(),
+            gpaw_bench::secs(s.seconds),
+            format!("{:.2}", s.bandwidth / 1e6),
+            format!("{:.1}%", frac * 100.0),
+            bar,
+        ]);
+    }
+    t.print();
+
+    let half = sweep
+        .windows(2)
+        .find(|w| w[1].bandwidth >= asym / 2.0)
+        .map(|w| w[1].bytes);
+    let b100k = p2p_bandwidth(&model, 100_000).bandwidth;
+    println!("\nAsymptotic bandwidth : {:.0} MB/s (paper: ~375 MB/s)", asym / 1e6);
+    println!(
+        "At 10^5 bytes        : {:.0} MB/s = {:.0}% of asymptote (paper: saturated)",
+        b100k / 1e6,
+        b100k / asym * 100.0
+    );
+    if let Some(h) = half {
+        println!(
+            "Half-bandwidth point : ~{h} bytes (paper: approximately 10^3 bytes)"
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Fig. 5 — speedup of the FD operation vs a sequential execution.
+//!
+//! Job: 32 real-space grids of 144³ (the memory ceiling of a single rank).
+//! Left graph: batching disabled. Right graph: batch-size 8 — "since the
+//! job only consists of 32 grids a batch-size of 8 is the maximum if all
+//! four CPU-cores should be used" (hybrid multiple splits the 32 grids
+//! over 4 threads, 8 each).
+//!
+//! Expected shape: Flat optimized and Hybrid multiple lead and benefit
+//! from batching; batching helps Hybrid multiple more; Flat original
+//! trails badly and is only in the left graph's legend (it has no
+//! batching).
+
+use gpaw_bench::{fig5_experiment, secs, Table, FIG5_CORES};
+use gpaw_bgp_hw::CostModel;
+use gpaw_fd::timed::ScopeSel;
+use gpaw_fd::Approach;
+
+fn main() {
+    let model = CostModel::bgp();
+    let exp = fig5_experiment();
+    let seq = exp.sequential(&model);
+    println!(
+        "FIG. 5 — SPEEDUP, 32 grids of 144^3 (sequential baseline: {})\n",
+        secs(seq.seconds())
+    );
+
+    for (title, batch) in [("batching disabled", 1usize), ("batch-size 8", 8)] {
+        println!("--- {title} ---");
+        let mut t = Table::new(vec![
+            "cores",
+            "Flat original",
+            "Flat optimized",
+            "Hybrid multiple",
+            "Hybrid master-only",
+        ]);
+        for &cores in &FIG5_CORES[1..] {
+            let mut cells = vec![cores.to_string()];
+            for a in Approach::GRAPHED {
+                let b = if a == Approach::FlatOriginal { 1 } else { batch };
+                let r = exp.run(cores, a, b, &model, ScopeSel::Auto);
+                cells.push(format!("{:.0}", r.speedup_vs(&seq)));
+            }
+            t.row(cells);
+        }
+        t.print();
+        println!();
+    }
+
+    // The observation the paper draws from the two graphs: the advantage of
+    // batching is greater for Hybrid multiple than for Flat optimized.
+    let cores = 4096;
+    let gain = |a: Approach| {
+        let r1 = exp.run(cores, a, 1, &model, ScopeSel::Auto);
+        let r8 = exp.run(cores, a, 8, &model, ScopeSel::Auto);
+        r1.seconds() / r8.seconds()
+    };
+    println!(
+        "Batching gain at {cores} cores: Flat optimized {:.2}x, Hybrid multiple {:.2}x",
+        gain(Approach::FlatOptimized),
+        gain(Approach::HybridMultiple)
+    );
+    println!("(paper: \"the advantage of batching is greater in Hybrid multiple\")");
+}

@@ -1,0 +1,50 @@
+//! Fig. 7 — speedup of a large job (2816 grids of 192³) from 1k to 16k
+//! CPU-cores, every approach normalized to **Flat original at 1024 cores**;
+//! best batch-size per point.
+//!
+//! Paper's numbers: Hybrid multiple reaches ≈ 16.5× at 16k cores, and ≈ 12×
+//! relative to itself at 1k (16 would be linear, unobtainable because the
+//! needed communication grows).
+
+use gpaw_bench::{fig7_experiment, Table, BIG_JOB_BATCHES, FIG7_CORES};
+use gpaw_bgp_hw::CostModel;
+use gpaw_fd::timed::ScopeSel;
+use gpaw_fd::Approach;
+
+fn main() {
+    let model = CostModel::bgp();
+    let exp = fig7_experiment();
+    println!("FIG. 7 — SPEEDUP vs Flat original @1024 cores (2816 grids of 192^3)\n");
+
+    let base = exp.run(1024, Approach::FlatOriginal, 1, &model, ScopeSel::Auto);
+
+    let mut t = Table::new(vec![
+        "cores",
+        "Flat original",
+        "Flat optimized",
+        "Hybrid multiple",
+        "Hybrid master-only",
+    ]);
+    let mut hybrid_curve = Vec::new();
+    for &cores in &FIG7_CORES {
+        let mut cells = vec![cores.to_string()];
+        for a in Approach::GRAPHED {
+            let (_, r) = exp.best_batch(cores, a, &BIG_JOB_BATCHES, &model, ScopeSel::Auto);
+            cells.push(format!("{:.1}", r.speedup_vs(&base)));
+            if a == Approach::HybridMultiple {
+                hybrid_curve.push(r.seconds());
+            }
+        }
+        t.row(cells);
+    }
+    t.print();
+
+    let hyb_16k_vs_base = base.seconds() / hybrid_curve.last().expect("non-empty");
+    let hyb_self = hybrid_curve[0] / hybrid_curve.last().expect("non-empty");
+    println!(
+        "\nHybrid multiple @16k vs Flat original @1k: {hyb_16k_vs_base:.1}x  (paper: ~16.5x)"
+    );
+    println!(
+        "Hybrid multiple 1k -> 16k self-speedup   : {hyb_self:.1}x  (paper: ~12x; 16x would be linear)"
+    );
+}

@@ -1,0 +1,29 @@
+//! # gpaw-bgp-hw — Blue Gene/P hardware description
+//!
+//! Everything the simulator knows about the machine the paper ran on:
+//!
+//! * [`spec`] — Table I of the paper as constants, plus the calibrated
+//!   [`spec::CostModel`] that converts work (points, bytes, hops, barriers)
+//!   into simulated time;
+//! * [`topology`] — 3-D torus/mesh shapes, coordinates, neighbors and
+//!   dimension-ordered routing;
+//! * [`partition`] — BGP partitions (node counts and their standard shapes;
+//!   a partition only forms a torus at ≥ 512 nodes) and the two execution
+//!   modes the paper compares: *virtual node* mode (4 MPI ranks per node)
+//!   and SMP mode (1 process with 4 threads per node);
+//! * [`mapping`] — the `MPI_Cart_create`-style embedding of a process grid
+//!   into the node grid, including the rank-block layout of virtual mode;
+//! * [`memory`] — node memory accounting (2 GB per node, 512 MB per rank in
+//!   virtual mode), used to validate job sizes like the paper's remark that
+//!   at most 32 grids of 144³ fit on a single core.
+
+pub mod mapping;
+pub mod memory;
+pub mod partition;
+pub mod spec;
+pub mod topology;
+
+pub use mapping::CartMap;
+pub use partition::{ExecMode, Partition};
+pub use spec::{CostModel, NodeSpec};
+pub use topology::{Axis, Coord, Dir, Shape};

@@ -1,0 +1,218 @@
+//! Blue Gene/P partitions and execution modes.
+//!
+//! A BGP job runs on a *partition* — a box-shaped subset of the machine.
+//! Two facts from the paper matter to the model:
+//!
+//! * a partition needs **at least 512 nodes to form a torus**; smaller
+//!   partitions are open meshes (§V);
+//! * each node can be driven in **virtual node mode** (four MPI ranks per
+//!   node, one per core, 512 MB each — what the flat approaches use) or as
+//!   one SMP process with four threads (what the hybrid approaches use).
+
+use crate::topology::Shape;
+use std::fmt;
+
+/// Node count at or above which a BGP partition closes into a torus.
+pub const TORUS_THRESHOLD_NODES: usize = 512;
+
+/// How the four cores of each node are driven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecMode {
+    /// Virtual node mode: one single-threaded MPI rank per core
+    /// (4 ranks/node, 512 MB each). Used by *Flat original* and
+    /// *Flat optimized*.
+    Virtual,
+    /// SMP mode: one MPI process per node with four threads.
+    /// Used by *Hybrid multiple* and *Hybrid master-only*.
+    Smp,
+}
+
+impl ExecMode {
+    /// MPI processes per node in this mode.
+    pub fn processes_per_node(self) -> usize {
+        match self {
+            ExecMode::Virtual => 4,
+            ExecMode::Smp => 1,
+        }
+    }
+
+    /// Threads per MPI process in this mode.
+    pub fn threads_per_process(self) -> usize {
+        match self {
+            ExecMode::Virtual => 1,
+            ExecMode::Smp => 4,
+        }
+    }
+}
+
+impl fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecMode::Virtual => write!(f, "virtual-node"),
+            ExecMode::Smp => write!(f, "smp"),
+        }
+    }
+}
+
+/// A partition: a node shape plus an execution mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    /// Geometry of the node grid. `wrap` is true iff the partition is large
+    /// enough to form a torus.
+    pub node_shape: Shape,
+    /// How each node's cores are driven.
+    pub mode: ExecMode,
+}
+
+impl Partition {
+    /// Build a partition from explicit node dimensions. The wrap flag is
+    /// derived from the 512-node torus rule.
+    pub fn new(node_dims: [usize; 3], mode: ExecMode) -> Partition {
+        let nodes = node_dims[0] * node_dims[1] * node_dims[2];
+        let node_shape = if nodes >= TORUS_THRESHOLD_NODES {
+            Shape::torus(node_dims)
+        } else {
+            Shape::mesh(node_dims)
+        };
+        Partition { node_shape, mode }
+    }
+
+    /// The standard BGP partition shape for a power-of-two node count from
+    /// 1 to 4096 (the four racks the paper had access to).
+    ///
+    /// Returns `None` for unsupported counts.
+    pub fn standard(nodes: usize, mode: ExecMode) -> Option<Partition> {
+        let dims = match nodes {
+            1 => [1, 1, 1],
+            2 => [1, 1, 2],
+            4 => [1, 2, 2],
+            8 => [2, 2, 2],
+            16 => [2, 2, 4],
+            32 => [2, 4, 4],
+            64 => [4, 4, 4],
+            128 => [4, 4, 8],
+            256 => [4, 8, 8],
+            512 => [8, 8, 8],
+            1024 => [8, 8, 16],
+            2048 => [8, 16, 16],
+            4096 => [16, 16, 16],
+            _ => return None,
+        };
+        Some(Partition::new(dims, mode))
+    }
+
+    /// The partition whose *core* count is `cores`, in the given mode
+    /// (always 4 cores per node — for core counts below 4 the remaining
+    /// cores idle and `Partition::standard(1, …)` is used).
+    pub fn for_cores(cores: usize, mode: ExecMode) -> Option<Partition> {
+        if cores < 4 {
+            return Partition::standard(1, mode);
+        }
+        if !cores.is_multiple_of(4) {
+            return None;
+        }
+        Partition::standard(cores / 4, mode)
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.node_shape.len()
+    }
+
+    /// Number of CPU cores.
+    pub fn cores(&self) -> usize {
+        self.nodes() * 4
+    }
+
+    /// Number of MPI processes.
+    pub fn processes(&self) -> usize {
+        self.nodes() * self.mode.processes_per_node()
+    }
+
+    /// Threads per process.
+    pub fn threads_per_process(&self) -> usize {
+        self.mode.threads_per_process()
+    }
+
+    /// True when the partition forms a torus.
+    pub fn is_torus(&self) -> bool {
+        self.node_shape.wrap
+    }
+}
+
+impl fmt::Display for Partition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = self.node_shape.dims;
+        write!(
+            f,
+            "{}x{}x{} {} ({} nodes, {} cores, {})",
+            d[0],
+            d[1],
+            d[2],
+            if self.is_torus() { "torus" } else { "mesh" },
+            self.nodes(),
+            self.cores(),
+            self.mode
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn torus_threshold() {
+        assert!(!Partition::standard(256, ExecMode::Virtual)
+            .unwrap()
+            .is_torus());
+        assert!(Partition::standard(512, ExecMode::Virtual)
+            .unwrap()
+            .is_torus());
+        assert!(Partition::standard(4096, ExecMode::Smp).unwrap().is_torus());
+    }
+
+    #[test]
+    fn standard_shapes_have_right_counts() {
+        for n in [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096] {
+            let p = Partition::standard(n, ExecMode::Virtual).unwrap();
+            assert_eq!(p.nodes(), n, "shape for {n} nodes");
+            assert_eq!(p.cores(), 4 * n);
+        }
+        assert!(Partition::standard(3, ExecMode::Virtual).is_none());
+        assert!(Partition::standard(8192, ExecMode::Virtual).is_none());
+    }
+
+    #[test]
+    fn mode_counts() {
+        let v = Partition::standard(512, ExecMode::Virtual).unwrap();
+        assert_eq!(v.processes(), 2048);
+        assert_eq!(v.threads_per_process(), 1);
+        let s = Partition::standard(512, ExecMode::Smp).unwrap();
+        assert_eq!(s.processes(), 512);
+        assert_eq!(s.threads_per_process(), 4);
+        // Same core count either way.
+        assert_eq!(v.cores(), s.cores());
+    }
+
+    #[test]
+    fn for_cores() {
+        let p = Partition::for_cores(16384, ExecMode::Smp).unwrap();
+        assert_eq!(p.nodes(), 4096);
+        let q = Partition::for_cores(1, ExecMode::Virtual).unwrap();
+        assert_eq!(q.nodes(), 1);
+        assert!(Partition::for_cores(6, ExecMode::Virtual).is_none());
+    }
+
+    #[test]
+    fn standard_dims_are_near_cubic() {
+        // Aspect ratio never exceeds 4 — keeps surface-to-volume sane.
+        for n in [8, 64, 512, 4096, 2048] {
+            let p = Partition::standard(n, ExecMode::Virtual).unwrap();
+            let d = p.node_shape.dims;
+            let max = d.iter().max().unwrap();
+            let min = d.iter().min().unwrap();
+            assert!(max / min <= 4, "dims {d:?}");
+        }
+    }
+}

@@ -1,0 +1,680 @@
+//! The functional executor: the four approaches on real data.
+//!
+//! One OS thread per MPI process (plus four inner threads per process for
+//! the hybrid approaches, exactly the paper's thread-per-core layout),
+//! real packed faces through [`crate::transport::Transport`], and the real
+//! stencil kernel. Everything is verified against
+//! [`sequential_reference`], the whole-grid single-rank computation.
+
+use crate::config::{Approach, FdConfig};
+use crate::plan::{message_tag, Batches, GridAssignment, RankPlan};
+use crate::transport::Transport;
+use gpaw_bgp_hw::topology::{Dir, LinkDir};
+use gpaw_bgp_hw::CartMap;
+use gpaw_grid::decomp::{Decomposition, Subdomain};
+use gpaw_grid::generator;
+use gpaw_grid::grid3::Grid3;
+use gpaw_grid::gridset::GridSet;
+use gpaw_grid::halo::{pack_batch, unpack_batch, zero_face, Side};
+use gpaw_grid::scalar::{Scalar, C64};
+use gpaw_grid::stencil::{
+    apply, apply_sequential, apply_slab, slab_bounds, BoundaryCond, StencilCoeffs,
+};
+use std::sync::Arc;
+
+/// Scalars that can regenerate their synthetic wave-function slice locally.
+pub trait SyntheticFill: Scalar {
+    /// Fill grid `g`'s owned box `sub` of a `global`-extent grid.
+    fn fill(grid: &mut Grid3<Self>, sub: &Subdomain, global: [usize; 3], seed: u64, g: usize);
+}
+
+impl SyntheticFill for f64 {
+    fn fill(grid: &mut Grid3<f64>, sub: &Subdomain, global: [usize; 3], seed: u64, g: usize) {
+        generator::fill_local_real(grid, sub, global, seed, g);
+    }
+}
+
+impl SyntheticFill for C64 {
+    fn fill(grid: &mut Grid3<C64>, sub: &Subdomain, global: [usize; 3], seed: u64, g: usize) {
+        generator::fill_local_complex(grid, sub, global, seed, g);
+    }
+}
+
+/// The side of our subdomain whose interior planes feed a send toward
+/// `dir`.
+fn send_side(dir: Dir) -> Side {
+    match dir {
+        Dir::Plus => Side::High,
+        Dir::Minus => Side::Low,
+    }
+}
+
+/// The ghost-plane side filled by data arriving from the neighbor in
+/// direction `dir`.
+fn recv_side(dir: Dir) -> Side {
+    match dir {
+        Dir::Plus => Side::High,
+        Dir::Minus => Side::Low,
+    }
+}
+
+/// Post the face sends of one batch along the given directions.
+fn send_batch<T: Scalar>(
+    tp: &Transport<T>,
+    plan: &RankPlan,
+    grids: &[Grid3<T>],
+    local_ids: &[usize],
+    first_global: usize,
+    sweep: usize,
+    dirs: &[LinkDir],
+) {
+    for &ld in dirs {
+        if let Some(nb) = plan.neighbors[ld.index()] {
+            let points = plan.face_points[ld.axis.index()] * local_ids.len();
+            let mut buf = Vec::with_capacity(points);
+            pack_batch(grids, local_ids, ld.axis.index(), send_side(ld.dir), &mut buf);
+            debug_assert_eq!(buf.len(), points);
+            tp.send(plan.rank, nb, message_tag(sweep, first_global, ld), buf);
+        }
+    }
+}
+
+/// Receive and unpack the face data of one batch along the given
+/// directions (zero-filling ghost planes at non-periodic edges).
+fn recv_batch<T: Scalar>(
+    tp: &Transport<T>,
+    plan: &RankPlan,
+    grids: &mut [Grid3<T>],
+    local_ids: &[usize],
+    first_global: usize,
+    sweep: usize,
+    dirs: &[LinkDir],
+) {
+    for &ld in dirs {
+        match plan.neighbors[ld.index()] {
+            Some(nb) => {
+                // The neighbor's send toward us travels opposite to the
+                // direction we look at it through.
+                let travel = LinkDir {
+                    axis: ld.axis,
+                    dir: ld.dir.opposite(),
+                };
+                let buf = tp.recv(plan.rank, nb, message_tag(sweep, first_global, travel));
+                unpack_batch(grids, local_ids, ld.axis.index(), recv_side(ld.dir), &buf);
+            }
+            None => {
+                for &g in local_ids {
+                    zero_face(&mut grids[g], ld.axis.index(), recv_side(ld.dir));
+                }
+            }
+        }
+    }
+}
+
+/// One sweep of the *Flat original* schedule: per grid, exchange the three
+/// dimensions one after the other (blocking), then compute (§IV-A).
+fn sweep_flat_original<T: Scalar>(
+    tp: &Transport<T>,
+    plan: &RankPlan,
+    coef: &StencilCoeffs,
+    inputs: &mut [Grid3<T>],
+    outputs: &mut [Grid3<T>],
+    sweep: usize,
+) {
+    for g in 0..inputs.len() {
+        for pair in LinkDir::ALL.chunks(2) {
+            send_batch(tp, plan, inputs, &[g], g, sweep, pair);
+            recv_batch(tp, plan, inputs, &[g], g, sweep, pair);
+        }
+        apply(coef, &inputs[g], &mut outputs[g]);
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // mirrors the schedule's parameter list
+/// One sweep of the batched, simultaneous-exchange schedule used by *Flat
+/// optimized* and (per thread) *Hybrid multiple*: §V non-blocking exchange
+/// of all three dimensions at once, double-buffered across batches.
+///
+/// `global_id` maps a local grid index to the global grid id used in tags.
+fn sweep_batched<T: Scalar>(
+    tp: &Transport<T>,
+    plan: &RankPlan,
+    coef: &StencilCoeffs,
+    inputs: &mut [Grid3<T>],
+    outputs: &mut [Grid3<T>],
+    batches: &Batches,
+    global_id: &dyn Fn(usize) -> usize,
+    sweep: usize,
+    double_buffer: bool,
+) {
+    let ids_of = |b: usize| -> Vec<usize> {
+        let (s, e) = batches.range(b);
+        (s..e).collect()
+    };
+    let first_of = |b: usize| global_id(batches.range(b).0);
+
+    if double_buffer && !batches.is_empty() && batches.size(0) > 0 {
+        send_batch(tp, plan, inputs, &ids_of(0), first_of(0), sweep, &LinkDir::ALL);
+    }
+    for b in 0..batches.len() {
+        if batches.size(b) == 0 {
+            continue;
+        }
+        if double_buffer {
+            if b + 1 < batches.len() {
+                send_batch(
+                    tp,
+                    plan,
+                    inputs,
+                    &ids_of(b + 1),
+                    first_of(b + 1),
+                    sweep,
+                    &LinkDir::ALL,
+                );
+            }
+        } else {
+            send_batch(tp, plan, inputs, &ids_of(b), first_of(b), sweep, &LinkDir::ALL);
+        }
+        recv_batch(tp, plan, inputs, &ids_of(b), first_of(b), sweep, &LinkDir::ALL);
+        for g in ids_of(b) {
+            apply(coef, &inputs[g], &mut outputs[g]);
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // mirrors the schedule's parameter list
+/// One sweep of the *Hybrid master-only* schedule: the calling (master)
+/// thread communicates; each batch's grids are computed by four threads in
+/// x-slabs with a synchronization per batch (§VI).
+fn sweep_master_only<T: Scalar>(
+    tp: &Transport<T>,
+    plan: &RankPlan,
+    coef: &StencilCoeffs,
+    inputs: &mut [Grid3<T>],
+    outputs: &mut [Grid3<T>],
+    batches: &Batches,
+    sweep: usize,
+    double_buffer: bool,
+    threads: usize,
+) {
+    let ids_of = |b: usize| -> Vec<usize> {
+        let (s, e) = batches.range(b);
+        (s..e).collect()
+    };
+    if double_buffer && !batches.is_empty() && batches.size(0) > 0 {
+        let ids = ids_of(0);
+        send_batch(tp, plan, inputs, &ids, ids[0], sweep, &LinkDir::ALL);
+    }
+    for b in 0..batches.len() {
+        if batches.size(b) == 0 {
+            continue;
+        }
+        let ids = ids_of(b);
+        if double_buffer {
+            if b + 1 < batches.len() {
+                let next = ids_of(b + 1);
+                send_batch(tp, plan, inputs, &next, next[0], sweep, &LinkDir::ALL);
+            }
+        } else {
+            send_batch(tp, plan, inputs, &ids, ids[0], sweep, &LinkDir::ALL);
+        }
+        recv_batch(tp, plan, inputs, &ids, ids[0], sweep, &LinkDir::ALL);
+        compute_batch_slabs(coef, inputs, outputs, &ids, threads);
+    }
+}
+
+/// Compute a batch of grids with each grid split into x-slabs, one slab per
+/// thread — concurrent writes into each output grid through disjoint
+/// slices.
+fn compute_batch_slabs<T: Scalar>(
+    coef: &StencilCoeffs,
+    inputs: &[Grid3<T>],
+    outputs: &mut [Grid3<T>],
+    ids: &[usize],
+    threads: usize,
+) {
+    let nx = inputs[0].n()[0];
+    let bounds = slab_bounds(nx, threads);
+    let slabs_per_grid = bounds.len() - 1;
+    struct Task<'a, T> {
+        input: &'a Grid3<T>,
+        x0: usize,
+        x1: usize,
+        slab: &'a mut [T],
+    }
+    let mut per_thread: Vec<Vec<Task<'_, T>>> = (0..slabs_per_grid).map(|_| Vec::new()).collect();
+
+    // Walk `outputs`, splitting off each batch grid to get disjoint
+    // mutable slabs.
+    let mut rest: &mut [Grid3<T>] = outputs;
+    let mut offset = 0usize;
+    for &gid in ids {
+        debug_assert!(gid >= offset);
+        let (_skip, tail) = rest.split_at_mut(gid - offset);
+        let (grid, tail2) = tail.split_first_mut().expect("batch id in range");
+        let cuts = &bounds[1..bounds.len() - 1];
+        for (t, slab) in grid.split_x_slabs(cuts).into_iter().enumerate() {
+            per_thread[t].push(Task {
+                input: &inputs[gid],
+                x0: bounds[t],
+                x1: bounds[t + 1],
+                slab,
+            });
+        }
+        rest = tail2;
+        offset = gid + 1;
+    }
+
+    std::thread::scope(|s| {
+        for tasks in per_thread {
+            s.spawn(move || {
+                for task in tasks {
+                    apply_slab(coef, task.input, task.x0, task.x1, task.slab);
+                }
+            });
+        }
+    });
+}
+
+/// Run `cfg.sweeps` sweeps via `one_sweep(inputs, outputs, sweep)`,
+/// swapping the roles between sweeps; returns the grids holding the final
+/// result.
+fn run_sweeps<T: Scalar>(
+    mut inputs: Vec<Grid3<T>>,
+    mut outputs: Vec<Grid3<T>>,
+    sweeps: usize,
+    mut one_sweep: impl FnMut(&mut [Grid3<T>], &mut [Grid3<T>], usize),
+) -> Vec<Grid3<T>> {
+    for sweep in 0..sweeps {
+        one_sweep(&mut inputs, &mut outputs, sweep);
+        std::mem::swap(&mut inputs, &mut outputs);
+    }
+    inputs
+}
+
+#[allow(clippy::too_many_arguments)] // mirrors the schedule's parameter list
+/// Execute one process (rank). Returns the final local grids.
+fn process_body<T: SyntheticFill>(
+    tp: &Transport<T>,
+    map: &CartMap,
+    rank: usize,
+    grid_ext: [usize; 3],
+    n_grids: usize,
+    seed: u64,
+    coef: &StencilCoeffs,
+    cfg: &FdConfig,
+) -> Vec<Grid3<T>> {
+    let plan = RankPlan::for_rank(map, grid_ext, rank, T::BYTES, cfg);
+    let halo = StencilCoeffs::HALO;
+    let mut inputs: Vec<Grid3<T>> = Vec::with_capacity(n_grids);
+    for g in 0..n_grids {
+        let mut grid = Grid3::zeros(plan.sub.ext, halo);
+        T::fill(&mut grid, &plan.sub, grid_ext, seed, g);
+        inputs.push(grid);
+    }
+    let outputs: Vec<Grid3<T>> = (0..n_grids).map(|_| Grid3::zeros(plan.sub.ext, halo)).collect();
+
+    let result = match cfg.approach {
+        Approach::FlatOriginal => run_sweeps(inputs, outputs, cfg.sweeps, |i, o, s| {
+            sweep_flat_original(tp, &plan, coef, i, o, s)
+        }),
+        Approach::FlatOptimized => {
+            let batches = Batches::build(n_grids, cfg);
+            run_sweeps(inputs, outputs, cfg.sweeps, |i, o, s| {
+                sweep_batched(tp, &plan, coef, i, o, &batches, &|l| l, s, cfg.double_buffer)
+            })
+        }
+        Approach::HybridMasterOnly => {
+            let batches = Batches::build(n_grids, cfg);
+            let threads = map.partition.threads_per_process();
+            run_sweeps(inputs, outputs, cfg.sweeps, |i, o, s| {
+                sweep_master_only(tp, &plan, coef, i, o, &batches, s, cfg.double_buffer, threads)
+            })
+        }
+        Approach::HybridMultiple => {
+            let threads = map.partition.threads_per_process();
+            hybrid_multiple_process(tp, &plan, coef, cfg, inputs, outputs, threads)
+        }
+        Approach::FlatStatic => {
+            panic!("FlatStatic violates GPAW's same-subset rule; it exists only on the timed plane")
+        }
+    };
+    assert!(
+        tp.is_drained(rank),
+        "rank {rank}: transport not drained — schedule mismatch"
+    );
+    result
+}
+
+/// The hybrid-multiple process: the grids are split round-robin between
+/// four inner threads, each running its own batched sweep **and its own
+/// communication** concurrently; the only synchronization is the per-sweep
+/// join (§VI: "the synchronization penalty is therefore constant").
+fn hybrid_multiple_process<T: Scalar>(
+    tp: &Transport<T>,
+    plan: &RankPlan,
+    coef: &StencilCoeffs,
+    cfg: &FdConfig,
+    inputs: Vec<Grid3<T>>,
+    outputs: Vec<Grid3<T>>,
+    threads: usize,
+) -> Vec<Grid3<T>> {
+    let n_grids = inputs.len();
+    // Deal grids to threads, remembering each grid's global id implicitly
+    // through the round-robin assignment.
+    let mut in_parts: Vec<Vec<Grid3<T>>> = (0..threads).map(|_| Vec::new()).collect();
+    let mut out_parts: Vec<Vec<Grid3<T>>> = (0..threads).map(|_| Vec::new()).collect();
+    for (g, grid) in inputs.into_iter().enumerate() {
+        in_parts[g % threads].push(grid);
+    }
+    for (g, grid) in outputs.into_iter().enumerate() {
+        out_parts[g % threads].push(grid);
+    }
+
+    let mut results: Vec<Option<Vec<Grid3<T>>>> = (0..threads).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (t, (ins, outs)) in in_parts.drain(..).zip(out_parts.drain(..)).enumerate() {
+            handles.push(s.spawn(move || {
+                let asg = GridAssignment::round_robin(n_grids, t, threads);
+                debug_assert_eq!(asg.count, ins.len());
+                let batches = Batches::build(asg.count, cfg);
+                run_sweeps(ins, outs, cfg.sweeps, |i, o, sweep| {
+                    sweep_batched(
+                        tp,
+                        plan,
+                        coef,
+                        i,
+                        o,
+                        &batches,
+                        &|local| asg.id(local),
+                        sweep,
+                        cfg.double_buffer,
+                    )
+                })
+            }));
+        }
+        for (t, h) in handles.into_iter().enumerate() {
+            results[t] = Some(h.join().expect("hybrid thread panicked"));
+        }
+    });
+
+    // Interleave back into global order.
+    let mut iters: Vec<_> = results
+        .into_iter()
+        .map(|r| r.expect("all threads joined").into_iter())
+        .collect();
+    (0..n_grids)
+        .map(|g| iters[g % threads].next().expect("round robin exhausted"))
+        .collect()
+}
+
+/// Run a distributed FD job and return each rank's final local grids, in
+/// rank order.
+pub fn run_distributed<T: SyntheticFill>(
+    grid_ext: [usize; 3],
+    n_grids: usize,
+    seed: u64,
+    coef: &StencilCoeffs,
+    cfg: &FdConfig,
+    map: &CartMap,
+) -> Vec<GridSet<T>> {
+    assert!(n_grids > 0);
+    let ranks = map.ranks();
+    let tp: Arc<Transport<T>> = Arc::new(Transport::new(ranks));
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..ranks)
+            .map(|rank| {
+                let tp = Arc::clone(&tp);
+                let map = &*map;
+                let coef = &*coef;
+                let cfg = &*cfg;
+                s.spawn(move || {
+                    GridSet::from_grids(process_body(
+                        &tp, map, rank, grid_ext, n_grids, seed, coef, cfg,
+                    ))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("process thread panicked"))
+            .collect()
+    })
+}
+
+/// The single-rank, whole-grid ground truth.
+pub fn sequential_reference<T: SyntheticFill>(
+    grid_ext: [usize; 3],
+    n_grids: usize,
+    seed: u64,
+    coef: &StencilCoeffs,
+    bc: BoundaryCond,
+    sweeps: usize,
+) -> GridSet<T> {
+    let halo = StencilCoeffs::HALO;
+    let whole = Subdomain {
+        start: [0; 3],
+        ext: grid_ext,
+    };
+    let mut inputs: Vec<Grid3<T>> = (0..n_grids)
+        .map(|g| {
+            let mut grid = Grid3::zeros(grid_ext, halo);
+            T::fill(&mut grid, &whole, grid_ext, seed, g);
+            grid
+        })
+        .collect();
+    let mut outputs: Vec<Grid3<T>> = (0..n_grids).map(|_| Grid3::zeros(grid_ext, halo)).collect();
+    for _ in 0..sweeps {
+        for g in 0..n_grids {
+            apply_sequential(coef, &mut inputs[g], &mut outputs[g], bc);
+        }
+        std::mem::swap(&mut inputs, &mut outputs);
+    }
+    GridSet::from_grids(inputs)
+}
+
+/// Largest absolute difference between the distributed outputs and the
+/// sequential reference over every rank's subdomain of every grid.
+pub fn max_error_vs_reference<T: SyntheticFill>(
+    outputs: &[GridSet<T>],
+    map: &CartMap,
+    grid_ext: [usize; 3],
+    reference: &GridSet<T>,
+) -> f64 {
+    let decomp = Decomposition::new(grid_ext, map.proc_dims);
+    let mut worst = 0.0f64;
+    for (rank, set) in outputs.iter().enumerate() {
+        let sub = decomp.subdomain(map.proc_coord(rank).0);
+        for g in 0..set.len() {
+            let local = set.grid(g);
+            let global = reference.grid(g);
+            for i in 0..sub.ext[0] {
+                for j in 0..sub.ext[1] {
+                    for k in 0..sub.ext[2] {
+                        let a = local.get(i as isize, j as isize, k as isize);
+                        let b = global.get(
+                            (sub.start[0] + i) as isize,
+                            (sub.start[1] + j) as isize,
+                            (sub.start[2] + k) as isize,
+                        );
+                        worst = worst.max((a - b).abs());
+                    }
+                }
+            }
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpaw_bgp_hw::{ExecMode, Partition};
+
+    fn coef() -> StencilCoeffs {
+        StencilCoeffs::laplacian([0.2, 0.25, 0.3])
+    }
+
+    fn virtual_map(nodes: usize, grid: [usize; 3]) -> CartMap {
+        let p = Partition::standard(nodes, ExecMode::Virtual).unwrap();
+        CartMap::best(p, grid)
+    }
+
+    fn smp_map(nodes: usize, grid: [usize; 3]) -> CartMap {
+        let p = Partition::standard(nodes, ExecMode::Smp).unwrap();
+        CartMap::best(p, grid)
+    }
+
+    fn check<T: SyntheticFill>(cfg: &FdConfig, map: &CartMap, grid: [usize; 3], n_grids: usize) {
+        let c = coef();
+        let outputs = run_distributed::<T>(grid, n_grids, 42, &c, cfg, map);
+        let reference = sequential_reference::<T>(grid, n_grids, 42, &c, cfg.bc, cfg.sweeps);
+        let err = max_error_vs_reference(&outputs, map, grid, &reference);
+        assert_eq!(
+            err, 0.0,
+            "{} diverged from the sequential reference",
+            cfg.approach.label()
+        );
+    }
+
+    #[test]
+    fn flat_original_matches_reference() {
+        let grid = [12, 10, 8];
+        let map = virtual_map(2, grid); // 8 ranks
+        check::<f64>(&FdConfig::paper(Approach::FlatOriginal), &map, grid, 5);
+    }
+
+    #[test]
+    fn flat_optimized_matches_reference() {
+        let grid = [12, 10, 8];
+        let map = virtual_map(2, grid);
+        let cfg = FdConfig::paper(Approach::FlatOptimized).with_batch(3);
+        check::<f64>(&cfg, &map, grid, 7);
+    }
+
+    #[test]
+    fn hybrid_multiple_matches_reference() {
+        let grid = [12, 12, 12];
+        let map = smp_map(2, grid); // 2 processes × 4 threads
+        let cfg = FdConfig::paper(Approach::HybridMultiple).with_batch(2);
+        check::<f64>(&cfg, &map, grid, 9);
+    }
+
+    #[test]
+    fn hybrid_master_only_matches_reference() {
+        let grid = [13, 9, 11]; // odd extents: uneven slabs too
+        let map = smp_map(2, grid);
+        let cfg = FdConfig::paper(Approach::HybridMasterOnly).with_batch(4);
+        check::<f64>(&cfg, &map, grid, 6);
+    }
+
+    #[test]
+    fn complex_grids_match_reference() {
+        let grid = [10, 10, 10];
+        let map = smp_map(2, grid);
+        let cfg = FdConfig::paper(Approach::HybridMultiple).with_batch(3);
+        check::<C64>(&cfg, &map, grid, 4);
+    }
+
+    #[test]
+    fn zero_boundary_matches_reference() {
+        let grid = [12, 10, 8];
+        let map = virtual_map(2, grid);
+        let mut cfg = FdConfig::paper(Approach::FlatOptimized).with_batch(2);
+        cfg.bc = BoundaryCond::Zero;
+        check::<f64>(&cfg, &map, grid, 3);
+    }
+
+    #[test]
+    fn multiple_sweeps_match_reference() {
+        let grid = [10, 10, 10];
+        let map = virtual_map(1, grid); // 4 ranks on one node
+        let cfg = FdConfig::paper(Approach::FlatOptimized)
+            .with_batch(2)
+            .with_sweeps(3);
+        check::<f64>(&cfg, &map, grid, 4);
+    }
+
+    #[test]
+    fn uneven_decomposition_matches_reference() {
+        // 13 is not divisible by anything useful: remainder paths everywhere.
+        let grid = [13, 13, 13];
+        let map = virtual_map(2, grid);
+        let cfg = FdConfig::paper(Approach::FlatOptimized).with_batch(3);
+        check::<f64>(&cfg, &map, grid, 5);
+    }
+
+    #[test]
+    fn batch_size_does_not_change_results() {
+        let grid = [12, 10, 8];
+        let map = smp_map(2, grid);
+        let c = coef();
+        let base = run_distributed::<f64>(
+            grid,
+            6,
+            7,
+            &c,
+            &FdConfig::paper(Approach::HybridMultiple).with_batch(1),
+            &map,
+        );
+        for batch in [2, 3, 6, 100] {
+            let other = run_distributed::<f64>(
+                grid,
+                6,
+                7,
+                &c,
+                &FdConfig::paper(Approach::HybridMultiple).with_batch(batch),
+                &map,
+            );
+            for (a, b) in base.iter().zip(&other) {
+                for g in 0..a.len() {
+                    assert_eq!(
+                        gpaw_grid::norms::max_abs_diff(a.grid(g), b.grid(g)),
+                        0.0,
+                        "batch {batch} changed the result"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn double_buffer_does_not_change_results() {
+        let grid = [12, 10, 8];
+        let map = virtual_map(2, grid);
+        let c = coef();
+        let mut on = FdConfig::paper(Approach::FlatOptimized).with_batch(2);
+        on.double_buffer = true;
+        let mut off = on;
+        off.double_buffer = false;
+        let a = run_distributed::<f64>(grid, 5, 9, &c, &on, &map);
+        let b = run_distributed::<f64>(grid, 5, 9, &c, &off, &map);
+        for (x, y) in a.iter().zip(&b) {
+            for g in 0..x.len() {
+                assert_eq!(gpaw_grid::norms::max_abs_diff(x.grid(g), y.grid(g)), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn growing_first_batch_does_not_change_results() {
+        let grid = [12, 10, 8];
+        let map = smp_map(1, grid);
+        let c = coef();
+        let mut cfg = FdConfig::paper(Approach::HybridMasterOnly).with_batch(4);
+        cfg.growing_first_batch = true;
+        check::<f64>(&cfg, &map, grid, 10);
+        let _ = c;
+    }
+
+    #[test]
+    fn single_process_periodic_self_exchange() {
+        // One SMP process: every neighbor is itself; the exchange must
+        // reproduce fill_halo_periodic semantics.
+        let grid = [9, 9, 9];
+        let map = smp_map(1, grid);
+        let cfg = FdConfig::paper(Approach::HybridMultiple).with_batch(2);
+        check::<f64>(&cfg, &map, grid, 5);
+    }
+}

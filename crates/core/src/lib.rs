@@ -1,0 +1,42 @@
+//! # gpaw-fd — the distributed finite-difference engine
+//!
+//! The paper's primary contribution, implemented once and executed on two
+//! planes:
+//!
+//! * the **functional plane** ([`exec`]) runs the four programming
+//!   approaches on real data — ranks are OS threads, messages move through
+//!   a tag-matching in-process transport ([`transport`]), and the stencil
+//!   kernel of `gpaw-grid` does the arithmetic. Every approach is proven
+//!   bit-identical to the sequential reference;
+//! * the **timed plane** ([`timed`]) replays the *same schedules* on the
+//!   simulated Blue Gene/P (`gpaw-simmpi`), which is what regenerates the
+//!   paper's figures at up to 16 384 cores.
+//!
+//! The four approaches (§VI of the paper), selected by
+//! [`config::Approach`]:
+//!
+//! | approach | node mode | threads | MPI mode | who communicates |
+//! |---|---|---|---|---|
+//! | Flat original | virtual | 1/rank | `SINGLE` | each rank, blocking dim-by-dim |
+//! | Flat optimized | virtual | 1/rank | `SINGLE` | each rank, non-blocking + batching + double buffering |
+//! | Hybrid multiple | SMP | 4 | `MULTIPLE` | every thread, own grids |
+//! | Hybrid master-only | SMP | 4 | `SINGLE` | master only; grids computed in 4 slabs with per-batch barriers |
+//!
+//! plus the §VII diagnostic variant [`config::Approach::FlatStatic`] (flat
+//! ranks with node-level decomposition and static grid sub-groups — the
+//! experiment the paper uses to prove the decomposition granularity, not
+//! threading itself, explains the hybrid advantage).
+//!
+//! [`runner`] wraps the timed plane into the experiments the benches call
+//! (speedup curves, Gustafson sweeps, best-batch searches).
+
+pub mod config;
+pub mod exec;
+pub mod plan;
+pub mod runner;
+pub mod timed;
+pub mod transport;
+
+pub use config::{Approach, FdConfig};
+pub use plan::RankPlan;
+pub use runner::FdExperiment;

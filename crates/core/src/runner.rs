@@ -1,0 +1,138 @@
+//! Experiment-level driver: the API the figure harnesses call.
+
+use crate::config::{Approach, FdConfig};
+use crate::timed::{run_timed, ScopeSel, TimedJob};
+use gpaw_bgp_hw::spec::CostModel;
+use gpaw_simmpi::RunReport;
+
+/// Batch sizes swept when the paper says "the best batch-size has been
+/// found" (Figs. 6 and 7).
+pub const BATCH_CANDIDATES: [usize; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+
+/// A reusable experiment description (workload only; core counts and
+/// approaches vary per figure point).
+#[derive(Debug, Clone, Copy)]
+pub struct FdExperiment {
+    /// Global grid extents (144³ for Fig. 5, 192³ for Figs. 6–7).
+    pub grid_ext: [usize; 3],
+    /// Number of real-space grids.
+    pub n_grids: usize,
+    /// Bytes per grid point.
+    pub bytes_per_point: usize,
+    /// FD applications per run.
+    pub sweeps: usize,
+}
+
+impl FdExperiment {
+    /// The timed job for one figure point.
+    pub fn job(&self, cores: usize, approach: Approach, batch: usize) -> TimedJob {
+        TimedJob {
+            cores,
+            grid_ext: self.grid_ext,
+            n_grids: self.n_grids,
+            bytes_per_point: self.bytes_per_point,
+            config: FdConfig::paper(approach)
+                .with_batch(batch)
+                .with_sweeps(self.sweeps),
+        }
+    }
+
+    /// Run one figure point.
+    pub fn run(
+        &self,
+        cores: usize,
+        approach: Approach,
+        batch: usize,
+        model: &CostModel,
+        scope: ScopeSel,
+    ) -> RunReport {
+        run_timed(&self.job(cores, approach, batch), model, scope)
+    }
+
+    /// The sequential (1-core) baseline of the speedup graphs.
+    pub fn sequential(&self, model: &CostModel) -> RunReport {
+        run_timed(
+            &self.job(1, Approach::FlatOriginal, 1),
+            model,
+            ScopeSel::Auto,
+        )
+    }
+
+    /// Sweep batch sizes and keep the fastest run — the paper's "best
+    /// batch-size has been found for every number of CPU-cores".
+    ///
+    /// Batch sizes that would leave threads without work (more than the
+    /// per-thread grid count) are skipped; `FlatOriginal` always runs
+    /// unbatched.
+    pub fn best_batch(
+        &self,
+        cores: usize,
+        approach: Approach,
+        candidates: &[usize],
+        model: &CostModel,
+        scope: ScopeSel,
+    ) -> (usize, RunReport) {
+        if approach == Approach::FlatOriginal {
+            return (1, self.run(cores, approach, 1, model, scope));
+        }
+        let mut best: Option<(usize, RunReport)> = None;
+        for &batch in candidates {
+            if batch > self.n_grids {
+                continue;
+            }
+            let report = self.run(cores, approach, batch, model, scope);
+            if best
+                .as_ref()
+                .is_none_or(|(_, b)| report.makespan < b.makespan)
+            {
+                best = Some((batch, report));
+            }
+        }
+        best.expect("at least one batch candidate must be feasible")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exp() -> FdExperiment {
+        FdExperiment {
+            grid_ext: [48, 48, 48],
+            n_grids: 16,
+            bytes_per_point: 8,
+            sweeps: 1,
+        }
+    }
+
+    #[test]
+    fn sequential_baseline_has_no_messages() {
+        let r = exp().sequential(&CostModel::bgp());
+        assert_eq!(r.messages, 0);
+    }
+
+    #[test]
+    fn best_batch_picks_a_feasible_winner() {
+        let m = CostModel::bgp();
+        let (batch, report) = exp().best_batch(
+            32,
+            Approach::FlatOptimized,
+            &BATCH_CANDIDATES,
+            &m,
+            ScopeSel::Full,
+        );
+        assert!((1..=16).contains(&batch));
+        assert!(report.messages > 0);
+        // The winner is at least as fast as unbatched.
+        let unbatched = exp().run(32, Approach::FlatOptimized, 1, &m, ScopeSel::Full);
+        assert!(report.makespan <= unbatched.makespan);
+    }
+
+    #[test]
+    fn flat_original_never_batches() {
+        let m = CostModel::bgp();
+        let (batch, _) =
+            exp().best_batch(32, Approach::FlatOriginal, &BATCH_CANDIDATES, &m, ScopeSel::Full);
+        assert_eq!(batch, 1);
+    }
+}

@@ -1,0 +1,609 @@
+//! The timed executor: the same schedules, replayed on the simulated BGP.
+//!
+//! Each (rank, thread) gets a [`StreamProgram`] — a lazy generator that
+//! expands the approach's schedule one batch at a time into `gpaw-simmpi`
+//! instructions, so even the 16 384-core Gustafson runs keep O(batch)
+//! memory per rank. The instruction sequences mirror
+//! [`crate::exec`] exactly: same messages, same tags, same epochs, same
+//! compute volume; only the payloads are virtual.
+
+use crate::config::{Approach, FdConfig};
+use crate::plan::{message_tag, slab_share, Batches, GridAssignment, RankPlan};
+use gpaw_bgp_hw::spec::CostModel;
+use gpaw_bgp_hw::topology::LinkDir;
+use gpaw_bgp_hw::{CartMap, Partition};
+use gpaw_simmpi::{Instr, Machine, Program, RunReport, Scope};
+use std::collections::VecDeque;
+
+/// A timed FD job.
+#[derive(Debug, Clone, Copy)]
+pub struct TimedJob {
+    /// Total CPU cores (4 × nodes; 1 means the sequential baseline).
+    pub cores: usize,
+    /// Global grid extents.
+    pub grid_ext: [usize; 3],
+    /// Number of real-space grids.
+    pub n_grids: usize,
+    /// Bytes per grid point (8 real / 16 complex).
+    pub bytes_per_point: usize,
+    /// Engine configuration.
+    pub config: FdConfig,
+}
+
+/// Which machine scope to simulate at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScopeSel {
+    /// Unit cell on torus partitions, full machine otherwise — what the
+    /// figures use.
+    Auto,
+    /// Force the exact full-machine simulation.
+    Full,
+    /// Force the unit cell (requires a torus partition).
+    Cell,
+}
+
+/// The role a thread plays in its approach's schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    /// Single-threaded rank of a flat approach.
+    Flat,
+    /// Flat-original rank (blocking dimension-by-dimension schedule).
+    FlatOriginal,
+    /// Hybrid-multiple worker: own grids, own communication.
+    HybridThread,
+    /// Master-only slot 0: communicates and computes slab 0.
+    Master,
+    /// Master-only slots 1..: compute slabs between barriers.
+    Worker { slot: usize },
+}
+
+/// Lazy schedule generator for one thread.
+pub struct StreamProgram {
+    role: Role,
+    plan: RankPlan,
+    asg: GridAssignment,
+    batches: Batches,
+    cfg: FdConfig,
+    /// Pre-computed compute share `(points, rows)` per batch grid for this
+    /// thread (slab share for master-only, whole sub-grid otherwise).
+    unit_points: u64,
+    unit_rows: u64,
+    queue: VecDeque<Instr>,
+    sweep: usize,
+    next_post: usize,
+    next_finish: usize,
+    done: bool,
+}
+
+impl StreamProgram {
+    fn new(role: Role, plan: RankPlan, asg: GridAssignment, cfg: FdConfig, threads: usize) -> Self {
+        let batches = Batches::build(asg.count, &cfg);
+        let (unit_points, unit_rows) = match role {
+            Role::Master => slab_share(&plan.sub, 0, threads),
+            Role::Worker { slot } => slab_share(&plan.sub, slot, threads),
+            _ => (plan.sub.points() as u64, plan.sub.rows() as u64),
+        };
+        StreamProgram {
+            role,
+            plan,
+            asg,
+            batches,
+            cfg,
+            unit_points,
+            unit_rows,
+            queue: VecDeque::new(),
+            sweep: 0,
+            next_post: 0,
+            next_finish: 0,
+            done: false,
+        }
+    }
+
+    fn epoch(&self, sweep: usize, batch: usize) -> u32 {
+        (sweep * self.batches.len() + batch) as u32
+    }
+
+    fn first_global(&self, batch: usize) -> usize {
+        let (s, e) = self.batches.range(batch);
+        if s == e {
+            0
+        } else {
+            self.asg.id(s)
+        }
+    }
+
+    /// Queue the Irecv/Isend pairs of one batch along `dirs`.
+    fn queue_exchange(&mut self, batch: usize, dirs: &[LinkDir]) {
+        let size = self.batches.size(batch);
+        if size == 0 {
+            return;
+        }
+        let first = self.first_global(batch);
+        let epoch = self.epoch(self.sweep, batch);
+        for &ld in dirs {
+            if let Some(nb) = self.plan.neighbors[ld.index()] {
+                let bytes = self.plan.msg_bytes(ld.axis, size);
+                let travel = LinkDir {
+                    axis: ld.axis,
+                    dir: ld.dir.opposite(),
+                };
+                self.queue.push_back(Instr::Irecv {
+                    src: nb,
+                    bytes,
+                    tag: message_tag(self.sweep, first, travel),
+                    epoch,
+                });
+                self.queue.push_back(Instr::Isend {
+                    dst: nb,
+                    bytes,
+                    tag: message_tag(self.sweep, first, ld),
+                    epoch,
+                });
+            }
+        }
+    }
+
+    /// Master-only compute of one batch: every grid's slab computation is
+    /// fenced by a pair of thread barriers.
+    fn queue_fenced_grids(&mut self, batch: usize) {
+        for _ in 0..self.batches.size(batch) {
+            self.queue.push_back(Instr::ThreadBarrier);
+            self.queue.push_back(Instr::Compute {
+                points: self.unit_points,
+                rows: self.unit_rows,
+                grids: 1,
+            });
+            self.queue.push_back(Instr::ThreadBarrier);
+        }
+    }
+
+    fn queue_compute(&mut self, batch: usize) {
+        let size = self.batches.size(batch) as u64;
+        if size == 0 {
+            return;
+        }
+        self.queue.push_back(Instr::Compute {
+            points: self.unit_points * size,
+            rows: self.unit_rows * size,
+            grids: size,
+        });
+    }
+
+    /// Expand the next chunk of the schedule into the queue.
+    fn expand(&mut self) {
+        match self.role {
+            Role::FlatOriginal => self.expand_flat_original(),
+            Role::Flat | Role::HybridThread => self.expand_batched(),
+            Role::Master => self.expand_master(),
+            Role::Worker { .. } => self.expand_worker(),
+        }
+    }
+
+    /// Blocking dimension-by-dimension schedule: one grid per expansion.
+    fn expand_flat_original(&mut self) {
+        if self.next_finish >= self.batches.len()
+            && self.advance_sweep() {
+                return;
+            }
+        let b = self.next_finish;
+        // Three blocking phases: (X−,X+) wait, (Y−,Y+) wait, (Z−,Z+) wait.
+        for pair in LinkDir::ALL.chunks(2) {
+            self.queue_exchange(b, pair);
+            let epoch = self.epoch(self.sweep, b);
+            self.queue.push_back(Instr::WaitEpoch { epoch });
+        }
+        self.queue_compute(b);
+        self.next_finish += 1;
+    }
+
+    /// Non-blocking simultaneous exchange with optional double buffering.
+    fn expand_batched(&mut self) {
+        if self.next_finish >= self.batches.len()
+            && self.advance_sweep() {
+                return;
+            }
+        if self.cfg.double_buffer {
+            if self.next_post == 0 {
+                self.queue_exchange(0, &LinkDir::ALL);
+                self.next_post = 1;
+            }
+            if self.next_post <= self.next_finish + 1 && self.next_post < self.batches.len() {
+                let p = self.next_post;
+                self.queue_exchange(p, &LinkDir::ALL);
+                self.next_post += 1;
+            }
+        } else {
+            self.queue_exchange(self.next_finish, &LinkDir::ALL);
+        }
+        let b = self.next_finish;
+        self.queue.push_back(Instr::WaitEpoch {
+            epoch: self.epoch(self.sweep, b),
+        });
+        self.queue_compute(b);
+        self.next_finish += 1;
+    }
+
+    /// Master-only slot 0: communicate, then a barrier-fenced slab compute
+    /// per batch.
+    fn expand_master(&mut self) {
+        if self.next_finish >= self.batches.len()
+            && self.advance_sweep() {
+                return;
+            }
+        if self.cfg.double_buffer {
+            if self.next_post == 0 {
+                self.queue_exchange(0, &LinkDir::ALL);
+                self.next_post = 1;
+            }
+            if self.next_post <= self.next_finish + 1 && self.next_post < self.batches.len() {
+                let p = self.next_post;
+                self.queue_exchange(p, &LinkDir::ALL);
+                self.next_post += 1;
+            }
+        } else {
+            self.queue_exchange(self.next_finish, &LinkDir::ALL);
+        }
+        let b = self.next_finish;
+        self.queue.push_back(Instr::WaitEpoch {
+            epoch: self.epoch(self.sweep, b),
+        });
+        // "We have to synchronize between every grid-computation" (§VI):
+        // batching aggregates the messages, but the slab-parallel compute
+        // is still fenced per grid, so the synchronization penalty grows
+        // with the number of grids — the approach's downfall.
+        self.queue_fenced_grids(b);
+        self.next_finish += 1;
+    }
+
+    /// Master-only slots 1..: barrier, slab compute, barrier, per batch.
+    fn expand_worker(&mut self) {
+        if self.next_finish >= self.batches.len()
+            && self.advance_sweep() {
+                return;
+            }
+        let b = self.next_finish;
+        self.queue_fenced_grids(b);
+        self.next_finish += 1;
+    }
+
+    /// Move to the next sweep. Returns true when the program finished (a
+    /// terminating instruction was queued).
+    fn advance_sweep(&mut self) -> bool {
+        // Hybrid approaches synchronize the node's threads once per sweep.
+        if matches!(self.role, Role::HybridThread) {
+            self.queue.push_back(Instr::ThreadBarrier);
+        }
+        self.sweep += 1;
+        self.next_post = 0;
+        self.next_finish = 0;
+        if self.sweep >= self.cfg.sweeps {
+            self.done = true;
+            return true;
+        }
+        false
+    }
+}
+
+impl Program for StreamProgram {
+    fn next(&mut self) -> Instr {
+        loop {
+            if let Some(i) = self.queue.pop_front() {
+                return i;
+            }
+            if self.done {
+                return Instr::Done;
+            }
+            self.expand();
+            if self.done && self.queue.is_empty() {
+                return Instr::Done;
+            }
+        }
+    }
+}
+
+/// Build the partition + cartesian map a job runs on.
+pub fn job_map(job: &TimedJob) -> CartMap {
+    let mode = job.config.approach.exec_mode();
+    let partition = Partition::for_cores(job.cores, mode)
+        .unwrap_or_else(|| panic!("no standard BGP partition for {} cores", job.cores));
+    CartMap::best(partition, job.grid_ext)
+}
+
+/// Build the programs for every instantiated (rank, thread) slot.
+fn build_programs(job: &TimedJob, map: &CartMap, scope: Scope) -> Vec<Box<dyn Program>> {
+    let threads = map.partition.threads_per_process();
+    let mut programs: Vec<Box<dyn Program>> = Vec::new();
+    for rank in Machine::instantiated_ranks(map, scope) {
+        let plan = RankPlan::for_rank(map, job.grid_ext, rank, job.bytes_per_point, &job.config);
+        for t in 0..threads {
+            let (role, asg) = role_and_assignment(job, map, rank, t, threads);
+            programs.push(Box::new(StreamProgram::new(
+                role,
+                plan.clone(),
+                asg,
+                job.config,
+                threads,
+            )));
+        }
+    }
+    programs
+}
+
+fn role_and_assignment(
+    job: &TimedJob,
+    map: &CartMap,
+    rank: usize,
+    t: usize,
+    threads: usize,
+) -> (Role, GridAssignment) {
+    let n = job.n_grids;
+    match job.config.approach {
+        Approach::FlatOriginal => (Role::FlatOriginal, GridAssignment::all(n)),
+        Approach::FlatOptimized => (Role::Flat, GridAssignment::all(n)),
+        Approach::FlatStatic => (
+            Role::Flat,
+            GridAssignment::round_robin(n, map.core_of(rank), 4),
+        ),
+        Approach::HybridMultiple => (
+            Role::HybridThread,
+            GridAssignment::round_robin(n, t, threads),
+        ),
+        Approach::HybridMasterOnly => {
+            if t == 0 {
+                (Role::Master, GridAssignment::all(n))
+            } else {
+                (Role::Worker { slot: t }, GridAssignment::all(n))
+            }
+        }
+    }
+}
+
+/// Run a timed FD job.
+pub fn run_timed(job: &TimedJob, model: &CostModel, scope: ScopeSel) -> RunReport {
+    if job.cores == 1 {
+        return sequential_baseline(job, model);
+    }
+    run_timed_with_map(job, job_map(job), model, scope)
+}
+
+/// Run a timed FD job on an explicit cartesian map — the hook for the
+/// `MPI_Cart_create` ablation (`CartMap::with_reorder(…, false)` places
+/// ranks linearly, so logical neighbors land hops apart).
+pub fn run_timed_with_map(
+    job: &TimedJob,
+    map: CartMap,
+    model: &CostModel,
+    scope: ScopeSel,
+) -> RunReport {
+    let scope = match scope {
+        ScopeSel::Full => Scope::Full,
+        ScopeSel::Cell => {
+            assert!(
+                map.partition.is_torus(),
+                "unit-cell scope needs a torus partition (≥ 512 nodes)"
+            );
+            Scope::UnitCell { neighbor_hops: 1 }
+        }
+        ScopeSel::Auto => {
+            if map.partition.is_torus() {
+                Scope::UnitCell { neighbor_hops: 1 }
+            } else {
+                Scope::Full
+            }
+        }
+    };
+    let programs = build_programs(job, &map, scope);
+    Machine::new(
+        map,
+        model.clone(),
+        job.config.approach.thread_mode(),
+        scope,
+        programs,
+    )
+    .run()
+}
+
+/// The unreordered variant of [`job_map`] (ranks assigned to nodes in
+/// plain linear order, ignoring the torus).
+pub fn job_map_unreordered(job: &TimedJob) -> CartMap {
+    let reordered = job_map(job);
+    CartMap::with_reorder(reordered.partition, reordered.proc_dims, false)
+        .expect("dims were already validated by job_map")
+}
+
+/// The sequential baseline: one core computing every grid whole, no
+/// communication — the denominator of the paper's speedup graphs.
+pub fn sequential_baseline(job: &TimedJob, model: &CostModel) -> RunReport {
+    let points: u64 = job.grid_ext.iter().map(|&e| e as u64).product();
+    let rows = (job.grid_ext[0] * job.grid_ext[1]) as u64;
+    let mut instrs = Vec::with_capacity(job.config.sweeps);
+    for _ in 0..job.config.sweeps {
+        instrs.push(Instr::Compute {
+            points: points * job.n_grids as u64,
+            rows: rows * job.n_grids as u64,
+            grids: job.n_grids as u64,
+        });
+    }
+    let partition = Partition::new([1, 1, 1], gpaw_bgp_hw::ExecMode::Smp);
+    let map = CartMap::new(partition, [1, 1, 1]).expect("1-node map");
+    let mut programs: Vec<Box<dyn Program>> =
+        vec![Box::new(gpaw_simmpi::VecProgram::new(instrs))];
+    for _ in 1..4 {
+        programs.push(Box::new(gpaw_simmpi::VecProgram::new(vec![])));
+    }
+    Machine::new(
+        map,
+        model.clone(),
+        gpaw_simmpi::ThreadMode::Single,
+        Scope::Full,
+        programs,
+    )
+    .run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpaw_grid::stencil::BoundaryCond;
+
+    fn job(cores: usize, approach: Approach, batch: usize) -> TimedJob {
+        TimedJob {
+            cores,
+            grid_ext: [48, 48, 48],
+            n_grids: 16,
+            bytes_per_point: 8,
+            config: FdConfig::paper(approach).with_batch(batch),
+        }
+    }
+
+    fn model() -> CostModel {
+        CostModel::bgp()
+    }
+
+    #[test]
+    fn sequential_baseline_is_pure_compute() {
+        let j = job(1, Approach::FlatOptimized, 1);
+        let r = sequential_baseline(&j, &model());
+        assert_eq!(r.messages, 0);
+        assert_eq!(r.bytes_per_node, 0);
+        let expect = model().compute_time(16 * 48 * 48 * 48, 16 * 48 * 48, 16);
+        assert_eq!(r.makespan, expect);
+    }
+
+    #[test]
+    fn all_approaches_complete_and_send_messages() {
+        for approach in Approach::GRAPHED {
+            let j = job(32, approach, 4);
+            let r = run_timed(&j, &model(), ScopeSel::Full);
+            assert!(r.messages > 0, "{approach:?} sent nothing");
+            assert!(r.makespan.as_ps() > 0);
+        }
+    }
+
+    #[test]
+    fn flat_static_runs_on_timed_plane() {
+        let j = job(32, Approach::FlatStatic, 4);
+        let r = run_timed(&j, &model(), ScopeSel::Full);
+        assert!(r.messages > 0);
+    }
+
+    #[test]
+    fn parallel_beats_sequential() {
+        let seq = run_timed(&job(1, Approach::FlatOptimized, 4), &model(), ScopeSel::Full);
+        let par = run_timed(&job(32, Approach::FlatOptimized, 4), &model(), ScopeSel::Full);
+        let speedup = par.speedup_vs(&seq);
+        assert!(
+            speedup > 4.0,
+            "32 cores should beat 1 core clearly, got {speedup}"
+        );
+    }
+
+    #[test]
+    fn flat_optimized_beats_flat_original() {
+        let seq = run_timed(&job(1, Approach::FlatOriginal, 1), &model(), ScopeSel::Full);
+        let orig = run_timed(&job(64, Approach::FlatOriginal, 1), &model(), ScopeSel::Full);
+        let opt = run_timed(&job(64, Approach::FlatOptimized, 8), &model(), ScopeSel::Full);
+        assert!(
+            opt.makespan < orig.makespan,
+            "optimized {} vs original {}",
+            opt.makespan,
+            orig.makespan
+        );
+        let _ = seq;
+    }
+
+    #[test]
+    fn batching_reduces_messages() {
+        let unbatched = run_timed(&job(32, Approach::FlatOptimized, 1), &model(), ScopeSel::Full);
+        let batched = run_timed(&job(32, Approach::FlatOptimized, 8), &model(), ScopeSel::Full);
+        assert!(batched.messages < unbatched.messages);
+        // Payload bytes are identical — batching only concatenates.
+        assert_eq!(batched.bytes_per_node, unbatched.bytes_per_node);
+    }
+
+    #[test]
+    fn hybrid_communicates_less_per_node_than_flat() {
+        let flat = run_timed(&job(64, Approach::FlatOptimized, 4), &model(), ScopeSel::Full);
+        let hyb = run_timed(&job(64, Approach::HybridMultiple, 4), &model(), ScopeSel::Full);
+        assert!(
+            hyb.bytes_per_node < flat.bytes_per_node,
+            "hybrid {} vs flat {}",
+            hyb.bytes_per_node,
+            flat.bytes_per_node
+        );
+    }
+
+    #[test]
+    fn cell_scope_matches_full_scope_on_torus() {
+        // 512 nodes; keep the job small so the full run stays fast.
+        let mut j = job(2048, Approach::HybridMultiple, 4);
+        j.grid_ext = [64, 64, 64];
+        j.n_grids = 8;
+        let full = run_timed(&j, &model(), ScopeSel::Full);
+        let cell = run_timed(&j, &model(), ScopeSel::Cell);
+        assert_eq!(full.makespan, cell.makespan);
+        assert_eq!(full.bytes_per_node, cell.bytes_per_node);
+    }
+
+    #[test]
+    fn cell_scope_matches_full_scope_virtual_mode() {
+        let mut j = job(2048, Approach::FlatOptimized, 4);
+        j.grid_ext = [64, 64, 64];
+        j.n_grids = 8;
+        let full = run_timed(&j, &model(), ScopeSel::Full);
+        let cell = run_timed(&j, &model(), ScopeSel::Cell);
+        assert_eq!(full.makespan, cell.makespan);
+    }
+
+    #[test]
+    fn master_only_pays_per_grid_barriers() {
+        // The synchronization penalty is proportional to the number of
+        // grids (§VI) regardless of batching: raising the barrier cost by
+        // Δ lengthens a master-only run by ≈ 2·grids·Δ (two barriers per
+        // grid on the critical path), but a hybrid-multiple run by only
+        // ≈ Δ (one barrier per sweep).
+        let base = model();
+        let mut pricey = model();
+        pricey.t_barrier = base.t_barrier + gpaw_des::SimDuration::from_us(50);
+        let j = job(32, Approach::HybridMasterOnly, 8); // 16 grids
+        let d_mo = run_timed(&j, &pricey, ScopeSel::Full)
+            .makespan
+            .saturating_sub(run_timed(&j, &base, ScopeSel::Full).makespan);
+        let expect = gpaw_des::SimDuration::from_us(50) * (2 * 16);
+        let lo = expect.as_ps() as f64 * 0.8;
+        let hi = expect.as_ps() as f64 * 1.3;
+        assert!(
+            (lo..hi).contains(&(d_mo.as_ps() as f64)),
+            "per-grid barrier delta {d_mo} (expected ≈ {expect})"
+        );
+        let h = job(32, Approach::HybridMultiple, 8);
+        let d_hyb = run_timed(&h, &pricey, ScopeSel::Full)
+            .makespan
+            .saturating_sub(run_timed(&h, &base, ScopeSel::Full).makespan);
+        assert!(
+            d_hyb.as_ps() < expect.as_ps() / 8,
+            "hybrid multiple pays a constant penalty, got {d_hyb}"
+        );
+    }
+    #[test]
+    fn zero_bc_sends_fewer_messages_than_periodic() {
+        let mut j = job(32, Approach::FlatOptimized, 4);
+        j.config.bc = BoundaryCond::Zero;
+        let zero = run_timed(&j, &model(), ScopeSel::Full);
+        let per = run_timed(&job(32, Approach::FlatOptimized, 4), &model(), ScopeSel::Full);
+        assert!(zero.messages < per.messages);
+    }
+
+    #[test]
+    fn sweeps_scale_time_roughly_linearly() {
+        let mut j = job(32, Approach::HybridMultiple, 4);
+        let one = run_timed(&j, &model(), ScopeSel::Full);
+        j.config = j.config.with_sweeps(3);
+        let three = run_timed(&j, &model(), ScopeSel::Full);
+        let ratio = three.seconds() / one.seconds();
+        assert!(
+            (2.5..3.5).contains(&ratio),
+            "3 sweeps should cost ≈ 3×, got {ratio}"
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! SplitMix64: a tiny, fast, deterministic RNG.
+//!
+//! The simulator uses randomness only for optional jitter and for workload
+//! generators in tests; determinism matters far more than statistical
+//! quality, so a 64-bit SplitMix (Steele et al., "Fast splittable
+//! pseudorandom number generators", OOPSLA 2014) is plenty and keeps this
+//! crate dependency-free.
+
+/// SplitMix64 generator state.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed. Identical seeds yield identical
+    /// streams on every platform.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high bits → uniform double in [0,1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`. Returns 0 when `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // Multiply-shift bounded sampling (Lemire); bias is negligible for
+        // simulation jitter purposes.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Split off an independent generator (for per-actor streams).
+    pub fn split(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bounded_values_in_range() {
+        let mut r = SplitMix64::new(9);
+        for _ in 0..1000 {
+            assert!(r.next_below(17) < 17);
+        }
+        assert_eq!(r.next_below(0), 0);
+    }
+
+    #[test]
+    fn split_streams_are_independent_and_deterministic() {
+        let mut root1 = SplitMix64::new(5);
+        let mut root2 = SplitMix64::new(5);
+        let mut c1 = root1.split();
+        let mut c2 = root2.split();
+        for _ in 0..10 {
+            assert_eq!(c1.next_u64(), c2.next_u64());
+        }
+        // Child stream differs from parent stream.
+        let mut parent = SplitMix64::new(5);
+        parent.next_u64(); // consume the split draw
+        assert_ne!(parent.next_u64(), SplitMix64::new(5).split().next_u64());
+    }
+
+    #[test]
+    fn roughly_uniform_mean() {
+        let mut r = SplitMix64::new(1234);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} too far from 0.5");
+    }
+}

@@ -1,0 +1,268 @@
+//! Simulated time as integer picoseconds.
+//!
+//! Picosecond resolution keeps every quantity the Blue Gene/P model needs —
+//! 850 MHz clock cycles (1176 ps), per-byte link serialization at 425 MB/s
+//! (2353 ps/byte), sub-microsecond hop latencies — exactly representable as
+//! integers, while `u64` still covers simulations of up to ~213 days.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Picoseconds per nanosecond.
+pub const PS_PER_NS: u64 = 1_000;
+/// Picoseconds per microsecond.
+pub const PS_PER_US: u64 = 1_000_000;
+/// Picoseconds per millisecond.
+pub const PS_PER_MS: u64 = 1_000_000_000;
+/// Picoseconds per second.
+pub const PS_PER_SEC: u64 = 1_000_000_000_000;
+
+/// An absolute instant on the simulated clock, in picoseconds since the
+/// start of the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in picoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Largest representable instant; used as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Instant `secs` seconds after the epoch.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimTime(duration_from_secs(secs))
+    }
+
+    /// Seconds since the epoch as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_SEC as f64
+    }
+
+    /// Duration since an earlier instant. Panics in debug builds if
+    /// `earlier` is actually later.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        debug_assert!(self >= earlier, "SimTime::since: earlier > self");
+        SimDuration(self.0 - earlier.0)
+    }
+
+    /// Saturating version of [`SimTime::since`].
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Duration of `n` picoseconds.
+    pub const fn from_ps(n: u64) -> Self {
+        SimDuration(n)
+    }
+
+    /// Duration of `n` nanoseconds.
+    pub const fn from_ns(n: u64) -> Self {
+        SimDuration(n * PS_PER_NS)
+    }
+
+    /// Duration of `n` microseconds.
+    pub const fn from_us(n: u64) -> Self {
+        SimDuration(n * PS_PER_US)
+    }
+
+    /// Duration of `n` milliseconds.
+    pub const fn from_ms(n: u64) -> Self {
+        SimDuration(n * PS_PER_MS)
+    }
+
+    /// Duration of `n` whole seconds.
+    pub const fn from_secs(n: u64) -> Self {
+        SimDuration(n * PS_PER_SEC)
+    }
+
+    /// Duration from a float second count, rounding to the nearest
+    /// picosecond. Negative and non-finite inputs clamp to zero.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimDuration(duration_from_secs(secs))
+    }
+
+    /// The duration in seconds, as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_SEC as f64
+    }
+
+    /// The duration in whole picoseconds.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// True when the duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Multiply by an integer count (e.g. bytes × per-byte time).
+    pub fn saturating_mul(self, n: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(n))
+    }
+}
+
+fn duration_from_secs(secs: f64) -> u64 {
+    if secs.is_nan() || secs <= 0.0 {
+        return 0;
+    }
+    let ps = secs * PS_PER_SEC as f64;
+    if ps >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        ps.round() as u64
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        debug_assert!(self.0 >= rhs.0, "SimDuration subtraction underflow");
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        self.saturating_mul(rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", SimDuration(self.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    /// Human scale: picks the largest unit that keeps the value ≥ 1.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps >= PS_PER_SEC {
+            write!(f, "{:.3}s", ps as f64 / PS_PER_SEC as f64)
+        } else if ps >= PS_PER_MS {
+            write!(f, "{:.3}ms", ps as f64 / PS_PER_MS as f64)
+        } else if ps >= PS_PER_US {
+            write!(f, "{:.3}us", ps as f64 / PS_PER_US as f64)
+        } else if ps >= PS_PER_NS {
+            write!(f, "{:.3}ns", ps as f64 / PS_PER_NS as f64)
+        } else {
+            write!(f, "{ps}ps")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let d = SimDuration::from_us(3);
+        assert_eq!(d.as_ps(), 3 * PS_PER_US);
+        assert!((d.as_secs_f64() - 3e-6).abs() < 1e-18);
+        let t = SimTime::from_secs_f64(1.5);
+        assert_eq!(t.0, 1_500_000_000_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_ns(5);
+        let u = t + SimDuration::from_ns(7);
+        assert_eq!(u.since(t), SimDuration::from_ns(7));
+        assert_eq!(SimDuration::from_ns(2) * 3, SimDuration::from_ns(6));
+        assert_eq!(SimDuration::from_ns(6) / 2, SimDuration::from_ns(3));
+    }
+
+    #[test]
+    fn negative_and_nan_secs_clamp_to_zero() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY).0, u64::MAX);
+    }
+
+    #[test]
+    fn saturating_behaviour() {
+        let nearly = SimTime(u64::MAX - 1);
+        assert_eq!(nearly + SimDuration::from_secs(10), SimTime::MAX);
+        assert_eq!(
+            SimTime::ZERO.saturating_since(SimTime(5)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(SimDuration::from_ps(5).to_string(), "5ps");
+        assert_eq!(SimDuration::from_ns(1500).to_string(), "1.500us");
+        assert_eq!(SimDuration::from_secs(2).to_string(), "2.000s");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime(1) < SimTime(2));
+        assert!(SimDuration::from_ns(1) < SimDuration::from_us(1));
+    }
+}

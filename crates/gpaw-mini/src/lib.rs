@@ -1,0 +1,32 @@
+//! # gpaw-mini — miniature GPAW workloads
+//!
+//! The paper benchmarks GPAW's finite-difference kernel in isolation, but
+//! motivates it with the surrounding density-functional-theory machinery:
+//! the Poisson equation on the electrostatic potential, the Kohn–Sham
+//! equation applying a kinetic operator to thousands of wave functions, and
+//! steps like wave-function orthogonalization that force every process to
+//! own the *same subset of every grid*. This crate implements runnable
+//! miniatures of those workloads on top of `gpaw-grid`/`gpaw-fd`:
+//!
+//! * [`poisson`] — a Richardson/weighted-Jacobi solver for `∇²φ = ρ` using
+//!   the order-4 13-point Laplacian;
+//! * [`multigrid`] — the geometric multigrid V-cycle solver real GPAW
+//!   uses for the Poisson equation, built on the 2:1 transfer operators;
+//! * [`kinetic`] — the kinetic-energy operator `T = −½∇²` over wave-function
+//!   sets, with per-state kinetic energies;
+//! * [`ortho`] — Gram–Schmidt orthogonalization built on grid dot products,
+//!   including the decomposed-dot identity that justifies GPAW's
+//!   same-subset decomposition rule;
+//! * [`scf`] — a toy self-consistent-field loop chaining all of the above
+//!   (density → potential → Hamiltonian application → energies).
+
+pub mod kinetic;
+pub mod multigrid;
+pub mod ortho;
+pub mod poisson;
+pub mod scf;
+
+pub use kinetic::{apply_kinetic, kinetic_energies};
+pub use multigrid::{MgStats, Multigrid};
+pub use poisson::{PoissonSolver, PoissonStats};
+pub use scf::{ScfReport, ToyScf};

@@ -1,0 +1,342 @@
+//! A geometric multigrid Poisson solver.
+//!
+//! Real GPAW solves `∇²φ = ρ` with multigrid on exactly the real-space
+//! grids the paper distributes; this is that solver, stacked on the
+//! workspace's stencil and the 2:1 transfer operators of
+//! [`gpaw_grid::transfer`]. Standard V-cycles:
+//!
+//! 1. pre-smooth with damped Richardson sweeps;
+//! 2. restrict the residual to the coarse grid (full weighting);
+//! 3. recurse (or smooth hard on the coarsest level);
+//! 4. prolong the coarse correction back (trilinear) and add;
+//! 5. post-smooth.
+//!
+//! The damped-Richardson smoother matches [`crate::poisson`]'s iteration,
+//! so the two solvers agree on the discrete solution; the V-cycle just
+//! gets there in far fewer fine-grid sweeps (tested below).
+//!
+//! Convergence notes: with periodic boundaries (the paper's benchmark
+//! condition) the 2:1 vertex-centered hierarchy is exactly aligned and
+//! V-cycles contract the residual by ≈3× per cycle. With zero (Dirichlet)
+//! boundaries the even-extent vertex grids leave the coarse wall half a
+//! fine cell off the fine wall, which degrades — but does not break —
+//! convergence; the solver still reaches tolerance in tens of cycles.
+
+use gpaw_grid::grid3::Grid3;
+use gpaw_grid::stencil::{apply_sequential, BoundaryCond, StencilCoeffs};
+use gpaw_grid::transfer::{can_coarsen, coarse_ext, prolong_add, restrict};
+
+/// One level of the multigrid hierarchy.
+struct Level {
+    coef: StencilCoeffs,
+    tau: f64,
+    /// Scratch: the operator output / residual on this level.
+    work: Grid3<f64>,
+}
+
+/// Result of a multigrid solve.
+#[derive(Debug, Clone, Copy)]
+pub struct MgStats {
+    /// V-cycles performed.
+    pub cycles: usize,
+    /// Final residual max-norm.
+    pub residual: f64,
+    /// Initial residual max-norm.
+    pub initial_residual: f64,
+}
+
+impl MgStats {
+    /// True when the final residual met `tol`.
+    pub fn converged(&self, tol: f64) -> bool {
+        self.residual <= tol
+    }
+}
+
+/// Geometric multigrid for `∇²φ = ρ`.
+pub struct Multigrid {
+    levels: Vec<Level>,
+    exts: Vec<[usize; 3]>,
+    bc: BoundaryCond,
+    /// Pre- and post-smoothing sweeps per level.
+    pub smooth_sweeps: usize,
+    /// Richardson sweeps on the coarsest level.
+    pub coarse_sweeps: usize,
+    /// Maximum V-cycles in [`Multigrid::solve`].
+    pub max_cycles: usize,
+    /// Residual tolerance (max-norm).
+    pub tol: f64,
+}
+
+impl Multigrid {
+    /// Build a hierarchy for extents `n` and spacings `h`, coarsening 2:1
+    /// while the extents stay even and ≥ 8 (so the coarsest level keeps at
+    /// least 4 points per axis).
+    pub fn new(n: [usize; 3], h: [f64; 3], bc: BoundaryCond) -> Multigrid {
+        let mut levels = Vec::new();
+        let mut exts = Vec::new();
+        let mut ext = n;
+        let mut spacing = h;
+        loop {
+            let lambda_max: f64 = spacing.iter().map(|&hi| (16.0 / 3.0) / (hi * hi)).sum();
+            levels.push(Level {
+                coef: StencilCoeffs::laplacian(spacing),
+                tau: 1.0 / lambda_max,
+                work: Grid3::zeros(ext, 2),
+            });
+            exts.push(ext);
+            if !can_coarsen(ext) || levels.len() >= 8 {
+                break;
+            }
+            ext = coarse_ext(ext);
+            spacing = [spacing[0] * 2.0, spacing[1] * 2.0, spacing[2] * 2.0];
+        }
+        Multigrid {
+            levels,
+            exts,
+            bc,
+            smooth_sweeps: 3,
+            coarse_sweeps: 100,
+            max_cycles: 200,
+            tol: 1e-8,
+        }
+    }
+
+    /// Number of levels in the hierarchy.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Damped Richardson sweeps: `φ += τ(∇²φ − ρ)`, `sweeps` times.
+    fn smooth(level: &mut Level, bc: BoundaryCond, phi: &mut Grid3<f64>, rho: &Grid3<f64>, sweeps: usize) {
+        for _ in 0..sweeps {
+            apply_sequential(&level.coef, phi, &mut level.work, bc);
+            let tau = level.tau;
+            let n = phi.n();
+            for i in 0..n[0] as isize {
+                for j in 0..n[1] as isize {
+                    for k in 0..n[2] as isize {
+                        let r = level.work.get(i, j, k) - rho.get(i, j, k);
+                        let v = phi.get(i, j, k) + tau * r;
+                        phi.set(i, j, k, v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Compute the residual `r = ρ − ∇²φ` into `level.work` and return its
+    /// max-norm. With this sign the coarse error equation is `∇²e = r` and
+    /// the prolonged correction is *added* to `φ`.
+    fn residual(level: &mut Level, bc: BoundaryCond, phi: &mut Grid3<f64>, rho: &Grid3<f64>) -> f64 {
+        apply_sequential(&level.coef, phi, &mut level.work, bc);
+        let n = phi.n();
+        let mut rmax = 0.0f64;
+        for i in 0..n[0] as isize {
+            for j in 0..n[1] as isize {
+                for k in 0..n[2] as isize {
+                    // Store ρ − ∇²φ so the coarse problem is ∇²e = r and
+                    // the prolonged e is *added* to φ.
+                    let r = rho.get(i, j, k) - level.work.get(i, j, k);
+                    level.work.set(i, j, k, r);
+                    rmax = rmax.max(r.abs());
+                }
+            }
+        }
+        rmax
+    }
+
+    /// One V-cycle on level `l`, improving `phi` toward `∇²φ = ρ`.
+    fn vcycle(&mut self, l: usize, phi: &mut Grid3<f64>, rho: &Grid3<f64>) {
+        if l + 1 == self.levels.len() {
+            let sweeps = self.coarse_sweeps;
+            Self::smooth(&mut self.levels[l], self.bc, phi, rho, sweeps);
+            return;
+        }
+        let sweeps = self.smooth_sweeps;
+        Self::smooth(&mut self.levels[l], self.bc, phi, rho, sweeps);
+        // Coarse right-hand side: restrict the residual.
+        self.residual_into_work(l, phi, rho);
+        let mut coarse_rho = restrict(&mut self.levels[l].work, self.bc);
+        if self.bc == BoundaryCond::Periodic {
+            // Project out the constant mode so the coarse problem stays
+            // solvable.
+            let mean: f64 = coarse_rho.iter_interior().map(|(_, v)| v).sum::<f64>()
+                / coarse_rho.interior_points() as f64;
+            for v in coarse_rho.data_mut() {
+                *v -= mean;
+            }
+        }
+        let mut e = Grid3::zeros(self.exts[l + 1], 2);
+        self.vcycle(l + 1, &mut e, &coarse_rho);
+        prolong_add(&mut e, phi, self.bc);
+        Self::smooth(&mut self.levels[l], self.bc, phi, rho, sweeps);
+    }
+
+    fn residual_into_work(&mut self, l: usize, phi: &mut Grid3<f64>, rho: &Grid3<f64>) {
+        Self::residual(&mut self.levels[l], self.bc, phi, rho);
+    }
+
+    /// Solve `∇²φ = ρ` with V-cycles, starting from the current `phi`.
+    pub fn solve(&mut self, rho: &Grid3<f64>, phi: &mut Grid3<f64>) -> MgStats {
+        assert_eq!(rho.n(), self.exts[0]);
+        assert_eq!(phi.n(), self.exts[0]);
+        let initial_residual = Self::residual(&mut self.levels[0], self.bc, phi, rho);
+        let mut residual = initial_residual;
+        let mut cycles = 0;
+        while residual > self.tol && cycles < self.max_cycles {
+            self.vcycle(0, phi, rho);
+            if self.bc == BoundaryCond::Periodic {
+                // Fix the gauge: zero-mean potential.
+                let mean: f64 = phi.iter_interior().map(|(_, v)| v).sum::<f64>()
+                    / phi.interior_points() as f64;
+                for v in phi.data_mut() {
+                    *v -= mean;
+                }
+            }
+            residual = Self::residual(&mut self.levels[0], self.bc, phi, rho);
+            cycles += 1;
+        }
+        MgStats {
+            cycles,
+            residual,
+            initial_residual,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poisson::PoissonSolver;
+    use gpaw_grid::norms;
+
+    fn manufactured_zero(n: [usize; 3], h: [f64; 3]) -> (Grid3<f64>, Grid3<f64>) {
+        // φ* smooth; ρ = ∇²_h φ* from the discrete operator itself.
+        let mut phi_star: Grid3<f64> = Grid3::from_fn(n, 2, |i, j, k| {
+            let s = |x: usize, ext: usize| {
+                (std::f64::consts::PI * (x + 1) as f64 / (ext + 1) as f64).sin()
+            };
+            s(i, n[0]) * s(j, n[1]) * s(k, n[2])
+        });
+        let coef = StencilCoeffs::laplacian(h);
+        let mut rho = Grid3::zeros(n, 2);
+        apply_sequential(&coef, &mut phi_star, &mut rho, BoundaryCond::Zero);
+        (phi_star, rho)
+    }
+
+    fn periodic_rho(n: [usize; 3]) -> Grid3<f64> {
+        let mut rho: Grid3<f64> = Grid3::from_fn(n, 2, |i, j, _| {
+            let s = |x: usize| (std::f64::consts::TAU * x as f64 / n[0] as f64).sin();
+            s(i) * s(j + 2) + 0.3 * s(j)
+        });
+        let mean: f64 =
+            rho.iter_interior().map(|(_, v)| v).sum::<f64>() / rho.interior_points() as f64;
+        for v in rho.data_mut() {
+            *v -= mean;
+        }
+        rho
+    }
+
+    #[test]
+    fn hierarchy_depth() {
+        let mg = Multigrid::new([32, 32, 32], [0.2; 3], BoundaryCond::Zero);
+        // 32 → 16 → 8 → 4: four levels (4 is too small to coarsen again).
+        assert_eq!(mg.depth(), 4);
+        let shallow = Multigrid::new([10, 10, 10], [0.2; 3], BoundaryCond::Zero);
+        // 10 → 5: two levels (5 is odd).
+        assert_eq!(shallow.depth(), 2);
+    }
+
+    #[test]
+    fn recovers_manufactured_solution_zero_bc() {
+        let n = [16, 16, 16];
+        let h = [0.25; 3];
+        let (phi_star, rho) = manufactured_zero(n, h);
+        let mut mg = Multigrid::new(n, h, BoundaryCond::Zero);
+        mg.tol = 1e-8;
+        let mut phi = Grid3::zeros(n, 2);
+        let stats = mg.solve(&rho, &mut phi);
+        assert!(stats.converged(1e-8), "residual {}", stats.residual);
+        let err = norms::max_abs_diff(&phi, &phi_star);
+        assert!(err < 1e-6, "solution error {err}");
+    }
+
+    #[test]
+    fn periodic_vcycle_contracts_fast() {
+        let n = [16, 16, 16];
+        let h = [0.25; 3];
+        let rho = periodic_rho(n);
+        let mut mg = Multigrid::new(n, h, BoundaryCond::Periodic);
+        mg.max_cycles = 1;
+        mg.tol = 0.0;
+        let mut phi = Grid3::zeros(n, 2);
+        // First cycle includes the transient; measure the steady rate over
+        // cycles 2..4.
+        mg.solve(&rho, &mut phi);
+        let s2 = mg.solve(&rho, &mut phi);
+        let s3 = mg.solve(&rho, &mut phi);
+        let rate = (s3.residual / s2.initial_residual).sqrt();
+        assert!(
+            rate < 0.5,
+            "periodic V-cycles should contract ≥2x per cycle, got {rate}"
+        );
+    }
+
+    #[test]
+    fn beats_single_level_by_a_wide_margin() {
+        // Same tolerance, count fine-grid stencil sweeps: multigrid needs
+        // far fewer than plain Richardson.
+        let n = [16, 16, 16];
+        let h = [0.25; 3];
+        let rho = periodic_rho(n);
+        let tol = 1e-6;
+
+        let mut mg = Multigrid::new(n, h, BoundaryCond::Periodic);
+        mg.tol = tol;
+        let mut phi_mg = Grid3::zeros(n, 2);
+        let s_mg = mg.solve(&rho, &mut phi_mg);
+        assert!(s_mg.converged(tol), "mg stalled at {}", s_mg.residual);
+        // Fine-level work ≈ cycles × (pre + post + residual) sweeps.
+        let mg_fine_sweeps = s_mg.cycles * (2 * mg.smooth_sweeps + 1);
+
+        let single = PoissonSolver::new(h, BoundaryCond::Periodic)
+            .with_tol(tol)
+            .with_max_iters(200_000);
+        let mut phi_1 = Grid3::zeros(n, 2);
+        let s_1 = single.solve(&rho, &mut phi_1);
+        assert!(s_1.converged(tol));
+
+        assert!(
+            s_1.iterations > 5 * mg_fine_sweeps,
+            "multigrid must dominate: {} Richardson iters vs ~{} MG fine sweeps",
+            s_1.iterations,
+            mg_fine_sweeps
+        );
+        // And both agree on the (gauge-fixed) discrete solution.
+        let mean: f64 = phi_1.iter_interior().map(|(_, v)| v).sum::<f64>()
+            / phi_1.interior_points() as f64;
+        for v in phi_1.data_mut() {
+            *v -= mean;
+        }
+        let err = norms::max_abs_diff(&phi_mg, &phi_1);
+        assert!(err < 1e-4, "solvers disagree by {err}");
+    }
+
+    #[test]
+    fn periodic_multigrid_converges() {
+        let n = [16, 16, 16];
+        let h = [0.3; 3];
+        let rho = periodic_rho(n);
+        let mut mg = Multigrid::new(n, h, BoundaryCond::Periodic);
+        mg.tol = 1e-8;
+        let mut phi = Grid3::zeros(n, 2);
+        let stats = mg.solve(&rho, &mut phi);
+        assert!(
+            stats.converged(1e-7),
+            "periodic V-cycles stalled at {} after {} cycles",
+            stats.residual,
+            stats.cycles
+        );
+        assert!(stats.cycles < 50, "took {} cycles", stats.cycles);
+    }
+}

@@ -1,0 +1,163 @@
+//! Wave-function orthogonalization and the same-subset rule.
+//!
+//! The paper (§IV) stresses that "some part of the GPAW computation, like
+//! the orthogonalization of wave-functions, requires the same subset of
+//! every real-space grid": an inner product `⟨ψ_a|ψ_b⟩` decomposes into a
+//! sum of *per-subdomain* partial dots only when both wave functions are
+//! split identically, after which a single allreduce finishes the job.
+//! This module implements classical Gram–Schmidt on grid sets, plus the
+//! decomposed-dot identity that the integration tests use to demonstrate
+//! why `FlatStatic`-style per-core grid groups cannot work in real GPAW.
+
+use gpaw_grid::decomp::Decomposition;
+use gpaw_grid::grid3::Grid3;
+use gpaw_grid::gridset::GridSet;
+use gpaw_grid::norms;
+use gpaw_grid::scalar::Scalar;
+
+/// Inner product `⟨a|b⟩ · dV` over whole grids.
+pub fn dot<T: Scalar>(a: &Grid3<T>, b: &Grid3<T>, dv: f64) -> f64 {
+    norms::dot_re(a, b) * dv
+}
+
+/// The distributed form of [`dot`]: partial dots per subdomain, then the
+/// "allreduce" (here: a plain sum). Exactly equal to the global dot —
+/// *provided* both operands use the same decomposition.
+pub fn dot_decomposed<T: Scalar>(
+    a: &Grid3<T>,
+    b: &Grid3<T>,
+    decomp: &Decomposition,
+    dv: f64,
+) -> f64 {
+    assert_eq!(a.n(), decomp.grid_ext);
+    let mut partials = Vec::with_capacity(decomp.ranks());
+    for (_, sub) in decomp.iter() {
+        let mut acc = 0.0;
+        for i in sub.start[0]..sub.end()[0] {
+            for j in sub.start[1]..sub.end()[1] {
+                for k in sub.start[2]..sub.end()[2] {
+                    acc += a
+                        .get(i as isize, j as isize, k as isize)
+                        .dot_re(b.get(i as isize, j as isize, k as isize));
+                }
+            }
+        }
+        partials.push(acc);
+    }
+    partials.iter().sum::<f64>() * dv
+}
+
+/// Classical Gram–Schmidt over a wave-function set (in place). Returns the
+/// norms each state had before normalization. States that vanish after
+/// projection are left as zero (their returned norm is 0).
+pub fn gram_schmidt<T: Scalar>(psi: &mut GridSet<T>, dv: f64) -> Vec<f64> {
+    let n = psi.len();
+    let mut norms_out = Vec::with_capacity(n);
+    for a in 0..n {
+        // Project out the already-orthonormal states.
+        for b in 0..a {
+            let c = {
+                let (gb, ga) = two_grids(psi, b, a);
+                dot(ga, gb, dv)
+            };
+            let (gb, ga) = two_grids(psi, b, a);
+            let gb = gb.clone();
+            norms::axpy(-c, &gb, ga);
+        }
+        let norm = dot(psi.grid(a), psi.grid(a), dv).sqrt();
+        norms_out.push(norm);
+        if norm > 1e-14 {
+            scale_grid(psi.grid_mut(a), 1.0 / norm);
+        }
+    }
+    norms_out
+}
+
+/// Largest off-diagonal `|⟨ψ_a|ψ_b⟩|` and worst diagonal deviation from 1 —
+/// the orthonormality check.
+pub fn orthonormality_error<T: Scalar>(psi: &GridSet<T>, dv: f64) -> f64 {
+    let n = psi.len();
+    let mut worst = 0.0f64;
+    for a in 0..n {
+        for b in 0..=a {
+            let d = dot(psi.grid(a), psi.grid(b), dv);
+            let target = if a == b { 1.0 } else { 0.0 };
+            worst = worst.max((d - target).abs());
+        }
+    }
+    worst
+}
+
+fn scale_grid<T: Scalar>(g: &mut Grid3<T>, s: f64) {
+    for v in g.data_mut() {
+        *v = v.scale(s);
+    }
+}
+
+/// Borrow two distinct grids of a set mutably/immutably (`b < a`).
+fn two_grids<T: Scalar>(psi: &mut GridSet<T>, b: usize, a: usize) -> (&Grid3<T>, &mut Grid3<T>) {
+    assert!(b < a);
+    let grids = psi.grids_mut();
+    let (lo, hi) = grids.split_at_mut(a);
+    (&lo[b], &mut hi[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dv() -> f64 {
+        0.25 * 0.25 * 0.25
+    }
+
+    fn random_set(count: usize) -> GridSet<f64> {
+        GridSet::from_fn(count, [10, 10, 10], 2, |g, i, j, k| {
+            // Deterministic pseudo-random-ish values, linearly independent.
+            (((g * 37 + i * 13 + j * 7 + k * 3) % 17) as f64 - 8.0)
+                + if i == g && j == 0 && k == 0 { 50.0 } else { 0.0 }
+        })
+    }
+
+    #[test]
+    fn gram_schmidt_orthonormalizes() {
+        let mut psi = random_set(5);
+        gram_schmidt(&mut psi, dv());
+        let err = orthonormality_error(&psi, dv());
+        assert!(err < 1e-10, "orthonormality error {err}");
+    }
+
+    #[test]
+    fn norms_are_positive_for_independent_states() {
+        let mut psi = random_set(4);
+        let norms = gram_schmidt(&mut psi, dv());
+        assert!(norms.iter().all(|&n| n > 0.0));
+    }
+
+    #[test]
+    fn dependent_state_collapses_to_zero() {
+        let mut psi = random_set(2);
+        // Make state 1 a copy of state 0.
+        let g0 = psi.grid(0).clone();
+        *psi.grid_mut(1) = g0;
+        let norms = gram_schmidt(&mut psi, dv());
+        assert!(norms[0] > 0.0);
+        assert!(norms[1] < 1e-10, "duplicate state must vanish: {}", norms[1]);
+    }
+
+    /// The same-subset identity: partial dots over any decomposition sum to
+    /// the global dot. This is the algebra that forces GPAW's "every MPI
+    /// process gets the same subset of every grid".
+    #[test]
+    fn decomposed_dot_equals_global_dot() {
+        let psi = random_set(2);
+        let global = dot(psi.grid(0), psi.grid(1), dv());
+        for dims in [[1, 1, 1], [2, 1, 1], [2, 2, 2], [5, 2, 1]] {
+            let d = Decomposition::new([10, 10, 10], dims);
+            let decomposed = dot_decomposed(psi.grid(0), psi.grid(1), &d, dv());
+            assert!(
+                (global - decomposed).abs() < 1e-9,
+                "decomposition {dims:?}: {decomposed} vs {global}"
+            );
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Deterministic synthetic wave functions.
+//!
+//! The paper's workloads are "thousands of wave functions" — smooth,
+//! band-limited fields. These generators produce reproducible stand-ins:
+//! superpositions of a few plane waves and Gaussians, seeded per grid, so a
+//! distributed run can regenerate exactly the subdomain it owns without any
+//! global data movement.
+
+use crate::decomp::Subdomain;
+use crate::grid3::Grid3;
+use crate::scalar::{Scalar, C64};
+use std::f64::consts::TAU;
+
+/// Parameters of one synthetic wave function.
+#[derive(Debug, Clone, Copy)]
+pub struct WaveSpec {
+    /// Wave numbers (periods per box) along each axis.
+    pub k: [i32; 3],
+    /// Phase offset.
+    pub phase: f64,
+    /// Amplitude.
+    pub amp: f64,
+}
+
+impl WaveSpec {
+    /// Deterministic spec for grid number `g` under `seed`.
+    pub fn for_grid(seed: u64, g: usize) -> WaveSpec {
+        // SplitMix-style mixing, inlined to keep this crate dependency-free.
+        let mut s = seed ^ (g as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut next = move || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let k = [
+            (next() % 5) as i32 + 1,
+            (next() % 5) as i32 + 1,
+            (next() % 5) as i32 + 1,
+        ];
+        let phase = (next() % 1000) as f64 / 1000.0 * TAU;
+        let amp = 0.5 + (next() % 1000) as f64 / 1000.0;
+        WaveSpec { k, phase, amp }
+    }
+
+    /// Evaluate at global fractional coordinates `u ∈ [0,1)³` (real part).
+    pub fn eval(&self, u: [f64; 3]) -> f64 {
+        let arg = TAU
+            * (self.k[0] as f64 * u[0] + self.k[1] as f64 * u[1] + self.k[2] as f64 * u[2])
+            + self.phase;
+        self.amp * arg.sin()
+    }
+
+    /// Evaluate as a complex Bloch-like value.
+    pub fn eval_c(&self, u: [f64; 3]) -> C64 {
+        let arg = TAU
+            * (self.k[0] as f64 * u[0] + self.k[1] as f64 * u[1] + self.k[2] as f64 * u[2])
+            + self.phase;
+        C64::new(self.amp * arg.cos(), self.amp * arg.sin())
+    }
+}
+
+/// Fill the *local* subgrid (owned box `sub` of a `global` grid) of wave
+/// function `g` — every rank regenerates exactly its slice.
+pub fn fill_local<T: Scalar>(
+    grid: &mut Grid3<T>,
+    sub: &Subdomain,
+    global: [usize; 3],
+    seed: u64,
+    g: usize,
+    eval: impl Fn(&WaveSpec, [f64; 3]) -> T,
+) {
+    assert_eq!(grid.n(), sub.ext, "grid extents must match the subdomain");
+    let spec = WaveSpec::for_grid(seed, g);
+    for i in 0..sub.ext[0] {
+        for j in 0..sub.ext[1] {
+            for k in 0..sub.ext[2] {
+                let u = [
+                    (sub.start[0] + i) as f64 / global[0] as f64,
+                    (sub.start[1] + j) as f64 / global[1] as f64,
+                    (sub.start[2] + k) as f64 / global[2] as f64,
+                ];
+                grid.set(i as isize, j as isize, k as isize, eval(&spec, u));
+            }
+        }
+    }
+}
+
+/// Fill a real local subgrid.
+pub fn fill_local_real(
+    grid: &mut Grid3<f64>,
+    sub: &Subdomain,
+    global: [usize; 3],
+    seed: u64,
+    g: usize,
+) {
+    fill_local(grid, sub, global, seed, g, |s, u| s.eval(u));
+}
+
+/// Fill a complex local subgrid.
+pub fn fill_local_complex(
+    grid: &mut Grid3<C64>,
+    sub: &Subdomain,
+    global: [usize; 3],
+    seed: u64,
+    g: usize,
+) {
+    fill_local(grid, sub, global, seed, g, |s, u| s.eval_c(u));
+}
+
+/// A Gaussian charge blob — the classic Poisson right-hand side.
+pub fn gaussian_rho(global: [usize; 3], center: [f64; 3], width: f64) -> impl Fn(usize, usize, usize) -> f64 {
+    move |i, j, k| {
+        let u = [
+            i as f64 / global[0] as f64,
+            j as f64 / global[1] as f64,
+            k as f64 / global[2] as f64,
+        ];
+        let mut r2 = 0.0;
+        for d in 0..3 {
+            // Minimum-image distance in the unit box.
+            let mut dx = (u[d] - center[d]).abs();
+            if dx > 0.5 {
+                dx = 1.0 - dx;
+            }
+            r2 += dx * dx;
+        }
+        (-r2 / (2.0 * width * width)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomp::Decomposition;
+
+    #[test]
+    fn specs_are_deterministic_and_distinct() {
+        let a = WaveSpec::for_grid(42, 0);
+        let b = WaveSpec::for_grid(42, 0);
+        let c = WaveSpec::for_grid(42, 1);
+        assert_eq!(a.k, b.k);
+        assert_eq!(a.phase, b.phase);
+        assert!(a.k != c.k || a.phase != c.phase);
+    }
+
+    #[test]
+    fn local_fill_matches_global_fill() {
+        // Filling each rank's slice must reproduce the sequential grid.
+        let global = [12, 10, 8];
+        let d = Decomposition::new(global, [2, 2, 2]);
+        let seed = 7;
+        let mut whole: Grid3<f64> = Grid3::zeros(global, 2);
+        let spec = WaveSpec::for_grid(seed, 3);
+        for i in 0..global[0] {
+            for j in 0..global[1] {
+                for k in 0..global[2] {
+                    let u = [
+                        i as f64 / global[0] as f64,
+                        j as f64 / global[1] as f64,
+                        k as f64 / global[2] as f64,
+                    ];
+                    whole.set(i as isize, j as isize, k as isize, spec.eval(u));
+                }
+            }
+        }
+        for (_, sub) in d.iter() {
+            let mut local: Grid3<f64> = Grid3::zeros(sub.ext, 2);
+            fill_local_real(&mut local, &sub, global, seed, 3);
+            for i in 0..sub.ext[0] {
+                for j in 0..sub.ext[1] {
+                    for k in 0..sub.ext[2] {
+                        assert_eq!(
+                            local.get(i as isize, j as isize, k as isize),
+                            whole.get(
+                                (sub.start[0] + i) as isize,
+                                (sub.start[1] + j) as isize,
+                                (sub.start[2] + k) as isize
+                            )
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn complex_fill_has_unit_modulus_ratio() {
+        let spec = WaveSpec::for_grid(1, 0);
+        let v = spec.eval_c([0.3, 0.1, 0.7]);
+        assert!((v.abs() - spec.amp).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_peaks_at_center() {
+        let f = gaussian_rho([16, 16, 16], [0.5, 0.5, 0.5], 0.1);
+        assert!((f(8, 8, 8) - 1.0).abs() < 1e-12);
+        assert!(f(0, 0, 0) < 0.01);
+        // Periodic minimum-image: the far corner equals the near corner.
+        assert!((f(0, 0, 0) - f(15, 15, 15)).abs() < 0.05);
+    }
+}

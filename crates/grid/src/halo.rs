@@ -1,0 +1,314 @@
+//! Halo face packing and unpacking.
+//!
+//! A rank sends its outermost `halo` interior planes per face and receives
+//! the neighbor's into its ghost planes. Because the 13-point operator is a
+//! *star* stencil (axis-aligned only), faces cover interior `j,k` only —
+//! no edge or corner exchange is needed, which is also why the paper can
+//! exchange all three dimensions simultaneously.
+//!
+//! Batching (§V-A): several grids' faces are packed back-to-back into one
+//! buffer so one MPI message carries `batch × face` bytes, lifting message
+//! sizes back into the saturated region of the Fig. 2 bandwidth curve.
+
+use crate::grid3::Grid3;
+use crate::scalar::Scalar;
+
+/// Which side of an axis a face lies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The low-index boundary.
+    Low,
+    /// The high-index boundary.
+    High,
+}
+
+impl Side {
+    /// Both sides.
+    pub const BOTH: [Side; 2] = [Side::Low, Side::High];
+
+    /// The other side.
+    pub fn opposite(self) -> Side {
+        match self {
+            Side::Low => Side::High,
+            Side::High => Side::Low,
+        }
+    }
+}
+
+/// Points in one face of `g` along `axis` (halo-depth planes × the two
+/// other interior extents).
+pub fn face_points<T: Scalar>(g: &Grid3<T>, axis: usize) -> usize {
+    let n = g.n();
+    let h = g.halo();
+    match axis {
+        0 => h * n[1] * n[2],
+        1 => h * n[0] * n[2],
+        2 => h * n[0] * n[1],
+        _ => panic!("axis out of range"),
+    }
+}
+
+/// Append the `halo` interior planes adjacent to the `side` boundary of
+/// `axis` to `buf`, in ascending global order.
+pub fn pack_face<T: Scalar>(g: &Grid3<T>, axis: usize, side: Side, buf: &mut Vec<T>) {
+    let n = g.n();
+    let h = g.halo();
+    let range = |ext: usize| -> (isize, isize) {
+        match side {
+            Side::Low => (0, h as isize),
+            Side::High => ((ext - h) as isize, ext as isize),
+        }
+    };
+    match axis {
+        0 => {
+            let (a, b) = range(n[0]);
+            for i in a..b {
+                for j in 0..n[1] as isize {
+                    for k in 0..n[2] as isize {
+                        buf.push(g.get(i, j, k));
+                    }
+                }
+            }
+        }
+        1 => {
+            let (a, b) = range(n[1]);
+            for i in 0..n[0] as isize {
+                for j in a..b {
+                    for k in 0..n[2] as isize {
+                        buf.push(g.get(i, j, k));
+                    }
+                }
+            }
+        }
+        2 => {
+            let (a, b) = range(n[2]);
+            for i in 0..n[0] as isize {
+                for j in 0..n[1] as isize {
+                    for k in a..b {
+                        buf.push(g.get(i, j, k));
+                    }
+                }
+            }
+        }
+        _ => panic!("axis out of range"),
+    }
+}
+
+/// Write a face received *from* the `from` side of `axis` into the ghost
+/// planes beyond that boundary. Returns the number of points consumed from
+/// `buf`.
+///
+/// Data from the `High` neighbor fills the ghost planes above the interior
+/// (`n .. n+h`); data from the `Low` neighbor fills `-h .. 0`.
+pub fn unpack_face<T: Scalar>(g: &mut Grid3<T>, axis: usize, from: Side, buf: &[T]) -> usize {
+    let n = g.n();
+    let h = g.halo();
+    let points = face_points(g, axis);
+    assert!(
+        buf.len() >= points,
+        "halo buffer underrun: have {}, need {points}",
+        buf.len()
+    );
+    let mut it = buf.iter().copied();
+    let range = |ext: usize| -> (isize, isize) {
+        match from {
+            Side::Low => (-(h as isize), 0),
+            Side::High => (ext as isize, (ext + h) as isize),
+        }
+    };
+    match axis {
+        0 => {
+            let (a, b) = range(n[0]);
+            for i in a..b {
+                for j in 0..n[1] as isize {
+                    for k in 0..n[2] as isize {
+                        g.set(i, j, k, it.next().expect("length checked"));
+                    }
+                }
+            }
+        }
+        1 => {
+            let (a, b) = range(n[1]);
+            for i in 0..n[0] as isize {
+                for j in a..b {
+                    for k in 0..n[2] as isize {
+                        g.set(i, j, k, it.next().expect("length checked"));
+                    }
+                }
+            }
+        }
+        2 => {
+            let (a, b) = range(n[2]);
+            for i in 0..n[0] as isize {
+                for j in 0..n[1] as isize {
+                    for k in a..b {
+                        g.set(i, j, k, it.next().expect("length checked"));
+                    }
+                }
+            }
+        }
+        _ => panic!("axis out of range"),
+    }
+    points
+}
+
+/// Pack one face of several grids (a batch) into a single buffer.
+pub fn pack_batch<T: Scalar>(
+    grids: &[Grid3<T>],
+    ids: &[usize],
+    axis: usize,
+    side: Side,
+    buf: &mut Vec<T>,
+) {
+    for &g in ids {
+        pack_face(&grids[g], axis, side, buf);
+    }
+}
+
+/// Unpack a batched face buffer into several grids' ghost planes.
+pub fn unpack_batch<T: Scalar>(
+    grids: &mut [Grid3<T>],
+    ids: &[usize],
+    axis: usize,
+    from: Side,
+    buf: &[T],
+) {
+    let mut off = 0;
+    for &g in ids {
+        off += unpack_face(&mut grids[g], axis, from, &buf[off..]);
+    }
+    assert_eq!(off, buf.len(), "batched buffer length mismatch");
+}
+
+/// Zero the ghost planes beyond one boundary (non-periodic global edges).
+pub fn zero_face<T: Scalar>(g: &mut Grid3<T>, axis: usize, from: Side) {
+    let points = face_points(g, axis);
+    let zeros = vec![T::zero(); points];
+    unpack_face(g, axis, from, &zeros);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: [usize; 3]) -> Grid3<f64> {
+        Grid3::from_fn(n, 2, |i, j, k| (i * 10_000 + j * 100 + k) as f64)
+    }
+
+    #[test]
+    fn face_point_counts() {
+        let g = grid([4, 5, 6]);
+        assert_eq!(face_points(&g, 0), 2 * 5 * 6);
+        assert_eq!(face_points(&g, 1), 2 * 4 * 6);
+        assert_eq!(face_points(&g, 2), 2 * 4 * 5);
+    }
+
+    #[test]
+    fn pack_unpack_round_trip_between_neighbors() {
+        // Two x-neighbors: a's high face becomes b's low ghost planes.
+        let a = grid([4, 3, 3]);
+        let mut b = grid([4, 3, 3]);
+        let mut buf = Vec::new();
+        pack_face(&a, 0, Side::High, &mut buf);
+        assert_eq!(buf.len(), face_points(&a, 0));
+        let consumed = unpack_face(&mut b, 0, Side::Low, &buf);
+        assert_eq!(consumed, buf.len());
+        // b's ghost plane -1 must equal a's interior plane 3; -2 ↔ 2.
+        for j in 0..3isize {
+            for k in 0..3isize {
+                assert_eq!(b.get(-1, j, k), a.get(3, j, k));
+                assert_eq!(b.get(-2, j, k), a.get(2, j, k));
+            }
+        }
+    }
+
+    #[test]
+    fn self_exchange_equals_periodic_fill() {
+        // A single rank whose neighbor is itself (periodic, 1 process along
+        // the axis): packing its own faces and unpacking them must equal
+        // fill_halo_periodic on that axis.
+        let mut g = grid([5, 4, 4]);
+        let mut reference = g.clone();
+        reference.fill_halo_periodic();
+
+        for axis in 0..3 {
+            for side in Side::BOTH {
+                let mut buf = Vec::new();
+                pack_face(&g, axis, side, &mut buf);
+                // Our own low face arrives "from the high side" (wrap).
+                unpack_face(&mut g, axis, side.opposite(), &buf);
+            }
+        }
+        // Compare face-ghost cells (star stencil never reads edge/corner
+        // ghosts, so compare only single-axis offsets).
+        let n = g.n();
+        for axis in 0..3 {
+            for j in 0..n[(axis + 1) % 3] {
+                for k in 0..n[(axis + 2) % 3] {
+                    for off in [-2isize, -1, n[axis] as isize, n[axis] as isize + 1] {
+                        let mut c = [0isize; 3];
+                        c[axis] = off;
+                        c[(axis + 1) % 3] = j as isize;
+                        c[(axis + 2) % 3] = k as isize;
+                        assert_eq!(
+                            g.get(c[0], c[1], c[2]),
+                            reference.get(c[0], c[1], c[2]),
+                            "axis {axis} offset {off} ({j},{k})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_pack_is_concatenation() {
+        let grids = vec![grid([3, 3, 3]), grid([3, 3, 3]), grid([3, 3, 3])];
+        let mut batched = Vec::new();
+        pack_batch(&grids, &[0, 2], 1, Side::Low, &mut batched);
+        let mut manual = Vec::new();
+        pack_face(&grids[0], 1, Side::Low, &mut manual);
+        pack_face(&grids[2], 1, Side::Low, &mut manual);
+        assert_eq!(batched, manual);
+    }
+
+    #[test]
+    fn batched_unpack_distributes() {
+        let src = vec![grid([3, 3, 3]), grid([3, 3, 3])];
+        let mut dst = vec![Grid3::<f64>::zeros([3, 3, 3], 2), Grid3::zeros([3, 3, 3], 2)];
+        let mut buf = Vec::new();
+        pack_batch(&src, &[0, 1], 2, Side::High, &mut buf);
+        unpack_batch(&mut dst, &[0, 1], 2, Side::Low, &buf);
+        for g in 0..2 {
+            for i in 0..3isize {
+                for j in 0..3isize {
+                    assert_eq!(dst[g].get(i, j, -1), src[g].get(i, j, 2));
+                    assert_eq!(dst[g].get(i, j, -2), src[g].get(i, j, 1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_face_clears_ghosts() {
+        let mut g = grid([3, 3, 3]);
+        g.fill_halo_periodic();
+        zero_face(&mut g, 0, Side::Low);
+        for j in 0..3isize {
+            for k in 0..3isize {
+                assert_eq!(g.get(-1, j, k), 0.0);
+                assert_eq!(g.get(-2, j, k), 0.0);
+                // High side untouched: still the periodic image.
+                assert_eq!(g.get(3, j, k), g.get(0, j, k));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "underrun")]
+    fn short_buffer_is_rejected() {
+        let mut g = grid([3, 3, 3]);
+        let buf = vec![0.0; 3];
+        unpack_face(&mut g, 0, Side::Low, &buf);
+    }
+}

@@ -1,0 +1,43 @@
+//! # gpaw-grid — real-space grids and the 13-point finite-difference stencil
+//!
+//! The *functional* substrate of the reproduction: everything in this crate
+//! computes real numbers (no simulation). It provides
+//!
+//! * [`scalar`] — the [`scalar::Scalar`] abstraction over grid point types:
+//!   `f64` (8-byte real grids) and [`scalar::C64`] (16-byte complex grids),
+//!   the two point sizes GPAW uses;
+//! * [`grid3`] — [`grid3::Grid3`], a 3-D array with a halo shell of
+//!   configurable depth, stored z-fastest;
+//! * [`stencil`] — the order-4 Laplacian: a linear combination of a point's
+//!   two nearest neighbors in all six directions and itself (13 points),
+//!   exactly the operator the paper's §II-A formula describes, plus a
+//!   sequential whole-grid reference implementation used as ground truth;
+//! * [`decomp`] — GPAW's domain decomposition: every rank gets the same
+//!   quadrilateral subset of *every* grid, chosen to minimize the
+//!   aggregated halo surface, with remainders spread over the leading
+//!   ranks;
+//! * [`halo`] — face packing/unpacking between sub-grids, including the
+//!   batched layout that packs several grids' faces into one message (§V-A
+//!   "Batching");
+//! * [`transfer`] — 2:1 full-weighting restriction and trilinear
+//!   prolongation, the multigrid transfer operators GPAW's Poisson solver
+//!   stacks on these grids;
+//! * [`gridset`], [`generator`], [`norms`] — wave-function collections,
+//!   deterministic synthetic initializers, and comparison/reduction
+//!   helpers.
+
+pub mod decomp;
+pub mod generator;
+pub mod grid3;
+pub mod gridset;
+pub mod halo;
+pub mod norms;
+pub mod scalar;
+pub mod stencil;
+pub mod transfer;
+
+pub use decomp::{Decomposition, Subdomain};
+pub use grid3::Grid3;
+pub use gridset::GridSet;
+pub use scalar::{Scalar, C64};
+pub use stencil::{BoundaryCond, StencilCoeffs};

@@ -1,0 +1,95 @@
+//! Reductions and comparisons over grid interiors.
+
+use crate::grid3::Grid3;
+use crate::scalar::Scalar;
+
+/// Largest absolute interior difference between two grids.
+pub fn max_abs_diff<T: Scalar>(a: &Grid3<T>, b: &Grid3<T>) -> f64 {
+    assert_eq!(a.n(), b.n());
+    let mut m = 0.0f64;
+    for ([i, j, k], va) in a.iter_interior() {
+        let vb = b.get(i as isize, j as isize, k as isize);
+        m = m.max((va - vb).abs());
+    }
+    m
+}
+
+/// Largest absolute interior value.
+pub fn max_abs<T: Scalar>(a: &Grid3<T>) -> f64 {
+    a.iter_interior().map(|(_, v)| v.abs()).fold(0.0, f64::max)
+}
+
+/// Real inner product `Re ⟨a|b⟩` over the interior (the local contribution
+/// to the orthogonalization dot products; the distributed layer sums these
+/// with an allreduce).
+pub fn dot_re<T: Scalar>(a: &Grid3<T>, b: &Grid3<T>) -> f64 {
+    assert_eq!(a.n(), b.n());
+    let mut acc = 0.0;
+    for ([i, j, k], va) in a.iter_interior() {
+        acc += va.dot_re(b.get(i as isize, j as isize, k as isize));
+    }
+    acc
+}
+
+/// Squared L2 norm of the interior.
+pub fn norm_sqr<T: Scalar>(a: &Grid3<T>) -> f64 {
+    dot_re(a, a)
+}
+
+/// `y += α·x` over interiors (AXPY; the orthogonalization update).
+pub fn axpy<T: Scalar>(alpha: f64, x: &Grid3<T>, y: &mut Grid3<T>) {
+    assert_eq!(x.n(), y.n());
+    for i in 0..x.n()[0] as isize {
+        for j in 0..x.n()[1] as isize {
+            for k in 0..x.n()[2] as isize {
+                let v = y.get(i, j, k) + x.get(i, j, k).scale(alpha);
+                y.set(i, j, k, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::C64;
+
+    #[test]
+    fn diff_of_identical_grids_is_zero() {
+        let a: Grid3<f64> = Grid3::from_fn([3, 3, 3], 2, |i, j, k| (i + j + k) as f64);
+        assert_eq!(max_abs_diff(&a, &a.clone()), 0.0);
+    }
+
+    #[test]
+    fn diff_detects_single_point() {
+        let a: Grid3<f64> = Grid3::zeros([3, 3, 3], 2);
+        let mut b = a.clone();
+        b.set(1, 2, 0, -3.5);
+        assert_eq!(max_abs_diff(&a, &b), 3.5);
+        assert_eq!(max_abs(&b), 3.5);
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        let a: Grid3<f64> = Grid3::from_fn([2, 2, 2], 2, |_, _, _| 2.0);
+        let b: Grid3<f64> = Grid3::from_fn([2, 2, 2], 2, |_, _, _| 3.0);
+        assert!((dot_re(&a, &b) - 48.0).abs() < 1e-12);
+        assert!((norm_sqr(&a) - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complex_dot_is_hermitian_real_part() {
+        let a: Grid3<C64> = Grid3::from_fn([2, 2, 2], 2, |_, _, _| C64::new(1.0, 2.0));
+        assert!((norm_sqr(&a) - 8.0 * 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let x: Grid3<f64> = Grid3::from_fn([2, 2, 2], 2, |_, _, _| 1.0);
+        let mut y: Grid3<f64> = Grid3::from_fn([2, 2, 2], 2, |_, _, _| 10.0);
+        axpy(-2.0, &x, &mut y);
+        for (_, v) in y.iter_interior() {
+            assert_eq!(v, 8.0);
+        }
+    }
+}

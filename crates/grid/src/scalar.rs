@@ -1,0 +1,205 @@
+//! Grid point types: real (`f64`) and complex ([`C64`]).
+//!
+//! The paper: "every point in the grid can be a real or complex number
+//! (8 or 16 bytes)". The stencil kernel is generic over this trait; the
+//! communication layers only need [`Scalar::BYTES`].
+
+use std::fmt::Debug;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A field element a grid can hold.
+pub trait Scalar:
+    Copy
+    + Debug
+    + PartialEq
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + AddAssign
+    + Neg<Output = Self>
+    + Send
+    + Sync
+    + 'static
+{
+    /// Bytes per grid point (8 or 16).
+    const BYTES: usize;
+
+    /// Additive identity.
+    fn zero() -> Self;
+
+    /// Multiply by a real stencil coefficient.
+    fn scale(self, c: f64) -> Self;
+
+    /// Embed a real number.
+    fn from_f64(x: f64) -> Self;
+
+    /// Modulus (for error norms).
+    fn abs(self) -> f64;
+
+    /// `self · conj(other)`, real part — the inner product the
+    /// orthogonalization step needs.
+    fn dot_re(self, other: Self) -> f64;
+}
+
+impl Scalar for f64 {
+    const BYTES: usize = 8;
+
+    fn zero() -> Self {
+        0.0
+    }
+
+    fn scale(self, c: f64) -> Self {
+        self * c
+    }
+
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+
+    fn abs(self) -> f64 {
+        f64::abs(self)
+    }
+
+    fn dot_re(self, other: Self) -> f64 {
+        self * other
+    }
+}
+
+/// A complex number stored as two `f64`s — the 16-byte grid point type.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// Construct from parts.
+    pub const fn new(re: f64, im: f64) -> C64 {
+        C64 { re, im }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> C64 {
+        C64::new(self.re, -self.im)
+    }
+
+    /// Squared modulus.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    fn add(self, o: C64) -> C64 {
+        C64::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    fn sub(self, o: C64) -> C64 {
+        C64::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl AddAssign for C64 {
+    fn add_assign(&mut self, o: C64) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    fn mul(self, o: C64) -> C64 {
+        C64::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    fn mul(self, c: f64) -> C64 {
+        C64::new(self.re * c, self.im * c)
+    }
+}
+
+impl Scalar for C64 {
+    const BYTES: usize = 16;
+
+    fn zero() -> Self {
+        C64::new(0.0, 0.0)
+    }
+
+    fn scale(self, c: f64) -> Self {
+        self * c
+    }
+
+    fn from_f64(x: f64) -> Self {
+        C64::new(x, 0.0)
+    }
+
+    fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    fn dot_re(self, other: Self) -> f64 {
+        // Re(self · conj(other))
+        self.re * other.re + self.im * other.im
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_sizes_match_the_paper() {
+        assert_eq!(<f64 as Scalar>::BYTES, 8);
+        assert_eq!(<C64 as Scalar>::BYTES, 16);
+        assert_eq!(std::mem::size_of::<C64>(), 16);
+    }
+
+    #[test]
+    fn complex_arithmetic() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(3.0, -1.0);
+        assert_eq!(a + b, C64::new(4.0, 1.0));
+        assert_eq!(a - b, C64::new(-2.0, 3.0));
+        assert_eq!(a * b, C64::new(5.0, 5.0));
+        assert_eq!(a.scale(2.0), C64::new(2.0, 4.0));
+        assert_eq!(a.conj(), C64::new(1.0, -2.0));
+        assert!((a.abs() - 5.0f64.sqrt()).abs() < 1e-15);
+        assert_eq!(-a, C64::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn dot_products() {
+        let a = C64::new(1.0, 2.0);
+        assert!((a.dot_re(a) - a.norm_sqr()).abs() < 1e-15);
+        assert!((2.0f64.dot_re(3.0) - 6.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scalar_generic_code_works_for_both() {
+        fn sum3<T: Scalar>(a: T, b: T, c: T) -> T {
+            a + b + c
+        }
+        assert_eq!(sum3(1.0, 2.0, 3.0), 6.0);
+        assert_eq!(
+            sum3(C64::new(1.0, 0.0), C64::new(0.0, 1.0), C64::new(1.0, 1.0)),
+            C64::new(2.0, 2.0)
+        );
+    }
+}

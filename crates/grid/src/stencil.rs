@@ -1,0 +1,425 @@
+//! The 13-point finite-difference stencil.
+//!
+//! The paper's §II-A operator: a point is updated as a linear combination
+//! of itself and its one- and two-step neighbors along all three axes,
+//!
+//! ```text
+//! A'(x,y,z) = C1·A(x,y,z) + C2·A(x−1,y,z) + C3·A(x+1,y,z) + C4·A(x−2,y,z)
+//!           + C5·A(x+2,y,z) + C6·A(x,y−1,z) + … + C13·A(x,y,z+2)
+//! ```
+//!
+//! All thirteen coefficients are independent; [`StencilCoeffs::laplacian`]
+//! builds the symmetric order-4 Laplacian GPAW uses for the Poisson and
+//! Kohn–Sham equations.
+
+use crate::grid3::Grid3;
+use crate::scalar::Scalar;
+
+/// Boundary condition of the global grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundaryCond {
+    /// Wrap-around (the paper's default for its benchmarks).
+    Periodic,
+    /// Points outside the grid read as zero (finite systems).
+    Zero,
+}
+
+/// The thirteen stencil coefficients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StencilCoeffs {
+    /// Weight of the center point (the paper's C1).
+    pub c0: f64,
+    /// Weight of the −1 neighbor per axis (C2, C6, C10).
+    pub m1: [f64; 3],
+    /// Weight of the +1 neighbor per axis (C3, C7, C11).
+    pub p1: [f64; 3],
+    /// Weight of the −2 neighbor per axis (C4, C8, C12).
+    pub m2: [f64; 3],
+    /// Weight of the +2 neighbor per axis (C5, C9, C13).
+    pub p2: [f64; 3],
+}
+
+impl StencilCoeffs {
+    /// Halo depth this stencil needs.
+    pub const HALO: usize = 2;
+
+    /// The order-4 central-difference Laplacian on spacings `h` (per axis):
+    /// `d²/dx² ≈ (−1/12, 4/3, −5/2, 4/3, −1/12) / h²`.
+    pub fn laplacian(h: [f64; 3]) -> StencilCoeffs {
+        let mut c0 = 0.0;
+        let mut c1 = [0.0; 3];
+        let mut c2 = [0.0; 3];
+        for a in 0..3 {
+            let inv_h2 = 1.0 / (h[a] * h[a]);
+            c0 += -2.5 * inv_h2;
+            c1[a] = (4.0 / 3.0) * inv_h2;
+            c2[a] = (-1.0 / 12.0) * inv_h2;
+        }
+        StencilCoeffs {
+            c0,
+            m1: c1,
+            p1: c1,
+            m2: c2,
+            p2: c2,
+        }
+    }
+
+    /// `α·I + β·∇²` — the shape of Jacobi-iteration and kinetic-energy
+    /// operators built from the Laplacian.
+    pub fn scaled_laplacian(alpha: f64, beta: f64, h: [f64; 3]) -> StencilCoeffs {
+        let lap = Self::laplacian(h);
+        StencilCoeffs {
+            c0: alpha + beta * lap.c0,
+            m1: lap.m1.map(|c| beta * c),
+            p1: lap.p1.map(|c| beta * c),
+            m2: lap.m2.map(|c| beta * c),
+            p2: lap.p2.map(|c| beta * c),
+        }
+    }
+
+    /// Sum of all thirteen coefficients — applied to a constant field the
+    /// stencil returns `constant × sum` (zero for any pure Laplacian).
+    pub fn coefficient_sum(&self) -> f64 {
+        self.c0
+            + self.m1.iter().sum::<f64>()
+            + self.p1.iter().sum::<f64>()
+            + self.m2.iter().sum::<f64>()
+            + self.p2.iter().sum::<f64>()
+    }
+}
+
+/// Apply the stencil to every interior point of `input` (halos must be
+/// filled by the caller), writing into the interior of `out`.
+///
+/// The input and output are distinct grids — the property the paper notes
+/// makes the operation order-free and easy to parallelize.
+pub fn apply<T: Scalar>(coef: &StencilCoeffs, input: &Grid3<T>, out: &mut Grid3<T>) {
+    let n = input.n();
+    apply_xrange(coef, input, out, 0, n[0]);
+}
+
+/// Apply the stencil to the x-slab `x0..x1` only — the unit the *hybrid
+/// master-only* approach hands to each of the four threads.
+pub fn apply_xrange<T: Scalar>(
+    coef: &StencilCoeffs,
+    input: &Grid3<T>,
+    out: &mut Grid3<T>,
+    x0: usize,
+    x1: usize,
+) {
+    let n = input.n();
+    assert_eq!(n, out.n(), "input/output extents must match");
+    assert!(input.halo() >= StencilCoeffs::HALO, "halo too shallow");
+    assert!(out.halo() >= StencilCoeffs::HALO);
+    assert!(x0 <= x1 && x1 <= n[0]);
+
+    // z stride is 1; y stride is pad_z (`zs_in`); x stride is pad_y·pad_z.
+    let (zs_in, xs_in) = input.strides();
+    let src = input.data();
+    let c0 = coef.c0;
+    let [mx1, my1, mz1] = coef.m1;
+    let [px1, py1, pz1] = coef.p1;
+    let [mx2, my2, mz2] = coef.m2;
+    let [px2, py2, pz2] = coef.p2;
+
+    for i in x0..x1 {
+        for j in 0..n[1] {
+            let base_in = input.idx(i as isize, j as isize, 0);
+            let base_out = out.idx(i as isize, j as isize, 0);
+            let dst = &mut out.data_mut()[base_out..base_out + n[2]];
+            for (k, d) in dst.iter_mut().enumerate() {
+                let c = base_in + k;
+                let mut acc = src[c].scale(c0);
+                // z neighbors: contiguous.
+                acc += src[c - 1].scale(mz1);
+                acc += src[c + 1].scale(pz1);
+                acc += src[c - 2].scale(mz2);
+                acc += src[c + 2].scale(pz2);
+                // y neighbors: one row away.
+                acc += src[c - zs_in].scale(my1);
+                acc += src[c + zs_in].scale(py1);
+                acc += src[c - 2 * zs_in].scale(my2);
+                acc += src[c + 2 * zs_in].scale(py2);
+                // x neighbors: one plane away.
+                acc += src[c - xs_in].scale(mx1);
+                acc += src[c + xs_in].scale(px1);
+                acc += src[c - 2 * xs_in].scale(mx2);
+                acc += src[c + 2 * xs_in].scale(px2);
+                *d = acc;
+            }
+        }
+    }
+}
+
+/// Apply the stencil for interior x range `x0..x1`, writing into a raw
+/// output slab as produced by [`Grid3::split_x_slabs`] (the slab's first
+/// plane is interior plane `x0`; y/z keep the padded layout).
+///
+/// This is the concurrent-write path of the *hybrid master-only* approach:
+/// four threads each own one slab of the shared output grid.
+pub fn apply_slab<T: Scalar>(
+    coef: &StencilCoeffs,
+    input: &Grid3<T>,
+    x0: usize,
+    x1: usize,
+    slab: &mut [T],
+) {
+    let n = input.n();
+    let h = input.halo();
+    assert!(h >= StencilCoeffs::HALO);
+    assert!(x0 <= x1 && x1 <= n[0]);
+    let pad = input.padded();
+    let plane = pad[1] * pad[2];
+    assert_eq!(slab.len(), (x1 - x0) * plane, "slab size mismatch");
+
+    let (zs, xs) = input.strides();
+    let src = input.data();
+    let c0 = coef.c0;
+    let [mx1, my1, mz1] = coef.m1;
+    let [px1, py1, pz1] = coef.p1;
+    let [mx2, my2, mz2] = coef.m2;
+    let [px2, py2, pz2] = coef.p2;
+
+    for i in x0..x1 {
+        for j in 0..n[1] {
+            let base_in = input.idx(i as isize, j as isize, 0);
+            let base_out = (i - x0) * plane + (j + h) * pad[2] + h;
+            let dst = &mut slab[base_out..base_out + n[2]];
+            for (k, d) in dst.iter_mut().enumerate() {
+                let c = base_in + k;
+                let mut acc = src[c].scale(c0);
+                acc += src[c - 1].scale(mz1);
+                acc += src[c + 1].scale(pz1);
+                acc += src[c - 2].scale(mz2);
+                acc += src[c + 2].scale(pz2);
+                acc += src[c - zs].scale(my1);
+                acc += src[c + zs].scale(py1);
+                acc += src[c - 2 * zs].scale(my2);
+                acc += src[c + 2 * zs].scale(py2);
+                acc += src[c - xs].scale(mx1);
+                acc += src[c + xs].scale(px1);
+                acc += src[c - 2 * xs].scale(mx2);
+                acc += src[c + 2 * xs].scale(px2);
+                *d = acc;
+            }
+        }
+    }
+}
+
+/// Split `0..nx` into `parts` near-equal slab boundaries (the interior cut
+/// points for [`Grid3::split_x_slabs`]). Returns the `parts+1` bounds.
+pub fn slab_bounds(nx: usize, parts: usize) -> Vec<usize> {
+    assert!(parts >= 1);
+    let mut bounds = Vec::with_capacity(parts + 1);
+    for p in 0..=parts {
+        bounds.push(p * nx / parts);
+    }
+    bounds.dedup();
+    bounds
+}
+
+/// The sequential ground truth: fill the halo of a whole (undecomposed)
+/// grid from the boundary condition, then apply the stencil. Everything the
+/// distributed engine produces is compared against this.
+pub fn apply_sequential<T: Scalar>(
+    coef: &StencilCoeffs,
+    input: &mut Grid3<T>,
+    out: &mut Grid3<T>,
+    bc: BoundaryCond,
+) {
+    match bc {
+        BoundaryCond::Periodic => input.fill_halo_periodic(),
+        BoundaryCond::Zero => input.clear_halo(),
+    }
+    apply(coef, input, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::C64;
+    use std::f64::consts::TAU;
+
+    #[test]
+    fn laplacian_annihilates_constants() {
+        let coef = StencilCoeffs::laplacian([0.3, 0.3, 0.3]);
+        assert!(coef.coefficient_sum().abs() < 1e-12);
+        let mut input: Grid3<f64> = Grid3::from_fn([6, 6, 6], 2, |_, _, _| 4.2);
+        let mut out = Grid3::zeros([6, 6, 6], 2);
+        apply_sequential(&coef, &mut input, &mut out, BoundaryCond::Periodic);
+        for (_, v) in out.iter_interior() {
+            assert!(v.abs() < 1e-12, "laplacian of constant must vanish: {v}");
+        }
+    }
+
+    #[test]
+    fn laplacian_of_plane_wave_is_minus_k_squared() {
+        // f(x) = sin(2πx/L) ⇒ ∇²f = −(2π/L)² f; order-4 FD error is O(h⁴).
+        let n = 32;
+        let len = 1.0;
+        let h = len / n as f64;
+        let coef = StencilCoeffs::laplacian([h, h, h]);
+        let mut input: Grid3<f64> =
+            Grid3::from_fn([n, n, n], 2, |i, _, _| (TAU * i as f64 / n as f64).sin());
+        let mut out = Grid3::zeros([n, n, n], 2);
+        apply_sequential(&coef, &mut input, &mut out, BoundaryCond::Periodic);
+        let k2 = (TAU / len).powi(2);
+        for ([i, j, kk], v) in out.iter_interior() {
+            let f = (TAU * i as f64 / n as f64).sin();
+            let expect = -k2 * f;
+            assert!(
+                (v - expect).abs() < k2 * 1e-3,
+                "at ({i},{j},{kk}): {v} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn order_four_convergence() {
+        // Halving h must shrink the error ≈ 16×.
+        let err_for = |n: usize| -> f64 {
+            let h = 1.0 / n as f64;
+            let coef = StencilCoeffs::laplacian([h, h, h]);
+            let mut input: Grid3<f64> =
+                Grid3::from_fn([n, 4, 4], 2, |i, _, _| (TAU * i as f64 / n as f64).sin());
+            let mut out = Grid3::zeros([n, 4, 4], 2);
+            apply_sequential(&coef, &mut input, &mut out, BoundaryCond::Periodic);
+            let k2 = TAU * TAU;
+            out.iter_interior()
+                .map(|([i, _, _], v)| {
+                    let f = (TAU * i as f64 / n as f64).sin();
+                    (v + k2 * f).abs()
+                })
+                .fold(0.0, f64::max)
+        };
+        let e16 = err_for(16);
+        let e32 = err_for(32);
+        let rate = (e16 / e32).log2();
+        assert!(
+            (3.5..4.5).contains(&rate),
+            "expected 4th-order convergence, got rate {rate} (e16={e16}, e32={e32})"
+        );
+    }
+
+    #[test]
+    fn asymmetric_coefficients_are_honored() {
+        // A pure forward-difference along x: C3 = 1, everything else 0 —
+        // exercises the paper's "13 independent constants" generality.
+        let coef = StencilCoeffs {
+            c0: 0.0,
+            m1: [0.0; 3],
+            p1: [1.0, 0.0, 0.0],
+            m2: [0.0; 3],
+            p2: [0.0; 3],
+        };
+        let mut input: Grid3<f64> = Grid3::from_fn([4, 4, 4], 2, |i, _, _| i as f64);
+        let mut out = Grid3::zeros([4, 4, 4], 2);
+        apply_sequential(&coef, &mut input, &mut out, BoundaryCond::Periodic);
+        // out(i) = input(i+1), with wrap at the +x edge.
+        assert_eq!(out.get(0, 0, 0), 1.0);
+        assert_eq!(out.get(2, 1, 1), 3.0);
+        assert_eq!(out.get(3, 0, 0), 0.0); // wrapped
+    }
+
+    #[test]
+    fn zero_boundary_reads_zeros_outside() {
+        let coef = StencilCoeffs {
+            c0: 0.0,
+            m1: [1.0, 0.0, 0.0],
+            p1: [0.0; 3],
+            m2: [0.0; 3],
+            p2: [0.0; 3],
+        };
+        let mut input: Grid3<f64> = Grid3::from_fn([3, 3, 3], 2, |_, _, _| 5.0);
+        // Pollute the halo first to prove clear_halo runs.
+        input.fill_halo_periodic();
+        let mut out = Grid3::zeros([3, 3, 3], 2);
+        apply_sequential(&coef, &mut input, &mut out, BoundaryCond::Zero);
+        assert_eq!(out.get(0, 0, 0), 0.0); // x−1 outside ⇒ zero
+        assert_eq!(out.get(1, 0, 0), 5.0);
+    }
+
+    #[test]
+    fn xrange_slabs_compose_to_full_apply() {
+        let coef = StencilCoeffs::laplacian([0.2, 0.2, 0.2]);
+        let mut input: Grid3<f64> =
+            Grid3::from_fn([8, 6, 5], 2, |i, j, k| ((i * 31 + j * 7 + k * 3) % 17) as f64);
+        input.fill_halo_periodic();
+        let mut full = Grid3::zeros([8, 6, 5], 2);
+        apply(&coef, &input, &mut full);
+        let mut slabbed = Grid3::zeros([8, 6, 5], 2);
+        // The 4-way split master-only uses.
+        for t in 0..4 {
+            let x0 = t * 2;
+            apply_xrange(&coef, &input, &mut slabbed, x0, x0 + 2);
+        }
+        assert_eq!(full, slabbed);
+    }
+
+    #[test]
+    fn complex_matches_componentwise_real() {
+        let coef = StencilCoeffs::laplacian([0.25, 0.25, 0.25]);
+        let re_f = |i: usize, j: usize, k: usize| ((i + 2 * j + 3 * k) % 5) as f64;
+        let im_f = |i: usize, j: usize, k: usize| ((3 * i + j + k) % 7) as f64;
+
+        let mut cin: Grid3<C64> =
+            Grid3::from_fn([5, 5, 5], 2, |i, j, k| C64::new(re_f(i, j, k), im_f(i, j, k)));
+        let mut cout = Grid3::zeros([5, 5, 5], 2);
+        apply_sequential(&coef, &mut cin, &mut cout, BoundaryCond::Periodic);
+
+        let mut rin: Grid3<f64> = Grid3::from_fn([5, 5, 5], 2, &re_f);
+        let mut rout = Grid3::zeros([5, 5, 5], 2);
+        apply_sequential(&coef, &mut rin, &mut rout, BoundaryCond::Periodic);
+        let mut iin: Grid3<f64> = Grid3::from_fn([5, 5, 5], 2, &im_f);
+        let mut iout = Grid3::zeros([5, 5, 5], 2);
+        apply_sequential(&coef, &mut iin, &mut iout, BoundaryCond::Periodic);
+
+        for ([i, j, k], v) in cout.iter_interior() {
+            let r = rout.get(i as isize, j as isize, k as isize);
+            let im = iout.get(i as isize, j as isize, k as isize);
+            assert!((v.re - r).abs() < 1e-12);
+            assert!((v.im - im).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn slab_apply_matches_full_apply() {
+        let coef = StencilCoeffs::laplacian([0.2, 0.2, 0.2]);
+        let mut input: Grid3<f64> =
+            Grid3::from_fn([9, 5, 7], 2, |i, j, k| ((i * 13 + j * 5 + k) % 11) as f64);
+        input.fill_halo_periodic();
+        let mut full = Grid3::zeros([9, 5, 7], 2);
+        apply(&coef, &input, &mut full);
+
+        let mut slabbed: Grid3<f64> = Grid3::zeros([9, 5, 7], 2);
+        let bounds = slab_bounds(9, 4);
+        let cuts = &bounds[1..bounds.len() - 1];
+        let slabs = slabbed.split_x_slabs(cuts);
+        for (s, slab) in slabs.into_iter().enumerate() {
+            apply_slab(&coef, &input, bounds[s], bounds[s + 1], slab);
+        }
+        assert_eq!(full, slabbed);
+    }
+
+    #[test]
+    fn slab_bounds_cover_and_dedup() {
+        assert_eq!(slab_bounds(8, 4), vec![0, 2, 4, 6, 8]);
+        assert_eq!(slab_bounds(3, 4), vec![0, 1, 2, 3]); // degenerate part removed
+        assert_eq!(slab_bounds(1, 4), vec![0, 1]);
+    }
+
+    #[test]
+    fn scaled_laplacian_shifts_the_diagonal() {
+        let lap = StencilCoeffs::laplacian([0.5; 3]);
+        let op = StencilCoeffs::scaled_laplacian(2.0, -0.5, [0.5; 3]);
+        assert!((op.c0 - (2.0 - 0.5 * lap.c0)).abs() < 1e-12);
+        assert!((op.p1[0] + 0.5 * lap.p1[0]).abs() < 1e-12);
+        // Applied to a constant c: (α + β·0)·c = α·c.
+        let mut input: Grid3<f64> = Grid3::from_fn([4, 4, 4], 2, |_, _, _| 3.0);
+        let mut out = Grid3::zeros([4, 4, 4], 2);
+        apply_sequential(&op, &mut input, &mut out, BoundaryCond::Periodic);
+        for (_, v) in out.iter_interior() {
+            assert!((v - 6.0).abs() < 1e-12);
+        }
+    }
+}

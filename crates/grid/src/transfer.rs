@@ -1,0 +1,176 @@
+//! Inter-grid transfer operators: restriction and prolongation.
+//!
+//! GPAW's Poisson solver is a multigrid method on the same real-space
+//! grids the paper distributes; these are the standard 2:1 transfer
+//! operators it needs. Restriction is full weighting (the 27-point
+//! average with weights `(1/2)^{d}` per offset dimension, total 1);
+//! prolongation is trilinear interpolation. On periodic grids the
+//! operators wrap; with zero boundaries they read zeros outside.
+
+use crate::grid3::Grid3;
+use crate::stencil::BoundaryCond;
+
+/// True when every extent is even and large enough to coarsen 2:1 while
+/// keeping a useful coarse level (≥ 4 points per axis).
+pub fn can_coarsen(n: [usize; 3]) -> bool {
+    n.iter().all(|&e| e % 2 == 0 && e >= 8)
+}
+
+/// The coarse extents of a 2:1 coarsening.
+pub fn coarse_ext(n: [usize; 3]) -> [usize; 3] {
+    assert!(can_coarsen(n), "extents {n:?} cannot be coarsened 2:1");
+    [n[0] / 2, n[1] / 2, n[2] / 2]
+}
+
+/// Full-weighting restriction: `coarse(I) = Σ w(o)·fine(2I + o)` over the
+/// 27 offsets `o ∈ {-1,0,1}³` with `w = (1/2)^{#nonzero} / 8`.
+pub fn restrict(fine: &mut Grid3<f64>, bc: BoundaryCond) -> Grid3<f64> {
+    let n = fine.n();
+    let nc = coarse_ext(n);
+    match bc {
+        BoundaryCond::Periodic => fine.fill_halo_periodic(),
+        BoundaryCond::Zero => fine.clear_halo(),
+    }
+    let mut coarse = Grid3::zeros(nc, fine.halo());
+    for i in 0..nc[0] {
+        for j in 0..nc[1] {
+            for k in 0..nc[2] {
+                let (fi, fj, fk) = (2 * i as isize, 2 * j as isize, 2 * k as isize);
+                let mut acc = 0.0;
+                for oi in -1isize..=1 {
+                    for oj in -1isize..=1 {
+                        for ok in -1isize..=1 {
+                            let nz = (oi != 0) as usize + (oj != 0) as usize + (ok != 0) as usize;
+                            let w = 0.5f64.powi(nz as i32) / 8.0;
+                            acc += w * fine.get(fi + oi, fj + oj, fk + ok);
+                        }
+                    }
+                }
+                coarse.set(i as isize, j as isize, k as isize, acc);
+            }
+        }
+    }
+    coarse
+}
+
+/// Trilinear prolongation: interpolate the coarse grid onto the fine grid
+/// and **add** the result into `fine` (the multigrid coarse-grid
+/// correction).
+pub fn prolong_add(coarse: &mut Grid3<f64>, fine: &mut Grid3<f64>, bc: BoundaryCond) {
+    let nf = fine.n();
+    assert_eq!(coarse.n(), coarse_ext(nf), "grids are not a 2:1 pair");
+    match bc {
+        BoundaryCond::Periodic => coarse.fill_halo_periodic(),
+        BoundaryCond::Zero => coarse.clear_halo(),
+    }
+    for i in 0..nf[0] {
+        for j in 0..nf[1] {
+            for k in 0..nf[2] {
+                // Fine point 2I+r sits between coarse points I and I+r.
+                let (ci, ri) = ((i / 2) as isize, (i % 2) as isize);
+                let (cj, rj) = ((j / 2) as isize, (j % 2) as isize);
+                let (ck, rk) = ((k / 2) as isize, (k % 2) as isize);
+                let mut acc = 0.0;
+                for (oi, wi) in interp_pair(ri) {
+                    for (oj, wj) in interp_pair(rj) {
+                        for (ok, wk) in interp_pair(rk) {
+                            acc += wi * wj * wk * coarse.get(ci + oi, cj + oj, ck + ok);
+                        }
+                    }
+                }
+                let idx = (i as isize, j as isize, k as isize);
+                let v = fine.get(idx.0, idx.1, idx.2) + acc;
+                fine.set(idx.0, idx.1, idx.2, v);
+            }
+        }
+    }
+}
+
+/// The 1-D interpolation stencil: on-node points copy, mid points average.
+fn interp_pair(r: isize) -> [(isize, f64); 2] {
+    if r == 0 {
+        [(0, 1.0), (0, 0.0)]
+    } else {
+        [(0, 0.5), (1, 0.5)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coarsen_predicates() {
+        assert!(can_coarsen([8, 8, 8]));
+        assert!(!can_coarsen([7, 8, 8]));
+        assert!(!can_coarsen([2, 8, 8]));
+        assert!(!can_coarsen([4, 8, 8]));
+        assert_eq!(coarse_ext([8, 12, 16]), [4, 6, 8]);
+    }
+
+    #[test]
+    fn restriction_preserves_constants() {
+        let mut fine: Grid3<f64> = Grid3::from_fn([8, 8, 8], 2, |_, _, _| 3.25);
+        let coarse = restrict(&mut fine, BoundaryCond::Periodic);
+        assert_eq!(coarse.n(), [4, 4, 4]);
+        for (_, v) in coarse.iter_interior() {
+            assert!((v - 3.25).abs() < 1e-14, "full weighting sums to 1: {v}");
+        }
+    }
+
+    #[test]
+    fn prolongation_preserves_constants() {
+        let mut coarse: Grid3<f64> = Grid3::from_fn([4, 4, 4], 2, |_, _, _| 2.0);
+        let mut fine: Grid3<f64> = Grid3::zeros([8, 8, 8], 2);
+        prolong_add(&mut coarse, &mut fine, BoundaryCond::Periodic);
+        for (_, v) in fine.iter_interior() {
+            assert!((v - 2.0).abs() < 1e-14, "trilinear reproduces constants: {v}");
+        }
+    }
+
+    #[test]
+    fn prolongation_adds_rather_than_overwrites() {
+        let mut coarse: Grid3<f64> = Grid3::from_fn([4, 4, 4], 2, |_, _, _| 1.0);
+        let mut fine: Grid3<f64> = Grid3::from_fn([8, 8, 8], 2, |_, _, _| 10.0);
+        prolong_add(&mut coarse, &mut fine, BoundaryCond::Periodic);
+        for (_, v) in fine.iter_interior() {
+            assert!((v - 11.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn restriction_of_linear_field_hits_cell_centers() {
+        // f(i) = i on the fine grid; the restricted value at coarse index I
+        // is the weighted average centered at fine point 2I.
+        let mut fine: Grid3<f64> = Grid3::from_fn([8, 8, 8], 2, |i, _, _| i as f64);
+        let coarse = restrict(&mut fine, BoundaryCond::Zero);
+        // Interior coarse points (away from the zero boundary) equal 2I.
+        assert!((coarse.get(1, 1, 1) - 2.0).abs() < 1e-12);
+        assert!((coarse.get(2, 1, 1) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_round_trip_damps_but_preserves_smooth_content() {
+        use std::f64::consts::TAU;
+        // A smooth wave restricted then prolonged back keeps most of its
+        // amplitude (transfers must not destroy the smooth components that
+        // multigrid corrects on coarse levels).
+        let n = 16;
+        let mut fine: Grid3<f64> =
+            Grid3::from_fn([n, n, n], 2, |i, _, _| (TAU * i as f64 / n as f64).sin());
+        let mut coarse = restrict(&mut fine, BoundaryCond::Periodic);
+        let mut back: Grid3<f64> = Grid3::zeros([n, n, n], 2);
+        prolong_add(&mut coarse, &mut back, BoundaryCond::Periodic);
+        let mut dot_orig = 0.0;
+        let mut dot_back = 0.0;
+        for ([i, j, k], v) in fine.iter_interior() {
+            dot_orig += v * v;
+            dot_back += v * back.get(i as isize, j as isize, k as isize);
+        }
+        let retention = dot_back / dot_orig;
+        assert!(
+            retention > 0.8,
+            "smooth mode mostly survives the round trip: {retention}"
+        );
+    }
+}

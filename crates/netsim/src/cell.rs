@@ -1,0 +1,150 @@
+//! Unit-cell network: one node's six outgoing links with mirror delivery.
+//!
+//! On a torus partition running an SPMD-symmetric schedule (the FD halo
+//! exchange with periodic boundaries), every node injects and receives the
+//! *identical* sequence of messages — the machine is invariant under
+//! translation by one node. That makes simulating the whole machine
+//! redundant: simulate one node ("the cell"), and whenever the cell sends a
+//! message off-node in direction `d`, deliver it back into the cell as the
+//! message that would have arrived *from* direction `-d` (which, by
+//! symmetry, is byte-for-byte and cycle-for-cycle the same message).
+//!
+//! The six outgoing links are real FIFO servers, so intra-node contention —
+//! four virtual-mode ranks sharing one +x link — is modeled exactly as in
+//! [`crate::network::FullNetwork`]. Correctness of the mirroring (timing
+//! equal to a full simulation) is asserted by integration tests in
+//! `gpaw-simmpi` that run both scopes on the same symmetric schedule.
+
+use crate::link::{Delivery, LinkState};
+use gpaw_bgp_hw::spec::CostModel;
+use gpaw_bgp_hw::topology::LinkDir;
+use gpaw_des::stats::Counter;
+use gpaw_des::SimTime;
+
+/// One node's view of the torus under perfect symmetry.
+#[derive(Debug)]
+pub struct UnitCellNetwork {
+    links: [LinkState; 6],
+    injected: Counter,
+    /// Hop count to the neighbor (1 on a torus after `MPI_Cart_create`
+    /// reordering; larger values model unreordered placements).
+    neighbor_hops: u64,
+}
+
+impl UnitCellNetwork {
+    /// A cell whose neighbors are `neighbor_hops` hops away (1 for a
+    /// properly reordered torus).
+    pub fn new(neighbor_hops: u64) -> UnitCellNetwork {
+        assert!(neighbor_hops >= 1, "a neighbor is at least one hop away");
+        UnitCellNetwork {
+            links: Default::default(),
+            injected: Counter::new(),
+            neighbor_hops,
+        }
+    }
+
+    /// Send `payload` bytes out of the cell through `dir`. Returns when the
+    /// mirrored copy arrives back at the cell.
+    pub fn transfer(
+        &mut self,
+        inject_at: SimTime,
+        dir: LinkDir,
+        payload: u64,
+        model: &CostModel,
+    ) -> Delivery {
+        self.injected.add(payload);
+        let grant = self.links[dir.index()].push(inject_at, payload, model);
+        // Cut-through beyond the first hop: symmetric mirror links add one
+        // hop latency each (exact for hops == 1, first-order for longer
+        // unreordered paths).
+        Delivery {
+            injection_done: grant.done,
+            deliver_at: grant.done + model.hop_latency * self.neighbor_hops,
+        }
+    }
+
+    /// Payload bytes this node injected (== every node's injection, by
+    /// symmetry) — Fig. 6's "communication per node".
+    pub fn injected_bytes(&self) -> u64 {
+        self.injected.total()
+    }
+
+    /// Messages injected per node.
+    pub fn injected_messages(&self) -> u64 {
+        self.injected.events()
+    }
+
+    /// Utilization of the busiest directed link over `[0, horizon]`.
+    pub fn max_link_utilization(&self, horizon: SimTime) -> f64 {
+        self.links
+            .iter()
+            .map(|l| l.utilization(horizon))
+            .fold(0.0, f64::max)
+    }
+
+    /// One link's statistics.
+    pub fn link(&self, dir: LinkDir) -> &LinkState {
+        &self.links[dir.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpaw_bgp_hw::topology::{Axis, Dir};
+
+    const PX: LinkDir = LinkDir {
+        axis: Axis::X,
+        dir: Dir::Plus,
+    };
+    const MX: LinkDir = LinkDir {
+        axis: Axis::X,
+        dir: Dir::Minus,
+    };
+
+    #[test]
+    fn single_hop_matches_full_network_timing() {
+        let m = CostModel::bgp();
+        let mut cell = UnitCellNetwork::new(1);
+        let d = cell.transfer(SimTime::ZERO, PX, 224, &m);
+        assert_eq!(d.injection_done, SimTime::ZERO + m.link_time(224));
+        assert_eq!(d.deliver_at, d.injection_done + m.hop_latency);
+    }
+
+    #[test]
+    fn same_direction_contends_opposite_does_not() {
+        let m = CostModel::bgp();
+        let mut cell = UnitCellNetwork::new(1);
+        let a = cell.transfer(SimTime::ZERO, PX, 10_000, &m);
+        let b = cell.transfer(SimTime::ZERO, PX, 10_000, &m);
+        let c = cell.transfer(SimTime::ZERO, MX, 10_000, &m);
+        assert_eq!(b.deliver_at.since(a.deliver_at), m.link_time(10_000));
+        assert_eq!(c.deliver_at, a.deliver_at);
+    }
+
+    #[test]
+    fn injection_counts_per_node() {
+        let m = CostModel::bgp();
+        let mut cell = UnitCellNetwork::new(1);
+        cell.transfer(SimTime::ZERO, PX, 100, &m);
+        cell.transfer(SimTime::ZERO, MX, 200, &m);
+        assert_eq!(cell.injected_bytes(), 300);
+        assert_eq!(cell.injected_messages(), 2);
+    }
+
+    #[test]
+    fn multi_hop_costs_more() {
+        let m = CostModel::bgp();
+        let mut near = UnitCellNetwork::new(1);
+        let mut far = UnitCellNetwork::new(4);
+        let a = near.transfer(SimTime::ZERO, PX, 5000, &m);
+        let b = far.transfer(SimTime::ZERO, PX, 5000, &m);
+        assert!(b.deliver_at > a.deliver_at);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hop")]
+    fn zero_hops_rejected() {
+        let _ = UnitCellNetwork::new(0);
+    }
+}

@@ -1,0 +1,75 @@
+//! The collective tree and global barrier networks.
+//!
+//! Blue Gene/P routes MPI reductions over a dedicated tree network and
+//! barriers over a dedicated global-interrupt network, so collectives cost
+//! log-depth tree traversals that are *independent of torus load*. The FD
+//! benchmark itself is pure point-to-point, but the mini-GPAW workloads
+//! (orthogonalization, Poisson convergence checks) reduce over all ranks,
+//! and the timed plane charges them through this model.
+
+use gpaw_bgp_hw::spec::CostModel;
+use gpaw_des::SimDuration;
+
+/// Analytic collective-network model for a partition of `nodes` nodes.
+#[derive(Debug, Clone)]
+pub struct CollectiveTree {
+    nodes: usize,
+}
+
+impl CollectiveTree {
+    /// Tree spanning `nodes` nodes.
+    pub fn new(nodes: usize) -> CollectiveTree {
+        assert!(nodes >= 1);
+        CollectiveTree { nodes }
+    }
+
+    /// Number of nodes spanned.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Cost of a global barrier (dedicated barrier network: near-constant).
+    pub fn barrier(&self, model: &CostModel) -> SimDuration {
+        model.t_global_barrier
+    }
+
+    /// Cost of an allreduce of `bytes` payload.
+    pub fn allreduce(&self, bytes: u64, model: &CostModel) -> SimDuration {
+        model.allreduce_time(bytes, self.nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barrier_is_constant_in_node_count() {
+        let m = CostModel::bgp();
+        assert_eq!(
+            CollectiveTree::new(2).barrier(&m),
+            CollectiveTree::new(4096).barrier(&m)
+        );
+    }
+
+    #[test]
+    fn allreduce_grows_logarithmically() {
+        let m = CostModel::bgp();
+        let t64 = CollectiveTree::new(64).allreduce(8, &m);
+        let t512 = CollectiveTree::new(512).allreduce(8, &m);
+        let t4096 = CollectiveTree::new(4096).allreduce(8, &m);
+        assert!(t64 < t512 && t512 < t4096);
+        // Log growth: equal increments per 8× node step.
+        let d1 = (t512 - t64).as_ps() as f64;
+        let d2 = (t4096 - t512).as_ps() as f64;
+        assert!((d1 - d2).abs() / d1 < 0.05, "d1={d1} d2={d2}");
+    }
+
+    #[test]
+    fn allreduce_payload_matters() {
+        let m = CostModel::bgp();
+        let small = CollectiveTree::new(512).allreduce(8, &m);
+        let large = CollectiveTree::new(512).allreduce(1 << 20, &m);
+        assert!(large > small);
+    }
+}

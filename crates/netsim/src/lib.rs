@@ -1,0 +1,40 @@
+//! # gpaw-netsim — simulated Blue Gene/P interconnect
+//!
+//! Models the machine's three networks at the fidelity the paper's effects
+//! require:
+//!
+//! * the **3-D torus** ([`link`], [`network`]) carries all point-to-point
+//!   traffic: every node owns six directed outgoing links of 425 MB/s, each
+//!   modeled as a FIFO server, so messages serialize per link, the four
+//!   virtual-mode ranks of a node contend for the same links, and multi-hop
+//!   (mesh wrap-around) traffic consumes every intermediate link it
+//!   crosses;
+//! * the **collective tree** and **global barrier** networks
+//!   ([`collective`]) are analytic log-depth cost formulas — the paper only
+//!   exercises them implicitly;
+//! * the **DMA engine** is implicit: the CPU pays only the software posting
+//!   overhead (charged by `gpaw-simmpi`), and transfers progress through
+//!   link servers without occupying a core — precisely the property the
+//!   paper's latency-hiding optimizations exploit.
+//!
+//! Two scopes are provided:
+//!
+//! * [`network::FullNetwork`] instantiates every node and link — exact, used
+//!   for small partitions (meshes below 512 nodes, the Fig. 2 ping) where
+//!   edge asymmetry matters;
+//! * [`cell::UnitCellNetwork`] exploits the perfect translation symmetry of
+//!   the FD workload on a torus: it simulates one node's links and mirrors
+//!   outbound traffic back as inbound. For SPMD-symmetric schedules on a
+//!   torus this is *exact* (every node sends and receives the identical
+//!   message sequence) and it is what makes the 16 384-core figures cheap
+//!   to regenerate.
+
+pub mod cell;
+pub mod collective;
+pub mod link;
+pub mod network;
+
+pub use cell::UnitCellNetwork;
+pub use collective::CollectiveTree;
+pub use link::{Delivery, LinkState};
+pub use network::FullNetwork;

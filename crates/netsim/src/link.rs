@@ -1,0 +1,85 @@
+//! A directed torus link: FIFO serialization plus traffic accounting.
+
+use gpaw_bgp_hw::spec::CostModel;
+use gpaw_des::stats::Counter;
+use gpaw_des::{FifoServer, SimDuration, SimTime};
+
+/// The outcome of pushing a message into the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// When the source buffer is reusable (last byte left the source link —
+    /// the non-blocking send request completes here).
+    pub injection_done: SimTime,
+    /// When the last byte reaches the destination node.
+    pub deliver_at: SimTime,
+}
+
+/// One directed link out of one node.
+#[derive(Debug, Clone, Default)]
+pub struct LinkState {
+    server: FifoServer,
+    bytes: Counter,
+}
+
+impl LinkState {
+    /// A fresh, idle link.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Serialize a message of `payload` bytes onto the link, starting no
+    /// earlier than `now`. Returns the grant interval.
+    pub fn push(
+        &mut self,
+        now: SimTime,
+        payload: u64,
+        model: &CostModel,
+    ) -> gpaw_des::resource::Grant {
+        self.bytes.add(model.wire_bytes(payload));
+        self.server.acquire(now, model.link_time(payload))
+    }
+
+    /// Wire bytes carried so far (packets × packet size).
+    pub fn wire_bytes(&self) -> u64 {
+        self.bytes.total()
+    }
+
+    /// Messages carried so far.
+    pub fn messages(&self) -> u64 {
+        self.bytes.events()
+    }
+
+    /// Busy time accumulated.
+    pub fn busy(&self) -> SimDuration {
+        self.server.busy_total()
+    }
+
+    /// Link utilization over `[0, horizon]`.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        self.server.utilization(horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_serializes_fifo() {
+        let m = CostModel::bgp();
+        let mut l = LinkState::new();
+        let g1 = l.push(SimTime::ZERO, 224, &m);
+        let g2 = l.push(SimTime::ZERO, 224, &m);
+        assert_eq!(g2.start, g1.done);
+        assert_eq!(l.messages(), 2);
+        assert_eq!(l.wire_bytes(), 512);
+    }
+
+    #[test]
+    fn busy_accounts_service_time() {
+        let m = CostModel::bgp();
+        let mut l = LinkState::new();
+        l.push(SimTime::ZERO, 1000, &m);
+        assert_eq!(l.busy(), m.link_time(1000));
+    }
+}

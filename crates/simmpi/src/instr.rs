@@ -1,0 +1,141 @@
+//! The instruction set rank programs are written in.
+//!
+//! A *program* is attached to one hardware thread of one MPI process. The
+//! machine asks it for the next instruction whenever the thread's CPU is
+//! free; blocking instructions (`WaitEpoch`, `ThreadBarrier`, `AllReduce`)
+//! park the thread until their condition is met.
+//!
+//! Requests are grouped by **epoch**: `Isend`/`Irecv` carry the epoch they
+//! belong to, and `WaitEpoch { epoch }` completes when every request of
+//! that epoch posted *by this thread* has completed. The double-buffering
+//! schedules of the paper map naturally onto epochs: batch *i + 1* is
+//! posted under epoch *i + 1* before the thread waits on epoch *i*.
+
+use gpaw_des::SimDuration;
+
+/// Message tag. Matching is on `(source rank, tag)`, exactly as in MPI.
+pub type Tag = u64;
+
+/// One instruction of a rank program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instr {
+    /// Post a non-blocking send of `bytes` to global rank `dst`.
+    Isend {
+        /// Destination global rank.
+        dst: usize,
+        /// Payload bytes.
+        bytes: u64,
+        /// Match tag.
+        tag: Tag,
+        /// Request group this send belongs to.
+        epoch: u32,
+    },
+    /// Post a non-blocking receive of `bytes` from global rank `src`.
+    Irecv {
+        /// Source global rank.
+        src: usize,
+        /// Payload bytes (must equal the sender's).
+        bytes: u64,
+        /// Match tag.
+        tag: Tag,
+        /// Request group this receive belongs to.
+        epoch: u32,
+    },
+    /// Block until every request this thread posted under `epoch` is done.
+    WaitEpoch {
+        /// Epoch to complete.
+        epoch: u32,
+    },
+    /// Run the stencil kernel: `points` interior points in `rows` pencils
+    /// across `grids` grids (the cost model turns this into time).
+    Compute {
+        /// Interior points updated.
+        points: u64,
+        /// Contiguous pencils traversed.
+        rows: u64,
+        /// Grids touched.
+        grids: u64,
+    },
+    /// Occupy the CPU for a fixed duration (pack/unpack, setup…).
+    Delay {
+        /// Busy time.
+        d: SimDuration,
+    },
+    /// Synchronize the threads of this process (pthread-style barrier).
+    ThreadBarrier,
+    /// Global allreduce of `bytes` over all processes (thread 0 only).
+    AllReduce {
+        /// Payload bytes reduced.
+        bytes: u64,
+    },
+    /// The program is finished.
+    Done,
+}
+
+/// A supplier of instructions for one thread.
+pub trait Program {
+    /// Produce the next instruction. Not called again after [`Instr::Done`].
+    fn next(&mut self) -> Instr;
+}
+
+/// A canned program: replays a vector of instructions, then `Done`.
+/// Convenient for tests and micro-experiments.
+#[derive(Debug, Clone)]
+pub struct VecProgram {
+    instrs: std::vec::IntoIter<Instr>,
+}
+
+impl VecProgram {
+    /// Wrap an instruction list.
+    pub fn new(instrs: Vec<Instr>) -> VecProgram {
+        VecProgram {
+            instrs: instrs.into_iter(),
+        }
+    }
+}
+
+impl Program for VecProgram {
+    fn next(&mut self) -> Instr {
+        self.instrs.next().unwrap_or(Instr::Done)
+    }
+}
+
+impl<F> Program for F
+where
+    F: FnMut() -> Instr,
+{
+    fn next(&mut self) -> Instr {
+        self()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_program_replays_then_done() {
+        let mut p = VecProgram::new(vec![Instr::ThreadBarrier, Instr::Done]);
+        assert_eq!(p.next(), Instr::ThreadBarrier);
+        assert_eq!(p.next(), Instr::Done);
+        assert_eq!(p.next(), Instr::Done);
+    }
+
+    #[test]
+    fn closures_are_programs() {
+        let mut n = 0;
+        let mut p = move || {
+            n += 1;
+            if n > 2 {
+                Instr::Done
+            } else {
+                Instr::Delay {
+                    d: SimDuration::from_ns(1),
+                }
+            }
+        };
+        assert!(matches!(Program::next(&mut p), Instr::Delay { .. }));
+        assert!(matches!(Program::next(&mut p), Instr::Delay { .. }));
+        assert_eq!(Program::next(&mut p), Instr::Done);
+    }
+}

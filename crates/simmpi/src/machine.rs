@@ -1,0 +1,1186 @@
+//! The timed machine: executes rank programs on the simulated BGP.
+
+use crate::instr::{Instr, Program, Tag};
+use crate::report::RunReport;
+use gpaw_bgp_hw::spec::{CostModel, STENCIL_FLOPS_PER_POINT};
+use gpaw_bgp_hw::topology::{Axis, Coord, Dir, LinkDir};
+use gpaw_bgp_hw::CartMap;
+use gpaw_des::{EventQueue, FifoServer, SimDuration, SimTime};
+use gpaw_netsim::{CollectiveTree, FullNetwork, UnitCellNetwork};
+use std::collections::{HashMap, VecDeque};
+
+/// The MPI thread support level of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadMode {
+    /// `MPI_THREAD_SINGLE`: no library locking; only thread 0 of each
+    /// process may issue communication instructions.
+    Single,
+    /// `MPI_THREAD_MULTIPLE`: any thread may call the library, but every
+    /// call serializes through a per-process lock with a measurable hold
+    /// time.
+    Multiple,
+}
+
+/// How much of the machine is instantiated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// Every rank, every link. Exact for any topology and any schedule.
+    Full,
+    /// One node plus mirrored neighbor traffic. Exact for SPMD-symmetric
+    /// schedules on torus partitions (the FD workload); `neighbor_hops`
+    /// is 1 for a reordered cartesian map.
+    UnitCell {
+        /// Torus distance to the logical neighbor.
+        neighbor_hops: u64,
+    },
+}
+
+enum Net {
+    Full(FullNetwork),
+    Cell(UnitCellNetwork),
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// Thread CPU became free: fetch and start the next instruction.
+    Fetch { tid: u32 },
+    /// A send request (epoch) of a thread completed (buffer reusable).
+    SendDone { tid: u32, epoch: u32 },
+    /// A message reached its destination process.
+    Deliver {
+        proc: u32,
+        src: u64,
+        tag: Tag,
+        bytes: u64,
+    },
+}
+
+struct Thread {
+    proc: u32,
+    slot: u32,
+    /// Incomplete request count per epoch.
+    outstanding: HashMap<u32, u32>,
+    /// Total requests posted per epoch (drives the wait-completion charge).
+    posted_count: HashMap<u32, u32>,
+    waiting: Option<u32>,
+    done: bool,
+    finish: SimTime,
+    /// CPU time in the stencil kernel (and explicit delays).
+    busy_compute: SimDuration,
+    /// CPU time in messaging: posting calls, lock waits, completion
+    /// processing, intra-node copies.
+    busy_comm: SimDuration,
+    /// CPU time in synchronization: thread barriers, collectives.
+    busy_sync: SimDuration,
+    flops: f64,
+}
+
+impl Thread {
+    fn busy(&self) -> SimDuration {
+        self.busy_compute + self.busy_comm + self.busy_sync
+    }
+}
+
+struct Proc {
+    rank: usize,
+    node_idx: usize,
+    /// Payload bytes this process posted with `Isend` (any destination) —
+    /// the paper's Fig. 6 counts intra-node virtual-mode messages too.
+    sent_payload: u64,
+    mpi_lock: FifoServer,
+    posted: HashMap<(u64, Tag), VecDeque<(u32, u32)>>,
+    unexpected: HashMap<(u64, Tag), VecDeque<u64>>,
+    barrier: Vec<(u32, SimTime)>,
+}
+
+/// The simulated machine, ready to run one set of programs.
+pub struct Machine {
+    model: CostModel,
+    map: CartMap,
+    mode: ThreadMode,
+    net: Net,
+    tree: CollectiveTree,
+    queue: EventQueue<Ev>,
+    procs: Vec<Proc>,
+    threads: Vec<Thread>,
+    programs: Vec<Box<dyn Program>>,
+    proc_of_rank: HashMap<usize, u32>,
+    node_bus: Vec<FifoServer>,
+    ar_arrived: Vec<(u32, SimTime)>,
+    ar_bytes: u64,
+    finished: usize,
+    messages: u64,
+    cell_dims: [usize; 3],
+}
+
+impl Machine {
+    /// The global ranks that will be instantiated (and therefore need
+    /// programs) for a map at a given scope, in ascending order.
+    pub fn instantiated_ranks(map: &CartMap, scope: Scope) -> Vec<usize> {
+        match scope {
+            Scope::Full => (0..map.ranks()).collect(),
+            Scope::UnitCell { .. } => {
+                let origin = Coord([0, 0, 0]);
+                (0..map.ranks())
+                    .filter(|&r| map.node_of(r) == origin)
+                    .collect()
+            }
+        }
+    }
+
+    /// Build a machine. `programs` is indexed `[proc][thread-slot]`,
+    /// flattened, with processes in [`Machine::instantiated_ranks`] order
+    /// and `threads_per_process` slots each.
+    ///
+    /// # Panics
+    /// Panics if the program count is wrong, or if `UnitCell` scope is
+    /// combined with an unreordered map (the symmetry argument needs the
+    /// cartesian embedding).
+    pub fn new(
+        map: CartMap,
+        model: CostModel,
+        mode: ThreadMode,
+        scope: Scope,
+        programs: Vec<Box<dyn Program>>,
+    ) -> Machine {
+        if matches!(scope, Scope::UnitCell { .. }) {
+            assert!(
+                map.reordered,
+                "unit-cell scope requires a reordered cartesian map"
+            );
+        }
+        let ranks = Self::instantiated_ranks(&map, scope);
+        let t_per_proc = map.partition.threads_per_process();
+        assert_eq!(
+            programs.len(),
+            ranks.len() * t_per_proc,
+            "need one program per (process, thread-slot)"
+        );
+
+        let cell_dims = match scope {
+            Scope::Full => [1, 1, 1],
+            Scope::UnitCell { .. } => map.block,
+        };
+        let net = match scope {
+            Scope::Full => Net::Full(FullNetwork::new(map.partition.node_shape)),
+            Scope::UnitCell { neighbor_hops } => {
+                Net::Cell(UnitCellNetwork::new(neighbor_hops))
+            }
+        };
+        let n_nodes = match scope {
+            Scope::Full => map.partition.nodes(),
+            Scope::UnitCell { .. } => 1,
+        };
+
+        let mut proc_of_rank = HashMap::with_capacity(ranks.len());
+        let mut procs = Vec::with_capacity(ranks.len());
+        let mut threads = Vec::with_capacity(ranks.len() * t_per_proc);
+        for (pi, &rank) in ranks.iter().enumerate() {
+            proc_of_rank.insert(rank, pi as u32);
+            let node_idx = match scope {
+                Scope::Full => map.partition.node_shape.index(map.node_of(rank)),
+                Scope::UnitCell { .. } => 0,
+            };
+            procs.push(Proc {
+                rank,
+                node_idx,
+                sent_payload: 0,
+                mpi_lock: FifoServer::new(),
+                posted: HashMap::new(),
+                unexpected: HashMap::new(),
+                barrier: Vec::new(),
+            });
+            for slot in 0..t_per_proc {
+                threads.push(Thread {
+                    proc: pi as u32,
+                    slot: slot as u32,
+                    outstanding: HashMap::new(),
+                    posted_count: HashMap::new(),
+                    waiting: None,
+                    done: false,
+                    finish: SimTime::ZERO,
+                    busy_compute: SimDuration::ZERO,
+                    busy_comm: SimDuration::ZERO,
+                    busy_sync: SimDuration::ZERO,
+                    flops: 0.0,
+                });
+            }
+        }
+
+        Machine {
+            tree: CollectiveTree::new(map.partition.nodes()),
+            model,
+            map,
+            mode,
+            net,
+            queue: EventQueue::new(),
+            procs,
+            threads,
+            programs,
+            proc_of_rank,
+            node_bus: vec![FifoServer::new(); n_nodes],
+            ar_arrived: Vec::new(),
+            ar_bytes: 0,
+            finished: 0,
+            messages: 0,
+            cell_dims,
+        }
+    }
+
+    /// Run to completion and report.
+    ///
+    /// # Panics
+    /// Panics on deadlock (some thread never reaches `Done`) with a
+    /// description of the stuck threads.
+    pub fn run(mut self) -> RunReport {
+        for tid in 0..self.threads.len() {
+            self.queue.schedule_at(SimTime::ZERO, Ev::Fetch { tid: tid as u32 });
+        }
+        while let Some((now, ev)) = self.queue.pop() {
+            match ev {
+                Ev::Fetch { tid } => self.fetch(tid, now),
+                Ev::SendDone { tid, epoch } => self.complete_request(tid, epoch, now),
+                Ev::Deliver {
+                    proc,
+                    src,
+                    tag,
+                    bytes,
+                } => self.deliver(proc, src, tag, bytes, now),
+            }
+        }
+        if self.finished < self.threads.len() {
+            let stuck: Vec<String> = self
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !t.done)
+                .map(|(i, t)| {
+                    format!(
+                        "tid {i} (rank {}, slot {}) waiting on {:?}",
+                        self.procs[t.proc as usize].rank, t.slot, t.waiting
+                    )
+                })
+                .collect();
+            panic!("deadlock: {} threads stuck: {}", stuck.len(), stuck.join("; "));
+        }
+        self.report()
+    }
+
+    fn report(&self) -> RunReport {
+        let makespan = self
+            .threads
+            .iter()
+            .map(|t| t.finish)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let flops: f64 = self.threads.iter().map(|t| t.flops).sum();
+        let busy = self
+            .threads
+            .iter()
+            .fold(SimDuration::ZERO, |acc, t| acc + t.busy());
+        let busy_compute = self
+            .threads
+            .iter()
+            .fold(SimDuration::ZERO, |acc, t| acc + t.busy_compute);
+        let busy_comm = self
+            .threads
+            .iter()
+            .fold(SimDuration::ZERO, |acc, t| acc + t.busy_comm);
+        let busy_sync = self
+            .threads
+            .iter()
+            .fold(SimDuration::ZERO, |acc, t| acc + t.busy_sync);
+        let (network_bytes_per_node, total_network_bytes, max_link_util) = match &self.net {
+            Net::Full(n) => (
+                n.max_injected_bytes(),
+                n.total_injected_bytes(),
+                n.max_link_utilization(makespan),
+            ),
+            Net::Cell(c) => (
+                c.injected_bytes(),
+                c.injected_bytes(),
+                c.max_link_utilization(makespan),
+            ),
+        };
+        // All posted payload, grouped by node (the Fig. 6 metric).
+        let mut per_node: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
+        for p in &self.procs {
+            *per_node.entry(p.node_idx).or_insert(0) += p.sent_payload;
+        }
+        let bytes_per_node = per_node.values().copied().max().unwrap_or(0);
+        RunReport {
+            makespan: makespan.since(SimTime::ZERO),
+            events: self.queue.events_processed(),
+            messages: self.messages,
+            bytes_per_node,
+            network_bytes_per_node,
+            total_network_bytes,
+            busy,
+            busy_compute,
+            busy_comm,
+            busy_sync,
+            flops,
+            threads: self.threads.len(),
+            utilization: self
+                .model
+                .utilization(flops, self.threads.len(), makespan.since(SimTime::ZERO)),
+            max_link_utilization: max_link_util,
+        }
+    }
+
+    // ---- instruction execution ----------------------------------------
+
+    fn fetch(&mut self, tid: u32, now: SimTime) {
+        let instr = self.programs[tid as usize].next();
+        let ti = tid as usize;
+        match instr {
+            Instr::Isend {
+                dst,
+                bytes,
+                tag,
+                epoch,
+            } => {
+                self.assert_comm_allowed(ti);
+                let cpu_done = self.charge_call(ti, now, self.model.o_send);
+                *self.threads[ti].outstanding.entry(epoch).or_insert(0) += 1;
+                *self.threads[ti].posted_count.entry(epoch).or_insert(0) += 1;
+                self.messages += 1;
+                self.procs[self.threads[ti].proc as usize].sent_payload += bytes;
+                let src_rank = self.procs[self.threads[ti].proc as usize].rank;
+                let routed = self.route(src_rank, dst, bytes, cpu_done, ti);
+                self.queue
+                    .schedule_at(routed.injection_done, Ev::SendDone { tid, epoch });
+                self.queue.schedule_at(
+                    routed.deliver_at,
+                    Ev::Deliver {
+                        proc: routed.dst_proc,
+                        src: routed.perceived_src,
+                        tag,
+                        bytes,
+                    },
+                );
+                self.queue
+                    .schedule_at(routed.cpu_free, Ev::Fetch { tid });
+            }
+            Instr::Irecv {
+                src,
+                bytes,
+                tag,
+                epoch,
+            } => {
+                self.assert_comm_allowed(ti);
+                let cpu_done = self.charge_call(ti, now, self.model.o_recv);
+                let pi = self.threads[ti].proc as usize;
+                let key = (src as u64, tag);
+                let matched = self.procs[pi]
+                    .unexpected
+                    .get_mut(&key)
+                    .and_then(VecDeque::pop_front);
+                if let Some(arrived_bytes) = matched {
+                    debug_assert_eq!(arrived_bytes, bytes, "message size mismatch");
+                    // Completed immediately; still counts toward the epoch's
+                    // wait-time charge.
+                    *self.threads[ti].posted_count.entry(epoch).or_insert(0) += 1;
+                } else {
+                    self.procs[pi]
+                        .posted
+                        .entry(key)
+                        .or_default()
+                        .push_back((tid, epoch));
+                    *self.threads[ti].outstanding.entry(epoch).or_insert(0) += 1;
+                    *self.threads[ti].posted_count.entry(epoch).or_insert(0) += 1;
+                }
+                self.queue.schedule_at(cpu_done, Ev::Fetch { tid });
+            }
+            Instr::WaitEpoch { epoch } => {
+                let t = &mut self.threads[ti];
+                let open = t.outstanding.get(&epoch).copied().unwrap_or(0);
+                if open == 0 {
+                    t.outstanding.remove(&epoch);
+                    let k = t.posted_count.remove(&epoch).unwrap_or(0) as u64;
+                    let charge = self.model.o_wait * k;
+                    t.busy_comm += charge;
+                    self.queue.schedule_at(now + charge, Ev::Fetch { tid });
+                } else {
+                    t.waiting = Some(epoch);
+                }
+            }
+            Instr::Compute {
+                points,
+                rows,
+                grids,
+            } => {
+                let d = self.model.compute_time(points, rows, grids);
+                let t = &mut self.threads[ti];
+                t.busy_compute += d;
+                t.flops += points as f64 * STENCIL_FLOPS_PER_POINT;
+                self.queue.schedule_at(now + d, Ev::Fetch { tid });
+            }
+            Instr::Delay { d } => {
+                self.threads[ti].busy_compute += d;
+                self.queue.schedule_at(now + d, Ev::Fetch { tid });
+            }
+            Instr::ThreadBarrier => {
+                let pi = self.threads[ti].proc as usize;
+                let t_per_proc = self.map.partition.threads_per_process();
+                if t_per_proc == 1 {
+                    self.queue.schedule_at(now, Ev::Fetch { tid });
+                    return;
+                }
+                self.procs[pi].barrier.push((tid, now));
+                if self.procs[pi].barrier.len() == t_per_proc {
+                    let latest = self.procs[pi]
+                        .barrier
+                        .iter()
+                        .map(|&(_, t)| t)
+                        .max()
+                        .expect("barrier is non-empty");
+                    let release = latest + self.model.t_barrier;
+                    let waiters = std::mem::take(&mut self.procs[pi].barrier);
+                    for (wtid, _) in waiters {
+                        self.threads[wtid as usize].busy_sync += self.model.t_barrier;
+                        self.queue.schedule_at(release, Ev::Fetch { tid: wtid });
+                    }
+                }
+            }
+            Instr::AllReduce { bytes } => {
+                assert_eq!(
+                    self.threads[ti].slot, 0,
+                    "AllReduce must be issued by thread 0 of each process"
+                );
+                self.ar_arrived.push((tid, now));
+                self.ar_bytes = self.ar_bytes.max(bytes);
+                if self.ar_arrived.len() == self.procs.len() {
+                    let latest = self
+                        .ar_arrived
+                        .iter()
+                        .map(|&(_, t)| t)
+                        .max()
+                        .expect("non-empty");
+                    let cost = self.tree.allreduce(self.ar_bytes, &self.model);
+                    let release = latest + cost;
+                    let waiters = std::mem::take(&mut self.ar_arrived);
+                    self.ar_bytes = 0;
+                    for (wtid, _) in waiters {
+                        self.threads[wtid as usize].busy_sync += cost;
+                        self.queue.schedule_at(release, Ev::Fetch { tid: wtid });
+                    }
+                }
+            }
+            Instr::Done => {
+                let t = &mut self.threads[ti];
+                t.done = true;
+                t.finish = now;
+                self.finished += 1;
+            }
+        }
+    }
+
+    fn assert_comm_allowed(&self, ti: usize) {
+        if self.mode == ThreadMode::Single {
+            assert_eq!(
+                self.threads[ti].slot, 0,
+                "MPI_THREAD_SINGLE: only thread 0 may communicate"
+            );
+        }
+    }
+
+    /// CPU time of an MPI call, including MULTIPLE-mode lock serialization.
+    /// Returns when the call completes (thread busy until then).
+    fn charge_call(&mut self, ti: usize, now: SimTime, cost: SimDuration) -> SimTime {
+        let done = match self.mode {
+            ThreadMode::Single => now + cost,
+            ThreadMode::Multiple => {
+                let pi = self.threads[ti].proc as usize;
+                let grant = self.procs[pi]
+                    .mpi_lock
+                    .acquire(now, cost + self.model.o_lock_multiple);
+                grant.done
+            }
+        };
+        self.threads[ti].busy_comm += done.since(now);
+        done
+    }
+
+    // ---- message routing -----------------------------------------------
+
+    fn route(
+        &mut self,
+        src_rank: usize,
+        dst_rank: usize,
+        bytes: u64,
+        at: SimTime,
+        sender_ti: usize,
+    ) -> Routed {
+        if let Some(&dst_proc) = self.proc_of_rank.get(&dst_rank) {
+            let same_node = match &self.net {
+                Net::Full(_) => self.map.same_node(src_rank, dst_rank),
+                // Everything instantiated in cell scope lives on the one
+                // cell node.
+                Net::Cell(_) => true,
+            };
+            if same_node {
+                return self.route_memcpy(dst_proc, src_rank, bytes, at, sender_ti);
+            }
+        }
+        match &mut self.net {
+            Net::Full(net) => {
+                let dst_proc = *self
+                    .proc_of_rank
+                    .get(&dst_rank)
+                    .expect("full scope instantiates every rank");
+                let d = net.transfer(
+                    at,
+                    self.map.node_of(src_rank),
+                    self.map.node_of(dst_rank),
+                    bytes,
+                    &self.model,
+                );
+                Routed {
+                    cpu_free: at,
+                    injection_done: d.injection_done,
+                    deliver_at: d.deliver_at,
+                    dst_proc,
+                    perceived_src: src_rank as u64,
+                }
+            }
+            Net::Cell(net) => {
+                let shape = self.map.proc_shape();
+                let sc = shape.coord(src_rank);
+                let dc = shape.coord(dst_rank);
+                // Proc-level displacement: identifies the perceived source.
+                let delta = shape.displacement(sc, dc);
+                // Node-level displacement: identifies the physical link.
+                let ndelta = self
+                    .map
+                    .partition
+                    .node_shape
+                    .displacement(self.map.node_of(src_rank), self.map.node_of(dst_rank));
+                let (axis, step) = single_axis_step(ndelta)
+                    .expect("unit-cell scope only supports nearest-neighbor node traffic");
+                let dir = if step > 0 { Dir::Plus } else { Dir::Minus };
+                let d = net.transfer(at, LinkDir { axis, dir }, bytes, &self.model);
+                // Mirror target: the cell rank at the destination's position
+                // within its node block.
+                let mirror = Coord([
+                    dc.0[0] % self.cell_dims[0],
+                    dc.0[1] % self.cell_dims[1],
+                    dc.0[2] % self.cell_dims[2],
+                ]);
+                let mirror_rank = self.map.rank_of(mirror);
+                let dst_proc = *self
+                    .proc_of_rank
+                    .get(&mirror_rank)
+                    .expect("mirror target is in the cell by construction");
+                // Perceived source: the rank the mirror target would really
+                // have received this message from.
+                let psrc = Coord([
+                    wrap_sub(mirror.0[0], delta[0], shape.dims[0]),
+                    wrap_sub(mirror.0[1], delta[1], shape.dims[1]),
+                    wrap_sub(mirror.0[2], delta[2], shape.dims[2]),
+                ]);
+                Routed {
+                    cpu_free: at,
+                    injection_done: d.injection_done,
+                    deliver_at: d.deliver_at,
+                    dst_proc,
+                    perceived_src: self.map.rank_of(psrc) as u64,
+                }
+            }
+        }
+    }
+
+    /// Intra-node transfer: the sending core performs the copy through the
+    /// node's shared memory bus.
+    fn route_memcpy(
+        &mut self,
+        dst_proc: u32,
+        src_rank: usize,
+        bytes: u64,
+        at: SimTime,
+        sender_ti: usize,
+    ) -> Routed {
+        let pi = self.threads[sender_ti].proc as usize;
+        let node = self.procs[pi].node_idx;
+        let grant = self.node_bus[node].acquire(
+            at + self.model.o_memcpy,
+            self.model.memcpy_time(bytes),
+        );
+        self.threads[sender_ti].busy_comm += grant.done.since(at);
+        Routed {
+            cpu_free: grant.done,
+            injection_done: grant.done,
+            deliver_at: grant.done,
+            dst_proc,
+            perceived_src: src_rank as u64,
+        }
+    }
+
+    // ---- completion ------------------------------------------------------
+
+    fn complete_request(&mut self, tid: u32, epoch: u32, now: SimTime) {
+        let ti = tid as usize;
+        let open = self
+            .threads[ti]
+            .outstanding
+            .get_mut(&epoch)
+            .expect("completion for unknown epoch");
+        *open -= 1;
+        if *open == 0 {
+            self.threads[ti].outstanding.remove(&epoch);
+            if self.threads[ti].waiting == Some(epoch) {
+                self.threads[ti].waiting = None;
+                let k = self.threads[ti].posted_count.remove(&epoch).unwrap_or(0) as u64;
+                let charge = self.model.o_wait * k;
+                self.threads[ti].busy_comm += charge;
+                self.queue.schedule_at(now + charge, Ev::Fetch { tid });
+            }
+        }
+    }
+
+    fn deliver(&mut self, proc: u32, src: u64, tag: Tag, bytes: u64, now: SimTime) {
+        let pi = proc as usize;
+        let key = (src, tag);
+        let matched = self.procs[pi]
+            .posted
+            .get_mut(&key)
+            .and_then(VecDeque::pop_front);
+        match matched {
+            Some((tid, epoch)) => self.complete_request(tid, epoch, now),
+            None => self.procs[pi]
+                .unexpected
+                .entry(key)
+                .or_default()
+                .push_back(bytes),
+        }
+    }
+}
+
+struct Routed {
+    cpu_free: SimTime,
+    injection_done: SimTime,
+    deliver_at: SimTime,
+    dst_proc: u32,
+    perceived_src: u64,
+}
+
+/// Decompose a displacement into its single non-zero axis step.
+fn single_axis_step(delta: [isize; 3]) -> Option<(Axis, isize)> {
+    let mut found = None;
+    for axis in Axis::ALL {
+        let d = delta[axis.index()];
+        if d != 0 {
+            if found.is_some() || d.abs() != 1 {
+                return None;
+            }
+            found = Some((axis, d));
+        }
+    }
+    found
+}
+
+/// `(a - d) mod n` with signed `d`.
+fn wrap_sub(a: usize, d: isize, n: usize) -> usize {
+    (a as isize - d).rem_euclid(n as isize) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::VecProgram;
+    use gpaw_bgp_hw::{ExecMode, Partition};
+
+    fn model() -> CostModel {
+        CostModel::bgp()
+    }
+
+    /// Two SMP nodes; slots 1..3 idle.
+    fn two_node_map() -> CartMap {
+        let p = Partition::new([1, 1, 2], ExecMode::Smp);
+        CartMap::new(p, [1, 1, 2]).unwrap()
+    }
+
+    fn pad_idle(mut progs: Vec<Vec<Instr>>, threads: usize) -> Vec<Box<dyn Program>> {
+        let mut out: Vec<Box<dyn Program>> = Vec::new();
+        for p in progs.drain(..) {
+            out.push(Box::new(VecProgram::new(p)));
+            for _ in 1..threads {
+                out.push(Box::new(VecProgram::new(vec![])));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn one_message_end_to_end() {
+        let m = model();
+        let map = two_node_map();
+        let progs = pad_idle(
+            vec![
+                vec![
+                    Instr::Isend {
+                        dst: 1,
+                        bytes: 224,
+                        tag: 7,
+                        epoch: 0,
+                    },
+                    Instr::WaitEpoch { epoch: 0 },
+                ],
+                vec![
+                    Instr::Irecv {
+                        src: 0,
+                        bytes: 224,
+                        tag: 7,
+                        epoch: 0,
+                    },
+                    Instr::WaitEpoch { epoch: 0 },
+                ],
+            ],
+            4,
+        );
+        let r = Machine::new(map, m.clone(), ThreadMode::Single, Scope::Full, progs).run();
+        // Receiver finishes at o_send + link + hop + o_wait (recv posted at
+        // t=0 ⇒ o_recv happens concurrently with the send).
+        let expect = m.o_send + m.link_time(224) + m.hop_latency + m.o_wait;
+        assert_eq!(r.makespan, expect);
+        assert_eq!(r.messages, 1);
+        assert_eq!(r.bytes_per_node, 224);
+    }
+
+    #[test]
+    fn unexpected_message_is_buffered() {
+        let m = model();
+        let map = two_node_map();
+        // Receiver delays long enough that the message arrives first.
+        let progs = pad_idle(
+            vec![
+                vec![
+                    Instr::Isend {
+                        dst: 1,
+                        bytes: 100,
+                        tag: 1,
+                        epoch: 0,
+                    },
+                    Instr::WaitEpoch { epoch: 0 },
+                ],
+                vec![
+                    Instr::Delay {
+                        d: SimDuration::from_ms(1),
+                    },
+                    Instr::Irecv {
+                        src: 0,
+                        bytes: 100,
+                        tag: 1,
+                        epoch: 0,
+                    },
+                    Instr::WaitEpoch { epoch: 0 },
+                ],
+            ],
+            4,
+        );
+        let r = Machine::new(map, m.clone(), ThreadMode::Single, Scope::Full, progs).run();
+        // Makespan dominated by the receiver's delay, not the network.
+        let floor = SimDuration::from_ms(1) + m.o_recv + m.o_wait;
+        assert_eq!(r.makespan, floor);
+    }
+
+    #[test]
+    fn wait_with_nothing_outstanding_is_instant() {
+        let m = model();
+        let map = two_node_map();
+        let progs = pad_idle(vec![vec![Instr::WaitEpoch { epoch: 3 }], vec![]], 4);
+        let r = Machine::new(map, m, ThreadMode::Single, Scope::Full, progs).run();
+        assert_eq!(r.makespan, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn simultaneous_exchange_beats_serialized() {
+        // The §V optimization: posting all three dimensions at once
+        // overlaps the six directions on six independent links.
+        let m = model();
+        let p = Partition::new([2, 2, 2], ExecMode::Smp);
+        let map = CartMap::new(p, [2, 2, 2]).unwrap();
+        let bytes = 50_000u64;
+
+        let build = |serialized: bool| -> Vec<Box<dyn Program>> {
+            let mut progs: Vec<Vec<Instr>> = Vec::new();
+            for r in 0..8usize {
+                let mut is: Vec<Instr> = Vec::new();
+                for (e, axis) in Axis::ALL.into_iter().enumerate() {
+                    let e = if serialized { e as u32 } else { 0 };
+                    for dir in Dir::ALL {
+                        let nb = map.neighbor_rank(r, axis, dir);
+                        let tag_s = (axis.index() * 2
+                            + if dir == Dir::Plus { 1 } else { 0 })
+                            as u64;
+                        // The matching receive: our neighbor's send toward
+                        // us travels the opposite direction.
+                        let tag_r = (axis.index() * 2
+                            + if dir == Dir::Plus { 0 } else { 1 })
+                            as u64;
+                        is.push(Instr::Irecv {
+                            src: nb,
+                            bytes,
+                            tag: tag_r,
+                            epoch: e,
+                        });
+                        is.push(Instr::Isend {
+                            dst: nb,
+                            bytes,
+                            tag: tag_s,
+                            epoch: e,
+                        });
+                    }
+                    if serialized {
+                        is.push(Instr::WaitEpoch { epoch: e });
+                    }
+                }
+                if !serialized {
+                    is.push(Instr::WaitEpoch { epoch: 0 });
+                }
+                progs.push(is);
+            }
+            pad_idle(progs, 4)
+        };
+
+        let t_serial = Machine::new(
+            map.clone(),
+            m.clone(),
+            ThreadMode::Single,
+            Scope::Full,
+            build(true),
+        )
+        .run()
+        .makespan;
+        let par_progs = build(false);
+        let t_parallel = Machine::new(map.clone(), m, ThreadMode::Single, Scope::Full, par_progs)
+            .run()
+            .makespan;
+        assert!(
+            t_parallel.as_secs_f64() < 0.55 * t_serial.as_secs_f64(),
+            "parallel {t_parallel} vs serial {t_serial}"
+        );
+    }
+
+    #[test]
+    fn thread_barrier_synchronizes() {
+        let m = model();
+        let p = Partition::new([1, 1, 1], ExecMode::Smp);
+        let map = CartMap::new(p, [1, 1, 1]).unwrap();
+        let mk = |d_ms: u64| {
+            vec![
+                Instr::Delay {
+                    d: SimDuration::from_ms(d_ms),
+                },
+                Instr::ThreadBarrier,
+            ]
+        };
+        let progs: Vec<Box<dyn Program>> = vec![
+            Box::new(VecProgram::new(mk(1))),
+            Box::new(VecProgram::new(mk(5))),
+            Box::new(VecProgram::new(mk(2))),
+            Box::new(VecProgram::new(mk(3))),
+        ];
+        let r = Machine::new(map, m.clone(), ThreadMode::Single, Scope::Full, progs).run();
+        assert_eq!(r.makespan, SimDuration::from_ms(5) + m.t_barrier);
+    }
+
+    #[test]
+    fn multiple_mode_serializes_library_calls() {
+        let m = model();
+        let p = Partition::new([1, 1, 2], ExecMode::Smp);
+        let map = CartMap::new(p, [1, 1, 2]).unwrap();
+        // All four threads of node 0 send to ranks... in Multiple mode the
+        // per-process lock serializes the four posts.
+        let n_sends = 8u64;
+        let build = || {
+            let mut progs: Vec<Box<dyn Program>> = Vec::new();
+            for proc in 0..2usize {
+                for slot in 0..4usize {
+                    let mut is = Vec::new();
+                    if proc == 0 {
+                        for k in 0..n_sends {
+                            is.push(Instr::Isend {
+                                dst: 1,
+                                bytes: 1,
+                                tag: (slot as u64) << 32 | k,
+                                epoch: 0,
+                            });
+                        }
+                        is.push(Instr::WaitEpoch { epoch: 0 });
+                    } else if slot == 0 {
+                        for s in 0..4u64 {
+                            for k in 0..n_sends {
+                                is.push(Instr::Irecv {
+                                    src: 0,
+                                    bytes: 1,
+                                    tag: s << 32 | k,
+                                    epoch: 0,
+                                });
+                            }
+                        }
+                        is.push(Instr::WaitEpoch { epoch: 0 });
+                    }
+                    progs.push(Box::new(VecProgram::new(is)));
+                }
+            }
+            progs
+        };
+        let multi = Machine::new(
+            map.clone(),
+            m.clone(),
+            ThreadMode::Multiple,
+            Scope::Full,
+            build(),
+        )
+        .run();
+        // Lower bound: 4 threads × 8 calls serialized through the lock.
+        let lock_floor = (m.o_send + m.o_lock_multiple) * (4 * n_sends);
+        assert!(
+            multi.makespan >= lock_floor,
+            "multiple-mode lock must serialize: {} < {}",
+            multi.makespan,
+            lock_floor
+        );
+    }
+
+    #[test]
+    fn intra_node_messages_use_the_memory_bus() {
+        let m = model();
+        // One node, virtual mode: 4 single-thread ranks exchanging on-node.
+        let p = Partition::new([1, 1, 1], ExecMode::Virtual);
+        let map = CartMap::new(p, [1, 1, 4]).unwrap();
+        let bytes = 1 << 20;
+        let mut progs: Vec<Box<dyn Program>> = Vec::new();
+        for r in 0..4usize {
+            let dst = (r + 1) % 4;
+            let src = (r + 3) % 4;
+            progs.push(Box::new(VecProgram::new(vec![
+                Instr::Irecv {
+                    src,
+                    bytes,
+                    tag: 0,
+                    epoch: 0,
+                },
+                Instr::Isend {
+                    dst,
+                    bytes,
+                    tag: 0,
+                    epoch: 0,
+                },
+                Instr::WaitEpoch { epoch: 0 },
+            ])));
+        }
+        let r = Machine::new(map, m.clone(), ThreadMode::Single, Scope::Full, progs).run();
+        // No torus traffic at all — but the Fig. 6 metric still counts the
+        // four intra-node messages.
+        assert_eq!(r.network_bytes_per_node, 0);
+        assert_eq!(r.bytes_per_node, 4 * bytes);
+        // Four 1 MB copies serialized on one 6.8 GB/s bus ≳ 0.6 ms.
+        let copy = m.memcpy_time(bytes) * 4;
+        assert!(r.makespan >= copy);
+    }
+
+    #[test]
+    fn allreduce_joins_all_processes() {
+        let m = model();
+        let map = two_node_map();
+        let progs = pad_idle(
+            vec![
+                vec![
+                    Instr::Delay {
+                        d: SimDuration::from_ms(2),
+                    },
+                    Instr::AllReduce { bytes: 8 },
+                ],
+                vec![Instr::AllReduce { bytes: 8 }],
+            ],
+            4,
+        );
+        let r = Machine::new(map, m.clone(), ThreadMode::Single, Scope::Full, progs).run();
+        let expect = SimDuration::from_ms(2) + m.allreduce_time(8, 2);
+        assert_eq!(r.makespan, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn unmatched_wait_deadlocks_loudly() {
+        let m = model();
+        let map = two_node_map();
+        let progs = pad_idle(
+            vec![
+                vec![
+                    Instr::Irecv {
+                        src: 1,
+                        bytes: 8,
+                        tag: 9,
+                        epoch: 0,
+                    },
+                    Instr::WaitEpoch { epoch: 0 },
+                ],
+                vec![],
+            ],
+            4,
+        );
+        Machine::new(map, m, ThreadMode::Single, Scope::Full, progs).run();
+    }
+
+    #[test]
+    #[should_panic(expected = "SINGLE")]
+    fn single_mode_rejects_worker_comm() {
+        let m = model();
+        let p = Partition::new([1, 1, 1], ExecMode::Smp);
+        let map = CartMap::new(p, [1, 1, 1]).unwrap();
+        let progs: Vec<Box<dyn Program>> = vec![
+            Box::new(VecProgram::new(vec![])),
+            Box::new(VecProgram::new(vec![Instr::Isend {
+                dst: 0,
+                bytes: 1,
+                tag: 0,
+                epoch: 0,
+            }])),
+            Box::new(VecProgram::new(vec![])),
+            Box::new(VecProgram::new(vec![])),
+        ];
+        Machine::new(map, m, ThreadMode::Single, Scope::Full, progs).run();
+    }
+
+    /// The unit-cell scope must time a symmetric neighbor exchange exactly
+    /// like the full machine.
+    #[test]
+    fn unit_cell_matches_full_machine_on_symmetric_exchange() {
+        let m = model();
+        let p = Partition::new([8, 8, 8], ExecMode::Smp); // 512-node torus
+        let map = CartMap::new(p, [8, 8, 8]).unwrap();
+        let bytes = 30_000u64;
+
+        let prog_for = |map: &CartMap, r: usize| -> Vec<Instr> {
+            let mut is = Vec::new();
+            for axis in Axis::ALL {
+                for dir in Dir::ALL {
+                    let nb = map.neighbor_rank(r, axis, dir);
+                    let tag_s =
+                        (axis.index() * 2 + if dir == Dir::Plus { 1 } else { 0 }) as u64;
+                    let tag_r =
+                        (axis.index() * 2 + if dir == Dir::Plus { 0 } else { 1 }) as u64;
+                    is.push(Instr::Irecv {
+                        src: nb,
+                        bytes,
+                        tag: tag_r,
+                        epoch: 0,
+                    });
+                    is.push(Instr::Isend {
+                        dst: nb,
+                        bytes,
+                        tag: tag_s,
+                        epoch: 0,
+                    });
+                }
+            }
+            is.push(Instr::WaitEpoch { epoch: 0 });
+            is.push(Instr::Compute {
+                points: 100_000,
+                rows: 1000,
+                grids: 1,
+            });
+            is
+        };
+
+        let full_progs = pad_idle(
+            (0..map.ranks()).map(|r| prog_for(&map, r)).collect(),
+            4,
+        );
+        let full = Machine::new(
+            map.clone(),
+            m.clone(),
+            ThreadMode::Single,
+            Scope::Full,
+            full_progs,
+        )
+        .run();
+
+        let cell_ranks = Machine::instantiated_ranks(&map, Scope::UnitCell { neighbor_hops: 1 });
+        assert_eq!(cell_ranks, vec![0]);
+        let cell_progs = pad_idle(vec![prog_for(&map, 0)], 4);
+        let cell = Machine::new(
+            map,
+            m,
+            ThreadMode::Single,
+            Scope::UnitCell { neighbor_hops: 1 },
+            cell_progs,
+        )
+        .run();
+
+        assert_eq!(cell.makespan, full.makespan, "scopes must agree");
+        assert_eq!(cell.bytes_per_node, full.bytes_per_node);
+        assert!(cell.events < full.events / 100, "cell must be far cheaper");
+    }
+
+    /// Same equivalence in virtual mode, where the cell holds four ranks
+    /// and some neighbors are intra-node.
+    #[test]
+    fn unit_cell_matches_full_machine_virtual_mode() {
+        let m = model();
+        let p = Partition::new([8, 8, 8], ExecMode::Virtual);
+        let map = CartMap::best(p, [192, 192, 192]);
+        let bytes = 10_000u64;
+
+        let prog_for = |map: &CartMap, r: usize| -> Vec<Instr> {
+            let mut is = Vec::new();
+            for axis in Axis::ALL {
+                for dir in Dir::ALL {
+                    let nb = map.neighbor_rank(r, axis, dir);
+                    let tag_s =
+                        (axis.index() * 2 + if dir == Dir::Plus { 1 } else { 0 }) as u64;
+                    let tag_r =
+                        (axis.index() * 2 + if dir == Dir::Plus { 0 } else { 1 }) as u64;
+                    is.push(Instr::Irecv {
+                        src: nb,
+                        bytes,
+                        tag: tag_r,
+                        epoch: 0,
+                    });
+                    is.push(Instr::Isend {
+                        dst: nb,
+                        bytes,
+                        tag: tag_s,
+                        epoch: 0,
+                    });
+                }
+            }
+            is.push(Instr::WaitEpoch { epoch: 0 });
+            is
+        };
+
+        let full_progs: Vec<Box<dyn Program>> = (0..map.ranks())
+            .map(|r| Box::new(VecProgram::new(prog_for(&map, r))) as Box<dyn Program>)
+            .collect();
+        let full = Machine::new(
+            map.clone(),
+            m.clone(),
+            ThreadMode::Single,
+            Scope::Full,
+            full_progs,
+        )
+        .run();
+
+        let cell_ranks = Machine::instantiated_ranks(&map, Scope::UnitCell { neighbor_hops: 1 });
+        assert_eq!(cell_ranks.len(), 4);
+        let cell_progs: Vec<Box<dyn Program>> = cell_ranks
+            .iter()
+            .map(|&r| Box::new(VecProgram::new(prog_for(&map, r))) as Box<dyn Program>)
+            .collect();
+        let cell = Machine::new(
+            map,
+            m,
+            ThreadMode::Single,
+            Scope::UnitCell { neighbor_hops: 1 },
+            cell_progs,
+        )
+        .run();
+
+        assert_eq!(cell.makespan, full.makespan);
+        // Full reports the max per node; the cell reports its own node.
+        assert_eq!(cell.bytes_per_node, full.bytes_per_node);
+    }
+}

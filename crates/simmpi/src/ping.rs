@@ -1,0 +1,130 @@
+//! The Fig. 2 experiment: point-to-point bandwidth between two neighboring
+//! nodes as a function of message size.
+//!
+//! One message is sent from a node to its neighbor; bandwidth is payload
+//! size over the one-way completion time (post → receive complete). The
+//! saturating curve is *emergent*: software posting overhead + per-hop
+//! latency dominate small messages, link serialization (with the
+//! 224/256-byte packet protocol efficiency) dominates large ones.
+
+use crate::instr::{Instr, Program, VecProgram};
+use crate::machine::{Machine, Scope, ThreadMode};
+use gpaw_bgp_hw::spec::CostModel;
+use gpaw_bgp_hw::{CartMap, ExecMode, Partition};
+
+/// One point of the bandwidth curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandwidthSample {
+    /// Message payload size in bytes.
+    pub bytes: u64,
+    /// One-way completion time in seconds.
+    pub seconds: f64,
+    /// Achieved bandwidth in bytes/s.
+    pub bandwidth: f64,
+}
+
+/// Measure the one-way bandwidth for a single message of `bytes` between
+/// two neighboring nodes.
+pub fn p2p_bandwidth(model: &CostModel, bytes: u64) -> BandwidthSample {
+    let partition = Partition::new([1, 1, 2], ExecMode::Smp);
+    let map = CartMap::new(partition, [1, 1, 2]).unwrap();
+    let mut programs: Vec<Box<dyn Program>> = Vec::new();
+    // Rank 0: sender (plus 3 idle thread slots).
+    programs.push(Box::new(VecProgram::new(vec![
+        Instr::Isend {
+            dst: 1,
+            bytes,
+            tag: 0,
+            epoch: 0,
+        },
+        Instr::WaitEpoch { epoch: 0 },
+    ])));
+    for _ in 1..4 {
+        programs.push(Box::new(VecProgram::new(vec![])));
+    }
+    // Rank 1: receiver.
+    programs.push(Box::new(VecProgram::new(vec![
+        Instr::Irecv {
+            src: 0,
+            bytes,
+            tag: 0,
+            epoch: 0,
+        },
+        Instr::WaitEpoch { epoch: 0 },
+    ])));
+    for _ in 1..4 {
+        programs.push(Box::new(VecProgram::new(vec![])));
+    }
+    let report = Machine::new(map, model.clone(), ThreadMode::Single, Scope::Full, programs).run();
+    let seconds = report.seconds();
+    BandwidthSample {
+        bytes,
+        seconds,
+        bandwidth: bytes as f64 / seconds,
+    }
+}
+
+/// Sweep message sizes `10^0 .. 10^7` like the paper's Fig. 2 (a few
+/// intermediate points per decade).
+pub fn bandwidth_sweep(model: &CostModel) -> Vec<BandwidthSample> {
+    let mut sizes = Vec::new();
+    for exp in 0..=6 {
+        let base = 10u64.pow(exp);
+        for mult in [1, 2, 5] {
+            sizes.push(base * mult);
+        }
+    }
+    sizes.push(10_000_000);
+    sizes.into_iter().map(|s| p2p_bandwidth(model, s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_saturates_like_fig2() {
+        let m = CostModel::bgp();
+        let b_small = p2p_bandwidth(&m, 1);
+        let b_1k = p2p_bandwidth(&m, 1_000);
+        let b_100k = p2p_bandwidth(&m, 100_000);
+        let b_10m = p2p_bandwidth(&m, 10_000_000);
+
+        // Asymptote: within a few percent of the protocol-limited
+        // 425 × 224/256 ≈ 372 MB/s, reached by 10^5 B.
+        let asym = 425e6 * 224.0 / 256.0;
+        assert!(
+            (b_10m.bandwidth - asym).abs() / asym < 0.02,
+            "asymptote {}",
+            b_10m.bandwidth
+        );
+        assert!(
+            b_100k.bandwidth > 0.9 * asym,
+            "10^5 B should be near saturation: {}",
+            b_100k.bandwidth
+        );
+        // Half the asymptotic bandwidth is reached around 10^3 B
+        // ("approximately" in the paper — allow a generous band).
+        assert!(
+            b_1k.bandwidth > 0.3 * asym && b_1k.bandwidth < 0.7 * asym,
+            "10^3 B should sit near half bandwidth: {}",
+            b_1k.bandwidth
+        );
+        // Tiny messages achieve almost nothing.
+        assert!(b_small.bandwidth < 0.01 * asym);
+    }
+
+    #[test]
+    fn bandwidth_monotonically_increases() {
+        let m = CostModel::bgp();
+        let sweep = bandwidth_sweep(&m);
+        for w in sweep.windows(2) {
+            assert!(
+                w[1].bandwidth >= w[0].bandwidth * 0.999,
+                "bandwidth dipped between {} and {} bytes",
+                w[0].bytes,
+                w[1].bytes
+            );
+        }
+    }
+}

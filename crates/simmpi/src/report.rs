@@ -1,0 +1,117 @@
+//! The outcome of a timed run.
+
+use gpaw_des::SimDuration;
+
+/// Aggregate results of one [`crate::Machine::run`].
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Simulated wall-clock time from start to the last thread's `Done`.
+    pub makespan: SimDuration,
+    /// Discrete events processed (simulation-size diagnostic).
+    pub events: u64,
+    /// Messages posted (`Isend` count) across all instantiated threads.
+    pub messages: u64,
+    /// MPI payload bytes posted per node (any destination, including the
+    /// intra-node shared-memory messages of virtual mode): the maximum over
+    /// nodes. This is the quantity on the right axis of the paper's Fig. 6.
+    pub bytes_per_node: u64,
+    /// Torus payload bytes injected per node (intra-node traffic excluded):
+    /// maximum over nodes in full scope, the cell's injection in unit-cell
+    /// scope.
+    pub network_bytes_per_node: u64,
+    /// Total network payload bytes (equals `bytes_per_node` in unit-cell
+    /// scope).
+    pub total_network_bytes: u64,
+    /// Summed busy time across threads (compute + messaging + sync).
+    pub busy: SimDuration,
+    /// Busy time spent in the stencil kernel (and explicit delays).
+    pub busy_compute: SimDuration,
+    /// Busy time spent in messaging (posting, locks, waits, memcpy).
+    pub busy_comm: SimDuration,
+    /// Busy time spent synchronizing (barriers, collectives).
+    pub busy_sync: SimDuration,
+    /// Stencil flops retired (points × 25).
+    pub flops: f64,
+    /// Instantiated hardware threads.
+    pub threads: usize,
+    /// Fraction of peak flops achieved over the makespan — the paper's
+    /// "CPU utilization" (36 % for Flat original, 70 % for the best hybrid
+    /// at 16 384 cores).
+    pub utilization: f64,
+    /// Utilization of the busiest directed torus link.
+    pub max_link_utilization: f64,
+}
+
+impl RunReport {
+    /// Seconds of simulated time.
+    pub fn seconds(&self) -> f64 {
+        self.makespan.as_secs_f64()
+    }
+
+    /// Fraction of aggregate thread time (threads × makespan) spent in a
+    /// category; the remainder is idle (waiting on the network or peers).
+    fn frac(&self, d: SimDuration) -> f64 {
+        let total = self.makespan.as_secs_f64() * self.threads as f64;
+        if total <= 0.0 {
+            0.0
+        } else {
+            d.as_secs_f64() / total
+        }
+    }
+
+    /// Fraction of thread time computing.
+    pub fn compute_fraction(&self) -> f64 {
+        self.frac(self.busy_compute)
+    }
+
+    /// Fraction of thread time in messaging overhead.
+    pub fn comm_fraction(&self) -> f64 {
+        self.frac(self.busy_comm)
+    }
+
+    /// Fraction of thread time synchronizing.
+    pub fn sync_fraction(&self) -> f64 {
+        self.frac(self.busy_sync)
+    }
+
+    /// Fraction of thread time idle (1 − the other three).
+    pub fn idle_fraction(&self) -> f64 {
+        (1.0 - self.compute_fraction() - self.comm_fraction() - self.sync_fraction()).max(0.0)
+    }
+
+    /// Speedup of this run relative to a baseline run.
+    pub fn speedup_vs(&self, baseline: &RunReport) -> f64 {
+        baseline.seconds() / self.seconds()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(secs: f64) -> RunReport {
+        RunReport {
+            makespan: SimDuration::from_secs_f64(secs),
+            events: 0,
+            messages: 0,
+            bytes_per_node: 0,
+            network_bytes_per_node: 0,
+            total_network_bytes: 0,
+            busy: SimDuration::ZERO,
+            busy_compute: SimDuration::ZERO,
+            busy_comm: SimDuration::ZERO,
+            busy_sync: SimDuration::ZERO,
+            flops: 0.0,
+            threads: 1,
+            utilization: 0.0,
+            max_link_utilization: 0.0,
+        }
+    }
+
+    #[test]
+    fn speedup() {
+        let base = report(10.0);
+        let fast = report(2.5);
+        assert!((fast.speedup_vs(&base) - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,25 @@
+//! # gpaw-repro — reproduction of *GPAW optimized for Blue Gene/P using
+//! # hybrid programming* (Kristensen, Happe, Vinter — IPDPS 2009)
+//!
+//! This façade crate re-exports the whole workspace so examples and
+//! downstream users can depend on a single crate:
+//!
+//! * [`des`] — deterministic discrete-event simulation kernel
+//! * [`bgp`] — Blue Gene/P hardware description, topology and cost model
+//! * [`netsim`] — simulated torus interconnect (links, DMA, collective tree)
+//! * [`simmpi`] — MPI-like message layer over the simulated machine
+//! * [`grid`] — real-space grids, 13-point FD stencils, decomposition
+//! * [`fd`] — the paper's contribution: the four programming approaches,
+//!   batching and double buffering, on both execution planes
+//! * [`mini`] — miniature GPAW workloads (Poisson, kinetic operator, SCF)
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+
+pub use gpaw_bgp_hw as bgp;
+pub use gpaw_des as des;
+pub use gpaw_fd as fd;
+pub use gpaw_grid as grid;
+pub use gpaw_mini as mini;
+pub use gpaw_netsim as netsim;
+pub use gpaw_simmpi as simmpi;
