@@ -5,12 +5,12 @@
 //! All runs: the Fig. 5 job (32 grids of 144³) at 4096 cores and the
 //! Fig. 7 job (2816 grids of 192³) at 16 384 cores.
 
-use gpaw_bench::{fig5_experiment, fig7_experiment, secs, Table};
+use gpaw_bench::{emit_report, fig5_experiment, fig7_experiment, secs, Table};
 use gpaw_bgp_hw::CostModel;
 use gpaw_des::SimDuration;
 use gpaw_fd::config::FdConfig;
 use gpaw_fd::timed::{run_timed, ScopeSel, TimedJob};
-use gpaw_fd::Approach;
+use gpaw_fd::{Approach, ExperimentReport};
 
 fn job(cores: usize, _approach: Approach, cfg: FdConfig, big: bool) -> TimedJob {
     let exp = if big {
@@ -30,13 +30,27 @@ fn job(cores: usize, _approach: Approach, cfg: FdConfig, big: bool) -> TimedJob 
 fn main() {
     let model = CostModel::bgp();
     println!("§V ABLATIONS (simulated times per FD application)\n");
+    let mut json = ExperimentReport::new("ablations");
 
     // ---- 1. Exchange pattern: blocking dim-by-dim vs simultaneous -------
     println!("1. Blocking dimension-by-dimension vs simultaneous non-blocking exchange");
-    let mut t = Table::new(vec!["job", "blocking (orig)", "simultaneous+overlap", "gain"]);
-    for (label, cores, big) in [("32x144^3 @4096", 4096usize, false), ("2816x192^3 @16384", 16384, true)] {
+    let mut t = Table::new(vec![
+        "job",
+        "blocking (orig)",
+        "simultaneous+overlap",
+        "gain",
+    ]);
+    for (label, cores, big) in [
+        ("32x144^3 @4096", 4096usize, false),
+        ("2816x192^3 @16384", 16384, true),
+    ] {
         let blocking = run_timed(
-            &job(cores, Approach::FlatOriginal, FdConfig::paper(Approach::FlatOriginal), big),
+            &job(
+                cores,
+                Approach::FlatOriginal,
+                FdConfig::paper(Approach::FlatOriginal),
+                big,
+            ),
             &model,
             ScopeSel::Auto,
         );
@@ -49,6 +63,10 @@ fn main() {
             ),
             &model,
             ScopeSel::Auto,
+        );
+        json.scalar(
+            &format!("blocking_vs_simultaneous_gain_{cores}"),
+            blocking.seconds() / simultaneous.seconds(),
         );
         t.row(vec![
             label.to_string(),
@@ -70,8 +88,20 @@ fn main() {
         off.double_buffer = false;
         let mut on = off;
         on.double_buffer = true;
-        let r_off = run_timed(&job(cores, Approach::HybridMultiple, off, big), &model, ScopeSel::Auto);
-        let r_on = run_timed(&job(cores, Approach::HybridMultiple, on, big), &model, ScopeSel::Auto);
+        let r_off = run_timed(
+            &job(cores, Approach::HybridMultiple, off, big),
+            &model,
+            ScopeSel::Auto,
+        );
+        let r_on = run_timed(
+            &job(cores, Approach::HybridMultiple, on, big),
+            &model,
+            ScopeSel::Auto,
+        );
+        json.scalar(
+            &format!("double_buffer_gain_{cores}"),
+            r_off.seconds() / r_on.seconds(),
+        );
         t.row(vec![
             label.to_string(),
             secs(r_off.seconds()),
@@ -85,15 +115,29 @@ fn main() {
     println!("\n3. Batch-size sweep (Hybrid multiple, 2816x192^3 @16384)");
     let mut t = Table::new(vec!["batch", "time", "messages", "vs batch 1"]);
     let base = run_timed(
-        &job(16384, Approach::HybridMultiple, FdConfig::paper(Approach::HybridMultiple).with_batch(1), true),
+        &job(
+            16384,
+            Approach::HybridMultiple,
+            FdConfig::paper(Approach::HybridMultiple).with_batch(1),
+            true,
+        ),
         &model,
         ScopeSel::Auto,
     );
     for b in [1usize, 2, 4, 8, 16, 32, 64, 128] {
         let r = run_timed(
-            &job(16384, Approach::HybridMultiple, FdConfig::paper(Approach::HybridMultiple).with_batch(b), true),
+            &job(
+                16384,
+                Approach::HybridMultiple,
+                FdConfig::paper(Approach::HybridMultiple).with_batch(b),
+                true,
+            ),
             &model,
             ScopeSel::Auto,
+        );
+        json.scalar(
+            &format!("batch_sweep_gain_b{b}"),
+            base.seconds() / r.seconds(),
         );
         t.row(vec![
             b.to_string(),
@@ -111,8 +155,16 @@ fn main() {
         let fixed = FdConfig::paper(Approach::HybridMultiple).with_batch(b);
         let mut growing = fixed;
         growing.growing_first_batch = true;
-        let r_f = run_timed(&job(16384, Approach::HybridMultiple, fixed, true), &model, ScopeSel::Auto);
-        let r_g = run_timed(&job(16384, Approach::HybridMultiple, growing, true), &model, ScopeSel::Auto);
+        let r_f = run_timed(
+            &job(16384, Approach::HybridMultiple, fixed, true),
+            &model,
+            ScopeSel::Auto,
+        );
+        let r_g = run_timed(
+            &job(16384, Approach::HybridMultiple, growing, true),
+            &model,
+            ScopeSel::Auto,
+        );
         t.row(vec![
             label.to_string(),
             secs(r_f.seconds()),
@@ -129,12 +181,22 @@ fn main() {
         let mut m = model.clone();
         m.o_lock_multiple = SimDuration::from_us(lock_us);
         let hyb = run_timed(
-            &job(16384, Approach::HybridMultiple, FdConfig::paper(Approach::HybridMultiple).with_batch(32), true),
+            &job(
+                16384,
+                Approach::HybridMultiple,
+                FdConfig::paper(Approach::HybridMultiple).with_batch(32),
+                true,
+            ),
             &m,
             ScopeSel::Auto,
         );
         let mo = run_timed(
-            &job(16384, Approach::HybridMasterOnly, FdConfig::paper(Approach::HybridMasterOnly).with_batch(128), true),
+            &job(
+                16384,
+                Approach::HybridMasterOnly,
+                FdConfig::paper(Approach::HybridMasterOnly).with_batch(128),
+                true,
+            ),
             &m,
             ScopeSel::Auto,
         );
@@ -154,12 +216,22 @@ fn main() {
         let mut m = model.clone();
         m.t_barrier = SimDuration::from_us(barrier_us);
         let hyb = run_timed(
-            &job(16384, Approach::HybridMultiple, FdConfig::paper(Approach::HybridMultiple).with_batch(32), true),
+            &job(
+                16384,
+                Approach::HybridMultiple,
+                FdConfig::paper(Approach::HybridMultiple).with_batch(32),
+                true,
+            ),
             &m,
             ScopeSel::Auto,
         );
         let mo = run_timed(
-            &job(16384, Approach::HybridMasterOnly, FdConfig::paper(Approach::HybridMasterOnly).with_batch(128), true),
+            &job(
+                16384,
+                Approach::HybridMasterOnly,
+                FdConfig::paper(Approach::HybridMasterOnly).with_batch(128),
+                true,
+            ),
             &m,
             ScopeSel::Auto,
         );
@@ -177,7 +249,12 @@ fn main() {
     let mut t = Table::new(vec!["cores", "nodes", "topology", "Flat optimized time"]);
     for cores in [1024usize, 2048] {
         let r = run_timed(
-            &job(cores, Approach::FlatOptimized, FdConfig::paper(Approach::FlatOptimized).with_batch(8), false),
+            &job(
+                cores,
+                Approach::FlatOptimized,
+                FdConfig::paper(Approach::FlatOptimized).with_batch(8),
+                false,
+            ),
             &model,
             ScopeSel::Auto,
         );
@@ -195,11 +272,25 @@ fn main() {
     // ---- 8. MPI_Cart_create rank reordering --------------------------------
     println!("\n8. MPI_Cart_create reordering (the paper uses it \"in all the following\")");
     use gpaw_fd::timed::{job_map, job_map_unreordered, run_timed_with_map};
-    let mut t = Table::new(vec!["cores", "reordered (cart)", "linear placement", "penalty"]);
+    let mut t = Table::new(vec![
+        "cores",
+        "reordered (cart)",
+        "linear placement",
+        "penalty",
+    ]);
     for cores in [256usize, 1024] {
-        let j = job(cores, Approach::FlatOptimized, FdConfig::paper(Approach::FlatOptimized).with_batch(8), false);
+        let j = job(
+            cores,
+            Approach::FlatOptimized,
+            FdConfig::paper(Approach::FlatOptimized).with_batch(8),
+            false,
+        );
         let with = run_timed_with_map(&j, job_map(&j), &model, ScopeSel::Full);
         let without = run_timed_with_map(&j, job_map_unreordered(&j), &model, ScopeSel::Full);
+        json.scalar(
+            &format!("cart_reorder_penalty_{cores}"),
+            without.seconds() / with.seconds(),
+        );
         t.row(vec![
             cores.to_string(),
             secs(with.seconds()),
@@ -209,4 +300,5 @@ fn main() {
     }
     t.print();
     println!("(without reordering, logical neighbors land many hops apart and contend)");
+    emit_report(&json);
 }

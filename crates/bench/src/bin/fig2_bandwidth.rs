@@ -5,8 +5,9 @@
 //! greater than 10⁵ bytes is needed, while half the asymptotic bandwidth is
 //! achieved at approximately 10³ bytes."
 
-use gpaw_bench::Table;
+use gpaw_bench::{emit_report, Table};
 use gpaw_bgp_hw::CostModel;
+use gpaw_fd::ExperimentReport;
 use gpaw_simmpi::ping::{bandwidth_sweep, p2p_bandwidth};
 
 fn main() {
@@ -16,7 +17,19 @@ fn main() {
     let sweep = bandwidth_sweep(&model);
     let asym = sweep.last().expect("sweep not empty").bandwidth;
 
-    let mut t = Table::new(vec!["bytes", "one-way time", "MB/s", "of asymptote", "plot"]);
+    let mut json = ExperimentReport::new("fig2_bandwidth");
+    for s in &sweep {
+        json.scalar(&format!("bandwidth_bytes_{}", s.bytes), s.bandwidth);
+    }
+    json.scalar("asymptotic_bandwidth", asym);
+
+    let mut t = Table::new(vec![
+        "bytes",
+        "one-way time",
+        "MB/s",
+        "of asymptote",
+        "plot",
+    ]);
     for s in &sweep {
         let frac = s.bandwidth / asym;
         let bar = "#".repeat((frac * 40.0).round() as usize);
@@ -35,15 +48,18 @@ fn main() {
         .find(|w| w[1].bandwidth >= asym / 2.0)
         .map(|w| w[1].bytes);
     let b100k = p2p_bandwidth(&model, 100_000).bandwidth;
-    println!("\nAsymptotic bandwidth : {:.0} MB/s (paper: ~375 MB/s)", asym / 1e6);
+    println!(
+        "\nAsymptotic bandwidth : {:.0} MB/s (paper: ~375 MB/s)",
+        asym / 1e6
+    );
     println!(
         "At 10^5 bytes        : {:.0} MB/s = {:.0}% of asymptote (paper: saturated)",
         b100k / 1e6,
         b100k / asym * 100.0
     );
     if let Some(h) = half {
-        println!(
-            "Half-bandwidth point : ~{h} bytes (paper: approximately 10^3 bytes)"
-        );
+        println!("Half-bandwidth point : ~{h} bytes (paper: approximately 10^3 bytes)");
+        json.scalar("half_bandwidth_bytes", h as f64);
     }
+    emit_report(&json);
 }

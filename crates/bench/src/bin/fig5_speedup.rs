@@ -11,10 +11,10 @@
 //! trails badly and is only in the left graph's legend (it has no
 //! batching).
 
-use gpaw_bench::{fig5_experiment, secs, Table, FIG5_CORES};
+use gpaw_bench::{emit_report, fig5_experiment, secs, Table, FIG5_CORES};
 use gpaw_bgp_hw::CostModel;
 use gpaw_fd::timed::ScopeSel;
-use gpaw_fd::Approach;
+use gpaw_fd::{Approach, ExperimentReport};
 
 fn main() {
     let model = CostModel::bgp();
@@ -25,6 +25,8 @@ fn main() {
         secs(seq.seconds())
     );
 
+    let mut json = ExperimentReport::new("fig5_speedup");
+    json.push("fig5/1/sequential".into(), "sequential", 1, 1, seq.clone());
     for (title, batch) in [("batching disabled", 1usize), ("batch-size 8", 8)] {
         println!("--- {title} ---");
         let mut t = Table::new(vec![
@@ -37,9 +39,20 @@ fn main() {
         for &cores in &FIG5_CORES[1..] {
             let mut cells = vec![cores.to_string()];
             for a in Approach::GRAPHED {
-                let b = if a == Approach::FlatOriginal { 1 } else { batch };
+                let b = if a == Approach::FlatOriginal {
+                    1
+                } else {
+                    batch
+                };
                 let r = exp.run(cores, a, b, &model, ScopeSel::Auto);
                 cells.push(format!("{:.0}", r.speedup_vs(&seq)));
+                json.push(
+                    format!("fig5/{}/{}/batch{}", cores, a.label(), b),
+                    a.label(),
+                    cores,
+                    b,
+                    r,
+                );
             }
             t.row(cells);
         }
@@ -55,10 +68,13 @@ fn main() {
         let r8 = exp.run(cores, a, 8, &model, ScopeSel::Auto);
         r1.seconds() / r8.seconds()
     };
+    let gain_flat = gain(Approach::FlatOptimized);
+    let gain_hyb = gain(Approach::HybridMultiple);
     println!(
-        "Batching gain at {cores} cores: Flat optimized {:.2}x, Hybrid multiple {:.2}x",
-        gain(Approach::FlatOptimized),
-        gain(Approach::HybridMultiple)
+        "Batching gain at {cores} cores: Flat optimized {gain_flat:.2}x, Hybrid multiple {gain_hyb:.2}x"
     );
     println!("(paper: \"the advantage of batching is greater in Hybrid multiple\")");
+    json.scalar("batching_gain_flat_optimized_4096", gain_flat);
+    json.scalar("batching_gain_hybrid_multiple_4096", gain_hyb);
+    emit_report(&json);
 }

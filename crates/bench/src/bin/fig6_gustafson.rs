@@ -9,14 +9,16 @@
 //! communication; Flat original is worst throughout; master-only tracks
 //! between.
 
-use gpaw_bench::{fig6_experiment, mb, secs, Table, BIG_JOB_BATCHES, FIG6_CORES};
+use gpaw_bench::{emit_report, fig6_experiment, mb, secs, Table, BIG_JOB_BATCHES, FIG6_CORES};
 use gpaw_bgp_hw::CostModel;
 use gpaw_fd::timed::ScopeSel;
-use gpaw_fd::Approach;
+use gpaw_fd::{Approach, ExperimentReport};
 
 fn main() {
     let model = CostModel::bgp();
     println!("FIG. 6 — GUSTAFSON: one 192^3 grid per CPU-core, best batch per point\n");
+
+    let mut json = ExperimentReport::new("fig6_gustafson");
 
     let mut t = Table::new(vec![
         "cores=grids",
@@ -29,17 +31,14 @@ fn main() {
     ]);
     // The paper's x-axis tops at 16384; the 512/1024-core points are added
     // because §VII-A pins the Flat-vs-Hybrid crossover at 512 cores.
-    let cores_list: Vec<usize> = [512usize, 1024]
-        .into_iter()
-        .chain(FIG6_CORES)
-        .collect();
+    let cores_list: Vec<usize> = [512usize, 1024].into_iter().chain(FIG6_CORES).collect();
     for cores in cores_list {
         let exp = fig6_experiment(cores);
         let mut cells = vec![cores.to_string()];
         let mut flat_comm = 0;
         let mut hyb_comm = 0;
         for a in Approach::GRAPHED {
-            let (_, r) = exp.best_batch(cores, a, &BIG_JOB_BATCHES, &model, ScopeSel::Auto);
+            let (batch, r) = exp.best_batch(cores, a, &BIG_JOB_BATCHES, &model, ScopeSel::Auto);
             cells.push(secs(r.seconds()));
             if a == Approach::FlatOptimized {
                 flat_comm = r.bytes_per_node;
@@ -47,6 +46,13 @@ fn main() {
             if a == Approach::HybridMultiple {
                 hyb_comm = r.bytes_per_node;
             }
+            json.push(
+                format!("fig6/{}/{}", cores, a.label()),
+                a.label(),
+                cores,
+                batch,
+                r,
+            );
         }
         cells.push(mb(flat_comm));
         cells.push(mb(hyb_comm));
@@ -60,4 +66,5 @@ fn main() {
          (Times are per FD application; the paper plots ~10-100 applications, which\n\
          scales the axis but not the shape.)"
     );
+    emit_report(&json);
 }

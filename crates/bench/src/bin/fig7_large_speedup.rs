@@ -6,17 +6,25 @@
 //! relative to itself at 1k (16 would be linear, unobtainable because the
 //! needed communication grows).
 
-use gpaw_bench::{fig7_experiment, Table, BIG_JOB_BATCHES, FIG7_CORES};
+use gpaw_bench::{emit_report, fig7_experiment, Table, BIG_JOB_BATCHES, FIG7_CORES};
 use gpaw_bgp_hw::CostModel;
 use gpaw_fd::timed::ScopeSel;
-use gpaw_fd::Approach;
+use gpaw_fd::{Approach, ExperimentReport};
 
 fn main() {
     let model = CostModel::bgp();
     let exp = fig7_experiment();
     println!("FIG. 7 — SPEEDUP vs Flat original @1024 cores (2816 grids of 192^3)\n");
 
+    let mut json = ExperimentReport::new("fig7_large_speedup");
     let base = exp.run(1024, Approach::FlatOriginal, 1, &model, ScopeSel::Auto);
+    json.push(
+        "fig7/1024/flat-original-base".into(),
+        Approach::FlatOriginal.label(),
+        1024,
+        1,
+        base.clone(),
+    );
 
     let mut t = Table::new(vec![
         "cores",
@@ -29,11 +37,18 @@ fn main() {
     for &cores in &FIG7_CORES {
         let mut cells = vec![cores.to_string()];
         for a in Approach::GRAPHED {
-            let (_, r) = exp.best_batch(cores, a, &BIG_JOB_BATCHES, &model, ScopeSel::Auto);
+            let (batch, r) = exp.best_batch(cores, a, &BIG_JOB_BATCHES, &model, ScopeSel::Auto);
             cells.push(format!("{:.1}", r.speedup_vs(&base)));
             if a == Approach::HybridMultiple {
                 hybrid_curve.push(r.seconds());
             }
+            json.push(
+                format!("fig7/{}/{}", cores, a.label()),
+                a.label(),
+                cores,
+                batch,
+                r,
+            );
         }
         t.row(cells);
     }
@@ -41,10 +56,11 @@ fn main() {
 
     let hyb_16k_vs_base = base.seconds() / hybrid_curve.last().expect("non-empty");
     let hyb_self = hybrid_curve[0] / hybrid_curve.last().expect("non-empty");
-    println!(
-        "\nHybrid multiple @16k vs Flat original @1k: {hyb_16k_vs_base:.1}x  (paper: ~16.5x)"
-    );
+    println!("\nHybrid multiple @16k vs Flat original @1k: {hyb_16k_vs_base:.1}x  (paper: ~16.5x)");
     println!(
         "Hybrid multiple 1k -> 16k self-speedup   : {hyb_self:.1}x  (paper: ~12x; 16x would be linear)"
     );
+    json.scalar("hybrid_16k_vs_original_1k", hyb_16k_vs_base);
+    json.scalar("hybrid_self_speedup_1k_to_16k", hyb_self);
+    emit_report(&json);
 }

@@ -1,0 +1,317 @@
+//! CI perf/correctness gate.
+//!
+//! Runs a small fixed suite of simulated experiments (deterministic: the
+//! DES produces identical times on every host), writes the results to
+//! `BENCH_perf.json`, and compares every metric against the committed
+//! `results/baseline.json`. Exits non-zero if any metric drifts outside
+//! its tolerance, so model or scheduler regressions are caught in CI
+//! rather than discovered in a figure.
+//!
+//! Suite (kept small enough for CI):
+//! * Fig. 5 job (32×144³) at 256 cores, all four approaches, batch 8 —
+//!   full-machine scope exercises the mesh network;
+//! * headline job (2816×192³) at 1024 cores, Flat optimized + Hybrid
+//!   multiple, batch 32 — full scope at real scale;
+//! * headline job at 16 384 cores, all five approaches, best batch —
+//!   unit-cell scope; carries the paper's 36 % vs 70 % utilization claim;
+//! * Fig. 2 ping at 10³/10⁵/10⁷ bytes.
+//!
+//! Tolerances (two-sided, applied per metric path):
+//! * counts (messages, bytes, cores, batch, threads, nodes) — exact;
+//! * utilizations and phase fractions — ±0.05 absolute;
+//! * everything else (times, bandwidths, link busy) — ±5 % relative.
+//!
+//! Usage: `perf_gate [--baseline <path>] [--out <path>]`
+//! To refresh the baseline after an intentional model change, run
+//! `scripts/update_baseline.sh` and commit the diff.
+
+use gpaw_bench::{emit_report, fig5_experiment, fig7_experiment, secs, Table, BIG_JOB_BATCHES};
+use gpaw_bgp_hw::CostModel;
+use gpaw_des::SpanKind;
+use gpaw_fd::timed::ScopeSel;
+use gpaw_fd::{Approach, ExperimentReport, Json};
+use gpaw_simmpi::ping::p2p_bandwidth;
+use std::process::ExitCode;
+
+/// Metric comparison rule.
+enum Tol {
+    Exact,
+    Abs(f64),
+    Rel(f64),
+}
+
+fn tolerance_for(path: &str) -> Tol {
+    const EXACT: [&str; 10] = [
+        "/cores",
+        "/batch",
+        "/threads",
+        "/messages",
+        "/bytes_per_node",
+        "/network_bytes_per_node",
+        "/nodes",
+        "/messages_total",
+        "/bytes_total",
+        "schema_version",
+    ];
+    if EXACT.iter().any(|s| path.ends_with(s)) {
+        Tol::Exact
+    } else if path.contains("utilization") || path.contains("phase_fractions") {
+        Tol::Abs(0.05)
+    } else {
+        Tol::Rel(0.05)
+    }
+}
+
+fn within(tol: &Tol, base: f64, cur: f64) -> bool {
+    match tol {
+        Tol::Exact => base == cur,
+        Tol::Abs(a) => (cur - base).abs() <= *a,
+        Tol::Rel(r) => {
+            let scale = base.abs().max(1e-300);
+            (cur - base).abs() / scale <= *r
+        }
+    }
+}
+
+/// Collect every numeric leaf as (path, value). Point objects are keyed by
+/// their `name` member instead of array position, so reordering the suite
+/// doesn't break comparisons.
+fn flatten(prefix: &str, j: &Json, out: &mut Vec<(String, f64)>) {
+    match j {
+        Json::Num(x) => out.push((prefix.to_string(), *x)),
+        Json::Arr(items) => {
+            for (i, v) in items.iter().enumerate() {
+                let key = v
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .unwrap_or_else(|| i.to_string());
+                flatten(&format!("{prefix}/{key}"), v, out);
+            }
+        }
+        Json::Obj(members) => {
+            for (k, v) in members {
+                if k == "name" || k == "approach" {
+                    continue;
+                }
+                flatten(&format!("{prefix}/{k}"), v, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn run_suite() -> ExperimentReport {
+    let model = CostModel::bgp();
+    let mut json = ExperimentReport::new("perf");
+
+    println!("perf_gate suite (deterministic simulated runs)\n");
+    let mut t = Table::new(vec!["point", "time", "util(paper)", "compute/wait/idle"]);
+    let add = |json: &mut ExperimentReport,
+               t: &mut Table,
+               name: String,
+               a: Approach,
+               cores: usize,
+               batch: usize,
+               r: gpaw_simmpi::RunReport| {
+        t.row(vec![
+            name.clone(),
+            secs(r.seconds()),
+            format!("{:.0}%", r.utilization_paper_scale() * 100.0),
+            format!(
+                "{:.0}/{:.0}/{:.0}%",
+                r.span_fraction(SpanKind::Compute) * 100.0,
+                (r.span_fraction(SpanKind::Wait) + r.span_fraction(SpanKind::Post)) * 100.0,
+                r.idle_fraction_from_spans() * 100.0
+            ),
+        ]);
+        json.push(name, a.label(), cores, batch, r);
+    };
+
+    // 1. Fig. 5 job at 256 cores, full (mesh) scope.
+    let f5 = fig5_experiment();
+    for a in Approach::GRAPHED {
+        let batch = if a == Approach::FlatOriginal { 1 } else { 8 };
+        let r = f5.run(256, a, batch, &model, ScopeSel::Full);
+        add(
+            &mut json,
+            &mut t,
+            format!("fig5/256/{}", a.label()),
+            a,
+            256,
+            batch,
+            r,
+        );
+    }
+
+    // 2. Headline job at 1024 cores, full scope, the two lead approaches.
+    let f7 = fig7_experiment();
+    for a in [Approach::FlatOptimized, Approach::HybridMultiple] {
+        let r = f7.run(1024, a, 32, &model, ScopeSel::Full);
+        add(
+            &mut json,
+            &mut t,
+            format!("headline/1024/{}", a.label()),
+            a,
+            1024,
+            32,
+            r,
+        );
+    }
+
+    // 3. Headline job at 16 384 cores, unit-cell scope, every approach at
+    //    its best batch — the paper's utilization claim.
+    for a in [
+        Approach::FlatOriginal,
+        Approach::FlatOptimized,
+        Approach::HybridMultiple,
+        Approach::HybridMasterOnly,
+        Approach::FlatStatic,
+    ] {
+        let (batch, r) = f7.best_batch(16_384, a, &BIG_JOB_BATCHES, &model, ScopeSel::Cell);
+        add(
+            &mut json,
+            &mut t,
+            format!("headline/16384/{}", a.label()),
+            a,
+            16_384,
+            batch,
+            r,
+        );
+    }
+    t.print();
+
+    // 4. Fig. 2 ping bandwidths.
+    for bytes in [1_000u64, 100_000, 10_000_000] {
+        let s = p2p_bandwidth(&model, bytes);
+        json.scalar(&format!("fig2_bandwidth_{bytes}"), s.bandwidth);
+    }
+
+    // Headline utilization scalars, so the gate names the paper's claim
+    // directly.
+    let orig = json
+        .points
+        .iter()
+        .find(|p| p.name == "headline/16384/Flat original")
+        .expect("suite contains flat original")
+        .run
+        .utilization_paper_scale();
+    let hyb = json
+        .points
+        .iter()
+        .find(|p| p.name == "headline/16384/Hybrid multiple")
+        .expect("suite contains hybrid multiple")
+        .run
+        .utilization_paper_scale();
+    json.scalar("utilization_paper_scale_flat_original_16384", orig);
+    json.scalar("utilization_paper_scale_hybrid_multiple_16384", hyb);
+    println!(
+        "\nSpan-derived utilization @16384: Flat original {:.0}%, Hybrid multiple {:.0}% (paper: 36% -> 70%)",
+        orig * 100.0,
+        hyb * 100.0
+    );
+
+    json
+}
+
+fn main() -> ExitCode {
+    let mut baseline_path = "results/baseline.json".to_string();
+    let mut out_path = "BENCH_perf.json".to_string();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" if i + 1 < args.len() => {
+                baseline_path = args[i + 1].clone();
+                i += 2;
+            }
+            "--out" if i + 1 < args.len() => {
+                out_path = args[i + 1].clone();
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: perf_gate [--baseline <path>] [--out <path>]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = run_suite();
+    let current = report.to_json();
+    if let Err(e) = std::fs::write(&out_path, current.render() + "\n") {
+        eprintln!("failed to write {out_path}: {e}");
+        return ExitCode::from(2);
+    }
+    // Also emit under the standard BENCH_<name>.json name when a custom
+    // --out was given, for consistency with the figure binaries.
+    if out_path != format!("BENCH_{}.json", report.name) {
+        emit_report(&report);
+    } else {
+        println!("\n[json] wrote {out_path}");
+    }
+
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "\nno baseline at {baseline_path} ({e});\n\
+                 run scripts/update_baseline.sh to create it, then commit it."
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match Json::parse(&baseline_text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("\nbaseline {baseline_path} is not valid JSON: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut base_flat = Vec::new();
+    let mut cur_flat = Vec::new();
+    flatten("", &baseline, &mut base_flat);
+    flatten("", &current, &mut cur_flat);
+    let cur_map: std::collections::HashMap<&str, f64> =
+        cur_flat.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+
+    let mut failures = Vec::new();
+    for (path, base_val) in &base_flat {
+        match cur_map.get(path.as_str()) {
+            None => failures.push(format!("{path}: missing from current run")),
+            Some(&cur_val) => {
+                let tol = tolerance_for(path);
+                if !within(&tol, *base_val, cur_val) {
+                    let kind = match tol {
+                        Tol::Exact => "exact".to_string(),
+                        Tol::Abs(a) => format!("abs {a}"),
+                        Tol::Rel(r) => format!("rel {r}"),
+                    };
+                    failures.push(format!(
+                        "{path}: baseline {base_val} vs current {cur_val} (tolerance: {kind})"
+                    ));
+                }
+            }
+        }
+    }
+
+    println!(
+        "\nperf gate: {} metrics compared against {baseline_path}",
+        base_flat.len()
+    );
+    if failures.is_empty() {
+        println!("perf gate: PASS");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("perf gate: FAIL — {} regressed metrics:", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        eprintln!(
+            "\nIf the change is intentional, refresh the baseline:\n  \
+             scripts/update_baseline.sh   # and commit results/baseline.json"
+        );
+        ExitCode::FAILURE
+    }
+}

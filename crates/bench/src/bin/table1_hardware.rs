@@ -11,15 +11,30 @@ fn main() {
 
     println!("TABLE I — HARDWARE DESCRIPTION OF A BLUE GENE/P NODE\n");
     let mut t = Table::new(vec!["property", "value"]);
-    t.row(vec!["Node CPU".to_string(), "Four PowerPC 450 cores".to_string()]);
-    t.row(vec!["CPU frequency".to_string(), format!("{:.0} MHz", n.cpu_hz / 1e6)]);
+    t.row(vec![
+        "Node CPU".to_string(),
+        "Four PowerPC 450 cores".to_string(),
+    ]);
+    t.row(vec![
+        "CPU frequency".to_string(),
+        format!("{:.0} MHz", n.cpu_hz / 1e6),
+    ]);
     t.row(vec![
         "L1 cache (private)".to_string(),
         format!("{}KB per core", n.l1_bytes >> 10),
     ]);
-    t.row(vec!["L2 cache (private)".to_string(), "Seven stream prefetching".into()]);
-    t.row(vec!["L3 cache (shared)".to_string(), format!("{}MB", n.l3_bytes >> 20)]);
-    t.row(vec!["Main memory".to_string(), format!("{}GB", n.memory_bytes >> 30)]);
+    t.row(vec![
+        "L2 cache (private)".to_string(),
+        "Seven stream prefetching".into(),
+    ]);
+    t.row(vec![
+        "L3 cache (shared)".to_string(),
+        format!("{}MB", n.l3_bytes >> 20),
+    ]);
+    t.row(vec![
+        "Main memory".to_string(),
+        format!("{}GB", n.memory_bytes >> 30),
+    ]);
     t.row(vec![
         "Main memory bandwidth".to_string(),
         format!("{:.1}GB/s", n.memory_bw / 1e9),
@@ -71,7 +86,10 @@ fn main() {
     ]);
     d.row(vec![
         "144^3 grids per virtual-mode rank".to_string(),
-        format!("{}", max_grids_per_rank([144, 144, 144], 8, ExecMode::Virtual)),
+        format!(
+            "{}",
+            max_grids_per_rank([144, 144, 144], 8, ExecMode::Virtual)
+        ),
     ]);
     d.print();
     println!(

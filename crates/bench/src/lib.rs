@@ -17,6 +17,17 @@
 //! aligned-table printer, and a simulated-seconds formatter.
 
 use gpaw_fd::runner::FdExperiment;
+use gpaw_fd::ExperimentReport;
+
+/// Write `report` to `BENCH_<name>.json` in the current directory (the
+/// machine-readable twin of the printed tables) and say where it went.
+pub fn emit_report(report: &ExperimentReport) {
+    let path = format!("BENCH_{}.json", report.name);
+    match report.write(&path) {
+        Ok(()) => println!("\n[json] wrote {path}"),
+        Err(e) => eprintln!("\n[json] FAILED to write {path}: {e}"),
+    }
+}
 
 /// The paper's Fig. 5 workload: 32 grids of 144³ ("because of the memory
 /// demand, it is not possible to have more than 32 grids running on a

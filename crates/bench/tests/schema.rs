@@ -1,0 +1,135 @@
+//! Schema validation for the machine-readable reports: a real emitted
+//! `ExperimentReport` must carry every field the perf gate and downstream
+//! consumers rely on, with the right types and sane ranges, and must
+//! survive a render → parse round trip.
+
+use gpaw_bench::fig5_experiment;
+use gpaw_bgp_hw::CostModel;
+use gpaw_fd::report::SCHEMA_VERSION;
+use gpaw_fd::timed::ScopeSel;
+use gpaw_fd::{Approach, ExperimentReport, Json, SpanKind};
+
+fn num(j: &Json, key: &str) -> f64 {
+    j.get(key)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("missing numeric member `{key}` in {}", j.render()))
+}
+
+fn check_point_schema(p: &Json) {
+    for key in ["name", "approach"] {
+        assert!(
+            p.get(key).and_then(Json::as_str).is_some(),
+            "point lacks string member `{key}`"
+        );
+    }
+    for key in [
+        "cores",
+        "batch",
+        "seconds",
+        "threads",
+        "messages",
+        "bytes_per_node",
+        "network_bytes_per_node",
+        "flops",
+        "utilization",
+        "utilization_from_spans",
+        "utilization_paper_scale",
+        "max_link_utilization",
+    ] {
+        let v = num(p, key);
+        assert!(v.is_finite() && v >= 0.0, "{key} = {v} out of range");
+    }
+
+    // Per-phase utilization breakdown: every span kind plus idle, each a
+    // fraction, together tiling the aggregate thread time.
+    let fractions = p.get("phase_fractions").expect("phase_fractions present");
+    let mut sum = 0.0;
+    for kind in SpanKind::ALL {
+        let v = num(fractions, kind.key());
+        assert!(
+            (0.0..=1.0).contains(&v),
+            "{} = {v} not a fraction",
+            kind.key()
+        );
+        sum += v;
+    }
+    let idle = num(fractions, "idle");
+    assert!((0.0..=1.0).contains(&idle), "idle = {idle} not a fraction");
+    sum += idle;
+    assert!(
+        (sum - 1.0).abs() < 1e-9,
+        "phase fractions sum to {sum}, expected 1"
+    );
+
+    let net = p.get("net").expect("net present");
+    for key in [
+        "nodes",
+        "bytes_total",
+        "messages_total",
+        "link_busy_max_secs",
+    ] {
+        num(net, key);
+    }
+}
+
+#[test]
+fn emitted_report_matches_schema_and_round_trips() {
+    let model = CostModel::bgp();
+    let run = fig5_experiment().run(256, Approach::HybridMultiple, 8, &model, ScopeSel::Full);
+
+    let mut report = ExperimentReport::new("schema_check");
+    report.push(
+        "fig5/256/Hybrid multiple".into(),
+        Approach::HybridMultiple.label(),
+        256,
+        8,
+        run,
+    );
+    report.scalar("answer", 42.0);
+
+    let json = report.to_json();
+
+    assert_eq!(num(&json, "schema_version"), SCHEMA_VERSION as f64);
+    assert_eq!(
+        json.get("experiment").and_then(Json::as_str),
+        Some("schema_check")
+    );
+    let points = json
+        .get("points")
+        .and_then(Json::as_arr)
+        .expect("points array");
+    assert_eq!(points.len(), 1);
+    for p in points {
+        check_point_schema(p);
+    }
+    let scalars = json.get("scalars").expect("scalars object");
+    assert_eq!(num(scalars, "answer"), 42.0);
+
+    // Round trip: what a consumer (perf_gate, plotting) parses back is
+    // exactly what was rendered.
+    let text = json.render();
+    let reparsed = Json::parse(&text).expect("rendered report parses");
+    assert_eq!(reparsed.render(), text);
+}
+
+#[test]
+fn scalars_only_report_matches_schema() {
+    // fig2_bandwidth emits no points, only scalars — the schema must hold
+    // for that shape too.
+    let mut report = ExperimentReport::new("fig2_like");
+    report.scalar("bandwidth_bytes_1000", 186e6);
+    report.scalar("half_bandwidth_bytes", 1000.0);
+
+    let json = report.to_json();
+    assert_eq!(num(&json, "schema_version"), SCHEMA_VERSION as f64);
+    let points = json
+        .get("points")
+        .and_then(Json::as_arr)
+        .expect("points array present even when empty");
+    assert!(points.is_empty());
+    let scalars = json.get("scalars").expect("scalars object");
+    assert_eq!(num(scalars, "bandwidth_bytes_1000"), 186e6);
+
+    let text = json.render();
+    assert_eq!(Json::parse(&text).expect("parses").render(), text);
+}

@@ -255,9 +255,9 @@ mod tests {
     #[test]
     fn rejects_incompatible_dims() {
         let p = part(8, ExecMode::Virtual); // node dims 2,2,2; 32 procs
-        // 8×2×2 = 32 processes but 8 is not a multiple-of-2 refinement along
-        // x? It is (block 4). 2×8×2 also fine. Try non-multiple: 4×4×2 ok too.
-        // A genuinely incompatible shape: [32,1,1] → 1 not multiple of 2.
+                                            // 8×2×2 = 32 processes but 8 is not a multiple-of-2 refinement along
+                                            // x? It is (block 4). 2×8×2 also fine. Try non-multiple: 4×4×2 ok too.
+                                            // A genuinely incompatible shape: [32,1,1] → 1 not multiple of 2.
         assert!(matches!(
             CartMap::new(p, [32, 1, 1]),
             Err(MapError::NotBlockCompatible { .. })

@@ -131,6 +131,18 @@ pub struct CostModel {
     /// read + write streams).
     pub memcpy_bw: f64,
 
+    /// Per-core reference flop rate against which the paper's §VIII
+    /// "CPU utilization" figures are expressed. The paper counts flops
+    /// against its hand-optimized double-hummer kernel's accounting, not
+    /// against the scalar rate this model charges (25 flops per 86 ns
+    /// ≈ 291 Mflop/s), so model-absolute flops-over-peak comes out ~8.7×
+    /// lower than the paper quotes at identical times. Like the other
+    /// constants this one is fitted: it is chosen so Hybrid multiple at
+    /// 16 384 cores on the Fig. 7 job lands at the paper's 70 %, which
+    /// simultaneously puts Flat original at 36 % because the 1.94× time
+    /// ratio is reproduced independently.
+    pub ref_flops_paper: f64,
+
     // ---- threads and collectives --------------------------------------
     /// One pthread-style barrier across the four threads of a node. This is
     /// the paper's "synchronization penalty": master-only pays it per grid
@@ -175,6 +187,7 @@ impl CostModel {
             packet_payload: 224,
             o_memcpy: SimDuration::from_ns(400),
             memcpy_bw: 6.8e9,
+            ref_flops_paper: 3.83e8,
             t_barrier: SimDuration::from_us(5),
             t_global_barrier: SimDuration::from_us(2),
             t_tree_hop: SimDuration::from_ns(850),

@@ -8,6 +8,7 @@
 
 use crate::config::{Approach, FdConfig};
 use crate::plan::{message_tag, Batches, GridAssignment, RankPlan};
+use crate::trace::{SpanKind, ThreadPhases, TraceReport, WallTracer};
 use crate::transport::Transport;
 use gpaw_bgp_hw::topology::{Dir, LinkDir};
 use gpaw_bgp_hw::CartMap;
@@ -21,6 +22,7 @@ use gpaw_grid::stencil::{
     apply, apply_sequential, apply_slab, slab_bounds, BoundaryCond, StencilCoeffs,
 };
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Scalars that can regenerate their synthetic wave-function slice locally.
 pub trait SyntheticFill: Scalar {
@@ -59,6 +61,7 @@ fn recv_side(dir: Dir) -> Side {
 }
 
 /// Post the face sends of one batch along the given directions.
+#[allow(clippy::too_many_arguments)] // mirrors the schedule's parameter list
 fn send_batch<T: Scalar>(
     tp: &Transport<T>,
     plan: &RankPlan,
@@ -67,20 +70,32 @@ fn send_batch<T: Scalar>(
     first_global: usize,
     sweep: usize,
     dirs: &[LinkDir],
+    tr: &mut WallTracer,
 ) {
     for &ld in dirs {
         if let Some(nb) = plan.neighbors[ld.index()] {
             let points = plan.face_points[ld.axis.index()] * local_ids.len();
             let mut buf = Vec::with_capacity(points);
-            pack_batch(grids, local_ids, ld.axis.index(), send_side(ld.dir), &mut buf);
+            tr.open(SpanKind::HaloPack);
+            pack_batch(
+                grids,
+                local_ids,
+                ld.axis.index(),
+                send_side(ld.dir),
+                &mut buf,
+            );
+            tr.close();
             debug_assert_eq!(buf.len(), points);
+            tr.open(SpanKind::Post);
             tp.send(plan.rank, nb, message_tag(sweep, first_global, ld), buf);
+            tr.close();
         }
     }
 }
 
 /// Receive and unpack the face data of one batch along the given
 /// directions (zero-filling ghost planes at non-periodic edges).
+#[allow(clippy::too_many_arguments)] // mirrors the schedule's parameter list
 fn recv_batch<T: Scalar>(
     tp: &Transport<T>,
     plan: &RankPlan,
@@ -89,6 +104,7 @@ fn recv_batch<T: Scalar>(
     first_global: usize,
     sweep: usize,
     dirs: &[LinkDir],
+    tr: &mut WallTracer,
 ) {
     for &ld in dirs {
         match plan.neighbors[ld.index()] {
@@ -99,13 +115,19 @@ fn recv_batch<T: Scalar>(
                     axis: ld.axis,
                     dir: ld.dir.opposite(),
                 };
+                tr.open(SpanKind::Wait);
                 let buf = tp.recv(plan.rank, nb, message_tag(sweep, first_global, travel));
+                tr.close();
+                tr.open(SpanKind::HaloUnpack);
                 unpack_batch(grids, local_ids, ld.axis.index(), recv_side(ld.dir), &buf);
+                tr.close();
             }
             None => {
+                tr.open(SpanKind::HaloUnpack);
                 for &g in local_ids {
                     zero_face(&mut grids[g], ld.axis.index(), recv_side(ld.dir));
                 }
+                tr.close();
             }
         }
     }
@@ -120,13 +142,16 @@ fn sweep_flat_original<T: Scalar>(
     inputs: &mut [Grid3<T>],
     outputs: &mut [Grid3<T>],
     sweep: usize,
+    tr: &mut WallTracer,
 ) {
     for g in 0..inputs.len() {
         for pair in LinkDir::ALL.chunks(2) {
-            send_batch(tp, plan, inputs, &[g], g, sweep, pair);
-            recv_batch(tp, plan, inputs, &[g], g, sweep, pair);
+            send_batch(tp, plan, inputs, &[g], g, sweep, pair, tr);
+            recv_batch(tp, plan, inputs, &[g], g, sweep, pair, tr);
         }
+        tr.open(SpanKind::Compute);
         apply(coef, &inputs[g], &mut outputs[g]);
+        tr.close();
     }
 }
 
@@ -146,6 +171,7 @@ fn sweep_batched<T: Scalar>(
     global_id: &dyn Fn(usize) -> usize,
     sweep: usize,
     double_buffer: bool,
+    tr: &mut WallTracer,
 ) {
     let ids_of = |b: usize| -> Vec<usize> {
         let (s, e) = batches.range(b);
@@ -154,7 +180,16 @@ fn sweep_batched<T: Scalar>(
     let first_of = |b: usize| global_id(batches.range(b).0);
 
     if double_buffer && !batches.is_empty() && batches.size(0) > 0 {
-        send_batch(tp, plan, inputs, &ids_of(0), first_of(0), sweep, &LinkDir::ALL);
+        send_batch(
+            tp,
+            plan,
+            inputs,
+            &ids_of(0),
+            first_of(0),
+            sweep,
+            &LinkDir::ALL,
+            tr,
+        );
     }
     for b in 0..batches.len() {
         if batches.size(b) == 0 {
@@ -170,15 +205,36 @@ fn sweep_batched<T: Scalar>(
                     first_of(b + 1),
                     sweep,
                     &LinkDir::ALL,
+                    tr,
                 );
             }
         } else {
-            send_batch(tp, plan, inputs, &ids_of(b), first_of(b), sweep, &LinkDir::ALL);
+            send_batch(
+                tp,
+                plan,
+                inputs,
+                &ids_of(b),
+                first_of(b),
+                sweep,
+                &LinkDir::ALL,
+                tr,
+            );
         }
-        recv_batch(tp, plan, inputs, &ids_of(b), first_of(b), sweep, &LinkDir::ALL);
+        recv_batch(
+            tp,
+            plan,
+            inputs,
+            &ids_of(b),
+            first_of(b),
+            sweep,
+            &LinkDir::ALL,
+            tr,
+        );
+        tr.open(SpanKind::Compute);
         for g in ids_of(b) {
             apply(coef, &inputs[g], &mut outputs[g]);
         }
+        tr.close();
     }
 }
 
@@ -196,6 +252,7 @@ fn sweep_master_only<T: Scalar>(
     sweep: usize,
     double_buffer: bool,
     threads: usize,
+    tr: &mut WallTracer,
 ) {
     let ids_of = |b: usize| -> Vec<usize> {
         let (s, e) = batches.range(b);
@@ -203,7 +260,7 @@ fn sweep_master_only<T: Scalar>(
     };
     if double_buffer && !batches.is_empty() && batches.size(0) > 0 {
         let ids = ids_of(0);
-        send_batch(tp, plan, inputs, &ids, ids[0], sweep, &LinkDir::ALL);
+        send_batch(tp, plan, inputs, &ids, ids[0], sweep, &LinkDir::ALL, tr);
     }
     for b in 0..batches.len() {
         if batches.size(b) == 0 {
@@ -213,13 +270,17 @@ fn sweep_master_only<T: Scalar>(
         if double_buffer {
             if b + 1 < batches.len() {
                 let next = ids_of(b + 1);
-                send_batch(tp, plan, inputs, &next, next[0], sweep, &LinkDir::ALL);
+                send_batch(tp, plan, inputs, &next, next[0], sweep, &LinkDir::ALL, tr);
             }
         } else {
-            send_batch(tp, plan, inputs, &ids, ids[0], sweep, &LinkDir::ALL);
+            send_batch(tp, plan, inputs, &ids, ids[0], sweep, &LinkDir::ALL, tr);
         }
-        recv_batch(tp, plan, inputs, &ids, ids[0], sweep, &LinkDir::ALL);
+        recv_batch(tp, plan, inputs, &ids, ids[0], sweep, &LinkDir::ALL, tr);
+        // The slab-parallel section (spawn + compute + join) is charged to
+        // the master: the ephemeral slab threads live exactly this long.
+        tr.open(SpanKind::Compute);
         compute_batch_slabs(coef, inputs, outputs, &ids, threads);
+        tr.close();
     }
 }
 
@@ -293,7 +354,9 @@ fn run_sweeps<T: Scalar>(
 }
 
 #[allow(clippy::too_many_arguments)] // mirrors the schedule's parameter list
-/// Execute one process (rank). Returns the final local grids.
+/// Execute one process (rank). Returns the final local grids plus the
+/// per-thread span traces (one entry for single-threaded approaches, one
+/// per inner thread for hybrid-multiple).
 fn process_body<T: SyntheticFill>(
     tp: &Transport<T>,
     map: &CartMap,
@@ -303,7 +366,8 @@ fn process_body<T: SyntheticFill>(
     seed: u64,
     coef: &StencilCoeffs,
     cfg: &FdConfig,
-) -> Vec<Grid3<T>> {
+    epoch: Option<Instant>,
+) -> (Vec<Grid3<T>>, Vec<ThreadPhases>) {
     let plan = RankPlan::for_rank(map, grid_ext, rank, T::BYTES, cfg);
     let halo = StencilCoeffs::HALO;
     let mut inputs: Vec<Grid3<T>> = Vec::with_capacity(n_grids);
@@ -312,28 +376,61 @@ fn process_body<T: SyntheticFill>(
         T::fill(&mut grid, &plan.sub, grid_ext, seed, g);
         inputs.push(grid);
     }
-    let outputs: Vec<Grid3<T>> = (0..n_grids).map(|_| Grid3::zeros(plan.sub.ext, halo)).collect();
+    let outputs: Vec<Grid3<T>> = (0..n_grids)
+        .map(|_| Grid3::zeros(plan.sub.ext, halo))
+        .collect();
+    let mut tr = match epoch {
+        Some(e) => WallTracer::new(e),
+        None => WallTracer::disabled(),
+    };
 
-    let result = match cfg.approach {
-        Approach::FlatOriginal => run_sweeps(inputs, outputs, cfg.sweeps, |i, o, s| {
-            sweep_flat_original(tp, &plan, coef, i, o, s)
-        }),
+    let (result, phases) = match cfg.approach {
+        Approach::FlatOriginal => {
+            let r = run_sweeps(inputs, outputs, cfg.sweeps, |i, o, s| {
+                sweep_flat_original(tp, &plan, coef, i, o, s, &mut tr)
+            });
+            (r, vec![tr.finish(rank, 0)])
+        }
         Approach::FlatOptimized => {
             let batches = Batches::build(n_grids, cfg);
-            run_sweeps(inputs, outputs, cfg.sweeps, |i, o, s| {
-                sweep_batched(tp, &plan, coef, i, o, &batches, &|l| l, s, cfg.double_buffer)
-            })
+            let r = run_sweeps(inputs, outputs, cfg.sweeps, |i, o, s| {
+                sweep_batched(
+                    tp,
+                    &plan,
+                    coef,
+                    i,
+                    o,
+                    &batches,
+                    &|l| l,
+                    s,
+                    cfg.double_buffer,
+                    &mut tr,
+                )
+            });
+            (r, vec![tr.finish(rank, 0)])
         }
         Approach::HybridMasterOnly => {
             let batches = Batches::build(n_grids, cfg);
             let threads = map.partition.threads_per_process();
-            run_sweeps(inputs, outputs, cfg.sweeps, |i, o, s| {
-                sweep_master_only(tp, &plan, coef, i, o, &batches, s, cfg.double_buffer, threads)
-            })
+            let r = run_sweeps(inputs, outputs, cfg.sweeps, |i, o, s| {
+                sweep_master_only(
+                    tp,
+                    &plan,
+                    coef,
+                    i,
+                    o,
+                    &batches,
+                    s,
+                    cfg.double_buffer,
+                    threads,
+                    &mut tr,
+                )
+            });
+            (r, vec![tr.finish(rank, 0)])
         }
         Approach::HybridMultiple => {
             let threads = map.partition.threads_per_process();
-            hybrid_multiple_process(tp, &plan, coef, cfg, inputs, outputs, threads)
+            hybrid_multiple_process(tp, &plan, coef, cfg, inputs, outputs, threads, rank, epoch)
         }
         Approach::FlatStatic => {
             panic!("FlatStatic violates GPAW's same-subset rule; it exists only on the timed plane")
@@ -343,13 +440,14 @@ fn process_body<T: SyntheticFill>(
         tp.is_drained(rank),
         "rank {rank}: transport not drained — schedule mismatch"
     );
-    result
+    (result, phases)
 }
 
 /// The hybrid-multiple process: the grids are split round-robin between
 /// four inner threads, each running its own batched sweep **and its own
 /// communication** concurrently; the only synchronization is the per-sweep
 /// join (§VI: "the synchronization penalty is therefore constant").
+#[allow(clippy::too_many_arguments)] // mirrors the schedule's parameter list
 fn hybrid_multiple_process<T: Scalar>(
     tp: &Transport<T>,
     plan: &RankPlan,
@@ -358,7 +456,9 @@ fn hybrid_multiple_process<T: Scalar>(
     inputs: Vec<Grid3<T>>,
     outputs: Vec<Grid3<T>>,
     threads: usize,
-) -> Vec<Grid3<T>> {
+    rank: usize,
+    epoch: Option<Instant>,
+) -> (Vec<Grid3<T>>, Vec<ThreadPhases>) {
     let n_grids = inputs.len();
     // Deal grids to threads, remembering each grid's global id implicitly
     // through the round-robin assignment.
@@ -371,15 +471,20 @@ fn hybrid_multiple_process<T: Scalar>(
         out_parts[g % threads].push(grid);
     }
 
-    let mut results: Vec<Option<Vec<Grid3<T>>>> = (0..threads).map(|_| None).collect();
+    let mut results: Vec<Option<(Vec<Grid3<T>>, ThreadPhases)>> =
+        (0..threads).map(|_| None).collect();
     std::thread::scope(|s| {
         let mut handles = Vec::new();
         for (t, (ins, outs)) in in_parts.drain(..).zip(out_parts.drain(..)).enumerate() {
             handles.push(s.spawn(move || {
+                let mut tr = match epoch {
+                    Some(e) => WallTracer::new(e),
+                    None => WallTracer::disabled(),
+                };
                 let asg = GridAssignment::round_robin(n_grids, t, threads);
                 debug_assert_eq!(asg.count, ins.len());
                 let batches = Batches::build(asg.count, cfg);
-                run_sweeps(ins, outs, cfg.sweeps, |i, o, sweep| {
+                let r = run_sweeps(ins, outs, cfg.sweeps, |i, o, sweep| {
                     sweep_batched(
                         tp,
                         plan,
@@ -390,8 +495,10 @@ fn hybrid_multiple_process<T: Scalar>(
                         &|local| asg.id(local),
                         sweep,
                         cfg.double_buffer,
+                        &mut tr,
                     )
-                })
+                });
+                (r, tr.finish(rank, t))
             }));
         }
         for (t, h) in handles.into_iter().enumerate() {
@@ -400,13 +507,19 @@ fn hybrid_multiple_process<T: Scalar>(
     });
 
     // Interleave back into global order.
+    let mut phases = Vec::with_capacity(threads);
     let mut iters: Vec<_> = results
         .into_iter()
-        .map(|r| r.expect("all threads joined").into_iter())
+        .map(|r| {
+            let (grids, tp_) = r.expect("all threads joined");
+            phases.push(tp_);
+            grids.into_iter()
+        })
         .collect();
-    (0..n_grids)
+    let grids = (0..n_grids)
         .map(|g| iters[g % threads].next().expect("round robin exhausted"))
-        .collect()
+        .collect();
+    (grids, phases)
 }
 
 /// Run a distributed FD job and return each rank's final local grids, in
@@ -419,6 +532,34 @@ pub fn run_distributed<T: SyntheticFill>(
     cfg: &FdConfig,
     map: &CartMap,
 ) -> Vec<GridSet<T>> {
+    run_distributed_impl(grid_ext, n_grids, seed, coef, cfg, map, None).0
+}
+
+/// [`run_distributed`] with wall-clock span tracing: also returns where
+/// each (rank, thread)'s time went, in the same span vocabulary as the
+/// timed plane.
+pub fn run_distributed_traced<T: SyntheticFill>(
+    grid_ext: [usize; 3],
+    n_grids: usize,
+    seed: u64,
+    coef: &StencilCoeffs,
+    cfg: &FdConfig,
+    map: &CartMap,
+) -> (Vec<GridSet<T>>, TraceReport) {
+    let epoch = Instant::now();
+    let (sets, phases) = run_distributed_impl(grid_ext, n_grids, seed, coef, cfg, map, Some(epoch));
+    (sets, TraceReport::from_threads(epoch, phases))
+}
+
+fn run_distributed_impl<T: SyntheticFill>(
+    grid_ext: [usize; 3],
+    n_grids: usize,
+    seed: u64,
+    coef: &StencilCoeffs,
+    cfg: &FdConfig,
+    map: &CartMap,
+    epoch: Option<Instant>,
+) -> (Vec<GridSet<T>>, Vec<ThreadPhases>) {
     assert!(n_grids > 0);
     let ranks = map.ranks();
     let tp: Arc<Transport<T>> = Arc::new(Transport::new(ranks));
@@ -430,16 +571,20 @@ pub fn run_distributed<T: SyntheticFill>(
                 let coef = &*coef;
                 let cfg = &*cfg;
                 s.spawn(move || {
-                    GridSet::from_grids(process_body(
-                        &tp, map, rank, grid_ext, n_grids, seed, coef, cfg,
-                    ))
+                    let (grids, phases) =
+                        process_body(&tp, map, rank, grid_ext, n_grids, seed, coef, cfg, epoch);
+                    (GridSet::from_grids(grids), phases)
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("process thread panicked"))
-            .collect()
+        let mut sets = Vec::with_capacity(ranks);
+        let mut all_phases = Vec::new();
+        for h in handles {
+            let (set, phases) = h.join().expect("process thread panicked");
+            sets.push(set);
+            all_phases.extend(phases);
+        }
+        (sets, all_phases)
     })
 }
 
@@ -532,7 +677,8 @@ mod tests {
         let reference = sequential_reference::<T>(grid, n_grids, 42, &c, cfg.bc, cfg.sweeps);
         let err = max_error_vs_reference(&outputs, map, grid, &reference);
         assert_eq!(
-            err, 0.0,
+            err,
+            0.0,
             "{} diverged from the sequential reference",
             cfg.approach.label()
         );
@@ -666,6 +812,43 @@ mod tests {
         cfg.growing_first_batch = true;
         check::<f64>(&cfg, &map, grid, 10);
         let _ = c;
+    }
+
+    #[test]
+    fn traced_run_reports_spans_for_every_thread() {
+        let grid = [12, 12, 12];
+        let map = smp_map(2, grid); // 2 processes × 4 threads
+        let cfg = FdConfig::paper(Approach::HybridMultiple).with_batch(2);
+        let c = coef();
+        let (sets, trace) = run_distributed_traced::<f64>(grid, 8, 42, &c, &cfg, &map);
+        assert_eq!(sets.len(), 2);
+        assert_eq!(trace.thread_phases.len(), 8, "2 ranks × 4 inner threads");
+        for kind in [
+            SpanKind::Compute,
+            SpanKind::HaloPack,
+            SpanKind::HaloUnpack,
+            SpanKind::Post,
+            SpanKind::Wait,
+        ] {
+            assert!(
+                trace.phases.get(kind) > gpaw_des::SimDuration::ZERO,
+                "{kind:?} missing from functional trace"
+            );
+        }
+        // Spans never exceed the thread's lifetime, and every thread ends
+        // within the run.
+        for t in &trace.thread_phases {
+            assert!(
+                t.spans.total() <= t.finish,
+                "rank {} slot {}",
+                t.rank,
+                t.slot
+            );
+            assert!(t.finish <= trace.elapsed);
+        }
+        // The traced run still produces correct numerics.
+        let reference = sequential_reference::<f64>(grid, 8, 42, &c, cfg.bc, cfg.sweeps);
+        assert_eq!(max_error_vs_reference(&sets, &map, grid, &reference), 0.0);
     }
 
     #[test]

@@ -33,10 +33,14 @@
 pub mod config;
 pub mod exec;
 pub mod plan;
+pub mod report;
 pub mod runner;
 pub mod timed;
+pub mod trace;
 pub mod transport;
 
 pub use config::{Approach, FdConfig};
 pub use plan::RankPlan;
+pub use report::{ExperimentReport, Json, PointReport};
 pub use runner::FdExperiment;
+pub use trace::{SpanKind, TraceReport, WallTracer};

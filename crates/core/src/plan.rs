@@ -226,9 +226,7 @@ impl RankPlan {
     ) -> GridAssignment {
         match approach {
             Approach::HybridMultiple => GridAssignment::round_robin(n_grids, t, threads),
-            Approach::FlatStatic => {
-                GridAssignment::round_robin(n_grids, map.core_of(rank), 4)
-            }
+            Approach::FlatStatic => GridAssignment::round_robin(n_grids, map.core_of(rank), 4),
             _ => GridAssignment::all(n_grids),
         }
     }

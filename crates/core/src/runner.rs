@@ -131,8 +131,13 @@ mod tests {
     #[test]
     fn flat_original_never_batches() {
         let m = CostModel::bgp();
-        let (batch, _) =
-            exp().best_batch(32, Approach::FlatOriginal, &BATCH_CANDIDATES, &m, ScopeSel::Full);
+        let (batch, _) = exp().best_batch(
+            32,
+            Approach::FlatOriginal,
+            &BATCH_CANDIDATES,
+            &m,
+            ScopeSel::Full,
+        );
         assert_eq!(batch, 1);
     }
 }

@@ -181,10 +181,9 @@ impl StreamProgram {
 
     /// Blocking dimension-by-dimension schedule: one grid per expansion.
     fn expand_flat_original(&mut self) {
-        if self.next_finish >= self.batches.len()
-            && self.advance_sweep() {
-                return;
-            }
+        if self.next_finish >= self.batches.len() && self.advance_sweep() {
+            return;
+        }
         let b = self.next_finish;
         // Three blocking phases: (X−,X+) wait, (Y−,Y+) wait, (Z−,Z+) wait.
         for pair in LinkDir::ALL.chunks(2) {
@@ -198,10 +197,9 @@ impl StreamProgram {
 
     /// Non-blocking simultaneous exchange with optional double buffering.
     fn expand_batched(&mut self) {
-        if self.next_finish >= self.batches.len()
-            && self.advance_sweep() {
-                return;
-            }
+        if self.next_finish >= self.batches.len() && self.advance_sweep() {
+            return;
+        }
         if self.cfg.double_buffer {
             if self.next_post == 0 {
                 self.queue_exchange(0, &LinkDir::ALL);
@@ -226,10 +224,9 @@ impl StreamProgram {
     /// Master-only slot 0: communicate, then a barrier-fenced slab compute
     /// per batch.
     fn expand_master(&mut self) {
-        if self.next_finish >= self.batches.len()
-            && self.advance_sweep() {
-                return;
-            }
+        if self.next_finish >= self.batches.len() && self.advance_sweep() {
+            return;
+        }
         if self.cfg.double_buffer {
             if self.next_post == 0 {
                 self.queue_exchange(0, &LinkDir::ALL);
@@ -257,10 +254,9 @@ impl StreamProgram {
 
     /// Master-only slots 1..: barrier, slab compute, barrier, per batch.
     fn expand_worker(&mut self) {
-        if self.next_finish >= self.batches.len()
-            && self.advance_sweep() {
-                return;
-            }
+        if self.next_finish >= self.batches.len() && self.advance_sweep() {
+            return;
+        }
         let b = self.next_finish;
         self.queue_fenced_grids(b);
         self.next_finish += 1;
@@ -426,8 +422,7 @@ pub fn sequential_baseline(job: &TimedJob, model: &CostModel) -> RunReport {
     }
     let partition = Partition::new([1, 1, 1], gpaw_bgp_hw::ExecMode::Smp);
     let map = CartMap::new(partition, [1, 1, 1]).expect("1-node map");
-    let mut programs: Vec<Box<dyn Program>> =
-        vec![Box::new(gpaw_simmpi::VecProgram::new(instrs))];
+    let mut programs: Vec<Box<dyn Program>> = vec![Box::new(gpaw_simmpi::VecProgram::new(instrs))];
     for _ in 1..4 {
         programs.push(Box::new(gpaw_simmpi::VecProgram::new(vec![])));
     }
@@ -489,8 +484,16 @@ mod tests {
 
     #[test]
     fn parallel_beats_sequential() {
-        let seq = run_timed(&job(1, Approach::FlatOptimized, 4), &model(), ScopeSel::Full);
-        let par = run_timed(&job(32, Approach::FlatOptimized, 4), &model(), ScopeSel::Full);
+        let seq = run_timed(
+            &job(1, Approach::FlatOptimized, 4),
+            &model(),
+            ScopeSel::Full,
+        );
+        let par = run_timed(
+            &job(32, Approach::FlatOptimized, 4),
+            &model(),
+            ScopeSel::Full,
+        );
         let speedup = par.speedup_vs(&seq);
         assert!(
             speedup > 4.0,
@@ -501,8 +504,16 @@ mod tests {
     #[test]
     fn flat_optimized_beats_flat_original() {
         let seq = run_timed(&job(1, Approach::FlatOriginal, 1), &model(), ScopeSel::Full);
-        let orig = run_timed(&job(64, Approach::FlatOriginal, 1), &model(), ScopeSel::Full);
-        let opt = run_timed(&job(64, Approach::FlatOptimized, 8), &model(), ScopeSel::Full);
+        let orig = run_timed(
+            &job(64, Approach::FlatOriginal, 1),
+            &model(),
+            ScopeSel::Full,
+        );
+        let opt = run_timed(
+            &job(64, Approach::FlatOptimized, 8),
+            &model(),
+            ScopeSel::Full,
+        );
         assert!(
             opt.makespan < orig.makespan,
             "optimized {} vs original {}",
@@ -514,8 +525,16 @@ mod tests {
 
     #[test]
     fn batching_reduces_messages() {
-        let unbatched = run_timed(&job(32, Approach::FlatOptimized, 1), &model(), ScopeSel::Full);
-        let batched = run_timed(&job(32, Approach::FlatOptimized, 8), &model(), ScopeSel::Full);
+        let unbatched = run_timed(
+            &job(32, Approach::FlatOptimized, 1),
+            &model(),
+            ScopeSel::Full,
+        );
+        let batched = run_timed(
+            &job(32, Approach::FlatOptimized, 8),
+            &model(),
+            ScopeSel::Full,
+        );
         assert!(batched.messages < unbatched.messages);
         // Payload bytes are identical — batching only concatenates.
         assert_eq!(batched.bytes_per_node, unbatched.bytes_per_node);
@@ -523,8 +542,16 @@ mod tests {
 
     #[test]
     fn hybrid_communicates_less_per_node_than_flat() {
-        let flat = run_timed(&job(64, Approach::FlatOptimized, 4), &model(), ScopeSel::Full);
-        let hyb = run_timed(&job(64, Approach::HybridMultiple, 4), &model(), ScopeSel::Full);
+        let flat = run_timed(
+            &job(64, Approach::FlatOptimized, 4),
+            &model(),
+            ScopeSel::Full,
+        );
+        let hyb = run_timed(
+            &job(64, Approach::HybridMultiple, 4),
+            &model(),
+            ScopeSel::Full,
+        );
         assert!(
             hyb.bytes_per_node < flat.bytes_per_node,
             "hybrid {} vs flat {}",
@@ -590,7 +617,11 @@ mod tests {
         let mut j = job(32, Approach::FlatOptimized, 4);
         j.config.bc = BoundaryCond::Zero;
         let zero = run_timed(&j, &model(), ScopeSel::Full);
-        let per = run_timed(&job(32, Approach::FlatOptimized, 4), &model(), ScopeSel::Full);
+        let per = run_timed(
+            &job(32, Approach::FlatOptimized, 4),
+            &model(),
+            ScopeSel::Full,
+        );
         assert!(zero.messages < per.messages);
     }
 

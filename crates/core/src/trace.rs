@@ -1,0 +1,195 @@
+//! Span instrumentation for the functional plane.
+//!
+//! The timed plane gets its spans for free: the machine model knows where
+//! every simulated picosecond goes ([`gpaw_simmpi::ThreadPhases`]). The
+//! functional plane runs on real OS threads, so this module provides the
+//! equivalent: a per-thread [`WallTracer`] that timestamps spans against a
+//! shared monotonic epoch and stores them in the *same* representation the
+//! timed plane uses — [`SpanKind`]/[`SpanAgg`] from `gpaw-des`, with
+//! nanoseconds mapped onto `SimTime` picoseconds — so one report format
+//! serves both planes.
+//!
+//! Span attribution on the functional plane:
+//!
+//! * [`SpanKind::HaloPack`] / [`SpanKind::HaloUnpack`] — face (un)packing;
+//! * [`SpanKind::Post`] — handing a packed buffer to the transport;
+//! * [`SpanKind::Wait`] — blocked in `Transport::recv`;
+//! * [`SpanKind::Compute`] — the stencil kernel (for master-only this
+//!   includes the slab-parallel section, charged to the master).
+//!
+//! Tracing costs two `Instant::now()` calls per span; the traced
+//! operations (packing or computing whole faces/grids) are microseconds
+//! each, so the overhead is negligible, but [`WallTracer::disabled`] makes
+//! it exactly zero for callers that don't want a report.
+
+use std::time::Instant;
+
+pub use gpaw_des::{Span, SpanAgg, SpanKind, SpanLog};
+pub use gpaw_simmpi::ThreadPhases;
+
+use gpaw_des::{SimDuration, SimTime};
+
+/// Wall-clock span recorder for one functional-plane thread.
+///
+/// All tracers of one run share an epoch (`Instant`) so their spans live
+/// on a common time axis, mirroring the simulated clock of the timed
+/// plane.
+#[derive(Debug)]
+pub struct WallTracer {
+    epoch: Instant,
+    log: SpanLog,
+    enabled: bool,
+}
+
+impl WallTracer {
+    /// A recording tracer against the given epoch.
+    pub fn new(epoch: Instant) -> WallTracer {
+        WallTracer {
+            epoch,
+            log: SpanLog::new(),
+            enabled: true,
+        }
+    }
+
+    /// A tracer that records nothing (zero overhead).
+    pub fn disabled() -> WallTracer {
+        WallTracer {
+            epoch: Instant::now(),
+            log: SpanLog::new(),
+            enabled: false,
+        }
+    }
+
+    /// The current time on the shared axis.
+    pub fn now(&self) -> SimTime {
+        let ns = self.epoch.elapsed().as_nanos() as u64;
+        SimTime::ZERO + SimDuration::from_ns(ns)
+    }
+
+    /// Open a span; nested opens suspend the parent (exclusive self-time).
+    #[inline]
+    pub fn open(&mut self, kind: SpanKind) {
+        if self.enabled {
+            let t = self.now();
+            self.log.open(kind, t);
+        }
+    }
+
+    /// Close the innermost open span.
+    #[inline]
+    pub fn close(&mut self) {
+        if self.enabled {
+            let t = self.now();
+            self.log.close(t);
+        }
+    }
+
+    /// Finish tracing: aggregate the recorded spans and report the
+    /// thread's lifetime on the shared axis.
+    pub fn finish(self, rank: usize, slot: usize) -> ThreadPhases {
+        debug_assert!(self.log.is_balanced(), "unclosed span at finish");
+        ThreadPhases {
+            rank,
+            slot,
+            finish: self.now().since(SimTime::ZERO),
+            spans: self.log.aggregate(),
+        }
+    }
+}
+
+/// Where one functional run's wall-clock time went, per thread and
+/// merged — the functional-plane counterpart of the span fields of
+/// [`gpaw_simmpi::RunReport`].
+#[derive(Debug, Clone, Default)]
+pub struct TraceReport {
+    /// Wall-clock duration of the whole run (epoch to last join).
+    pub elapsed: SimDuration,
+    /// Span totals merged across all traced threads.
+    pub phases: SpanAgg,
+    /// Per-thread breakdowns, ordered by (rank, slot).
+    pub thread_phases: Vec<ThreadPhases>,
+}
+
+impl TraceReport {
+    /// Assemble a report from finished tracers.
+    pub fn from_threads(epoch: Instant, mut threads: Vec<ThreadPhases>) -> TraceReport {
+        threads.sort_by_key(|t| (t.rank, t.slot));
+        let mut phases = SpanAgg::new();
+        for t in &threads {
+            phases.merge(&t.spans);
+        }
+        TraceReport {
+            elapsed: SimDuration::from_ns(epoch.elapsed().as_nanos() as u64),
+            phases,
+            thread_phases: threads,
+        }
+    }
+
+    /// Fraction of aggregate traced-thread time spent in `kind`.
+    pub fn fraction(&self, kind: SpanKind) -> f64 {
+        let total: f64 = self
+            .thread_phases
+            .iter()
+            .map(|t| t.finish.as_secs_f64())
+            .sum();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.phases.get(kind).as_secs_f64() / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracer_records_nested_exclusive_spans() {
+        let mut tr = WallTracer::new(Instant::now());
+        tr.open(SpanKind::Compute);
+        tr.open(SpanKind::Post);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        tr.close();
+        tr.close();
+        let t = tr.finish(3, 1);
+        assert_eq!(t.rank, 3);
+        assert_eq!(t.slot, 1);
+        assert!(t.spans.get(SpanKind::Post) >= SimDuration::from_ms(2));
+        assert!(t.spans.total() <= t.finish);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut tr = WallTracer::disabled();
+        tr.open(SpanKind::Compute);
+        tr.close();
+        let t = tr.finish(0, 0);
+        assert_eq!(t.spans.total(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn report_merges_and_orders_threads() {
+        let epoch = Instant::now();
+        let mk = |rank: usize, slot: usize, ms: u64| {
+            let mut spans = SpanAgg::new();
+            spans.add(SpanKind::Compute, SimDuration::from_ms(ms));
+            ThreadPhases {
+                rank,
+                slot,
+                finish: SimDuration::from_ms(ms),
+                spans,
+            }
+        };
+        let r = TraceReport::from_threads(epoch, vec![mk(1, 0, 3), mk(0, 1, 1), mk(0, 0, 4)]);
+        assert_eq!(
+            r.thread_phases
+                .iter()
+                .map(|t| (t.rank, t.slot))
+                .collect::<Vec<_>>(),
+            vec![(0, 0), (0, 1), (1, 0)]
+        );
+        assert_eq!(r.phases.get(SpanKind::Compute), SimDuration::from_ms(8));
+        assert!((r.fraction(SpanKind::Compute) - 1.0).abs() < 1e-12);
+    }
+}

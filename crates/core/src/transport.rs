@@ -10,8 +10,8 @@
 //! all four threads of a process send and receive concurrently — the
 //! functional analogue of `MPI_THREAD_MULTIPLE`.
 
-use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex, MutexGuard};
 
 /// Match key: (source rank, tag).
 type Key = (usize, u64);
@@ -19,6 +19,15 @@ type Key = (usize, u64);
 struct Mailbox<T> {
     queues: Mutex<HashMap<Key, VecDeque<Vec<T>>>>,
     arrived: Condvar,
+}
+
+impl<T> Mailbox<T> {
+    /// Lock the queue map. Senders never panic while holding the lock, so
+    /// a poisoned mutex only ever reflects a panic already unwinding the
+    /// test process — recover the guard rather than double-panicking.
+    fn lock(&self) -> MutexGuard<'_, HashMap<Key, VecDeque<Vec<T>>>> {
+        self.queues.lock().unwrap_or_else(|e| e.into_inner())
+    }
 }
 
 impl<T> Default for Mailbox<T> {
@@ -52,7 +61,7 @@ impl<T: Send> Transport<T> {
     /// Never blocks.
     pub fn send(&self, src: usize, dst: usize, tag: u64, payload: Vec<T>) {
         let mbox = &self.boxes[dst];
-        let mut q = mbox.queues.lock();
+        let mut q = mbox.lock();
         q.entry((src, tag)).or_default().push_back(payload);
         mbox.arrived.notify_all();
     }
@@ -61,18 +70,18 @@ impl<T: Send> Transport<T> {
     /// take it.
     pub fn recv(&self, me: usize, src: usize, tag: u64) -> Vec<T> {
         let mbox = &self.boxes[me];
-        let mut q = mbox.queues.lock();
+        let mut q = mbox.lock();
         loop {
             if let Some(payload) = q.get_mut(&(src, tag)).and_then(VecDeque::pop_front) {
                 return payload;
             }
-            mbox.arrived.wait(&mut q);
+            q = mbox.arrived.wait(q).unwrap_or_else(|e| e.into_inner());
         }
     }
 
     /// Non-blocking receive (tests and drain checks).
     pub fn try_recv(&self, me: usize, src: usize, tag: u64) -> Option<Vec<T>> {
-        let mut q = self.boxes[me].queues.lock();
+        let mut q = self.boxes[me].lock();
         q.get_mut(&(src, tag)).and_then(VecDeque::pop_front)
     }
 
@@ -80,7 +89,7 @@ impl<T: Send> Transport<T> {
     /// must leave the transport drained (a leftover message means a
     /// send/recv mismatch).
     pub fn is_drained(&self, me: usize) -> bool {
-        self.boxes[me].queues.lock().values().all(VecDeque::is_empty)
+        self.boxes[me].lock().values().all(VecDeque::is_empty)
     }
 }
 

@@ -1,0 +1,270 @@
+//! A vendored, dependency-free subset of the criterion.rs benchmarking API.
+//!
+//! The build environment has no registry access, so the real criterion
+//! crate cannot be resolved. This shim implements exactly the surface the
+//! workspace benches use — `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Throughput`, `BenchmarkId`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a straightforward
+//! wall-clock harness: each benchmark is warmed up, then timed for a fixed
+//! number of samples, and the mean/min per-iteration times (plus
+//! throughput, when declared) are printed in a criterion-like one-liner.
+//!
+//! It is a measurement tool, not a statistics engine: no outlier analysis,
+//! no saved baselines. For tracked regressions the repo uses the simulated
+//! plane's `perf_gate` binary instead, which is deterministic.
+
+use std::fmt;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Throughput declaration for a benchmark, used to derive rate lines.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier combining a function name and a parameter, e.g. `apply/96`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id rendered as `name/parameter`.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Mean and min per-iteration time of the last `iter` call.
+    result: Option<(Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Time `routine`, recording mean and min per-iteration wall time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and pick an inner iteration count so one sample is at
+        // least ~200 µs (keeps timer quantization out of the numbers).
+        let mut inner = 1u32;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..inner {
+                black_box(routine());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_micros(200) || inner >= 1 << 20 {
+                break;
+            }
+            inner = inner.saturating_mul(4);
+        }
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..inner {
+                black_box(routine());
+            }
+            let elapsed = t0.elapsed() / inner;
+            total += elapsed;
+            min = min.min(elapsed);
+        }
+        self.result = Some((total / self.samples as u32, min));
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            result: None,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), b.result);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            result: None,
+        };
+        f(&mut b, input);
+        self.report(&id.to_string(), b.result);
+        self
+    }
+
+    /// Print the criterion-like result line for a finished benchmark.
+    fn report(&self, id: &str, result: Option<(Duration, Duration)>) {
+        let Some((mean, min)) = result else {
+            println!("{}/{id}: no measurement (iter never called)", self.name);
+            return;
+        };
+        let rate = self.throughput.map(|t| {
+            let secs = mean.as_secs_f64().max(1e-12);
+            match t {
+                Throughput::Elements(n) => format!(" thrpt: {}/s", si(n as f64 / secs, "elem")),
+                Throughput::Bytes(n) => format!(" thrpt: {}/s", si(n as f64 / secs, "B")),
+            }
+        });
+        println!(
+            "{}/{id}: time: [mean {} min {}]{}",
+            self.name,
+            fmt_dur(mean),
+            fmt_dur(min),
+            rate.unwrap_or_default()
+        );
+    }
+
+    /// End the group (printing happens per-benchmark; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { samples: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set the default number of timed samples per benchmark.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        let samples = self.samples;
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn si(v: f64, unit: &str) -> String {
+    if v >= 1e9 {
+        format!("{:.2} G{unit}", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2} M{unit}", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2} K{unit}", v / 1e3)
+    } else {
+        format!("{v:.1} {unit}")
+    }
+}
+
+/// Criterion-compatible group declaration macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Criterion-compatible main-function macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(1000));
+        let mut ran = 0u64;
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                (0..1000u64).sum::<u64>()
+            });
+        });
+        group.finish();
+        assert!(ran > 0, "routine must actually run");
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("apply", 96).to_string(), "apply/96");
+    }
+}

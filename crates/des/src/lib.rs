@@ -27,10 +27,12 @@
 pub mod event;
 pub mod resource;
 pub mod rng;
+pub mod span;
 pub mod stats;
 pub mod time;
 
 pub use event::EventQueue;
 pub use resource::{FifoServer, MultiServer};
 pub use rng::SplitMix64;
+pub use span::{Span, SpanAgg, SpanKind, SpanLog};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,354 @@
+//! Span-level time attribution.
+//!
+//! A [`Span`] is one contiguous interval of a thread's timeline attributed
+//! to a phase ([`SpanKind`]): computing, packing halo faces, posting MPI
+//! calls, waiting on the library lock, and so on. Both execution planes of
+//! the reproduction record spans — the timed plane in simulated time, the
+//! functional plane in monotonic wall-clock nanoseconds (stored in the same
+//! picosecond [`SimTime`] representation) — so the paper's "where do the
+//! cycles go" accounting (§VII-B, the 36 % → 70 % utilization claim) is a
+//! first-class queryable quantity rather than a derived print.
+//!
+//! [`SpanAgg`] is the O(1)-memory aggregation used on the hot path: one
+//! duration and one count per kind. [`SpanLog`] additionally keeps the raw
+//! span list and supports *nested* open/close attribution with exclusive
+//! self-time semantics (opening a child span suspends its parent).
+
+use crate::time::{SimDuration, SimTime};
+
+/// The phase a span of thread time is attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// Stencil kernel time (and explicit delays on the timed plane).
+    Compute,
+    /// Packing halo faces into message buffers (functional plane).
+    HaloPack,
+    /// Unpacking received faces into ghost planes (functional plane).
+    HaloUnpack,
+    /// Posting non-blocking sends/receives: the MPI call itself, including
+    /// the intra-node memory copy a virtual-mode send performs.
+    Post,
+    /// Waiting for outstanding requests to complete (blocked time plus the
+    /// per-request completion charge).
+    Wait,
+    /// Queueing on the MPI library lock (`MPI_THREAD_MULTIPLE` only).
+    LibLock,
+    /// Pthread-style barrier across the threads of a process, from arrival
+    /// to release.
+    ThreadBarrier,
+    /// Collective operations (allreduce on the tree network).
+    Collective,
+}
+
+/// Number of span kinds (array sizes in [`SpanAgg`]).
+pub const SPAN_KINDS: usize = 8;
+
+impl SpanKind {
+    /// Every kind, in a fixed report order.
+    pub const ALL: [SpanKind; SPAN_KINDS] = [
+        SpanKind::Compute,
+        SpanKind::HaloPack,
+        SpanKind::HaloUnpack,
+        SpanKind::Post,
+        SpanKind::Wait,
+        SpanKind::LibLock,
+        SpanKind::ThreadBarrier,
+        SpanKind::Collective,
+    ];
+
+    /// Dense index of this kind (position in [`SpanKind::ALL`]).
+    pub fn index(self) -> usize {
+        match self {
+            SpanKind::Compute => 0,
+            SpanKind::HaloPack => 1,
+            SpanKind::HaloUnpack => 2,
+            SpanKind::Post => 3,
+            SpanKind::Wait => 4,
+            SpanKind::LibLock => 5,
+            SpanKind::ThreadBarrier => 6,
+            SpanKind::Collective => 7,
+        }
+    }
+
+    /// Stable snake_case name used as the JSON key in reports.
+    pub fn key(self) -> &'static str {
+        match self {
+            SpanKind::Compute => "compute",
+            SpanKind::HaloPack => "halo_pack",
+            SpanKind::HaloUnpack => "halo_unpack",
+            SpanKind::Post => "post",
+            SpanKind::Wait => "wait",
+            SpanKind::LibLock => "lib_lock",
+            SpanKind::ThreadBarrier => "thread_barrier",
+            SpanKind::Collective => "collective",
+        }
+    }
+}
+
+/// One attributed interval of a thread's timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Phase the interval belongs to.
+    pub kind: SpanKind,
+    /// Interval start.
+    pub start: SimTime,
+    /// Interval end (`>= start`).
+    pub end: SimTime,
+}
+
+impl Span {
+    /// Length of the interval.
+    pub fn duration(&self) -> SimDuration {
+        self.end.since(self.start)
+    }
+}
+
+/// Per-kind totals and counts — the O(1)-memory aggregation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanAgg {
+    totals: [SimDuration; SPAN_KINDS],
+    counts: [u64; SPAN_KINDS],
+}
+
+impl SpanAgg {
+    /// An empty aggregation.
+    pub fn new() -> SpanAgg {
+        SpanAgg::default()
+    }
+
+    /// Attribute `d` to `kind` (one span).
+    pub fn add(&mut self, kind: SpanKind, d: SimDuration) {
+        self.totals[kind.index()] += d;
+        self.counts[kind.index()] += 1;
+    }
+
+    /// Attribute a recorded span.
+    pub fn record(&mut self, span: &Span) {
+        self.add(span.kind, span.duration());
+    }
+
+    /// Fold another aggregation into this one.
+    pub fn merge(&mut self, other: &SpanAgg) {
+        for i in 0..SPAN_KINDS {
+            self.totals[i] += other.totals[i];
+            self.counts[i] += other.counts[i];
+        }
+    }
+
+    /// Total time attributed to `kind`.
+    pub fn get(&self, kind: SpanKind) -> SimDuration {
+        self.totals[kind.index()]
+    }
+
+    /// Number of spans attributed to `kind`.
+    pub fn count(&self, kind: SpanKind) -> u64 {
+        self.counts[kind.index()]
+    }
+
+    /// Sum over all kinds.
+    pub fn total(&self) -> SimDuration {
+        let mut acc = SimDuration::ZERO;
+        for t in &self.totals {
+            acc += *t;
+        }
+        acc
+    }
+
+    /// `kind`'s share of `horizon` (0 when the horizon is empty).
+    pub fn fraction(&self, kind: SpanKind, horizon: SimDuration) -> f64 {
+        let h = horizon.as_secs_f64();
+        if h <= 0.0 {
+            0.0
+        } else {
+            self.get(kind).as_secs_f64() / h
+        }
+    }
+}
+
+/// A raw span list with support for nested open/close attribution.
+///
+/// Nesting uses exclusive self-time semantics: opening a child span
+/// suspends the parent, so every instant is attributed to exactly one
+/// kind and the recorded spans tile the instrumented interval without
+/// overlap. `open`/`close` pairs must be well-bracketed.
+#[derive(Debug, Clone, Default)]
+pub struct SpanLog {
+    spans: Vec<Span>,
+    /// Open frames: (kind, time the frame last resumed).
+    stack: Vec<(SpanKind, SimTime)>,
+}
+
+impl SpanLog {
+    /// An empty log.
+    pub fn new() -> SpanLog {
+        SpanLog::default()
+    }
+
+    /// Record a complete flat span.
+    pub fn record(&mut self, kind: SpanKind, start: SimTime, end: SimTime) {
+        debug_assert!(end >= start, "span must not end before it starts");
+        self.spans.push(Span { kind, start, end });
+    }
+
+    /// Begin a (possibly nested) span at `t`, suspending the parent frame.
+    pub fn open(&mut self, kind: SpanKind, t: SimTime) {
+        if let Some((parent, resumed)) = self.stack.last_mut() {
+            if t > *resumed {
+                let seg = Span {
+                    kind: *parent,
+                    start: *resumed,
+                    end: t,
+                };
+                self.spans.push(seg);
+            }
+            *resumed = t;
+        }
+        self.stack.push((kind, t));
+    }
+
+    /// End the innermost open span at `t`, resuming the parent frame.
+    ///
+    /// # Panics
+    /// Panics if no span is open.
+    pub fn close(&mut self, t: SimTime) {
+        let (kind, resumed) = self.stack.pop().expect("close without open");
+        if t > resumed {
+            self.spans.push(Span {
+                kind,
+                start: resumed,
+                end: t,
+            });
+        }
+        if let Some((_, parent_resumed)) = self.stack.last_mut() {
+            *parent_resumed = t;
+        }
+    }
+
+    /// The recorded spans (self-time segments, in recording order).
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// True when no `open` frame is outstanding.
+    pub fn is_balanced(&self) -> bool {
+        self.stack.is_empty()
+    }
+
+    /// Aggregate the recorded spans per kind.
+    pub fn aggregate(&self) -> SpanAgg {
+        let mut agg = SpanAgg::new();
+        for s in &self.spans {
+            agg.record(s);
+        }
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_ns(ns)
+    }
+
+    #[test]
+    fn kinds_index_their_position_in_all() {
+        for (i, k) in SpanKind::ALL.into_iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+        // Keys are unique.
+        for a in SpanKind::ALL {
+            for b in SpanKind::ALL {
+                assert_eq!(a.key() == b.key(), a == b);
+            }
+        }
+    }
+
+    #[test]
+    fn agg_sums_and_counts() {
+        let mut agg = SpanAgg::new();
+        agg.add(SpanKind::Compute, SimDuration::from_ns(100));
+        agg.add(SpanKind::Compute, SimDuration::from_ns(50));
+        agg.add(SpanKind::Post, SimDuration::from_ns(25));
+        assert_eq!(agg.get(SpanKind::Compute), SimDuration::from_ns(150));
+        assert_eq!(agg.count(SpanKind::Compute), 2);
+        assert_eq!(agg.total(), SimDuration::from_ns(175));
+        let f = agg.fraction(SpanKind::Post, SimDuration::from_ns(250));
+        assert!((f - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agg_merge_is_componentwise() {
+        let mut a = SpanAgg::new();
+        a.add(SpanKind::Wait, SimDuration::from_ns(10));
+        let mut b = SpanAgg::new();
+        b.add(SpanKind::Wait, SimDuration::from_ns(5));
+        b.add(SpanKind::LibLock, SimDuration::from_ns(3));
+        a.merge(&b);
+        assert_eq!(a.get(SpanKind::Wait), SimDuration::from_ns(15));
+        assert_eq!(a.count(SpanKind::Wait), 2);
+        assert_eq!(a.get(SpanKind::LibLock), SimDuration::from_ns(3));
+    }
+
+    #[test]
+    fn nested_spans_attribute_exclusive_self_time() {
+        // Compute [0,100] with a nested Post [30,60]: the parent keeps
+        // 30 + 40 ns of self time, the child gets 30 ns.
+        let mut log = SpanLog::new();
+        log.open(SpanKind::Compute, t(0));
+        log.open(SpanKind::Post, t(30));
+        log.close(t(60));
+        log.close(t(100));
+        assert!(log.is_balanced());
+        let agg = log.aggregate();
+        assert_eq!(agg.get(SpanKind::Compute), SimDuration::from_ns(70));
+        assert_eq!(agg.get(SpanKind::Post), SimDuration::from_ns(30));
+        // Exclusive segments tile [0,100] exactly.
+        assert_eq!(agg.total(), SimDuration::from_ns(100));
+    }
+
+    #[test]
+    fn deep_nesting_tiles_the_interval() {
+        let mut log = SpanLog::new();
+        log.open(SpanKind::Compute, t(0));
+        log.open(SpanKind::HaloPack, t(10));
+        log.open(SpanKind::Post, t(20));
+        log.open(SpanKind::LibLock, t(25));
+        log.close(t(35)); // LibLock 10
+        log.close(t(50)); // Post: [20,25] + [35,50] = 20
+        log.close(t(55)); // HaloPack: [10,20] + [50,55] = 15
+        log.close(t(80)); // Compute: [0,10] + [55,80] = 35
+        let agg = log.aggregate();
+        assert_eq!(agg.get(SpanKind::LibLock), SimDuration::from_ns(10));
+        assert_eq!(agg.get(SpanKind::Post), SimDuration::from_ns(20));
+        assert_eq!(agg.get(SpanKind::HaloPack), SimDuration::from_ns(15));
+        assert_eq!(agg.get(SpanKind::Compute), SimDuration::from_ns(35));
+        assert_eq!(agg.total(), SimDuration::from_ns(80));
+        // No two exclusive segments overlap.
+        let mut segs: Vec<(u64, u64)> = log.spans().iter().map(|s| (s.start.0, s.end.0)).collect();
+        segs.sort_unstable();
+        for w in segs.windows(2) {
+            assert!(w[0].1 <= w[1].0, "segments overlap: {w:?}");
+        }
+    }
+
+    #[test]
+    fn zero_length_segments_are_dropped() {
+        let mut log = SpanLog::new();
+        log.open(SpanKind::Compute, t(5));
+        log.open(SpanKind::Post, t(5)); // parent segment would be empty
+        log.close(t(5)); // child segment empty too
+        log.close(t(9));
+        let agg = log.aggregate();
+        assert_eq!(agg.get(SpanKind::Post), SimDuration::ZERO);
+        assert_eq!(agg.get(SpanKind::Compute), SimDuration::from_ns(4));
+        assert_eq!(log.spans().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "close without open")]
+    fn unbalanced_close_panics() {
+        SpanLog::new().close(t(1));
+    }
+}

@@ -58,9 +58,8 @@ mod tests {
         let len = 2.0;
         let h = [len / n as f64; 3];
         let k = TAU / len;
-        let mut psi: GridSet<f64> = GridSet::from_fn(1, [n, n, n], 2, |_, i, _, _| {
-            (k * i as f64 * h[0]).sin()
-        });
+        let mut psi: GridSet<f64> =
+            GridSet::from_fn(1, [n, n, n], 2, |_, i, _, _| (k * i as f64 * h[0]).sin());
         let e = kinetic_energies(h, BoundaryCond::Periodic, &mut psi);
         let dv = h[0] * h[1] * h[2];
         let norm = gpaw_grid::norms::norm_sqr(psi.grid(0)) * dv;
@@ -94,15 +93,24 @@ mod tests {
     #[test]
     fn apply_kinetic_matches_manual_stencil() {
         let h = [0.2, 0.25, 0.3];
-        let mut psi: GridSet<f64> =
-            GridSet::from_fn(2, [8, 8, 8], 2, |g, i, j, k| ((i + 2 * j + 3 * k + g) % 5) as f64);
+        let mut psi: GridSet<f64> = GridSet::from_fn(2, [8, 8, 8], 2, |g, i, j, k| {
+            ((i + 2 * j + 3 * k + g) % 5) as f64
+        });
         let mut out = GridSet::zeros(2, [8, 8, 8], 2);
         apply_kinetic(h, BoundaryCond::Periodic, &mut psi, &mut out);
 
         let coef = kinetic_coeffs(h);
         let mut manual_in: Grid3<f64> = psi.grid(1).clone();
         let mut manual_out = Grid3::zeros([8, 8, 8], 2);
-        apply_sequential(&coef, &mut manual_in, &mut manual_out, BoundaryCond::Periodic);
-        assert_eq!(gpaw_grid::norms::max_abs_diff(out.grid(1), &manual_out), 0.0);
+        apply_sequential(
+            &coef,
+            &mut manual_in,
+            &mut manual_out,
+            BoundaryCond::Periodic,
+        );
+        assert_eq!(
+            gpaw_grid::norms::max_abs_diff(out.grid(1), &manual_out),
+            0.0
+        );
     }
 }

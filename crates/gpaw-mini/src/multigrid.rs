@@ -107,7 +107,13 @@ impl Multigrid {
     }
 
     /// Damped Richardson sweeps: `φ += τ(∇²φ − ρ)`, `sweeps` times.
-    fn smooth(level: &mut Level, bc: BoundaryCond, phi: &mut Grid3<f64>, rho: &Grid3<f64>, sweeps: usize) {
+    fn smooth(
+        level: &mut Level,
+        bc: BoundaryCond,
+        phi: &mut Grid3<f64>,
+        rho: &Grid3<f64>,
+        sweeps: usize,
+    ) {
         for _ in 0..sweeps {
             apply_sequential(&level.coef, phi, &mut level.work, bc);
             let tau = level.tau;
@@ -127,7 +133,12 @@ impl Multigrid {
     /// Compute the residual `r = ρ − ∇²φ` into `level.work` and return its
     /// max-norm. With this sign the coarse error equation is `∇²e = r` and
     /// the prolonged correction is *added* to `φ`.
-    fn residual(level: &mut Level, bc: BoundaryCond, phi: &mut Grid3<f64>, rho: &Grid3<f64>) -> f64 {
+    fn residual(
+        level: &mut Level,
+        bc: BoundaryCond,
+        phi: &mut Grid3<f64>,
+        rho: &Grid3<f64>,
+    ) -> f64 {
         apply_sequential(&level.coef, phi, &mut level.work, bc);
         let n = phi.n();
         let mut rmax = 0.0f64;
@@ -187,8 +198,8 @@ impl Multigrid {
             self.vcycle(0, phi, rho);
             if self.bc == BoundaryCond::Periodic {
                 // Fix the gauge: zero-mean potential.
-                let mean: f64 = phi.iter_interior().map(|(_, v)| v).sum::<f64>()
-                    / phi.interior_points() as f64;
+                let mean: f64 =
+                    phi.iter_interior().map(|(_, v)| v).sum::<f64>() / phi.interior_points() as f64;
                 for v in phi.data_mut() {
                     *v -= mean;
                 }
@@ -313,8 +324,8 @@ mod tests {
             mg_fine_sweeps
         );
         // And both agree on the (gauge-fixed) discrete solution.
-        let mean: f64 = phi_1.iter_interior().map(|(_, v)| v).sum::<f64>()
-            / phi_1.interior_points() as f64;
+        let mean: f64 =
+            phi_1.iter_interior().map(|(_, v)| v).sum::<f64>() / phi_1.interior_points() as f64;
         for v in phi_1.data_mut() {
             *v -= mean;
         }

@@ -114,7 +114,11 @@ mod tests {
         GridSet::from_fn(count, [10, 10, 10], 2, |g, i, j, k| {
             // Deterministic pseudo-random-ish values, linearly independent.
             (((g * 37 + i * 13 + j * 7 + k * 3) % 17) as f64 - 8.0)
-                + if i == g && j == 0 && k == 0 { 50.0 } else { 0.0 }
+                + if i == g && j == 0 && k == 0 {
+                    50.0
+                } else {
+                    0.0
+                }
         })
     }
 
@@ -141,7 +145,11 @@ mod tests {
         *psi.grid_mut(1) = g0;
         let norms = gram_schmidt(&mut psi, dv());
         assert!(norms[0] > 0.0);
-        assert!(norms[1] < 1e-10, "duplicate state must vanish: {}", norms[1]);
+        assert!(
+            norms[1] < 1e-10,
+            "duplicate state must vanish: {}",
+            norms[1]
+        );
     }
 
     /// The same-subset identity: partial dots over any decomposition sum to

@@ -152,9 +152,9 @@ mod tests {
             .with_max_iters(60_000);
         // φ* smooth and small near the boundary.
         let mut phi_star: Grid3<f64> = Grid3::from_fn(n, 2, |i, j, k| {
-            let s = |x: usize, ext: usize| (std::f64::consts::PI * (x + 1) as f64
-                / (ext + 1) as f64)
-                .sin();
+            let s = |x: usize, ext: usize| {
+                (std::f64::consts::PI * (x + 1) as f64 / (ext + 1) as f64).sin()
+            };
             s(i, 12) * s(j, 12) * s(k, 12)
         });
         let mut rho = Grid3::zeros(n, 2);

@@ -174,7 +174,12 @@ mod tests {
         assert_eq!(reports.len(), 4);
         for r in &reports {
             assert!(r.total_energy.is_finite());
-            assert!(r.ortho_error < 1e-8, "iteration {}: {}", r.iteration, r.ortho_error);
+            assert!(
+                r.ortho_error < 1e-8,
+                "iteration {}: {}",
+                r.iteration,
+                r.ortho_error
+            );
             assert_eq!(r.energies.len(), 3);
         }
     }

@@ -34,7 +34,8 @@ impl Subdomain {
     /// Surface points a 2-deep halo exchange moves *out* of this subdomain
     /// per grid: two planes per side per axis.
     pub fn halo_surface_points(&self, halo: usize) -> usize {
-        2 * halo * (self.ext[1] * self.ext[2] + self.ext[0] * self.ext[2] + self.ext[0] * self.ext[1])
+        2 * halo
+            * (self.ext[1] * self.ext[2] + self.ext[0] * self.ext[2] + self.ext[0] * self.ext[1])
     }
 
     /// Surface points sent through one face (for one direction along
@@ -152,9 +153,7 @@ impl Decomposition {
     pub fn iter(&self) -> impl Iterator<Item = ([usize; 3], Subdomain)> + '_ {
         let [px, py, pz] = self.proc_dims;
         (0..px).flat_map(move |x| {
-            (0..py).flat_map(move |y| {
-                (0..pz).map(move |z| ([x, y, z], self.subdomain([x, y, z])))
-            })
+            (0..py).flat_map(move |y| (0..pz).map(move |z| ([x, y, z], self.subdomain([x, y, z]))))
         })
     }
 }

@@ -110,7 +110,11 @@ pub fn fill_local_complex(
 }
 
 /// A Gaussian charge blob — the classic Poisson right-hand side.
-pub fn gaussian_rho(global: [usize; 3], center: [f64; 3], width: f64) -> impl Fn(usize, usize, usize) -> f64 {
+pub fn gaussian_rho(
+    global: [usize; 3],
+    center: [f64; 3],
+    width: f64,
+) -> impl Fn(usize, usize, usize) -> f64 {
     move |i, j, k| {
         let u = [
             i as f64 / global[0] as f64,

@@ -33,7 +33,11 @@ impl<T: Scalar> Grid3<T> {
     }
 
     /// Build a grid by evaluating `f(i, j, k)` over interior indices.
-    pub fn from_fn(n: [usize; 3], halo: usize, mut f: impl FnMut(usize, usize, usize) -> T) -> Grid3<T> {
+    pub fn from_fn(
+        n: [usize; 3],
+        halo: usize,
+        mut f: impl FnMut(usize, usize, usize) -> T,
+    ) -> Grid3<T> {
         let mut g = Grid3::zeros(n, halo);
         for i in 0..n[0] {
             for j in 0..n[1] {

@@ -275,7 +275,10 @@ mod tests {
     #[test]
     fn batched_unpack_distributes() {
         let src = vec![grid([3, 3, 3]), grid([3, 3, 3])];
-        let mut dst = vec![Grid3::<f64>::zeros([3, 3, 3], 2), Grid3::zeros([3, 3, 3], 2)];
+        let mut dst = vec![
+            Grid3::<f64>::zeros([3, 3, 3], 2),
+            Grid3::zeros([3, 3, 3], 2),
+        ];
         let mut buf = Vec::new();
         pack_batch(&src, &[0, 1], 2, Side::High, &mut buf);
         unpack_batch(&mut dst, &[0, 1], 2, Side::Low, &buf);

@@ -342,8 +342,9 @@ mod tests {
     #[test]
     fn xrange_slabs_compose_to_full_apply() {
         let coef = StencilCoeffs::laplacian([0.2, 0.2, 0.2]);
-        let mut input: Grid3<f64> =
-            Grid3::from_fn([8, 6, 5], 2, |i, j, k| ((i * 31 + j * 7 + k * 3) % 17) as f64);
+        let mut input: Grid3<f64> = Grid3::from_fn([8, 6, 5], 2, |i, j, k| {
+            ((i * 31 + j * 7 + k * 3) % 17) as f64
+        });
         input.fill_halo_periodic();
         let mut full = Grid3::zeros([8, 6, 5], 2);
         apply(&coef, &input, &mut full);
@@ -362,8 +363,9 @@ mod tests {
         let re_f = |i: usize, j: usize, k: usize| ((i + 2 * j + 3 * k) % 5) as f64;
         let im_f = |i: usize, j: usize, k: usize| ((3 * i + j + k) % 7) as f64;
 
-        let mut cin: Grid3<C64> =
-            Grid3::from_fn([5, 5, 5], 2, |i, j, k| C64::new(re_f(i, j, k), im_f(i, j, k)));
+        let mut cin: Grid3<C64> = Grid3::from_fn([5, 5, 5], 2, |i, j, k| {
+            C64::new(re_f(i, j, k), im_f(i, j, k))
+        });
         let mut cout = Grid3::zeros([5, 5, 5], 2);
         apply_sequential(&coef, &mut cin, &mut cout, BoundaryCond::Periodic);
 

@@ -124,7 +124,10 @@ mod tests {
         let mut fine: Grid3<f64> = Grid3::zeros([8, 8, 8], 2);
         prolong_add(&mut coarse, &mut fine, BoundaryCond::Periodic);
         for (_, v) in fine.iter_interior() {
-            assert!((v - 2.0).abs() < 1e-14, "trilinear reproduces constants: {v}");
+            assert!(
+                (v - 2.0).abs() < 1e-14,
+                "trilinear reproduces constants: {v}"
+            );
         }
     }
 

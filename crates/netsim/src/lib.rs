@@ -33,8 +33,10 @@ pub mod cell;
 pub mod collective;
 pub mod link;
 pub mod network;
+pub mod report;
 
 pub use cell::UnitCellNetwork;
 pub use collective::CollectiveTree;
 pub use link::{Delivery, LinkState};
 pub use network::FullNetwork;
+pub use report::NetReport;

@@ -132,13 +132,7 @@ mod tests {
     fn single_hop_delivery_time() {
         let m = model();
         let mut net = FullNetwork::new(Shape::torus([2, 1, 1]));
-        let d = net.transfer(
-            SimTime::ZERO,
-            Coord([0, 0, 0]),
-            Coord([1, 0, 0]),
-            224,
-            &m,
-        );
+        let d = net.transfer(SimTime::ZERO, Coord([0, 0, 0]), Coord([1, 0, 0]), 224, &m);
         assert_eq!(d.injection_done, SimTime::ZERO + m.link_time(224));
         assert_eq!(d.deliver_at, d.injection_done + m.hop_latency);
     }
@@ -217,20 +211,8 @@ mod tests {
     fn injection_accounting() {
         let m = model();
         let mut net = FullNetwork::new(Shape::torus([2, 2, 1]));
-        net.transfer(
-            SimTime::ZERO,
-            Coord([0, 0, 0]),
-            Coord([1, 0, 0]),
-            500,
-            &m,
-        );
-        net.transfer(
-            SimTime::ZERO,
-            Coord([0, 0, 0]),
-            Coord([0, 1, 0]),
-            700,
-            &m,
-        );
+        net.transfer(SimTime::ZERO, Coord([0, 0, 0]), Coord([1, 0, 0]), 500, &m);
+        net.transfer(SimTime::ZERO, Coord([0, 0, 0]), Coord([0, 1, 0]), 700, &m);
         assert_eq!(net.injected_bytes(Coord([0, 0, 0])), 1200);
         assert_eq!(net.injected_messages(Coord([0, 0, 0])), 2);
         assert_eq!(net.max_injected_bytes(), 1200);
@@ -242,12 +224,6 @@ mod tests {
     fn rejects_self_transfer() {
         let m = model();
         let mut net = FullNetwork::new(Shape::torus([2, 1, 1]));
-        net.transfer(
-            SimTime::ZERO,
-            Coord([0, 0, 0]),
-            Coord([0, 0, 0]),
-            1,
-            &m,
-        );
+        net.transfer(SimTime::ZERO, Coord([0, 0, 0]), Coord([0, 0, 0]), 1, &m);
     }
 }

@@ -1,0 +1,141 @@
+//! Structured network statistics.
+//!
+//! Consolidates the per-node injection counters and per-link busy times of
+//! [`crate::network::FullNetwork`] / [`crate::cell::UnitCellNetwork`] into
+//! one [`NetReport`], so the machine layer (and the JSON experiment
+//! reports) consume a single structured value instead of ad-hoc accessor
+//! calls.
+
+use crate::cell::UnitCellNetwork;
+use crate::network::FullNetwork;
+use gpaw_des::{SimDuration, SimTime};
+
+/// Aggregate interconnect statistics over one run's horizon.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NetReport {
+    /// Nodes the network instantiates (1 in unit-cell scope).
+    pub nodes: usize,
+    /// Torus payload bytes injected by the busiest node.
+    pub bytes_per_node_max: u64,
+    /// Torus payload bytes injected in total. In unit-cell scope this is
+    /// the cell's own injection (every node injects the same amount by
+    /// symmetry), matching the historical `total_network_bytes` semantics.
+    pub bytes_total: u64,
+    /// Messages injected by the busiest node.
+    pub messages_per_node_max: u64,
+    /// Messages injected in total (cell's own in unit-cell scope).
+    pub messages_total: u64,
+    /// Busy time of the busiest directed link.
+    pub link_busy_max: SimDuration,
+    /// Summed busy time across all directed links.
+    pub link_busy_total: SimDuration,
+    /// Utilization of the busiest directed link over the horizon.
+    pub max_link_utilization: f64,
+}
+
+impl FullNetwork {
+    /// Snapshot the network's counters over `[0, horizon]`.
+    pub fn report(&self, horizon: SimTime) -> NetReport {
+        let mut bytes_max = 0u64;
+        let mut bytes_total = 0u64;
+        let mut msgs_max = 0u64;
+        let mut msgs_total = 0u64;
+        for node in self.shape().iter() {
+            let b = self.injected_bytes(node);
+            let m = self.injected_messages(node);
+            bytes_max = bytes_max.max(b);
+            bytes_total += b;
+            msgs_max = msgs_max.max(m);
+            msgs_total += m;
+        }
+        let mut link_busy_max = SimDuration::ZERO;
+        let mut link_busy_total = SimDuration::ZERO;
+        for node in self.shape().iter() {
+            for dir in gpaw_bgp_hw::topology::LinkDir::ALL {
+                let busy = self.link(node, dir).busy();
+                link_busy_max = link_busy_max.max(busy);
+                link_busy_total += busy;
+            }
+        }
+        NetReport {
+            nodes: self.shape().len(),
+            bytes_per_node_max: bytes_max,
+            bytes_total,
+            messages_per_node_max: msgs_max,
+            messages_total: msgs_total,
+            link_busy_max,
+            link_busy_total,
+            max_link_utilization: self.max_link_utilization(horizon),
+        }
+    }
+}
+
+impl UnitCellNetwork {
+    /// Snapshot the cell's counters over `[0, horizon]`.
+    pub fn report(&self, horizon: SimTime) -> NetReport {
+        let mut link_busy_max = SimDuration::ZERO;
+        let mut link_busy_total = SimDuration::ZERO;
+        for dir in gpaw_bgp_hw::topology::LinkDir::ALL {
+            let busy = self.link(dir).busy();
+            link_busy_max = link_busy_max.max(busy);
+            link_busy_total += busy;
+        }
+        NetReport {
+            nodes: 1,
+            bytes_per_node_max: self.injected_bytes(),
+            bytes_total: self.injected_bytes(),
+            messages_per_node_max: self.injected_messages(),
+            messages_total: self.injected_messages(),
+            link_busy_max,
+            link_busy_total,
+            max_link_utilization: self.max_link_utilization(horizon),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpaw_bgp_hw::spec::CostModel;
+    use gpaw_bgp_hw::topology::{Axis, Coord, Dir, LinkDir, Shape};
+
+    #[test]
+    fn full_network_report_aggregates_nodes_and_links() {
+        let m = CostModel::bgp();
+        let mut net = FullNetwork::new(Shape::torus([2, 2, 1]));
+        net.transfer(SimTime::ZERO, Coord([0, 0, 0]), Coord([1, 0, 0]), 500, &m);
+        net.transfer(SimTime::ZERO, Coord([0, 0, 0]), Coord([0, 1, 0]), 700, &m);
+        net.transfer(SimTime::ZERO, Coord([1, 0, 0]), Coord([0, 0, 0]), 300, &m);
+        let horizon = SimTime::ZERO + SimDuration::from_ms(1);
+        let r = net.report(horizon);
+        assert_eq!(r.nodes, 4);
+        assert_eq!(r.bytes_per_node_max, 1200);
+        assert_eq!(r.bytes_total, 1500);
+        assert_eq!(r.messages_per_node_max, 2);
+        assert_eq!(r.messages_total, 3);
+        // Three messages each occupy exactly one link.
+        let expect_busy = m.link_time(500) + m.link_time(700) + m.link_time(300);
+        assert_eq!(r.link_busy_total, expect_busy);
+        assert!(r.link_busy_max >= m.link_time(700));
+        assert!(r.max_link_utilization > 0.0);
+    }
+
+    #[test]
+    fn cell_report_mirrors_single_node_view() {
+        let m = CostModel::bgp();
+        let mut cell = UnitCellNetwork::new(1);
+        let px = LinkDir {
+            axis: Axis::X,
+            dir: Dir::Plus,
+        };
+        cell.transfer(SimTime::ZERO, px, 100, &m);
+        cell.transfer(SimTime::ZERO, px, 200, &m);
+        let r = cell.report(SimTime::ZERO + SimDuration::from_us(10));
+        assert_eq!(r.nodes, 1);
+        assert_eq!(r.bytes_per_node_max, 300);
+        assert_eq!(r.bytes_total, 300);
+        assert_eq!(r.messages_total, 2);
+        assert_eq!(r.link_busy_max, r.link_busy_total);
+        assert_eq!(r.link_busy_total, m.link_time(100) + m.link_time(200));
+    }
+}

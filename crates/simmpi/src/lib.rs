@@ -33,4 +33,4 @@ pub mod report;
 
 pub use instr::{Instr, Program, Tag, VecProgram};
 pub use machine::{Machine, Scope, ThreadMode};
-pub use report::RunReport;
+pub use report::{RunReport, ThreadPhases};

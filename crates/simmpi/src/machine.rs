@@ -1,11 +1,11 @@
 //! The timed machine: executes rank programs on the simulated BGP.
 
 use crate::instr::{Instr, Program, Tag};
-use crate::report::RunReport;
+use crate::report::{RunReport, ThreadPhases};
 use gpaw_bgp_hw::spec::{CostModel, STENCIL_FLOPS_PER_POINT};
 use gpaw_bgp_hw::topology::{Axis, Coord, Dir, LinkDir};
 use gpaw_bgp_hw::CartMap;
-use gpaw_des::{EventQueue, FifoServer, SimDuration, SimTime};
+use gpaw_des::{EventQueue, FifoServer, SimDuration, SimTime, SpanAgg, SpanKind};
 use gpaw_netsim::{CollectiveTree, FullNetwork, UnitCellNetwork};
 use std::collections::{HashMap, VecDeque};
 
@@ -63,6 +63,9 @@ struct Thread {
     /// Total requests posted per epoch (drives the wait-completion charge).
     posted_count: HashMap<u32, u32>,
     waiting: Option<u32>,
+    /// When the thread parked on its current `WaitEpoch` (valid while
+    /// `waiting` is `Some`); anchors the Wait span.
+    wait_started: SimTime,
     done: bool,
     finish: SimTime,
     /// CPU time in the stencil kernel (and explicit delays).
@@ -72,6 +75,12 @@ struct Thread {
     busy_comm: SimDuration,
     /// CPU time in synchronization: thread barriers, collectives.
     busy_sync: SimDuration,
+    /// Span-level attribution of the whole timeline. Unlike the `busy_*`
+    /// aggregates (which count only CPU-occupied time), the spans tile
+    /// `[0, finish]` exactly: blocked waits and barrier arrival-to-release
+    /// intervals are attributed to `Wait`/`ThreadBarrier`, and MULTIPLE-mode
+    /// lock queueing is separated out as `LibLock`.
+    spans: SpanAgg,
     flops: f64,
 }
 
@@ -163,9 +172,7 @@ impl Machine {
         };
         let net = match scope {
             Scope::Full => Net::Full(FullNetwork::new(map.partition.node_shape)),
-            Scope::UnitCell { neighbor_hops } => {
-                Net::Cell(UnitCellNetwork::new(neighbor_hops))
-            }
+            Scope::UnitCell { neighbor_hops } => Net::Cell(UnitCellNetwork::new(neighbor_hops)),
         };
         let n_nodes = match scope {
             Scope::Full => map.partition.nodes(),
@@ -197,11 +204,13 @@ impl Machine {
                     outstanding: HashMap::new(),
                     posted_count: HashMap::new(),
                     waiting: None,
+                    wait_started: SimTime::ZERO,
                     done: false,
                     finish: SimTime::ZERO,
                     busy_compute: SimDuration::ZERO,
                     busy_comm: SimDuration::ZERO,
                     busy_sync: SimDuration::ZERO,
+                    spans: SpanAgg::new(),
                     flops: 0.0,
                 });
             }
@@ -234,7 +243,8 @@ impl Machine {
     /// description of the stuck threads.
     pub fn run(mut self) -> RunReport {
         for tid in 0..self.threads.len() {
-            self.queue.schedule_at(SimTime::ZERO, Ev::Fetch { tid: tid as u32 });
+            self.queue
+                .schedule_at(SimTime::ZERO, Ev::Fetch { tid: tid as u32 });
         }
         while let Some((now, ev)) = self.queue.pop() {
             match ev {
@@ -261,7 +271,11 @@ impl Machine {
                     )
                 })
                 .collect();
-            panic!("deadlock: {} threads stuck: {}", stuck.len(), stuck.join("; "));
+            panic!(
+                "deadlock: {} threads stuck: {}",
+                stuck.len(),
+                stuck.join("; ")
+            );
         }
         self.report()
     }
@@ -290,18 +304,21 @@ impl Machine {
             .threads
             .iter()
             .fold(SimDuration::ZERO, |acc, t| acc + t.busy_sync);
-        let (network_bytes_per_node, total_network_bytes, max_link_util) = match &self.net {
-            Net::Full(n) => (
-                n.max_injected_bytes(),
-                n.total_injected_bytes(),
-                n.max_link_utilization(makespan),
-            ),
-            Net::Cell(c) => (
-                c.injected_bytes(),
-                c.injected_bytes(),
-                c.max_link_utilization(makespan),
-            ),
+        let net = match &self.net {
+            Net::Full(n) => n.report(makespan),
+            Net::Cell(c) => c.report(makespan),
         };
+        let mut phases = SpanAgg::new();
+        let mut thread_phases = Vec::with_capacity(self.threads.len());
+        for t in &self.threads {
+            phases.merge(&t.spans);
+            thread_phases.push(ThreadPhases {
+                rank: self.procs[t.proc as usize].rank,
+                slot: t.slot as usize,
+                finish: t.finish.since(SimTime::ZERO),
+                spans: t.spans.clone(),
+            });
+        }
         // All posted payload, grouped by node (the Fig. 6 metric).
         let mut per_node: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
         for p in &self.procs {
@@ -313,18 +330,25 @@ impl Machine {
             events: self.queue.events_processed(),
             messages: self.messages,
             bytes_per_node,
-            network_bytes_per_node,
-            total_network_bytes,
+            network_bytes_per_node: net.bytes_per_node_max,
+            total_network_bytes: net.bytes_total,
             busy,
             busy_compute,
             busy_comm,
             busy_sync,
             flops,
             threads: self.threads.len(),
-            utilization: self
-                .model
-                .utilization(flops, self.threads.len(), makespan.since(SimTime::ZERO)),
-            max_link_utilization: max_link_util,
+            utilization: self.model.utilization(
+                flops,
+                self.threads.len(),
+                makespan.since(SimTime::ZERO),
+            ),
+            max_link_utilization: net.max_link_utilization,
+            core_peak_flops: self.model.node.core_peak_flops(),
+            paper_ref_flops: self.model.ref_flops_paper,
+            phases,
+            thread_phases,
+            net,
         }
     }
 
@@ -341,7 +365,7 @@ impl Machine {
                 epoch,
             } => {
                 self.assert_comm_allowed(ti);
-                let cpu_done = self.charge_call(ti, now, self.model.o_send);
+                let cpu_done = self.charge_call(ti, now, self.model.o_send, SpanKind::Post);
                 *self.threads[ti].outstanding.entry(epoch).or_insert(0) += 1;
                 *self.threads[ti].posted_count.entry(epoch).or_insert(0) += 1;
                 self.messages += 1;
@@ -359,8 +383,7 @@ impl Machine {
                         bytes,
                     },
                 );
-                self.queue
-                    .schedule_at(routed.cpu_free, Ev::Fetch { tid });
+                self.queue.schedule_at(routed.cpu_free, Ev::Fetch { tid });
             }
             Instr::Irecv {
                 src,
@@ -369,7 +392,7 @@ impl Machine {
                 epoch,
             } => {
                 self.assert_comm_allowed(ti);
-                let cpu_done = self.charge_call(ti, now, self.model.o_recv);
+                let cpu_done = self.charge_call(ti, now, self.model.o_recv, SpanKind::Post);
                 let pi = self.threads[ti].proc as usize;
                 let key = (src as u64, tag);
                 let matched = self.procs[pi]
@@ -400,9 +423,11 @@ impl Machine {
                     let k = t.posted_count.remove(&epoch).unwrap_or(0) as u64;
                     let charge = self.model.o_wait * k;
                     t.busy_comm += charge;
+                    t.spans.add(SpanKind::Wait, charge);
                     self.queue.schedule_at(now + charge, Ev::Fetch { tid });
                 } else {
                     t.waiting = Some(epoch);
+                    t.wait_started = now;
                 }
             }
             Instr::Compute {
@@ -413,11 +438,14 @@ impl Machine {
                 let d = self.model.compute_time(points, rows, grids);
                 let t = &mut self.threads[ti];
                 t.busy_compute += d;
+                t.spans.add(SpanKind::Compute, d);
                 t.flops += points as f64 * STENCIL_FLOPS_PER_POINT;
                 self.queue.schedule_at(now + d, Ev::Fetch { tid });
             }
             Instr::Delay { d } => {
-                self.threads[ti].busy_compute += d;
+                let t = &mut self.threads[ti];
+                t.busy_compute += d;
+                t.spans.add(SpanKind::Compute, d);
                 self.queue.schedule_at(now + d, Ev::Fetch { tid });
             }
             Instr::ThreadBarrier => {
@@ -437,8 +465,10 @@ impl Machine {
                         .expect("barrier is non-empty");
                     let release = latest + self.model.t_barrier;
                     let waiters = std::mem::take(&mut self.procs[pi].barrier);
-                    for (wtid, _) in waiters {
-                        self.threads[wtid as usize].busy_sync += self.model.t_barrier;
+                    for (wtid, arrived) in waiters {
+                        let t = &mut self.threads[wtid as usize];
+                        t.busy_sync += self.model.t_barrier;
+                        t.spans.add(SpanKind::ThreadBarrier, release.since(arrived));
                         self.queue.schedule_at(release, Ev::Fetch { tid: wtid });
                     }
                 }
@@ -461,8 +491,10 @@ impl Machine {
                     let release = latest + cost;
                     let waiters = std::mem::take(&mut self.ar_arrived);
                     self.ar_bytes = 0;
-                    for (wtid, _) in waiters {
-                        self.threads[wtid as usize].busy_sync += cost;
+                    for (wtid, arrived) in waiters {
+                        let t = &mut self.threads[wtid as usize];
+                        t.busy_sync += cost;
+                        t.spans.add(SpanKind::Collective, release.since(arrived));
                         self.queue.schedule_at(release, Ev::Fetch { tid: wtid });
                     }
                 }
@@ -486,15 +518,29 @@ impl Machine {
     }
 
     /// CPU time of an MPI call, including MULTIPLE-mode lock serialization.
-    /// Returns when the call completes (thread busy until then).
-    fn charge_call(&mut self, ti: usize, now: SimTime, cost: SimDuration) -> SimTime {
+    /// Returns when the call completes (thread busy until then). The span
+    /// attribution separates the time queueing on the library lock
+    /// (`LibLock`) from the call itself (`kind`, normally `Post`).
+    fn charge_call(
+        &mut self,
+        ti: usize,
+        now: SimTime,
+        cost: SimDuration,
+        kind: SpanKind,
+    ) -> SimTime {
         let done = match self.mode {
-            ThreadMode::Single => now + cost,
+            ThreadMode::Single => {
+                self.threads[ti].spans.add(kind, cost);
+                now + cost
+            }
             ThreadMode::Multiple => {
                 let pi = self.threads[ti].proc as usize;
                 let grant = self.procs[pi]
                     .mpi_lock
                     .acquire(now, cost + self.model.o_lock_multiple);
+                let t = &mut self.threads[ti];
+                t.spans.add(SpanKind::LibLock, grant.queue_delay(now));
+                t.spans.add(kind, grant.done.since(grant.start));
                 grant.done
             }
         };
@@ -602,11 +648,13 @@ impl Machine {
     ) -> Routed {
         let pi = self.threads[sender_ti].proc as usize;
         let node = self.procs[pi].node_idx;
-        let grant = self.node_bus[node].acquire(
-            at + self.model.o_memcpy,
-            self.model.memcpy_time(bytes),
-        );
-        self.threads[sender_ti].busy_comm += grant.done.since(at);
+        let grant =
+            self.node_bus[node].acquire(at + self.model.o_memcpy, self.model.memcpy_time(bytes));
+        let t = &mut self.threads[sender_ti];
+        t.busy_comm += grant.done.since(at);
+        // The copy (including any bus queueing) occupies the posting core;
+        // it is part of the send call, so it extends the Post span.
+        t.spans.add(SpanKind::Post, grant.done.since(at));
         Routed {
             cpu_free: grant.done,
             injection_done: grant.done,
@@ -620,8 +668,7 @@ impl Machine {
 
     fn complete_request(&mut self, tid: u32, epoch: u32, now: SimTime) {
         let ti = tid as usize;
-        let open = self
-            .threads[ti]
+        let open = self.threads[ti]
             .outstanding
             .get_mut(&epoch)
             .expect("completion for unknown epoch");
@@ -629,10 +676,15 @@ impl Machine {
         if *open == 0 {
             self.threads[ti].outstanding.remove(&epoch);
             if self.threads[ti].waiting == Some(epoch) {
-                self.threads[ti].waiting = None;
-                let k = self.threads[ti].posted_count.remove(&epoch).unwrap_or(0) as u64;
+                let t = &mut self.threads[ti];
+                t.waiting = None;
+                let k = t.posted_count.remove(&epoch).unwrap_or(0) as u64;
                 let charge = self.model.o_wait * k;
-                self.threads[ti].busy_comm += charge;
+                t.busy_comm += charge;
+                // The whole parked interval plus the completion charge is
+                // MPI-wait time.
+                t.spans
+                    .add(SpanKind::Wait, (now + charge).since(t.wait_started));
                 self.queue.schedule_at(now + charge, Ev::Fetch { tid });
             }
         }
@@ -810,14 +862,12 @@ mod tests {
                     let e = if serialized { e as u32 } else { 0 };
                     for dir in Dir::ALL {
                         let nb = map.neighbor_rank(r, axis, dir);
-                        let tag_s = (axis.index() * 2
-                            + if dir == Dir::Plus { 1 } else { 0 })
-                            as u64;
+                        let tag_s =
+                            (axis.index() * 2 + if dir == Dir::Plus { 1 } else { 0 }) as u64;
                         // The matching receive: our neighbor's send toward
                         // us travels the opposite direction.
-                        let tag_r = (axis.index() * 2
-                            + if dir == Dir::Plus { 0 } else { 1 })
-                            as u64;
+                        let tag_r =
+                            (axis.index() * 2 + if dir == Dir::Plus { 0 } else { 1 }) as u64;
                         is.push(Instr::Irecv {
                             src: nb,
                             bytes,
@@ -1059,10 +1109,8 @@ mod tests {
             for axis in Axis::ALL {
                 for dir in Dir::ALL {
                     let nb = map.neighbor_rank(r, axis, dir);
-                    let tag_s =
-                        (axis.index() * 2 + if dir == Dir::Plus { 1 } else { 0 }) as u64;
-                    let tag_r =
-                        (axis.index() * 2 + if dir == Dir::Plus { 0 } else { 1 }) as u64;
+                    let tag_s = (axis.index() * 2 + if dir == Dir::Plus { 1 } else { 0 }) as u64;
+                    let tag_r = (axis.index() * 2 + if dir == Dir::Plus { 0 } else { 1 }) as u64;
                     is.push(Instr::Irecv {
                         src: nb,
                         bytes,
@@ -1086,10 +1134,7 @@ mod tests {
             is
         };
 
-        let full_progs = pad_idle(
-            (0..map.ranks()).map(|r| prog_for(&map, r)).collect(),
-            4,
-        );
+        let full_progs = pad_idle((0..map.ranks()).map(|r| prog_for(&map, r)).collect(), 4);
         let full = Machine::new(
             map.clone(),
             m.clone(),
@@ -1130,10 +1175,8 @@ mod tests {
             for axis in Axis::ALL {
                 for dir in Dir::ALL {
                     let nb = map.neighbor_rank(r, axis, dir);
-                    let tag_s =
-                        (axis.index() * 2 + if dir == Dir::Plus { 1 } else { 0 }) as u64;
-                    let tag_r =
-                        (axis.index() * 2 + if dir == Dir::Plus { 0 } else { 1 }) as u64;
+                    let tag_s = (axis.index() * 2 + if dir == Dir::Plus { 1 } else { 0 }) as u64;
+                    let tag_r = (axis.index() * 2 + if dir == Dir::Plus { 0 } else { 1 }) as u64;
                     is.push(Instr::Irecv {
                         src: nb,
                         bytes,
@@ -1182,5 +1225,73 @@ mod tests {
         assert_eq!(cell.makespan, full.makespan);
         // Full reports the max per node; the cell reports its own node.
         assert_eq!(cell.bytes_per_node, full.bytes_per_node);
+    }
+
+    /// Conservation: every picosecond of a thread's life is attributed to
+    /// exactly one span kind, so the per-thread span totals must equal the
+    /// thread's finish time *exactly* (integer picoseconds, no tolerance).
+    /// Exercises sends, receives, blocked and instant waits, compute,
+    /// thread barriers, collectives, and the MULTIPLE-mode library lock.
+    #[test]
+    fn spans_tile_each_threads_lifetime_exactly() {
+        let m = model();
+        let p = Partition::new([1, 1, 2], ExecMode::Smp);
+        let map = CartMap::new(p, [1, 1, 2]).unwrap();
+        let mut progs: Vec<Box<dyn Program>> = Vec::new();
+        for rank in 0..2usize {
+            let peer = 1 - rank;
+            for slot in 0..4usize {
+                // Identical compute: all four threads hit the library lock
+                // at the same instant, so MULTIPLE-mode queueing shows up.
+                let mut is = vec![Instr::Compute {
+                    points: 10_000,
+                    rows: 100,
+                    grids: 1,
+                }];
+                // Every thread communicates: MULTIPLE mode contends on the
+                // per-process lock.
+                is.push(Instr::Irecv {
+                    src: peer,
+                    bytes: 4096,
+                    tag: slot as u64,
+                    epoch: 0,
+                });
+                is.push(Instr::Isend {
+                    dst: peer,
+                    bytes: 4096,
+                    tag: slot as u64,
+                    epoch: 0,
+                });
+                is.push(Instr::WaitEpoch { epoch: 0 });
+                is.push(Instr::WaitEpoch { epoch: 1 }); // instant: nothing open
+                is.push(Instr::ThreadBarrier);
+                if slot == 0 {
+                    is.push(Instr::AllReduce { bytes: 64 });
+                }
+                progs.push(Box::new(VecProgram::new(is)));
+            }
+        }
+        let r = Machine::new(map, m, ThreadMode::Multiple, Scope::Full, progs).run();
+        assert_eq!(r.thread_phases.len(), 8);
+        let mut merged = gpaw_des::SpanAgg::new();
+        for tp in &r.thread_phases {
+            assert_eq!(
+                tp.spans.total(),
+                tp.finish,
+                "rank {} slot {}: spans must tile [0, finish]",
+                tp.rank,
+                tp.slot
+            );
+            merged.merge(&tp.spans);
+        }
+        // The machine-level aggregate is exactly the merge of the threads.
+        for kind in gpaw_des::SpanKind::ALL {
+            assert_eq!(r.phases.get(kind), merged.get(kind));
+        }
+        // The interesting kinds all appear.
+        use gpaw_des::SpanKind::*;
+        for kind in [Compute, Post, Wait, LibLock, ThreadBarrier, Collective] {
+            assert!(r.phases.get(kind) > SimDuration::ZERO, "{kind:?} missing");
+        }
     }
 }

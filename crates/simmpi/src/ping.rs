@@ -55,7 +55,14 @@ pub fn p2p_bandwidth(model: &CostModel, bytes: u64) -> BandwidthSample {
     for _ in 1..4 {
         programs.push(Box::new(VecProgram::new(vec![])));
     }
-    let report = Machine::new(map, model.clone(), ThreadMode::Single, Scope::Full, programs).run();
+    let report = Machine::new(
+        map,
+        model.clone(),
+        ThreadMode::Single,
+        Scope::Full,
+        programs,
+    )
+    .run();
     let seconds = report.seconds();
     BandwidthSample {
         bytes,

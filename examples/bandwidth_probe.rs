@@ -12,9 +12,17 @@ fn main() {
     let asym = sweep.last().expect("non-empty sweep").bandwidth;
 
     println!("message bytes -> MB/s (simulated, one message between neighbor nodes)");
-    for s in sweep.iter().filter(|s| s.bytes.is_power_of_two() || s.bytes % 10 == 0) {
+    for s in sweep
+        .iter()
+        .filter(|s| s.bytes.is_power_of_two() || s.bytes % 10 == 0)
+    {
         let frac = (s.bandwidth / asym * 30.0).round() as usize;
-        println!("{:>9} {:>8.1} |{}", s.bytes, s.bandwidth / 1e6, "=".repeat(frac));
+        println!(
+            "{:>9} {:>8.1} |{}",
+            s.bytes,
+            s.bandwidth / 1e6,
+            "=".repeat(frac)
+        );
     }
 
     println!("\nAsymptote ≈ {:.0} MB/s (paper: ~375 MB/s).", asym / 1e6);

@@ -18,8 +18,7 @@ fn main() {
     // periodic problem is solvable.
     let blob = gaussian_rho(n, [0.5, 0.5, 0.5], 0.12);
     let mut rho: Grid3<f64> = Grid3::from_fn(n, 2, blob);
-    let mean: f64 =
-        rho.iter_interior().map(|(_, v)| v).sum::<f64>() / rho.interior_points() as f64;
+    let mean: f64 = rho.iter_interior().map(|(_, v)| v).sum::<f64>() / rho.interior_points() as f64;
     for v in rho.data_mut() {
         *v -= mean;
     }
@@ -66,14 +65,16 @@ fn main() {
     assert!(mg_stats.converged(1e-7));
     // Gauge-fix the Richardson potential (periodic solutions are defined
     // up to a constant) and compare.
-    let mean: f64 =
-        phi.iter_interior().map(|(_, v)| v).sum::<f64>() / phi.interior_points() as f64;
+    let mean: f64 = phi.iter_interior().map(|(_, v)| v).sum::<f64>() / phi.interior_points() as f64;
     for v in phi.data_mut() {
         *v -= mean;
     }
     let gap = gpaw_repro::grid::norms::max_abs_diff(&phi, &phi_mg);
     println!("|φ_richardson − φ_multigrid| = {gap:.2e}");
-    assert!(gap < 1e-4, "both solvers must agree on the discrete solution");
+    assert!(
+        gap < 1e-4,
+        "both solvers must agree on the discrete solution"
+    );
     println!(
         "Multigrid used ~{} fine sweeps vs {} Richardson iterations.",
         mg_stats.cycles * (2 * mg.smooth_sweeps + 1),

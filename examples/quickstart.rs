@@ -25,7 +25,10 @@ fn main() {
 
     let k2 = (std::f64::consts::TAU / (n[0] as f64 * h[0])).powi(2);
     let probe = lap.get(5, 0, 0) / f.get(5, 0, 0);
-    println!("∇² sin(kx) / sin(kx) = {probe:.6}  (analytic −k² = {:.6})", -k2);
+    println!(
+        "∇² sin(kx) / sin(kx) = {probe:.6}  (analytic −k² = {:.6})",
+        -k2
+    );
 
     // --- 2. The same operator, distributed -------------------------------
     // Two Blue Gene/P nodes in virtual mode = 8 MPI ranks; GPAW picks the

@@ -24,8 +24,14 @@ fn main() {
     });
 
     let scf = ToyScf::new(h, BoundaryCond::Periodic);
-    println!("Toy SCF: {states} states on a {n}³ grid (mixing {:.4})\n", scf.mixing);
-    println!("{:>4} {:>14} {:>12} {:>12}", "iter", "total energy", "poisson res", "ortho err");
+    println!(
+        "Toy SCF: {states} states on a {n}³ grid (mixing {:.4})\n",
+        scf.mixing
+    );
+    println!(
+        "{:>4} {:>14} {:>12} {:>12}",
+        "iter", "total energy", "poisson res", "ortho err"
+    );
 
     let reports = scf.run(&mut psi, 8);
     for r in &reports {
@@ -38,7 +44,10 @@ fn main() {
     let first = reports.first().expect("ran iterations").total_energy;
     let last = reports.last().expect("ran iterations").total_energy;
     println!("\nTotal energy: {first:.6} -> {last:.6}");
-    assert!(last <= first + 1e-9, "steepest descent must not raise energy");
+    assert!(
+        last <= first + 1e-9,
+        "steepest descent must not raise energy"
+    );
 
     let kin = kinetic_energies(h, BoundaryCond::Periodic, &mut psi);
     println!("Final per-state kinetic energies: {kin:.3?}");

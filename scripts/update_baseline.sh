@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Regenerate results/baseline.json from the current tree.
+#
+# Run this ONLY when a metric shift is intentional (cost-model retuning,
+# scheduler change, new suite point), and commit the resulting diff in the
+# same PR as the change that caused it, with a sentence in the PR
+# description explaining the shift.
+#
+# Tolerance policy (enforced by the perf_gate binary, see
+# crates/bench/src/bin/perf_gate.rs):
+#   * counts (messages, bytes, cores, batch, threads, nodes) ... exact;
+#     the simulator is deterministic, so any count drift is a behavior
+#     change, not noise;
+#   * utilizations and phase fractions ...................... +/-0.05 abs;
+#   * times, bandwidths, link-busy, everything else .......... +/-5% rel.
+# The tolerances exist to absorb small intentional calibration nudges
+# without churning the baseline, NOT to paper over regressions: a drift
+# within tolerance that you did not expect still deserves a look at the
+# perf_gate table before merging.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline -p gpaw-bench --bin perf_gate
+mkdir -p results
+# perf_gate exits 1/2 when the (old) baseline mismatches or is absent;
+# we only need the freshly written report.
+./target/release/perf_gate --out results/baseline.json || true
+
+echo
+echo "results/baseline.json updated; review the diff and commit it:"
+git --no-pager diff --stat -- results/baseline.json || true

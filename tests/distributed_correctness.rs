@@ -95,12 +95,7 @@ fn asymmetric_stencil_distributes_correctly() {
 #[test]
 fn four_nodes_bigger_cluster() {
     // 16 virtual ranks / 4 SMP processes.
-    check_f64(
-        &FdConfig::paper(Approach::FlatOriginal),
-        4,
-        [16, 16, 16],
-        5,
-    );
+    check_f64(&FdConfig::paper(Approach::FlatOriginal), 4, [16, 16, 16], 5);
     check_f64(
         &FdConfig::paper(Approach::HybridMasterOnly).with_batch(2),
         4,

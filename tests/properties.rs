@@ -1,31 +1,50 @@
-//! Property-based tests (proptest) on the core invariants:
-//! decomposition coverage, halo round-trips, stencil algebra, batching
-//! invariance, tag uniqueness and DES determinism.
+//! Randomized property tests on the core invariants: decomposition
+//! coverage, halo round-trips, stencil algebra, batching invariance and
+//! DES determinism.
+//!
+//! The harness is hand-rolled (seeded `SplitMix64` case loops) instead of
+//! proptest so the workspace builds with zero external dependencies. Every
+//! case derives from a fixed seed, so failures reproduce exactly; a failed
+//! assertion reports the case index, from which the full input can be
+//! regenerated.
 
 use gpaw_repro::des::{EventQueue, SimDuration, SplitMix64};
-use gpaw_repro::grid::decomp::{best_dims, factor_triples, Decomposition};
+use gpaw_repro::grid::decomp::{best_dims, factor_triples, surface_points, Decomposition};
 use gpaw_repro::grid::grid3::Grid3;
 use gpaw_repro::grid::gridset::{batch_indices, growing_batches};
 use gpaw_repro::grid::halo::{pack_face, unpack_face, Side};
 use gpaw_repro::grid::norms::max_abs_diff;
 use gpaw_repro::grid::stencil::{apply, apply_sequential, BoundaryCond, StencilCoeffs};
-use proptest::prelude::*;
 
-fn small_ext() -> impl Strategy<Value = [usize; 3]> {
-    (4usize..12, 4usize..12, 4usize..12).prop_map(|(a, b, c)| [a, b, c])
+const CASES: usize = 64;
+
+fn usize_in(rng: &mut SplitMix64, lo: usize, hi: usize) -> usize {
+    lo + rng.next_below((hi - lo) as u64) as usize
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn small_ext(rng: &mut SplitMix64) -> [usize; 3] {
+    [
+        usize_in(rng, 4, 12),
+        usize_in(rng, 4, 12),
+        usize_in(rng, 4, 12),
+    ]
+}
 
-    /// Every decomposition partitions the global index space exactly.
-    #[test]
-    fn decomposition_partitions(
-        ext in small_ext(),
-        px in 1usize..4, py in 1usize..4, pz in 1usize..4,
-    ) {
-        prop_assume!(px <= ext[0] && py <= ext[1] && pz <= ext[2]);
-        let d = Decomposition::new(ext, [px, py, pz]);
+/// Every decomposition partitions the global index space exactly.
+#[test]
+fn decomposition_partitions() {
+    let mut rng = SplitMix64::new(0xDECDEC01);
+    for case in 0..CASES {
+        let ext = small_ext(&mut rng);
+        let dims = [
+            usize_in(&mut rng, 1, 4),
+            usize_in(&mut rng, 1, 4),
+            usize_in(&mut rng, 1, 4),
+        ];
+        if (0..3).any(|i| dims[i] > ext[i]) {
+            continue;
+        }
+        let d = Decomposition::new(ext, dims);
         let mut count = vec![0u8; ext[0] * ext[1] * ext[2]];
         for (_, sub) in d.iter() {
             for i in sub.start[0]..sub.end()[0] {
@@ -36,61 +55,89 @@ proptest! {
                 }
             }
         }
-        prop_assert!(count.iter().all(|&c| c == 1));
+        assert!(
+            count.iter().all(|&c| c == 1),
+            "case {case}: ext {ext:?} dims {dims:?} not an exact partition"
+        );
     }
+}
 
-    /// Per-axis extents differ by at most one plane across ranks.
-    #[test]
-    fn decomposition_is_balanced(
-        ext in small_ext(),
-        px in 1usize..4, py in 1usize..4, pz in 1usize..4,
-    ) {
-        prop_assume!(px <= ext[0] && py <= ext[1] && pz <= ext[2]);
-        let d = Decomposition::new(ext, [px, py, pz]);
+/// Per-axis extents differ by at most one plane across ranks.
+#[test]
+fn decomposition_is_balanced() {
+    let mut rng = SplitMix64::new(0xDECDEC02);
+    for case in 0..CASES {
+        let ext = small_ext(&mut rng);
+        let dims = [
+            usize_in(&mut rng, 1, 4),
+            usize_in(&mut rng, 1, 4),
+            usize_in(&mut rng, 1, 4),
+        ];
+        if (0..3).any(|i| dims[i] > ext[i]) {
+            continue;
+        }
+        let d = Decomposition::new(ext, dims);
         let mut min = usize::MAX;
         let mut max = 0usize;
         for (_, sub) in d.iter() {
             min = min.min(sub.ext[0]);
             max = max.max(sub.ext[0]);
         }
-        prop_assert!(max - min <= 1);
+        assert!(
+            max - min <= 1,
+            "case {case}: ext {ext:?} dims {dims:?} unbalanced ({min}..{max})"
+        );
     }
+}
 
-    /// factor_triples are complete factorizations.
-    #[test]
-    fn factor_triples_multiply_back(n in 1usize..200) {
+/// factor_triples are complete factorizations.
+#[test]
+fn factor_triples_multiply_back() {
+    for n in 1usize..200 {
         let ts = factor_triples(n);
-        prop_assert!(!ts.is_empty());
+        assert!(!ts.is_empty(), "n={n}: no factorization");
         for t in ts {
-            prop_assert_eq!(t[0] * t[1] * t[2], n);
+            assert_eq!(t[0] * t[1] * t[2], n, "n={n}: bad triple {t:?}");
         }
     }
+}
 
-    /// best_dims never beats brute force on the surface metric.
-    #[test]
-    fn best_dims_is_optimal(n in 1usize..65, e0 in 64usize..100, e1 in 64usize..100, e2 in 64usize..100) {
-        let ext = [e0, e1, e2];
+/// best_dims never beats brute force on the surface metric.
+#[test]
+fn best_dims_is_optimal() {
+    let mut rng = SplitMix64::new(0xDECDEC03);
+    for case in 0..CASES {
+        let n = usize_in(&mut rng, 1, 65);
+        let ext = [
+            usize_in(&mut rng, 64, 100),
+            usize_in(&mut rng, 64, 100),
+            usize_in(&mut rng, 64, 100),
+        ];
         let best = best_dims(n, ext);
-        let best_surface = gpaw_repro::grid::decomp::surface_points(ext, best);
+        let best_surface = surface_points(ext, best);
         for t in factor_triples(n) {
             if (0..3).all(|i| t[i] <= ext[i]) {
-                prop_assert!(
-                    best_surface <= gpaw_repro::grid::decomp::surface_points(ext, t) + 1e-9
+                assert!(
+                    best_surface <= surface_points(ext, t) + 1e-9,
+                    "case {case}: n={n} ext {ext:?} — {best:?} loses to {t:?}"
                 );
             }
         }
     }
+}
 
-    /// Halo pack → unpack between two neighbor grids moves exactly the
-    /// sender's boundary planes.
-    #[test]
-    fn halo_round_trip(
-        ext in small_ext(),
-        axis in 0usize..3,
-        seed in any::<u64>(),
-    ) {
-        let mut rng = SplitMix64::new(seed);
-        let a: Grid3<f64> = Grid3::from_fn(ext, 2, |_, _, _| rng.next_f64());
+/// Halo pack → unpack between two neighbor grids moves exactly the
+/// sender's boundary planes.
+#[test]
+fn halo_round_trip() {
+    let mut rng = SplitMix64::new(0xDECDEC04);
+    for case in 0..CASES {
+        let ext = small_ext(&mut rng);
+        let axis = usize_in(&mut rng, 0, 3);
+        let a: Grid3<f64> = {
+            let mut vals = rng.split();
+            Grid3::from_fn(ext, 2, move |_, _, _| vals.next_f64())
+        };
         let mut b: Grid3<f64> = Grid3::zeros(ext, 2);
         let mut buf = Vec::new();
         pack_face(&a, axis, Side::High, &mut buf);
@@ -108,24 +155,34 @@ proptest! {
                     cs[(axis + 2) % 3] = k as isize;
                     let mut cd = cs;
                     cd[axis] = dst_plane;
-                    prop_assert_eq!(a.get(cs[0], cs[1], cs[2]), b.get(cd[0], cd[1], cd[2]));
+                    assert_eq!(
+                        a.get(cs[0], cs[1], cs[2]),
+                        b.get(cd[0], cd[1], cd[2]),
+                        "case {case}: ext {ext:?} axis {axis} plane {p}"
+                    );
                 }
             }
         }
     }
+}
 
-    /// The stencil is linear: L(αf + βg) = αLf + βLg.
-    #[test]
-    fn stencil_linearity(
-        ext in small_ext(),
-        alpha in -3.0f64..3.0,
-        beta in -3.0f64..3.0,
-        seed in any::<u64>(),
-    ) {
+/// The stencil is linear: L(αf + βg) = αLf + βLg.
+#[test]
+fn stencil_linearity() {
+    let mut rng = SplitMix64::new(0xDECDEC05);
+    for case in 0..CASES {
+        let ext = small_ext(&mut rng);
+        let alpha = rng.next_f64() * 6.0 - 3.0;
+        let beta = rng.next_f64() * 6.0 - 3.0;
         let coef = StencilCoeffs::laplacian([0.3; 3]);
-        let mut rng = SplitMix64::new(seed);
-        let f: Grid3<f64> = Grid3::from_fn(ext, 2, |_, _, _| rng.next_f64() - 0.5);
-        let g: Grid3<f64> = Grid3::from_fn(ext, 2, |_, _, _| rng.next_f64() - 0.5);
+        let f: Grid3<f64> = {
+            let mut vals = rng.split();
+            Grid3::from_fn(ext, 2, move |_, _, _| vals.next_f64() - 0.5)
+        };
+        let g: Grid3<f64> = {
+            let mut vals = rng.split();
+            Grid3::from_fn(ext, 2, move |_, _, _| vals.next_f64() - 0.5)
+        };
         let mut combo: Grid3<f64> = Grid3::zeros(ext, 2);
         for i in 0..ext[0] as isize {
             for j in 0..ext[1] as isize {
@@ -151,24 +208,28 @@ proptest! {
                 }
             }
         }
-        prop_assert!(max_abs_diff(&lcombo, &expect) < 1e-10);
+        assert!(
+            max_abs_diff(&lcombo, &expect) < 1e-10,
+            "case {case}: ext {ext:?} α={alpha} β={beta}"
+        );
     }
+}
 
-    /// Periodic translation invariance: shifting the input cyclically
-    /// shifts the output identically.
-    #[test]
-    fn stencil_translation_invariance(
-        ext in small_ext(),
-        shift in 1usize..4,
-        seed in any::<u64>(),
-    ) {
+/// Periodic translation invariance: shifting the input cyclically shifts
+/// the output identically.
+#[test]
+fn stencil_translation_invariance() {
+    let mut rng = SplitMix64::new(0xDECDEC06);
+    for case in 0..CASES {
+        let ext = small_ext(&mut rng);
+        let shift = usize_in(&mut rng, 1, 4);
         let coef = StencilCoeffs::laplacian([0.25; 3]);
-        let mut rng = SplitMix64::new(seed);
-        let vals: Vec<f64> = (0..ext[0] * ext[1] * ext[2]).map(|_| rng.next_f64()).collect();
+        let vals: Vec<f64> = (0..ext[0] * ext[1] * ext[2])
+            .map(|_| rng.next_f64())
+            .collect();
         let at = |i: usize, j: usize, k: usize| vals[(i * ext[1] + j) * ext[2] + k];
         let f: Grid3<f64> = Grid3::from_fn(ext, 2, &at);
-        let f_shift: Grid3<f64> =
-            Grid3::from_fn(ext, 2, |i, j, k| at((i + shift) % ext[0], j, k));
+        let f_shift: Grid3<f64> = Grid3::from_fn(ext, 2, |i, j, k| at((i + shift) % ext[0], j, k));
         let apply_to = |input: &Grid3<f64>| {
             let mut x = input.clone();
             let mut out = Grid3::zeros(ext, 2);
@@ -182,27 +243,38 @@ proptest! {
                 for k in 0..ext[2] as isize {
                     let a = lf.get(((i + shift) % ext[0]) as isize, j, k);
                     let b = lf_shift.get(i as isize, j, k);
-                    prop_assert!((a - b).abs() < 1e-12);
+                    assert!(
+                        (a - b).abs() < 1e-12,
+                        "case {case}: ext {ext:?} shift {shift} at ({i},{j},{k})"
+                    );
                 }
             }
         }
     }
+}
 
-    /// Batch slicing covers every index exactly once, in order.
-    #[test]
-    fn batches_cover_exactly(n in 0usize..100, batch in 1usize..20) {
+/// Batch slicing covers every index exactly once, in order.
+#[test]
+fn batches_cover_exactly() {
+    let mut rng = SplitMix64::new(0xDECDEC07);
+    for _ in 0..CASES {
+        let n = usize_in(&mut rng, 0, 100);
+        let batch = usize_in(&mut rng, 1, 20);
         let ids: Vec<usize> = (0..n).collect();
         let flat: Vec<usize> = batch_indices(&ids, batch).concat();
-        prop_assert_eq!(&flat, &ids);
+        assert_eq!(flat, ids, "n={n} batch={batch}");
         let grown: Vec<usize> = growing_batches(&ids, batch, (batch / 2).max(1)).concat();
-        prop_assert_eq!(&grown, &ids);
+        assert_eq!(grown, ids, "n={n} batch={batch} (growing)");
     }
+}
 
-    /// Event queue: any interleaving of schedules pops in non-decreasing
-    /// time order and never loses events.
-    #[test]
-    fn event_queue_orders_all(seed in any::<u64>(), n in 1usize..300) {
-        let mut rng = SplitMix64::new(seed);
+/// Event queue: any interleaving of schedules pops in non-decreasing time
+/// order and never loses events.
+#[test]
+fn event_queue_orders_all() {
+    let mut rng = SplitMix64::new(0xDECDEC08);
+    for case in 0..CASES {
+        let n = usize_in(&mut rng, 1, 300);
         let mut q: EventQueue<usize> = EventQueue::new();
         let mut scheduled = 0usize;
         let mut popped = 0usize;
@@ -212,29 +284,27 @@ proptest! {
             scheduled += 1;
             if rng.next_below(3) == 0 {
                 if let Some((t, _)) = q.pop() {
-                    prop_assert!(t.0 >= last);
+                    assert!(t.0 >= last, "case {case}: time went backwards");
                     last = t.0;
                     popped += 1;
                 }
             }
         }
         while let Some((t, _)) = q.pop() {
-            prop_assert!(t.0 >= last);
+            assert!(t.0 >= last, "case {case}: time went backwards in drain");
             last = t.0;
             popped += 1;
         }
-        prop_assert_eq!(scheduled, popped);
+        assert_eq!(scheduled, popped, "case {case}: lost events");
     }
 }
 
-/// Apply via whole-grid and via arbitrary slab splits agree (non-proptest
-/// wrapper kept here for the cross-crate composition).
+/// Apply via whole-grid and via arbitrary slab splits agree.
 #[test]
 fn slab_split_composition_various_cuts() {
     let coef = StencilCoeffs::laplacian([0.2; 3]);
     let ext = [11, 7, 9];
-    let mut input: Grid3<f64> =
-        Grid3::from_fn(ext, 2, |i, j, k| ((i * 5 + j * 3 + k) % 13) as f64);
+    let mut input: Grid3<f64> = Grid3::from_fn(ext, 2, |i, j, k| ((i * 5 + j * 3 + k) % 13) as f64);
     input.fill_halo_periodic();
     let mut whole = Grid3::zeros(ext, 2);
     apply(&coef, &input, &mut whole);

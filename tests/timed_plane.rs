@@ -42,7 +42,10 @@ fn cell_equals_full_for_every_approach() {
             "{approach:?}: cell scope must be exact"
         );
         assert_eq!(full.bytes_per_node, cell.bytes_per_node, "{approach:?}");
-        assert!(cell.events < full.events / 20, "{approach:?}: cell must be cheap");
+        assert!(
+            cell.events < full.events / 20,
+            "{approach:?}: cell must be cheap"
+        );
     }
 }
 
@@ -115,9 +118,27 @@ fn paper_headline_ratios() {
     };
     let candidates = [16usize, 32, 64, 128];
     let (_, orig) = exp.best_batch(16_384, Approach::FlatOriginal, &[1], &m, ScopeSel::Cell);
-    let (_, opt) = exp.best_batch(16_384, Approach::FlatOptimized, &candidates, &m, ScopeSel::Cell);
-    let (_, hyb) = exp.best_batch(16_384, Approach::HybridMultiple, &candidates, &m, ScopeSel::Cell);
-    let (_, stat) = exp.best_batch(16_384, Approach::FlatStatic, &candidates, &m, ScopeSel::Cell);
+    let (_, opt) = exp.best_batch(
+        16_384,
+        Approach::FlatOptimized,
+        &candidates,
+        &m,
+        ScopeSel::Cell,
+    );
+    let (_, hyb) = exp.best_batch(
+        16_384,
+        Approach::HybridMultiple,
+        &candidates,
+        &m,
+        ScopeSel::Cell,
+    );
+    let (_, stat) = exp.best_batch(
+        16_384,
+        Approach::FlatStatic,
+        &candidates,
+        &m,
+        ScopeSel::Cell,
+    );
 
     let r_orig = orig.seconds() / hyb.seconds();
     assert!(
@@ -171,10 +192,20 @@ fn gustafson_crossover_at_512_cores() {
             sweeps: 1,
         };
         let candidates = [8usize, 32, 128];
-        let (_, flat) =
-            exp.best_batch(cores, Approach::FlatOptimized, &candidates, &m, ScopeSel::Auto);
-        let (_, hyb) =
-            exp.best_batch(cores, Approach::HybridMultiple, &candidates, &m, ScopeSel::Auto);
+        let (_, flat) = exp.best_batch(
+            cores,
+            Approach::FlatOptimized,
+            &candidates,
+            &m,
+            ScopeSel::Auto,
+        );
+        let (_, hyb) = exp.best_batch(
+            cores,
+            Approach::HybridMultiple,
+            &candidates,
+            &m,
+            ScopeSel::Auto,
+        );
         flat.seconds() / hyb.seconds()
     };
     let g512 = gap(512);
@@ -183,8 +214,14 @@ fn gustafson_crossover_at_512_cores() {
     // At 512 cores the two are within a fraction of a percent (the paper's
     // crossover point); from there the hybrid advantage must open up.
     assert!(g512 >= 0.99, "hybrid must not lose at 512 cores: {g512}");
-    assert!(g4096 > g512 * 0.99, "gap must not shrink: {g512} -> {g4096}");
-    assert!(g16384 > g4096, "gap must grow with scale: {g4096} -> {g16384}");
+    assert!(
+        g4096 > g512 * 0.99,
+        "gap must not shrink: {g512} -> {g4096}"
+    );
+    assert!(
+        g16384 > g4096,
+        "gap must grow with scale: {g4096} -> {g16384}"
+    );
 }
 
 /// Fig. 5's observation: batching helps Hybrid multiple more than Flat

@@ -38,8 +38,7 @@ fn poisson_gaussian_blob() {
     let n = [20, 20, 20];
     let blob = gaussian_rho(n, [0.5, 0.5, 0.5], 0.15);
     let mut rho: Grid3<f64> = Grid3::from_fn(n, 2, blob);
-    let mean: f64 =
-        rho.iter_interior().map(|(_, v)| v).sum::<f64>() / rho.interior_points() as f64;
+    let mean: f64 = rho.iter_interior().map(|(_, v)| v).sum::<f64>() / rho.interior_points() as f64;
     for v in rho.data_mut() {
         *v -= mean;
     }
