@@ -20,9 +20,26 @@ use gpaw_bench::{emit_report, fig7_experiment, mb, secs, Table, BIG_JOB_BATCHES}
 use gpaw_bgp_hw::CostModel;
 use gpaw_des::SpanKind;
 use gpaw_fd::timed::ScopeSel;
-use gpaw_fd::{Approach, ExperimentReport};
+use gpaw_fd::{Approach, ChromeTrace, ExperimentReport};
 
 fn main() {
+    let mut trace_out: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trace-out" if i + 1 < args.len() => {
+                trace_out = Some(args[i + 1].clone());
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: headline [--trace-out <chrome-trace.json>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let model = CostModel::bgp();
     let exp = fig7_experiment();
     let cores = 16_384;
@@ -136,4 +153,24 @@ fn main() {
         hybrid.utilization_paper_scale(),
     );
     emit_report(&json);
+
+    if let Some(path) = trace_out {
+        // Timed runs keep only per-thread aggregates, so the export is the
+        // "summary" layout: faithful durations, synthetic ordering.
+        let mut tr = ChromeTrace::new();
+        for (pid, (a, batch, r)) in results.iter().enumerate() {
+            tr.add_run_summary(
+                pid,
+                &format!("{} (batch {batch})", a.label()),
+                &r.thread_phases,
+            );
+        }
+        match tr.write(&path) {
+            Ok(()) => println!("[trace] wrote {path} ({} events)", tr.len()),
+            Err(e) => {
+                eprintln!("[trace] FAILED to write {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
 }

@@ -1,0 +1,204 @@
+//! The paper's strategy ranking on real OS threads.
+//!
+//! Runs the four programming approaches of §V–§VI natively — real
+//! `std::thread` workers over the in-process rank fabric of
+//! `gpaw-hybrid-rt` — on an equal-core single-node job: the flat
+//! approaches drive 4 virtual-node ranks of one thread each, the hybrid
+//! approaches one SMP rank of `--threads` threads. Every run is validated
+//! bitwise against the sequential reference before its time is believed,
+//! and each approach reports the best of `--repeats` runs (wall clock on a
+//! shared machine is noisy; the minimum is the schedule's intrinsic cost).
+//!
+//! The point is not to reproduce the paper's absolute numbers — that is
+//! the timed plane's job — but to show the *ordering* survives contact
+//! with a real memory system: Hybrid multiple must not lose to Flat
+//! original at 4 threads, for the same reason as on the Blue Gene/P
+//! (fewer, larger messages and one synchronization per sweep instead of a
+//! blocking exchange per dimension).
+//!
+//! Usage: `native_headline [--threads N] [--repeats N] [--quick]
+//!                         [--trace-out <chrome-trace.json>]`
+
+use gpaw_bench::{emit_report, mb, secs, Table};
+use gpaw_des::SpanKind;
+use gpaw_fd::exec::{max_error_vs_reference, sequential_reference};
+use gpaw_fd::{ChromeTrace, ExperimentReport};
+use gpaw_grid::stencil::StencilCoeffs;
+use gpaw_hybrid_rt::{all_strategies, run_native, NativeJob, NativeRun};
+
+fn main() {
+    let mut threads = 4usize;
+    let mut repeats = 3usize;
+    let mut quick = false;
+    let mut trace_out: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" if i + 1 < args.len() => {
+                threads = args[i + 1].parse().expect("--threads takes a number");
+                i += 2;
+            }
+            "--repeats" if i + 1 < args.len() => {
+                repeats = args[i + 1].parse().expect("--repeats takes a number");
+                i += 2;
+            }
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
+            "--trace-out" if i + 1 < args.len() => {
+                trace_out = Some(args[i + 1].clone());
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: native_headline [--threads N] [--repeats N] [--quick] \
+                     [--trace-out <path>]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    assert!(repeats >= 1, "--repeats must be at least 1");
+
+    // Compute-heavy enough that the schedule differences (message count,
+    // exchange ordering, barriers) are measured against real stencil work;
+    // --quick shrinks it for CI smoke runs.
+    let job = if quick {
+        NativeJob::new([48, 48, 48], 6, 1)
+    } else {
+        NativeJob::new([96, 96, 96], 8, 1)
+    }
+    .with_threads(threads)
+    .with_sweeps(2);
+
+    println!(
+        "Native headline: {} grids of {}^3, {} sweeps, one node \
+         (flat: 4 ranks x 1 thread, hybrid: 1 rank x {} threads), best of {}\n",
+        job.n_grids, job.grid_ext[0], job.sweeps, threads, repeats
+    );
+
+    let coef = StencilCoeffs::laplacian(job.spacing);
+    let reference = sequential_reference::<f64>(
+        job.grid_ext,
+        job.n_grids,
+        job.seed,
+        &coef,
+        job.bc,
+        job.sweeps,
+    );
+
+    let mut json = ExperimentReport::new("native_headline");
+    let mut results: Vec<(String, NativeRun<f64>)> = Vec::new();
+    for s in all_strategies::<f64>() {
+        let mut best: Option<NativeRun<f64>> = None;
+        for _ in 0..repeats {
+            let run = run_native::<f64>(&job, s.as_ref()).unwrap_or_else(|e| {
+                eprintln!("{}: {e}", s.name());
+                std::process::exit(2);
+            });
+            let err = max_error_vs_reference(&run.sets, &run.map, job.grid_ext, &reference);
+            assert_eq!(
+                err,
+                0.0,
+                "{}: native result diverged from the sequential reference",
+                s.name()
+            );
+            if best
+                .as_ref()
+                .is_none_or(|b| run.report.makespan < b.report.makespan)
+            {
+                best = Some(run);
+            }
+        }
+        let best = best.expect("at least one repeat ran");
+        json.push(
+            format!("native/{threads}/{}", s.name()),
+            s.name(),
+            best.report.threads,
+            job.batch,
+            best.report.clone(),
+        );
+        results.push((s.name().to_string(), best));
+    }
+
+    let mut t = Table::new(vec![
+        "approach",
+        "ranks x threads",
+        "time",
+        "vs Flat original",
+        "messages",
+        "comm/node (MB)",
+        "compute/comm/barrier/idle",
+    ]);
+    let original_secs = results[0].1.report.seconds();
+    for (name, run) in &results {
+        let r = &run.report;
+        let slots = r.threads / run.map.ranks();
+        t.row(vec![
+            name.clone(),
+            format!("{} x {}", run.map.ranks(), slots),
+            secs(r.seconds()),
+            format!("{:.2}x", original_secs / r.seconds()),
+            r.messages.to_string(),
+            mb(r.bytes_per_node),
+            format!(
+                "{:.0}/{:.0}/{:.1}/{:.0}%",
+                (r.span_fraction(SpanKind::Compute)
+                    + r.span_fraction(SpanKind::HaloPack)
+                    + r.span_fraction(SpanKind::HaloUnpack))
+                    * 100.0,
+                (r.span_fraction(SpanKind::Post)
+                    + r.span_fraction(SpanKind::Wait)
+                    + r.span_fraction(SpanKind::LibLock))
+                    * 100.0,
+                (r.span_fraction(SpanKind::ThreadBarrier) + r.span_fraction(SpanKind::Collective))
+                    * 100.0,
+                r.idle_fraction_from_spans() * 100.0
+            ),
+        ]);
+    }
+    t.print();
+
+    let hybrid_secs = results
+        .iter()
+        .find(|(n, _)| n == "Hybrid multiple")
+        .expect("suite contains hybrid multiple")
+        .1
+        .report
+        .seconds();
+    let speedup = original_secs / hybrid_secs;
+    println!(
+        "\nHybrid multiple vs Flat original (native, {} threads): {:.2}x",
+        threads, speedup
+    );
+    println!("All four strategies verified bitwise against the sequential reference.");
+    json.scalar("speedup_hybrid_vs_flat_original", speedup);
+    json.scalar("threads", threads as f64);
+    emit_report(&json);
+
+    if let Some(path) = trace_out {
+        // Native runs keep the raw timelines, so the export is exact: the
+        // real interleaving of compute, comm, and barriers per thread.
+        let mut tr = ChromeTrace::new();
+        let mut pid_base = 0;
+        for (name, run) in &results {
+            tr.add_run_spans(pid_base, &run.timelines);
+            // Re-name the processes with the strategy so the four runs are
+            // distinguishable side by side (the later metadata wins).
+            for r in 0..run.map.ranks() {
+                tr.name_process(pid_base + r, &format!("{name} rank {r}"));
+            }
+            pid_base += run.map.ranks();
+        }
+        match tr.write(&path) {
+            Ok(()) => println!("[trace] wrote {path} ({} events)", tr.len()),
+            Err(e) => {
+                eprintln!("[trace] FAILED to write {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -23,7 +23,7 @@ pub mod partition;
 pub mod spec;
 pub mod topology;
 
-pub use mapping::CartMap;
+pub use mapping::{CartMap, MapError};
 pub use partition::{ExecMode, Partition};
 pub use spec::{CostModel, NodeSpec};
 pub use topology::{Axis, Coord, Dir, Shape};

@@ -42,6 +42,17 @@ pub enum MapError {
         /// Node dims of the partition.
         node_dims: [usize; 3],
     },
+    /// The per-process thread count does not evenly divide the cores one
+    /// process drives. Integer division would silently truncate here —
+    /// e.g. 3 threads on a 4-core SMP node would pin one core per thread
+    /// and leave a core idle without anyone asking for that — so the map
+    /// rejects the layout instead.
+    ThreadCountNotDivisor {
+        /// Requested threads per process.
+        threads: usize,
+        /// Cores one process of this partition drives.
+        cores: usize,
+    },
 }
 
 impl std::fmt::Display for MapError {
@@ -56,6 +67,10 @@ impl std::fmt::Display for MapError {
             } => write!(
                 f,
                 "process dims {proc_dims:?} are not per-axis multiples of node dims {node_dims:?}"
+            ),
+            MapError::ThreadCountNotDivisor { threads, cores } => write!(
+                f,
+                "{threads} threads per process do not evenly divide the {cores} cores a process drives"
             ),
         }
     }
@@ -219,6 +234,21 @@ impl CartMap {
             .node_shape
             .hop_distance(self.node_of(a), self.node_of(b))
     }
+
+    /// Cores each of `threads` inner threads of one process drives.
+    ///
+    /// A node has 4 cores split evenly between its processes (4 in virtual
+    /// mode ⇒ 1 core per process, 1 in SMP mode ⇒ 4). The thread count must
+    /// divide that share exactly: `4 / threads` with integer division would
+    /// silently truncate an uneven request (3 threads on an SMP node →
+    /// 1 core each, one core idle), so uneven layouts are an error.
+    pub fn cores_per_thread(&self, threads: usize) -> Result<usize, MapError> {
+        let cores = 4 / self.partition.mode.processes_per_node();
+        if threads == 0 || !cores.is_multiple_of(threads) {
+            return Err(MapError::ThreadCountNotDivisor { threads, cores });
+        }
+        Ok(cores / threads)
+    }
 }
 
 /// Per-rank halo surface (points, two-deep, both sides, all axes) of a
@@ -352,6 +382,30 @@ mod tests {
             cores.sort();
             assert_eq!(cores, vec![0, 1, 2, 3], "node {node}");
         }
+    }
+
+    #[test]
+    fn thread_counts_must_divide_the_process_cores() {
+        // SMP: one process drives all 4 cores — 1, 2 and 4 threads lay out
+        // evenly; 3 (the silent-truncation case) and 0 are rejected.
+        let smp = CartMap::best(part(8, ExecMode::Smp), [32, 32, 32]);
+        assert_eq!(smp.cores_per_thread(1), Ok(4));
+        assert_eq!(smp.cores_per_thread(2), Ok(2));
+        assert_eq!(smp.cores_per_thread(4), Ok(1));
+        for threads in [0, 3, 5, 8] {
+            assert_eq!(
+                smp.cores_per_thread(threads),
+                Err(MapError::ThreadCountNotDivisor { threads, cores: 4 }),
+                "{threads} threads must be rejected"
+            );
+        }
+        // Virtual: one process per core — only single-threaded ranks fit.
+        let virt = CartMap::best(part(8, ExecMode::Virtual), [32, 32, 32]);
+        assert_eq!(virt.cores_per_thread(1), Ok(1));
+        assert!(virt.cores_per_thread(2).is_err());
+        // The error formats into a human-readable complaint.
+        let msg = virt.cores_per_thread(2).unwrap_err().to_string();
+        assert!(msg.contains("2 threads"), "{msg}");
     }
 
     #[test]

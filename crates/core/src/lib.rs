@@ -30,6 +30,7 @@
 //! [`runner`] wraps the timed plane into the experiments the benches call
 //! (speedup curves, Gustafson sweeps, best-batch searches).
 
+pub mod chrome;
 pub mod config;
 pub mod exec;
 pub mod plan;
@@ -39,8 +40,9 @@ pub mod timed;
 pub mod trace;
 pub mod transport;
 
+pub use chrome::ChromeTrace;
 pub use config::{Approach, FdConfig};
 pub use plan::RankPlan;
 pub use report::{ExperimentReport, Json, PointReport};
 pub use runner::FdExperiment;
-pub use trace::{SpanKind, TraceReport, WallTracer};
+pub use trace::{SpanKind, ThreadSpans, TraceReport, WallTracer};

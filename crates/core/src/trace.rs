@@ -87,14 +87,36 @@ impl WallTracer {
     /// Finish tracing: aggregate the recorded spans and report the
     /// thread's lifetime on the shared axis.
     pub fn finish(self, rank: usize, slot: usize) -> ThreadPhases {
+        self.finish_with_spans(rank, slot).0
+    }
+
+    /// Like [`WallTracer::finish`], but also hand back the raw span
+    /// timeline (exclusive self-time segments on the shared axis) — what a
+    /// timeline exporter such as [`crate::chrome`] needs, and what the
+    /// aggregate [`ThreadPhases`] deliberately discards.
+    pub fn finish_with_spans(self, rank: usize, slot: usize) -> (ThreadPhases, Vec<Span>) {
         debug_assert!(self.log.is_balanced(), "unclosed span at finish");
-        ThreadPhases {
+        let finish = self.now().since(SimTime::ZERO);
+        let phases = ThreadPhases {
             rank,
             slot,
-            finish: self.now().since(SimTime::ZERO),
+            finish,
             spans: self.log.aggregate(),
-        }
+        };
+        (phases, self.log.spans().to_vec())
     }
+}
+
+/// One thread's raw span timeline: the per-segment counterpart of
+/// [`ThreadPhases`], ordered by (rank, slot) within a run.
+#[derive(Debug, Clone)]
+pub struct ThreadSpans {
+    /// MPI rank the thread belongs to.
+    pub rank: usize,
+    /// Thread slot within the rank (0 for the master).
+    pub slot: usize,
+    /// Exclusive self-time segments on the run's shared time axis.
+    pub spans: Vec<Span>,
 }
 
 /// Where one functional run's wall-clock time went, per thread and
@@ -157,6 +179,28 @@ mod tests {
         assert_eq!(t.slot, 1);
         assert!(t.spans.get(SpanKind::Post) >= SimDuration::from_ms(2));
         assert!(t.spans.total() <= t.finish);
+    }
+
+    #[test]
+    fn finish_with_spans_keeps_the_raw_timeline() {
+        let mut tr = WallTracer::new(Instant::now());
+        tr.open(SpanKind::HaloPack);
+        tr.close();
+        tr.open(SpanKind::Compute);
+        tr.open(SpanKind::Post);
+        tr.close();
+        tr.close();
+        let (phases, spans) = tr.finish_with_spans(1, 2);
+        // Zero-length segments may be dropped, but the segments that exist
+        // must aggregate to exactly the ThreadPhases totals.
+        let mut agg = SpanAgg::new();
+        for s in &spans {
+            agg.record(s);
+        }
+        assert_eq!(agg, phases.spans);
+        assert!(spans
+            .iter()
+            .all(|s| s.end.since(SimTime::ZERO) <= phases.finish));
     }
 
     #[test]

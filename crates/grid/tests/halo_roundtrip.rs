@@ -1,0 +1,269 @@
+//! Property-style round-trip tests for the halo pack/unpack pair.
+//!
+//! The property: decompose a periodic global grid over an *asymmetric*
+//! process grid, exchange every one of the six faces between neighbors
+//! (wrapping at the edges), and every rank's face-ghost cell must equal the
+//! value the periodic global grid holds at that point. Pack and unpack are
+//! exercised as the inverse pair they are meant to be — for every axis,
+//! both sides, uneven extents, remainder-carrying subdomains, and
+//! single-rank self-exchange.
+
+use gpaw_grid::decomp::Decomposition;
+use gpaw_grid::grid3::Grid3;
+use gpaw_grid::halo::{face_points, pack_batch, pack_face, unpack_batch, unpack_face, Side};
+
+const HALO: usize = 2;
+
+/// A unique, order-sensitive value per global point (and per grid).
+fn global_value(grid: usize, i: usize, j: usize, k: usize) -> f64 {
+    // Small enough to stay exact in f64; distinct across all arguments.
+    (((grid * 1_000 + i) * 1_000 + j) * 1_000 + k) as f64
+}
+
+/// Euclidean wrap of a possibly-out-of-range global coordinate.
+fn wrap(x: isize, n: usize) -> usize {
+    x.rem_euclid(n as isize) as usize
+}
+
+/// Build one rank's local grid, interior filled from the global function.
+fn local_grid(d: &Decomposition, pc: [usize; 3], grid: usize) -> Grid3<f64> {
+    let sub = d.subdomain(pc);
+    Grid3::from_fn(sub.ext, HALO, |i, j, k| {
+        global_value(grid, sub.start[0] + i, sub.start[1] + j, sub.start[2] + k)
+    })
+}
+
+/// Exchange all six faces between all ranks of `d`, periodically.
+fn exchange_all_faces(d: &Decomposition, grids: &mut [Grid3<f64>]) {
+    let rank_of =
+        |pc: [usize; 3]| -> usize { (pc[0] * d.proc_dims[1] + pc[1]) * d.proc_dims[2] + pc[2] };
+    let coords: Vec<[usize; 3]> = d.iter().map(|(pc, _)| pc).collect();
+    for &pc in &coords {
+        for axis in 0..3 {
+            for side in Side::BOTH {
+                // The neighbor on `side` owns the planes that fill our
+                // ghost cells beyond that boundary.
+                let mut npc = pc;
+                let step = match side {
+                    Side::Low => -1,
+                    Side::High => 1,
+                };
+                npc[axis] = wrap(pc[axis] as isize + step, d.proc_dims[axis]);
+                // It sends the face planes adjacent to its *opposite*
+                // boundary: our low ghosts hold the low neighbor's high
+                // interior planes.
+                let mut buf = Vec::new();
+                pack_face(&grids[rank_of(npc)], axis, side.opposite(), &mut buf);
+                let consumed = unpack_face(&mut grids[rank_of(pc)], axis, side, &buf);
+                assert_eq!(consumed, buf.len(), "pack/unpack moved unequal points");
+            }
+        }
+    }
+}
+
+/// Check every face-ghost cell of every rank against the global function.
+///
+/// Only single-axis offsets are checked: the 13-point star stencil never
+/// reads edge or corner ghosts, and the face exchange never fills them.
+fn assert_ghosts_match(d: &Decomposition, grids: &[Grid3<f64>], grid_id: usize) {
+    for (rank, (_, sub)) in d.iter().enumerate() {
+        let g = &grids[rank];
+        for axis in 0..3 {
+            let a1 = (axis + 1) % 3;
+            let a2 = (axis + 2) % 3;
+            for j in 0..sub.ext[a1] {
+                for k in 0..sub.ext[a2] {
+                    for off in [
+                        -(HALO as isize),
+                        -1,
+                        sub.ext[axis] as isize,
+                        (sub.ext[axis] + HALO - 1) as isize,
+                    ] {
+                        let mut local = [0isize; 3];
+                        local[axis] = off;
+                        local[a1] = j as isize;
+                        local[a2] = k as isize;
+                        let gi = [
+                            wrap(sub.start[0] as isize + local[0], d.grid_ext[0]),
+                            wrap(sub.start[1] as isize + local[1], d.grid_ext[1]),
+                            wrap(sub.start[2] as isize + local[2], d.grid_ext[2]),
+                        ];
+                        assert_eq!(
+                            g.get(local[0], local[1], local[2]),
+                            global_value(grid_id, gi[0], gi[1], gi[2]),
+                            "rank {rank} {sub} axis {axis} offset {off} ({j},{k})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The decompositions under test: deliberately asymmetric process grids
+/// over non-cubic extents with remainders on every axis, plus the
+/// single-rank (self-exchange) and single-axis degenerate shapes.
+fn cases() -> Vec<([usize; 3], [usize; 3])> {
+    vec![
+        ([13, 7, 9], [4, 2, 3]),
+        ([11, 13, 5], [2, 3, 1]),
+        ([9, 6, 17], [3, 2, 4]),
+        ([8, 8, 8], [1, 1, 1]),
+        ([10, 4, 4], [5, 1, 1]),
+        ([4, 4, 15], [1, 1, 6]),
+        ([7, 7, 7], [2, 2, 2]),
+    ]
+}
+
+#[test]
+fn exchanged_ghosts_equal_the_periodic_global_grid() {
+    for (grid_ext, proc_dims) in cases() {
+        let d = Decomposition::new(grid_ext, proc_dims);
+        let mut grids: Vec<Grid3<f64>> = d.iter().map(|(pc, _)| local_grid(&d, pc, 0)).collect();
+        exchange_all_faces(&d, &mut grids);
+        assert_ghosts_match(&d, &grids, 0);
+    }
+}
+
+#[test]
+fn single_rank_exchange_matches_fill_halo_periodic() {
+    // With one rank per axis every neighbor is the rank itself; the
+    // message round-trip must reproduce the in-place periodic fill.
+    for grid_ext in [[13, 7, 9], [5, 9, 6]] {
+        let d = Decomposition::new(grid_ext, [1, 1, 1]);
+        let mut grids = vec![local_grid(&d, [0, 0, 0], 0)];
+        let mut reference = grids[0].clone();
+        reference.fill_halo_periodic();
+        exchange_all_faces(&d, &mut grids);
+        assert_ghosts_match(&d, &grids, 0);
+        // Cross-check against the built-in fill on the face ghosts.
+        let n = grids[0].n();
+        for axis in 0..3 {
+            for j in 0..n[(axis + 1) % 3] as isize {
+                for k in 0..n[(axis + 2) % 3] as isize {
+                    for off in [-2isize, -1, n[axis] as isize, n[axis] as isize + 1] {
+                        let mut c = [0isize; 3];
+                        c[axis] = off;
+                        c[(axis + 1) % 3] = j;
+                        c[(axis + 2) % 3] = k;
+                        assert_eq!(
+                            grids[0].get(c[0], c[1], c[2]),
+                            reference.get(c[0], c[1], c[2])
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_round_trip_distributes_across_asymmetric_grids() {
+    // Batch several grids of one subdomain through a single buffer and
+    // unpack on the neighbor: each grid's ghosts must round-trip intact,
+    // in batch order, with nothing left over.
+    let d = Decomposition::new([9, 6, 17], [3, 2, 4]);
+    let coords: Vec<[usize; 3]> = d.iter().map(|(pc, _)| pc).collect();
+    let n_grids = 3;
+    for axis in 0..3 {
+        for side in Side::BOTH {
+            // Sender: the neighbor on `side` of the corner rank.
+            let pc = coords[0];
+            let mut npc = pc;
+            let step = match side {
+                Side::Low => -1,
+                Side::High => 1,
+            };
+            npc[axis] = wrap(pc[axis] as isize + step, d.proc_dims[axis]);
+            let senders: Vec<Grid3<f64>> = (0..n_grids).map(|g| local_grid(&d, npc, g)).collect();
+            let mut receivers: Vec<Grid3<f64>> =
+                (0..n_grids).map(|g| local_grid(&d, pc, g)).collect();
+
+            let ids: Vec<usize> = (0..n_grids).collect();
+            let mut buf = Vec::new();
+            pack_batch(&senders, &ids, axis, side.opposite(), &mut buf);
+            assert_eq!(buf.len(), n_grids * face_points(&senders[0], axis));
+            unpack_batch(&mut receivers, &ids, axis, side, &buf);
+
+            // Every grid's ghost planes now hold the sender's interior.
+            let sub = d.subdomain(pc);
+            for (g, r) in receivers.iter().enumerate() {
+                let a1 = (axis + 1) % 3;
+                let a2 = (axis + 2) % 3;
+                for j in 0..sub.ext[a1] {
+                    for k in 0..sub.ext[a2] {
+                        for h in 0..HALO {
+                            let off = match side {
+                                Side::Low => -(h as isize) - 1,
+                                Side::High => (sub.ext[axis] + h) as isize,
+                            };
+                            let mut local = [0isize; 3];
+                            local[axis] = off;
+                            local[a1] = j as isize;
+                            local[a2] = k as isize;
+                            let gi = [
+                                wrap(sub.start[0] as isize + local[0], d.grid_ext[0]),
+                                wrap(sub.start[1] as isize + local[1], d.grid_ext[1]),
+                                wrap(sub.start[2] as isize + local[2], d.grid_ext[2]),
+                            ];
+                            assert_eq!(
+                                r.get(local[0], local[1], local[2]),
+                                global_value(g, gi[0], gi[1], gi[2]),
+                                "grid {g} axis {axis} side {side:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn pack_then_unpack_is_lossless_for_every_face() {
+    // Pure inverse property on a single asymmetric grid: whatever leaves
+    // through pack_face arrives unchanged through unpack_face, and
+    // re-packing the ghost region reproduces the buffer exactly is not
+    // directly expressible (pack reads interior), so assert the point
+    // mapping instead: buffer order is ascending-global over the face.
+    let g = Grid3::from_fn([5, 3, 7], HALO, |i, j, k| global_value(1, i, j, k));
+    for axis in 0..3 {
+        for side in Side::BOTH {
+            let mut buf = Vec::new();
+            pack_face(&g, axis, side, &mut buf);
+            assert_eq!(buf.len(), face_points(&g, axis));
+            let mut sink = Grid3::<f64>::zeros(g.n(), HALO);
+            let consumed = unpack_face(&mut sink, axis, side.opposite(), &buf);
+            assert_eq!(consumed, buf.len());
+            // Each ghost plane holds the matching interior plane of `g`,
+            // shifted by the periodic image: plane p on the High side maps
+            // to ghost plane p - ext; on the Low side to p + ext.
+            let n = g.n();
+            let shift = match side {
+                Side::High => -(n[axis] as isize),
+                Side::Low => n[axis] as isize,
+            };
+            let planes = match side {
+                Side::Low => 0..HALO as isize,
+                Side::High => (n[axis] - HALO) as isize..n[axis] as isize,
+            };
+            for p in planes {
+                for j in 0..n[(axis + 1) % 3] as isize {
+                    for k in 0..n[(axis + 2) % 3] as isize {
+                        let mut src = [0isize; 3];
+                        src[axis] = p;
+                        src[(axis + 1) % 3] = j;
+                        src[(axis + 2) % 3] = k;
+                        let mut dst = src;
+                        dst[axis] = p + shift;
+                        assert_eq!(
+                            sink.get(dst[0], dst[1], dst[2]),
+                            g.get(src[0], src[1], src[2]),
+                            "axis {axis} side {side:?} plane {p}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

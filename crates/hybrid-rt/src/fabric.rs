@@ -1,0 +1,288 @@
+//! The native rank fabric: an in-process stand-in for MPI.
+//!
+//! Every rank of a native run is an OS thread inside one process; a
+//! message is a `Vec<T>` of packed face data matched on `(source, tag)`
+//! with FIFO ordering per pair, exactly like the functional plane's
+//! `gpaw_fd::transport::Transport`. The fabric differs in two ways that
+//! matter for a *measured* runtime:
+//!
+//! * **sharded mailboxes** — one mutex per `(destination, source)` pair
+//!   instead of one per destination, so the four concurrent endpoints of
+//!   *hybrid multiple* never contend on senders from different ranks
+//!   (lock-free between distinct pairs; a mutex only orders one pair's
+//!   FIFO);
+//! * **traffic accounting** — atomic per-node counters classify every
+//!   message as intra-node (shared-memory on a real Blue Gene/P) or
+//!   inter-node (torus traffic), giving native runs the same
+//!   `bytes_per_node` / `network_bytes_per_node` split the timed machine
+//!   reports.
+//!
+//! Bytes are charged to the *sending* node (injection accounting, matching
+//! the interconnect model's per-node injection counters).
+
+use gpaw_bgp_hw::CartMap;
+use gpaw_grid::scalar::Scalar;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// One `(destination, source)` pair's queues: tag → FIFO of payloads.
+struct Shard<T> {
+    queues: Mutex<HashMap<u64, VecDeque<Vec<T>>>>,
+    arrived: Condvar,
+}
+
+impl<T> Shard<T> {
+    /// Lock the queue map. Senders never panic while holding the lock, so
+    /// a poisoned mutex only ever reflects a panic already unwinding the
+    /// process — recover the guard rather than double-panicking.
+    fn lock(&self) -> MutexGuard<'_, HashMap<u64, VecDeque<Vec<T>>>> {
+        self.queues.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T> Default for Shard<T> {
+    fn default() -> Self {
+        Shard {
+            queues: Mutex::new(HashMap::new()),
+            arrived: Condvar::new(),
+        }
+    }
+}
+
+/// Snapshot of the fabric's traffic counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FabricStats {
+    /// Nodes of the partition the fabric models.
+    pub nodes: usize,
+    /// Messages sent, any destination.
+    pub messages_total: u64,
+    /// Messages whose source and destination live on different nodes.
+    pub network_messages_total: u64,
+    /// Payload bytes injected per node, any destination (index = node).
+    pub bytes_per_node: Vec<u64>,
+    /// Inter-node payload bytes injected per node.
+    pub network_bytes_per_node: Vec<u64>,
+    /// Inter-node messages injected per node.
+    pub network_messages_per_node: Vec<u64>,
+}
+
+impl FabricStats {
+    /// Bytes injected by the busiest node (any destination).
+    pub fn bytes_per_node_max(&self) -> u64 {
+        self.bytes_per_node.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Inter-node bytes injected by the busiest node.
+    pub fn network_bytes_per_node_max(&self) -> u64 {
+        self.network_bytes_per_node
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total inter-node payload bytes.
+    pub fn network_bytes_total(&self) -> u64 {
+        self.network_bytes_per_node.iter().sum()
+    }
+
+    /// Inter-node messages injected by the busiest node.
+    pub fn network_messages_per_node_max(&self) -> u64 {
+        self.network_messages_per_node
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// A cluster-wide native transport: sharded mailboxes plus traffic
+/// counters, laid out for the rank/node geometry of one [`CartMap`].
+pub struct NativeFabric<T> {
+    ranks: usize,
+    /// Shard of pair `(dst, src)` at index `dst * ranks + src`.
+    shards: Vec<Shard<T>>,
+    /// Linear node index of each rank.
+    node_of: Vec<usize>,
+    nodes: usize,
+    elem_bytes: u64,
+    messages: AtomicU64,
+    network_messages: AtomicU64,
+    bytes_per_node: Vec<AtomicU64>,
+    network_bytes_per_node: Vec<AtomicU64>,
+    network_messages_per_node: Vec<AtomicU64>,
+}
+
+impl<T: Scalar> NativeFabric<T> {
+    /// A fabric for every rank of `map`.
+    pub fn new(map: &CartMap) -> NativeFabric<T> {
+        let ranks = map.ranks();
+        let shape = map.partition.node_shape;
+        let node_of: Vec<usize> = (0..ranks).map(|r| shape.index(map.node_of(r))).collect();
+        let nodes = map.partition.nodes();
+        NativeFabric {
+            ranks,
+            shards: (0..ranks * ranks).map(|_| Shard::default()).collect(),
+            node_of,
+            nodes,
+            elem_bytes: T::BYTES as u64,
+            messages: AtomicU64::new(0),
+            network_messages: AtomicU64::new(0),
+            bytes_per_node: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
+            network_bytes_per_node: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
+            network_messages_per_node: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    fn shard(&self, dst: usize, src: usize) -> &Shard<T> {
+        &self.shards[dst * self.ranks + src]
+    }
+
+    /// Deliver `payload` to `dst`, stamped as coming from `src` with `tag`.
+    /// Never blocks; charges the payload to `src`'s node.
+    pub fn send(&self, src: usize, dst: usize, tag: u64, payload: Vec<T>) {
+        let bytes = payload.len() as u64 * self.elem_bytes;
+        let src_node = self.node_of[src];
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.bytes_per_node[src_node].fetch_add(bytes, Ordering::Relaxed);
+        if src_node != self.node_of[dst] {
+            self.network_messages.fetch_add(1, Ordering::Relaxed);
+            self.network_bytes_per_node[src_node].fetch_add(bytes, Ordering::Relaxed);
+            self.network_messages_per_node[src_node].fetch_add(1, Ordering::Relaxed);
+        }
+        let shard = self.shard(dst, src);
+        let mut q = shard.lock();
+        q.entry(tag).or_default().push_back(payload);
+        shard.arrived.notify_all();
+    }
+
+    /// Block until a message from `(src, tag)` is available for `me`, then
+    /// take it.
+    pub fn recv(&self, me: usize, src: usize, tag: u64) -> Vec<T> {
+        let shard = self.shard(me, src);
+        let mut q = shard.lock();
+        loop {
+            if let Some(payload) = q.get_mut(&tag).and_then(VecDeque::pop_front) {
+                return payload;
+            }
+            q = shard.arrived.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Non-blocking receive (tests and drain checks).
+    pub fn try_recv(&self, me: usize, src: usize, tag: u64) -> Option<Vec<T>> {
+        let mut q = self.shard(me, src).lock();
+        q.get_mut(&tag).and_then(VecDeque::pop_front)
+    }
+
+    /// True when rank `me` has no undelivered messages — every schedule
+    /// must leave the fabric drained (a leftover message means a send/recv
+    /// mismatch).
+    pub fn is_drained(&self, me: usize) -> bool {
+        (0..self.ranks).all(|src| self.shard(me, src).lock().values().all(VecDeque::is_empty))
+    }
+
+    /// Snapshot the traffic counters.
+    pub fn stats(&self) -> FabricStats {
+        let load =
+            |v: &[AtomicU64]| -> Vec<u64> { v.iter().map(|a| a.load(Ordering::Relaxed)).collect() };
+        FabricStats {
+            nodes: self.nodes,
+            messages_total: self.messages.load(Ordering::Relaxed),
+            network_messages_total: self.network_messages.load(Ordering::Relaxed),
+            bytes_per_node: load(&self.bytes_per_node),
+            network_bytes_per_node: load(&self.network_bytes_per_node),
+            network_messages_per_node: load(&self.network_messages_per_node),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpaw_bgp_hw::{ExecMode, Partition};
+    use std::sync::Arc;
+
+    fn map(nodes: usize, mode: ExecMode) -> CartMap {
+        let p = Partition::standard(nodes, mode).unwrap();
+        CartMap::best(p, [16, 16, 16])
+    }
+
+    #[test]
+    fn send_then_recv_fifo_per_tag() {
+        let f: NativeFabric<f64> = NativeFabric::new(&map(2, ExecMode::Smp));
+        f.send(0, 1, 7, vec![1.0, 2.0]);
+        f.send(0, 1, 7, vec![3.0]);
+        f.send(0, 1, 9, vec![4.0]);
+        assert_eq!(f.recv(1, 0, 9), vec![4.0]);
+        assert_eq!(f.recv(1, 0, 7), vec![1.0, 2.0]);
+        assert_eq!(f.recv(1, 0, 7), vec![3.0]);
+        assert!(f.is_drained(1));
+    }
+
+    #[test]
+    fn intra_node_traffic_is_not_network_traffic() {
+        // One node in virtual mode: 4 ranks, all on the same node.
+        let f: NativeFabric<f64> = NativeFabric::new(&map(1, ExecMode::Virtual));
+        f.send(0, 3, 1, vec![0.0; 10]);
+        let _ = f.recv(3, 0, 1);
+        let s = f.stats();
+        assert_eq!(s.messages_total, 1);
+        assert_eq!(s.bytes_per_node_max(), 80);
+        assert_eq!(s.network_messages_total, 0);
+        assert_eq!(s.network_bytes_total(), 0);
+    }
+
+    #[test]
+    fn inter_node_traffic_is_charged_to_the_sender() {
+        // Two SMP nodes: rank == node.
+        let f: NativeFabric<f64> = NativeFabric::new(&map(2, ExecMode::Smp));
+        f.send(0, 1, 1, vec![0.0; 4]);
+        f.send(0, 1, 2, vec![0.0; 4]);
+        f.send(1, 0, 1, vec![0.0; 2]);
+        let _ = (f.recv(1, 0, 1), f.recv(1, 0, 2), f.recv(0, 1, 1));
+        let s = f.stats();
+        assert_eq!(s.messages_total, 3);
+        assert_eq!(s.network_messages_total, 3);
+        assert_eq!(s.network_bytes_per_node, vec![64, 16]);
+        assert_eq!(s.network_bytes_total(), 80);
+        assert_eq!(s.network_messages_per_node_max(), 2);
+        assert_eq!(s.bytes_per_node, s.network_bytes_per_node);
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_late_send() {
+        let f: Arc<NativeFabric<f64>> = Arc::new(NativeFabric::new(&map(2, ExecMode::Smp)));
+        let f2 = Arc::clone(&f);
+        let h = std::thread::spawn(move || f2.recv(1, 0, 42));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        f.send(0, 1, 42, vec![99.0]);
+        assert_eq!(h.join().unwrap(), vec![99.0]);
+    }
+
+    #[test]
+    fn concurrent_pairs_do_not_cross_match() {
+        // The MPI_THREAD_MULTIPLE pattern: four receivers on one rank,
+        // distinct tags, senders from two source ranks.
+        let f: Arc<NativeFabric<f64>> = Arc::new(NativeFabric::new(&map(4, ExecMode::Smp)));
+        let handles: Vec<_> = (0..4u64)
+            .map(|tag| {
+                let f = Arc::clone(&f);
+                std::thread::spawn(move || f.recv(0, (tag % 2) as usize + 1, tag))
+            })
+            .collect();
+        for tag in (0..4u64).rev() {
+            f.send((tag % 2) as usize + 1, 0, tag, vec![tag as f64]);
+        }
+        for (tag, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.join().unwrap(), vec![tag as f64]);
+        }
+        assert!(f.is_drained(0));
+    }
+}

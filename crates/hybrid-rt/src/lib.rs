@@ -1,0 +1,44 @@
+//! # gpaw-hybrid-rt — the native execution plane
+//!
+//! The repo's third execution plane. The functional plane
+//! (`gpaw_fd::exec`) proves the four programming approaches *correct*;
+//! the timed plane (`gpaw_fd::timed`) regenerates the paper's figures on
+//! a simulated Blue Gene/P; this crate *runs* the approaches — real
+//! `std::thread` workers, real barriers, real comm/compute overlap over
+//! an in-process rank fabric — so the strategy ranking can be measured on
+//! genuine shared-memory hardware rather than only predicted.
+//!
+//! Structure:
+//!
+//! * [`fabric`] — the in-process MPI stand-in: sharded `(dst, src)`
+//!   mailboxes (no cross-pair contention) with atomic intra/inter-node
+//!   traffic accounting;
+//! * [`strategy`] — the four interchangeable [`Strategy`] schedules:
+//!   [`FlatOriginal`] (blocking dim-by-dim exchange), [`FlatOptimized`]
+//!   (non-blocking all-dims + batching + double buffering),
+//!   [`HybridMultiple`] (whole grids per thread, per-thread comm
+//!   endpoints, one barrier per sweep), [`HybridMasterOnly`]
+//!   (master-thread comm, persistent slab-compute pool, two barrier waits
+//!   per batch);
+//! * [`runtime`] — [`run_native`]: geometry + synthetic fill + per-rank
+//!   threads, returning grids, a [`gpaw_simmpi::RunReport`], and raw span
+//!   timelines;
+//! * [`report`] — the mapping onto the timed plane's report shape, so
+//!   native runs flow through the same JSON emission and perf gate.
+//!
+//! Every strategy is validated bitwise against the sequential reference
+//! and the functional plane (`tests/parity.rs`); the span ledgers satisfy
+//! the same conservation invariant as simulated runs.
+
+pub mod fabric;
+pub mod report;
+pub mod runtime;
+pub mod strategy;
+
+pub use fabric::{FabricStats, NativeFabric};
+pub use report::native_run_report;
+pub use runtime::{run_native, NativeJob, NativeRun};
+pub use strategy::{
+    all_strategies, FlatOptimized, FlatOriginal, HybridMasterOnly, HybridMultiple, RankCtx,
+    Strategy, ThreadResult,
+};

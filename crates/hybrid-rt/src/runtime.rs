@@ -1,0 +1,227 @@
+//! Launching a native run: one OS thread per rank, a strategy per rank.
+//!
+//! [`run_native`] is the native counterpart of
+//! `gpaw_fd::exec::run_distributed_traced`: it builds the same
+//! [`CartMap`]/[`RankPlan`](gpaw_fd::plan::RankPlan) geometry, fills the
+//! same synthetic grids, then hands each rank to a [`Strategy`] instead of
+//! the functional executor. The outcome carries the final grids (for
+//! bitwise validation), a [`RunReport`] in the timed plane's shape, and
+//! the raw per-thread span timelines (for the Chrome exporter).
+
+use crate::fabric::NativeFabric;
+use crate::report::native_run_report;
+use crate::strategy::{RankCtx, Strategy, ThreadResult};
+use gpaw_bgp_hw::spec::STENCIL_FLOPS_PER_POINT;
+use gpaw_bgp_hw::{CartMap, MapError, Partition};
+use gpaw_des::SimDuration;
+use gpaw_fd::config::{Approach, FdConfig};
+use gpaw_fd::exec::SyntheticFill;
+use gpaw_fd::plan::RankPlan;
+use gpaw_fd::trace::ThreadSpans;
+use gpaw_grid::grid3::Grid3;
+use gpaw_grid::gridset::GridSet;
+use gpaw_grid::scalar::Scalar;
+use gpaw_grid::stencil::{BoundaryCond, StencilCoeffs};
+use gpaw_simmpi::RunReport;
+use std::time::Instant;
+
+/// Parameters of one native run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NativeJob {
+    /// Global grid extents.
+    pub grid_ext: [usize; 3],
+    /// Wave functions (grids) in the job.
+    pub n_grids: usize,
+    /// Synthetic-fill seed.
+    pub seed: u64,
+    /// Nodes of the modeled partition (a standard power-of-two count).
+    pub nodes: usize,
+    /// Threads per process for the hybrid strategies; must divide the
+    /// cores one process drives. Flat strategies always run one thread per
+    /// rank, as virtual node mode dictates.
+    pub threads: usize,
+    /// Grids per message batch.
+    pub batch: usize,
+    /// Applications of the FD operator.
+    pub sweeps: usize,
+    /// Global boundary condition.
+    pub bc: BoundaryCond,
+    /// Grid spacing per axis (Laplacian coefficients).
+    pub spacing: [f64; 3],
+}
+
+impl NativeJob {
+    /// A job with the paper's defaults: periodic boundaries, 4 threads,
+    /// seed 42, one sweep, batch of 4.
+    pub fn new(grid_ext: [usize; 3], n_grids: usize, nodes: usize) -> NativeJob {
+        NativeJob {
+            grid_ext,
+            n_grids,
+            seed: 42,
+            nodes,
+            threads: 4,
+            batch: 4,
+            sweeps: 1,
+            bc: BoundaryCond::Periodic,
+            spacing: [0.2, 0.25, 0.3],
+        }
+    }
+
+    /// Set the thread count.
+    pub fn with_threads(mut self, threads: usize) -> NativeJob {
+        self.threads = threads;
+        self
+    }
+
+    /// Set the sweep count.
+    pub fn with_sweeps(mut self, sweeps: usize) -> NativeJob {
+        self.sweeps = sweeps;
+        self
+    }
+
+    /// The engine config this job implies for `approach`.
+    pub fn config(&self, approach: Approach) -> FdConfig {
+        let mut cfg = FdConfig::paper(approach)
+            .with_batch(self.batch)
+            .with_sweeps(self.sweeps);
+        cfg.bc = self.bc;
+        cfg
+    }
+
+    /// Stencil flops the whole job retires (points × grids × sweeps × 25).
+    pub fn flops(&self) -> f64 {
+        let points: usize = self.grid_ext.iter().product();
+        points as f64 * self.n_grids as f64 * self.sweeps as f64 * STENCIL_FLOPS_PER_POINT
+    }
+}
+
+/// The outcome of one native run.
+pub struct NativeRun<T: Scalar> {
+    /// Each rank's final local grids, in rank order.
+    pub sets: Vec<GridSet<T>>,
+    /// The run in the timed plane's report shape.
+    pub report: RunReport,
+    /// Raw per-thread span timelines, ordered by (rank, slot).
+    pub timelines: Vec<ThreadSpans>,
+    /// The geometry the run executed on.
+    pub map: CartMap,
+}
+
+/// Execute `job` under `strategy` on real OS threads.
+///
+/// Returns [`MapError::ThreadCountNotDivisor`] when the job's thread
+/// count does not evenly divide the cores one process drives (e.g. 3
+/// threads on a 4-core node).
+pub fn run_native<T: SyntheticFill>(
+    job: &NativeJob,
+    strategy: &dyn Strategy<T>,
+) -> Result<NativeRun<T>, MapError> {
+    assert!(job.n_grids > 0, "a job needs at least one grid");
+    let approach = strategy.approach();
+    let partition = Partition::standard(job.nodes, approach.exec_mode())
+        .unwrap_or_else(|| panic!("unsupported node count {}", job.nodes));
+    let map = CartMap::best(partition, job.grid_ext);
+    let threads = match approach {
+        Approach::HybridMultiple | Approach::HybridMasterOnly => job.threads,
+        _ => 1,
+    };
+    map.cores_per_thread(threads)?;
+    let cfg = job.config(approach);
+    let coef = StencilCoeffs::laplacian(job.spacing);
+    let halo = StencilCoeffs::HALO;
+    let fabric: NativeFabric<T> = NativeFabric::new(&map);
+    let ranks = map.ranks();
+    let epoch = Instant::now();
+
+    let (sets, mut all_results) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..ranks)
+            .map(|rank| {
+                let fabric = &fabric;
+                let map = &map;
+                let coef = &coef;
+                let cfg = &cfg;
+                s.spawn(move || {
+                    let plan = RankPlan::for_rank(map, job.grid_ext, rank, T::BYTES, cfg);
+                    let mut inputs: Vec<Grid3<T>> = Vec::with_capacity(job.n_grids);
+                    for g in 0..job.n_grids {
+                        let mut grid = Grid3::zeros(plan.sub.ext, halo);
+                        T::fill(&mut grid, &plan.sub, job.grid_ext, job.seed, g);
+                        inputs.push(grid);
+                    }
+                    let outputs: Vec<Grid3<T>> = (0..job.n_grids)
+                        .map(|_| Grid3::zeros(plan.sub.ext, halo))
+                        .collect();
+                    let ctx = RankCtx {
+                        fabric,
+                        plan: &plan,
+                        coef,
+                        cfg,
+                        threads,
+                        epoch,
+                    };
+                    let (grids, results) = strategy.run_rank(&ctx, inputs, outputs);
+                    assert!(
+                        fabric.is_drained(rank),
+                        "rank {rank}: fabric not drained — schedule mismatch"
+                    );
+                    (GridSet::from_grids(grids), results)
+                })
+            })
+            .collect();
+        let mut sets = Vec::with_capacity(ranks);
+        let mut all: Vec<ThreadResult> = Vec::new();
+        for h in handles {
+            let (set, results) = h.join().expect("rank thread panicked");
+            sets.push(set);
+            all.extend(results);
+        }
+        (sets, all)
+    });
+    let makespan = SimDuration::from_ns(epoch.elapsed().as_nanos() as u64);
+
+    all_results.sort_by_key(|r| (r.phases.rank, r.phases.slot));
+    let timelines: Vec<ThreadSpans> = all_results
+        .iter()
+        .map(|r| ThreadSpans {
+            rank: r.phases.rank,
+            slot: r.phases.slot,
+            spans: r.spans.clone(),
+        })
+        .collect();
+    let thread_phases = all_results.into_iter().map(|r| r.phases).collect();
+    let report = native_run_report(makespan, thread_phases, &fabric.stats(), job.flops());
+    Ok(NativeRun {
+        sets,
+        report,
+        timelines,
+        map,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::HybridMultiple;
+    use gpaw_bgp_hw::MapError;
+
+    #[test]
+    fn thread_counts_that_do_not_divide_are_rejected() {
+        let job = NativeJob::new([12, 12, 12], 4, 2).with_threads(3);
+        let err = run_native::<f64>(&job, &HybridMultiple)
+            .err()
+            .expect("3 of 4 must fail");
+        assert!(matches!(
+            err,
+            MapError::ThreadCountNotDivisor {
+                threads: 3,
+                cores: 4
+            }
+        ));
+    }
+
+    #[test]
+    fn job_flops_count_points_grids_sweeps() {
+        let job = NativeJob::new([10, 10, 10], 3, 1).with_sweeps(2);
+        assert_eq!(job.flops(), 1000.0 * 3.0 * 2.0 * 25.0);
+    }
+}

@@ -1,0 +1,658 @@
+//! The four programming approaches as native thread schedules.
+//!
+//! Each [`Strategy`] executes one rank's share of the multi-grid FD sweep
+//! on real OS threads against the [`NativeFabric`], following exactly the
+//! data movement of the functional plane (`gpaw_fd::exec`) so the results
+//! are bitwise identical — same packing order, same message tags, same
+//! stencil kernel. What differs from the functional plane is *what is
+//! native*: hybrid master-only runs a persistent worker pool with real
+//! `std::sync::Barrier` synchronization (two waits per batch, the paper's
+//! pthread scheme) instead of ephemeral per-batch spawns, and hybrid
+//! multiple gives every thread its own comm endpoint with one barrier per
+//! sweep (§VI: "the synchronization penalty is therefore constant").
+//!
+//! Every thread records a [`WallTracer`] span ledger in the shared
+//! [`SpanKind`] vocabulary, so native runs report phases the same way the
+//! timed machine does — including [`SpanKind::ThreadBarrier`] time that
+//! the functional plane's ephemeral spawns cannot observe.
+
+use crate::fabric::NativeFabric;
+use gpaw_bgp_hw::topology::{Dir, LinkDir};
+use gpaw_fd::config::{Approach, FdConfig};
+use gpaw_fd::exec::SyntheticFill;
+use gpaw_fd::plan::{message_tag, Batches, GridAssignment, RankPlan};
+use gpaw_fd::trace::{Span, SpanKind, ThreadPhases, WallTracer};
+use gpaw_grid::grid3::Grid3;
+use gpaw_grid::halo::{pack_batch, unpack_batch, zero_face, Side};
+use gpaw_grid::scalar::Scalar;
+use gpaw_grid::stencil::{apply, apply_slab, slab_bounds, StencilCoeffs};
+use std::sync::{Barrier, Mutex};
+use std::time::Instant;
+
+/// Everything one rank's schedule needs, shared across its threads.
+pub struct RankCtx<'a, T: Scalar> {
+    /// The in-process transport.
+    pub fabric: &'a NativeFabric<T>,
+    /// This rank's communication geometry.
+    pub plan: &'a RankPlan,
+    /// Stencil coefficients.
+    pub coef: &'a StencilCoeffs,
+    /// Engine parameters (batching, double buffering, sweeps).
+    pub cfg: &'a FdConfig,
+    /// Threads per rank for the hybrid strategies (1 for flat).
+    pub threads: usize,
+    /// Shared time origin of the run's span ledgers.
+    pub epoch: Instant,
+}
+
+/// One native thread's outcome: the aggregate phase breakdown plus the raw
+/// span timeline (for the Chrome exporter).
+#[derive(Debug, Clone)]
+pub struct ThreadResult {
+    /// Per-kind totals and the thread's lifetime.
+    pub phases: ThreadPhases,
+    /// Exclusive self-time segments on the run's shared axis.
+    pub spans: Vec<Span>,
+}
+
+fn finish_thread(tr: WallTracer, rank: usize, slot: usize) -> ThreadResult {
+    let (phases, spans) = tr.finish_with_spans(rank, slot);
+    ThreadResult { phases, spans }
+}
+
+/// A native execution schedule for one of the paper's approaches.
+pub trait Strategy<T: SyntheticFill>: Sync {
+    /// The approach this schedule implements (selects decomposition
+    /// granularity and execution mode).
+    fn approach(&self) -> Approach;
+
+    /// Figure label.
+    fn name(&self) -> &'static str {
+        self.approach().label()
+    }
+
+    /// Execute one rank: consume its filled input grids (and scratch
+    /// outputs), return the final grids in global order plus one
+    /// [`ThreadResult`] per thread the schedule ran.
+    fn run_rank(
+        &self,
+        ctx: &RankCtx<'_, T>,
+        inputs: Vec<Grid3<T>>,
+        outputs: Vec<Grid3<T>>,
+    ) -> (Vec<Grid3<T>>, Vec<ThreadResult>);
+}
+
+/// All four strategies, in the paper's figure order.
+pub fn all_strategies<T: SyntheticFill>() -> Vec<Box<dyn Strategy<T>>> {
+    vec![
+        Box::new(FlatOriginal),
+        Box::new(FlatOptimized),
+        Box::new(HybridMultiple),
+        Box::new(HybridMasterOnly),
+    ]
+}
+
+/// The side of our subdomain whose interior planes feed a send toward
+/// `dir`.
+fn send_side(dir: Dir) -> Side {
+    match dir {
+        Dir::Plus => Side::High,
+        Dir::Minus => Side::Low,
+    }
+}
+
+/// The ghost-plane side filled by data arriving from the neighbor in
+/// direction `dir`.
+fn recv_side(dir: Dir) -> Side {
+    match dir {
+        Dir::Plus => Side::High,
+        Dir::Minus => Side::Low,
+    }
+}
+
+/// Post the face sends of one batch along the given directions.
+#[allow(clippy::too_many_arguments)] // mirrors the schedule's parameter list
+fn send_batch<T: Scalar>(
+    fabric: &NativeFabric<T>,
+    plan: &RankPlan,
+    grids: &[Grid3<T>],
+    local_ids: &[usize],
+    first_global: usize,
+    sweep: usize,
+    dirs: &[LinkDir],
+    tr: &mut WallTracer,
+) {
+    for &ld in dirs {
+        if let Some(nb) = plan.neighbors[ld.index()] {
+            let points = plan.face_points[ld.axis.index()] * local_ids.len();
+            let mut buf = Vec::with_capacity(points);
+            tr.open(SpanKind::HaloPack);
+            pack_batch(
+                grids,
+                local_ids,
+                ld.axis.index(),
+                send_side(ld.dir),
+                &mut buf,
+            );
+            tr.close();
+            debug_assert_eq!(buf.len(), points);
+            tr.open(SpanKind::Post);
+            fabric.send(plan.rank, nb, message_tag(sweep, first_global, ld), buf);
+            tr.close();
+        }
+    }
+}
+
+/// Receive and unpack the face data of one batch along the given
+/// directions (zero-filling ghost planes at non-periodic edges).
+#[allow(clippy::too_many_arguments)] // mirrors the schedule's parameter list
+fn recv_batch<T: Scalar>(
+    fabric: &NativeFabric<T>,
+    plan: &RankPlan,
+    grids: &mut [Grid3<T>],
+    local_ids: &[usize],
+    first_global: usize,
+    sweep: usize,
+    dirs: &[LinkDir],
+    tr: &mut WallTracer,
+) {
+    for &ld in dirs {
+        match plan.neighbors[ld.index()] {
+            Some(nb) => {
+                // The neighbor's send toward us travels opposite to the
+                // direction we look at it through.
+                let travel = LinkDir {
+                    axis: ld.axis,
+                    dir: ld.dir.opposite(),
+                };
+                tr.open(SpanKind::Wait);
+                let buf = fabric.recv(plan.rank, nb, message_tag(sweep, first_global, travel));
+                tr.close();
+                tr.open(SpanKind::HaloUnpack);
+                unpack_batch(grids, local_ids, ld.axis.index(), recv_side(ld.dir), &buf);
+                tr.close();
+            }
+            None => {
+                tr.open(SpanKind::HaloUnpack);
+                for &g in local_ids {
+                    zero_face(&mut grids[g], ld.axis.index(), recv_side(ld.dir));
+                }
+                tr.close();
+            }
+        }
+    }
+}
+
+/// Run `sweeps` sweeps via `one_sweep(inputs, outputs, sweep)`, swapping
+/// the roles between sweeps; returns the grids holding the final result.
+fn run_sweeps<T: Scalar>(
+    mut inputs: Vec<Grid3<T>>,
+    mut outputs: Vec<Grid3<T>>,
+    sweeps: usize,
+    mut one_sweep: impl FnMut(&mut [Grid3<T>], &mut [Grid3<T>], usize),
+) -> Vec<Grid3<T>> {
+    for sweep in 0..sweeps {
+        one_sweep(&mut inputs, &mut outputs, sweep);
+        std::mem::swap(&mut inputs, &mut outputs);
+    }
+    inputs
+}
+
+/// One sweep of the batched, simultaneous-exchange schedule (§V): all
+/// three dimensions at once, double-buffered across batches.
+#[allow(clippy::too_many_arguments)] // mirrors the schedule's parameter list
+fn sweep_batched<T: Scalar>(
+    fabric: &NativeFabric<T>,
+    plan: &RankPlan,
+    coef: &StencilCoeffs,
+    inputs: &mut [Grid3<T>],
+    outputs: &mut [Grid3<T>],
+    batches: &Batches,
+    global_id: &dyn Fn(usize) -> usize,
+    sweep: usize,
+    double_buffer: bool,
+    tr: &mut WallTracer,
+) {
+    let ids_of = |b: usize| -> Vec<usize> {
+        let (s, e) = batches.range(b);
+        (s..e).collect()
+    };
+    let first_of = |b: usize| global_id(batches.range(b).0);
+
+    if double_buffer && !batches.is_empty() && batches.size(0) > 0 {
+        send_batch(
+            fabric,
+            plan,
+            inputs,
+            &ids_of(0),
+            first_of(0),
+            sweep,
+            &LinkDir::ALL,
+            tr,
+        );
+    }
+    for b in 0..batches.len() {
+        if batches.size(b) == 0 {
+            continue;
+        }
+        if double_buffer {
+            if b + 1 < batches.len() {
+                send_batch(
+                    fabric,
+                    plan,
+                    inputs,
+                    &ids_of(b + 1),
+                    first_of(b + 1),
+                    sweep,
+                    &LinkDir::ALL,
+                    tr,
+                );
+            }
+        } else {
+            send_batch(
+                fabric,
+                plan,
+                inputs,
+                &ids_of(b),
+                first_of(b),
+                sweep,
+                &LinkDir::ALL,
+                tr,
+            );
+        }
+        recv_batch(
+            fabric,
+            plan,
+            inputs,
+            &ids_of(b),
+            first_of(b),
+            sweep,
+            &LinkDir::ALL,
+            tr,
+        );
+        tr.open(SpanKind::Compute);
+        for g in ids_of(b) {
+            apply(coef, &inputs[g], &mut outputs[g]);
+        }
+        tr.close();
+    }
+}
+
+/// *Flat original* (§IV-A): one thread per rank, blocking
+/// dimension-by-dimension exchange per grid, no batching, no overlap.
+pub struct FlatOriginal;
+
+impl<T: SyntheticFill> Strategy<T> for FlatOriginal {
+    fn approach(&self) -> Approach {
+        Approach::FlatOriginal
+    }
+
+    fn run_rank(
+        &self,
+        ctx: &RankCtx<'_, T>,
+        inputs: Vec<Grid3<T>>,
+        outputs: Vec<Grid3<T>>,
+    ) -> (Vec<Grid3<T>>, Vec<ThreadResult>) {
+        let mut tr = WallTracer::new(ctx.epoch);
+        let r = run_sweeps(inputs, outputs, ctx.cfg.sweeps, |i, o, sweep| {
+            for g in 0..i.len() {
+                for pair in LinkDir::ALL.chunks(2) {
+                    send_batch(ctx.fabric, ctx.plan, i, &[g], g, sweep, pair, &mut tr);
+                    recv_batch(ctx.fabric, ctx.plan, i, &[g], g, sweep, pair, &mut tr);
+                }
+                tr.open(SpanKind::Compute);
+                apply(ctx.coef, &i[g], &mut o[g]);
+                tr.close();
+            }
+        });
+        (r, vec![finish_thread(tr, ctx.plan.rank, 0)])
+    }
+}
+
+/// *Flat optimized*: one thread per rank with every §V optimization —
+/// simultaneous non-blocking exchange, batching, double buffering.
+pub struct FlatOptimized;
+
+impl<T: SyntheticFill> Strategy<T> for FlatOptimized {
+    fn approach(&self) -> Approach {
+        Approach::FlatOptimized
+    }
+
+    fn run_rank(
+        &self,
+        ctx: &RankCtx<'_, T>,
+        inputs: Vec<Grid3<T>>,
+        outputs: Vec<Grid3<T>>,
+    ) -> (Vec<Grid3<T>>, Vec<ThreadResult>) {
+        let mut tr = WallTracer::new(ctx.epoch);
+        let batches = Batches::build(inputs.len(), ctx.cfg);
+        let r = run_sweeps(inputs, outputs, ctx.cfg.sweeps, |i, o, sweep| {
+            sweep_batched(
+                ctx.fabric,
+                ctx.plan,
+                ctx.coef,
+                i,
+                o,
+                &batches,
+                &|l| l,
+                sweep,
+                ctx.cfg.double_buffer,
+                &mut tr,
+            )
+        });
+        (r, vec![finish_thread(tr, ctx.plan.rank, 0)])
+    }
+}
+
+/// *Hybrid multiple* (§VI): whole grids dealt round-robin to the rank's
+/// threads, every thread its own comm endpoint (`MPI_THREAD_MULTIPLE`),
+/// one barrier per sweep.
+pub struct HybridMultiple;
+
+impl<T: SyntheticFill> Strategy<T> for HybridMultiple {
+    fn approach(&self) -> Approach {
+        Approach::HybridMultiple
+    }
+
+    fn run_rank(
+        &self,
+        ctx: &RankCtx<'_, T>,
+        inputs: Vec<Grid3<T>>,
+        outputs: Vec<Grid3<T>>,
+    ) -> (Vec<Grid3<T>>, Vec<ThreadResult>) {
+        let threads = ctx.threads;
+        let n_grids = inputs.len();
+        let mut in_parts: Vec<Vec<Grid3<T>>> = (0..threads).map(|_| Vec::new()).collect();
+        let mut out_parts: Vec<Vec<Grid3<T>>> = (0..threads).map(|_| Vec::new()).collect();
+        for (g, grid) in inputs.into_iter().enumerate() {
+            in_parts[g % threads].push(grid);
+        }
+        for (g, grid) in outputs.into_iter().enumerate() {
+            out_parts[g % threads].push(grid);
+        }
+
+        let barrier = Barrier::new(threads);
+        let mut results: Vec<Option<(Vec<Grid3<T>>, ThreadResult)>> =
+            (0..threads).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for (t, (ins, outs)) in in_parts.drain(..).zip(out_parts.drain(..)).enumerate() {
+                let barrier = &barrier;
+                handles.push(s.spawn(move || {
+                    let mut tr = WallTracer::new(ctx.epoch);
+                    let asg = GridAssignment::round_robin(n_grids, t, threads);
+                    debug_assert_eq!(asg.count, ins.len());
+                    let batches = Batches::build(asg.count, ctx.cfg);
+                    let r = run_sweeps(ins, outs, ctx.cfg.sweeps, |i, o, sweep| {
+                        sweep_batched(
+                            ctx.fabric,
+                            ctx.plan,
+                            ctx.coef,
+                            i,
+                            o,
+                            &batches,
+                            &|local| asg.id(local),
+                            sweep,
+                            ctx.cfg.double_buffer,
+                            &mut tr,
+                        );
+                        // §VI: the one synchronization per sweep.
+                        tr.open(SpanKind::ThreadBarrier);
+                        barrier.wait();
+                        tr.close();
+                    });
+                    (r, finish_thread(tr, ctx.plan.rank, t))
+                }));
+            }
+            for (t, h) in handles.into_iter().enumerate() {
+                results[t] = Some(h.join().expect("hybrid thread panicked"));
+            }
+        });
+
+        // Interleave back into global grid order.
+        let mut thread_results = Vec::with_capacity(threads);
+        let mut iters: Vec<_> = results
+            .into_iter()
+            .map(|r| {
+                let (grids, tres) = r.expect("all threads joined");
+                thread_results.push(tres);
+                grids.into_iter()
+            })
+            .collect();
+        let grids = (0..n_grids)
+            .map(|g| iters[g % threads].next().expect("round robin exhausted"))
+            .collect();
+        (grids, thread_results)
+    }
+}
+
+/// One slab of compute published from the master to a pooled worker: grid
+/// `input` applied over x-planes `[x0, x1)` into the raw output `slab`.
+///
+/// Raw pointers because the mutable slab borrows of one batch cannot
+/// outlive the master's loop iteration in the type system, while the pool
+/// threads outlive the whole run. Soundness comes from the barrier
+/// protocol: tasks are published before the release barrier, consumed
+/// strictly between the release and completion barriers, and the slabs of
+/// one batch are pairwise disjoint (`split_x_slabs`).
+struct SlabTask<T> {
+    input: *const Grid3<T>,
+    x0: usize,
+    x1: usize,
+    slab: *mut T,
+    len: usize,
+}
+
+// SAFETY: a task is a message handing exclusive access to one disjoint
+// output slab (plus shared access to one input grid) across the release
+// barrier; the pointers never alias between tasks of one batch.
+unsafe impl<T: Send> Send for SlabTask<T> {}
+
+/// Run one task list (the per-thread compute share of one batch).
+///
+/// # Safety
+/// Must only be called between the release and completion barriers of the
+/// batch the tasks were published for.
+unsafe fn run_tasks<T: Scalar>(coef: &StencilCoeffs, tasks: &[SlabTask<T>]) {
+    for task in tasks {
+        let slab = std::slice::from_raw_parts_mut(task.slab, task.len);
+        apply_slab(coef, &*task.input, task.x0, task.x1, slab);
+    }
+}
+
+/// Cut each batch grid into x-slabs, publish slabs `1..` to the pool
+/// slots, and return slot 0's share (the master's own compute).
+fn publish_slab_tasks<T: Scalar>(
+    ins: &[Grid3<T>],
+    outs: &mut [Grid3<T>],
+    ids: &[usize],
+    bounds: &[usize],
+    slots: &[Mutex<Vec<SlabTask<T>>>],
+) -> Vec<SlabTask<T>> {
+    let cuts = &bounds[1..bounds.len() - 1];
+    let slabs_per_grid = bounds.len() - 1;
+    let mut per_slot: Vec<Vec<SlabTask<T>>> = (0..slabs_per_grid).map(|_| Vec::new()).collect();
+
+    // Walk `outs`, splitting off each batch grid to get disjoint mutable
+    // slabs.
+    let mut rest: &mut [Grid3<T>] = outs;
+    let mut offset = 0usize;
+    for &gid in ids {
+        debug_assert!(gid >= offset);
+        let (_skip, tail) = rest.split_at_mut(gid - offset);
+        let (grid, tail2) = tail.split_first_mut().expect("batch id in range");
+        for (t, slab) in grid.split_x_slabs(cuts).into_iter().enumerate() {
+            let len = slab.len();
+            per_slot[t].push(SlabTask {
+                input: &ins[gid] as *const Grid3<T>,
+                x0: bounds[t],
+                x1: bounds[t + 1],
+                slab: slab.as_mut_ptr(),
+                len,
+            });
+        }
+        rest = tail2;
+        offset = gid + 1;
+    }
+
+    let mut iter = per_slot.into_iter();
+    let mine = iter.next().unwrap_or_default();
+    for (t, tasks) in iter.enumerate() {
+        *slots[t + 1].lock().unwrap_or_else(|e| e.into_inner()) = tasks;
+    }
+    mine
+}
+
+/// *Hybrid master-only* (§VI): the master thread communicates
+/// (`MPI_THREAD_SINGLE`); a persistent pool of worker threads computes
+/// each batch's grids in x-slabs, synchronized by two barrier waits per
+/// batch (release after the tasks are published, completion after the
+/// slabs are done) — the paper's pthread scheme.
+pub struct HybridMasterOnly;
+
+impl<T: SyntheticFill> Strategy<T> for HybridMasterOnly {
+    fn approach(&self) -> Approach {
+        Approach::HybridMasterOnly
+    }
+
+    fn run_rank(
+        &self,
+        ctx: &RankCtx<'_, T>,
+        inputs: Vec<Grid3<T>>,
+        outputs: Vec<Grid3<T>>,
+    ) -> (Vec<Grid3<T>>, Vec<ThreadResult>) {
+        let threads = ctx.threads;
+        let batches = Batches::build(inputs.len(), ctx.cfg);
+        let nonempty = (0..batches.len()).filter(|&b| batches.size(b) > 0).count();
+        // The pool protocol is fully static: every thread knows the exact
+        // barrier count upfront, so no shutdown signal is needed.
+        let iterations = ctx.cfg.sweeps * nonempty;
+        let nx = inputs[0].n()[0];
+        let bounds = slab_bounds(nx, threads);
+        let barrier = Barrier::new(threads);
+        // Task slots, one per pool slot. Slots past the slab count (when
+        // `nx` is too shallow for `threads` slabs) simply stay empty; the
+        // threads still take part in every barrier.
+        let slots: Vec<Mutex<Vec<SlabTask<T>>>> =
+            (0..threads).map(|_| Mutex::new(Vec::new())).collect();
+
+        let (grids, master, mut workers) = std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for t in 1..threads {
+                let barrier = &barrier;
+                let slots = &slots;
+                handles.push(s.spawn(move || {
+                    let mut tr = WallTracer::new(ctx.epoch);
+                    for _ in 0..iterations {
+                        tr.open(SpanKind::ThreadBarrier);
+                        barrier.wait(); // release: tasks are published
+                        tr.close();
+                        let tasks = std::mem::take(
+                            &mut *slots[t].lock().unwrap_or_else(|e| e.into_inner()),
+                        );
+                        tr.open(SpanKind::Compute);
+                        // SAFETY: between the release and completion
+                        // barriers of this batch.
+                        unsafe { run_tasks(ctx.coef, &tasks) };
+                        tr.close();
+                        drop(tasks);
+                        tr.open(SpanKind::ThreadBarrier);
+                        barrier.wait(); // completion: slabs are done
+                        tr.close();
+                    }
+                    finish_thread(tr, ctx.plan.rank, t)
+                }));
+            }
+
+            // The master: communication plus its own slab share.
+            let mut tr = WallTracer::new(ctx.epoch);
+            let mut ins = inputs;
+            let mut outs = outputs;
+            let ids_of = |b: usize| -> Vec<usize> {
+                let (s, e) = batches.range(b);
+                (s..e).collect()
+            };
+            for sweep in 0..ctx.cfg.sweeps {
+                if ctx.cfg.double_buffer && !batches.is_empty() && batches.size(0) > 0 {
+                    let ids = ids_of(0);
+                    send_batch(
+                        ctx.fabric,
+                        ctx.plan,
+                        &ins,
+                        &ids,
+                        ids[0],
+                        sweep,
+                        &LinkDir::ALL,
+                        &mut tr,
+                    );
+                }
+                for b in 0..batches.len() {
+                    if batches.size(b) == 0 {
+                        continue;
+                    }
+                    let ids = ids_of(b);
+                    if ctx.cfg.double_buffer {
+                        if b + 1 < batches.len() {
+                            let next = ids_of(b + 1);
+                            send_batch(
+                                ctx.fabric,
+                                ctx.plan,
+                                &ins,
+                                &next,
+                                next[0],
+                                sweep,
+                                &LinkDir::ALL,
+                                &mut tr,
+                            );
+                        }
+                    } else {
+                        send_batch(
+                            ctx.fabric,
+                            ctx.plan,
+                            &ins,
+                            &ids,
+                            ids[0],
+                            sweep,
+                            &LinkDir::ALL,
+                            &mut tr,
+                        );
+                    }
+                    recv_batch(
+                        ctx.fabric,
+                        ctx.plan,
+                        &mut ins,
+                        &ids,
+                        ids[0],
+                        sweep,
+                        &LinkDir::ALL,
+                        &mut tr,
+                    );
+                    let mine = publish_slab_tasks(&ins, &mut outs, &ids, &bounds, &slots);
+                    tr.open(SpanKind::ThreadBarrier);
+                    barrier.wait(); // release
+                    tr.close();
+                    tr.open(SpanKind::Compute);
+                    // SAFETY: between this batch's release and completion
+                    // barriers; slot 0's slabs are disjoint from the pool's.
+                    unsafe { run_tasks(ctx.coef, &mine) };
+                    tr.close();
+                    drop(mine);
+                    tr.open(SpanKind::ThreadBarrier);
+                    barrier.wait(); // completion
+                    tr.close();
+                }
+                std::mem::swap(&mut ins, &mut outs);
+            }
+            let master = finish_thread(tr, ctx.plan.rank, 0);
+            let workers: Vec<ThreadResult> = handles
+                .into_iter()
+                .map(|h| h.join().expect("pool thread panicked"))
+                .collect();
+            (ins, master, workers)
+        });
+
+        let mut results = vec![master];
+        results.append(&mut workers);
+        (grids, results)
+    }
+}

@@ -17,6 +17,12 @@
 # without churning the baseline, NOT to paper over regressions: a drift
 # within tolerance that you did not expect still deserves a look at the
 # perf_gate table before merging.
+#
+# The native/... point is the one exception to bit-identical
+# regeneration: its times and phase fractions are real wall clock, so
+# they differ every run. The gate pins its counts exactly and gates its
+# times loosely, so there is normally no need to regenerate the baseline
+# just because the native timings moved.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
