@@ -1,0 +1,172 @@
+//! Chaos soak: the native plane's parity under sustained perturbation.
+//!
+//! Sweeps seeded benign fault schedules (delays, duplicates,
+//! drop-with-redelivery — `FaultPlan::benign`) across all four strategies
+//! and a set of thread counts, validating every single run bitwise
+//! against the sequential reference and checking that the reported
+//! message/byte counts match the clean run exactly. One lethal section
+//! then verifies the failure path end to end: a black-holed message must
+//! terminate within the watchdog budget with a diagnostic naming the
+//! blocked rank and awaited `(src, tag)` — never hang.
+//!
+//! Exits non-zero on the first divergence, so CI can run it as a gate.
+//!
+//! Usage: `chaos_soak [--seeds N] [--threads 2,4] [--quick]`
+
+use gpaw_bench::{emit_report, Table};
+use gpaw_fd::exec::{max_error_vs_reference, sequential_reference};
+use gpaw_fd::ExperimentReport;
+use gpaw_grid::stencil::StencilCoeffs;
+use gpaw_hybrid_rt::{all_strategies, run_native, FaultPlan, NativeJob, RunError};
+use std::time::Instant;
+
+fn main() {
+    let mut seeds = 20u64;
+    let mut thread_counts: Vec<usize> = vec![2, 4];
+    let mut quick = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seeds" if i + 1 < args.len() => {
+                seeds = args[i + 1].parse().expect("--seeds takes a number");
+                i += 2;
+            }
+            "--threads" if i + 1 < args.len() => {
+                thread_counts = args[i + 1]
+                    .split(',')
+                    .map(|t| t.parse().expect("--threads takes e.g. 2,4"))
+                    .collect();
+                i += 2;
+            }
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: chaos_soak [--seeds N] [--threads 2,4] [--quick]");
+                std::process::exit(2);
+            }
+        }
+    }
+    assert!(seeds >= 1, "--seeds must be at least 1");
+
+    let base = if quick {
+        NativeJob::new([10, 8, 6], 4, 2)
+    } else {
+        NativeJob::new([16, 16, 16], 6, 2)
+    }
+    .with_sweeps(2);
+
+    println!(
+        "Chaos soak: {} grids of {:?}, {} sweeps, 2 nodes, {} seeds x {:?} threads\n",
+        base.n_grids, base.grid_ext, base.sweeps, seeds, thread_counts
+    );
+
+    let coef = StencilCoeffs::laplacian(base.spacing);
+    let reference = sequential_reference::<f64>(
+        base.grid_ext,
+        base.n_grids,
+        base.seed,
+        &coef,
+        base.bc,
+        base.sweeps,
+    );
+
+    let mut json = ExperimentReport::new("chaos_soak");
+    let mut table = Table::new(vec!["approach", "threads", "runs", "messages", "soak time"]);
+    let mut total_runs = 0u64;
+    for &threads in &thread_counts {
+        for s in all_strategies::<f64>() {
+            let job = base.with_threads(threads);
+            let clean = run_native::<f64>(&job, s.as_ref()).unwrap_or_else(|e| {
+                eprintln!("{} clean run failed: {e}", s.name());
+                std::process::exit(2);
+            });
+            let started = Instant::now();
+            for seed in 0..seeds {
+                let chaotic_job = job.with_fault(FaultPlan::benign(seed));
+                let run = run_native::<f64>(&chaotic_job, s.as_ref()).unwrap_or_else(|e| {
+                    eprintln!("{} seed {seed}: benign chaos run failed: {e}", s.name());
+                    std::process::exit(1);
+                });
+                let err = max_error_vs_reference(&run.sets, &run.map, job.grid_ext, &reference);
+                if err != 0.0 {
+                    eprintln!(
+                        "{} seed {seed} ({threads} threads): diverged from the \
+                         sequential reference (max err {err:e})",
+                        s.name()
+                    );
+                    std::process::exit(1);
+                }
+                if run.report.messages != clean.report.messages
+                    || run.report.total_network_bytes != clean.report.total_network_bytes
+                {
+                    eprintln!(
+                        "{} seed {seed} ({threads} threads): traffic drifted under chaos \
+                         ({} vs {} messages)",
+                        s.name(),
+                        run.report.messages,
+                        clean.report.messages
+                    );
+                    std::process::exit(1);
+                }
+                total_runs += 1;
+            }
+            table.row(vec![
+                s.name().to_string(),
+                threads.to_string(),
+                seeds.to_string(),
+                clean.report.messages.to_string(),
+                format!("{:.2}s", started.elapsed().as_secs_f64()),
+            ]);
+            json.push(
+                format!("chaos/{threads}/{}", s.name()),
+                s.name(),
+                clean.report.threads,
+                base.batch,
+                clean.report.clone(),
+            );
+        }
+    }
+    table.print();
+
+    // The lethal section: a swallowed message must fail loudly, in time.
+    let watchdog_ms = 500;
+    let lethal = base
+        .with_threads(thread_counts[0])
+        .with_watchdog_ms(watchdog_ms)
+        .with_fault(FaultPlan::quiet(1).with_black_hole(0, 1, 1));
+    let started = Instant::now();
+    let strategies = all_strategies::<f64>();
+    let hybrid = &strategies[2]; // Hybrid multiple: 2 ranks on 2 nodes
+    match run_native::<f64>(&lethal, hybrid.as_ref()) {
+        Ok(_) => {
+            eprintln!("black-holed run completed — the lethal fault was lost");
+            std::process::exit(1);
+        }
+        Err(e @ RunError::Failed { .. }) => {
+            let text = e.to_string();
+            if !text.contains("watchdog") || !text.contains("recv(src=0, tag=") {
+                eprintln!("watchdog diagnostic is missing the pending receive:\n{text}");
+                std::process::exit(1);
+            }
+            println!(
+                "\nLethal check: black-holed 0→1 message terminated in {:.2}s \
+                 (watchdog {watchdog_ms}ms) with a full diagnostic.",
+                started.elapsed().as_secs_f64()
+            );
+        }
+        Err(e) => {
+            eprintln!("black-holed run failed for the wrong reason: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    println!("All {total_runs} chaos runs held bitwise parity and exact traffic counts.");
+    json.scalar("seeds", seeds as f64);
+    json.scalar("runs_total", total_runs as f64);
+    json.scalar("watchdog_ms", watchdog_ms as f64);
+    emit_report(&json);
+}

@@ -84,6 +84,18 @@ impl WallTracer {
         }
     }
 
+    /// Close every open span at the current time, innermost first.
+    ///
+    /// Error-path cleanup: a caught panic or a propagated receive failure
+    /// can leave spans open mid-nest; closing them keeps the log balanced
+    /// so the thread's timeline can still be finished and reported.
+    pub fn close_all(&mut self) {
+        if self.enabled {
+            let t = self.now();
+            self.log.close_all(t);
+        }
+    }
+
     /// Finish tracing: aggregate the recorded spans and report the
     /// thread's lifetime on the shared axis.
     pub fn finish(self, rank: usize, slot: usize) -> ThreadPhases {

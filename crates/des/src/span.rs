@@ -224,6 +224,18 @@ impl SpanLog {
         }
     }
 
+    /// Close every outstanding frame at `t`, innermost first.
+    ///
+    /// Error-path cleanup: a panic caught (or an error propagated) from
+    /// inside an open span leaves frames outstanding; closing them all
+    /// keeps the log balanced so the thread's timeline can still be
+    /// finished and reported.
+    pub fn close_all(&mut self, t: SimTime) {
+        while !self.stack.is_empty() {
+            self.close(t);
+        }
+    }
+
     /// The recorded spans (self-time segments, in recording order).
     pub fn spans(&self) -> &[Span] {
         &self.spans

@@ -1,0 +1,211 @@
+//! Structured failure reporting for native runs.
+//!
+//! The native plane used to be panic-only: an unmatched receive hung a
+//! condvar forever and a panicking rank thread aborted the whole process
+//! through `join().expect(..)`. These types are the error channel that
+//! replaces both: every way a run can fail — bad geometry, a receive that
+//! hit the deadlock watchdog, a rank thread that panicked, a fabric left
+//! undrained — terminates [`crate::run_native`] with a [`RunError`]
+//! naming the failed rank, the strategy, the phase, and (for watchdog
+//! expiries) the full [`FabricDiagnostic`](crate::fault::FabricDiagnostic)
+//! snapshot.
+
+use crate::fault::RecvTimeout;
+use gpaw_bgp_hw::MapError;
+use std::fmt;
+
+/// Why one rank of a native run failed.
+#[derive(Debug)]
+pub enum FailureKind {
+    /// A receive hit the deadlock watchdog; the snapshot names the
+    /// blocked rank, the awaited `(src, tag)`, and all queue depths.
+    RecvTimeout(Box<RecvTimeout>),
+    /// A thread of the rank panicked; the payload message is preserved.
+    Panic(String),
+    /// The rank's schedule completed but left undelivered messages in the
+    /// fabric — a send/recv mismatch.
+    Undrained,
+}
+
+/// One failed rank of a native run.
+#[derive(Debug)]
+pub struct RankFailure {
+    /// The failed rank.
+    pub rank: usize,
+    /// Where in the rank's lifecycle the failure happened.
+    pub phase: &'static str,
+    /// What went wrong.
+    pub kind: FailureKind,
+}
+
+impl fmt::Display for RankFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            FailureKind::RecvTimeout(t) => {
+                write!(f, "rank {} failed in {}: {}", self.rank, self.phase, t)
+            }
+            FailureKind::Panic(msg) => {
+                write!(f, "rank {} panicked in {}: {}", self.rank, self.phase, msg)
+            }
+            FailureKind::Undrained => write!(
+                f,
+                "rank {} finished {} with undelivered messages (schedule mismatch)",
+                self.rank, self.phase
+            ),
+        }
+    }
+}
+
+/// How one rank's strategy schedule failed (before rank attribution).
+#[derive(Debug)]
+pub enum StrategyError {
+    /// A receive hit the deadlock watchdog.
+    Recv(Box<RecvTimeout>),
+    /// A worker/endpoint thread of the schedule panicked.
+    ThreadPanic {
+        /// The thread slot within the rank.
+        slot: usize,
+        /// The panic payload, stringified.
+        message: String,
+    },
+}
+
+impl StrategyError {
+    /// Attribute this schedule failure to its rank.
+    pub fn into_rank_failure(self, rank: usize) -> RankFailure {
+        match self {
+            StrategyError::Recv(t) => RankFailure {
+                rank,
+                phase: "halo-wait",
+                kind: FailureKind::RecvTimeout(t),
+            },
+            StrategyError::ThreadPanic { slot, message } => RankFailure {
+                rank,
+                phase: "thread-pool",
+                kind: FailureKind::Panic(format!("slot {slot}: {message}")),
+            },
+        }
+    }
+}
+
+/// Why a whole native run failed.
+#[derive(Debug)]
+pub enum RunError {
+    /// The job has no grids to sweep.
+    NoGrids,
+    /// The requested node count has no standard Blue Gene/P partition.
+    UnsupportedNodeCount {
+        /// The node count the job asked for.
+        nodes: usize,
+    },
+    /// The geometry could not be mapped (thread count, process grid…).
+    Map(MapError),
+    /// One or more ranks failed; every failure is listed, worst first
+    /// (panics before timeouts, then by rank).
+    Failed {
+        /// The strategy that was running.
+        strategy: &'static str,
+        /// Every rank failure observed, ordered worst-first.
+        failures: Vec<RankFailure>,
+    },
+}
+
+impl RunError {
+    /// The first (worst) rank failure, when the run failed mid-flight.
+    pub fn first_failure(&self) -> Option<&RankFailure> {
+        match self {
+            RunError::Failed { failures, .. } => failures.first(),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::NoGrids => write!(f, "a job needs at least one grid"),
+            RunError::UnsupportedNodeCount { nodes } => {
+                write!(
+                    f,
+                    "unsupported node count {nodes}: no standard BGP partition"
+                )
+            }
+            RunError::Map(e) => write!(f, "geometry rejected: {e}"),
+            RunError::Failed { strategy, failures } => {
+                write!(f, "{strategy}: {} rank(s) failed", failures.len())?;
+                for fail in failures {
+                    write!(f, "\n{fail}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<MapError> for RunError {
+    fn from(e: MapError) -> RunError {
+        RunError::Map(e)
+    }
+}
+
+/// Stringify a `catch_unwind` payload the way the default panic hook
+/// would.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FabricDiagnostic, RecvTimeout};
+    use std::time::Duration;
+
+    fn timeout() -> Box<RecvTimeout> {
+        Box::new(RecvTimeout {
+            rank: 1,
+            src: 0,
+            tag: 42,
+            waited: Duration::from_millis(300),
+            diagnostic: FabricDiagnostic::default(),
+        })
+    }
+
+    #[test]
+    fn run_error_display_names_rank_strategy_and_pending_recv() {
+        let e = RunError::Failed {
+            strategy: "Hybrid multiple",
+            failures: vec![StrategyError::Recv(timeout()).into_rank_failure(1)],
+        };
+        let text = e.to_string();
+        assert!(text.contains("Hybrid multiple"), "{text}");
+        assert!(text.contains("rank 1"), "{text}");
+        assert!(text.contains("recv(src=0, tag=42)"), "{text}");
+    }
+
+    #[test]
+    fn thread_panic_keeps_slot_and_message() {
+        let f = StrategyError::ThreadPanic {
+            slot: 2,
+            message: "boom".into(),
+        }
+        .into_rank_failure(3);
+        let text = f.to_string();
+        assert!(text.contains("rank 3"), "{text}");
+        assert!(text.contains("slot 2: boom"), "{text}");
+    }
+
+    #[test]
+    fn panic_messages_survive_both_payload_shapes() {
+        assert_eq!(panic_message(&"static"), "static");
+        assert_eq!(panic_message(&String::from("owned")), "owned");
+        assert_eq!(panic_message(&17_u64), "non-string panic payload");
+    }
+}

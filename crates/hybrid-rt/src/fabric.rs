@@ -3,8 +3,8 @@
 //! Every rank of a native run is an OS thread inside one process; a
 //! message is a `Vec<T>` of packed face data matched on `(source, tag)`
 //! with FIFO ordering per pair, exactly like the functional plane's
-//! `gpaw_fd::transport::Transport`. The fabric differs in two ways that
-//! matter for a *measured* runtime:
+//! `gpaw_fd::transport::Transport`. The fabric differs in three ways that
+//! matter for a *measured*, *survivable* runtime:
 //!
 //! * **sharded mailboxes** — one mutex per `(destination, source)` pair
 //!   instead of one per destination, so the four concurrent endpoints of
@@ -15,36 +15,147 @@
 //!   message as intra-node (shared-memory on a real Blue Gene/P) or
 //!   inter-node (torus traffic), giving native runs the same
 //!   `bytes_per_node` / `network_bytes_per_node` split the timed machine
-//!   reports.
+//!   reports. Counters are charged once per *logical* message, so fault
+//!   injection (duplicates, redelivery) never changes the counts;
+//! * **the fault plane** — an optional seeded [`FaultPlan`] perturbs
+//!   delivery (delay, duplicate-then-dedup, drop-with-redelivery) within
+//!   the bounds the real torus permits: messages carry per-`(src, tag)`
+//!   sequence numbers and [`NativeFabric::recv`] delivers strictly in
+//!   sequence order, so per-pair FIFO survives any benign schedule. A
+//!   deadlock watchdog bounds every blocking receive: instead of hanging
+//!   forever on an unmatched `(src, tag)`, `recv` returns a
+//!   [`RecvTimeout`] carrying a [`FabricDiagnostic`] snapshot of every
+//!   blocked receive and undelivered queue.
 //!
 //! Bytes are charged to the *sending* node (injection accounting, matching
 //! the interconnect model's per-node injection counters).
 
+use crate::fault::{
+    BlockedRecv, FabricConfig, FabricDiagnostic, FaultAction, QueueStat, RecvTimeout,
+};
 use gpaw_bgp_hw::CartMap;
 use gpaw_grid::scalar::Scalar;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Instant;
 
-/// One `(destination, source)` pair's queues: tag → FIFO of payloads.
+/// One message with its per-`(src, tag)` sequence number. Delivery is in
+/// sequence order, which both preserves FIFO under fault-plan reordering
+/// and dedups duplicated envelopes (a stale sequence is skipped).
+struct Envelope<T> {
+    seq: u64,
+    payload: Vec<T>,
+}
+
+/// A message the fault plan is holding back; becomes matchable after
+/// `ticks_left` redelivery ticks.
+struct ParkedMsg<T> {
+    tag: u64,
+    env: Envelope<T>,
+    ticks_left: u32,
+}
+
+/// A receive currently blocked on this shard (for watchdog snapshots).
+struct Waiter {
+    tag: u64,
+    since: Instant,
+}
+
+/// One `(destination, source)` pair's state: live queues, parked
+/// messages, sequence counters, and blocked receivers.
+struct ShardState<T> {
+    /// tag → envelopes, delivered in sequence order.
+    queues: HashMap<u64, VecDeque<Envelope<T>>>,
+    /// Fault-plan holdbacks, any tag.
+    parked: Vec<ParkedMsg<T>>,
+    /// Next sequence number to assign per tag.
+    next_send: HashMap<u64, u64>,
+    /// Next sequence number the receiver expects per tag.
+    next_recv: HashMap<u64, u64>,
+    /// Receives currently blocked on this shard.
+    waiters: Vec<Waiter>,
+    /// Messages ever sent through this shard (black-hole ordinal).
+    sent_count: u64,
+}
+
+impl<T> Default for ShardState<T> {
+    fn default() -> Self {
+        ShardState {
+            queues: HashMap::new(),
+            parked: Vec::new(),
+            next_send: HashMap::new(),
+            next_recv: HashMap::new(),
+            waiters: Vec::new(),
+            sent_count: 0,
+        }
+    }
+}
+
+impl<T> ShardState<T> {
+    /// Take the next-in-sequence envelope for `tag`, purging consumed
+    /// duplicates. `None` when the expected sequence number has not
+    /// arrived (even if later ones have — FIFO holds).
+    fn take_next(&mut self, tag: u64) -> Option<Vec<T>> {
+        let next = *self.next_recv.get(&tag).unwrap_or(&0);
+        let q = self.queues.get_mut(&tag)?;
+        q.retain(|e| e.seq >= next);
+        let pos = q.iter().position(|e| e.seq == next)?;
+        let env = q.remove(pos)?;
+        self.next_recv.insert(tag, next + 1);
+        Some(env.payload)
+    }
+
+    /// One redelivery tick: age every parked message, promoting the ready
+    /// ones into the live queues. Returns true if anything was promoted.
+    fn tick_parked(&mut self) -> bool {
+        let mut promoted = false;
+        let mut i = 0;
+        while i < self.parked.len() {
+            if self.parked[i].ticks_left <= 1 {
+                let p = self.parked.swap_remove(i);
+                self.queues.entry(p.tag).or_default().push_back(p.env);
+                promoted = true;
+            } else {
+                self.parked[i].ticks_left -= 1;
+                i += 1;
+            }
+        }
+        promoted
+    }
+
+    /// Matchable (non-duplicate) messages left on this shard.
+    fn live_depth(&self, tag: u64) -> usize {
+        let next = *self.next_recv.get(&tag).unwrap_or(&0);
+        self.queues
+            .get(&tag)
+            .map(|q| q.iter().filter(|e| e.seq >= next).count())
+            .unwrap_or(0)
+    }
+
+    fn is_drained(&self) -> bool {
+        self.parked.is_empty() && self.queues.keys().all(|&tag| self.live_depth(tag) == 0)
+    }
+}
+
 struct Shard<T> {
-    queues: Mutex<HashMap<u64, VecDeque<Vec<T>>>>,
+    state: Mutex<ShardState<T>>,
     arrived: Condvar,
 }
 
 impl<T> Shard<T> {
-    /// Lock the queue map. Senders never panic while holding the lock, so
-    /// a poisoned mutex only ever reflects a panic already unwinding the
-    /// process — recover the guard rather than double-panicking.
-    fn lock(&self) -> MutexGuard<'_, HashMap<u64, VecDeque<Vec<T>>>> {
-        self.queues.lock().unwrap_or_else(|e| e.into_inner())
+    /// Lock the shard state. Senders never panic while holding the lock,
+    /// so a poisoned mutex only ever reflects a panic already unwinding
+    /// elsewhere — recover the guard rather than double-panicking.
+    fn lock(&self) -> MutexGuard<'_, ShardState<T>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 impl<T> Default for Shard<T> {
     fn default() -> Self {
         Shard {
-            queues: Mutex::new(HashMap::new()),
+            state: Mutex::new(ShardState::default()),
             arrived: Condvar::new(),
         }
     }
@@ -98,7 +209,8 @@ impl FabricStats {
 }
 
 /// A cluster-wide native transport: sharded mailboxes plus traffic
-/// counters, laid out for the rank/node geometry of one [`CartMap`].
+/// counters, laid out for the rank/node geometry of one [`CartMap`],
+/// with an optional fault plane and a deadlock watchdog.
 pub struct NativeFabric<T> {
     ranks: usize,
     /// Shard of pair `(dst, src)` at index `dst * ranks + src`.
@@ -107,6 +219,9 @@ pub struct NativeFabric<T> {
     node_of: Vec<usize>,
     nodes: usize,
     elem_bytes: u64,
+    config: FabricConfig,
+    /// Completed sends per source rank (panic-injection ordinal).
+    sends_of_rank: Vec<AtomicU64>,
     messages: AtomicU64,
     network_messages: AtomicU64,
     bytes_per_node: Vec<AtomicU64>,
@@ -115,8 +230,14 @@ pub struct NativeFabric<T> {
 }
 
 impl<T: Scalar> NativeFabric<T> {
-    /// A fabric for every rank of `map`.
+    /// A clean fabric for every rank of `map`: no fault plan, default
+    /// watchdog.
     pub fn new(map: &CartMap) -> NativeFabric<T> {
+        Self::with_config(map, FabricConfig::default())
+    }
+
+    /// A fabric with explicit watchdog/tick/fault-plan knobs.
+    pub fn with_config(map: &CartMap, config: FabricConfig) -> NativeFabric<T> {
         let ranks = map.ranks();
         let shape = map.partition.node_shape;
         let node_of: Vec<usize> = (0..ranks).map(|r| shape.index(map.node_of(r))).collect();
@@ -127,6 +248,8 @@ impl<T: Scalar> NativeFabric<T> {
             node_of,
             nodes,
             elem_bytes: T::BYTES as u64,
+            config,
+            sends_of_rank: (0..ranks).map(|_| AtomicU64::new(0)).collect(),
             messages: AtomicU64::new(0),
             network_messages: AtomicU64::new(0),
             bytes_per_node: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
@@ -140,13 +263,37 @@ impl<T: Scalar> NativeFabric<T> {
         self.ranks
     }
 
+    /// The active configuration (watchdog, tick, fault plan).
+    pub fn config(&self) -> &FabricConfig {
+        &self.config
+    }
+
     fn shard(&self, dst: usize, src: usize) -> &Shard<T> {
         &self.shards[dst * self.ranks + src]
     }
 
     /// Deliver `payload` to `dst`, stamped as coming from `src` with `tag`.
-    /// Never blocks; charges the payload to `src`'s node.
+    /// Never blocks; charges the payload to `src`'s node (once per logical
+    /// message, whatever the fault plan does to its delivery).
+    ///
+    /// # Panics
+    /// Panics when the fault plan's [`PanicInjection`](crate::fault::PanicInjection)
+    /// selects this send — deliberately, to exercise panic containment.
     pub fn send(&self, src: usize, dst: usize, tag: u64, payload: Vec<T>) {
+        // Panic injection runs before any lock is taken so the poison
+        // never lands on a shard mutex.
+        if let Some(p) = self.config.plan.as_ref().and_then(|pl| pl.panic_on_send) {
+            if p.rank == src {
+                let done = self.sends_of_rank[src].fetch_add(1, Ordering::Relaxed);
+                if done == p.after_sends {
+                    panic!(
+                        "chaos: injected panic in rank {src}'s send #{} (to {dst}, tag {tag})",
+                        done + 1
+                    );
+                }
+            }
+        }
+
         let bytes = payload.len() as u64 * self.elem_bytes;
         let src_node = self.node_of[src];
         self.messages.fetch_add(1, Ordering::Relaxed);
@@ -156,36 +303,188 @@ impl<T: Scalar> NativeFabric<T> {
             self.network_bytes_per_node[src_node].fetch_add(bytes, Ordering::Relaxed);
             self.network_messages_per_node[src_node].fetch_add(1, Ordering::Relaxed);
         }
+
         let shard = self.shard(dst, src);
-        let mut q = shard.lock();
-        q.entry(tag).or_default().push_back(payload);
+        let mut st = shard.lock();
+        st.sent_count += 1;
+        let seq_entry = st.next_send.entry(tag).or_insert(0);
+        let seq = *seq_entry;
+        *seq_entry += 1;
+        let env = Envelope { seq, payload };
+
+        let action = match self.config.plan.as_ref() {
+            None => FaultAction::Deliver,
+            Some(plan) => {
+                if plan
+                    .black_hole
+                    .is_some_and(|bh| bh.src == src && bh.dst == dst && bh.nth == st.sent_count)
+                {
+                    // The lethal fault: the message vanishes. Its sequence
+                    // number stays consumed, so the receiver starves on
+                    // exactly this (src, tag) and the watchdog names it.
+                    return;
+                }
+                plan.action(src, dst, tag, seq)
+            }
+        };
+        match action {
+            FaultAction::Deliver => {
+                st.queues.entry(tag).or_default().push_back(env);
+            }
+            FaultAction::Duplicate => {
+                let dup = Envelope {
+                    seq: env.seq,
+                    payload: env.payload.clone(),
+                };
+                let q = st.queues.entry(tag).or_default();
+                q.push_back(env);
+                q.push_back(dup);
+            }
+            FaultAction::Park { ticks } => {
+                st.parked.push(ParkedMsg {
+                    tag,
+                    env,
+                    ticks_left: ticks,
+                });
+            }
+        }
+        // Wake waiters even for a parked message: they must switch from
+        // the long watchdog sleep to tick-length redelivery polls.
         shard.arrived.notify_all();
     }
 
-    /// Block until a message from `(src, tag)` is available for `me`, then
-    /// take it.
-    pub fn recv(&self, me: usize, src: usize, tag: u64) -> Vec<T> {
+    /// Block until the next-in-sequence message from `(src, tag)` is
+    /// available for `me`, then take it.
+    ///
+    /// Blocking is bounded by the watchdog: if the message has not
+    /// arrived within `config.watchdog`, the call returns a
+    /// [`RecvTimeout`] carrying a fabric-wide [`FabricDiagnostic`]
+    /// instead of hanging forever.
+    pub fn recv(&self, me: usize, src: usize, tag: u64) -> Result<Vec<T>, Box<RecvTimeout>> {
         let shard = self.shard(me, src);
-        let mut q = shard.lock();
+        let start = Instant::now();
+        let deadline = start + self.config.watchdog;
+        let mut st = shard.lock();
+        st.waiters.push(Waiter { tag, since: start });
         loop {
-            if let Some(payload) = q.get_mut(&tag).and_then(VecDeque::pop_front) {
-                return payload;
+            if let Some(payload) = st.take_next(tag) {
+                Self::remove_waiter(&mut st, tag, start);
+                return Ok(payload);
             }
-            q = shard.arrived.wait(q).unwrap_or_else(|e| e.into_inner());
+            let now = Instant::now();
+            if now >= deadline {
+                Self::remove_waiter(&mut st, tag, start);
+                // Drop the shard lock before the fabric-wide snapshot:
+                // the snapshot locks shards one at a time, and holding
+                // ours while another expiring watchdog holds its own
+                // would deadlock the deadlock detector.
+                drop(st);
+                let waited = start.elapsed();
+                let me_blocked = BlockedRecv {
+                    rank: me,
+                    src,
+                    tag,
+                    waited,
+                };
+                let diagnostic = self.snapshot_diagnostic(me_blocked);
+                return Err(Box::new(RecvTimeout {
+                    rank: me,
+                    src,
+                    tag,
+                    waited,
+                    diagnostic,
+                }));
+            }
+            // With parked messages pending, poll at the redelivery tick;
+            // otherwise sleep until a send arrives or the watchdog fires.
+            let wait_for = if st.parked.is_empty() {
+                deadline - now
+            } else {
+                self.config.tick.min(deadline - now)
+            };
+            let (guard, timeout) = shard
+                .arrived
+                .wait_timeout(st, wait_for)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+            if timeout.timed_out() && st.tick_parked() {
+                // Redelivered messages may belong to other tags whose
+                // receivers are also parked on this shard.
+                shard.arrived.notify_all();
+            }
         }
     }
 
-    /// Non-blocking receive (tests and drain checks).
+    fn remove_waiter(st: &mut ShardState<T>, tag: u64, since: Instant) {
+        if let Some(pos) = st
+            .waiters
+            .iter()
+            .position(|w| w.tag == tag && w.since == since)
+        {
+            st.waiters.swap_remove(pos);
+        }
+    }
+
+    /// Snapshot every shard: blocked receives (ours first) and queues
+    /// with undelivered or parked traffic. Locks one shard at a time —
+    /// never called while holding a shard lock.
+    fn snapshot_diagnostic(&self, first: BlockedRecv) -> FabricDiagnostic {
+        let mut blocked = vec![first];
+        let mut queues = Vec::new();
+        for dst in 0..self.ranks {
+            for src in 0..self.ranks {
+                let st = self.shard(dst, src).lock();
+                for w in &st.waiters {
+                    blocked.push(BlockedRecv {
+                        rank: dst,
+                        src,
+                        tag: w.tag,
+                        waited: w.since.elapsed(),
+                    });
+                }
+                let mut per_tag: HashMap<u64, (usize, usize)> = HashMap::new();
+                for &tag in st.queues.keys() {
+                    let live = st.live_depth(tag);
+                    if live > 0 {
+                        per_tag.entry(tag).or_default().0 = live;
+                    }
+                }
+                for p in &st.parked {
+                    per_tag.entry(p.tag).or_default().1 += 1;
+                }
+                let mut tags: Vec<_> = per_tag.into_iter().collect();
+                tags.sort_unstable_by_key(|&(tag, _)| tag);
+                for (tag, (queued, parked)) in tags {
+                    queues.push(QueueStat {
+                        dst,
+                        src,
+                        tag,
+                        queued,
+                        parked,
+                    });
+                }
+            }
+        }
+        // Deterministic ordering for everyone but the reporting receive.
+        blocked[1..].sort_unstable_by_key(|b| (b.rank, b.src, b.tag));
+        FabricDiagnostic { blocked, queues }
+    }
+
+    /// Non-blocking receive (tests and drain checks). Ticks parked
+    /// messages once so fault-delayed traffic stays reachable without a
+    /// blocking receiver.
     pub fn try_recv(&self, me: usize, src: usize, tag: u64) -> Option<Vec<T>> {
-        let mut q = self.shard(me, src).lock();
-        q.get_mut(&tag).and_then(VecDeque::pop_front)
+        let mut st = self.shard(me, src).lock();
+        st.tick_parked();
+        st.take_next(tag)
     }
 
     /// True when rank `me` has no undelivered messages — every schedule
     /// must leave the fabric drained (a leftover message means a send/recv
-    /// mismatch).
+    /// mismatch). Consumed duplicates do not count: only messages a
+    /// receive could still match.
     pub fn is_drained(&self, me: usize) -> bool {
-        (0..self.ranks).all(|src| self.shard(me, src).lock().values().all(VecDeque::is_empty))
+        (0..self.ranks).all(|src| self.shard(me, src).lock().is_drained())
     }
 
     /// Snapshot the traffic counters.
@@ -206,12 +505,18 @@ impl<T: Scalar> NativeFabric<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
     use gpaw_bgp_hw::{ExecMode, Partition};
     use std::sync::Arc;
+    use std::time::Duration;
 
     fn map(nodes: usize, mode: ExecMode) -> CartMap {
         let p = Partition::standard(nodes, mode).unwrap();
         CartMap::best(p, [16, 16, 16])
+    }
+
+    fn recv_ok<T: Scalar>(f: &NativeFabric<T>, me: usize, src: usize, tag: u64) -> Vec<T> {
+        f.recv(me, src, tag).expect("recv within watchdog")
     }
 
     #[test]
@@ -220,9 +525,9 @@ mod tests {
         f.send(0, 1, 7, vec![1.0, 2.0]);
         f.send(0, 1, 7, vec![3.0]);
         f.send(0, 1, 9, vec![4.0]);
-        assert_eq!(f.recv(1, 0, 9), vec![4.0]);
-        assert_eq!(f.recv(1, 0, 7), vec![1.0, 2.0]);
-        assert_eq!(f.recv(1, 0, 7), vec![3.0]);
+        assert_eq!(recv_ok(&f, 1, 0, 9), vec![4.0]);
+        assert_eq!(recv_ok(&f, 1, 0, 7), vec![1.0, 2.0]);
+        assert_eq!(recv_ok(&f, 1, 0, 7), vec![3.0]);
         assert!(f.is_drained(1));
     }
 
@@ -231,7 +536,7 @@ mod tests {
         // One node in virtual mode: 4 ranks, all on the same node.
         let f: NativeFabric<f64> = NativeFabric::new(&map(1, ExecMode::Virtual));
         f.send(0, 3, 1, vec![0.0; 10]);
-        let _ = f.recv(3, 0, 1);
+        let _ = recv_ok(&f, 3, 0, 1);
         let s = f.stats();
         assert_eq!(s.messages_total, 1);
         assert_eq!(s.bytes_per_node_max(), 80);
@@ -246,7 +551,11 @@ mod tests {
         f.send(0, 1, 1, vec![0.0; 4]);
         f.send(0, 1, 2, vec![0.0; 4]);
         f.send(1, 0, 1, vec![0.0; 2]);
-        let _ = (f.recv(1, 0, 1), f.recv(1, 0, 2), f.recv(0, 1, 1));
+        let _ = (
+            recv_ok(&f, 1, 0, 1),
+            recv_ok(&f, 1, 0, 2),
+            recv_ok(&f, 0, 1, 1),
+        );
         let s = f.stats();
         assert_eq!(s.messages_total, 3);
         assert_eq!(s.network_messages_total, 3);
@@ -263,7 +572,7 @@ mod tests {
         let h = std::thread::spawn(move || f2.recv(1, 0, 42));
         std::thread::sleep(std::time::Duration::from_millis(10));
         f.send(0, 1, 42, vec![99.0]);
-        assert_eq!(h.join().unwrap(), vec![99.0]);
+        assert_eq!(h.join().unwrap().unwrap(), vec![99.0]);
     }
 
     #[test]
@@ -281,8 +590,157 @@ mod tests {
             f.send((tag % 2) as usize + 1, 0, tag, vec![tag as f64]);
         }
         for (tag, h) in handles.into_iter().enumerate() {
-            assert_eq!(h.join().unwrap(), vec![tag as f64]);
+            assert_eq!(h.join().unwrap().unwrap(), vec![tag as f64]);
         }
         assert!(f.is_drained(0));
+    }
+
+    #[test]
+    fn fifo_holds_under_concurrent_senders_on_the_same_pair() {
+        // Two sender threads share the (dst=1, src=0) shard on distinct
+        // tags; per-tag FIFO must hold whatever the interleaving.
+        let f: Arc<NativeFabric<f64>> = Arc::new(NativeFabric::new(&map(2, ExecMode::Smp)));
+        const N: usize = 200;
+        let senders: Vec<_> = [10u64, 20u64]
+            .into_iter()
+            .map(|tag| {
+                let f = Arc::clone(&f);
+                std::thread::spawn(move || {
+                    for i in 0..N {
+                        f.send(0, 1, tag, vec![i as f64]);
+                    }
+                })
+            })
+            .collect();
+        for h in senders {
+            h.join().unwrap();
+        }
+        for tag in [10u64, 20u64] {
+            for i in 0..N {
+                assert_eq!(recv_ok(&f, 1, 0, tag), vec![i as f64], "tag {tag} msg {i}");
+            }
+        }
+        assert!(f.is_drained(1));
+    }
+
+    #[test]
+    fn fifo_holds_under_concurrent_senders_with_faults() {
+        let cfg = FabricConfig {
+            watchdog: Duration::from_secs(5),
+            tick: Duration::from_millis(1),
+            plan: Some(FaultPlan::benign(1234)),
+        };
+        let f: Arc<NativeFabric<f64>> =
+            Arc::new(NativeFabric::with_config(&map(2, ExecMode::Smp), cfg));
+        const N: usize = 60;
+        let senders: Vec<_> = [10u64, 20u64]
+            .into_iter()
+            .map(|tag| {
+                let f = Arc::clone(&f);
+                std::thread::spawn(move || {
+                    for i in 0..N {
+                        f.send(0, 1, tag, vec![i as f64]);
+                    }
+                })
+            })
+            .collect();
+        for h in senders {
+            h.join().unwrap();
+        }
+        // Drain both tags concurrently so parked messages of either tag
+        // keep being ticked.
+        let receivers: Vec<_> = [10u64, 20u64]
+            .into_iter()
+            .map(|tag| {
+                let f = Arc::clone(&f);
+                std::thread::spawn(move || {
+                    for i in 0..N {
+                        assert_eq!(
+                            f.recv(1, 0, tag).expect("within watchdog"),
+                            vec![i as f64],
+                            "tag {tag} msg {i}"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in receivers {
+            h.join().unwrap();
+        }
+        assert!(f.is_drained(1));
+        // Exact traffic counts survive duplication and redelivery.
+        assert_eq!(f.stats().messages_total, 2 * N as u64);
+    }
+
+    #[test]
+    fn tag_mismatch_starvation_hits_the_watchdog() {
+        let cfg = FabricConfig {
+            watchdog: Duration::from_millis(150),
+            tick: Duration::from_millis(1),
+            plan: None,
+        };
+        let f: NativeFabric<f64> = NativeFabric::with_config(&map(2, ExecMode::Smp), cfg);
+        f.send(0, 1, 7, vec![1.0]);
+        let start = Instant::now();
+        let err = f.recv(1, 0, 8).expect_err("tag 8 never arrives");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "watchdog too slow"
+        );
+        assert_eq!((err.rank, err.src, err.tag), (1, 0, 8));
+        assert_eq!(err.diagnostic.blocked[0].rank, 1);
+        assert_eq!(err.diagnostic.blocked[0].tag, 8);
+        // The unmatched tag-7 message shows up as undelivered traffic.
+        assert!(err
+            .diagnostic
+            .queues
+            .iter()
+            .any(|q| q.dst == 1 && q.src == 0 && q.tag == 7 && q.queued == 1));
+        let text = err.to_string();
+        assert!(text.contains("recv(src=0, tag=8)"), "{text}");
+    }
+
+    #[test]
+    fn duplicates_are_deduped_and_not_double_counted() {
+        // Find a seed whose first message on this identity duplicates.
+        let mut plan = None;
+        for seed in 0..10_000 {
+            let p = FaultPlan {
+                dup_prob: 0.5,
+                ..FaultPlan::quiet(seed)
+            };
+            if p.action(0, 1, 7, 0) == FaultAction::Duplicate {
+                plan = Some(p);
+                break;
+            }
+        }
+        let plan = plan.expect("a duplicating seed exists in 10k");
+        let cfg = FabricConfig {
+            plan: Some(plan),
+            ..FabricConfig::default()
+        };
+        let f: NativeFabric<f64> = NativeFabric::with_config(&map(2, ExecMode::Smp), cfg);
+        f.send(0, 1, 7, vec![5.0]);
+        f.send(0, 1, 7, vec![6.0]);
+        assert_eq!(recv_ok(&f, 1, 0, 7), vec![5.0]);
+        assert_eq!(recv_ok(&f, 1, 0, 7), vec![6.0]);
+        // The duplicate envelope is consumed state, not receivable data.
+        assert!(f.is_drained(1));
+        assert_eq!(f.stats().messages_total, 2);
+    }
+
+    #[test]
+    fn black_hole_starves_exactly_the_matching_receive() {
+        let cfg = FabricConfig {
+            watchdog: Duration::from_millis(150),
+            tick: Duration::from_millis(1),
+            plan: Some(FaultPlan::quiet(0).with_black_hole(0, 1, 1)),
+        };
+        let f: NativeFabric<f64> = NativeFabric::with_config(&map(2, ExecMode::Smp), cfg);
+        f.send(0, 1, 7, vec![1.0]); // swallowed
+        f.send(1, 0, 7, vec![2.0]); // different pair: unaffected
+        assert_eq!(recv_ok(&f, 0, 1, 7), vec![2.0]);
+        let err = f.recv(1, 0, 7).expect_err("swallowed message");
+        assert_eq!((err.rank, err.src, err.tag), (1, 0, 7));
     }
 }

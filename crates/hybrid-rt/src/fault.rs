@@ -1,0 +1,363 @@
+//! The deterministic fault plane: seeded message perturbation and the
+//! deadlock watchdog's structured diagnostics.
+//!
+//! A [`FaultPlan`] is a pure function from a message's identity
+//! `(src, dst, tag, seq)` and a seed to a [`FaultAction`] — so the fault
+//! schedule of a run is reproducible from its seed alone, independent of
+//! thread interleaving. The plan can
+//!
+//! * **delay** a message (park it for one redelivery tick),
+//! * **drop-with-redelivery** (park it for a bounded number of ticks —
+//!   the message is lost to the first match attempts, then redelivered),
+//! * **duplicate** it (the fabric dedups by per-`(src, tag)` sequence
+//!   number, as the torus DMA engine's packet layer would),
+//!
+//! and, for lethal experiments,
+//!
+//! * **black-hole** one chosen message forever (an unmatched receive),
+//! * **panic** inside one chosen rank's send path (a crashing rank).
+//!
+//! None of the benign actions can break per-`(src, tag)` FIFO order: the
+//! fabric delivers strictly in sequence order, which is exactly the
+//! reordering bound the real torus guarantees. Traffic counters are
+//! charged once per *logical* message, so exact message/byte counts
+//! survive every benign perturbation.
+//!
+//! When a receive cannot complete within the watchdog budget, the fabric
+//! snapshots every shard into a [`FabricDiagnostic`] — the native
+//! counterpart of `gpaw_simmpi`'s loud-deadlock report, sharing its
+//! wording through [`gpaw_simmpi::diag`].
+
+use gpaw_des::SplitMix64;
+use gpaw_simmpi::diag;
+use std::fmt;
+use std::time::Duration;
+
+/// What the fault plane does with one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Deliver immediately (the clean path).
+    Deliver,
+    /// Enqueue the message twice; the receiver dedups by sequence number.
+    Duplicate,
+    /// Hold the message back for `ticks` redelivery ticks before it
+    /// becomes matchable (1 tick models link delay; more model a drop
+    /// followed by bounded retransmission).
+    Park {
+        /// Redelivery ticks the message stays invisible for.
+        ticks: u32,
+    },
+}
+
+/// Swallow the `nth` (1-based) message from `src` to `dst` forever — a
+/// lethal fault: the matching receive starves and must hit the watchdog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlackHole {
+    /// Sending rank.
+    pub src: usize,
+    /// Receiving rank.
+    pub dst: usize,
+    /// Which `src → dst` message (1-based) disappears.
+    pub nth: u64,
+}
+
+/// Panic inside `rank`'s send path once it has already completed
+/// `after_sends` sends — a lethal fault exercising panic containment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PanicInjection {
+    /// The rank whose send panics.
+    pub rank: usize,
+    /// Sends the rank completes before the panicking one.
+    pub after_sends: u64,
+}
+
+/// A seeded, deterministic fault schedule for one native run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the per-message action draws.
+    pub seed: u64,
+    /// Probability a message is parked for one tick (link delay).
+    pub delay_prob: f64,
+    /// Probability a message is duplicated (dedup'd at the receiver).
+    pub dup_prob: f64,
+    /// Probability a message is dropped and redelivered after a bounded
+    /// number of ticks.
+    pub drop_prob: f64,
+    /// Bound on extra redelivery ticks for dropped messages.
+    pub drop_retries: u32,
+    /// Optional lethal fault: one message that never arrives.
+    pub black_hole: Option<BlackHole>,
+    /// Optional lethal fault: one send that panics.
+    pub panic_on_send: Option<PanicInjection>,
+}
+
+impl FaultPlan {
+    /// The standard benign chaos mix: delays, duplicates, and
+    /// drop-with-redelivery, all survivable — bitwise parity and exact
+    /// traffic counts must hold under this plan for any seed.
+    pub fn benign(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            delay_prob: 0.15,
+            dup_prob: 0.10,
+            drop_prob: 0.10,
+            drop_retries: 3,
+            black_hole: None,
+            panic_on_send: None,
+        }
+    }
+
+    /// A plan that perturbs nothing (useful as a base for lethal faults).
+    pub fn quiet(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            delay_prob: 0.0,
+            dup_prob: 0.0,
+            drop_prob: 0.0,
+            drop_retries: 0,
+            black_hole: None,
+            panic_on_send: None,
+        }
+    }
+
+    /// Add a black hole for the `nth` `src → dst` message.
+    pub fn with_black_hole(mut self, src: usize, dst: usize, nth: u64) -> FaultPlan {
+        self.black_hole = Some(BlackHole { src, dst, nth });
+        self
+    }
+
+    /// Add a panic injection in `rank`'s send path after `after_sends`
+    /// completed sends.
+    pub fn with_panic_on_send(mut self, rank: usize, after_sends: u64) -> FaultPlan {
+        self.panic_on_send = Some(PanicInjection { rank, after_sends });
+        self
+    }
+
+    /// The action for one message, a pure function of the plan's seed and
+    /// the message identity — independent of wall clock and interleaving.
+    pub fn action(&self, src: usize, dst: usize, tag: u64, seq: u64) -> FaultAction {
+        let mut state = self.seed;
+        for v in [src as u64, dst as u64, tag, seq] {
+            state = SplitMix64::new(state ^ v.wrapping_mul(0xA24B_AED4_963E_E407)).next_u64();
+        }
+        let mut rng = SplitMix64::new(state);
+        let f = rng.next_f64();
+        if f < self.drop_prob {
+            // Dropped once, then redelivered within the retry bound.
+            FaultAction::Park {
+                ticks: 2 + rng.next_below(u64::from(self.drop_retries)) as u32,
+            }
+        } else if f < self.drop_prob + self.delay_prob {
+            FaultAction::Park { ticks: 1 }
+        } else if f < self.drop_prob + self.delay_prob + self.dup_prob {
+            FaultAction::Duplicate
+        } else {
+            FaultAction::Deliver
+        }
+    }
+}
+
+/// Runtime knobs of one [`crate::NativeFabric`]: the deadlock watchdog,
+/// the redelivery tick, and the optional fault plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FabricConfig {
+    /// How long a receive may block before the watchdog declares it
+    /// deadlocked and returns a [`FabricDiagnostic`].
+    pub watchdog: Duration,
+    /// Granularity of parked-message redelivery (and of watchdog polls
+    /// while parked messages exist).
+    pub tick: Duration,
+    /// The fault schedule; `None` is the clean fabric.
+    pub plan: Option<FaultPlan>,
+}
+
+impl Default for FabricConfig {
+    fn default() -> FabricConfig {
+        FabricConfig {
+            watchdog: Duration::from_secs(30),
+            tick: Duration::from_millis(1),
+            plan: None,
+        }
+    }
+}
+
+/// One receive the watchdog found blocked at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockedRecv {
+    /// The rank whose receive is blocked.
+    pub rank: usize,
+    /// The awaited source rank.
+    pub src: usize,
+    /// The awaited tag.
+    pub tag: u64,
+    /// How long the receive has been blocked.
+    pub waited: Duration,
+}
+
+impl fmt::Display for BlockedRecv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rank {} blocked {}ms on {}",
+            self.rank,
+            self.waited.as_millis(),
+            diag::pending_recv(self.src, self.tag)
+        )
+    }
+}
+
+/// Undelivered traffic on one `(dst, src, tag)` queue at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueStat {
+    /// Receiving rank of the shard.
+    pub dst: usize,
+    /// Sending rank of the shard.
+    pub src: usize,
+    /// Message tag.
+    pub tag: u64,
+    /// Matchable messages waiting in the live queue.
+    pub queued: usize,
+    /// Messages parked by the fault plan, not yet matchable.
+    pub parked: usize,
+}
+
+/// A structured snapshot of the whole fabric, taken when a receive hits
+/// the watchdog: every blocked receive (rank, awaited `(src, tag)`, time
+/// blocked) and every non-empty queue — the native plane's counterpart of
+/// the timed machine's deadlock report.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FabricDiagnostic {
+    /// Receives blocked at snapshot time, the watchdog's own first.
+    pub blocked: Vec<BlockedRecv>,
+    /// Queues with undelivered or parked traffic.
+    pub queues: Vec<QueueStat>,
+}
+
+impl fmt::Display for FabricDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}:", diag::stuck_header(self.blocked.len(), "receives"))?;
+        for b in &self.blocked {
+            writeln!(f, "  {b}")?;
+        }
+        if self.queues.is_empty() {
+            writeln!(
+                f,
+                "  no undelivered traffic (matching sends were never posted)"
+            )?;
+        } else {
+            writeln!(f, "undelivered traffic:")?;
+            for q in &self.queues {
+                writeln!(
+                    f,
+                    "  {} -> {} tag {}: {} queued, {} parked",
+                    q.src, q.dst, q.tag, q.queued, q.parked
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A receive that hit the deadlock watchdog instead of completing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecvTimeout {
+    /// The rank whose receive timed out.
+    pub rank: usize,
+    /// The awaited source rank.
+    pub src: usize,
+    /// The awaited tag.
+    pub tag: u64,
+    /// How long the receive waited before giving up.
+    pub waited: Duration,
+    /// The fabric-wide snapshot at expiry.
+    pub diagnostic: FabricDiagnostic,
+}
+
+impl fmt::Display for RecvTimeout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "watchdog: rank {} gave up after {}ms waiting on {}\n{}",
+            self.rank,
+            self.waited.as_millis(),
+            diag::pending_recv(self.src, self.tag),
+            self.diagnostic
+        )
+    }
+}
+
+impl std::error::Error for RecvTimeout {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actions_are_deterministic_per_message_identity() {
+        let plan = FaultPlan::benign(42);
+        for seq in 0..50 {
+            assert_eq!(plan.action(0, 1, 7, seq), plan.action(0, 1, 7, seq));
+        }
+    }
+
+    #[test]
+    fn seeds_change_the_schedule() {
+        let a = FaultPlan::benign(1);
+        let b = FaultPlan::benign(2);
+        let differs = (0..200).any(|seq| a.action(0, 1, 7, seq) != b.action(0, 1, 7, seq));
+        assert!(
+            differs,
+            "two seeds produced identical 200-message schedules"
+        );
+    }
+
+    #[test]
+    fn quiet_plan_always_delivers() {
+        let plan = FaultPlan::quiet(9);
+        for seq in 0..100 {
+            assert_eq!(plan.action(3, 0, seq, seq), FaultAction::Deliver);
+        }
+    }
+
+    #[test]
+    fn benign_mix_hits_every_action_kind() {
+        let plan = FaultPlan::benign(7);
+        let mut saw_dup = false;
+        let mut saw_park = false;
+        let mut saw_deliver = false;
+        for seq in 0..400 {
+            match plan.action(0, 1, 3, seq) {
+                FaultAction::Duplicate => saw_dup = true,
+                FaultAction::Park { ticks } => {
+                    assert!(ticks >= 1 && ticks <= 2 + plan.drop_retries);
+                    saw_park = true;
+                }
+                FaultAction::Deliver => saw_deliver = true,
+            }
+        }
+        assert!(saw_dup && saw_park && saw_deliver);
+    }
+
+    #[test]
+    fn diagnostic_display_names_rank_and_pending_recv() {
+        let d = FabricDiagnostic {
+            blocked: vec![BlockedRecv {
+                rank: 1,
+                src: 0,
+                tag: 77,
+                waited: Duration::from_millis(250),
+            }],
+            queues: vec![QueueStat {
+                dst: 1,
+                src: 0,
+                tag: 3,
+                queued: 2,
+                parked: 1,
+            }],
+        };
+        let text = d.to_string();
+        assert!(text.contains("recv(src=0, tag=77)"), "{text}");
+        assert!(text.contains("rank 1 blocked 250ms"), "{text}");
+        assert!(text.contains("0 -> 1 tag 3: 2 queued, 1 parked"), "{text}");
+    }
+}

@@ -12,30 +12,49 @@
 //!
 //! * [`fabric`] — the in-process MPI stand-in: sharded `(dst, src)`
 //!   mailboxes (no cross-pair contention) with atomic intra/inter-node
-//!   traffic accounting;
+//!   traffic accounting, per-`(src, tag)` FIFO enforced by sequence
+//!   numbers, a deadlock watchdog on every receive, and an optional
+//!   seeded fault plan;
+//! * [`fault`] — the deterministic fault plane: [`FaultPlan`] (delay,
+//!   duplicate, drop-with-redelivery, lethal black holes and injected
+//!   panics — all a pure function of seed + message identity) and the
+//!   watchdog's structured [`FabricDiagnostic`] snapshot;
+//! * [`error`] — the failure channel: [`RunError`] / [`RankFailure`] /
+//!   [`StrategyError`], so no failure mode panics the process or hangs a
+//!   condvar;
 //! * [`strategy`] — the four interchangeable [`Strategy`] schedules:
 //!   [`FlatOriginal`] (blocking dim-by-dim exchange), [`FlatOptimized`]
 //!   (non-blocking all-dims + batching + double buffering),
 //!   [`HybridMultiple`] (whole grids per thread, per-thread comm
 //!   endpoints, one barrier per sweep), [`HybridMasterOnly`]
 //!   (master-thread comm, persistent slab-compute pool, two barrier waits
-//!   per batch);
+//!   per batch) — each draining its barriers on failure so a dead thread
+//!   never strands its siblings;
 //! * [`runtime`] — [`run_native`]: geometry + synthetic fill + per-rank
-//!   threads, returning grids, a [`gpaw_simmpi::RunReport`], and raw span
-//!   timelines;
+//!   threads under `catch_unwind`, returning grids, a
+//!   [`gpaw_simmpi::RunReport`], and raw span timelines;
 //! * [`report`] — the mapping onto the timed plane's report shape, so
 //!   native runs flow through the same JSON emission and perf gate.
 //!
 //! Every strategy is validated bitwise against the sequential reference
-//! and the functional plane (`tests/parity.rs`); the span ledgers satisfy
-//! the same conservation invariant as simulated runs.
+//! and the functional plane (`tests/parity.rs`) — both on a quiet fabric
+//! and under seeded fault schedules (`tests/chaos.rs`); the span ledgers
+//! satisfy the same conservation invariant as simulated runs.
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod error;
 pub mod fabric;
+pub mod fault;
 pub mod report;
 pub mod runtime;
 pub mod strategy;
 
+pub use error::{FailureKind, RankFailure, RunError, StrategyError};
 pub use fabric::{FabricStats, NativeFabric};
+pub use fault::{
+    BlackHole, FabricConfig, FabricDiagnostic, FaultAction, FaultPlan, PanicInjection, RecvTimeout,
+};
 pub use report::native_run_report;
 pub use runtime::{run_native, NativeJob, NativeRun};
 pub use strategy::{

@@ -7,12 +7,21 @@
 //! the functional executor. The outcome carries the final grids (for
 //! bitwise validation), a [`RunReport`] in the timed plane's shape, and
 //! the raw per-thread span timelines (for the Chrome exporter).
+//!
+//! Every rank thread runs under `catch_unwind`: a panicking rank, a
+//! receive that hits the deadlock watchdog, or an undrained fabric turns
+//! into a [`RunError::Failed`] listing every rank's failure (worst first)
+//! instead of aborting or hanging the process. The fault plane is wired
+//! in through [`NativeJob::with_fault`] and
+//! [`NativeJob::with_watchdog_ms`].
 
+use crate::error::{panic_message, FailureKind, RankFailure, RunError};
 use crate::fabric::NativeFabric;
+use crate::fault::{FabricConfig, FaultPlan};
 use crate::report::native_run_report;
 use crate::strategy::{RankCtx, Strategy, ThreadResult};
 use gpaw_bgp_hw::spec::STENCIL_FLOPS_PER_POINT;
-use gpaw_bgp_hw::{CartMap, MapError, Partition};
+use gpaw_bgp_hw::{CartMap, Partition};
 use gpaw_des::SimDuration;
 use gpaw_fd::config::{Approach, FdConfig};
 use gpaw_fd::exec::SyntheticFill;
@@ -23,7 +32,8 @@ use gpaw_grid::gridset::GridSet;
 use gpaw_grid::scalar::Scalar;
 use gpaw_grid::stencil::{BoundaryCond, StencilCoeffs};
 use gpaw_simmpi::RunReport;
-use std::time::Instant;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 /// Parameters of one native run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,11 +58,17 @@ pub struct NativeJob {
     pub bc: BoundaryCond,
     /// Grid spacing per axis (Laplacian coefficients).
     pub spacing: [f64; 3],
+    /// Deadlock-watchdog budget per receive, in milliseconds. A receive
+    /// that waits longer fails the run with a fabric snapshot instead of
+    /// hanging.
+    pub watchdog_ms: u64,
+    /// Optional deterministic fault plan perturbing the fabric.
+    pub fault: Option<FaultPlan>,
 }
 
 impl NativeJob {
     /// A job with the paper's defaults: periodic boundaries, 4 threads,
-    /// seed 42, one sweep, batch of 4.
+    /// seed 42, one sweep, batch of 4, a 30 s watchdog, no faults.
     pub fn new(grid_ext: [usize; 3], n_grids: usize, nodes: usize) -> NativeJob {
         NativeJob {
             grid_ext,
@@ -64,6 +80,8 @@ impl NativeJob {
             sweeps: 1,
             bc: BoundaryCond::Periodic,
             spacing: [0.2, 0.25, 0.3],
+            watchdog_ms: 30_000,
+            fault: None,
         }
     }
 
@@ -76,6 +94,18 @@ impl NativeJob {
     /// Set the sweep count.
     pub fn with_sweeps(mut self, sweeps: usize) -> NativeJob {
         self.sweeps = sweeps;
+        self
+    }
+
+    /// Inject a deterministic fault plan into the run's fabric.
+    pub fn with_fault(mut self, plan: FaultPlan) -> NativeJob {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Set the deadlock-watchdog budget per receive.
+    pub fn with_watchdog_ms(mut self, ms: u64) -> NativeJob {
+        self.watchdog_ms = ms;
         self
     }
 
@@ -107,19 +137,35 @@ pub struct NativeRun<T: Scalar> {
     pub map: CartMap,
 }
 
+/// Order rank failures worst-first: panics, then watchdog timeouts, then
+/// undrained fabrics; by rank within a class. The first element is what
+/// a caller that only looks at one failure should see.
+fn severity(kind: &FailureKind) -> u8 {
+    match kind {
+        FailureKind::Panic(_) => 0,
+        FailureKind::RecvTimeout(_) => 1,
+        FailureKind::Undrained => 2,
+    }
+}
+
 /// Execute `job` under `strategy` on real OS threads.
 ///
-/// Returns [`MapError::ThreadCountNotDivisor`] when the job's thread
-/// count does not evenly divide the cores one process drives (e.g. 3
-/// threads on a 4-core node).
+/// Fails with [`RunError::Map`] when the job's thread count does not
+/// evenly divide the cores one process drives (e.g. 3 threads on a 4-core
+/// node), [`RunError::UnsupportedNodeCount`] for a node count without a
+/// standard partition, and [`RunError::Failed`] when any rank panicked,
+/// timed out on a receive, or left the fabric undrained — the process
+/// neither aborts nor hangs.
 pub fn run_native<T: SyntheticFill>(
     job: &NativeJob,
     strategy: &dyn Strategy<T>,
-) -> Result<NativeRun<T>, MapError> {
-    assert!(job.n_grids > 0, "a job needs at least one grid");
+) -> Result<NativeRun<T>, RunError> {
+    if job.n_grids == 0 {
+        return Err(RunError::NoGrids);
+    }
     let approach = strategy.approach();
     let partition = Partition::standard(job.nodes, approach.exec_mode())
-        .unwrap_or_else(|| panic!("unsupported node count {}", job.nodes));
+        .ok_or(RunError::UnsupportedNodeCount { nodes: job.nodes })?;
     let map = CartMap::best(partition, job.grid_ext);
     let threads = match approach {
         Approach::HybridMultiple | Approach::HybridMasterOnly => job.threads,
@@ -129,55 +175,101 @@ pub fn run_native<T: SyntheticFill>(
     let cfg = job.config(approach);
     let coef = StencilCoeffs::laplacian(job.spacing);
     let halo = StencilCoeffs::HALO;
-    let fabric: NativeFabric<T> = NativeFabric::new(&map);
+    let fabric_cfg = FabricConfig {
+        watchdog: Duration::from_millis(job.watchdog_ms),
+        plan: job.fault,
+        ..FabricConfig::default()
+    };
+    let fabric: NativeFabric<T> = NativeFabric::with_config(&map, fabric_cfg);
     let ranks = map.ranks();
     let epoch = Instant::now();
 
-    let (sets, mut all_results) = std::thread::scope(|s| {
+    type RankOutcome<T> = Result<(GridSet<T>, Vec<ThreadResult>), RankFailure>;
+    let outcomes: Vec<RankOutcome<T>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..ranks)
             .map(|rank| {
                 let fabric = &fabric;
                 let map = &map;
                 let coef = &coef;
                 let cfg = &cfg;
-                s.spawn(move || {
-                    let plan = RankPlan::for_rank(map, job.grid_ext, rank, T::BYTES, cfg);
-                    let mut inputs: Vec<Grid3<T>> = Vec::with_capacity(job.n_grids);
-                    for g in 0..job.n_grids {
-                        let mut grid = Grid3::zeros(plan.sub.ext, halo);
-                        T::fill(&mut grid, &plan.sub, job.grid_ext, job.seed, g);
-                        inputs.push(grid);
+                s.spawn(move || -> RankOutcome<T> {
+                    let run = catch_unwind(AssertUnwindSafe(|| {
+                        let plan = RankPlan::for_rank(map, job.grid_ext, rank, T::BYTES, cfg);
+                        let mut inputs: Vec<Grid3<T>> = Vec::with_capacity(job.n_grids);
+                        for g in 0..job.n_grids {
+                            let mut grid = Grid3::zeros(plan.sub.ext, halo);
+                            T::fill(&mut grid, &plan.sub, job.grid_ext, job.seed, g);
+                            inputs.push(grid);
+                        }
+                        let outputs: Vec<Grid3<T>> = (0..job.n_grids)
+                            .map(|_| Grid3::zeros(plan.sub.ext, halo))
+                            .collect();
+                        let ctx = RankCtx {
+                            fabric,
+                            plan: &plan,
+                            coef,
+                            cfg,
+                            threads,
+                            epoch,
+                        };
+                        strategy.run_rank(&ctx, inputs, outputs)
+                    }));
+                    match run {
+                        Ok(Ok((grids, results))) => {
+                            if fabric.is_drained(rank) {
+                                Ok((GridSet::from_grids(grids), results))
+                            } else {
+                                Err(RankFailure {
+                                    rank,
+                                    phase: "drain",
+                                    kind: FailureKind::Undrained,
+                                })
+                            }
+                        }
+                        Ok(Err(e)) => Err(e.into_rank_failure(rank)),
+                        Err(p) => Err(RankFailure {
+                            rank,
+                            phase: "run",
+                            kind: FailureKind::Panic(panic_message(p.as_ref())),
+                        }),
                     }
-                    let outputs: Vec<Grid3<T>> = (0..job.n_grids)
-                        .map(|_| Grid3::zeros(plan.sub.ext, halo))
-                        .collect();
-                    let ctx = RankCtx {
-                        fabric,
-                        plan: &plan,
-                        coef,
-                        cfg,
-                        threads,
-                        epoch,
-                    };
-                    let (grids, results) = strategy.run_rank(&ctx, inputs, outputs);
-                    assert!(
-                        fabric.is_drained(rank),
-                        "rank {rank}: fabric not drained — schedule mismatch"
-                    );
-                    (GridSet::from_grids(grids), results)
                 })
             })
             .collect();
-        let mut sets = Vec::with_capacity(ranks);
-        let mut all: Vec<ThreadResult> = Vec::new();
-        for h in handles {
-            let (set, results) = h.join().expect("rank thread panicked");
-            sets.push(set);
-            all.extend(results);
-        }
-        (sets, all)
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(rank, h)| match h.join() {
+                Ok(outcome) => outcome,
+                Err(p) => Err(RankFailure {
+                    rank,
+                    phase: "join",
+                    kind: FailureKind::Panic(panic_message(p.as_ref())),
+                }),
+            })
+            .collect()
     });
     let makespan = SimDuration::from_ns(epoch.elapsed().as_nanos() as u64);
+
+    let mut sets = Vec::with_capacity(ranks);
+    let mut all_results: Vec<ThreadResult> = Vec::new();
+    let mut failures: Vec<RankFailure> = Vec::new();
+    for outcome in outcomes {
+        match outcome {
+            Ok((set, results)) => {
+                sets.push(set);
+                all_results.extend(results);
+            }
+            Err(f) => failures.push(f),
+        }
+    }
+    if !failures.is_empty() {
+        failures.sort_by_key(|f| (severity(&f.kind), f.rank));
+        return Err(RunError::Failed {
+            strategy: strategy.name(),
+            failures,
+        });
+    }
 
     all_results.sort_by_key(|r| (r.phases.rank, r.phases.slot));
     let timelines: Vec<ThreadSpans> = all_results
@@ -212,11 +304,31 @@ mod tests {
             .expect("3 of 4 must fail");
         assert!(matches!(
             err,
-            MapError::ThreadCountNotDivisor {
+            RunError::Map(MapError::ThreadCountNotDivisor {
                 threads: 3,
                 cores: 4
-            }
+            })
         ));
+    }
+
+    #[test]
+    fn unsupported_node_counts_are_an_error_not_a_panic() {
+        let job = NativeJob::new([12, 12, 12], 2, 3);
+        let err = run_native::<f64>(&job, &HybridMultiple)
+            .err()
+            .expect("3 nodes has no standard partition");
+        assert!(matches!(err, RunError::UnsupportedNodeCount { nodes: 3 }));
+        assert!(err.to_string().contains("unsupported node count 3"));
+    }
+
+    #[test]
+    fn zero_grid_jobs_are_rejected() {
+        let mut job = NativeJob::new([12, 12, 12], 1, 1);
+        job.n_grids = 0;
+        let err = run_native::<f64>(&job, &HybridMultiple)
+            .err()
+            .expect("no grids must fail");
+        assert!(matches!(err, RunError::NoGrids));
     }
 
     #[test]

@@ -15,8 +15,20 @@
 //! [`SpanKind`] vocabulary, so native runs report phases the same way the
 //! timed machine does — including [`SpanKind::ThreadBarrier`] time that
 //! the functional plane's ephemeral spawns cannot observe.
+//!
+//! **Failure containment.** [`Strategy::run_rank`] returns a
+//! [`StrategyError`] instead of panicking: a receive that hits the
+//! deadlock watchdog, or a panicking endpoint/pool thread, terminates the
+//! rank cleanly. The multi-thread schedules *drain* their barriers on
+//! failure — a failed thread stops communicating and computing but keeps
+//! arriving at every remaining barrier, so its siblings can never
+//! deadlock on a peer that died. The barrier count per thread is static
+//! (one per sweep for hybrid multiple, two per non-empty batch per sweep
+//! for master-only), which is what makes the drain bounded.
 
+use crate::error::{panic_message, StrategyError};
 use crate::fabric::NativeFabric;
+use crate::fault::RecvTimeout;
 use gpaw_bgp_hw::topology::{Dir, LinkDir};
 use gpaw_fd::config::{Approach, FdConfig};
 use gpaw_fd::exec::SyntheticFill;
@@ -26,6 +38,7 @@ use gpaw_grid::grid3::Grid3;
 use gpaw_grid::halo::{pack_batch, unpack_batch, zero_face, Side};
 use gpaw_grid::scalar::Scalar;
 use gpaw_grid::stencil::{apply, apply_slab, slab_bounds, StencilCoeffs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Barrier, Mutex};
 use std::time::Instant;
 
@@ -73,13 +86,16 @@ pub trait Strategy<T: SyntheticFill>: Sync {
 
     /// Execute one rank: consume its filled input grids (and scratch
     /// outputs), return the final grids in global order plus one
-    /// [`ThreadResult`] per thread the schedule ran.
+    /// [`ThreadResult`] per thread the schedule ran — or a structured
+    /// [`StrategyError`] when a receive hit the watchdog or a thread of
+    /// the schedule panicked. Failure never deadlocks: the schedule's
+    /// own barriers are drained before the error is returned.
     fn run_rank(
         &self,
         ctx: &RankCtx<'_, T>,
         inputs: Vec<Grid3<T>>,
         outputs: Vec<Grid3<T>>,
-    ) -> (Vec<Grid3<T>>, Vec<ThreadResult>);
+    ) -> Result<(Vec<Grid3<T>>, Vec<ThreadResult>), StrategyError>;
 }
 
 /// All four strategies, in the paper's figure order.
@@ -144,7 +160,9 @@ fn send_batch<T: Scalar>(
 }
 
 /// Receive and unpack the face data of one batch along the given
-/// directions (zero-filling ghost planes at non-periodic edges).
+/// directions (zero-filling ghost planes at non-periodic edges). A
+/// receive that hits the deadlock watchdog aborts the batch with the
+/// timeout's diagnostic.
 #[allow(clippy::too_many_arguments)] // mirrors the schedule's parameter list
 fn recv_batch<T: Scalar>(
     fabric: &NativeFabric<T>,
@@ -155,7 +173,7 @@ fn recv_batch<T: Scalar>(
     sweep: usize,
     dirs: &[LinkDir],
     tr: &mut WallTracer,
-) {
+) -> Result<(), Box<RecvTimeout>> {
     for &ld in dirs {
         match plan.neighbors[ld.index()] {
             Some(nb) => {
@@ -166,8 +184,9 @@ fn recv_batch<T: Scalar>(
                     dir: ld.dir.opposite(),
                 };
                 tr.open(SpanKind::Wait);
-                let buf = fabric.recv(plan.rank, nb, message_tag(sweep, first_global, travel));
+                let res = fabric.recv(plan.rank, nb, message_tag(sweep, first_global, travel));
                 tr.close();
+                let buf = res?;
                 tr.open(SpanKind::HaloUnpack);
                 unpack_batch(grids, local_ids, ld.axis.index(), recv_side(ld.dir), &buf);
                 tr.close();
@@ -181,21 +200,23 @@ fn recv_batch<T: Scalar>(
             }
         }
     }
+    Ok(())
 }
 
 /// Run `sweeps` sweeps via `one_sweep(inputs, outputs, sweep)`, swapping
-/// the roles between sweeps; returns the grids holding the final result.
+/// the roles between sweeps; returns the grids holding the final result,
+/// or the first receive timeout.
 fn run_sweeps<T: Scalar>(
     mut inputs: Vec<Grid3<T>>,
     mut outputs: Vec<Grid3<T>>,
     sweeps: usize,
-    mut one_sweep: impl FnMut(&mut [Grid3<T>], &mut [Grid3<T>], usize),
-) -> Vec<Grid3<T>> {
+    mut one_sweep: impl FnMut(&mut [Grid3<T>], &mut [Grid3<T>], usize) -> Result<(), Box<RecvTimeout>>,
+) -> Result<Vec<Grid3<T>>, Box<RecvTimeout>> {
     for sweep in 0..sweeps {
-        one_sweep(&mut inputs, &mut outputs, sweep);
+        one_sweep(&mut inputs, &mut outputs, sweep)?;
         std::mem::swap(&mut inputs, &mut outputs);
     }
-    inputs
+    Ok(inputs)
 }
 
 /// One sweep of the batched, simultaneous-exchange schedule (§V): all
@@ -212,7 +233,7 @@ fn sweep_batched<T: Scalar>(
     sweep: usize,
     double_buffer: bool,
     tr: &mut WallTracer,
-) {
+) -> Result<(), Box<RecvTimeout>> {
     let ids_of = |b: usize| -> Vec<usize> {
         let (s, e) = batches.range(b);
         (s..e).collect()
@@ -269,13 +290,14 @@ fn sweep_batched<T: Scalar>(
             sweep,
             &LinkDir::ALL,
             tr,
-        );
+        )?;
         tr.open(SpanKind::Compute);
         for g in ids_of(b) {
             apply(coef, &inputs[g], &mut outputs[g]);
         }
         tr.close();
     }
+    Ok(())
 }
 
 /// *Flat original* (§IV-A): one thread per rank, blocking
@@ -292,20 +314,24 @@ impl<T: SyntheticFill> Strategy<T> for FlatOriginal {
         ctx: &RankCtx<'_, T>,
         inputs: Vec<Grid3<T>>,
         outputs: Vec<Grid3<T>>,
-    ) -> (Vec<Grid3<T>>, Vec<ThreadResult>) {
+    ) -> Result<(Vec<Grid3<T>>, Vec<ThreadResult>), StrategyError> {
         let mut tr = WallTracer::new(ctx.epoch);
         let r = run_sweeps(inputs, outputs, ctx.cfg.sweeps, |i, o, sweep| {
             for g in 0..i.len() {
                 for pair in LinkDir::ALL.chunks(2) {
                     send_batch(ctx.fabric, ctx.plan, i, &[g], g, sweep, pair, &mut tr);
-                    recv_batch(ctx.fabric, ctx.plan, i, &[g], g, sweep, pair, &mut tr);
+                    recv_batch(ctx.fabric, ctx.plan, i, &[g], g, sweep, pair, &mut tr)?;
                 }
                 tr.open(SpanKind::Compute);
                 apply(ctx.coef, &i[g], &mut o[g]);
                 tr.close();
             }
+            Ok(())
         });
-        (r, vec![finish_thread(tr, ctx.plan.rank, 0)])
+        match r {
+            Ok(grids) => Ok((grids, vec![finish_thread(tr, ctx.plan.rank, 0)])),
+            Err(e) => Err(StrategyError::Recv(e)),
+        }
     }
 }
 
@@ -323,7 +349,7 @@ impl<T: SyntheticFill> Strategy<T> for FlatOptimized {
         ctx: &RankCtx<'_, T>,
         inputs: Vec<Grid3<T>>,
         outputs: Vec<Grid3<T>>,
-    ) -> (Vec<Grid3<T>>, Vec<ThreadResult>) {
+    ) -> Result<(Vec<Grid3<T>>, Vec<ThreadResult>), StrategyError> {
         let mut tr = WallTracer::new(ctx.epoch);
         let batches = Batches::build(inputs.len(), ctx.cfg);
         let r = run_sweeps(inputs, outputs, ctx.cfg.sweeps, |i, o, sweep| {
@@ -340,7 +366,10 @@ impl<T: SyntheticFill> Strategy<T> for FlatOptimized {
                 &mut tr,
             )
         });
-        (r, vec![finish_thread(tr, ctx.plan.rank, 0)])
+        match r {
+            Ok(grids) => Ok((grids, vec![finish_thread(tr, ctx.plan.rank, 0)])),
+            Err(e) => Err(StrategyError::Recv(e)),
+        }
     }
 }
 
@@ -359,7 +388,7 @@ impl<T: SyntheticFill> Strategy<T> for HybridMultiple {
         ctx: &RankCtx<'_, T>,
         inputs: Vec<Grid3<T>>,
         outputs: Vec<Grid3<T>>,
-    ) -> (Vec<Grid3<T>>, Vec<ThreadResult>) {
+    ) -> Result<(Vec<Grid3<T>>, Vec<ThreadResult>), StrategyError> {
         let threads = ctx.threads;
         let n_grids = inputs.len();
         let mut in_parts: Vec<Vec<Grid3<T>>> = (0..threads).map(|_| Vec::new()).collect();
@@ -372,57 +401,96 @@ impl<T: SyntheticFill> Strategy<T> for HybridMultiple {
         }
 
         let barrier = Barrier::new(threads);
-        let mut results: Vec<Option<(Vec<Grid3<T>>, ThreadResult)>> =
-            (0..threads).map(|_| None).collect();
-        std::thread::scope(|s| {
+        type EndpointOutcome<T> = Result<(Vec<Grid3<T>>, ThreadResult), StrategyError>;
+        let outcomes: Vec<EndpointOutcome<T>> = std::thread::scope(|s| {
             let mut handles = Vec::new();
-            for (t, (ins, outs)) in in_parts.drain(..).zip(out_parts.drain(..)).enumerate() {
+            for (t, (mut ins, mut outs)) in in_parts.drain(..).zip(out_parts.drain(..)).enumerate()
+            {
                 let barrier = &barrier;
-                handles.push(s.spawn(move || {
+                handles.push(s.spawn(move || -> EndpointOutcome<T> {
                     let mut tr = WallTracer::new(ctx.epoch);
                     let asg = GridAssignment::round_robin(n_grids, t, threads);
                     debug_assert_eq!(asg.count, ins.len());
                     let batches = Batches::build(asg.count, ctx.cfg);
-                    let r = run_sweeps(ins, outs, ctx.cfg.sweeps, |i, o, sweep| {
-                        sweep_batched(
-                            ctx.fabric,
-                            ctx.plan,
-                            ctx.coef,
-                            i,
-                            o,
-                            &batches,
-                            &|local| asg.id(local),
-                            sweep,
-                            ctx.cfg.double_buffer,
-                            &mut tr,
-                        );
-                        // §VI: the one synchronization per sweep.
-                        tr.open(SpanKind::ThreadBarrier);
-                        barrier.wait();
-                        tr.close();
-                    });
-                    (r, finish_thread(tr, ctx.plan.rank, t))
+                    let mut err: Option<StrategyError> = None;
+                    for sweep in 0..ctx.cfg.sweeps {
+                        if err.is_none() {
+                            let r = catch_unwind(AssertUnwindSafe(|| {
+                                sweep_batched(
+                                    ctx.fabric,
+                                    ctx.plan,
+                                    ctx.coef,
+                                    &mut ins,
+                                    &mut outs,
+                                    &batches,
+                                    &|local| asg.id(local),
+                                    sweep,
+                                    ctx.cfg.double_buffer,
+                                    &mut tr,
+                                )
+                            }));
+                            match r {
+                                Ok(Ok(())) => std::mem::swap(&mut ins, &mut outs),
+                                Ok(Err(e)) => {
+                                    tr.close_all();
+                                    err = Some(StrategyError::Recv(e));
+                                }
+                                Err(p) => {
+                                    tr.close_all();
+                                    err = Some(StrategyError::ThreadPanic {
+                                        slot: t,
+                                        message: panic_message(p.as_ref()),
+                                    });
+                                }
+                            }
+                        }
+                        // §VI: the one synchronization per sweep. A failed
+                        // endpoint keeps arriving here (untraced) so its
+                        // siblings drain instead of deadlocking.
+                        if err.is_none() {
+                            tr.open(SpanKind::ThreadBarrier);
+                            barrier.wait();
+                            tr.close();
+                        } else {
+                            barrier.wait();
+                        }
+                    }
+                    match err {
+                        None => Ok((ins, finish_thread(tr, ctx.plan.rank, t))),
+                        Some(e) => Err(e),
+                    }
                 }));
             }
-            for (t, h) in handles.into_iter().enumerate() {
-                results[t] = Some(h.join().expect("hybrid thread panicked"));
-            }
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(t, h)| match h.join() {
+                    Ok(outcome) => outcome,
+                    Err(p) => Err(StrategyError::ThreadPanic {
+                        slot: t,
+                        message: panic_message(p.as_ref()),
+                    }),
+                })
+                .collect()
         });
 
-        // Interleave back into global grid order.
+        // Interleave back into global grid order (or surface the first
+        // endpoint failure).
         let mut thread_results = Vec::with_capacity(threads);
-        let mut iters: Vec<_> = results
-            .into_iter()
-            .map(|r| {
-                let (grids, tres) = r.expect("all threads joined");
-                thread_results.push(tres);
-                grids.into_iter()
-            })
-            .collect();
-        let grids = (0..n_grids)
-            .map(|g| iters[g % threads].next().expect("round robin exhausted"))
-            .collect();
-        (grids, thread_results)
+        let mut parts: Vec<std::vec::IntoIter<Grid3<T>>> = Vec::with_capacity(threads);
+        for outcome in outcomes {
+            let (grids, tres) = outcome?;
+            thread_results.push(tres);
+            parts.push(grids.into_iter());
+        }
+        let mut grids = Vec::with_capacity(n_grids);
+        for g in 0..n_grids {
+            match parts[g % threads].next() {
+                Some(grid) => grids.push(grid),
+                None => unreachable!("round robin exhausted"),
+            }
+        }
+        Ok((grids, thread_results))
     }
 }
 
@@ -480,7 +548,10 @@ fn publish_slab_tasks<T: Scalar>(
     for &gid in ids {
         debug_assert!(gid >= offset);
         let (_skip, tail) = rest.split_at_mut(gid - offset);
-        let (grid, tail2) = tail.split_first_mut().expect("batch id in range");
+        let (grid, tail2) = match tail.split_first_mut() {
+            Some(pair) => pair,
+            None => unreachable!("batch id in range"),
+        };
         for (t, slab) in grid.split_x_slabs(cuts).into_iter().enumerate() {
             let len = slab.len();
             per_slot[t].push(SlabTask {
@@ -520,12 +591,14 @@ impl<T: SyntheticFill> Strategy<T> for HybridMasterOnly {
         ctx: &RankCtx<'_, T>,
         inputs: Vec<Grid3<T>>,
         outputs: Vec<Grid3<T>>,
-    ) -> (Vec<Grid3<T>>, Vec<ThreadResult>) {
+    ) -> Result<(Vec<Grid3<T>>, Vec<ThreadResult>), StrategyError> {
         let threads = ctx.threads;
         let batches = Batches::build(inputs.len(), ctx.cfg);
         let nonempty = (0..batches.len()).filter(|&b| batches.size(b) > 0).count();
         // The pool protocol is fully static: every thread knows the exact
-        // barrier count upfront, so no shutdown signal is needed.
+        // barrier count upfront, so no shutdown signal is needed — and a
+        // failing master can drain the remaining barrier pairs with empty
+        // task slots instead of stranding the pool.
         let iterations = ctx.cfg.sweeps * nonempty;
         let nx = inputs[0].n()[0];
         let bounds = slab_bounds(nx, threads);
@@ -536,13 +609,14 @@ impl<T: SyntheticFill> Strategy<T> for HybridMasterOnly {
         let slots: Vec<Mutex<Vec<SlabTask<T>>>> =
             (0..threads).map(|_| Mutex::new(Vec::new())).collect();
 
-        let (grids, master, mut workers) = std::thread::scope(|s| {
+        let (grids, master, workers) = std::thread::scope(|s| {
             let mut handles = Vec::new();
             for t in 1..threads {
                 let barrier = &barrier;
                 let slots = &slots;
-                handles.push(s.spawn(move || {
+                handles.push(s.spawn(move || -> Result<ThreadResult, StrategyError> {
                     let mut tr = WallTracer::new(ctx.epoch);
+                    let mut err: Option<StrategyError> = None;
                     for _ in 0..iterations {
                         tr.open(SpanKind::ThreadBarrier);
                         barrier.wait(); // release: tasks are published
@@ -550,17 +624,30 @@ impl<T: SyntheticFill> Strategy<T> for HybridMasterOnly {
                         let tasks = std::mem::take(
                             &mut *slots[t].lock().unwrap_or_else(|e| e.into_inner()),
                         );
-                        tr.open(SpanKind::Compute);
-                        // SAFETY: between the release and completion
-                        // barriers of this batch.
-                        unsafe { run_tasks(ctx.coef, &tasks) };
-                        tr.close();
+                        if err.is_none() {
+                            tr.open(SpanKind::Compute);
+                            // SAFETY: between the release and completion
+                            // barriers of this batch.
+                            let r = catch_unwind(AssertUnwindSafe(|| unsafe {
+                                run_tasks(ctx.coef, &tasks)
+                            }));
+                            tr.close();
+                            if let Err(p) = r {
+                                err = Some(StrategyError::ThreadPanic {
+                                    slot: t,
+                                    message: panic_message(p.as_ref()),
+                                });
+                            }
+                        }
                         drop(tasks);
                         tr.open(SpanKind::ThreadBarrier);
                         barrier.wait(); // completion: slabs are done
                         tr.close();
                     }
-                    finish_thread(tr, ctx.plan.rank, t)
+                    match err {
+                        None => Ok(finish_thread(tr, ctx.plan.rank, t)),
+                        Some(e) => Err(e),
+                    }
                 }));
             }
 
@@ -572,24 +659,17 @@ impl<T: SyntheticFill> Strategy<T> for HybridMasterOnly {
                 let (s, e) = batches.range(b);
                 (s..e).collect()
             };
-            for sweep in 0..ctx.cfg.sweeps {
-                if ctx.cfg.double_buffer && !batches.is_empty() && batches.size(0) > 0 {
-                    let ids = ids_of(0);
-                    send_batch(
-                        ctx.fabric,
-                        ctx.plan,
-                        &ins,
-                        &ids,
-                        ids[0],
-                        sweep,
-                        &LinkDir::ALL,
-                        &mut tr,
-                    );
-                }
-                for b in 0..batches.len() {
-                    if batches.size(b) == 0 {
-                        continue;
-                    }
+            let mut master_err: Option<StrategyError> = None;
+            let mut done = 0usize; // completed barrier pairs
+            'sweeps: for sweep in 0..ctx.cfg.sweeps {
+                // Comm runs under catch_unwind so an injected send panic
+                // (or a watchdog timeout) turns into a drain, not a
+                // stranded pool.
+                let comm = |tr: &mut WallTracer,
+                            ins: &mut Vec<Grid3<T>>,
+                            outs: &mut Vec<Grid3<T>>,
+                            b: usize|
+                 -> Result<Vec<SlabTask<T>>, Box<RecvTimeout>> {
                     let ids = ids_of(b);
                     if ctx.cfg.double_buffer {
                         if b + 1 < batches.len() {
@@ -597,15 +677,41 @@ impl<T: SyntheticFill> Strategy<T> for HybridMasterOnly {
                             send_batch(
                                 ctx.fabric,
                                 ctx.plan,
-                                &ins,
+                                ins,
                                 &next,
                                 next[0],
                                 sweep,
                                 &LinkDir::ALL,
-                                &mut tr,
+                                tr,
                             );
                         }
                     } else {
+                        send_batch(
+                            ctx.fabric,
+                            ctx.plan,
+                            ins,
+                            &ids,
+                            ids[0],
+                            sweep,
+                            &LinkDir::ALL,
+                            tr,
+                        );
+                    }
+                    recv_batch(
+                        ctx.fabric,
+                        ctx.plan,
+                        ins,
+                        &ids,
+                        ids[0],
+                        sweep,
+                        &LinkDir::ALL,
+                        tr,
+                    )?;
+                    Ok(publish_slab_tasks(ins, outs, &ids, &bounds, &slots))
+                };
+                if ctx.cfg.double_buffer && !batches.is_empty() && batches.size(0) > 0 {
+                    let pre = catch_unwind(AssertUnwindSafe(|| {
+                        let ids = ids_of(0);
                         send_batch(
                             ctx.fabric,
                             ctx.plan,
@@ -616,43 +722,93 @@ impl<T: SyntheticFill> Strategy<T> for HybridMasterOnly {
                             &LinkDir::ALL,
                             &mut tr,
                         );
+                    }));
+                    if let Err(p) = pre {
+                        tr.close_all();
+                        master_err = Some(StrategyError::ThreadPanic {
+                            slot: 0,
+                            message: panic_message(p.as_ref()),
+                        });
+                        break 'sweeps;
                     }
-                    recv_batch(
-                        ctx.fabric,
-                        ctx.plan,
-                        &mut ins,
-                        &ids,
-                        ids[0],
-                        sweep,
-                        &LinkDir::ALL,
-                        &mut tr,
-                    );
-                    let mine = publish_slab_tasks(&ins, &mut outs, &ids, &bounds, &slots);
+                }
+                for b in 0..batches.len() {
+                    if batches.size(b) == 0 {
+                        continue;
+                    }
+                    let mine = match catch_unwind(AssertUnwindSafe(|| {
+                        comm(&mut tr, &mut ins, &mut outs, b)
+                    })) {
+                        Ok(Ok(mine)) => mine,
+                        Ok(Err(e)) => {
+                            tr.close_all();
+                            master_err = Some(StrategyError::Recv(e));
+                            break 'sweeps;
+                        }
+                        Err(p) => {
+                            tr.close_all();
+                            master_err = Some(StrategyError::ThreadPanic {
+                                slot: 0,
+                                message: panic_message(p.as_ref()),
+                            });
+                            break 'sweeps;
+                        }
+                    };
                     tr.open(SpanKind::ThreadBarrier);
                     barrier.wait(); // release
                     tr.close();
                     tr.open(SpanKind::Compute);
                     // SAFETY: between this batch's release and completion
                     // barriers; slot 0's slabs are disjoint from the pool's.
-                    unsafe { run_tasks(ctx.coef, &mine) };
+                    let compute =
+                        catch_unwind(AssertUnwindSafe(|| unsafe { run_tasks(ctx.coef, &mine) }));
                     tr.close();
                     drop(mine);
                     tr.open(SpanKind::ThreadBarrier);
                     barrier.wait(); // completion
                     tr.close();
+                    done += 1;
+                    if let Err(p) = compute {
+                        tr.close_all();
+                        master_err = Some(StrategyError::ThreadPanic {
+                            slot: 0,
+                            message: panic_message(p.as_ref()),
+                        });
+                        break 'sweeps;
+                    }
                 }
                 std::mem::swap(&mut ins, &mut outs);
             }
-            let master = finish_thread(tr, ctx.plan.rank, 0);
-            let workers: Vec<ThreadResult> = handles
+            if master_err.is_some() {
+                // Drain: the pool expects exactly `iterations` barrier
+                // pairs; publish nothing and keep arriving.
+                for _ in done..iterations {
+                    barrier.wait(); // release (slots are empty)
+                    barrier.wait(); // completion
+                }
+            }
+            let master: Result<ThreadResult, StrategyError> = match master_err {
+                None => Ok(finish_thread(tr, ctx.plan.rank, 0)),
+                Some(e) => Err(e),
+            };
+            let workers: Vec<Result<ThreadResult, StrategyError>> = handles
                 .into_iter()
-                .map(|h| h.join().expect("pool thread panicked"))
+                .enumerate()
+                .map(|(i, h)| match h.join() {
+                    Ok(outcome) => outcome,
+                    Err(p) => Err(StrategyError::ThreadPanic {
+                        slot: i + 1,
+                        message: panic_message(p.as_ref()),
+                    }),
+                })
                 .collect();
             (ins, master, workers)
         });
 
-        let mut results = vec![master];
-        results.append(&mut workers);
-        (grids, results)
+        let mut results = vec![master?];
+        for w in workers {
+            results.push(w?);
+        }
+        Ok((grids, results))
     }
 }

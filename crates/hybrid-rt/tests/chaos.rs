@@ -1,0 +1,165 @@
+//! Chaos validation of the native plane.
+//!
+//! The fault plane's contract, exercised end to end:
+//!
+//! * under any *benign* seeded fault schedule (delays, duplicates,
+//!   drop-with-redelivery) every strategy still reproduces the sequential
+//!   reference bit for bit, with exactly the clean run's traffic counts;
+//! * under a *lethal* fault (a black-holed message, an injected panic)
+//!   the run terminates — within the watchdog budget, with a structured
+//!   [`RunError`] naming the failed rank and the awaited `(src, tag)` —
+//!   instead of hanging a condvar or aborting the process.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use gpaw_fd::exec::{max_error_vs_reference, sequential_reference};
+use gpaw_hybrid_rt::{
+    all_strategies, run_native, FailureKind, FaultPlan, HybridMultiple, NativeJob, RunError,
+    Strategy,
+};
+
+fn coef(job: &NativeJob) -> gpaw_grid::stencil::StencilCoeffs {
+    gpaw_grid::stencil::StencilCoeffs::laplacian(job.spacing)
+}
+
+fn check_bitwise(job: &NativeJob, strategy: &dyn Strategy<f64>, what: &str) {
+    let run = run_native::<f64>(job, strategy).expect(what);
+    let reference = sequential_reference::<f64>(
+        job.grid_ext,
+        job.n_grids,
+        job.seed,
+        &coef(job),
+        job.bc,
+        job.sweeps,
+    );
+    let err = max_error_vs_reference(&run.sets, &run.map, job.grid_ext, &reference);
+    assert_eq!(err, 0.0, "{}: diverged under {what}", strategy.name());
+}
+
+/// The acceptance bar: all four strategies hold bitwise parity — and
+/// exact message/byte counts — under 20 distinct seeded fault schedules.
+#[test]
+fn all_strategies_hold_parity_and_traffic_under_twenty_fault_schedules() {
+    let base = NativeJob::new([10, 8, 6], 4, 2)
+        .with_threads(2)
+        .with_sweeps(2);
+    for s in all_strategies::<f64>() {
+        let clean = run_native::<f64>(&base, s.as_ref()).expect("clean run");
+        for seed in 0..20 {
+            let job = base.with_fault(FaultPlan::benign(seed));
+            check_bitwise(&job, s.as_ref(), "benign chaos run");
+            // Counters are charged per logical message, so benign chaos
+            // must not change what the run claims to have communicated.
+            let chaotic = run_native::<f64>(&job, s.as_ref()).expect("benign chaos run");
+            assert_eq!(
+                chaotic.report.messages,
+                clean.report.messages,
+                "{} seed {seed}: message count drifted under chaos",
+                s.name()
+            );
+            assert_eq!(
+                chaotic.report.total_network_bytes,
+                clean.report.total_network_bytes,
+                "{} seed {seed}: network bytes drifted under chaos",
+                s.name()
+            );
+        }
+    }
+}
+
+/// A black-holed message must starve exactly its receive, which must hit
+/// the watchdog and name the blocked rank and awaited `(src, tag)` — not
+/// hang the test.
+#[test]
+fn a_black_holed_message_fails_the_run_with_a_diagnostic() {
+    let job = NativeJob::new([10, 10, 10], 3, 2)
+        .with_threads(2)
+        .with_watchdog_ms(300)
+        .with_fault(FaultPlan::quiet(5).with_black_hole(0, 1, 1));
+    let err = run_native::<f64>(&job, &HybridMultiple)
+        .err()
+        .expect("a black hole must fail the run");
+    let RunError::Failed { strategy, failures } = &err else {
+        panic!("expected RunError::Failed, got {err:?}");
+    };
+    assert_eq!(*strategy, Strategy::<f64>::name(&HybridMultiple));
+    let timeout = failures
+        .iter()
+        .find_map(|f| match &f.kind {
+            FailureKind::RecvTimeout(t) => Some(t),
+            _ => None,
+        })
+        .expect("a starved receive must report a watchdog timeout");
+    assert_eq!(timeout.rank, 1, "the swallowed 0→1 message starves rank 1");
+    assert_eq!(timeout.src, 0);
+    assert!(
+        !timeout.diagnostic.blocked.is_empty(),
+        "the snapshot must list the blocked receive"
+    );
+    let text = err.to_string();
+    assert!(text.contains("watchdog"), "{text}");
+    assert!(text.contains("recv(src=0, tag="), "{text}");
+}
+
+/// A panic injected into a flat rank's send path is contained: the run
+/// returns a structured error (panics ranked before the peers' timeouts)
+/// instead of aborting the process.
+#[test]
+fn an_injected_send_panic_is_contained_in_flat_mode() {
+    let job = NativeJob::new([10, 10, 10], 3, 2)
+        .with_watchdog_ms(300)
+        .with_fault(FaultPlan::quiet(5).with_panic_on_send(0, 2));
+    let err = run_native::<f64>(&job, &gpaw_hybrid_rt::FlatOptimized)
+        .err()
+        .expect("an injected panic must fail the run");
+    let first = err.first_failure().expect("failures must be listed");
+    assert_eq!(first.rank, 0);
+    let FailureKind::Panic(msg) = &first.kind else {
+        panic!("panics sort before the peers' timeouts, got {first:?}");
+    };
+    assert!(msg.contains("chaos: injected panic"), "{msg}");
+}
+
+/// The same containment inside a hybrid schedule: the panicking endpoint
+/// thread drains its barrier so its sibling threads finish, and the rank
+/// reports the panic with its thread slot.
+#[test]
+fn an_injected_send_panic_is_contained_in_a_hybrid_endpoint() {
+    let job = NativeJob::new([10, 10, 10], 4, 2)
+        .with_threads(2)
+        .with_watchdog_ms(300)
+        .with_fault(FaultPlan::quiet(5).with_panic_on_send(0, 0));
+    let err = run_native::<f64>(&job, &HybridMultiple)
+        .err()
+        .expect("an injected panic must fail the run");
+    let first = err.first_failure().expect("failures must be listed");
+    assert_eq!(first.rank, 0);
+    assert_eq!(first.phase, "thread-pool");
+    let FailureKind::Panic(msg) = &first.kind else {
+        panic!("rank 0's failure must be the contained panic, got {first:?}");
+    };
+    assert!(msg.contains("chaos: injected panic"), "{msg}");
+    assert!(msg.contains("slot"), "{msg}");
+}
+
+/// The fault schedule is a pure function of the seed: the same seed gives
+/// the same perturbation, different seeds still converge to the same
+/// (bitwise-identical) answer.
+#[test]
+fn chaos_runs_are_reproducible_per_seed() {
+    let job = NativeJob::new([10, 8, 6], 4, 2)
+        .with_threads(2)
+        .with_fault(FaultPlan::benign(77));
+    let a = run_native::<f64>(&job, &HybridMultiple).expect("chaos run");
+    let b = run_native::<f64>(&job, &HybridMultiple).expect("chaos run");
+    assert_eq!(a.report.messages, b.report.messages);
+    for (x, y) in a.sets.iter().zip(&b.sets) {
+        for g in 0..x.len() {
+            assert_eq!(
+                gpaw_grid::norms::max_abs_diff(x.grid(g), y.grid(g)),
+                0.0,
+                "same seed, different bits"
+            );
+        }
+    }
+}

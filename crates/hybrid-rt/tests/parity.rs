@@ -4,6 +4,8 @@
 //! exactly — not approximately: the native schedules move the same bytes
 //! and run the same kernel, so any difference at all is a schedule bug.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use gpaw_des::SimDuration;
 use gpaw_fd::exec::{max_error_vs_reference, run_distributed, sequential_reference};
 use gpaw_fd::trace::SpanKind;

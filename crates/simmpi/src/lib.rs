@@ -26,6 +26,7 @@
 //! Equivalence of the two scopes on symmetric workloads is covered by this
 //! crate's tests.
 
+pub mod diag;
 pub mod instr;
 pub mod machine;
 pub mod ping;

@@ -1,5 +1,6 @@
 //! The timed machine: executes rank programs on the simulated BGP.
 
+use crate::diag;
 use crate::instr::{Instr, Program, Tag};
 use crate::report::{RunReport, ThreadPhases};
 use gpaw_bgp_hw::spec::{CostModel, STENCIL_FLOPS_PER_POINT};
@@ -266,18 +267,63 @@ impl Machine {
                 .filter(|(_, t)| !t.done)
                 .map(|(i, t)| {
                     format!(
-                        "tid {i} (rank {}, slot {}) waiting on {:?}",
-                        self.procs[t.proc as usize].rank, t.slot, t.waiting
+                        "tid {i} (rank {}, slot {}) {}",
+                        self.procs[t.proc as usize].rank,
+                        t.slot,
+                        self.pending_op(i as u32, t)
                     )
                 })
                 .collect();
             panic!(
-                "deadlock: {} threads stuck: {}",
-                stuck.len(),
+                "{}: {}",
+                diag::stuck_header(stuck.len(), "threads"),
                 stuck.join("; ")
             );
         }
         self.report()
+    }
+
+    /// What a stuck thread is blocked on, for the deadlock report: the
+    /// pending receives of its waited epoch — each named with its peer and
+    /// tag in the wording shared with the native fabric's watchdog
+    /// ([`diag::pending_recv`]) — or the thread barrier / allreduce it
+    /// arrived at and never left.
+    fn pending_op(&self, tid: u32, t: &Thread) -> String {
+        let p = &self.procs[t.proc as usize];
+        if let Some(epoch) = t.waiting {
+            let mut pending: Vec<String> = p
+                .posted
+                .iter()
+                .flat_map(|(&(src, tag), q)| {
+                    q.iter()
+                        .filter(move |&&(wtid, wepoch)| wtid == tid && wepoch == epoch)
+                        .map(move |_| diag::pending_recv(src as usize, tag))
+                })
+                .collect();
+            pending.sort();
+            if pending.is_empty() {
+                // Unmatched sends complete on their own schedule, so an
+                // epoch stuck without pending receives means the matching
+                // traffic never progressed (e.g. the peer deadlocked).
+                format!("waiting on epoch {epoch} (no pending receives)")
+            } else {
+                format!("waiting on {}", pending.join(" + "))
+            }
+        } else if p.barrier.iter().any(|&(b, _)| b == tid) {
+            format!(
+                "in thread barrier ({} of {} arrived)",
+                p.barrier.len(),
+                self.map.partition.threads_per_process()
+            )
+        } else if self.ar_arrived.iter().any(|&(b, _)| b == tid) {
+            format!(
+                "in allreduce ({} of {} processes arrived)",
+                self.ar_arrived.len(),
+                self.procs.len()
+            )
+        } else {
+            "blocked outside any instruction (program never completed)".to_string()
+        }
     }
 
     fn report(&self) -> RunReport {
@@ -1073,6 +1119,39 @@ mod tests {
             4,
         );
         Machine::new(map, m, ThreadMode::Single, Scope::Full, progs).run();
+    }
+
+    #[test]
+    fn deadlock_report_names_the_pending_receive_and_peer() {
+        let m = model();
+        let map = two_node_map();
+        let progs = pad_idle(
+            vec![
+                vec![
+                    Instr::Irecv {
+                        src: 1,
+                        bytes: 8,
+                        tag: 9,
+                        epoch: 0,
+                    },
+                    Instr::WaitEpoch { epoch: 0 },
+                ],
+                vec![],
+            ],
+            4,
+        );
+        let machine = Machine::new(map, m, ThreadMode::Single, Scope::Full, progs);
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| machine.run()))
+            .expect_err("an unmatched receive must deadlock");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("panic carries a message")
+            .clone();
+        // The shared `diag` wording: the same phrases the native fabric's
+        // watchdog uses, so one grep covers both planes.
+        assert!(msg.contains("deadlock: 1 threads stuck"), "{msg}");
+        assert!(msg.contains("rank 0"), "{msg}");
+        assert!(msg.contains("waiting on recv(src=1, tag=9)"), "{msg}");
     }
 
     #[test]
