@@ -19,14 +19,15 @@ pub enum Approach {
     /// sweep.
     HybridMultiple,
     /// One process per node, four threads, only the master communicates
-    /// (`MPI_THREAD_SINGLE`); each batch's grids are computed in four
-    /// x-slabs with two thread barriers per batch.
+    /// (`MPI_THREAD_SINGLE`); each grid is computed in four x-slabs
+    /// fenced by two thread barriers.
     HybridMasterOnly,
     /// §VII's modified flat: virtual-mode ranks, but the grids are divided
     /// statically into four sub-groups (one per core) over a *node-level*
     /// decomposition. Performance-equivalent to `HybridMultiple`; not valid
-    /// in real GPAW (violates the same-subset requirement), so it exists
-    /// only on the timed plane.
+    /// in real GPAW (violates the same-subset requirement) — a diagnostic,
+    /// excluded from the paper's graphs but runnable on all three planes
+    /// since its schedule lives in the compiler like everyone else's.
     FlatStatic,
 }
 

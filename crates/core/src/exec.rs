@@ -1,13 +1,18 @@
-//! The functional executor: the four approaches on real data.
+//! The functional executor: the compiled sweep programs on real data.
 //!
 //! One OS thread per MPI process (plus four inner threads per process for
 //! the hybrid approaches, exactly the paper's thread-per-core layout),
 //! real packed faces through [`crate::transport::Transport`], and the real
-//! stencil kernel. Everything is verified against
-//! [`sequential_reference`], the whole-grid single-rank computation.
+//! stencil kernel. The schedule itself is *not* decided here:
+//! [`interpret_sweep`] walks the [`SweepProgram`] op stream compiled by
+//! [`crate::program::compile_rank`] — the same stream the timed and
+//! native planes execute — and maps each op to real data movement.
+//! Everything is verified against [`sequential_reference`], the
+//! whole-grid single-rank computation.
 
-use crate::config::{Approach, FdConfig};
-use crate::plan::{message_tag, Batches, GridAssignment, RankPlan};
+use crate::config::FdConfig;
+use crate::plan::{rank_assignment, recv_tag, send_tag, RankPlan};
+use crate::program::{compile_rank, SweepOp, SweepProgram, ThreadRole};
 use crate::trace::{SpanKind, ThreadPhases, TraceReport, WallTracer};
 use crate::transport::Transport;
 use gpaw_bgp_hw::topology::{Dir, LinkDir};
@@ -87,7 +92,7 @@ fn send_batch<T: Scalar>(
             tr.close();
             debug_assert_eq!(buf.len(), points);
             tr.open(SpanKind::Post);
-            tp.send(plan.rank, nb, message_tag(sweep, first_global, ld), buf);
+            tp.send(plan.rank, nb, send_tag(sweep, first_global, ld), buf);
             tr.close();
         }
     }
@@ -109,14 +114,8 @@ fn recv_batch<T: Scalar>(
     for &ld in dirs {
         match plan.neighbors[ld.index()] {
             Some(nb) => {
-                // The neighbor's send toward us travels opposite to the
-                // direction we look at it through.
-                let travel = LinkDir {
-                    axis: ld.axis,
-                    dir: ld.dir.opposite(),
-                };
                 tr.open(SpanKind::Wait);
-                let buf = tp.recv(plan.rank, nb, message_tag(sweep, first_global, travel));
+                let buf = tp.recv(plan.rank, nb, recv_tag(sweep, first_global, ld));
                 tr.close();
                 tr.open(SpanKind::HaloUnpack);
                 unpack_batch(grids, local_ids, ld.axis.index(), recv_side(ld.dir), &buf);
@@ -133,161 +132,78 @@ fn recv_batch<T: Scalar>(
     }
 }
 
-/// One sweep of the *Flat original* schedule: per grid, exchange the three
-/// dimensions one after the other (blocking), then compute (§IV-A).
-fn sweep_flat_original<T: Scalar>(
-    tp: &Transport<T>,
-    plan: &RankPlan,
-    coef: &StencilCoeffs,
-    inputs: &mut [Grid3<T>],
-    outputs: &mut [Grid3<T>],
-    sweep: usize,
-    tr: &mut WallTracer,
-) {
-    for g in 0..inputs.len() {
-        for pair in LinkDir::ALL.chunks(2) {
-            send_batch(tp, plan, inputs, &[g], g, sweep, pair, tr);
-            recv_batch(tp, plan, inputs, &[g], g, sweep, pair, tr);
-        }
-        tr.open(SpanKind::Compute);
-        apply(coef, &inputs[g], &mut outputs[g]);
-        tr.close();
-    }
-}
-
-#[allow(clippy::too_many_arguments)] // mirrors the schedule's parameter list
-/// One sweep of the batched, simultaneous-exchange schedule used by *Flat
-/// optimized* and (per thread) *Hybrid multiple*: §V non-blocking exchange
-/// of all three dimensions at once, double-buffered across batches.
+/// One sweep of one thread's compiled program, interpreted on real data.
 ///
-/// `global_id` maps a local grid index to the global grid id used in tags.
-fn sweep_batched<T: Scalar>(
+/// The op semantics on this plane: `PostRecv` is a no-op (the in-process
+/// transport buffers sends internally, so a receive needs no pre-posting),
+/// `WaitAll` is the blocking receive+unpack, `ApplyBoundarySlab` runs one
+/// grid through an ephemeral slab-thread scope (the scope join *is* the
+/// barrier pair), and `ThreadBarrier`/`AdvanceBuffer` are no-ops (sibling
+/// endpoint threads share no data mid-sweep, and [`run_sweeps`] swaps the
+/// buffers).
+fn interpret_sweep<T: Scalar>(
     tp: &Transport<T>,
-    plan: &RankPlan,
+    prog: &SweepProgram,
     coef: &StencilCoeffs,
     inputs: &mut [Grid3<T>],
     outputs: &mut [Grid3<T>],
-    batches: &Batches,
-    global_id: &dyn Fn(usize) -> usize,
     sweep: usize,
-    double_buffer: bool,
     tr: &mut WallTracer,
 ) {
-    let ids_of = |b: usize| -> Vec<usize> {
-        let (s, e) = batches.range(b);
-        (s..e).collect()
-    };
-    let first_of = |b: usize| global_id(batches.range(b).0);
-
-    if double_buffer && !batches.is_empty() && batches.size(0) > 0 {
-        send_batch(
-            tp,
-            plan,
-            inputs,
-            &ids_of(0),
-            first_of(0),
-            sweep,
-            &LinkDir::ALL,
-            tr,
-        );
-    }
-    for b in 0..batches.len() {
-        if batches.size(b) == 0 {
-            continue;
-        }
-        if double_buffer {
-            if b + 1 < batches.len() {
+    let plan = &prog.plan;
+    for op in &prog.ops {
+        match *op {
+            SweepOp::PostRecv { .. } => {}
+            SweepOp::SendFace { batch, dirs } => {
+                let ids: Vec<usize> = prog.locals_of(batch).collect();
                 send_batch(
                     tp,
                     plan,
                     inputs,
-                    &ids_of(b + 1),
-                    first_of(b + 1),
+                    &ids,
+                    prog.first_global(batch),
                     sweep,
-                    &LinkDir::ALL,
+                    dirs.dirs(),
                     tr,
                 );
             }
-        } else {
-            send_batch(
-                tp,
-                plan,
-                inputs,
-                &ids_of(b),
-                first_of(b),
-                sweep,
-                &LinkDir::ALL,
-                tr,
-            );
-        }
-        recv_batch(
-            tp,
-            plan,
-            inputs,
-            &ids_of(b),
-            first_of(b),
-            sweep,
-            &LinkDir::ALL,
-            tr,
-        );
-        tr.open(SpanKind::Compute);
-        for g in ids_of(b) {
-            apply(coef, &inputs[g], &mut outputs[g]);
-        }
-        tr.close();
-    }
-}
-
-#[allow(clippy::too_many_arguments)] // mirrors the schedule's parameter list
-/// One sweep of the *Hybrid master-only* schedule: the calling (master)
-/// thread communicates; each batch's grids are computed by four threads in
-/// x-slabs with a synchronization per batch (§VI).
-fn sweep_master_only<T: Scalar>(
-    tp: &Transport<T>,
-    plan: &RankPlan,
-    coef: &StencilCoeffs,
-    inputs: &mut [Grid3<T>],
-    outputs: &mut [Grid3<T>],
-    batches: &Batches,
-    sweep: usize,
-    double_buffer: bool,
-    threads: usize,
-    tr: &mut WallTracer,
-) {
-    let ids_of = |b: usize| -> Vec<usize> {
-        let (s, e) = batches.range(b);
-        (s..e).collect()
-    };
-    if double_buffer && !batches.is_empty() && batches.size(0) > 0 {
-        let ids = ids_of(0);
-        send_batch(tp, plan, inputs, &ids, ids[0], sweep, &LinkDir::ALL, tr);
-    }
-    for b in 0..batches.len() {
-        if batches.size(b) == 0 {
-            continue;
-        }
-        let ids = ids_of(b);
-        if double_buffer {
-            if b + 1 < batches.len() {
-                let next = ids_of(b + 1);
-                send_batch(tp, plan, inputs, &next, next[0], sweep, &LinkDir::ALL, tr);
+            SweepOp::WaitAll { batch, dirs } => {
+                let ids: Vec<usize> = prog.locals_of(batch).collect();
+                recv_batch(
+                    tp,
+                    plan,
+                    inputs,
+                    &ids,
+                    prog.first_global(batch),
+                    sweep,
+                    dirs.dirs(),
+                    tr,
+                );
             }
-        } else {
-            send_batch(tp, plan, inputs, &ids, ids[0], sweep, &LinkDir::ALL, tr);
+            SweepOp::ComputeInterior { batch } => {
+                tr.open(SpanKind::Compute);
+                for g in prog.locals_of(batch) {
+                    apply(coef, &inputs[g], &mut outputs[g]);
+                }
+                tr.close();
+            }
+            SweepOp::ApplyBoundarySlab { batch, index } => {
+                let g = prog.locals_of(batch).start + index;
+                // The slab-parallel section (spawn + compute + join) is
+                // charged to the master: the ephemeral slab threads live
+                // exactly this long.
+                tr.open(SpanKind::Compute);
+                compute_grids_slabs(coef, inputs, outputs, &[g], prog.threads);
+                tr.close();
+            }
+            SweepOp::ThreadBarrier | SweepOp::AdvanceBuffer => {}
         }
-        recv_batch(tp, plan, inputs, &ids, ids[0], sweep, &LinkDir::ALL, tr);
-        // The slab-parallel section (spawn + compute + join) is charged to
-        // the master: the ephemeral slab threads live exactly this long.
-        tr.open(SpanKind::Compute);
-        compute_batch_slabs(coef, inputs, outputs, &ids, threads);
-        tr.close();
     }
 }
 
-/// Compute a batch of grids with each grid split into x-slabs, one slab per
-/// thread — concurrent writes into each output grid through disjoint
-/// slices.
-fn compute_batch_slabs<T: Scalar>(
+/// Compute grids with each grid split into x-slabs, one slab per thread —
+/// concurrent writes into each output grid through disjoint slices.
+fn compute_grids_slabs<T: Scalar>(
     coef: &StencilCoeffs,
     inputs: &[Grid3<T>],
     outputs: &mut [Grid3<T>],
@@ -305,14 +221,17 @@ fn compute_batch_slabs<T: Scalar>(
     }
     let mut per_thread: Vec<Vec<Task<'_, T>>> = (0..slabs_per_grid).map(|_| Vec::new()).collect();
 
-    // Walk `outputs`, splitting off each batch grid to get disjoint
-    // mutable slabs.
+    // Walk `outputs`, splitting off each grid to get disjoint mutable
+    // slabs.
     let mut rest: &mut [Grid3<T>] = outputs;
     let mut offset = 0usize;
     for &gid in ids {
         debug_assert!(gid >= offset);
         let (_skip, tail) = rest.split_at_mut(gid - offset);
-        let (grid, tail2) = tail.split_first_mut().expect("batch id in range");
+        let (grid, tail2) = match tail.split_first_mut() {
+            Some(pair) => pair,
+            None => unreachable!("batch id out of range"),
+        };
         let cuts = &bounds[1..bounds.len() - 1];
         for (t, slab) in grid.split_x_slabs(cuts).into_iter().enumerate() {
             per_thread[t].push(Task {
@@ -337,9 +256,8 @@ fn compute_batch_slabs<T: Scalar>(
     });
 }
 
-/// Run `cfg.sweeps` sweeps via `one_sweep(inputs, outputs, sweep)`,
-/// swapping the roles between sweeps; returns the grids holding the final
-/// result.
+/// Run `sweeps` sweeps via `one_sweep(inputs, outputs, sweep)`, swapping
+/// the roles between sweeps; returns the grids holding the final result.
 fn run_sweeps<T: Scalar>(
     mut inputs: Vec<Grid3<T>>,
     mut outputs: Vec<Grid3<T>>,
@@ -354,7 +272,8 @@ fn run_sweeps<T: Scalar>(
 }
 
 #[allow(clippy::too_many_arguments)] // mirrors the schedule's parameter list
-/// Execute one process (rank). Returns the final local grids plus the
+/// Execute one process (rank): compile the rank's programs, fill its
+/// owned grids, and interpret. Returns the final local grids plus the
 /// per-thread span traces (one entry for single-threaded approaches, one
 /// per inner thread for hybrid-multiple).
 fn process_body<T: SyntheticFill>(
@@ -369,14 +288,19 @@ fn process_body<T: SyntheticFill>(
     epoch: Option<Instant>,
 ) -> (Vec<Grid3<T>>, Vec<ThreadPhases>) {
     let plan = RankPlan::for_rank(map, grid_ext, rank, T::BYTES, cfg);
+    let threads = map.partition.threads_per_process();
+    let programs = compile_rank(cfg, map, &plan, n_grids, threads);
+    // The grids this rank owns data for: all of them, except flat
+    // static's quarter (local index i ↔ global id rank_asg.id(i)).
+    let rank_asg = rank_assignment(cfg.approach, n_grids, map, rank);
     let halo = StencilCoeffs::HALO;
-    let mut inputs: Vec<Grid3<T>> = Vec::with_capacity(n_grids);
-    for g in 0..n_grids {
+    let mut inputs: Vec<Grid3<T>> = Vec::with_capacity(rank_asg.count);
+    for i in 0..rank_asg.count {
         let mut grid = Grid3::zeros(plan.sub.ext, halo);
-        T::fill(&mut grid, &plan.sub, grid_ext, seed, g);
+        T::fill(&mut grid, &plan.sub, grid_ext, seed, rank_asg.id(i));
         inputs.push(grid);
     }
-    let outputs: Vec<Grid3<T>> = (0..n_grids)
+    let outputs: Vec<Grid3<T>> = (0..rank_asg.count)
         .map(|_| Grid3::zeros(plan.sub.ext, halo))
         .collect();
     let mut tr = match epoch {
@@ -384,57 +308,23 @@ fn process_body<T: SyntheticFill>(
         None => WallTracer::disabled(),
     };
 
-    let (result, phases) = match cfg.approach {
-        Approach::FlatOriginal => {
-            let r = run_sweeps(inputs, outputs, cfg.sweeps, |i, o, s| {
-                sweep_flat_original(tp, &plan, coef, i, o, s, &mut tr)
+    let (result, phases) = match programs[0].role {
+        // Flat ranks interpret their one program on the calling thread.
+        // A master-only rank interprets only the master's program: its
+        // `ApplyBoundarySlab` ops materialize the pool threads as
+        // ephemeral slab scopes, so the worker programs have no separate
+        // functional existence.
+        ThreadRole::Single | ThreadRole::Master => {
+            let prog = &programs[0];
+            let r = run_sweeps(inputs, outputs, prog.sweeps, |i, o, s| {
+                interpret_sweep(tp, prog, coef, i, o, s, &mut tr)
             });
             (r, vec![tr.finish(rank, 0)])
         }
-        Approach::FlatOptimized => {
-            let batches = Batches::build(n_grids, cfg);
-            let r = run_sweeps(inputs, outputs, cfg.sweeps, |i, o, s| {
-                sweep_batched(
-                    tp,
-                    &plan,
-                    coef,
-                    i,
-                    o,
-                    &batches,
-                    &|l| l,
-                    s,
-                    cfg.double_buffer,
-                    &mut tr,
-                )
-            });
-            (r, vec![tr.finish(rank, 0)])
+        ThreadRole::Endpoint => {
+            hybrid_multiple_process(tp, &programs, coef, inputs, outputs, rank, epoch)
         }
-        Approach::HybridMasterOnly => {
-            let batches = Batches::build(n_grids, cfg);
-            let threads = map.partition.threads_per_process();
-            let r = run_sweeps(inputs, outputs, cfg.sweeps, |i, o, s| {
-                sweep_master_only(
-                    tp,
-                    &plan,
-                    coef,
-                    i,
-                    o,
-                    &batches,
-                    s,
-                    cfg.double_buffer,
-                    threads,
-                    &mut tr,
-                )
-            });
-            (r, vec![tr.finish(rank, 0)])
-        }
-        Approach::HybridMultiple => {
-            let threads = map.partition.threads_per_process();
-            hybrid_multiple_process(tp, &plan, coef, cfg, inputs, outputs, threads, rank, epoch)
-        }
-        Approach::FlatStatic => {
-            panic!("FlatStatic violates GPAW's same-subset rule; it exists only on the timed plane")
-        }
+        ThreadRole::PoolWorker { .. } => unreachable!("slot 0 is never a pool worker"),
     };
     assert!(
         tp.is_drained(rank),
@@ -443,32 +333,37 @@ fn process_body<T: SyntheticFill>(
     (result, phases)
 }
 
-/// The hybrid-multiple process: the grids are split round-robin between
-/// four inner threads, each running its own batched sweep **and its own
-/// communication** concurrently; the only synchronization is the per-sweep
-/// join (§VI: "the synchronization penalty is therefore constant").
-#[allow(clippy::too_many_arguments)] // mirrors the schedule's parameter list
+/// The hybrid-multiple process: each endpoint program runs on its own
+/// inner thread with its own grids **and its own communication**
+/// concurrently; the only synchronization is the per-sweep join (§VI:
+/// "the synchronization penalty is therefore constant").
 fn hybrid_multiple_process<T: Scalar>(
     tp: &Transport<T>,
-    plan: &RankPlan,
+    programs: &[SweepProgram],
     coef: &StencilCoeffs,
-    cfg: &FdConfig,
     inputs: Vec<Grid3<T>>,
     outputs: Vec<Grid3<T>>,
-    threads: usize,
     rank: usize,
     epoch: Option<Instant>,
 ) -> (Vec<Grid3<T>>, Vec<ThreadPhases>) {
+    let threads = programs.len();
     let n_grids = inputs.len();
-    // Deal grids to threads, remembering each grid's global id implicitly
-    // through the round-robin assignment.
+    // Deal grids to the thread whose program's assignment owns them —
+    // derived from the compiled programs, not re-decided here.
+    let mut owner = vec![usize::MAX; n_grids];
+    for (t, p) in programs.iter().enumerate() {
+        for i in 0..p.asg.count {
+            owner[p.asg.id(i)] = t;
+        }
+    }
+    debug_assert!(owner.iter().all(|&t| t < threads));
     let mut in_parts: Vec<Vec<Grid3<T>>> = (0..threads).map(|_| Vec::new()).collect();
     let mut out_parts: Vec<Vec<Grid3<T>>> = (0..threads).map(|_| Vec::new()).collect();
     for (g, grid) in inputs.into_iter().enumerate() {
-        in_parts[g % threads].push(grid);
+        in_parts[owner[g]].push(grid);
     }
     for (g, grid) in outputs.into_iter().enumerate() {
-        out_parts[g % threads].push(grid);
+        out_parts[owner[g]].push(grid);
     }
 
     let mut results: Vec<Option<(Vec<Grid3<T>>, ThreadPhases)>> =
@@ -476,33 +371,21 @@ fn hybrid_multiple_process<T: Scalar>(
     std::thread::scope(|s| {
         let mut handles = Vec::new();
         for (t, (ins, outs)) in in_parts.drain(..).zip(out_parts.drain(..)).enumerate() {
+            let prog = &programs[t];
             handles.push(s.spawn(move || {
                 let mut tr = match epoch {
                     Some(e) => WallTracer::new(e),
                     None => WallTracer::disabled(),
                 };
-                let asg = GridAssignment::round_robin(n_grids, t, threads);
-                debug_assert_eq!(asg.count, ins.len());
-                let batches = Batches::build(asg.count, cfg);
-                let r = run_sweeps(ins, outs, cfg.sweeps, |i, o, sweep| {
-                    sweep_batched(
-                        tp,
-                        plan,
-                        coef,
-                        i,
-                        o,
-                        &batches,
-                        &|local| asg.id(local),
-                        sweep,
-                        cfg.double_buffer,
-                        &mut tr,
-                    )
+                debug_assert_eq!(prog.asg.count, ins.len());
+                let r = run_sweeps(ins, outs, prog.sweeps, |i, o, sweep| {
+                    interpret_sweep(tp, prog, coef, i, o, sweep, &mut tr)
                 });
                 (r, tr.finish(rank, t))
             }));
         }
         for (t, h) in handles.into_iter().enumerate() {
-            results[t] = Some(h.join().expect("hybrid thread panicked"));
+            results[t] = Some(h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
         }
     });
 
@@ -511,13 +394,19 @@ fn hybrid_multiple_process<T: Scalar>(
     let mut iters: Vec<_> = results
         .into_iter()
         .map(|r| {
-            let (grids, tp_) = r.expect("all threads joined");
+            let (grids, tp_) = match r {
+                Some(pair) => pair,
+                None => unreachable!("all threads joined"),
+            };
             phases.push(tp_);
             grids.into_iter()
         })
         .collect();
     let grids = (0..n_grids)
-        .map(|g| iters[g % threads].next().expect("round robin exhausted"))
+        .map(|g| match iters[owner[g]].next() {
+            Some(grid) => grid,
+            None => unreachable!("owner map exhausted"),
+        })
         .collect();
     (grids, phases)
 }
@@ -580,7 +469,7 @@ fn run_distributed_impl<T: SyntheticFill>(
         let mut sets = Vec::with_capacity(ranks);
         let mut all_phases = Vec::new();
         for h in handles {
-            let (set, phases) = h.join().expect("process thread panicked");
+            let (set, phases) = h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
             sets.push(set);
             all_phases.extend(phases);
         }
@@ -621,6 +510,11 @@ pub fn sequential_reference<T: SyntheticFill>(
 
 /// Largest absolute difference between the distributed outputs and the
 /// sequential reference over every rank's subdomain of every grid.
+///
+/// Assumes every rank holds all grids under the process-grid
+/// decomposition — true for the four paper approaches. For approaches
+/// whose ranks own grid *subsets* (flat static), use
+/// [`max_error_vs_reference_planned`].
 pub fn max_error_vs_reference<T: SyntheticFill>(
     outputs: &[GridSet<T>],
     map: &CartMap,
@@ -632,20 +526,58 @@ pub fn max_error_vs_reference<T: SyntheticFill>(
     for (rank, set) in outputs.iter().enumerate() {
         let sub = decomp.subdomain(map.proc_coord(rank).0);
         for g in 0..set.len() {
-            let local = set.grid(g);
-            let global = reference.grid(g);
-            for i in 0..sub.ext[0] {
-                for j in 0..sub.ext[1] {
-                    for k in 0..sub.ext[2] {
-                        let a = local.get(i as isize, j as isize, k as isize);
-                        let b = global.get(
-                            (sub.start[0] + i) as isize,
-                            (sub.start[1] + j) as isize,
-                            (sub.start[2] + k) as isize,
-                        );
-                        worst = worst.max((a - b).abs());
-                    }
-                }
+            worst = worst.max(max_sub_error(set.grid(g), reference.grid(g), &sub));
+        }
+    }
+    worst
+}
+
+/// Plan-aware variant of [`max_error_vs_reference`]: derives each rank's
+/// subdomain and grid ownership from the compiled plan, so it validates
+/// any approach — including flat static, whose ranks own node-level
+/// subdomains and a quarter of the grid set.
+pub fn max_error_vs_reference_planned<T: SyntheticFill>(
+    outputs: &[GridSet<T>],
+    map: &CartMap,
+    grid_ext: [usize; 3],
+    reference: &GridSet<T>,
+    cfg: &FdConfig,
+) -> f64 {
+    let n_grids = reference.len();
+    let mut worst = 0.0f64;
+    for (rank, set) in outputs.iter().enumerate() {
+        let plan = RankPlan::for_rank(map, grid_ext, rank, T::BYTES, cfg);
+        let asg = rank_assignment(cfg.approach, n_grids, map, rank);
+        assert_eq!(
+            set.len(),
+            asg.count,
+            "rank {rank}: grid count does not match its assignment"
+        );
+        for i in 0..set.len() {
+            worst = worst.max(max_sub_error(
+                set.grid(i),
+                reference.grid(asg.id(i)),
+                &plan.sub,
+            ));
+        }
+    }
+    worst
+}
+
+/// Largest absolute difference between `local` and the `sub` box of
+/// `global`.
+fn max_sub_error<T: Scalar>(local: &Grid3<T>, global: &Grid3<T>, sub: &Subdomain) -> f64 {
+    let mut worst = 0.0f64;
+    for i in 0..sub.ext[0] {
+        for j in 0..sub.ext[1] {
+            for k in 0..sub.ext[2] {
+                let a = local.get(i as isize, j as isize, k as isize);
+                let b = global.get(
+                    (sub.start[0] + i) as isize,
+                    (sub.start[1] + j) as isize,
+                    (sub.start[2] + k) as isize,
+                );
+                worst = worst.max((a - b).abs());
             }
         }
     }
@@ -655,6 +587,7 @@ pub fn max_error_vs_reference<T: SyntheticFill>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::Approach;
     use gpaw_bgp_hw::{ExecMode, Partition};
 
     fn coef() -> StencilCoeffs {
@@ -675,7 +608,7 @@ mod tests {
         let c = coef();
         let outputs = run_distributed::<T>(grid, n_grids, 42, &c, cfg, map);
         let reference = sequential_reference::<T>(grid, n_grids, 42, &c, cfg.bc, cfg.sweeps);
-        let err = max_error_vs_reference(&outputs, map, grid, &reference);
+        let err = max_error_vs_reference_planned(&outputs, map, grid, &reference, cfg);
         assert_eq!(
             err,
             0.0,
@@ -697,6 +630,17 @@ mod tests {
         let map = virtual_map(2, grid);
         let cfg = FdConfig::paper(Approach::FlatOptimized).with_batch(3);
         check::<f64>(&cfg, &map, grid, 7);
+    }
+
+    #[test]
+    fn flat_static_matches_reference() {
+        // The §VII diagnostic runs functionally now: node-level
+        // subdomains, each virtual rank sweeping its core's quarter of
+        // the grid set.
+        let grid = [12, 10, 8];
+        let map = virtual_map(2, grid);
+        let cfg = FdConfig::paper(Approach::FlatStatic).with_batch(2);
+        check::<f64>(&cfg, &map, grid, 9);
     }
 
     #[test]

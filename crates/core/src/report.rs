@@ -259,7 +259,10 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
             Some(_) => {
                 // Consume one UTF-8 character.
                 let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
-                let c = rest.chars().next().expect("non-empty");
+                let c = match rest.chars().next() {
+                    Some(c) => c,
+                    None => unreachable!("the Some(_) arm guarantees a remaining byte"),
+                };
                 s.push(c);
                 *pos += c.len_utf8();
             }

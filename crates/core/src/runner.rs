@@ -88,7 +88,7 @@ impl FdExperiment {
                 best = Some((batch, report));
             }
         }
-        best.expect("at least one batch candidate must be feasible")
+        best.unwrap_or_else(|| panic!("no feasible batch candidate for {approach:?}"))
     }
 }
 

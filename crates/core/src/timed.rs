@@ -1,16 +1,20 @@
-//! The timed executor: the same schedules, replayed on the simulated BGP.
+//! The timed executor: the compiled sweep programs, replayed on the
+//! simulated BGP.
 //!
-//! Each (rank, thread) gets a [`StreamProgram`] — a lazy generator that
-//! expands the approach's schedule one batch at a time into `gpaw-simmpi`
-//! instructions, so even the 16 384-core Gustafson runs keep O(batch)
-//! memory per rank. The instruction sequences mirror
-//! [`crate::exec`] exactly: same messages, same tags, same epochs, same
-//! compute volume; only the payloads are virtual.
+//! Each (rank, thread) gets a [`StreamProgram`] — a lazy cursor over its
+//! compiled [`SweepProgram`] that lowers one op at a time into
+//! `gpaw-simmpi` instructions, so even the 16 384-core Gustafson runs
+//! keep O(batch) memory per rank. There is no schedule logic here: which
+//! batch exchanges when, who barriers with whom — all of that was decided
+//! once by [`crate::program::compile_rank`], and this module only maps
+//! each [`SweepOp`] to its cost-model instruction(s). The other planes
+//! interpret the *same* op stream, so messages, tags, epochs and compute
+//! volume agree by construction.
 
-use crate::config::{Approach, FdConfig};
-use crate::plan::{message_tag, slab_share, Batches, GridAssignment, RankPlan};
+use crate::config::FdConfig;
+use crate::plan::{recv_tag, send_tag, RankPlan};
+use crate::program::{compile_rank, SweepOp, SweepProgram};
 use gpaw_bgp_hw::spec::CostModel;
-use gpaw_bgp_hw::topology::LinkDir;
 use gpaw_bgp_hw::{CartMap, Partition};
 use gpaw_simmpi::{Instr, Machine, Program, RunReport, Scope};
 use std::collections::VecDeque;
@@ -42,241 +46,116 @@ pub enum ScopeSel {
     Cell,
 }
 
-/// The role a thread plays in its approach's schedule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Role {
-    /// Single-threaded rank of a flat approach.
-    Flat,
-    /// Flat-original rank (blocking dimension-by-dimension schedule).
-    FlatOriginal,
-    /// Hybrid-multiple worker: own grids, own communication.
-    HybridThread,
-    /// Master-only slot 0: communicates and computes slab 0.
-    Master,
-    /// Master-only slots 1..: compute slabs between barriers.
-    Worker { slot: usize },
-}
-
-/// Lazy schedule generator for one thread.
+/// Lazy lowering of one thread's [`SweepProgram`] to simulator
+/// instructions.
 pub struct StreamProgram {
-    role: Role,
-    plan: RankPlan,
-    asg: GridAssignment,
-    batches: Batches,
-    cfg: FdConfig,
-    /// Pre-computed compute share `(points, rows)` per batch grid for this
-    /// thread (slab share for master-only, whole sub-grid otherwise).
+    prog: SweepProgram,
+    /// This thread's compute share of one grid, `(points, rows)`.
     unit_points: u64,
     unit_rows: u64,
     queue: VecDeque<Instr>,
     sweep: usize,
-    next_post: usize,
-    next_finish: usize,
+    op_idx: usize,
     done: bool,
 }
 
 impl StreamProgram {
-    fn new(role: Role, plan: RankPlan, asg: GridAssignment, cfg: FdConfig, threads: usize) -> Self {
-        let batches = Batches::build(asg.count, &cfg);
-        let (unit_points, unit_rows) = match role {
-            Role::Master => slab_share(&plan.sub, 0, threads),
-            Role::Worker { slot } => slab_share(&plan.sub, slot, threads),
-            _ => (plan.sub.points() as u64, plan.sub.rows() as u64),
-        };
+    /// Wrap one compiled program.
+    pub fn new(prog: SweepProgram) -> StreamProgram {
+        let (unit_points, unit_rows) = prog.compute_unit();
         StreamProgram {
-            role,
-            plan,
-            asg,
-            batches,
-            cfg,
+            prog,
             unit_points,
             unit_rows,
             queue: VecDeque::new(),
             sweep: 0,
-            next_post: 0,
-            next_finish: 0,
+            op_idx: 0,
             done: false,
         }
     }
 
-    fn epoch(&self, sweep: usize, batch: usize) -> u32 {
-        (sweep * self.batches.len() + batch) as u32
-    }
-
-    fn first_global(&self, batch: usize) -> usize {
-        let (s, e) = self.batches.range(batch);
-        if s == e {
-            0
-        } else {
-            self.asg.id(s)
-        }
-    }
-
-    /// Queue the Irecv/Isend pairs of one batch along `dirs`.
-    fn queue_exchange(&mut self, batch: usize, dirs: &[LinkDir]) {
-        let size = self.batches.size(batch);
-        if size == 0 {
-            return;
-        }
-        let first = self.first_global(batch);
-        let epoch = self.epoch(self.sweep, batch);
-        for &ld in dirs {
-            if let Some(nb) = self.plan.neighbors[ld.index()] {
-                let bytes = self.plan.msg_bytes(ld.axis, size);
-                let travel = LinkDir {
-                    axis: ld.axis,
-                    dir: ld.dir.opposite(),
-                };
-                self.queue.push_back(Instr::Irecv {
-                    src: nb,
-                    bytes,
-                    tag: message_tag(self.sweep, first, travel),
-                    epoch,
-                });
-                self.queue.push_back(Instr::Isend {
-                    dst: nb,
-                    bytes,
-                    tag: message_tag(self.sweep, first, ld),
-                    epoch,
-                });
-            }
-        }
-    }
-
-    /// Master-only compute of one batch: every grid's slab computation is
-    /// fenced by a pair of thread barriers.
-    fn queue_fenced_grids(&mut self, batch: usize) {
-        for _ in 0..self.batches.size(batch) {
-            self.queue.push_back(Instr::ThreadBarrier);
-            self.queue.push_back(Instr::Compute {
-                points: self.unit_points,
-                rows: self.unit_rows,
-                grids: 1,
-            });
-            self.queue.push_back(Instr::ThreadBarrier);
-        }
-    }
-
-    fn queue_compute(&mut self, batch: usize) {
-        let size = self.batches.size(batch) as u64;
-        if size == 0 {
-            return;
-        }
-        self.queue.push_back(Instr::Compute {
-            points: self.unit_points * size,
-            rows: self.unit_rows * size,
-            grids: size,
-        });
-    }
-
-    /// Expand the next chunk of the schedule into the queue.
+    /// Lower the op under the cursor into the instruction queue and
+    /// advance; wraps to the next sweep at the end of the op list.
     fn expand(&mut self) {
-        match self.role {
-            Role::FlatOriginal => self.expand_flat_original(),
-            Role::Flat | Role::HybridThread => self.expand_batched(),
-            Role::Master => self.expand_master(),
-            Role::Worker { .. } => self.expand_worker(),
-        }
-    }
-
-    /// Blocking dimension-by-dimension schedule: one grid per expansion.
-    fn expand_flat_original(&mut self) {
-        if self.next_finish >= self.batches.len() && self.advance_sweep() {
-            return;
-        }
-        let b = self.next_finish;
-        // Three blocking phases: (X−,X+) wait, (Y−,Y+) wait, (Z−,Z+) wait.
-        for pair in LinkDir::ALL.chunks(2) {
-            self.queue_exchange(b, pair);
-            let epoch = self.epoch(self.sweep, b);
-            self.queue.push_back(Instr::WaitEpoch { epoch });
-        }
-        self.queue_compute(b);
-        self.next_finish += 1;
-    }
-
-    /// Non-blocking simultaneous exchange with optional double buffering.
-    fn expand_batched(&mut self) {
-        if self.next_finish >= self.batches.len() && self.advance_sweep() {
-            return;
-        }
-        if self.cfg.double_buffer {
-            if self.next_post == 0 {
-                self.queue_exchange(0, &LinkDir::ALL);
-                self.next_post = 1;
+        let op = self.prog.ops[self.op_idx];
+        self.lower(op);
+        self.op_idx += 1;
+        if self.op_idx == self.prog.ops.len() {
+            self.op_idx = 0;
+            self.sweep += 1;
+            if self.sweep >= self.prog.sweeps {
+                self.done = true;
             }
-            if self.next_post <= self.next_finish + 1 && self.next_post < self.batches.len() {
-                let p = self.next_post;
-                self.queue_exchange(p, &LinkDir::ALL);
-                self.next_post += 1;
-            }
-        } else {
-            self.queue_exchange(self.next_finish, &LinkDir::ALL);
         }
-        let b = self.next_finish;
-        self.queue.push_back(Instr::WaitEpoch {
-            epoch: self.epoch(self.sweep, b),
-        });
-        self.queue_compute(b);
-        self.next_finish += 1;
     }
 
-    /// Master-only slot 0: communicate, then a barrier-fenced slab compute
-    /// per batch.
-    fn expand_master(&mut self) {
-        if self.next_finish >= self.batches.len() && self.advance_sweep() {
-            return;
-        }
-        if self.cfg.double_buffer {
-            if self.next_post == 0 {
-                self.queue_exchange(0, &LinkDir::ALL);
-                self.next_post = 1;
+    /// One [`SweepOp`] → its cost-model instruction(s).
+    fn lower(&mut self, op: SweepOp) {
+        let plan = &self.prog.plan;
+        match op {
+            SweepOp::PostRecv { batch, dirs } => {
+                let size = self.prog.batches.size(batch);
+                let first = self.prog.first_global(batch);
+                let epoch = self.prog.epoch(self.sweep, batch);
+                for &ld in dirs.dirs() {
+                    if let Some(nb) = plan.neighbors[ld.index()] {
+                        self.queue.push_back(Instr::Irecv {
+                            src: nb,
+                            bytes: plan.msg_bytes(ld.axis, size),
+                            tag: recv_tag(self.sweep, first, ld),
+                            epoch,
+                        });
+                    }
+                }
             }
-            if self.next_post <= self.next_finish + 1 && self.next_post < self.batches.len() {
-                let p = self.next_post;
-                self.queue_exchange(p, &LinkDir::ALL);
-                self.next_post += 1;
+            SweepOp::SendFace { batch, dirs } => {
+                let size = self.prog.batches.size(batch);
+                let first = self.prog.first_global(batch);
+                let epoch = self.prog.epoch(self.sweep, batch);
+                for &ld in dirs.dirs() {
+                    if let Some(nb) = plan.neighbors[ld.index()] {
+                        self.queue.push_back(Instr::Isend {
+                            dst: nb,
+                            bytes: plan.msg_bytes(ld.axis, size),
+                            tag: send_tag(self.sweep, first, ld),
+                            epoch,
+                        });
+                    }
+                }
             }
-        } else {
-            self.queue_exchange(self.next_finish, &LinkDir::ALL);
+            SweepOp::WaitAll { batch, .. } => {
+                self.queue.push_back(Instr::WaitEpoch {
+                    epoch: self.prog.epoch(self.sweep, batch),
+                });
+            }
+            SweepOp::ComputeInterior { batch } => {
+                let size = self.prog.batches.size(batch) as u64;
+                if size > 0 {
+                    self.queue.push_back(Instr::Compute {
+                        points: self.unit_points * size,
+                        rows: self.unit_rows * size,
+                        grids: size,
+                    });
+                }
+            }
+            // One slab-fenced grid: "we have to synchronize between every
+            // grid-computation" (§VI) — batching aggregates the messages,
+            // but the slab-parallel compute is still fenced per grid, so
+            // the synchronization penalty grows with the number of grids.
+            SweepOp::ApplyBoundarySlab { .. } => {
+                self.queue.push_back(Instr::ThreadBarrier);
+                self.queue.push_back(Instr::Compute {
+                    points: self.unit_points,
+                    rows: self.unit_rows,
+                    grids: 1,
+                });
+                self.queue.push_back(Instr::ThreadBarrier);
+            }
+            SweepOp::ThreadBarrier => self.queue.push_back(Instr::ThreadBarrier),
+            // The simulator has no grid buffers to swap; the sweep
+            // transition is the cursor wrap in `expand`.
+            SweepOp::AdvanceBuffer => {}
         }
-        let b = self.next_finish;
-        self.queue.push_back(Instr::WaitEpoch {
-            epoch: self.epoch(self.sweep, b),
-        });
-        // "We have to synchronize between every grid-computation" (§VI):
-        // batching aggregates the messages, but the slab-parallel compute
-        // is still fenced per grid, so the synchronization penalty grows
-        // with the number of grids — the approach's downfall.
-        self.queue_fenced_grids(b);
-        self.next_finish += 1;
-    }
-
-    /// Master-only slots 1..: barrier, slab compute, barrier, per batch.
-    fn expand_worker(&mut self) {
-        if self.next_finish >= self.batches.len() && self.advance_sweep() {
-            return;
-        }
-        let b = self.next_finish;
-        self.queue_fenced_grids(b);
-        self.next_finish += 1;
-    }
-
-    /// Move to the next sweep. Returns true when the program finished (a
-    /// terminating instruction was queued).
-    fn advance_sweep(&mut self) -> bool {
-        // Hybrid approaches synchronize the node's threads once per sweep.
-        if matches!(self.role, Role::HybridThread) {
-            self.queue.push_back(Instr::ThreadBarrier);
-        }
-        self.sweep += 1;
-        self.next_post = 0;
-        self.next_finish = 0;
-        if self.sweep >= self.cfg.sweeps {
-            self.done = true;
-            return true;
-        }
-        false
     }
 }
 
@@ -305,53 +184,20 @@ pub fn job_map(job: &TimedJob) -> CartMap {
     CartMap::best(partition, job.grid_ext)
 }
 
-/// Build the programs for every instantiated (rank, thread) slot.
+/// Compile and wrap the programs for every instantiated (rank, thread)
+/// slot.
 fn build_programs(job: &TimedJob, map: &CartMap, scope: Scope) -> Vec<Box<dyn Program>> {
     let threads = map.partition.threads_per_process();
     let mut programs: Vec<Box<dyn Program>> = Vec::new();
     for rank in Machine::instantiated_ranks(map, scope) {
         let plan = RankPlan::for_rank(map, job.grid_ext, rank, job.bytes_per_point, &job.config);
-        for t in 0..threads {
-            let (role, asg) = role_and_assignment(job, map, rank, t, threads);
-            programs.push(Box::new(StreamProgram::new(
-                role,
-                plan.clone(),
-                asg,
-                job.config,
-                threads,
-            )));
+        let compiled = compile_rank(&job.config, map, &plan, job.n_grids, threads);
+        debug_assert_eq!(compiled.len(), threads);
+        for prog in compiled {
+            programs.push(Box::new(StreamProgram::new(prog)));
         }
     }
     programs
-}
-
-fn role_and_assignment(
-    job: &TimedJob,
-    map: &CartMap,
-    rank: usize,
-    t: usize,
-    threads: usize,
-) -> (Role, GridAssignment) {
-    let n = job.n_grids;
-    match job.config.approach {
-        Approach::FlatOriginal => (Role::FlatOriginal, GridAssignment::all(n)),
-        Approach::FlatOptimized => (Role::Flat, GridAssignment::all(n)),
-        Approach::FlatStatic => (
-            Role::Flat,
-            GridAssignment::round_robin(n, map.core_of(rank), 4),
-        ),
-        Approach::HybridMultiple => (
-            Role::HybridThread,
-            GridAssignment::round_robin(n, t, threads),
-        ),
-        Approach::HybridMasterOnly => {
-            if t == 0 {
-                (Role::Master, GridAssignment::all(n))
-            } else {
-                (Role::Worker { slot: t }, GridAssignment::all(n))
-            }
-        }
-    }
 }
 
 /// Run a timed FD job.
@@ -404,7 +250,7 @@ pub fn run_timed_with_map(
 pub fn job_map_unreordered(job: &TimedJob) -> CartMap {
     let reordered = job_map(job);
     CartMap::with_reorder(reordered.partition, reordered.proc_dims, false)
-        .expect("dims were already validated by job_map")
+        .unwrap_or_else(|e| panic!("dims were already validated by job_map: {e:?}"))
 }
 
 /// The sequential baseline: one core computing every grid whole, no
@@ -421,7 +267,8 @@ pub fn sequential_baseline(job: &TimedJob, model: &CostModel) -> RunReport {
         });
     }
     let partition = Partition::new([1, 1, 1], gpaw_bgp_hw::ExecMode::Smp);
-    let map = CartMap::new(partition, [1, 1, 1]).expect("1-node map");
+    let map = CartMap::new(partition, [1, 1, 1])
+        .unwrap_or_else(|e| panic!("1-node map is always valid: {e:?}"));
     let mut programs: Vec<Box<dyn Program>> = vec![Box::new(gpaw_simmpi::VecProgram::new(instrs))];
     for _ in 1..4 {
         programs.push(Box::new(gpaw_simmpi::VecProgram::new(vec![])));
@@ -439,6 +286,7 @@ pub fn sequential_baseline(job: &TimedJob, model: &CostModel) -> RunReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::Approach;
     use gpaw_grid::stencil::BoundaryCond;
 
     fn job(cores: usize, approach: Approach, batch: usize) -> TimedJob {

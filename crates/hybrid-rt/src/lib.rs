@@ -22,14 +22,14 @@
 //! * [`error`] — the failure channel: [`RunError`] / [`RankFailure`] /
 //!   [`StrategyError`], so no failure mode panics the process or hangs a
 //!   condvar;
-//! * [`strategy`] — the four interchangeable [`Strategy`] schedules:
-//!   [`FlatOriginal`] (blocking dim-by-dim exchange), [`FlatOptimized`]
-//!   (non-blocking all-dims + batching + double buffering),
-//!   [`HybridMultiple`] (whole grids per thread, per-thread comm
-//!   endpoints, one barrier per sweep), [`HybridMasterOnly`]
-//!   (master-thread comm, persistent slab-compute pool, two barrier waits
-//!   per batch) — each draining its barriers on failure so a dead thread
-//!   never strands its siblings;
+//! * [`strategy`] — the native interpreter of the sweep programs
+//!   compiled by `gpaw_fd::program::compile_rank`. A [`Strategy`] is a
+//!   marker naming an approach ([`FlatOriginal`], [`FlatOptimized`],
+//!   [`HybridMultiple`], [`HybridMasterOnly`], [`FlatStatic`]); every one
+//!   executes through the same op-stream walk — single thread, endpoint
+//!   fleet, or master + worker pool, chosen by the compiled thread roles
+//!   — with barrier draining on failure so a dead thread never strands
+//!   its siblings;
 //! * [`runtime`] — [`run_native`]: geometry + synthetic fill + per-rank
 //!   threads under `catch_unwind`, returning grids, a
 //!   [`gpaw_simmpi::RunReport`], and raw span timelines;
@@ -58,6 +58,6 @@ pub use fault::{
 pub use report::native_run_report;
 pub use runtime::{run_native, NativeJob, NativeRun};
 pub use strategy::{
-    all_strategies, FlatOptimized, FlatOriginal, HybridMasterOnly, HybridMultiple, RankCtx,
-    Strategy, ThreadResult,
+    all_strategies, strategy_for, FlatOptimized, FlatOriginal, FlatStatic, HybridMasterOnly,
+    HybridMultiple, RankCtx, Strategy, ThreadResult,
 };

@@ -25,7 +25,8 @@ use gpaw_bgp_hw::{CartMap, Partition};
 use gpaw_des::SimDuration;
 use gpaw_fd::config::{Approach, FdConfig};
 use gpaw_fd::exec::SyntheticFill;
-use gpaw_fd::plan::RankPlan;
+use gpaw_fd::plan::{rank_assignment, RankPlan};
+use gpaw_fd::program::compile_rank;
 use gpaw_fd::trace::ThreadSpans;
 use gpaw_grid::grid3::Grid3;
 use gpaw_grid::gridset::GridSet;
@@ -195,20 +196,27 @@ pub fn run_native<T: SyntheticFill>(
                 s.spawn(move || -> RankOutcome<T> {
                     let run = catch_unwind(AssertUnwindSafe(|| {
                         let plan = RankPlan::for_rank(map, job.grid_ext, rank, T::BYTES, cfg);
-                        let mut inputs: Vec<Grid3<T>> = Vec::with_capacity(job.n_grids);
-                        for g in 0..job.n_grids {
+                        // Compile the rank's sweep programs exactly once;
+                        // the strategy only interprets them. The rank holds
+                        // (and fills) only the grids its assignment names —
+                        // all of them except under FlatStatic's static
+                        // quarters.
+                        let programs = compile_rank(cfg, map, &plan, job.n_grids, threads);
+                        let asg = rank_assignment(cfg.approach, job.n_grids, map, rank);
+                        let mut inputs: Vec<Grid3<T>> = Vec::with_capacity(asg.count);
+                        for i in 0..asg.count {
                             let mut grid = Grid3::zeros(plan.sub.ext, halo);
-                            T::fill(&mut grid, &plan.sub, job.grid_ext, job.seed, g);
+                            T::fill(&mut grid, &plan.sub, job.grid_ext, job.seed, asg.id(i));
                             inputs.push(grid);
                         }
-                        let outputs: Vec<Grid3<T>> = (0..job.n_grids)
+                        let outputs: Vec<Grid3<T>> = (0..asg.count)
                             .map(|_| Grid3::zeros(plan.sub.ext, halo))
                             .collect();
                         let ctx = RankCtx {
                             fabric,
                             plan: &plan,
                             coef,
-                            cfg,
+                            programs: &programs,
                             threads,
                             epoch,
                         };

@@ -1,38 +1,47 @@
-//! The four programming approaches as native thread schedules.
+//! The native interpreter of the compiled sweep programs.
 //!
-//! Each [`Strategy`] executes one rank's share of the multi-grid FD sweep
-//! on real OS threads against the [`NativeFabric`], following exactly the
-//! data movement of the functional plane (`gpaw_fd::exec`) so the results
-//! are bitwise identical — same packing order, same message tags, same
-//! stencil kernel. What differs from the functional plane is *what is
-//! native*: hybrid master-only runs a persistent worker pool with real
-//! `std::sync::Barrier` synchronization (two waits per batch, the paper's
-//! pthread scheme) instead of ephemeral per-batch spawns, and hybrid
-//! multiple gives every thread its own comm endpoint with one barrier per
-//! sweep (§VI: "the synchronization penalty is therefore constant").
+//! A [`Strategy`] no longer encodes any schedule of its own: it is a
+//! marker naming an [`Approach`], and every approach executes through the
+//! same interpreter — [`run_programs`] — walking the [`SweepProgram`] op
+//! streams compiled once by `gpaw_fd::program::compile_rank` and shared
+//! with the functional and timed planes. Results are bitwise identical to
+//! the functional plane *by construction*: same op order, same packing,
+//! same tags (from `gpaw_fd::plan`), same stencil kernel.
+//!
+//! What is native here is the *execution substrate*: every
+//! [`ThreadRole::Endpoint`] program runs on its own OS thread with its
+//! own comm endpoint and a real `std::sync::Barrier` per sweep (§VI:
+//! "the synchronization penalty is therefore constant"), and a
+//! [`ThreadRole::Master`] program drives a persistent pool of
+//! [`ThreadRole::PoolWorker`] threads — each `ApplyBoundarySlab` op is
+//! one published grid fenced by a release/completion barrier pair, the
+//! paper's pthread scheme.
 //!
 //! Every thread records a [`WallTracer`] span ledger in the shared
 //! [`SpanKind`] vocabulary, so native runs report phases the same way the
 //! timed machine does — including [`SpanKind::ThreadBarrier`] time that
 //! the functional plane's ephemeral spawns cannot observe.
 //!
-//! **Failure containment.** [`Strategy::run_rank`] returns a
-//! [`StrategyError`] instead of panicking: a receive that hits the
-//! deadlock watchdog, or a panicking endpoint/pool thread, terminates the
-//! rank cleanly. The multi-thread schedules *drain* their barriers on
-//! failure — a failed thread stops communicating and computing but keeps
-//! arriving at every remaining barrier, so its siblings can never
-//! deadlock on a peer that died. The barrier count per thread is static
-//! (one per sweep for hybrid multiple, two per non-empty batch per sweep
-//! for master-only), which is what makes the drain bounded.
+//! **Failure containment** is an interpreter concern, not a per-strategy
+//! one. The interpreter returns a [`StrategyError`] instead of panicking:
+//! a receive that hits the deadlock watchdog, or a panicking
+//! endpoint/pool thread, terminates the rank cleanly. Threads *drain*
+//! their barriers on failure — a failed thread stops communicating and
+//! computing but keeps arriving at every remaining barrier op, so its
+//! siblings can never deadlock on a peer that died. The barrier count per
+//! thread is static in the program (`SweepProgram::barrier_waits_per_sweep`:
+//! one `ThreadBarrier` op per sweep for endpoints, two waits per
+//! `ApplyBoundarySlab` op for the master pool), which is what makes the
+//! drain bounded.
 
 use crate::error::{panic_message, StrategyError};
 use crate::fabric::NativeFabric;
 use crate::fault::RecvTimeout;
-use gpaw_bgp_hw::topology::{Dir, LinkDir};
-use gpaw_fd::config::{Approach, FdConfig};
+use gpaw_bgp_hw::topology::Dir;
+use gpaw_fd::config::Approach;
 use gpaw_fd::exec::SyntheticFill;
-use gpaw_fd::plan::{message_tag, Batches, GridAssignment, RankPlan};
+use gpaw_fd::plan::{recv_tag, send_tag, RankPlan};
+use gpaw_fd::program::{SweepOp, SweepProgram, ThreadRole};
 use gpaw_fd::trace::{Span, SpanKind, ThreadPhases, WallTracer};
 use gpaw_grid::grid3::Grid3;
 use gpaw_grid::halo::{pack_batch, unpack_batch, zero_face, Side};
@@ -50,9 +59,10 @@ pub struct RankCtx<'a, T: Scalar> {
     pub plan: &'a RankPlan,
     /// Stencil coefficients.
     pub coef: &'a StencilCoeffs,
-    /// Engine parameters (batching, double buffering, sweeps).
-    pub cfg: &'a FdConfig,
-    /// Threads per rank for the hybrid strategies (1 for flat).
+    /// The rank's compiled sweep programs, one per thread slot.
+    pub programs: &'a [SweepProgram],
+    /// Threads per rank (= `programs.len()` for the hybrid approaches,
+    /// 1 for flat).
     pub threads: usize,
     /// Shared time origin of the run's span ledgers.
     pub epoch: Instant,
@@ -74,6 +84,11 @@ fn finish_thread(tr: WallTracer, rank: usize, slot: usize) -> ThreadResult {
 }
 
 /// A native execution schedule for one of the paper's approaches.
+///
+/// The schedule itself lives in the compiled programs; a strategy only
+/// names the approach. `run_rank` has a default implementation — the
+/// shared interpreter — so adding an approach to the native plane means
+/// adding a marker struct and a compiler arm, nothing else.
 pub trait Strategy<T: SyntheticFill>: Sync {
     /// The approach this schedule implements (selects decomposition
     /// granularity and execution mode).
@@ -85,7 +100,7 @@ pub trait Strategy<T: SyntheticFill>: Sync {
     }
 
     /// Execute one rank: consume its filled input grids (and scratch
-    /// outputs), return the final grids in global order plus one
+    /// outputs), return the final grids in local order plus one
     /// [`ThreadResult`] per thread the schedule ran — or a structured
     /// [`StrategyError`] when a receive hit the watchdog or a thread of
     /// the schedule panicked. Failure never deadlocks: the schedule's
@@ -95,10 +110,54 @@ pub trait Strategy<T: SyntheticFill>: Sync {
         ctx: &RankCtx<'_, T>,
         inputs: Vec<Grid3<T>>,
         outputs: Vec<Grid3<T>>,
-    ) -> Result<(Vec<Grid3<T>>, Vec<ThreadResult>), StrategyError>;
+    ) -> Result<(Vec<Grid3<T>>, Vec<ThreadResult>), StrategyError> {
+        run_programs(ctx, inputs, outputs)
+    }
 }
 
-/// All four strategies, in the paper's figure order.
+/// *Flat original* (§IV-A): one thread per rank, blocking
+/// dimension-by-dimension exchange per grid, no batching, no overlap.
+pub struct FlatOriginal;
+
+/// *Flat optimized*: one thread per rank with every §V optimization —
+/// simultaneous non-blocking exchange, batching, double buffering.
+pub struct FlatOptimized;
+
+/// *Hybrid multiple* (§VI): whole grids dealt round-robin to the rank's
+/// threads, every thread its own comm endpoint (`MPI_THREAD_MULTIPLE`),
+/// one barrier per sweep.
+pub struct HybridMultiple;
+
+/// *Hybrid master-only* (§VI): the master thread communicates
+/// (`MPI_THREAD_SINGLE`); a persistent pool of worker threads computes
+/// each grid in x-slabs, fenced by two barrier waits per grid — the
+/// paper's pthread scheme.
+pub struct HybridMasterOnly;
+
+/// *Flat static* (§VII): virtual-mode ranks with node-level decomposition
+/// and static grid quarters — the paper's diagnostic proving the
+/// granularity, not threading, explains the hybrid advantage. Defined
+/// entirely in the schedule compiler; it gained this plane without one
+/// line of plane-specific code.
+pub struct FlatStatic;
+
+macro_rules! marker_strategy {
+    ($ty:ident) => {
+        impl<T: SyntheticFill> Strategy<T> for $ty {
+            fn approach(&self) -> Approach {
+                Approach::$ty
+            }
+        }
+    };
+}
+
+marker_strategy!(FlatOriginal);
+marker_strategy!(FlatOptimized);
+marker_strategy!(HybridMultiple);
+marker_strategy!(HybridMasterOnly);
+marker_strategy!(FlatStatic);
+
+/// The four paper strategies, in the paper's figure order.
 pub fn all_strategies<T: SyntheticFill>() -> Vec<Box<dyn Strategy<T>>> {
     vec![
         Box::new(FlatOriginal),
@@ -106,6 +165,17 @@ pub fn all_strategies<T: SyntheticFill>() -> Vec<Box<dyn Strategy<T>>> {
         Box::new(HybridMultiple),
         Box::new(HybridMasterOnly),
     ]
+}
+
+/// The strategy for any approach, including the §VII diagnostic.
+pub fn strategy_for<T: SyntheticFill>(approach: Approach) -> Box<dyn Strategy<T>> {
+    match approach {
+        Approach::FlatOriginal => Box::new(FlatOriginal),
+        Approach::FlatOptimized => Box::new(FlatOptimized),
+        Approach::HybridMultiple => Box::new(HybridMultiple),
+        Approach::HybridMasterOnly => Box::new(HybridMasterOnly),
+        Approach::FlatStatic => Box::new(FlatStatic),
+    }
 }
 
 /// The side of our subdomain whose interior planes feed a send toward
@@ -126,383 +196,276 @@ fn recv_side(dir: Dir) -> Side {
     }
 }
 
-/// Post the face sends of one batch along the given directions.
-#[allow(clippy::too_many_arguments)] // mirrors the schedule's parameter list
-fn send_batch<T: Scalar>(
-    fabric: &NativeFabric<T>,
-    plan: &RankPlan,
-    grids: &[Grid3<T>],
-    local_ids: &[usize],
-    first_global: usize,
+/// What every op of one program executes against: the fabric, the
+/// program itself, and the stencil.
+#[derive(Clone, Copy)]
+struct OpEnv<'a, T: Scalar> {
+    fabric: &'a NativeFabric<T>,
+    prog: &'a SweepProgram,
+    coef: &'a StencilCoeffs,
+}
+
+/// Execute one *communication or interior-compute* op of a program. The
+/// synchronization ops (`ThreadBarrier`, `ApplyBoundarySlab`,
+/// `AdvanceBuffer`) are the role runners' concern — they need the
+/// barrier and the task slots — and never reach here.
+fn exec_comm_op<T: Scalar>(
+    env: &OpEnv<'_, T>,
+    op: SweepOp,
     sweep: usize,
-    dirs: &[LinkDir],
-    tr: &mut WallTracer,
-) {
-    for &ld in dirs {
-        if let Some(nb) = plan.neighbors[ld.index()] {
-            let points = plan.face_points[ld.axis.index()] * local_ids.len();
-            let mut buf = Vec::with_capacity(points);
-            tr.open(SpanKind::HaloPack);
-            pack_batch(
-                grids,
-                local_ids,
-                ld.axis.index(),
-                send_side(ld.dir),
-                &mut buf,
-            );
-            tr.close();
-            debug_assert_eq!(buf.len(), points);
-            tr.open(SpanKind::Post);
-            fabric.send(plan.rank, nb, message_tag(sweep, first_global, ld), buf);
-            tr.close();
-        }
-    }
-}
-
-/// Receive and unpack the face data of one batch along the given
-/// directions (zero-filling ghost planes at non-periodic edges). A
-/// receive that hits the deadlock watchdog aborts the batch with the
-/// timeout's diagnostic.
-#[allow(clippy::too_many_arguments)] // mirrors the schedule's parameter list
-fn recv_batch<T: Scalar>(
-    fabric: &NativeFabric<T>,
-    plan: &RankPlan,
-    grids: &mut [Grid3<T>],
-    local_ids: &[usize],
-    first_global: usize,
-    sweep: usize,
-    dirs: &[LinkDir],
-    tr: &mut WallTracer,
-) -> Result<(), Box<RecvTimeout>> {
-    for &ld in dirs {
-        match plan.neighbors[ld.index()] {
-            Some(nb) => {
-                // The neighbor's send toward us travels opposite to the
-                // direction we look at it through.
-                let travel = LinkDir {
-                    axis: ld.axis,
-                    dir: ld.dir.opposite(),
-                };
-                tr.open(SpanKind::Wait);
-                let res = fabric.recv(plan.rank, nb, message_tag(sweep, first_global, travel));
-                tr.close();
-                let buf = res?;
-                tr.open(SpanKind::HaloUnpack);
-                unpack_batch(grids, local_ids, ld.axis.index(), recv_side(ld.dir), &buf);
-                tr.close();
-            }
-            None => {
-                tr.open(SpanKind::HaloUnpack);
-                for &g in local_ids {
-                    zero_face(&mut grids[g], ld.axis.index(), recv_side(ld.dir));
-                }
-                tr.close();
-            }
-        }
-    }
-    Ok(())
-}
-
-/// Run `sweeps` sweeps via `one_sweep(inputs, outputs, sweep)`, swapping
-/// the roles between sweeps; returns the grids holding the final result,
-/// or the first receive timeout.
-fn run_sweeps<T: Scalar>(
-    mut inputs: Vec<Grid3<T>>,
-    mut outputs: Vec<Grid3<T>>,
-    sweeps: usize,
-    mut one_sweep: impl FnMut(&mut [Grid3<T>], &mut [Grid3<T>], usize) -> Result<(), Box<RecvTimeout>>,
-) -> Result<Vec<Grid3<T>>, Box<RecvTimeout>> {
-    for sweep in 0..sweeps {
-        one_sweep(&mut inputs, &mut outputs, sweep)?;
-        std::mem::swap(&mut inputs, &mut outputs);
-    }
-    Ok(inputs)
-}
-
-/// One sweep of the batched, simultaneous-exchange schedule (§V): all
-/// three dimensions at once, double-buffered across batches.
-#[allow(clippy::too_many_arguments)] // mirrors the schedule's parameter list
-fn sweep_batched<T: Scalar>(
-    fabric: &NativeFabric<T>,
-    plan: &RankPlan,
-    coef: &StencilCoeffs,
     inputs: &mut [Grid3<T>],
     outputs: &mut [Grid3<T>],
-    batches: &Batches,
-    global_id: &dyn Fn(usize) -> usize,
-    sweep: usize,
-    double_buffer: bool,
     tr: &mut WallTracer,
 ) -> Result<(), Box<RecvTimeout>> {
-    let ids_of = |b: usize| -> Vec<usize> {
-        let (s, e) = batches.range(b);
-        (s..e).collect()
-    };
-    let first_of = |b: usize| global_id(batches.range(b).0);
-
-    if double_buffer && !batches.is_empty() && batches.size(0) > 0 {
-        send_batch(
-            fabric,
-            plan,
-            inputs,
-            &ids_of(0),
-            first_of(0),
-            sweep,
-            &LinkDir::ALL,
-            tr,
-        );
-    }
-    for b in 0..batches.len() {
-        if batches.size(b) == 0 {
-            continue;
-        }
-        if double_buffer {
-            if b + 1 < batches.len() {
-                send_batch(
-                    fabric,
-                    plan,
-                    inputs,
-                    &ids_of(b + 1),
-                    first_of(b + 1),
-                    sweep,
-                    &LinkDir::ALL,
-                    tr,
-                );
+    let OpEnv { fabric, prog, coef } = *env;
+    let plan = &prog.plan;
+    match op {
+        // The native fabric buffers sends internally; a receive needs no
+        // pre-posting.
+        SweepOp::PostRecv { .. } => {}
+        SweepOp::SendFace { batch, dirs } => {
+            let local_ids: Vec<usize> = prog.locals_of(batch).collect();
+            let first = prog.first_global(batch);
+            for &ld in dirs.dirs() {
+                if let Some(nb) = plan.neighbors[ld.index()] {
+                    let points = plan.face_points[ld.axis.index()] * local_ids.len();
+                    let mut buf = Vec::with_capacity(points);
+                    tr.open(SpanKind::HaloPack);
+                    pack_batch(
+                        inputs,
+                        &local_ids,
+                        ld.axis.index(),
+                        send_side(ld.dir),
+                        &mut buf,
+                    );
+                    tr.close();
+                    debug_assert_eq!(buf.len(), points);
+                    tr.open(SpanKind::Post);
+                    fabric.send(plan.rank, nb, send_tag(sweep, first, ld), buf);
+                    tr.close();
+                }
             }
-        } else {
-            send_batch(
-                fabric,
-                plan,
-                inputs,
-                &ids_of(b),
-                first_of(b),
-                sweep,
-                &LinkDir::ALL,
-                tr,
-            );
         }
-        recv_batch(
-            fabric,
-            plan,
-            inputs,
-            &ids_of(b),
-            first_of(b),
-            sweep,
-            &LinkDir::ALL,
-            tr,
-        )?;
-        tr.open(SpanKind::Compute);
-        for g in ids_of(b) {
-            apply(coef, &inputs[g], &mut outputs[g]);
+        SweepOp::WaitAll { batch, dirs } => {
+            let local_ids: Vec<usize> = prog.locals_of(batch).collect();
+            let first = prog.first_global(batch);
+            for &ld in dirs.dirs() {
+                match plan.neighbors[ld.index()] {
+                    Some(nb) => {
+                        tr.open(SpanKind::Wait);
+                        let res = fabric.recv(plan.rank, nb, recv_tag(sweep, first, ld));
+                        tr.close();
+                        let buf = res?;
+                        tr.open(SpanKind::HaloUnpack);
+                        unpack_batch(inputs, &local_ids, ld.axis.index(), recv_side(ld.dir), &buf);
+                        tr.close();
+                    }
+                    None => {
+                        tr.open(SpanKind::HaloUnpack);
+                        for &g in &local_ids {
+                            zero_face(&mut inputs[g], ld.axis.index(), recv_side(ld.dir));
+                        }
+                        tr.close();
+                    }
+                }
+            }
         }
-        tr.close();
+        SweepOp::ComputeInterior { batch } => {
+            tr.open(SpanKind::Compute);
+            for g in prog.locals_of(batch) {
+                apply(coef, &inputs[g], &mut outputs[g]);
+            }
+            tr.close();
+        }
+        SweepOp::ThreadBarrier | SweepOp::ApplyBoundarySlab { .. } | SweepOp::AdvanceBuffer => {
+            unreachable!("synchronization ops are handled by the role runner")
+        }
     }
     Ok(())
 }
 
-/// *Flat original* (§IV-A): one thread per rank, blocking
-/// dimension-by-dimension exchange per grid, no batching, no overlap.
-pub struct FlatOriginal;
-
-impl<T: SyntheticFill> Strategy<T> for FlatOriginal {
-    fn approach(&self) -> Approach {
-        Approach::FlatOriginal
+/// Interpret one rank's compiled programs on native threads. Dispatches
+/// on the role of the first program: a single flat thread, a fleet of
+/// peer endpoints, or a master with its worker pool.
+pub fn run_programs<T: Scalar>(
+    ctx: &RankCtx<'_, T>,
+    inputs: Vec<Grid3<T>>,
+    outputs: Vec<Grid3<T>>,
+) -> Result<(Vec<Grid3<T>>, Vec<ThreadResult>), StrategyError> {
+    match ctx.programs[0].role {
+        ThreadRole::Single => run_single(ctx, inputs, outputs),
+        ThreadRole::Endpoint => run_endpoints(ctx, inputs, outputs),
+        ThreadRole::Master => run_master_pool(ctx, inputs, outputs),
+        ThreadRole::PoolWorker { .. } => unreachable!("slot 0 is never a pool worker"),
     }
+}
 
-    fn run_rank(
-        &self,
-        ctx: &RankCtx<'_, T>,
-        inputs: Vec<Grid3<T>>,
-        outputs: Vec<Grid3<T>>,
-    ) -> Result<(Vec<Grid3<T>>, Vec<ThreadResult>), StrategyError> {
-        let mut tr = WallTracer::new(ctx.epoch);
-        let r = run_sweeps(inputs, outputs, ctx.cfg.sweeps, |i, o, sweep| {
-            for g in 0..i.len() {
-                for pair in LinkDir::ALL.chunks(2) {
-                    send_batch(ctx.fabric, ctx.plan, i, &[g], g, sweep, pair, &mut tr);
-                    recv_batch(ctx.fabric, ctx.plan, i, &[g], g, sweep, pair, &mut tr)?;
-                }
-                tr.open(SpanKind::Compute);
-                apply(ctx.coef, &i[g], &mut o[g]);
-                tr.close();
+/// A single-threaded rank: interpret the one program on the calling
+/// thread. (Panic containment lives one level up, in `run_native`'s
+/// per-rank `catch_unwind`.)
+fn run_single<T: Scalar>(
+    ctx: &RankCtx<'_, T>,
+    mut inputs: Vec<Grid3<T>>,
+    mut outputs: Vec<Grid3<T>>,
+) -> Result<(Vec<Grid3<T>>, Vec<ThreadResult>), StrategyError> {
+    let prog = &ctx.programs[0];
+    let env = OpEnv {
+        fabric: ctx.fabric,
+        prog,
+        coef: ctx.coef,
+    };
+    let mut tr = WallTracer::new(ctx.epoch);
+    for sweep in 0..prog.sweeps {
+        for &op in &prog.ops {
+            if op == SweepOp::AdvanceBuffer {
+                std::mem::swap(&mut inputs, &mut outputs);
+                continue;
             }
-            Ok(())
-        });
-        match r {
-            Ok(grids) => Ok((grids, vec![finish_thread(tr, ctx.plan.rank, 0)])),
-            Err(e) => Err(StrategyError::Recv(e)),
+            if let Err(e) = exec_comm_op(&env, op, sweep, &mut inputs, &mut outputs, &mut tr) {
+                tr.close_all();
+                return Err(StrategyError::Recv(e));
+            }
         }
     }
+    Ok((inputs, vec![finish_thread(tr, ctx.plan.rank, 0)]))
 }
 
-/// *Flat optimized*: one thread per rank with every §V optimization —
-/// simultaneous non-blocking exchange, batching, double buffering.
-pub struct FlatOptimized;
-
-impl<T: SyntheticFill> Strategy<T> for FlatOptimized {
-    fn approach(&self) -> Approach {
-        Approach::FlatOptimized
-    }
-
-    fn run_rank(
-        &self,
-        ctx: &RankCtx<'_, T>,
-        inputs: Vec<Grid3<T>>,
-        outputs: Vec<Grid3<T>>,
-    ) -> Result<(Vec<Grid3<T>>, Vec<ThreadResult>), StrategyError> {
-        let mut tr = WallTracer::new(ctx.epoch);
-        let batches = Batches::build(inputs.len(), ctx.cfg);
-        let r = run_sweeps(inputs, outputs, ctx.cfg.sweeps, |i, o, sweep| {
-            sweep_batched(
-                ctx.fabric,
-                ctx.plan,
-                ctx.coef,
-                i,
-                o,
-                &batches,
-                &|l| l,
-                sweep,
-                ctx.cfg.double_buffer,
-                &mut tr,
-            )
-        });
-        match r {
-            Ok(grids) => Ok((grids, vec![finish_thread(tr, ctx.plan.rank, 0)])),
-            Err(e) => Err(StrategyError::Recv(e)),
+/// A fleet of peer endpoints: each program on its own OS thread with its
+/// own grids and its own communication, synchronized only at the
+/// `ThreadBarrier` op. A failed endpoint keeps arriving at the barrier
+/// ops (untraced) so its siblings drain instead of deadlocking.
+fn run_endpoints<T: Scalar>(
+    ctx: &RankCtx<'_, T>,
+    inputs: Vec<Grid3<T>>,
+    outputs: Vec<Grid3<T>>,
+) -> Result<(Vec<Grid3<T>>, Vec<ThreadResult>), StrategyError> {
+    let programs = ctx.programs;
+    let threads = programs.len();
+    let n_grids = inputs.len();
+    // Deal grids to the thread whose program's assignment owns them —
+    // derived from the compiled programs, not re-decided here.
+    let mut owner = vec![usize::MAX; n_grids];
+    for (t, p) in programs.iter().enumerate() {
+        for i in 0..p.asg.count {
+            owner[p.asg.id(i)] = t;
         }
     }
-}
-
-/// *Hybrid multiple* (§VI): whole grids dealt round-robin to the rank's
-/// threads, every thread its own comm endpoint (`MPI_THREAD_MULTIPLE`),
-/// one barrier per sweep.
-pub struct HybridMultiple;
-
-impl<T: SyntheticFill> Strategy<T> for HybridMultiple {
-    fn approach(&self) -> Approach {
-        Approach::HybridMultiple
+    debug_assert!(owner.iter().all(|&t| t < threads));
+    let mut in_parts: Vec<Vec<Grid3<T>>> = (0..threads).map(|_| Vec::new()).collect();
+    let mut out_parts: Vec<Vec<Grid3<T>>> = (0..threads).map(|_| Vec::new()).collect();
+    for (g, grid) in inputs.into_iter().enumerate() {
+        in_parts[owner[g]].push(grid);
+    }
+    for (g, grid) in outputs.into_iter().enumerate() {
+        out_parts[owner[g]].push(grid);
     }
 
-    fn run_rank(
-        &self,
-        ctx: &RankCtx<'_, T>,
-        inputs: Vec<Grid3<T>>,
-        outputs: Vec<Grid3<T>>,
-    ) -> Result<(Vec<Grid3<T>>, Vec<ThreadResult>), StrategyError> {
-        let threads = ctx.threads;
-        let n_grids = inputs.len();
-        let mut in_parts: Vec<Vec<Grid3<T>>> = (0..threads).map(|_| Vec::new()).collect();
-        let mut out_parts: Vec<Vec<Grid3<T>>> = (0..threads).map(|_| Vec::new()).collect();
-        for (g, grid) in inputs.into_iter().enumerate() {
-            in_parts[g % threads].push(grid);
-        }
-        for (g, grid) in outputs.into_iter().enumerate() {
-            out_parts[g % threads].push(grid);
-        }
-
-        let barrier = Barrier::new(threads);
-        type EndpointOutcome<T> = Result<(Vec<Grid3<T>>, ThreadResult), StrategyError>;
-        let outcomes: Vec<EndpointOutcome<T>> = std::thread::scope(|s| {
-            let mut handles = Vec::new();
-            for (t, (mut ins, mut outs)) in in_parts.drain(..).zip(out_parts.drain(..)).enumerate()
-            {
-                let barrier = &barrier;
-                handles.push(s.spawn(move || -> EndpointOutcome<T> {
-                    let mut tr = WallTracer::new(ctx.epoch);
-                    let asg = GridAssignment::round_robin(n_grids, t, threads);
-                    debug_assert_eq!(asg.count, ins.len());
-                    let batches = Batches::build(asg.count, ctx.cfg);
-                    let mut err: Option<StrategyError> = None;
-                    for sweep in 0..ctx.cfg.sweeps {
-                        if err.is_none() {
-                            let r = catch_unwind(AssertUnwindSafe(|| {
-                                sweep_batched(
-                                    ctx.fabric,
-                                    ctx.plan,
-                                    ctx.coef,
-                                    &mut ins,
-                                    &mut outs,
-                                    &batches,
-                                    &|local| asg.id(local),
-                                    sweep,
-                                    ctx.cfg.double_buffer,
-                                    &mut tr,
-                                )
-                            }));
-                            match r {
-                                Ok(Ok(())) => std::mem::swap(&mut ins, &mut outs),
-                                Ok(Err(e)) => {
-                                    tr.close_all();
-                                    err = Some(StrategyError::Recv(e));
+    let barrier = Barrier::new(threads);
+    type EndpointOutcome<T> = Result<(Vec<Grid3<T>>, ThreadResult), StrategyError>;
+    let outcomes: Vec<EndpointOutcome<T>> = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (t, (mut ins, mut outs)) in in_parts.drain(..).zip(out_parts.drain(..)).enumerate() {
+            let barrier = &barrier;
+            let prog = &programs[t];
+            handles.push(s.spawn(move || -> EndpointOutcome<T> {
+                let env = OpEnv {
+                    fabric: ctx.fabric,
+                    prog,
+                    coef: ctx.coef,
+                };
+                let mut tr = WallTracer::new(ctx.epoch);
+                debug_assert_eq!(prog.asg.count, ins.len());
+                let mut err: Option<StrategyError> = None;
+                for sweep in 0..prog.sweeps {
+                    for &op in &prog.ops {
+                        match op {
+                            SweepOp::ThreadBarrier => {
+                                // §VI: the one synchronization per sweep.
+                                if err.is_none() {
+                                    tr.open(SpanKind::ThreadBarrier);
+                                    barrier.wait();
+                                    tr.close();
+                                } else {
+                                    barrier.wait();
                                 }
-                                Err(p) => {
-                                    tr.close_all();
-                                    err = Some(StrategyError::ThreadPanic {
-                                        slot: t,
-                                        message: panic_message(p.as_ref()),
-                                    });
+                            }
+                            SweepOp::AdvanceBuffer => {
+                                if err.is_none() {
+                                    std::mem::swap(&mut ins, &mut outs);
+                                }
+                            }
+                            _ => {
+                                if err.is_some() {
+                                    continue;
+                                }
+                                let r = catch_unwind(AssertUnwindSafe(|| {
+                                    exec_comm_op(&env, op, sweep, &mut ins, &mut outs, &mut tr)
+                                }));
+                                match r {
+                                    Ok(Ok(())) => {}
+                                    Ok(Err(e)) => {
+                                        tr.close_all();
+                                        err = Some(StrategyError::Recv(e));
+                                    }
+                                    Err(p) => {
+                                        tr.close_all();
+                                        err = Some(StrategyError::ThreadPanic {
+                                            slot: t,
+                                            message: panic_message(p.as_ref()),
+                                        });
+                                    }
                                 }
                             }
                         }
-                        // §VI: the one synchronization per sweep. A failed
-                        // endpoint keeps arriving here (untraced) so its
-                        // siblings drain instead of deadlocking.
-                        if err.is_none() {
-                            tr.open(SpanKind::ThreadBarrier);
-                            barrier.wait();
-                            tr.close();
-                        } else {
-                            barrier.wait();
-                        }
                     }
-                    match err {
-                        None => Ok((ins, finish_thread(tr, ctx.plan.rank, t))),
-                        Some(e) => Err(e),
-                    }
-                }));
-            }
-            handles
-                .into_iter()
-                .enumerate()
-                .map(|(t, h)| match h.join() {
-                    Ok(outcome) => outcome,
-                    Err(p) => Err(StrategyError::ThreadPanic {
-                        slot: t,
-                        message: panic_message(p.as_ref()),
-                    }),
-                })
-                .collect()
-        });
+                }
+                match err {
+                    None => Ok((ins, finish_thread(tr, ctx.plan.rank, t))),
+                    Some(e) => Err(e),
+                }
+            }));
+        }
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(t, h)| match h.join() {
+                Ok(outcome) => outcome,
+                Err(p) => Err(StrategyError::ThreadPanic {
+                    slot: t,
+                    message: panic_message(p.as_ref()),
+                }),
+            })
+            .collect()
+    });
 
-        // Interleave back into global grid order (or surface the first
-        // endpoint failure).
-        let mut thread_results = Vec::with_capacity(threads);
-        let mut parts: Vec<std::vec::IntoIter<Grid3<T>>> = Vec::with_capacity(threads);
-        for outcome in outcomes {
-            let (grids, tres) = outcome?;
-            thread_results.push(tres);
-            parts.push(grids.into_iter());
-        }
-        let mut grids = Vec::with_capacity(n_grids);
-        for g in 0..n_grids {
-            match parts[g % threads].next() {
-                Some(grid) => grids.push(grid),
-                None => unreachable!("round robin exhausted"),
-            }
-        }
-        Ok((grids, thread_results))
+    // Interleave back into the rank's grid order (or surface the first
+    // endpoint failure).
+    let mut thread_results = Vec::with_capacity(threads);
+    let mut parts: Vec<std::vec::IntoIter<Grid3<T>>> = Vec::with_capacity(threads);
+    for outcome in outcomes {
+        let (grids, tres) = outcome?;
+        thread_results.push(tres);
+        parts.push(grids.into_iter());
     }
+    let mut grids = Vec::with_capacity(n_grids);
+    for g in 0..n_grids {
+        match parts[owner[g]].next() {
+            Some(grid) => grids.push(grid),
+            None => unreachable!("owner map exhausted"),
+        }
+    }
+    Ok((grids, thread_results))
 }
 
 /// One slab of compute published from the master to a pooled worker: grid
 /// `input` applied over x-planes `[x0, x1)` into the raw output `slab`.
 ///
-/// Raw pointers because the mutable slab borrows of one batch cannot
-/// outlive the master's loop iteration in the type system, while the pool
+/// Raw pointers because the mutable slab borrows of one grid cannot
+/// outlive the master's op iteration in the type system, while the pool
 /// threads outlive the whole run. Soundness comes from the barrier
 /// protocol: tasks are published before the release barrier, consumed
 /// strictly between the release and completion barriers, and the slabs of
-/// one batch are pairwise disjoint (`split_x_slabs`).
+/// one grid are pairwise disjoint (`split_x_slabs`).
 struct SlabTask<T> {
     input: *const Grid3<T>,
     x0: usize,
@@ -513,14 +476,14 @@ struct SlabTask<T> {
 
 // SAFETY: a task is a message handing exclusive access to one disjoint
 // output slab (plus shared access to one input grid) across the release
-// barrier; the pointers never alias between tasks of one batch.
+// barrier; the pointers never alias between tasks of one grid.
 unsafe impl<T: Send> Send for SlabTask<T> {}
 
-/// Run one task list (the per-thread compute share of one batch).
+/// Run one task list (the per-thread compute share of one grid).
 ///
 /// # Safety
 /// Must only be called between the release and completion barriers of the
-/// batch the tasks were published for.
+/// grid the tasks were published for.
 unsafe fn run_tasks<T: Scalar>(coef: &StencilCoeffs, tasks: &[SlabTask<T>]) {
     for task in tasks {
         let slab = std::slice::from_raw_parts_mut(task.slab, task.len);
@@ -528,12 +491,12 @@ unsafe fn run_tasks<T: Scalar>(coef: &StencilCoeffs, tasks: &[SlabTask<T>]) {
     }
 }
 
-/// Cut each batch grid into x-slabs, publish slabs `1..` to the pool
-/// slots, and return slot 0's share (the master's own compute).
+/// Cut one grid into x-slabs, publish slabs `1..` to the pool slots, and
+/// return slot 0's share (the master's own compute).
 fn publish_slab_tasks<T: Scalar>(
     ins: &[Grid3<T>],
     outs: &mut [Grid3<T>],
-    ids: &[usize],
+    gid: usize,
     bounds: &[usize],
     slots: &[Mutex<Vec<SlabTask<T>>>],
 ) -> Vec<SlabTask<T>> {
@@ -541,29 +504,16 @@ fn publish_slab_tasks<T: Scalar>(
     let slabs_per_grid = bounds.len() - 1;
     let mut per_slot: Vec<Vec<SlabTask<T>>> = (0..slabs_per_grid).map(|_| Vec::new()).collect();
 
-    // Walk `outs`, splitting off each batch grid to get disjoint mutable
-    // slabs.
-    let mut rest: &mut [Grid3<T>] = outs;
-    let mut offset = 0usize;
-    for &gid in ids {
-        debug_assert!(gid >= offset);
-        let (_skip, tail) = rest.split_at_mut(gid - offset);
-        let (grid, tail2) = match tail.split_first_mut() {
-            Some(pair) => pair,
-            None => unreachable!("batch id in range"),
-        };
-        for (t, slab) in grid.split_x_slabs(cuts).into_iter().enumerate() {
-            let len = slab.len();
-            per_slot[t].push(SlabTask {
-                input: &ins[gid] as *const Grid3<T>,
-                x0: bounds[t],
-                x1: bounds[t + 1],
-                slab: slab.as_mut_ptr(),
-                len,
-            });
-        }
-        rest = tail2;
-        offset = gid + 1;
+    let grid = &mut outs[gid];
+    for (t, slab) in grid.split_x_slabs(cuts).into_iter().enumerate() {
+        let len = slab.len();
+        per_slot[t].push(SlabTask {
+            input: &ins[gid] as *const Grid3<T>,
+            x0: bounds[t],
+            x1: bounds[t + 1],
+            slab: slab.as_mut_ptr(),
+            len,
+        });
     }
 
     let mut iter = per_slot.into_iter();
@@ -574,241 +524,181 @@ fn publish_slab_tasks<T: Scalar>(
     mine
 }
 
-/// *Hybrid master-only* (§VI): the master thread communicates
-/// (`MPI_THREAD_SINGLE`); a persistent pool of worker threads computes
-/// each batch's grids in x-slabs, synchronized by two barrier waits per
-/// batch (release after the tasks are published, completion after the
-/// slabs are done) — the paper's pthread scheme.
-pub struct HybridMasterOnly;
+/// A master driving its persistent worker pool. Each `ApplyBoundarySlab`
+/// op is one grid published to the task slots and fenced by a
+/// release/completion barrier pair; the pool protocol is fully static
+/// (the worker programs carry the same slab ops), so no shutdown signal
+/// is needed — and a failing thread drains the remaining barrier pairs
+/// with empty task slots instead of stranding its peers.
+fn run_master_pool<T: Scalar>(
+    ctx: &RankCtx<'_, T>,
+    inputs: Vec<Grid3<T>>,
+    outputs: Vec<Grid3<T>>,
+) -> Result<(Vec<Grid3<T>>, Vec<ThreadResult>), StrategyError> {
+    let threads = ctx.threads;
+    let nx = inputs[0].n()[0];
+    let bounds = slab_bounds(nx, threads);
+    let barrier = Barrier::new(threads);
+    // Task slots, one per pool slot. Slots past the slab count (when
+    // `nx` is too shallow for `threads` slabs) simply stay empty; the
+    // threads still take part in every barrier.
+    let slots: Vec<Mutex<Vec<SlabTask<T>>>> =
+        (0..threads).map(|_| Mutex::new(Vec::new())).collect();
 
-impl<T: SyntheticFill> Strategy<T> for HybridMasterOnly {
-    fn approach(&self) -> Approach {
-        Approach::HybridMasterOnly
-    }
-
-    fn run_rank(
-        &self,
-        ctx: &RankCtx<'_, T>,
-        inputs: Vec<Grid3<T>>,
-        outputs: Vec<Grid3<T>>,
-    ) -> Result<(Vec<Grid3<T>>, Vec<ThreadResult>), StrategyError> {
-        let threads = ctx.threads;
-        let batches = Batches::build(inputs.len(), ctx.cfg);
-        let nonempty = (0..batches.len()).filter(|&b| batches.size(b) > 0).count();
-        // The pool protocol is fully static: every thread knows the exact
-        // barrier count upfront, so no shutdown signal is needed — and a
-        // failing master can drain the remaining barrier pairs with empty
-        // task slots instead of stranding the pool.
-        let iterations = ctx.cfg.sweeps * nonempty;
-        let nx = inputs[0].n()[0];
-        let bounds = slab_bounds(nx, threads);
-        let barrier = Barrier::new(threads);
-        // Task slots, one per pool slot. Slots past the slab count (when
-        // `nx` is too shallow for `threads` slabs) simply stay empty; the
-        // threads still take part in every barrier.
-        let slots: Vec<Mutex<Vec<SlabTask<T>>>> =
-            (0..threads).map(|_| Mutex::new(Vec::new())).collect();
-
-        let (grids, master, workers) = std::thread::scope(|s| {
-            let mut handles = Vec::new();
-            for t in 1..threads {
-                let barrier = &barrier;
-                let slots = &slots;
-                handles.push(s.spawn(move || -> Result<ThreadResult, StrategyError> {
-                    let mut tr = WallTracer::new(ctx.epoch);
-                    let mut err: Option<StrategyError> = None;
-                    for _ in 0..iterations {
-                        tr.open(SpanKind::ThreadBarrier);
-                        barrier.wait(); // release: tasks are published
-                        tr.close();
-                        let tasks = std::mem::take(
-                            &mut *slots[t].lock().unwrap_or_else(|e| e.into_inner()),
-                        );
-                        if err.is_none() {
-                            tr.open(SpanKind::Compute);
-                            // SAFETY: between the release and completion
-                            // barriers of this batch.
-                            let r = catch_unwind(AssertUnwindSafe(|| unsafe {
-                                run_tasks(ctx.coef, &tasks)
-                            }));
-                            tr.close();
-                            if let Err(p) = r {
-                                err = Some(StrategyError::ThreadPanic {
-                                    slot: t,
-                                    message: panic_message(p.as_ref()),
-                                });
+    let (grids, master, workers) = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 1..threads {
+            let barrier = &barrier;
+            let slots = &slots;
+            let prog = &ctx.programs[t];
+            handles.push(s.spawn(move || -> Result<ThreadResult, StrategyError> {
+                let mut tr = WallTracer::new(ctx.epoch);
+                let mut err: Option<StrategyError> = None;
+                for _ in 0..prog.sweeps {
+                    for &op in &prog.ops {
+                        match op {
+                            SweepOp::ApplyBoundarySlab { .. } => {
+                                tr.open(SpanKind::ThreadBarrier);
+                                barrier.wait(); // release: tasks are published
+                                tr.close();
+                                let tasks = std::mem::take(
+                                    &mut *slots[t].lock().unwrap_or_else(|e| e.into_inner()),
+                                );
+                                if err.is_none() {
+                                    tr.open(SpanKind::Compute);
+                                    // SAFETY: between the release and
+                                    // completion barriers of this grid.
+                                    let r = catch_unwind(AssertUnwindSafe(|| unsafe {
+                                        run_tasks(ctx.coef, &tasks)
+                                    }));
+                                    tr.close();
+                                    if let Err(p) = r {
+                                        err = Some(StrategyError::ThreadPanic {
+                                            slot: t,
+                                            message: panic_message(p.as_ref()),
+                                        });
+                                    }
+                                }
+                                drop(tasks);
+                                tr.open(SpanKind::ThreadBarrier);
+                                barrier.wait(); // completion: slabs are done
+                                tr.close();
                             }
+                            SweepOp::AdvanceBuffer => {}
+                            _ => unreachable!("pool workers only fence and compute"),
                         }
-                        drop(tasks);
-                        tr.open(SpanKind::ThreadBarrier);
-                        barrier.wait(); // completion: slabs are done
-                        tr.close();
-                    }
-                    match err {
-                        None => Ok(finish_thread(tr, ctx.plan.rank, t)),
-                        Some(e) => Err(e),
-                    }
-                }));
-            }
-
-            // The master: communication plus its own slab share.
-            let mut tr = WallTracer::new(ctx.epoch);
-            let mut ins = inputs;
-            let mut outs = outputs;
-            let ids_of = |b: usize| -> Vec<usize> {
-                let (s, e) = batches.range(b);
-                (s..e).collect()
-            };
-            let mut master_err: Option<StrategyError> = None;
-            let mut done = 0usize; // completed barrier pairs
-            'sweeps: for sweep in 0..ctx.cfg.sweeps {
-                // Comm runs under catch_unwind so an injected send panic
-                // (or a watchdog timeout) turns into a drain, not a
-                // stranded pool.
-                let comm = |tr: &mut WallTracer,
-                            ins: &mut Vec<Grid3<T>>,
-                            outs: &mut Vec<Grid3<T>>,
-                            b: usize|
-                 -> Result<Vec<SlabTask<T>>, Box<RecvTimeout>> {
-                    let ids = ids_of(b);
-                    if ctx.cfg.double_buffer {
-                        if b + 1 < batches.len() {
-                            let next = ids_of(b + 1);
-                            send_batch(
-                                ctx.fabric,
-                                ctx.plan,
-                                ins,
-                                &next,
-                                next[0],
-                                sweep,
-                                &LinkDir::ALL,
-                                tr,
-                            );
-                        }
-                    } else {
-                        send_batch(
-                            ctx.fabric,
-                            ctx.plan,
-                            ins,
-                            &ids,
-                            ids[0],
-                            sweep,
-                            &LinkDir::ALL,
-                            tr,
-                        );
-                    }
-                    recv_batch(
-                        ctx.fabric,
-                        ctx.plan,
-                        ins,
-                        &ids,
-                        ids[0],
-                        sweep,
-                        &LinkDir::ALL,
-                        tr,
-                    )?;
-                    Ok(publish_slab_tasks(ins, outs, &ids, &bounds, &slots))
-                };
-                if ctx.cfg.double_buffer && !batches.is_empty() && batches.size(0) > 0 {
-                    let pre = catch_unwind(AssertUnwindSafe(|| {
-                        let ids = ids_of(0);
-                        send_batch(
-                            ctx.fabric,
-                            ctx.plan,
-                            &ins,
-                            &ids,
-                            ids[0],
-                            sweep,
-                            &LinkDir::ALL,
-                            &mut tr,
-                        );
-                    }));
-                    if let Err(p) = pre {
-                        tr.close_all();
-                        master_err = Some(StrategyError::ThreadPanic {
-                            slot: 0,
-                            message: panic_message(p.as_ref()),
-                        });
-                        break 'sweeps;
                     }
                 }
-                for b in 0..batches.len() {
-                    if batches.size(b) == 0 {
-                        continue;
-                    }
-                    let mine = match catch_unwind(AssertUnwindSafe(|| {
-                        comm(&mut tr, &mut ins, &mut outs, b)
-                    })) {
-                        Ok(Ok(mine)) => mine,
-                        Ok(Err(e)) => {
-                            tr.close_all();
-                            master_err = Some(StrategyError::Recv(e));
-                            break 'sweeps;
+                match err {
+                    None => Ok(finish_thread(tr, ctx.plan.rank, t)),
+                    Some(e) => Err(e),
+                }
+            }));
+        }
+
+        // The master: communication plus its own slab share, walking the
+        // same op stream the timed plane lowers.
+        let prog = &ctx.programs[0];
+        let env = OpEnv {
+            fabric: ctx.fabric,
+            prog,
+            coef: ctx.coef,
+        };
+        let mut tr = WallTracer::new(ctx.epoch);
+        let mut ins = inputs;
+        let mut outs = outputs;
+        let mut master_err: Option<StrategyError> = None;
+        for sweep in 0..prog.sweeps {
+            for &op in &prog.ops {
+                match op {
+                    SweepOp::ApplyBoundarySlab { batch, index } => {
+                        if master_err.is_some() {
+                            // Drain this op's barrier pair; the slots hold
+                            // nothing, so the workers compute nothing.
+                            barrier.wait();
+                            barrier.wait();
+                            continue;
                         }
-                        Err(p) => {
+                        let gid = prog.locals_of(batch).start + index;
+                        let mine = publish_slab_tasks(&ins, &mut outs, gid, &bounds, &slots);
+                        tr.open(SpanKind::ThreadBarrier);
+                        barrier.wait(); // release
+                        tr.close();
+                        tr.open(SpanKind::Compute);
+                        // SAFETY: between this grid's release and completion
+                        // barriers; slot 0's slabs are disjoint from the
+                        // pool's.
+                        let compute = catch_unwind(AssertUnwindSafe(|| unsafe {
+                            run_tasks(ctx.coef, &mine)
+                        }));
+                        tr.close();
+                        drop(mine);
+                        tr.open(SpanKind::ThreadBarrier);
+                        barrier.wait(); // completion
+                        tr.close();
+                        if let Err(p) = compute {
                             tr.close_all();
                             master_err = Some(StrategyError::ThreadPanic {
                                 slot: 0,
                                 message: panic_message(p.as_ref()),
                             });
-                            break 'sweeps;
                         }
-                    };
-                    tr.open(SpanKind::ThreadBarrier);
-                    barrier.wait(); // release
-                    tr.close();
-                    tr.open(SpanKind::Compute);
-                    // SAFETY: between this batch's release and completion
-                    // barriers; slot 0's slabs are disjoint from the pool's.
-                    let compute =
-                        catch_unwind(AssertUnwindSafe(|| unsafe { run_tasks(ctx.coef, &mine) }));
-                    tr.close();
-                    drop(mine);
-                    tr.open(SpanKind::ThreadBarrier);
-                    barrier.wait(); // completion
-                    tr.close();
-                    done += 1;
-                    if let Err(p) = compute {
-                        tr.close_all();
-                        master_err = Some(StrategyError::ThreadPanic {
-                            slot: 0,
-                            message: panic_message(p.as_ref()),
-                        });
-                        break 'sweeps;
+                    }
+                    SweepOp::AdvanceBuffer => {
+                        if master_err.is_none() {
+                            std::mem::swap(&mut ins, &mut outs);
+                        }
+                    }
+                    SweepOp::ThreadBarrier => unreachable!("master programs carry no bare barrier"),
+                    _ => {
+                        // Comm runs under catch_unwind so an injected send
+                        // panic (or a watchdog timeout) turns into a drain,
+                        // not a stranded pool.
+                        if master_err.is_some() {
+                            continue;
+                        }
+                        let r = catch_unwind(AssertUnwindSafe(|| {
+                            exec_comm_op(&env, op, sweep, &mut ins, &mut outs, &mut tr)
+                        }));
+                        match r {
+                            Ok(Ok(())) => {}
+                            Ok(Err(e)) => {
+                                tr.close_all();
+                                master_err = Some(StrategyError::Recv(e));
+                            }
+                            Err(p) => {
+                                tr.close_all();
+                                master_err = Some(StrategyError::ThreadPanic {
+                                    slot: 0,
+                                    message: panic_message(p.as_ref()),
+                                });
+                            }
+                        }
                     }
                 }
-                std::mem::swap(&mut ins, &mut outs);
             }
-            if master_err.is_some() {
-                // Drain: the pool expects exactly `iterations` barrier
-                // pairs; publish nothing and keep arriving.
-                for _ in done..iterations {
-                    barrier.wait(); // release (slots are empty)
-                    barrier.wait(); // completion
-                }
-            }
-            let master: Result<ThreadResult, StrategyError> = match master_err {
-                None => Ok(finish_thread(tr, ctx.plan.rank, 0)),
-                Some(e) => Err(e),
-            };
-            let workers: Vec<Result<ThreadResult, StrategyError>> = handles
-                .into_iter()
-                .enumerate()
-                .map(|(i, h)| match h.join() {
-                    Ok(outcome) => outcome,
-                    Err(p) => Err(StrategyError::ThreadPanic {
-                        slot: i + 1,
-                        message: panic_message(p.as_ref()),
-                    }),
-                })
-                .collect();
-            (ins, master, workers)
-        });
-
-        let mut results = vec![master?];
-        for w in workers {
-            results.push(w?);
         }
-        Ok((grids, results))
+        let master: Result<ThreadResult, StrategyError> = match master_err {
+            None => Ok(finish_thread(tr, ctx.plan.rank, 0)),
+            Some(e) => Err(e),
+        };
+        let workers: Vec<Result<ThreadResult, StrategyError>> = handles
+            .into_iter()
+            .enumerate()
+            .map(|(i, h)| match h.join() {
+                Ok(outcome) => outcome,
+                Err(p) => Err(StrategyError::ThreadPanic {
+                    slot: i + 1,
+                    message: panic_message(p.as_ref()),
+                }),
+            })
+            .collect();
+        (ins, master, workers)
+    });
+
+    let mut results = vec![master?];
+    for w in workers {
+        results.push(w?);
     }
+    Ok((grids, results))
 }
