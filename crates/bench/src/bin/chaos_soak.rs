@@ -136,7 +136,7 @@ fn main() {
     let watchdog_ms = 500;
     let lethal = base
         .with_threads(thread_counts[0])
-        .with_watchdog_ms(watchdog_ms)
+        .with_recv_timeout_ms(watchdog_ms)
         .with_fault(FaultPlan::quiet(1).with_black_hole(0, 1, 1));
     let started = Instant::now();
     let strategies = all_strategies::<f64>();

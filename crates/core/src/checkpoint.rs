@@ -1,0 +1,197 @@
+//! Epoch checkpoints of a sweep run, derived from the compiled IR.
+//!
+//! Every [`SweepProgram`](crate::program::SweepProgram) ends each sweep
+//! with exactly one `AdvanceBuffer` op (enforced by `validate()`), so
+//! "state after `e` completed sweeps" is a well-defined epoch boundary on
+//! *every* plane and for *every* approach — the depositing thread just
+//! snapshots its input grids right after the buffer swap. A
+//! [`CheckpointStore`] collects those per-`(rank, slot)` snapshots and
+//! answers the one question recovery needs: what is the newest epoch
+//! **every** registered thread has deposited (the *consistent* epoch a
+//! failed run can be rolled back to)?
+//!
+//! Epoch numbering: epoch `e` is the state after `e` completed sweeps.
+//! Epoch 0 is the synthetic initial fill — never deposited, because the
+//! runner can always re-derive it from the seed; `restore` returning
+//! `None` at epoch 0 is therefore the normal "refill from scratch" path.
+//!
+//! The store prunes aggressively: once every key has deposited epoch `e`,
+//! snapshots below `e` can never be a rollback target and are dropped, so
+//! steady-state memory is one or two epochs per thread regardless of
+//! sweep count.
+
+use gpaw_grid::grid3::Grid3;
+use gpaw_grid::scalar::Scalar;
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard};
+
+/// The number of completed sweeps a snapshot reflects.
+pub type Epoch = usize;
+
+struct Inner<T> {
+    /// Latest deposited epoch per registered `(rank, slot)` key; 0 until
+    /// the key's first deposit (epoch 0 is the synthetic fill).
+    latest: HashMap<(usize, usize), Epoch>,
+    /// Snapshots by `(rank, slot, epoch)`: the thread's input grids, in
+    /// its own local order, right after the epoch's buffer swap.
+    snaps: HashMap<(usize, usize, Epoch), Vec<Grid3<T>>>,
+}
+
+/// Shared store of per-thread epoch snapshots for one supervised run.
+///
+/// Registered once with every `(rank, slot)` key that will deposit;
+/// interior-mutable so rank threads deposit concurrently through a shared
+/// reference. One mutex is enough: deposits happen once per sweep per
+/// thread and clone grid buffers *outside* hot loops, so contention is
+/// negligible next to the compute they bracket.
+pub struct CheckpointStore<T> {
+    inner: Mutex<Inner<T>>,
+}
+
+impl<T: Scalar> CheckpointStore<T> {
+    /// A store expecting deposits from exactly `keys` (each a
+    /// `(rank, slot)` pair). The key set defines consistency: an epoch is
+    /// consistent only when *every* key has deposited it (or a later one).
+    pub fn new(keys: impl IntoIterator<Item = (usize, usize)>) -> CheckpointStore<T> {
+        CheckpointStore {
+            inner: Mutex::new(Inner {
+                latest: keys.into_iter().map(|k| (k, 0)).collect(),
+                snaps: HashMap::new(),
+            }),
+        }
+    }
+
+    /// Depositors never panic while holding the lock; recover from poison
+    /// (a panic elsewhere mid-run is exactly the case recovery serves).
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Deposit `(rank, slot)`'s snapshot of epoch `epoch` (its input
+    /// grids after the sweep's buffer swap, in the thread's local order).
+    /// Prunes every snapshot below the new fleet-wide consistent epoch.
+    pub fn deposit(&self, rank: usize, slot: usize, epoch: Epoch, grids: Vec<Grid3<T>>) {
+        let mut st = self.lock();
+        st.snaps.insert((rank, slot, epoch), grids);
+        let cur = st.latest.entry((rank, slot)).or_insert(0);
+        if epoch > *cur {
+            *cur = epoch;
+        }
+        let floor = st.latest.values().copied().min().unwrap_or(0);
+        st.snaps.retain(|&(_, _, e), _| e >= floor);
+    }
+
+    /// The newest epoch every registered key has reached — the rollback
+    /// target after a failure. 0 when any thread has yet to complete a
+    /// sweep (roll back to the synthetic fill).
+    pub fn consistent_epoch(&self) -> Epoch {
+        self.lock().latest.values().copied().min().unwrap_or(0)
+    }
+
+    /// The newest epoch all of `rank`'s registered slots have deposited.
+    pub fn rank_epoch(&self, rank: usize) -> Epoch {
+        self.lock()
+            .latest
+            .iter()
+            .filter(|((r, _), _)| *r == rank)
+            .map(|(_, &e)| e)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Clone out `(rank, slot)`'s snapshot of `epoch`. `None` for epoch 0
+    /// (the synthetic fill — re-derive it) or for an unknown key/epoch.
+    pub fn restore(&self, rank: usize, slot: usize, epoch: Epoch) -> Option<Vec<Grid3<T>>> {
+        self.lock().snaps.get(&(rank, slot, epoch)).cloned()
+    }
+
+    /// Discard every snapshot past `epoch` and clamp each key's progress
+    /// to it — called between attempts so replayed sweeps re-deposit on a
+    /// clean slate.
+    pub fn rollback(&self, epoch: Epoch) {
+        let mut st = self.lock();
+        st.snaps.retain(|&(_, _, e), _| e <= epoch);
+        for v in st.latest.values_mut() {
+            *v = (*v).min(epoch);
+        }
+    }
+
+    /// Snapshots currently held (tests; bounds the memory claim).
+    pub fn snapshot_count(&self) -> usize {
+        self.lock().snaps.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(v: f64) -> Grid3<f64> {
+        let mut g = Grid3::zeros([4, 4, 4], 1);
+        g.data_mut()[0] = v;
+        g
+    }
+
+    fn store() -> CheckpointStore<f64> {
+        CheckpointStore::new([(0, 0), (1, 0)])
+    }
+
+    #[test]
+    fn consistent_epoch_is_the_minimum_over_keys() {
+        let s = store();
+        assert_eq!(s.consistent_epoch(), 0);
+        s.deposit(0, 0, 1, vec![grid(1.0)]);
+        assert_eq!(s.consistent_epoch(), 0, "rank 1 has not deposited yet");
+        s.deposit(1, 0, 1, vec![grid(2.0)]);
+        assert_eq!(s.consistent_epoch(), 1);
+        s.deposit(0, 0, 2, vec![grid(3.0)]);
+        assert_eq!(s.consistent_epoch(), 1);
+        assert_eq!(s.rank_epoch(0), 2);
+        assert_eq!(s.rank_epoch(1), 1);
+    }
+
+    #[test]
+    fn restore_round_trips_and_epoch_zero_is_the_synthetic_fill() {
+        let s = store();
+        s.deposit(0, 0, 1, vec![grid(7.0)]);
+        let back = s.restore(0, 0, 1).expect("deposited snapshot");
+        assert_eq!(back[0].data()[0], 7.0);
+        assert!(s.restore(0, 0, 0).is_none(), "epoch 0 is never stored");
+        assert!(s.restore(1, 0, 1).is_none(), "rank 1 deposited nothing");
+    }
+
+    #[test]
+    fn snapshots_below_the_consistent_floor_are_pruned() {
+        let s = store();
+        for e in 1..=4 {
+            s.deposit(0, 0, e, vec![grid(e as f64)]);
+            s.deposit(1, 0, e, vec![grid(e as f64)]);
+        }
+        // Everything below the floor (epoch 4) is gone; the floor stays.
+        assert_eq!(s.snapshot_count(), 2);
+        assert!(s.restore(0, 0, 4).is_some());
+        assert!(s.restore(0, 0, 3).is_none());
+    }
+
+    #[test]
+    fn rollback_discards_future_snapshots_and_clamps_progress() {
+        let s = store();
+        s.deposit(0, 0, 1, vec![grid(1.0)]);
+        s.deposit(1, 0, 1, vec![grid(1.5)]);
+        s.deposit(0, 0, 2, vec![grid(2.0)]);
+        s.rollback(1);
+        assert_eq!(s.rank_epoch(0), 1);
+        assert!(s.restore(0, 0, 2).is_none());
+        assert!(s.restore(0, 0, 1).is_some());
+        // Re-depositing the replayed epoch works.
+        s.deposit(0, 0, 2, vec![grid(2.0)]);
+        assert_eq!(s.rank_epoch(0), 2);
+    }
+
+    #[test]
+    fn unregistered_stores_report_epoch_zero() {
+        let s: CheckpointStore<f64> = CheckpointStore::new([]);
+        assert_eq!(s.consistent_epoch(), 0);
+        assert_eq!(s.rank_epoch(3), 0);
+    }
+}

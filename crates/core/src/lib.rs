@@ -40,6 +40,7 @@
 
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod checkpoint;
 pub mod chrome;
 pub mod config;
 pub mod exec;
@@ -51,6 +52,7 @@ pub mod timed;
 pub mod trace;
 pub mod transport;
 
+pub use checkpoint::CheckpointStore;
 pub use chrome::ChromeTrace;
 pub use config::{Approach, FdConfig};
 pub use plan::RankPlan;

@@ -119,6 +119,14 @@ pub fn message_tag(sweep: usize, first_grid: usize, dir: LinkDir) -> u64 {
     ((sweep as u64) << 40) | ((first_grid as u64) << 3) | dir.index() as u64
 }
 
+/// The sweep a tag belongs to — the inverse of [`message_tag`]'s sweep
+/// field. Recovery uses this to decide, per `(dst, src, tag)` queue,
+/// whether a message belongs to a committed epoch (sweeps `< epoch` are
+/// already reflected in the checkpointed grids) or to a rolled-back one.
+pub fn sweep_of_tag(tag: u64) -> usize {
+    (tag >> 40) as usize
+}
+
 /// The tag a sender stamps on the face it pushes out through `ld`.
 ///
 /// Tags are keyed by *travel* direction, and a message sent through a
@@ -357,6 +365,17 @@ mod tests {
             for first in [0usize, 8, 16, 131_000] {
                 for ld in LinkDir::ALL {
                     assert!(tags.insert(message_tag(sweep, first, ld)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_of_tag_inverts_message_tag() {
+        for sweep in [0usize, 1, 5, 1000] {
+            for first in [0usize, 8, 131_000] {
+                for ld in LinkDir::ALL {
+                    assert_eq!(sweep_of_tag(message_tag(sweep, first, ld)), sweep);
                 }
             }
         }

@@ -107,6 +107,15 @@ pub enum SweepOp {
     AdvanceBuffer,
 }
 
+impl SweepOp {
+    /// True for the op that closes an epoch (`AdvanceBuffer`): the moment
+    /// right after it executes is the checkpointable "after `e` sweeps"
+    /// state every plane agrees on.
+    pub fn is_epoch_boundary(self) -> bool {
+        self == SweepOp::AdvanceBuffer
+    }
+}
+
 /// What kind of thread executes a program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ThreadRole {
@@ -184,6 +193,15 @@ impl SweepProgram {
                 (sub.points() as u64, sub.rows() as u64)
             }
         }
+    }
+
+    /// Checkpointable epoch boundaries of the program: one per sweep,
+    /// marked by the sweep-terminal `AdvanceBuffer` op (`validate()`
+    /// enforces exactly one). Epoch `e` means "state after `e` completed
+    /// sweeps"; epoch 0 is the initial fill. Recovery replays the program
+    /// from any epoch `< epochs()` because tags embed the absolute sweep.
+    pub fn epochs(&self) -> usize {
+        self.sweeps
     }
 
     /// Barrier waits one replay of `ops` performs — static per role,

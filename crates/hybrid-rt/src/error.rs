@@ -27,6 +27,21 @@ pub enum FailureKind {
     Undrained,
 }
 
+impl FailureKind {
+    /// Severity class for worst-first ordering: panics (0) before
+    /// watchdog timeouts (1) before undrained fabrics (2). Failure lists
+    /// sort by `(severity, rank)` — the rank tie-break keeps the order
+    /// fully deterministic when several ranks fail the same way, which
+    /// recovery tests rely on to compare failure sequences across runs.
+    pub fn severity(&self) -> u8 {
+        match self {
+            FailureKind::Panic(_) => 0,
+            FailureKind::RecvTimeout(_) => 1,
+            FailureKind::Undrained => 2,
+        }
+    }
+}
+
 /// One failed rank of a native run.
 #[derive(Debug)]
 pub struct RankFailure {
@@ -207,5 +222,40 @@ mod tests {
         assert_eq!(panic_message(&"static"), "static");
         assert_eq!(panic_message(&String::from("owned")), "owned");
         assert_eq!(panic_message(&17_u64), "non-string panic payload");
+    }
+
+    #[test]
+    fn failure_ordering_is_deterministic_with_rank_tie_break() {
+        // Build failures out of order: equal-severity entries must sort by
+        // rank, and panics outrank timeouts outrank undrained — always the
+        // same sequence regardless of completion interleaving.
+        let mut failures = [
+            RankFailure {
+                rank: 3,
+                phase: "halo-wait",
+                kind: FailureKind::RecvTimeout(timeout()),
+            },
+            RankFailure {
+                rank: 2,
+                phase: "drain",
+                kind: FailureKind::Undrained,
+            },
+            RankFailure {
+                rank: 1,
+                phase: "halo-wait",
+                kind: FailureKind::RecvTimeout(timeout()),
+            },
+            RankFailure {
+                rank: 2,
+                phase: "run",
+                kind: FailureKind::Panic("boom".into()),
+            },
+        ];
+        failures.sort_by_key(|f| (f.kind.severity(), f.rank));
+        let order: Vec<(u8, usize)> = failures
+            .iter()
+            .map(|f| (f.kind.severity(), f.rank))
+            .collect();
+        assert_eq!(order, vec![(0, 2), (1, 1), (1, 3), (2, 2)]);
     }
 }

@@ -34,6 +34,7 @@ use crate::fault::{
     BlockedRecv, FabricConfig, FabricDiagnostic, FaultAction, QueueStat, RecvTimeout,
 };
 use gpaw_bgp_hw::CartMap;
+use gpaw_fd::plan::sweep_of_tag;
 use gpaw_grid::scalar::Scalar;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -76,7 +77,19 @@ struct ShardState<T> {
     /// Receives currently blocked on this shard.
     waiters: Vec<Waiter>,
     /// Messages ever sent through this shard (black-hole ordinal).
+    /// Monotonic across rollbacks, which is what makes one-shot lethal
+    /// faults stay one-shot under replay.
     sent_count: u64,
+    /// Send-side retransmission buffer (when `retain_history` is on):
+    /// every envelope delivered into the fabric, per tag. A rollback
+    /// re-queues the rolled-back sweeps' entries so their receivers can
+    /// re-consume in-flight traffic.
+    history: HashMap<u64, Vec<Envelope<T>>>,
+    /// Sequence high-water already charged to the *logical* traffic
+    /// counters, per tag. A send below it is a retransmission (a replayed
+    /// send after rollback) and is charged to the retransmission counters
+    /// instead — logical counts stay exact across any number of retries.
+    charged: HashMap<u64, u64>,
 }
 
 impl<T> Default for ShardState<T> {
@@ -88,6 +101,8 @@ impl<T> Default for ShardState<T> {
             next_recv: HashMap::new(),
             waiters: Vec::new(),
             sent_count: 0,
+            history: HashMap::new(),
+            charged: HashMap::new(),
         }
     }
 }
@@ -133,8 +148,41 @@ impl<T> ShardState<T> {
             .unwrap_or(0)
     }
 
+    /// Drained = nothing matchable left. Parked envelopes whose sequence
+    /// number was already consumed are ignored like stale queued
+    /// duplicates: after a rollback the receiver may satisfy a tag from
+    /// the re-queued history while the sender's replayed copy of the same
+    /// message sits parked, and that copy can never be needed again.
     fn is_drained(&self) -> bool {
-        self.parked.is_empty() && self.queues.keys().all(|&tag| self.live_depth(tag) == 0)
+        self.parked
+            .iter()
+            .all(|p| p.env.seq < *self.next_recv.get(&p.tag).unwrap_or(&0))
+            && self.queues.keys().all(|&tag| self.live_depth(tag) == 0)
+    }
+
+    /// Reset this shard to the epoch boundary `epoch`. Tags of committed
+    /// sweeps (`sweep < epoch`) keep their state — their messages are
+    /// already reflected in the checkpointed grids — but their
+    /// retransmission buffers are purged (they can never be a rollback
+    /// target again). Tags of rolled-back sweeps are reset to pristine
+    /// sequence counters, with the buffered send history re-queued so a
+    /// rolled-back receiver finds every in-flight message again; the
+    /// re-executing sender's own resends dedup against these by sequence
+    /// number. `charged` survives untouched: it is the exactly-once
+    /// high-water for the logical traffic counters.
+    fn rollback_to(&mut self, epoch: usize) {
+        let rolled = |tag: u64| sweep_of_tag(tag) >= epoch;
+        self.queues.retain(|&tag, _| !rolled(tag));
+        self.parked.retain(|p| !rolled(p.tag));
+        self.next_send.retain(|&tag, _| !rolled(tag));
+        self.next_recv.retain(|&tag, _| !rolled(tag));
+        let history = std::mem::take(&mut self.history);
+        for (tag, mut envs) in history {
+            if rolled(tag) {
+                envs.sort_by_key(|e| e.seq);
+                self.queues.entry(tag).or_default().extend(envs);
+            }
+        }
     }
 }
 
@@ -176,6 +224,12 @@ pub struct FabricStats {
     pub network_bytes_per_node: Vec<u64>,
     /// Inter-node messages injected per node.
     pub network_messages_per_node: Vec<u64>,
+    /// Replayed sends whose sequence number was already charged before a
+    /// rollback — recovery overhead, kept out of every logical counter
+    /// above so exact-traffic checks hold for recovered runs too.
+    pub retransmitted_messages: u64,
+    /// Payload bytes of the retransmitted sends.
+    pub retransmitted_bytes: u64,
 }
 
 impl FabricStats {
@@ -227,6 +281,8 @@ pub struct NativeFabric<T> {
     bytes_per_node: Vec<AtomicU64>,
     network_bytes_per_node: Vec<AtomicU64>,
     network_messages_per_node: Vec<AtomicU64>,
+    retrans_messages: AtomicU64,
+    retrans_bytes: AtomicU64,
 }
 
 impl<T: Scalar> NativeFabric<T> {
@@ -255,6 +311,8 @@ impl<T: Scalar> NativeFabric<T> {
             bytes_per_node: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
             network_bytes_per_node: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
             network_messages_per_node: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
+            retrans_messages: AtomicU64::new(0),
+            retrans_bytes: AtomicU64::new(0),
         }
     }
 
@@ -296,13 +354,6 @@ impl<T: Scalar> NativeFabric<T> {
 
         let bytes = payload.len() as u64 * self.elem_bytes;
         let src_node = self.node_of[src];
-        self.messages.fetch_add(1, Ordering::Relaxed);
-        self.bytes_per_node[src_node].fetch_add(bytes, Ordering::Relaxed);
-        if src_node != self.node_of[dst] {
-            self.network_messages.fetch_add(1, Ordering::Relaxed);
-            self.network_bytes_per_node[src_node].fetch_add(bytes, Ordering::Relaxed);
-            self.network_messages_per_node[src_node].fetch_add(1, Ordering::Relaxed);
-        }
 
         let shard = self.shard(dst, src);
         let mut st = shard.lock();
@@ -310,6 +361,26 @@ impl<T: Scalar> NativeFabric<T> {
         let seq_entry = st.next_send.entry(tag).or_insert(0);
         let seq = *seq_entry;
         *seq_entry += 1;
+
+        // Exactly-once logical accounting: a sequence number below the
+        // charged high-water was counted before a rollback replayed this
+        // send — it is a *retransmission*, charged to its own counters so
+        // exact-traffic checks keep holding for recovered runs.
+        let charged = st.charged.entry(tag).or_insert(0);
+        if seq < *charged {
+            self.retrans_messages.fetch_add(1, Ordering::Relaxed);
+            self.retrans_bytes.fetch_add(bytes, Ordering::Relaxed);
+        } else {
+            *charged = seq + 1;
+            self.messages.fetch_add(1, Ordering::Relaxed);
+            self.bytes_per_node[src_node].fetch_add(bytes, Ordering::Relaxed);
+            if src_node != self.node_of[dst] {
+                self.network_messages.fetch_add(1, Ordering::Relaxed);
+                self.network_bytes_per_node[src_node].fetch_add(bytes, Ordering::Relaxed);
+                self.network_messages_per_node[src_node].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
         let env = Envelope { seq, payload };
 
         let action = match self.config.plan.as_ref() {
@@ -320,13 +391,32 @@ impl<T: Scalar> NativeFabric<T> {
                     .is_some_and(|bh| bh.src == src && bh.dst == dst && bh.nth == st.sent_count)
                 {
                     // The lethal fault: the message vanishes. Its sequence
-                    // number stays consumed, so the receiver starves on
-                    // exactly this (src, tag) and the watchdog names it.
+                    // number stays consumed (and charged), so the receiver
+                    // starves on exactly this (src, tag) and the watchdog
+                    // names it. `sent_count` is monotonic across rollbacks,
+                    // so the replayed send passes through — and lands in
+                    // the retransmission counters, not the logical ones.
                     return;
                 }
                 plan.action(src, dst, tag, seq)
             }
         };
+
+        // A retransmission the receiver already consumed (it advanced past
+        // this sequence by re-consuming the rollback's re-queued history)
+        // must not re-enter the fabric: queued it would be stale-purged,
+        // but parked it would strand past the drain check.
+        if seq < *st.next_recv.get(&tag).unwrap_or(&0) {
+            return;
+        }
+
+        if self.config.retain_history {
+            st.history.entry(tag).or_default().push(Envelope {
+                seq,
+                payload: env.payload.clone(),
+            });
+        }
+
         match action {
             FaultAction::Deliver => {
                 st.queues.entry(tag).or_default().push_back(env);
@@ -357,13 +447,13 @@ impl<T: Scalar> NativeFabric<T> {
     /// available for `me`, then take it.
     ///
     /// Blocking is bounded by the watchdog: if the message has not
-    /// arrived within `config.watchdog`, the call returns a
+    /// arrived within `config.recv_timeout`, the call returns a
     /// [`RecvTimeout`] carrying a fabric-wide [`FabricDiagnostic`]
     /// instead of hanging forever.
     pub fn recv(&self, me: usize, src: usize, tag: u64) -> Result<Vec<T>, Box<RecvTimeout>> {
         let shard = self.shard(me, src);
         let start = Instant::now();
-        let deadline = start + self.config.watchdog;
+        let deadline = start + self.config.recv_timeout;
         let mut st = shard.lock();
         st.waiters.push(Waiter { tag, since: start });
         loop {
@@ -487,6 +577,21 @@ impl<T: Scalar> NativeFabric<T> {
         (0..self.ranks).all(|src| self.shard(me, src).lock().is_drained())
     }
 
+    /// Roll every shard back to the epoch boundary `epoch`: clear and
+    /// reset the state of rolled-back sweeps' tags, re-queue their
+    /// buffered send history (so rolled-back receivers re-consume
+    /// in-flight traffic), and purge committed sweeps' retransmission
+    /// buffers. Traffic counters are untouched — the per-tag charged
+    /// high-water keeps the logical counts exactly-once across replays.
+    ///
+    /// Callers must quiesce the fabric first (no rank threads running);
+    /// the supervisor only rolls back between attempts.
+    pub fn rollback(&self, epoch: usize) {
+        for shard in &self.shards {
+            shard.lock().rollback_to(epoch);
+        }
+    }
+
     /// Snapshot the traffic counters.
     pub fn stats(&self) -> FabricStats {
         let load =
@@ -498,6 +603,8 @@ impl<T: Scalar> NativeFabric<T> {
             bytes_per_node: load(&self.bytes_per_node),
             network_bytes_per_node: load(&self.network_bytes_per_node),
             network_messages_per_node: load(&self.network_messages_per_node),
+            retransmitted_messages: self.retrans_messages.load(Ordering::Relaxed),
+            retransmitted_bytes: self.retrans_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -626,9 +733,9 @@ mod tests {
     #[test]
     fn fifo_holds_under_concurrent_senders_with_faults() {
         let cfg = FabricConfig {
-            watchdog: Duration::from_secs(5),
-            tick: Duration::from_millis(1),
+            recv_timeout: Duration::from_secs(5),
             plan: Some(FaultPlan::benign(1234)),
+            ..FabricConfig::default()
         };
         let f: Arc<NativeFabric<f64>> =
             Arc::new(NativeFabric::with_config(&map(2, ExecMode::Smp), cfg));
@@ -675,9 +782,8 @@ mod tests {
     #[test]
     fn tag_mismatch_starvation_hits_the_watchdog() {
         let cfg = FabricConfig {
-            watchdog: Duration::from_millis(150),
-            tick: Duration::from_millis(1),
-            plan: None,
+            recv_timeout: Duration::from_millis(150),
+            ..FabricConfig::default()
         };
         let f: NativeFabric<f64> = NativeFabric::with_config(&map(2, ExecMode::Smp), cfg);
         f.send(0, 1, 7, vec![1.0]);
@@ -732,9 +838,9 @@ mod tests {
     #[test]
     fn black_hole_starves_exactly_the_matching_receive() {
         let cfg = FabricConfig {
-            watchdog: Duration::from_millis(150),
-            tick: Duration::from_millis(1),
+            recv_timeout: Duration::from_millis(150),
             plan: Some(FaultPlan::quiet(0).with_black_hole(0, 1, 1)),
+            ..FabricConfig::default()
         };
         let f: NativeFabric<f64> = NativeFabric::with_config(&map(2, ExecMode::Smp), cfg);
         f.send(0, 1, 7, vec![1.0]); // swallowed
@@ -742,5 +848,142 @@ mod tests {
         assert_eq!(recv_ok(&f, 0, 1, 7), vec![2.0]);
         let err = f.recv(1, 0, 7).expect_err("swallowed message");
         assert_eq!((err.rank, err.src, err.tag), (1, 0, 7));
+    }
+
+    #[test]
+    fn rollback_requeues_history_and_resends_count_as_retransmissions() {
+        let cfg = FabricConfig {
+            retain_history: true,
+            ..FabricConfig::default()
+        };
+        let f: NativeFabric<f64> = NativeFabric::with_config(&map(2, ExecMode::Smp), cfg);
+        f.send(0, 1, 7, vec![1.0]);
+        f.send(0, 1, 7, vec![2.0]);
+        assert_eq!(recv_ok(&f, 1, 0, 7), vec![1.0]);
+        assert_eq!(recv_ok(&f, 1, 0, 7), vec![2.0]);
+        assert_eq!(f.stats().messages_total, 2);
+
+        // Tag 7 encodes sweep 0, so a rollback to epoch 0 rolls it back:
+        // the receiver re-consumes both messages from the history buffer.
+        f.rollback(0);
+        assert_eq!(recv_ok(&f, 1, 0, 7), vec![1.0]);
+        assert_eq!(recv_ok(&f, 1, 0, 7), vec![2.0]);
+
+        // The replaying sender's own resends are retransmissions — the
+        // logical counters never move again for these sequence numbers.
+        f.send(0, 1, 7, vec![1.0]);
+        f.send(0, 1, 7, vec![2.0]);
+        let s = f.stats();
+        assert_eq!(s.messages_total, 2, "logical count is exactly-once");
+        assert_eq!(s.retransmitted_messages, 2);
+        assert_eq!(s.retransmitted_bytes, 16);
+        assert!(f.is_drained(1), "stale resends must not strand anywhere");
+    }
+
+    #[test]
+    fn rollback_spares_committed_sweeps() {
+        let sweep1_tag = (1u64 << 40) | 7; // sweep_of_tag == 1
+        assert_eq!(sweep_of_tag(sweep1_tag), 1);
+        let cfg = FabricConfig {
+            retain_history: true,
+            ..FabricConfig::default()
+        };
+        let f: NativeFabric<f64> = NativeFabric::with_config(&map(2, ExecMode::Smp), cfg);
+        f.send(0, 1, 7, vec![1.0]);
+        f.send(0, 1, sweep1_tag, vec![2.0]);
+        assert_eq!(recv_ok(&f, 1, 0, 7), vec![1.0]);
+        assert_eq!(recv_ok(&f, 1, 0, sweep1_tag), vec![2.0]);
+
+        // Epoch 1 commits sweep 0: its tag keeps its consumed state and
+        // loses its history; sweep 1's tag is re-queued for replay.
+        f.rollback(1);
+        assert!(
+            f.try_recv(1, 0, 7).is_none(),
+            "committed sweep stays consumed"
+        );
+        assert_eq!(recv_ok(&f, 1, 0, sweep1_tag), vec![2.0]);
+        assert!(f.is_drained(1));
+    }
+
+    #[test]
+    fn seed_zero_benign_plan_is_a_valid_schedule() {
+        // Seed 0 must be as lawful as any other seed: deterministic
+        // actions, FIFO delivery, exact logical counts.
+        let plan = FaultPlan::benign(0);
+        for seq in 0..50 {
+            assert_eq!(plan.action(0, 1, 7, seq), plan.action(0, 1, 7, seq));
+        }
+        let cfg = FabricConfig {
+            plan: Some(plan),
+            ..FabricConfig::default()
+        };
+        let f: NativeFabric<f64> = NativeFabric::with_config(&map(2, ExecMode::Smp), cfg);
+        const N: usize = 50;
+        for i in 0..N {
+            f.send(0, 1, 7, vec![i as f64]);
+        }
+        for i in 0..N {
+            assert_eq!(recv_ok(&f, 1, 0, 7), vec![i as f64], "msg {i}");
+        }
+        assert!(f.is_drained(1));
+        assert_eq!(f.stats().messages_total, N as u64);
+    }
+
+    #[test]
+    fn duplicate_arriving_while_predecessor_is_dropped_stays_in_order() {
+        // Find a seed where message 0 is dropped (parked multiple ticks)
+        // and message 1 is duplicated: the duplicate pair is matchable
+        // long before its predecessor, the nastiest reordering the fault
+        // plane can produce.
+        let mut plan = None;
+        for seed in 0..100_000 {
+            let p = FaultPlan {
+                dup_prob: 0.3,
+                drop_prob: 0.3,
+                drop_retries: 2,
+                ..FaultPlan::quiet(seed)
+            };
+            let first_dropped =
+                matches!(p.action(0, 1, 7, 0), FaultAction::Park { ticks } if ticks >= 2);
+            if first_dropped && p.action(0, 1, 7, 1) == FaultAction::Duplicate {
+                plan = Some(p);
+                break;
+            }
+        }
+        let plan = plan.expect("a drop-then-duplicate seed exists in 100k");
+        let cfg = FabricConfig {
+            plan: Some(plan),
+            ..FabricConfig::default()
+        };
+        let f: NativeFabric<f64> = NativeFabric::with_config(&map(2, ExecMode::Smp), cfg);
+        f.send(0, 1, 7, vec![1.0]);
+        f.send(0, 1, 7, vec![2.0]);
+        assert_eq!(recv_ok(&f, 1, 0, 7), vec![1.0], "FIFO despite the drop");
+        assert_eq!(recv_ok(&f, 1, 0, 7), vec![2.0]);
+        assert!(f.is_drained(1), "the duplicate is consumed state");
+        assert_eq!(f.stats().messages_total, 2);
+    }
+
+    #[test]
+    fn delay_landing_on_the_watchdog_boundary_still_delivers() {
+        // recv_timeout == tick: the parked message's promotion lands
+        // exactly on the watchdog deadline. Matching runs before the
+        // deadline check, so the receive completes rather than timing out.
+        let cfg = FabricConfig {
+            recv_timeout: Duration::from_millis(40),
+            tick: Duration::from_millis(40),
+            plan: Some(FaultPlan {
+                delay_prob: 1.0,
+                ..FaultPlan::quiet(0)
+            }),
+            ..FabricConfig::default()
+        };
+        let f: NativeFabric<f64> = NativeFabric::with_config(&map(2, ExecMode::Smp), cfg);
+        f.send(0, 1, 7, vec![3.0]);
+        assert_eq!(
+            f.recv(1, 0, 7).expect("boundary promotion still matches"),
+            vec![3.0]
+        );
+        assert!(f.is_drained(1));
     }
 }

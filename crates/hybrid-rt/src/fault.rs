@@ -157,26 +157,34 @@ impl FaultPlan {
     }
 }
 
-/// Runtime knobs of one [`crate::NativeFabric`]: the deadlock watchdog,
-/// the redelivery tick, and the optional fault plan.
+/// Runtime knobs of one [`crate::NativeFabric`]: the recv watchdog, the
+/// redelivery tick, the optional fault plan, and (for supervised runs)
+/// send-side history retention.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FabricConfig {
-    /// How long a receive may block before the watchdog declares it
-    /// deadlocked and returns a [`FabricDiagnostic`].
-    pub watchdog: Duration,
+    /// How long a receive may block before the deadlock watchdog declares
+    /// it stuck and returns a [`FabricDiagnostic`] (formerly the
+    /// hard-coded "watchdog" budget; default unchanged at 30 s).
+    pub recv_timeout: Duration,
     /// Granularity of parked-message redelivery (and of watchdog polls
     /// while parked messages exist).
     pub tick: Duration,
     /// The fault schedule; `None` is the clean fabric.
     pub plan: Option<FaultPlan>,
+    /// Keep a send-side copy of every in-flight message (the
+    /// retransmission buffer) so a rollback can re-queue traffic for
+    /// rolled-back receivers. Off for plain runs — it costs one payload
+    /// clone per send — and turned on by the supervisor.
+    pub retain_history: bool,
 }
 
 impl Default for FabricConfig {
     fn default() -> FabricConfig {
         FabricConfig {
-            watchdog: Duration::from_secs(30),
+            recv_timeout: Duration::from_secs(30),
             tick: Duration::from_millis(1),
             plan: None,
+            retain_history: false,
         }
     }
 }

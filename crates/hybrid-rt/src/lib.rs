@@ -33,6 +33,13 @@
 //! * [`runtime`] — [`run_native`]: geometry + synthetic fill + per-rank
 //!   threads under `catch_unwind`, returning grids, a
 //!   [`gpaw_simmpi::RunReport`], and raw span timelines;
+//! * [`supervisor`] — [`supervise`]: checkpoint/replay recovery. Epoch
+//!   checkpoints (`gpaw_fd::checkpoint`, deposited at every sweep's
+//!   `AdvanceBuffer` boundary) plus the fabric's send-side retransmission
+//!   buffers let a failed attempt roll back to the newest consistent
+//!   epoch and resume mid-program — completed runs are bitwise identical
+//!   to fault-free ones, with retries and retransmissions itemized in a
+//!   [`RecoveryReport`];
 //! * [`report`] — the mapping onto the timed plane's report shape, so
 //!   native runs flow through the same JSON emission and perf gate.
 //!
@@ -49,6 +56,7 @@ pub mod fault;
 pub mod report;
 pub mod runtime;
 pub mod strategy;
+pub mod supervisor;
 
 pub use error::{FailureKind, RankFailure, RunError, StrategyError};
 pub use fabric::{FabricStats, NativeFabric};
@@ -60,4 +68,7 @@ pub use runtime::{run_native, NativeJob, NativeRun};
 pub use strategy::{
     all_strategies, strategy_for, FlatOptimized, FlatOriginal, FlatStatic, HybridMasterOnly,
     HybridMultiple, RankCtx, Strategy, ThreadResult,
+};
+pub use supervisor::{
+    supervise, FailureClass, FailureSummary, RecoveryReport, RetryPolicy, SupervisedRun,
 };

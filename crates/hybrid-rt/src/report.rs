@@ -101,6 +101,8 @@ mod tests {
             bytes_per_node: vec![800, 400],
             network_bytes_per_node: vec![500, 100],
             network_messages_per_node: vec![4, 2],
+            retransmitted_messages: 0,
+            retransmitted_bytes: 0,
         }
     }
 

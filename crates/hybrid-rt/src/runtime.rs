@@ -13,7 +13,13 @@
 //! into a [`RunError::Failed`] listing every rank's failure (worst first)
 //! instead of aborting or hanging the process. The fault plane is wired
 //! in through [`NativeJob::with_fault`] and
-//! [`NativeJob::with_watchdog_ms`].
+//! [`NativeJob::with_recv_timeout_ms`].
+//!
+//! Internally a run is split into *geometry resolution*
+//! ([`resolve_geometry`]) and *one attempt* ([`run_attempt`]); `run_native`
+//! is resolve + a fresh fabric + one attempt from epoch 0. The supervisor
+//! (`crate::supervisor`) reuses both to replay attempts against the same
+//! fabric from a checkpointed epoch.
 
 use crate::error::{panic_message, FailureKind, RankFailure, RunError};
 use crate::fabric::NativeFabric;
@@ -23,16 +29,18 @@ use crate::strategy::{RankCtx, Strategy, ThreadResult};
 use gpaw_bgp_hw::spec::STENCIL_FLOPS_PER_POINT;
 use gpaw_bgp_hw::{CartMap, Partition};
 use gpaw_des::SimDuration;
+use gpaw_fd::checkpoint::CheckpointStore;
 use gpaw_fd::config::{Approach, FdConfig};
 use gpaw_fd::exec::SyntheticFill;
-use gpaw_fd::plan::{rank_assignment, RankPlan};
-use gpaw_fd::program::compile_rank;
+use gpaw_fd::plan::{rank_assignment, GridAssignment, RankPlan};
+use gpaw_fd::program::{compile_rank, SweepProgram, ThreadRole};
 use gpaw_fd::trace::ThreadSpans;
 use gpaw_grid::grid3::Grid3;
 use gpaw_grid::gridset::GridSet;
 use gpaw_grid::scalar::Scalar;
 use gpaw_grid::stencil::{BoundaryCond, StencilCoeffs};
 use gpaw_simmpi::RunReport;
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
@@ -59,10 +67,10 @@ pub struct NativeJob {
     pub bc: BoundaryCond,
     /// Grid spacing per axis (Laplacian coefficients).
     pub spacing: [f64; 3],
-    /// Deadlock-watchdog budget per receive, in milliseconds. A receive
-    /// that waits longer fails the run with a fabric snapshot instead of
-    /// hanging.
-    pub watchdog_ms: u64,
+    /// Deadlock-watchdog budget per receive, in milliseconds (plumbs into
+    /// [`FabricConfig::recv_timeout`]). A receive that waits longer fails
+    /// the run with a fabric snapshot instead of hanging.
+    pub recv_timeout_ms: u64,
     /// Optional deterministic fault plan perturbing the fabric.
     pub fault: Option<FaultPlan>,
 }
@@ -81,7 +89,7 @@ impl NativeJob {
             sweeps: 1,
             bc: BoundaryCond::Periodic,
             spacing: [0.2, 0.25, 0.3],
-            watchdog_ms: 30_000,
+            recv_timeout_ms: 30_000,
             fault: None,
         }
     }
@@ -105,8 +113,8 @@ impl NativeJob {
     }
 
     /// Set the deadlock-watchdog budget per receive.
-    pub fn with_watchdog_ms(mut self, ms: u64) -> NativeJob {
-        self.watchdog_ms = ms;
+    pub fn with_recv_timeout_ms(mut self, ms: u64) -> NativeJob {
+        self.recv_timeout_ms = ms;
         self
     }
 
@@ -138,14 +146,90 @@ pub struct NativeRun<T: Scalar> {
     pub map: CartMap,
 }
 
-/// Order rank failures worst-first: panics, then watchdog timeouts, then
-/// undrained fabrics; by rank within a class. The first element is what
-/// a caller that only looks at one failure should see.
-fn severity(kind: &FailureKind) -> u8 {
-    match kind {
-        FailureKind::Panic(_) => 0,
-        FailureKind::RecvTimeout(_) => 1,
-        FailureKind::Undrained => 2,
+/// A job's execution geometry, resolved once and shared by every attempt
+/// of a (possibly supervised) run: the rank/node map, the thread count,
+/// the engine config, and the stencil.
+pub(crate) struct JobGeometry {
+    pub map: CartMap,
+    pub threads: usize,
+    pub cfg: FdConfig,
+    pub coef: StencilCoeffs,
+}
+
+/// Validate `job` under `approach` and resolve its geometry — all the
+/// checks `run_native` performs before any thread is spawned.
+pub(crate) fn resolve_geometry(
+    job: &NativeJob,
+    approach: Approach,
+) -> Result<JobGeometry, RunError> {
+    if job.n_grids == 0 {
+        return Err(RunError::NoGrids);
+    }
+    let partition = Partition::standard(job.nodes, approach.exec_mode())
+        .ok_or(RunError::UnsupportedNodeCount { nodes: job.nodes })?;
+    let map = CartMap::best(partition, job.grid_ext);
+    let threads = match approach {
+        Approach::HybridMultiple | Approach::HybridMasterOnly => job.threads,
+        _ => 1,
+    };
+    map.cores_per_thread(threads)?;
+    Ok(JobGeometry {
+        map,
+        threads,
+        cfg: job.config(approach),
+        coef: StencilCoeffs::laplacian(job.spacing),
+    })
+}
+
+/// The fabric configuration `job` implies for an unsupervised run.
+pub(crate) fn fabric_config(job: &NativeJob) -> FabricConfig {
+    FabricConfig {
+        recv_timeout: Duration::from_millis(job.recv_timeout_ms),
+        plan: job.fault,
+        ..FabricConfig::default()
+    }
+}
+
+/// Rebuild one rank's input grids from the checkpoint store at `epoch`.
+///
+/// Hybrid-multiple ranks deposit per endpoint slot in thread-local grid
+/// order, so the rank order is reassembled through each program's
+/// assignment; every other role deposits the whole rank under slot 0.
+///
+/// # Panics
+/// Panics when a required snapshot is missing — a supervisor bug, not a
+/// recoverable condition; the rank's `catch_unwind` contains it.
+fn restore_inputs<T: Scalar>(
+    ckpt: Option<&CheckpointStore<T>>,
+    rank: usize,
+    programs: &[SweepProgram],
+    asg: &GridAssignment,
+    epoch: usize,
+) -> Vec<Grid3<T>> {
+    let Some(store) = ckpt else {
+        panic!("rank {rank}: resume from epoch {epoch} without a checkpoint store");
+    };
+    if programs.len() > 1 && matches!(programs[0].role, ThreadRole::Endpoint) {
+        let mut by_id: HashMap<usize, Grid3<T>> = HashMap::new();
+        for (t, prog) in programs.iter().enumerate() {
+            let snap = store
+                .restore(rank, t, epoch)
+                .unwrap_or_else(|| panic!("rank {rank} slot {t}: no checkpoint for epoch {epoch}"));
+            for (j, g) in snap.into_iter().enumerate() {
+                by_id.insert(prog.asg.id(j), g);
+            }
+        }
+        (0..asg.count)
+            .map(|i| {
+                by_id.remove(&asg.id(i)).unwrap_or_else(|| {
+                    panic!("rank {rank}: grid {} missing at epoch {epoch}", asg.id(i))
+                })
+            })
+            .collect()
+    } else {
+        store
+            .restore(rank, 0, epoch)
+            .unwrap_or_else(|| panic!("rank {rank}: no checkpoint for epoch {epoch}"))
     }
 }
 
@@ -161,27 +245,27 @@ pub fn run_native<T: SyntheticFill>(
     job: &NativeJob,
     strategy: &dyn Strategy<T>,
 ) -> Result<NativeRun<T>, RunError> {
-    if job.n_grids == 0 {
-        return Err(RunError::NoGrids);
-    }
-    let approach = strategy.approach();
-    let partition = Partition::standard(job.nodes, approach.exec_mode())
-        .ok_or(RunError::UnsupportedNodeCount { nodes: job.nodes })?;
-    let map = CartMap::best(partition, job.grid_ext);
-    let threads = match approach {
-        Approach::HybridMultiple | Approach::HybridMasterOnly => job.threads,
-        _ => 1,
-    };
-    map.cores_per_thread(threads)?;
-    let cfg = job.config(approach);
-    let coef = StencilCoeffs::laplacian(job.spacing);
+    let geo = resolve_geometry(job, strategy.approach())?;
+    let fabric: NativeFabric<T> = NativeFabric::with_config(&geo.map, fabric_config(job));
+    run_attempt(job, strategy, &geo, &fabric, None, 0)
+}
+
+/// One attempt at `job`: spawn every rank, interpret from `start_epoch`,
+/// and collect either a [`NativeRun`] or the worst-first failure list.
+/// `run_native` calls this once with a fresh fabric; the supervisor calls
+/// it repeatedly against one shared fabric and checkpoint store, after
+/// rolling both back to a consistent epoch.
+pub(crate) fn run_attempt<T: SyntheticFill>(
+    job: &NativeJob,
+    strategy: &dyn Strategy<T>,
+    geo: &JobGeometry,
+    fabric: &NativeFabric<T>,
+    ckpt: Option<&CheckpointStore<T>>,
+    start_epoch: usize,
+) -> Result<NativeRun<T>, RunError> {
+    let JobGeometry { map, cfg, coef, .. } = geo;
+    let threads = geo.threads;
     let halo = StencilCoeffs::HALO;
-    let fabric_cfg = FabricConfig {
-        watchdog: Duration::from_millis(job.watchdog_ms),
-        plan: job.fault,
-        ..FabricConfig::default()
-    };
-    let fabric: NativeFabric<T> = NativeFabric::with_config(&map, fabric_cfg);
     let ranks = map.ranks();
     let epoch = Instant::now();
 
@@ -189,10 +273,6 @@ pub fn run_native<T: SyntheticFill>(
     let outcomes: Vec<RankOutcome<T>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..ranks)
             .map(|rank| {
-                let fabric = &fabric;
-                let map = &map;
-                let coef = &coef;
-                let cfg = &cfg;
                 s.spawn(move || -> RankOutcome<T> {
                     let run = catch_unwind(AssertUnwindSafe(|| {
                         let plan = RankPlan::for_rank(map, job.grid_ext, rank, T::BYTES, cfg);
@@ -203,12 +283,19 @@ pub fn run_native<T: SyntheticFill>(
                         // quarters.
                         let programs = compile_rank(cfg, map, &plan, job.n_grids, threads);
                         let asg = rank_assignment(cfg.approach, job.n_grids, map, rank);
-                        let mut inputs: Vec<Grid3<T>> = Vec::with_capacity(asg.count);
-                        for i in 0..asg.count {
-                            let mut grid = Grid3::zeros(plan.sub.ext, halo);
-                            T::fill(&mut grid, &plan.sub, job.grid_ext, job.seed, asg.id(i));
-                            inputs.push(grid);
-                        }
+                        // Fresh runs fill synthetically; a supervised
+                        // resume restores the rollback epoch's snapshot.
+                        let inputs: Vec<Grid3<T>> = if start_epoch == 0 {
+                            let mut inputs = Vec::with_capacity(asg.count);
+                            for i in 0..asg.count {
+                                let mut grid = Grid3::zeros(plan.sub.ext, halo);
+                                T::fill(&mut grid, &plan.sub, job.grid_ext, job.seed, asg.id(i));
+                                inputs.push(grid);
+                            }
+                            inputs
+                        } else {
+                            restore_inputs(ckpt, rank, &programs, &asg, start_epoch)
+                        };
                         let outputs: Vec<Grid3<T>> = (0..asg.count)
                             .map(|_| Grid3::zeros(plan.sub.ext, halo))
                             .collect();
@@ -219,6 +306,8 @@ pub fn run_native<T: SyntheticFill>(
                             programs: &programs,
                             threads,
                             epoch,
+                            start_sweep: start_epoch,
+                            ckpt,
                         };
                         strategy.run_rank(&ctx, inputs, outputs)
                     }));
@@ -272,7 +361,7 @@ pub fn run_native<T: SyntheticFill>(
         }
     }
     if !failures.is_empty() {
-        failures.sort_by_key(|f| (severity(&f.kind), f.rank));
+        failures.sort_by_key(|f| (f.kind.severity(), f.rank));
         return Err(RunError::Failed {
             strategy: strategy.name(),
             failures,
@@ -294,7 +383,7 @@ pub fn run_native<T: SyntheticFill>(
         sets,
         report,
         timelines,
-        map,
+        map: map.clone(),
     })
 }
 

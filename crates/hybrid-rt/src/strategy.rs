@@ -38,6 +38,7 @@ use crate::error::{panic_message, StrategyError};
 use crate::fabric::NativeFabric;
 use crate::fault::RecvTimeout;
 use gpaw_bgp_hw::topology::Dir;
+use gpaw_fd::checkpoint::CheckpointStore;
 use gpaw_fd::config::Approach;
 use gpaw_fd::exec::SyntheticFill;
 use gpaw_fd::plan::{recv_tag, send_tag, RankPlan};
@@ -66,6 +67,14 @@ pub struct RankCtx<'a, T: Scalar> {
     pub threads: usize,
     /// Shared time origin of the run's span ledgers.
     pub epoch: Instant,
+    /// First sweep to execute. 0 for a fresh run; a supervised resume
+    /// starts at the rollback epoch — tags embed the absolute sweep, so
+    /// the interpreter re-enters mid-program with no other state.
+    pub start_sweep: usize,
+    /// Where each depositing thread snapshots its inputs after every
+    /// `AdvanceBuffer` swap. `None` (plain runs) skips checkpointing
+    /// entirely — no clones, no locks.
+    pub ckpt: Option<&'a CheckpointStore<T>>,
 }
 
 /// One native thread's outcome: the aggregate phase breakdown plus the raw
@@ -315,10 +324,13 @@ fn run_single<T: Scalar>(
         coef: ctx.coef,
     };
     let mut tr = WallTracer::new(ctx.epoch);
-    for sweep in 0..prog.sweeps {
+    for sweep in ctx.start_sweep..prog.sweeps {
         for &op in &prog.ops {
             if op == SweepOp::AdvanceBuffer {
                 std::mem::swap(&mut inputs, &mut outputs);
+                if let Some(store) = ctx.ckpt {
+                    store.deposit(ctx.plan.rank, 0, sweep + 1, inputs.clone());
+                }
                 continue;
             }
             if let Err(e) = exec_comm_op(&env, op, sweep, &mut inputs, &mut outputs, &mut tr) {
@@ -376,7 +388,7 @@ fn run_endpoints<T: Scalar>(
                 let mut tr = WallTracer::new(ctx.epoch);
                 debug_assert_eq!(prog.asg.count, ins.len());
                 let mut err: Option<StrategyError> = None;
-                for sweep in 0..prog.sweeps {
+                for sweep in ctx.start_sweep..prog.sweeps {
                     for &op in &prog.ops {
                         match op {
                             SweepOp::ThreadBarrier => {
@@ -392,6 +404,12 @@ fn run_endpoints<T: Scalar>(
                             SweepOp::AdvanceBuffer => {
                                 if err.is_none() {
                                     std::mem::swap(&mut ins, &mut outs);
+                                    // A failed endpoint never deposits: its
+                                    // stale epoch pins the consistent floor,
+                                    // so rollback lands where it last swapped.
+                                    if let Some(store) = ctx.ckpt {
+                                        store.deposit(ctx.plan.rank, t, sweep + 1, ins.clone());
+                                    }
                                 }
                             }
                             _ => {
@@ -554,7 +572,7 @@ fn run_master_pool<T: Scalar>(
             handles.push(s.spawn(move || -> Result<ThreadResult, StrategyError> {
                 let mut tr = WallTracer::new(ctx.epoch);
                 let mut err: Option<StrategyError> = None;
-                for _ in 0..prog.sweeps {
+                for _ in ctx.start_sweep..prog.sweeps {
                     for &op in &prog.ops {
                         match op {
                             SweepOp::ApplyBoundarySlab { .. } => {
@@ -608,7 +626,7 @@ fn run_master_pool<T: Scalar>(
         let mut ins = inputs;
         let mut outs = outputs;
         let mut master_err: Option<StrategyError> = None;
-        for sweep in 0..prog.sweeps {
+        for sweep in ctx.start_sweep..prog.sweeps {
             for &op in &prog.ops {
                 match op {
                     SweepOp::ApplyBoundarySlab { batch, index } => {
@@ -647,6 +665,11 @@ fn run_master_pool<T: Scalar>(
                     SweepOp::AdvanceBuffer => {
                         if master_err.is_none() {
                             std::mem::swap(&mut ins, &mut outs);
+                            // Master-only: one deposit covers the rank; the
+                            // pool never owns grids across sweeps.
+                            if let Some(store) = ctx.ckpt {
+                                store.deposit(ctx.plan.rank, 0, sweep + 1, ins.clone());
+                            }
                         }
                     }
                     SweepOp::ThreadBarrier => unreachable!("master programs carry no bare barrier"),

@@ -1,0 +1,309 @@
+//! The supervisor loop: contained failures become completed runs.
+//!
+//! [`supervise`] wraps [`run_attempt`](crate::runtime) in a bounded retry
+//! loop. One fabric (with send-side history retention) and one
+//! [`CheckpointStore`] live across every attempt; when an attempt fails
+//! with [`RunError::Failed`], the supervisor
+//!
+//! 1. **classifies** each rank failure (panic, starved receive — the
+//!    black-hole shape, where the awaited queue is empty — or a stalled
+//!    receive with traffic still in flight),
+//! 2. **rolls back** the checkpoint store and the fabric to the newest
+//!    epoch every thread of every rank has deposited (the *consistent*
+//!    epoch — see `gpaw_fd::checkpoint`),
+//! 3. **backs off** exponentially from [`RetryPolicy::base_backoff`], and
+//! 4. **respawns** every rank's workers to resume interpretation at that
+//!    epoch: tags embed the absolute sweep, so the interpreter re-enters
+//!    mid-program and the fabric's re-queued history hands rolled-back
+//!    receivers their in-flight messages again.
+//!
+//! Replayed sends land in the fabric's *retransmission* counters, never
+//! the logical ones, so a recovered run reports exactly the traffic of a
+//! fault-free run plus an explicit [`RecoveryReport`] of the overhead.
+//! Lethal injected faults cannot re-fire on replay: the black-hole and
+//! panic ordinals count monotonically over the fabric's lifetime.
+//!
+//! One known limitation: the consistency floor is the *deposit* — a
+//! thread that dies between its buffer swap and its deposit simply pins
+//! the floor one epoch lower, which is safe. The injectors used here
+//! (send-path panics, swallowed messages) can only kill a thread in the
+//! communication phase, before the swap, so a deposited epoch is always a
+//! fully completed sweep.
+
+use crate::error::{FailureKind, RankFailure, RunError};
+use crate::fabric::NativeFabric;
+use crate::fault::FabricConfig;
+use crate::runtime::{fabric_config, resolve_geometry, run_attempt, NativeJob, NativeRun};
+use crate::strategy::Strategy;
+use gpaw_fd::checkpoint::CheckpointStore;
+use gpaw_fd::config::Approach;
+use gpaw_fd::exec::SyntheticFill;
+use gpaw_grid::scalar::Scalar;
+use std::time::Duration;
+
+/// How hard the supervisor tries before giving up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, the first one included. 1 means no retries.
+    pub max_attempts: u32,
+    /// Sleep before retry `n` is `base_backoff * 2^(n-1)` — exponential,
+    /// so repeated faults do not hammer a struggling machine.
+    pub base_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(25),
+        }
+    }
+}
+
+/// What a rank failure looked like to the supervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureClass {
+    /// The rank (or one of its threads) panicked.
+    Panic,
+    /// A receive timed out with the awaited `(src, tag)` queue empty —
+    /// the message never arrived (the black-hole shape).
+    Starved,
+    /// A receive timed out with traffic still queued or parked for it —
+    /// the fabric stalled rather than lost the message.
+    Stalled,
+    /// The rank finished but left undelivered messages.
+    Undrained,
+}
+
+/// One rank failure the supervisor absorbed, with the epoch it resumed
+/// from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureSummary {
+    /// The attempt (1-based) that failed.
+    pub attempt: u32,
+    /// The failed rank.
+    pub rank: usize,
+    /// The failure's classification.
+    pub class: FailureClass,
+    /// The consistent epoch the next attempt resumed from.
+    pub resumed_from: usize,
+}
+
+/// Recovery overhead of a supervised run that completed.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Attempts used, the successful one included. 1 = no failure.
+    pub attempts: u32,
+    /// Completed sweeps discarded by rollbacks, summed over ranks — work
+    /// that was done, thrown away, and redone.
+    pub epochs_replayed: usize,
+    /// Replayed sends whose sequence number was already charged — kept
+    /// out of the logical traffic counters by the fabric.
+    pub messages_retransmitted: u64,
+    /// Payload bytes of those retransmissions.
+    pub bytes_retransmitted: u64,
+    /// Every rank failure absorbed on the way to completion.
+    pub failures: Vec<FailureSummary>,
+}
+
+/// A run the supervisor carried to completion: the ordinary outcome plus
+/// the recovery overhead it cost.
+pub struct SupervisedRun<T: Scalar> {
+    /// The completed run — grids bitwise identical to a fault-free run.
+    pub run: NativeRun<T>,
+    /// What the completion cost in retries and retransmissions.
+    pub recovery: RecoveryReport,
+}
+
+/// Classify one rank failure for the [`RecoveryReport`].
+fn classify(f: &RankFailure) -> FailureClass {
+    match &f.kind {
+        FailureKind::Panic(_) => FailureClass::Panic,
+        FailureKind::RecvTimeout(t) => {
+            let in_flight = t.diagnostic.queues.iter().any(|q| {
+                q.dst == t.rank
+                    && q.src == t.src
+                    && q.tag == t.tag
+                    && (q.queued > 0 || q.parked > 0)
+            });
+            if in_flight {
+                FailureClass::Stalled
+            } else {
+                FailureClass::Starved
+            }
+        }
+        FailureKind::Undrained => FailureClass::Undrained,
+    }
+}
+
+/// The checkpoint keys a supervised run registers: hybrid-multiple ranks
+/// deposit per endpoint slot, every other approach deposits the whole
+/// rank under slot 0.
+fn checkpoint_keys(approach: Approach, ranks: usize, threads: usize) -> Vec<(usize, usize)> {
+    match approach {
+        Approach::HybridMultiple => (0..ranks)
+            .flat_map(|r| (0..threads).map(move |t| (r, t)))
+            .collect(),
+        _ => (0..ranks).map(|r| (r, 0)).collect(),
+    }
+}
+
+/// Execute `job` under `strategy` with checkpoint/replay recovery.
+///
+/// Completes with a [`SupervisedRun`] whose grids are bitwise identical
+/// to a fault-free run and whose *logical* traffic counts are exactly a
+/// fault-free run's — every retry's resends are accounted separately in
+/// the [`RecoveryReport`]. Fails with the last attempt's [`RunError`]
+/// when `policy.max_attempts` is exhausted, or immediately for errors no
+/// retry can fix (bad geometry, zero grids).
+pub fn supervise<T: SyntheticFill>(
+    job: &NativeJob,
+    strategy: &dyn Strategy<T>,
+    policy: &RetryPolicy,
+) -> Result<SupervisedRun<T>, RunError> {
+    let geo = resolve_geometry(job, strategy.approach())?;
+    let cfg = FabricConfig {
+        retain_history: true,
+        ..fabric_config(job)
+    };
+    let fabric: NativeFabric<T> = NativeFabric::with_config(&geo.map, cfg);
+    let ranks = geo.map.ranks();
+    let store: CheckpointStore<T> =
+        CheckpointStore::new(checkpoint_keys(strategy.approach(), ranks, geo.threads));
+
+    let max_attempts = policy.max_attempts.max(1);
+    let mut failures: Vec<FailureSummary> = Vec::new();
+    let mut epochs_replayed = 0usize;
+    let mut start_epoch = 0usize;
+    for attempt in 1..=max_attempts {
+        match run_attempt(job, strategy, &geo, &fabric, Some(&store), start_epoch) {
+            Ok(run) => {
+                let stats = fabric.stats();
+                return Ok(SupervisedRun {
+                    run,
+                    recovery: RecoveryReport {
+                        attempts: attempt,
+                        epochs_replayed,
+                        messages_retransmitted: stats.retransmitted_messages,
+                        bytes_retransmitted: stats.retransmitted_bytes,
+                        failures,
+                    },
+                });
+            }
+            Err(err) => {
+                let RunError::Failed {
+                    failures: rank_failures,
+                    ..
+                } = &err
+                else {
+                    // Geometry/config errors are deterministic; retrying
+                    // cannot change them.
+                    return Err(err);
+                };
+                if attempt == max_attempts {
+                    return Err(err);
+                }
+                let epoch = store.consistent_epoch();
+                for r in 0..ranks {
+                    epochs_replayed += store.rank_epoch(r).saturating_sub(epoch);
+                }
+                for f in rank_failures {
+                    failures.push(FailureSummary {
+                        attempt,
+                        rank: f.rank,
+                        class: classify(f),
+                        resumed_from: epoch,
+                    });
+                }
+                // All rank threads have been joined; the fabric is
+                // quiescent, so rollback is safe.
+                store.rollback(epoch);
+                fabric.rollback(epoch);
+                std::thread::sleep(
+                    policy
+                        .base_backoff
+                        .saturating_mul(2u32.saturating_pow(attempt - 1)),
+                );
+                start_epoch = epoch;
+            }
+        }
+    }
+    unreachable!("the final attempt always returns")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FabricDiagnostic, QueueStat, RecvTimeout};
+
+    fn timeout_failure(queues: Vec<QueueStat>) -> RankFailure {
+        RankFailure {
+            rank: 1,
+            phase: "halo-wait",
+            kind: FailureKind::RecvTimeout(Box::new(RecvTimeout {
+                rank: 1,
+                src: 0,
+                tag: 7,
+                waited: Duration::from_millis(300),
+                diagnostic: FabricDiagnostic {
+                    blocked: Vec::new(),
+                    queues,
+                },
+            })),
+        }
+    }
+
+    #[test]
+    fn empty_awaited_queue_classifies_as_starved() {
+        assert_eq!(
+            classify(&timeout_failure(Vec::new())),
+            FailureClass::Starved
+        );
+        // Traffic on a *different* tag is not the awaited message.
+        let other_tag = timeout_failure(vec![QueueStat {
+            dst: 1,
+            src: 0,
+            tag: 9,
+            queued: 3,
+            parked: 0,
+        }]);
+        assert_eq!(classify(&other_tag), FailureClass::Starved);
+    }
+
+    #[test]
+    fn in_flight_awaited_traffic_classifies_as_stalled() {
+        let stalled = timeout_failure(vec![QueueStat {
+            dst: 1,
+            src: 0,
+            tag: 7,
+            queued: 0,
+            parked: 1,
+        }]);
+        assert_eq!(classify(&stalled), FailureClass::Stalled);
+    }
+
+    #[test]
+    fn panics_and_undrained_keep_their_own_classes() {
+        let p = RankFailure {
+            rank: 0,
+            phase: "run",
+            kind: FailureKind::Panic("boom".into()),
+        };
+        assert_eq!(classify(&p), FailureClass::Panic);
+        let u = RankFailure {
+            rank: 0,
+            phase: "drain",
+            kind: FailureKind::Undrained,
+        };
+        assert_eq!(classify(&u), FailureClass::Undrained);
+    }
+
+    #[test]
+    fn hybrid_multiple_registers_one_key_per_endpoint() {
+        let keys = checkpoint_keys(Approach::HybridMultiple, 2, 4);
+        assert_eq!(keys.len(), 8);
+        assert!(keys.contains(&(1, 3)));
+        let keys = checkpoint_keys(Approach::HybridMasterOnly, 2, 4);
+        assert_eq!(keys, vec![(0, 0), (1, 0)]);
+    }
+}

@@ -74,7 +74,7 @@ fn all_strategies_hold_parity_and_traffic_under_twenty_fault_schedules() {
 fn a_black_holed_message_fails_the_run_with_a_diagnostic() {
     let job = NativeJob::new([10, 10, 10], 3, 2)
         .with_threads(2)
-        .with_watchdog_ms(300)
+        .with_recv_timeout_ms(300)
         .with_fault(FaultPlan::quiet(5).with_black_hole(0, 1, 1));
     let err = run_native::<f64>(&job, &HybridMultiple)
         .err()
@@ -107,7 +107,7 @@ fn a_black_holed_message_fails_the_run_with_a_diagnostic() {
 #[test]
 fn an_injected_send_panic_is_contained_in_flat_mode() {
     let job = NativeJob::new([10, 10, 10], 3, 2)
-        .with_watchdog_ms(300)
+        .with_recv_timeout_ms(300)
         .with_fault(FaultPlan::quiet(5).with_panic_on_send(0, 2));
     let err = run_native::<f64>(&job, &gpaw_hybrid_rt::FlatOptimized)
         .err()
@@ -127,7 +127,7 @@ fn an_injected_send_panic_is_contained_in_flat_mode() {
 fn an_injected_send_panic_is_contained_in_a_hybrid_endpoint() {
     let job = NativeJob::new([10, 10, 10], 4, 2)
         .with_threads(2)
-        .with_watchdog_ms(300)
+        .with_recv_timeout_ms(300)
         .with_fault(FaultPlan::quiet(5).with_panic_on_send(0, 0));
     let err = run_native::<f64>(&job, &HybridMultiple)
         .err()

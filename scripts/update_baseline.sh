@@ -27,12 +27,17 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release --offline -p gpaw-bench --bin perf_gate
+cargo build --release --offline -p gpaw-bench --bin perf_gate --bin recovery_soak
 mkdir -p results
 # perf_gate exits 1/2 when the (old) baseline mismatches or is absent;
 # we only need the freshly written report.
 ./target/release/perf_gate --out results/baseline.json || true
 
+# The recovery-soak baseline, regenerated with the exact arguments CI
+# uses so the logical traffic counts (gated exactly) line up.
+./target/release/recovery_soak --seeds 6 --threads 2,4
+cp BENCH_recovery_soak.json results/baseline_recovery_soak.json
+
 echo
-echo "results/baseline.json updated; review the diff and commit it:"
-git --no-pager diff --stat -- results/baseline.json || true
+echo "baselines updated; review the diff and commit it:"
+git --no-pager diff --stat -- results/ || true
