@@ -1,0 +1,446 @@
+//! Service soak: thousands of mixed-size jobs through the job service.
+//!
+//! Generates a deterministic mix of jobs (shapes, approaches, node
+//! counts, thread counts, priorities) across four clean tenants plus one
+//! chaos tenant whose jobs carry lethal injected faults (send panics and
+//! black-holed messages), then pushes the whole mix through a
+//! [`JobService`] at each requested worker count. Every outcome is held
+//! to its *solo identity* — the digest and logical traffic of the same
+//! job run alone on a quiet fabric — so multiplexing, cache sharing, and
+//! neighbor recoveries are proven to leave results bit-identical. Faulty
+//! jobs must really have recovered (attempts ≥ 2); clean jobs must never
+//! have been perturbed into a retry (attempts = 1).
+//!
+//! Reports throughput and queue/run latency percentiles per worker
+//! count, plus exact counts (jobs, cache traffic, logical messages and
+//! bytes) into `BENCH_service_soak.json` for the perf gate.
+//!
+//! Exits non-zero on any parity violation, traffic drift, missed
+//! recovery, or failed job, so CI can run it as a gate.
+//!
+//! Usage: `service_soak [--jobs N] [--workers 2,4] [--quick]`
+
+use gpaw_bench::{emit_report, Table};
+use gpaw_fd::plan::RankPlan;
+use gpaw_fd::{Approach, ExperimentReport};
+use gpaw_hybrid_rt::{
+    run_digest, run_native, strategy_for, FaultPlan, JobHandle, JobService, NativeJob, Priority,
+    RetryPolicy, ServiceConfig,
+};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// SplitMix64: the mix must be identical on every host and run.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const CLEAN_TENANTS: [&str; 4] = ["atlas", "borr", "ceres", "dione"];
+const CHAOS_TENANT: &str = "eris";
+
+/// One generated submission: who, what, and whether it carries a fault.
+struct MixJob {
+    tenant: &'static str,
+    priority: Priority,
+    approach: Approach,
+    job: NativeJob,
+    faulty: bool,
+}
+
+/// A solo run's identity — what the serviced run must reproduce.
+#[derive(Clone, Copy)]
+struct SoloIdentity {
+    digest: u64,
+    messages: u64,
+    network_bytes: u64,
+}
+
+/// Identity key of a job's *clean* configuration (fault plans and
+/// watchdog budgets do not change results).
+type SoloKey = (u8, [usize; 3], usize, usize, usize, usize, usize);
+
+fn solo_key(approach: Approach, job: &NativeJob) -> SoloKey {
+    (
+        approach as u8,
+        job.grid_ext,
+        job.n_grids,
+        job.nodes,
+        job.threads,
+        job.sweeps,
+        job.batch,
+    )
+}
+
+/// Build the deterministic job mix. Clean tenants rotate through shapes
+/// and approaches; every tenth job goes to the chaos tenant with a
+/// lethal injector layered over benign chaos.
+fn generate_mix(jobs: usize) -> Vec<MixJob> {
+    let shapes: [([usize; 3], usize); 4] = [
+        ([8, 6, 6], 2),
+        ([10, 8, 6], 3),
+        ([8, 8, 8], 2),
+        ([12, 10, 8], 4),
+    ];
+    let approaches = [
+        Approach::FlatOriginal,
+        Approach::FlatOptimized,
+        Approach::HybridMultiple,
+        Approach::HybridMasterOnly,
+        Approach::FlatStatic,
+    ];
+    let mut rng = 0x5eed_5eed_5eed_5eedu64;
+    let mut mix = Vec::with_capacity(jobs);
+    for i in 0..jobs {
+        let r = splitmix64(&mut rng);
+        if i % 10 == 9 {
+            // The chaos tenant: 2 nodes (so rank 0 really sends), a short
+            // watchdog, and a lethal injector — alternating send panics
+            // and black holes, seeds varying across the soak.
+            let seed = r % 251;
+            let approach = if i % 20 == 9 {
+                Approach::FlatOptimized
+            } else {
+                Approach::HybridMultiple
+            };
+            let base = NativeJob::new([10, 8, 6], 3, 2)
+                .with_threads(2)
+                .with_sweeps(2)
+                .with_recv_timeout_ms(300);
+            mix.push(MixJob {
+                tenant: CHAOS_TENANT,
+                priority: Priority::Normal,
+                approach,
+                // The black hole's destination is patched in later, once
+                // the geometry probe knows rank 0's neighbor.
+                job: base.with_fault(FaultPlan::benign(seed).with_panic_on_send(0, seed % 3)),
+                faulty: true,
+            });
+            continue;
+        }
+        let tenant = CLEAN_TENANTS[(r % 4) as usize];
+        let approach = approaches[((r >> 16) % 5) as usize];
+        let (grid_ext, n_grids) = if approach == Approach::FlatStatic {
+            // Flat static-groups owns grids per core group: it needs at
+            // least one grid per core, so it always gets the 4-grid shape.
+            shapes[3]
+        } else {
+            shapes[((r >> 8) % 4) as usize]
+        };
+        let nodes = 1 + ((r >> 24) % 2) as usize;
+        let threads = if (r >> 32).is_multiple_of(2) { 2 } else { 4 };
+        let sweeps = 1 + ((r >> 40) % 2) as usize;
+        let priority = match (r >> 48) % 10 {
+            0 => Priority::High,
+            1 => Priority::Low,
+            _ => Priority::Normal,
+        };
+        mix.push(MixJob {
+            tenant,
+            priority,
+            approach,
+            job: NativeJob::new(grid_ext, n_grids, nodes)
+                .with_threads(threads)
+                .with_sweeps(sweeps),
+            faulty: false,
+        });
+    }
+    // Swap half the chaos tenant's panics for black holes targeting a
+    // real plan edge of rank 0 (probed once per chaos approach).
+    let mut neighbor_of_rank0: HashMap<u8, usize> = HashMap::new();
+    let mut chaos_seen = 0usize;
+    for m in &mut mix {
+        if !m.faulty {
+            continue;
+        }
+        chaos_seen += 1;
+        if chaos_seen.is_multiple_of(2) {
+            let dst = *neighbor_of_rank0
+                .entry(m.approach as u8)
+                .or_insert_with(|| {
+                    let clean = NativeJob {
+                        fault: None,
+                        ..m.job
+                    };
+                    let run = run_native::<f64>(&clean, strategy_for::<f64>(m.approach).as_ref())
+                        .unwrap_or_else(|e| {
+                            eprintln!("chaos geometry probe failed: {e}");
+                            std::process::exit(2);
+                        });
+                    let cfg = m.job.config(m.approach);
+                    let plan = RankPlan::for_rank(&run.map, m.job.grid_ext, 0, 8, &cfg);
+                    plan.neighbors
+                        .iter()
+                        .flatten()
+                        .copied()
+                        .next()
+                        .expect("rank 0 has a neighbor on a 2-node partition")
+                });
+            let seed = chaos_seen as u64;
+            m.job.fault = Some(FaultPlan::benign(seed).with_black_hole(0, dst, 1 + seed % 2));
+        }
+    }
+    mix
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((q / 100.0) * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+fn main() {
+    let mut jobs = 1000usize;
+    let mut worker_counts: Vec<usize> = vec![2, 4];
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--jobs" if i + 1 < args.len() => {
+                jobs = args[i + 1].parse().expect("--jobs takes a number");
+                i += 2;
+            }
+            "--workers" if i + 1 < args.len() => {
+                worker_counts = args[i + 1]
+                    .split(',')
+                    .map(|t| t.parse().expect("--workers takes e.g. 2,4"))
+                    .collect();
+                i += 2;
+            }
+            "--quick" => {
+                jobs = 120;
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: service_soak [--jobs N] [--workers 2,4] [--quick]");
+                std::process::exit(2);
+            }
+        }
+    }
+    assert!(
+        jobs >= 10,
+        "--jobs must be at least 10 (the mix is 10% chaos)"
+    );
+
+    println!(
+        "Service soak: {jobs} mixed-size jobs, {} clean tenants + 1 chaos tenant, \
+         workers {:?}\n",
+        CLEAN_TENANTS.len(),
+        worker_counts
+    );
+
+    let mix = generate_mix(jobs);
+    let faulty_total = mix.iter().filter(|m| m.faulty).count();
+
+    // Solo identities, one per distinct clean configuration: the digest
+    // and logical traffic every serviced run must reproduce exactly.
+    let mut solos: HashMap<SoloKey, SoloIdentity> = HashMap::new();
+    let solo_started = Instant::now();
+    for m in &mix {
+        let key = solo_key(m.approach, &m.job);
+        if solos.contains_key(&key) {
+            continue;
+        }
+        let clean = NativeJob {
+            fault: None,
+            ..m.job
+        };
+        let run = run_native::<f64>(&clean, strategy_for::<f64>(m.approach).as_ref())
+            .unwrap_or_else(|e| {
+                eprintln!("solo run failed for {:?}: {e}", key);
+                std::process::exit(2);
+            });
+        solos.insert(
+            key,
+            SoloIdentity {
+                digest: run_digest(&run.sets),
+                messages: run.report.messages,
+                network_bytes: run.report.total_network_bytes,
+            },
+        );
+    }
+    println!(
+        "{} distinct configurations, solo identities computed in {:.2}s",
+        solos.len(),
+        solo_started.elapsed().as_secs_f64()
+    );
+
+    let mut json = ExperimentReport::new("service_soak");
+    let mut table = Table::new(vec![
+        "workers",
+        "jobs",
+        "throughput",
+        "queue p50/p99",
+        "run p50/p99",
+        "soak time",
+    ]);
+
+    for &workers in &worker_counts {
+        let service: JobService<f64> = JobService::start(ServiceConfig {
+            workers,
+            queue_capacity: jobs + 8,
+            // Ample: the mix has at most ~120 distinct compile keys, and
+            // the cache counters are gated exactly — eviction under a
+            // racing dispatch order would make them host-dependent.
+            cache_capacity: 256,
+            retry: RetryPolicy {
+                max_attempts: 4,
+                base_backoff: Duration::from_millis(2),
+            },
+            ..ServiceConfig::default()
+        });
+
+        let started = Instant::now();
+        let handles: Vec<(usize, JobHandle<f64>)> = mix
+            .iter()
+            .enumerate()
+            .map(|(idx, m)| {
+                let h = service
+                    .submit(m.tenant, m.priority, m.approach, m.job)
+                    .unwrap_or_else(|e| {
+                        eprintln!("submission {idx} bounced: {e}");
+                        std::process::exit(1);
+                    });
+                (idx, h)
+            })
+            .collect();
+
+        let mut parity_failures = 0u64;
+        let mut queue_ms: Vec<f64> = Vec::with_capacity(jobs);
+        let mut run_ms: Vec<f64> = Vec::with_capacity(jobs);
+        let mut messages_total = 0u64;
+        let mut bytes_total = 0u64;
+        let mut attempts_total = 0u64;
+        let mut retrans_total = 0u64;
+        let mut epochs_replayed_total = 0u64;
+        for (idx, h) in &handles {
+            let m = &mix[*idx];
+            let outcome = h.wait();
+            queue_ms.push(outcome.queued.as_secs_f64() * 1e3);
+            run_ms.push(outcome.ran.as_secs_f64() * 1e3);
+            let result = match &outcome.result {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("job {idx} (tenant {}): failed: {e}", m.tenant);
+                    parity_failures += 1;
+                    continue;
+                }
+            };
+            let solo = solos[&solo_key(m.approach, &m.job)];
+            if result.digest != solo.digest {
+                eprintln!(
+                    "job {idx} (tenant {}): digest {:#018x} != solo {:#018x} — \
+                     result not bitwise identical",
+                    m.tenant, result.digest, solo.digest
+                );
+                parity_failures += 1;
+            }
+            if result.messages != solo.messages || result.network_bytes != solo.network_bytes {
+                eprintln!(
+                    "job {idx} (tenant {}): logical traffic ({}, {}) != solo ({}, {})",
+                    m.tenant,
+                    result.messages,
+                    result.network_bytes,
+                    solo.messages,
+                    solo.network_bytes
+                );
+                parity_failures += 1;
+            }
+            if m.faulty && result.recovery.attempts < 2 {
+                eprintln!(
+                    "job {idx} (tenant {}): lethal fault never fired — the soak is not soaking",
+                    m.tenant
+                );
+                parity_failures += 1;
+            }
+            if !m.faulty && result.recovery.attempts != 1 {
+                eprintln!(
+                    "job {idx} (tenant {}): clean job retried {} times — a neighbor's \
+                     fault leaked",
+                    m.tenant, result.recovery.attempts
+                );
+                parity_failures += 1;
+            }
+            messages_total += result.messages;
+            bytes_total += result.network_bytes;
+            attempts_total += u64::from(result.recovery.attempts);
+            retrans_total += result.recovery.messages_retransmitted;
+            epochs_replayed_total += result.recovery.epochs_replayed as u64;
+        }
+        let soak_seconds = started.elapsed().as_secs_f64();
+        let stats = service.join();
+
+        queue_ms.sort_by(f64::total_cmp);
+        run_ms.sort_by(f64::total_cmp);
+        let (q50, q99) = (percentile(&queue_ms, 50.0), percentile(&queue_ms, 99.0));
+        let (r50, r99) = (percentile(&run_ms, 50.0), percentile(&run_ms, 99.0));
+        let throughput = jobs as f64 / soak_seconds;
+
+        table.row(vec![
+            workers.to_string(),
+            jobs.to_string(),
+            format!("{throughput:.0}/s"),
+            format!("{q50:.1}/{q99:.1}ms"),
+            format!("{r50:.1}/{r99:.1}ms"),
+            format!("{soak_seconds:.2}s"),
+        ]);
+
+        if parity_failures > 0 {
+            eprintln!("\nservice soak FAILED at {workers} workers: {parity_failures} violations");
+            std::process::exit(1);
+        }
+        if stats.completed != jobs as u64 || stats.failed != 0 {
+            eprintln!(
+                "\nservice soak FAILED at {workers} workers: {} completed, {} failed of {jobs}",
+                stats.completed, stats.failed
+            );
+            std::process::exit(1);
+        }
+
+        let p = format!("service/workers{workers}");
+        json.scalar(&format!("{p}/jobs_total"), jobs as f64);
+        json.scalar(&format!("{p}/tenants"), (CLEAN_TENANTS.len() + 1) as f64);
+        json.scalar(&format!("{p}/faulty_jobs_total"), faulty_total as f64);
+        json.scalar(&format!("{p}/parity_failures"), parity_failures as f64);
+        json.scalar(
+            &format!("{p}/cache_misses_total"),
+            stats.cache.misses as f64,
+        );
+        json.scalar(
+            &format!("{p}/cache_compiles_total"),
+            stats.cache.compiles as f64,
+        );
+        json.scalar(&format!("{p}/cache_hits_total"), stats.cache.hits as f64);
+        json.scalar(&format!("{p}/messages_total"), messages_total as f64);
+        json.scalar(&format!("{p}/bytes_total"), bytes_total as f64);
+        json.scalar(&format!("{p}/attempts_total"), attempts_total as f64);
+        json.scalar(
+            &format!("{p}/messages_retransmitted_total"),
+            retrans_total as f64,
+        );
+        json.scalar(
+            &format!("{p}/epochs_replayed_total"),
+            epochs_replayed_total as f64,
+        );
+        json.scalar(&format!("{p}/throughput_jobs_per_s"), throughput);
+        json.scalar(&format!("{p}/queue_p50_ms"), q50);
+        json.scalar(&format!("{p}/queue_p99_ms"), q99);
+        json.scalar(&format!("{p}/run_p50_ms"), r50);
+        json.scalar(&format!("{p}/run_p99_ms"), r99);
+        json.scalar(&format!("{p}/soak_seconds"), soak_seconds);
+    }
+    table.print();
+
+    println!(
+        "\nAll {jobs} jobs per worker count completed with bitwise parity vs their solo \
+         runs and exact logical traffic ({faulty_total} lethal-fault jobs recovered in \
+         isolation)."
+    );
+    emit_report(&json);
+}

@@ -45,6 +45,7 @@ pub mod chrome;
 pub mod config;
 pub mod exec;
 pub mod plan;
+pub mod progcache;
 pub mod program;
 pub mod report;
 pub mod runner;
@@ -56,6 +57,7 @@ pub use checkpoint::CheckpointStore;
 pub use chrome::ChromeTrace;
 pub use config::{Approach, FdConfig};
 pub use plan::RankPlan;
+pub use progcache::{CacheStats, JobPrograms, ProgramCache, ProgramKey};
 pub use program::{compile_rank, DirSet, SweepOp, SweepProgram, ThreadRole};
 pub use report::{ExperimentReport, Json, PointReport};
 pub use runner::FdExperiment;

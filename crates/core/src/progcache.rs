@@ -1,0 +1,305 @@
+//! The compiled-program cache: repeat traffic skips `compile_rank`.
+//!
+//! A job service multiplexing many [`SweepProgram`] interpretations sees
+//! the same `(FdConfig, CartMap, threads)` geometry over and over — every
+//! tenant resubmitting the same workload shape recompiles an identical
+//! schedule. [`ProgramCache`] memoizes the *whole job's* compilation (all
+//! ranks, all thread slots) behind a flat [`ProgramKey`], so a hit hands
+//! every rank thread an `Arc` of ready programs and a miss compiles the
+//! job exactly once even when many workers race for the same key.
+//!
+//! Design points:
+//!
+//! * the key flattens every compile input to primitives — `FdConfig` and
+//!   `CartMap` carry no `Hash`/`Eq` of their own, and the plan depends on
+//!   the scalar width, so `bytes_per_point` is part of the key;
+//! * concurrent lookups of one key share a per-entry `OnceLock`: the map
+//!   lock is held only to find/insert the entry, never across a compile,
+//!   so distinct keys compile in parallel while one key compiles once;
+//! * eviction is LRU at a fixed capacity and can never change results:
+//!   compilation is a pure function of the key, so a re-compiled entry is
+//!   structurally identical to the evicted one — holders of the old `Arc`
+//!   keep using it, unperturbed;
+//! * counters ([`CacheStats`]) are exact and deterministic for a
+//!   deterministic submission order: `misses` counts first-seen keys (plus
+//!   re-seen evicted ones), `compiles` counts actual `compile_rank`
+//!   sweeps, and the two can differ only when a looked-up entry is still
+//!   being compiled by another thread.
+
+use crate::config::FdConfig;
+use crate::plan::RankPlan;
+use crate::program::{compile_rank, SweepProgram};
+use gpaw_bgp_hw::{CartMap, ExecMode};
+use gpaw_grid::stencil::BoundaryCond;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Every rank's compiled sweep programs, outer index = rank, inner index
+/// = thread slot. What one cache entry holds.
+pub type JobPrograms = Vec<Vec<SweepProgram>>;
+
+/// Everything `compile_rank` reads, flattened to hashable primitives.
+///
+/// `FdConfig` and `CartMap` deliberately do not implement `Hash`; the key
+/// copies their fields instead of forcing those types into map-key
+/// service. Two jobs with equal keys compile bit-identical programs —
+/// compilation is deterministic and reads nothing else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProgramKey {
+    approach: crate::config::Approach,
+    batch: usize,
+    growing_first_batch: bool,
+    double_buffer: bool,
+    periodic: bool,
+    sweeps: usize,
+    node_dims: [usize; 3],
+    wrap: bool,
+    smp: bool,
+    proc_dims: [usize; 3],
+    block: [usize; 3],
+    reordered: bool,
+    grid_ext: [usize; 3],
+    n_grids: usize,
+    threads: usize,
+    bytes_per_point: usize,
+}
+
+impl ProgramKey {
+    /// Flatten one job's compile inputs into a key.
+    pub fn new(
+        cfg: &FdConfig,
+        map: &CartMap,
+        grid_ext: [usize; 3],
+        n_grids: usize,
+        threads: usize,
+        bytes_per_point: usize,
+    ) -> ProgramKey {
+        ProgramKey {
+            approach: cfg.approach,
+            batch: cfg.batch,
+            growing_first_batch: cfg.growing_first_batch,
+            double_buffer: cfg.double_buffer,
+            periodic: matches!(cfg.bc, BoundaryCond::Periodic),
+            sweeps: cfg.sweeps,
+            node_dims: map.partition.node_shape.dims,
+            wrap: map.partition.node_shape.wrap,
+            smp: matches!(map.partition.mode, ExecMode::Smp),
+            proc_dims: map.proc_dims,
+            block: map.block,
+            reordered: map.reordered,
+            grid_ext,
+            n_grids,
+            threads,
+            bytes_per_point,
+        }
+    }
+}
+
+/// Cache traffic counters, all monotonic over the cache's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found an entry (possibly still compiling).
+    pub hits: u64,
+    /// Lookups that inserted a fresh entry — first-seen keys plus keys
+    /// re-seen after eviction.
+    pub misses: u64,
+    /// `compile_rank` sweeps actually executed. At most `misses`; less
+    /// only when racing lookups piled onto one in-flight compile.
+    pub compiles: u64,
+    /// Entries discarded to stay within capacity.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+struct Entry {
+    programs: Arc<OnceLock<Arc<JobPrograms>>>,
+    last_used: u64,
+}
+
+/// A bounded, thread-safe memo of whole-job compilations.
+pub struct ProgramCache {
+    capacity: usize,
+    entries: Mutex<HashMap<ProgramKey, Entry>>,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    compiles: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ProgramCache {
+    /// A cache holding at most `capacity` compiled jobs (min 1).
+    pub fn new(capacity: usize) -> ProgramCache {
+        ProgramCache {
+            capacity: capacity.max(1),
+            entries: Mutex::new(HashMap::new()),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            compiles: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The programs for `key`'s job, compiled on first use.
+    ///
+    /// Concurrent calls with equal keys compile exactly once and share
+    /// the result; the map lock is never held across a compile, so
+    /// distinct keys compile concurrently.
+    pub fn get_or_compile(
+        &self,
+        cfg: &FdConfig,
+        map: &CartMap,
+        grid_ext: [usize; 3],
+        n_grids: usize,
+        threads: usize,
+        bytes_per_point: usize,
+    ) -> Arc<JobPrograms> {
+        let key = ProgramKey::new(cfg, map, grid_ext, n_grids, threads, bytes_per_point);
+        let stamp = self.tick.fetch_add(1, Ordering::Relaxed);
+        let cell = {
+            let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(entry) = entries.get_mut(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                entry.last_used = stamp;
+                Arc::clone(&entry.programs)
+            } else {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                if entries.len() >= self.capacity {
+                    // Evict the least recently used entry. Holders of its
+                    // Arc keep it alive; only the memo forgets.
+                    if let Some(lru) = entries
+                        .iter()
+                        .min_by_key(|(_, e)| e.last_used)
+                        .map(|(k, _)| *k)
+                    {
+                        entries.remove(&lru);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                let cell: Arc<OnceLock<Arc<JobPrograms>>> = Arc::new(OnceLock::new());
+                entries.insert(
+                    key,
+                    Entry {
+                        programs: Arc::clone(&cell),
+                        last_used: stamp,
+                    },
+                );
+                cell
+            }
+        };
+        Arc::clone(cell.get_or_init(|| {
+            self.compiles.fetch_add(1, Ordering::Relaxed);
+            let programs: JobPrograms = (0..map.ranks())
+                .map(|rank| {
+                    let plan = RankPlan::for_rank(map, grid_ext, rank, bytes_per_point, cfg);
+                    compile_rank(cfg, map, &plan, n_grids, threads)
+                })
+                .collect();
+            Arc::new(programs)
+        }))
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            compiles: self.compiles.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: entries.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Approach;
+    use gpaw_bgp_hw::Partition;
+
+    fn geometry(approach: Approach, nodes: usize) -> (FdConfig, CartMap) {
+        let cfg = FdConfig::paper(approach).with_batch(2).with_sweeps(2);
+        let partition =
+            Partition::standard(nodes, approach.exec_mode()).expect("standard node count");
+        (cfg, CartMap::best(partition, [12, 10, 8]))
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted_per_key() {
+        let cache = ProgramCache::new(8);
+        let (cfg, map) = geometry(Approach::HybridMultiple, 2);
+        for _ in 0..5 {
+            cache.get_or_compile(&cfg, &map, [12, 10, 8], 4, 2, 8);
+        }
+        // A different thread count is a different key.
+        cache.get_or_compile(&cfg, &map, [12, 10, 8], 4, 4, 8);
+        // So is a different scalar width: the plan's message sizes differ.
+        cache.get_or_compile(&cfg, &map, [12, 10, 8], 4, 2, 16);
+        let s = cache.stats();
+        assert_eq!(s.misses, 3);
+        assert_eq!(s.hits, 4);
+        assert_eq!(s.compiles, 3);
+        assert_eq!(s.evictions, 0);
+        assert_eq!(s.entries, 3);
+    }
+
+    #[test]
+    fn eviction_recompiles_bitwise_identical_programs() {
+        let cache = ProgramCache::new(1);
+        let (cfg_a, map_a) = geometry(Approach::FlatOptimized, 2);
+        let (cfg_b, map_b) = geometry(Approach::HybridMasterOnly, 2);
+        let first = cache.get_or_compile(&cfg_a, &map_a, [12, 10, 8], 4, 1, 8);
+        // Evict A by inserting B, then re-insert A.
+        cache.get_or_compile(&cfg_b, &map_b, [12, 10, 8], 4, 4, 8);
+        let again = cache.get_or_compile(&cfg_a, &map_a, [12, 10, 8], 4, 1, 8);
+        let s = cache.stats();
+        assert_eq!(s.evictions, 2);
+        assert_eq!(s.misses, 3);
+        assert_eq!(s.compiles, 3);
+        assert_eq!(s.entries, 1);
+        // Compilation is a pure function of the key: the recompiled entry
+        // must be structurally identical to the evicted one (SweepProgram
+        // has no Eq; its Debug form is a faithful structural rendering).
+        assert!(!Arc::ptr_eq(&first, &again), "entry was really evicted");
+        assert_eq!(format!("{first:?}"), format!("{again:?}"));
+    }
+
+    #[test]
+    fn concurrent_lookups_of_one_key_compile_exactly_once() {
+        let cache = ProgramCache::new(8);
+        let (cfg, map) = geometry(Approach::HybridMultiple, 2);
+        let results: Vec<Arc<JobPrograms>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| s.spawn(|| cache.get_or_compile(&cfg, &map, [12, 10, 8], 4, 2, 8)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("lookup thread"))
+                .collect()
+        });
+        let s = cache.stats();
+        assert_eq!(s.compiles, 1, "racing lookups must share one compile");
+        assert_eq!(s.misses, 1, "exactly one thread inserts the entry");
+        assert_eq!(s.hits, 7);
+        for r in &results {
+            assert!(
+                Arc::ptr_eq(r, &results[0]),
+                "every racer got the same programs"
+            );
+        }
+    }
+
+    #[test]
+    fn capacity_zero_still_caches_one_entry() {
+        let cache = ProgramCache::new(0);
+        let (cfg, map) = geometry(Approach::FlatOriginal, 1);
+        cache.get_or_compile(&cfg, &map, [8, 6, 6], 2, 1, 8);
+        cache.get_or_compile(&cfg, &map, [8, 6, 6], 2, 1, 8);
+        let s = cache.stats();
+        assert_eq!((s.misses, s.hits), (1, 1));
+    }
+}

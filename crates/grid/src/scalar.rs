@@ -38,6 +38,11 @@ pub trait Scalar:
     /// `self · conj(other)`, real part — the inner product the
     /// orthogonalization step needs.
     fn dot_re(self, other: Self) -> f64;
+
+    /// The point's raw bit pattern, for bitwise run digests: two words,
+    /// the second zero for real scalars. Two values digest equal iff they
+    /// are bit-identical (`0.0` and `-0.0` differ; NaN payloads count).
+    fn bit_pattern(self) -> [u64; 2];
 }
 
 impl Scalar for f64 {
@@ -61,6 +66,10 @@ impl Scalar for f64 {
 
     fn dot_re(self, other: Self) -> f64 {
         self * other
+    }
+
+    fn bit_pattern(self) -> [u64; 2] {
+        [self.to_bits(), 0]
     }
 }
 
@@ -158,6 +167,10 @@ impl Scalar for C64 {
         // Re(self · conj(other))
         self.re * other.re + self.im * other.im
     }
+
+    fn bit_pattern(self) -> [u64; 2] {
+        [self.re.to_bits(), self.im.to_bits()]
+    }
 }
 
 #[cfg(test)]
@@ -189,6 +202,18 @@ mod tests {
         let a = C64::new(1.0, 2.0);
         assert!((a.dot_re(a) - a.norm_sqr()).abs() < 1e-15);
         assert!((2.0f64.dot_re(3.0) - 6.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bit_patterns_distinguish_what_equality_cannot() {
+        // -0.0 == 0.0 but their digests must differ: a digest asserts
+        // bitwise identity, not numeric equality.
+        assert_ne!((-0.0f64).bit_pattern(), 0.0f64.bit_pattern());
+        assert_eq!(1.5f64.bit_pattern(), [1.5f64.to_bits(), 0]);
+        assert_eq!(
+            C64::new(1.5, -2.5).bit_pattern(),
+            [1.5f64.to_bits(), (-2.5f64).to_bits()]
+        );
     }
 
     #[test]

@@ -40,6 +40,12 @@
 //!   epoch and resume mid-program — completed runs are bitwise identical
 //!   to fault-free ones, with retries and retransmissions itemized in a
 //!   [`RecoveryReport`];
+//! * [`service`] — [`JobService`]: the multi-tenant job server. A
+//!   bounded submission queue with admission control, a shared worker
+//!   pool multiplexing many jobs, per-tenant fair scheduling with
+//!   priorities, a shared compiled-program cache
+//!   (`gpaw_fd::progcache`), and per-job supervised fault isolation —
+//!   the layer that turns "run one job" into "serve thousands";
 //! * [`report`] — the mapping onto the timed plane's report shape, so
 //!   native runs flow through the same JSON emission and perf gate.
 //!
@@ -55,6 +61,7 @@ pub mod fabric;
 pub mod fault;
 pub mod report;
 pub mod runtime;
+pub mod service;
 pub mod strategy;
 pub mod supervisor;
 
@@ -64,11 +71,16 @@ pub use fault::{
     BlackHole, FabricConfig, FabricDiagnostic, FaultAction, FaultPlan, PanicInjection, RecvTimeout,
 };
 pub use report::native_run_report;
-pub use runtime::{run_native, NativeJob, NativeRun};
+pub use runtime::{run_native, run_native_cached, NativeJob, NativeRun};
+pub use service::{
+    run_digest, AdmissionError, JobHandle, JobResult, JobService, Priority, ServiceConfig,
+    ServiceOutcome, ServiceStats,
+};
 pub use strategy::{
     all_strategies, strategy_for, FlatOptimized, FlatOriginal, FlatStatic, HybridMasterOnly,
     HybridMultiple, RankCtx, Strategy, ThreadResult,
 };
 pub use supervisor::{
-    supervise, FailureClass, FailureSummary, RecoveryReport, RetryPolicy, SupervisedRun,
+    supervise, supervise_cached, FailureClass, FailureSummary, RecoveryReport, RetryPolicy,
+    SupervisedRun,
 };

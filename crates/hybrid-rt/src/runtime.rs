@@ -33,6 +33,7 @@ use gpaw_fd::checkpoint::CheckpointStore;
 use gpaw_fd::config::{Approach, FdConfig};
 use gpaw_fd::exec::SyntheticFill;
 use gpaw_fd::plan::{rank_assignment, GridAssignment, RankPlan};
+use gpaw_fd::progcache::{JobPrograms, ProgramCache};
 use gpaw_fd::program::{compile_rank, SweepProgram, ThreadRole};
 use gpaw_fd::trace::ThreadSpans;
 use gpaw_grid::grid3::Grid3;
@@ -42,6 +43,7 @@ use gpaw_grid::stencil::{BoundaryCond, StencilCoeffs};
 use gpaw_simmpi::RunReport;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Parameters of one native run.
@@ -148,12 +150,18 @@ pub struct NativeRun<T: Scalar> {
 
 /// A job's execution geometry, resolved once and shared by every attempt
 /// of a (possibly supervised) run: the rank/node map, the thread count,
-/// the engine config, and the stencil.
+/// the engine config, the stencil, and — when resolved through a
+/// [`ProgramCache`] — every rank's pre-compiled sweep programs.
 pub(crate) struct JobGeometry {
     pub map: CartMap,
     pub threads: usize,
     pub cfg: FdConfig,
     pub coef: StencilCoeffs,
+    /// Compiled programs for all ranks, shared via the program cache.
+    /// `None` means every rank thread compiles its own (the uncached
+    /// path); the two are bit-identical — compilation is a pure function
+    /// of the geometry.
+    pub programs: Option<Arc<JobPrograms>>,
 }
 
 /// Validate `job` under `approach` and resolve its geometry — all the
@@ -178,7 +186,32 @@ pub(crate) fn resolve_geometry(
         threads,
         cfg: job.config(approach),
         coef: StencilCoeffs::laplacian(job.spacing),
+        programs: None,
     })
+}
+
+/// [`resolve_geometry`], then populate the geometry's programs from
+/// `cache` — a hit skips `compile_rank` entirely, a miss compiles the
+/// whole job once and memoizes it for the next submission with the same
+/// shape. `bytes_per_point` is the scalar width the run will use
+/// (`T::BYTES`); it is part of the cache key because the plan's message
+/// sizes depend on it.
+pub(crate) fn resolve_geometry_cached(
+    job: &NativeJob,
+    approach: Approach,
+    cache: &ProgramCache,
+    bytes_per_point: usize,
+) -> Result<JobGeometry, RunError> {
+    let mut geo = resolve_geometry(job, approach)?;
+    geo.programs = Some(cache.get_or_compile(
+        &geo.cfg,
+        &geo.map,
+        job.grid_ext,
+        job.n_grids,
+        geo.threads,
+        bytes_per_point,
+    ));
+    Ok(geo)
 }
 
 /// The fabric configuration `job` implies for an unsupervised run.
@@ -250,6 +283,21 @@ pub fn run_native<T: SyntheticFill>(
     run_attempt(job, strategy, &geo, &fabric, None, 0)
 }
 
+/// [`run_native`], but pulling the compiled sweep programs through
+/// `cache`: repeat submissions of the same job shape skip `compile_rank`
+/// and interpret the memoized programs. The outcome is bit-identical to
+/// the uncached path — compilation is deterministic, and the cache merely
+/// decides who runs it.
+pub fn run_native_cached<T: SyntheticFill>(
+    job: &NativeJob,
+    strategy: &dyn Strategy<T>,
+    cache: &ProgramCache,
+) -> Result<NativeRun<T>, RunError> {
+    let geo = resolve_geometry_cached(job, strategy.approach(), cache, T::BYTES)?;
+    let fabric: NativeFabric<T> = NativeFabric::with_config(&geo.map, fabric_config(job));
+    run_attempt(job, strategy, &geo, &fabric, None, 0)
+}
+
 /// One attempt at `job`: spawn every rank, interpret from `start_epoch`,
 /// and collect either a [`NativeRun`] or the worst-first failure list.
 /// `run_native` calls this once with a fresh fabric; the supervisor calls
@@ -275,13 +323,28 @@ pub(crate) fn run_attempt<T: SyntheticFill>(
             .map(|rank| {
                 s.spawn(move || -> RankOutcome<T> {
                     let run = catch_unwind(AssertUnwindSafe(|| {
-                        let plan = RankPlan::for_rank(map, job.grid_ext, rank, T::BYTES, cfg);
-                        // Compile the rank's sweep programs exactly once;
-                        // the strategy only interprets them. The rank holds
+                        // The rank's sweep programs are compiled exactly
+                        // once; the strategy only interprets them. A
+                        // cache-resolved geometry already carries them
+                        // (programs embed their plan); otherwise compile
+                        // here, on the rank's own thread. The rank holds
                         // (and fills) only the grids its assignment names —
                         // all of them except under FlatStatic's static
                         // quarters.
-                        let programs = compile_rank(cfg, map, &plan, job.n_grids, threads);
+                        let compiled;
+                        let plan;
+                        let programs: &[SweepProgram] = match &geo.programs {
+                            Some(all) => {
+                                let progs = &all[rank];
+                                plan = progs[0].plan.clone();
+                                progs
+                            }
+                            None => {
+                                plan = RankPlan::for_rank(map, job.grid_ext, rank, T::BYTES, cfg);
+                                compiled = compile_rank(cfg, map, &plan, job.n_grids, threads);
+                                &compiled
+                            }
+                        };
                         let asg = rank_assignment(cfg.approach, job.n_grids, map, rank);
                         // Fresh runs fill synthetically; a supervised
                         // resume restores the rollback epoch's snapshot.
@@ -294,7 +357,7 @@ pub(crate) fn run_attempt<T: SyntheticFill>(
                             }
                             inputs
                         } else {
-                            restore_inputs(ckpt, rank, &programs, &asg, start_epoch)
+                            restore_inputs(ckpt, rank, programs, &asg, start_epoch)
                         };
                         let outputs: Vec<Grid3<T>> = (0..asg.count)
                             .map(|_| Grid3::zeros(plan.sub.ext, halo))
@@ -303,7 +366,7 @@ pub(crate) fn run_attempt<T: SyntheticFill>(
                             fabric,
                             plan: &plan,
                             coef,
-                            programs: &programs,
+                            programs,
                             threads,
                             epoch,
                             start_sweep: start_epoch,

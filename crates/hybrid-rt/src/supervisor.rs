@@ -33,11 +33,15 @@
 use crate::error::{FailureKind, RankFailure, RunError};
 use crate::fabric::NativeFabric;
 use crate::fault::FabricConfig;
-use crate::runtime::{fabric_config, resolve_geometry, run_attempt, NativeJob, NativeRun};
+use crate::runtime::{
+    fabric_config, resolve_geometry, resolve_geometry_cached, run_attempt, JobGeometry, NativeJob,
+    NativeRun,
+};
 use crate::strategy::Strategy;
 use gpaw_fd::checkpoint::CheckpointStore;
 use gpaw_fd::config::Approach;
 use gpaw_fd::exec::SyntheticFill;
+use gpaw_fd::progcache::ProgramCache;
 use gpaw_grid::scalar::Scalar;
 use std::time::Duration;
 
@@ -162,6 +166,30 @@ pub fn supervise<T: SyntheticFill>(
     policy: &RetryPolicy,
 ) -> Result<SupervisedRun<T>, RunError> {
     let geo = resolve_geometry(job, strategy.approach())?;
+    supervise_geo(job, strategy, policy, &geo)
+}
+
+/// [`supervise`], but resolving the compiled sweep programs through
+/// `cache`. The geometry (programs included) is resolved exactly once per
+/// supervised run, so retried attempts re-interpret the same programs —
+/// attempts never re-count cache traffic.
+pub fn supervise_cached<T: SyntheticFill>(
+    job: &NativeJob,
+    strategy: &dyn Strategy<T>,
+    policy: &RetryPolicy,
+    cache: &ProgramCache,
+) -> Result<SupervisedRun<T>, RunError> {
+    let geo = resolve_geometry_cached(job, strategy.approach(), cache, T::BYTES)?;
+    supervise_geo(job, strategy, policy, &geo)
+}
+
+/// The supervisor loop proper, on an already-resolved geometry.
+fn supervise_geo<T: SyntheticFill>(
+    job: &NativeJob,
+    strategy: &dyn Strategy<T>,
+    policy: &RetryPolicy,
+    geo: &JobGeometry,
+) -> Result<SupervisedRun<T>, RunError> {
     let cfg = FabricConfig {
         retain_history: true,
         ..fabric_config(job)
@@ -176,7 +204,7 @@ pub fn supervise<T: SyntheticFill>(
     let mut epochs_replayed = 0usize;
     let mut start_epoch = 0usize;
     for attempt in 1..=max_attempts {
-        match run_attempt(job, strategy, &geo, &fabric, Some(&store), start_epoch) {
+        match run_attempt(job, strategy, geo, &fabric, Some(&store), start_epoch) {
             Ok(run) => {
                 let stats = fabric.stats();
                 return Ok(SupervisedRun {

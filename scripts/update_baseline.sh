@@ -1,43 +1,80 @@
 #!/usr/bin/env bash
-# Regenerate results/baseline.json from the current tree.
+# Regenerate EVERY committed baseline from the current tree, in one
+# invocation:
+#
+#   results/baseline.json                the simulated headline suite
+#   results/baseline_chaos_soak.json     chaos_soak    --seeds 10 --threads 2,4
+#   results/baseline_recovery_soak.json  recovery_soak --seeds 6  --threads 2,4
+#   results/baseline_service_soak.json   service_soak  --jobs 1000 --workers 2,4
+#
+# Each soak runs with the exact arguments CI uses, so the logical
+# counters the gate pins exactly (messages, bytes, cache compiles, job
+# counts) line up with what a CI run will produce.
 #
 # Run this ONLY when a metric shift is intentional (cost-model retuning,
-# scheduler change, new suite point), and commit the resulting diff in the
-# same PR as the change that caused it, with a sentence in the PR
-# description explaining the shift.
+# scheduler change, new suite point, new service mix), and commit the
+# resulting diff in the same PR as the change that caused it, with a
+# sentence in the PR description explaining the shift.
 #
 # Tolerance policy (enforced by the perf_gate binary, see
 # crates/bench/src/bin/perf_gate.rs):
-#   * counts (messages, bytes, cores, batch, threads, nodes) ... exact;
-#     the simulator is deterministic, so any count drift is a behavior
-#     change, not noise;
-#   * utilizations and phase fractions ...................... +/-0.05 abs;
-#   * times, bandwidths, link-busy, everything else .......... +/-5% rel.
+#   * counts (messages, bytes, cores, batch, threads, nodes, jobs,
+#     cache compiles) .................. exact; the planes are
+#     deterministic, so any count drift is a behavior change, not noise;
+#   * utilizations and phase fractions ................... +/-0.05 abs;
+#   * native/recovery/chaos/service wall-clock scalars ... wide (real
+#     time on shared hardware is noisy; the gate only sanity-bounds it);
+#   * times, bandwidths, everything else ................. +/-5% rel.
 # The tolerances exist to absorb small intentional calibration nudges
 # without churning the baseline, NOT to paper over regressions: a drift
 # within tolerance that you did not expect still deserves a look at the
 # perf_gate table before merging.
 #
-# The native/... point is the one exception to bit-identical
-# regeneration: its times and phase fractions are real wall clock, so
-# they differ every run. The gate pins its counts exactly and gates its
-# times loosely, so there is normally no need to regenerate the baseline
-# just because the native timings moved.
+# Every figure binary here must exit 0 or the script aborts; the one
+# bounded exception is perf_gate itself, which compares the fresh
+# report against the OLD baseline as a side effect of --out and exits 1
+# when they differ — the very situation this script exists for. Exit
+# codes >= 2 (suite failure, unwritable output) still abort.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release --offline -p gpaw-bench --bin perf_gate --bin recovery_soak
-mkdir -p results
-# perf_gate exits 1/2 when the (old) baseline mismatches or is absent;
-# we only need the freshly written report.
-./target/release/perf_gate --out results/baseline.json || true
+fail() {
+    echo "update_baseline: $*" >&2
+    exit 1
+}
 
-# The recovery-soak baseline, regenerated with the exact arguments CI
-# uses so the logical traffic counts (gated exactly) line up.
-./target/release/recovery_soak --seeds 6 --threads 2,4
+cargo build --release --offline -p gpaw-bench \
+    --bin perf_gate --bin chaos_soak --bin recovery_soak --bin service_soak \
+    || fail "cargo build failed; no baseline was touched"
+mkdir -p results
+
+# 1. Headline suite. --out writes the fresh report before the (old)
+#    baseline comparison runs, so a mismatch exit of 1 is expected here;
+#    anything >= 2 means the suite itself failed.
+status=0
+./target/release/perf_gate --out results/baseline.json || status=$?
+if [ "$status" -ge 2 ]; then
+    fail "perf_gate exited $status regenerating the headline baseline"
+fi
+
+# 2. Chaos soak: seeded fault sweep, bit-exact per seed.
+./target/release/chaos_soak --seeds 10 --threads 2,4 \
+    || fail "chaos_soak failed; baseline_chaos_soak.json NOT updated"
+cp BENCH_chaos_soak.json results/baseline_chaos_soak.json
+
+# 3. Recovery soak: lethal faults supervised to completion.
+./target/release/recovery_soak --seeds 6 --threads 2,4 \
+    || fail "recovery_soak failed; baseline_recovery_soak.json NOT updated"
 cp BENCH_recovery_soak.json results/baseline_recovery_soak.json
 
+# 4. Service soak: 1000 mixed-size jobs across five tenants through the
+#    job server, every run held to its solo digest before the report is
+#    trusted as a baseline.
+./target/release/service_soak --jobs 1000 --workers 2,4 \
+    || fail "service_soak failed; baseline_service_soak.json NOT updated"
+cp BENCH_service_soak.json results/baseline_service_soak.json
+
 echo
-echo "baselines updated; review the diff and commit it:"
-git --no-pager diff --stat -- results/ || true
+echo "all four baselines updated; review the diff and commit it:"
+git --no-pager diff --stat -- results/
