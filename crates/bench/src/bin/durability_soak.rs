@@ -1,0 +1,549 @@
+//! Durability soak: kill -9 the process, restore bit-identical.
+//!
+//! The only honest test of a durability layer is the one the paper's
+//! operators would run: SIGKILL the job mid-sweep and demand the restart
+//! finish *bit-identical* with *exactly* the logical traffic of a run
+//! that was never killed. This harness does that, repeatedly:
+//!
+//! * per strategy × thread count, one **clean** in-process run pins the
+//!   expected digest and logical message/byte counts;
+//! * then `--seeds` rounds: spawn this same binary as a child
+//!   (`--child`) running the job durably with a per-sweep throttle,
+//!   SIGKILL it after a seed-derived delay (anywhere from before the
+//!   first sweep to after completion), spawn a second child with
+//!   `--restore`, and require its printed digest and traffic to equal
+//!   the clean run's — exactly, not approximately;
+//! * **corruption** rounds: bit-flip or truncate the newest epoch file
+//!   (must degrade to the previous durable epoch and still finish
+//!   bit-identical), garble everything (must fall back to a fresh start
+//!   and still finish bit-identical), and point `--restore` at a missing
+//!   directory (must exit with the typed-error code 3, not a panic).
+//!
+//! Exits non-zero on the first divergence, so CI runs it as a gate; the
+//! clean reports and soak counters flow through `BENCH_durability_soak
+//! .json` into the perf gate.
+//!
+//! Usage: `durability_soak [--seeds N] [--threads 2,4] [--quick]`
+//! (the `--child` spelling is internal).
+
+use gpaw_bench::{emit_report, Table};
+use gpaw_fd::config::Approach;
+use gpaw_fd::durable::DurableStore;
+use gpaw_fd::ExperimentReport;
+use gpaw_hybrid_rt::{
+    run_digest, run_native, strategy_for, supervise_durable, DurabilityConfig, NativeJob,
+    RetryPolicy, RunError,
+};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Exit code a child uses for a typed durable error (missing/garbled
+/// checkpoint directory) — distinct from 1 (divergence/unrecovered) and
+/// 2 (usage), so the parent can assert "typed error, not a panic".
+const EXIT_DURABLE: i32 = 3;
+
+const APPROACHES: [(&str, Approach); 5] = [
+    ("flat-original", Approach::FlatOriginal),
+    ("flat-optimized", Approach::FlatOptimized),
+    ("hybrid-multiple", Approach::HybridMultiple),
+    ("hybrid-master-only", Approach::HybridMasterOnly),
+    ("flat-static", Approach::FlatStatic),
+];
+
+fn parse_approach(slug: &str) -> Option<Approach> {
+    APPROACHES.iter().find(|(s, _)| *s == slug).map(|&(_, a)| a)
+}
+
+/// The soak job: small grids so compute is cheap, throttled sweeps so a
+/// SIGKILL has a wide mid-run window to land in.
+fn soak_job(threads: usize, throttle_ms: u64) -> NativeJob {
+    NativeJob::new([10, 8, 6], 4, 2)
+        .with_threads(threads)
+        .with_sweeps(6)
+        .with_recv_timeout_ms(2000)
+        .with_sweep_throttle_ms(throttle_ms)
+}
+
+fn retry_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 4,
+        base_backoff: Duration::from_millis(2),
+    }
+}
+
+/// SplitMix64 — the kill-delay schedule, a pure function of the seed.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// What one child (killed-then-restored or straight) printed.
+struct ChildOutcome {
+    digest: u64,
+    messages: u64,
+    bytes: u64,
+    resumed_from: usize,
+    skipped: usize,
+}
+
+// ---------------------------------------------------------------------
+// Child mode: run the job durably, print one machine-readable line.
+// ---------------------------------------------------------------------
+
+struct ChildArgs {
+    approach: Approach,
+    threads: usize,
+    dir: PathBuf,
+    spill_every: usize,
+    throttle_ms: u64,
+    restore: bool,
+}
+
+fn child_main(args: ChildArgs) -> ! {
+    let job = soak_job(args.threads, args.throttle_ms);
+    let strategy = strategy_for::<f64>(args.approach);
+    let durability = DurabilityConfig::new(&args.dir)
+        .with_spill_every(args.spill_every)
+        .with_restore(args.restore);
+    match supervise_durable::<f64>(&job, strategy.as_ref(), &retry_policy(), &durability) {
+        Ok(dr) => {
+            println!(
+                "DURABILITY_CHILD digest={:016x} messages={} bytes={} resumed_from={} skipped={}",
+                run_digest(&dr.run.sets),
+                dr.run.report.messages,
+                dr.run.report.total_network_bytes,
+                dr.durable.resumed_from,
+                dr.durable.degraded.len()
+            );
+            std::process::exit(0);
+        }
+        Err(RunError::Durable(e)) => {
+            eprintln!("durable error: {e}");
+            std::process::exit(EXIT_DURABLE);
+        }
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn parse_child_line(stdout: &str) -> Option<ChildOutcome> {
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("DURABILITY_CHILD "))?;
+    let mut digest = None;
+    let mut messages = None;
+    let mut bytes = None;
+    let mut resumed_from = None;
+    let mut skipped = None;
+    for field in line.split_whitespace().skip(1) {
+        let (key, value) = field.split_once('=')?;
+        match key {
+            "digest" => digest = u64::from_str_radix(value, 16).ok(),
+            "messages" => messages = value.parse().ok(),
+            "bytes" => bytes = value.parse().ok(),
+            "resumed_from" => resumed_from = value.parse().ok(),
+            "skipped" => skipped = value.parse().ok(),
+            _ => return None,
+        }
+    }
+    Some(ChildOutcome {
+        digest: digest?,
+        messages: messages?,
+        bytes: bytes?,
+        resumed_from: resumed_from?,
+        skipped: skipped?,
+    })
+}
+
+/// Spawn this binary in `--child` mode.
+fn spawn_child(slug: &str, threads: usize, dir: &Path, throttle_ms: u64, restore: bool) -> Command {
+    let exe = std::env::current_exe().expect("current_exe resolves");
+    let mut cmd = Command::new(exe);
+    cmd.arg("--child")
+        .arg("--approach")
+        .arg(slug)
+        .arg("--threads")
+        .arg(threads.to_string())
+        .arg("--dir")
+        .arg(dir)
+        .arg("--spill-every")
+        .arg("1")
+        .arg("--throttle-ms")
+        .arg(throttle_ms.to_string());
+    if restore {
+        cmd.arg("--restore");
+    }
+    cmd
+}
+
+// ---------------------------------------------------------------------
+// Parent mode: the soak.
+// ---------------------------------------------------------------------
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--child") {
+        run_child(&args);
+    }
+
+    let mut seeds = 10u64;
+    let mut thread_counts: Vec<usize> = vec![2, 4];
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seeds" if i + 1 < args.len() => {
+                seeds = args[i + 1].parse().expect("--seeds takes a number");
+                i += 2;
+            }
+            "--threads" if i + 1 < args.len() => {
+                thread_counts = args[i + 1]
+                    .split(',')
+                    .map(|t| t.parse().expect("--threads takes e.g. 2,4"))
+                    .collect();
+                i += 2;
+            }
+            "--quick" => {
+                seeds = seeds.min(3);
+                thread_counts = vec![2];
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: durability_soak [--seeds N] [--threads 2,4] [--quick]");
+                std::process::exit(2);
+            }
+        }
+    }
+    assert!(seeds >= 1, "--seeds must be at least 1");
+
+    let throttle_ms = 25u64;
+    let base = soak_job(thread_counts[0], throttle_ms);
+    let root = std::env::temp_dir().join(format!("durability_soak_{}", std::process::id()));
+    std::fs::create_dir_all(&root).expect("create soak root");
+
+    println!(
+        "Durability soak: {} grids of {:?}, {} sweeps, 2 nodes, {} kill seeds x {:?} threads, \
+         {throttle_ms}ms/sweep throttle, spill every epoch\n",
+        base.n_grids, base.grid_ext, base.sweeps, seeds, thread_counts
+    );
+
+    let mut json = ExperimentReport::new("durability_soak");
+    let mut table = Table::new(vec![
+        "approach",
+        "threads",
+        "kills",
+        "mid-run",
+        "resumed epochs",
+        "soak time",
+    ]);
+    let mut runs_total = 0u64;
+    let mut kills_total = 0u64;
+    let mut midrun_total = 0u64;
+    let mut resumed_epochs_total = 0u64;
+    let mut skipped_total = 0u64;
+
+    for &threads in &thread_counts {
+        for (slug, approach) in APPROACHES {
+            let strategy = strategy_for::<f64>(approach);
+            let name = strategy.name();
+            let job = soak_job(threads, 0);
+            let clean = run_native::<f64>(&job, strategy.as_ref()).unwrap_or_else(|e| {
+                eprintln!("{name} clean run failed: {e}");
+                std::process::exit(2);
+            });
+            let clean_digest = run_digest(&clean.sets);
+            let started = Instant::now();
+            let mut group_midrun = 0u64;
+            let mut group_resumed = 0u64;
+            for seed in 0..seeds {
+                let dir = root.join(format!("{slug}_{threads}t_seed{seed}"));
+                // Kill anywhere from before the first sweep to past the
+                // ~150ms (6 sweeps x 25ms) run: the schedule must cover
+                // "nothing durable yet", "mid-run", and "already done".
+                let delay = Duration::from_millis(5 + splitmix(seed) % 250);
+                let mut victim = spawn_child(slug, threads, &dir, throttle_ms, false)
+                    .stdout(Stdio::null())
+                    .stderr(Stdio::null())
+                    .spawn()
+                    .expect("spawn victim child");
+                std::thread::sleep(delay);
+                let _ = victim.kill(); // SIGKILL — no chance to flush.
+                let _ = victim.wait();
+                kills_total += 1;
+
+                // A very early kill can beat the victim to creating the
+                // directory; the operator's restart then simply starts
+                // fresh (restoring from a missing dir is the typed error
+                // the corruption matrix covers).
+                let out = spawn_child(slug, threads, &dir, throttle_ms, dir.is_dir())
+                    .output()
+                    .expect("spawn restore child");
+                if !out.status.success() {
+                    eprintln!(
+                        "{name} seed {seed} ({threads} threads): restore child failed \
+                         (status {:?}):\n{}",
+                        out.status.code(),
+                        String::from_utf8_lossy(&out.stderr)
+                    );
+                    std::process::exit(1);
+                }
+                let stdout = String::from_utf8_lossy(&out.stdout);
+                let Some(child) = parse_child_line(&stdout) else {
+                    eprintln!("{name} seed {seed}: restore child printed no outcome:\n{stdout}");
+                    std::process::exit(1);
+                };
+                if child.digest != clean_digest
+                    || child.messages != clean.report.messages
+                    || child.bytes != clean.report.total_network_bytes
+                {
+                    eprintln!(
+                        "{name} seed {seed} ({threads} threads, killed at {delay:?}, resumed \
+                         from epoch {}): restored run diverged from the clean run:\n  digest   \
+                         {:016x} vs {clean_digest:016x}\n  messages {} vs {}\n  bytes    {} vs {}",
+                        child.resumed_from,
+                        child.digest,
+                        child.messages,
+                        clean.report.messages,
+                        child.bytes,
+                        clean.report.total_network_bytes
+                    );
+                    std::process::exit(1);
+                }
+                if child.resumed_from > 0 && child.resumed_from < job.sweeps {
+                    group_midrun += 1;
+                }
+                group_resumed += child.resumed_from as u64;
+                skipped_total += child.skipped as u64;
+                runs_total += 2;
+            }
+            midrun_total += group_midrun;
+            resumed_epochs_total += group_resumed;
+            table.row(vec![
+                name.to_string(),
+                threads.to_string(),
+                seeds.to_string(),
+                group_midrun.to_string(),
+                group_resumed.to_string(),
+                format!("{:.2}s", started.elapsed().as_secs_f64()),
+            ]);
+            // The point carries the clean run's report; every restored
+            // run's digest and logical traffic were asserted equal to it
+            // above, so the gate's exact message/byte checks watch the
+            // durability invariant itself.
+            json.push(
+                format!("durability/{threads}/{name}"),
+                name,
+                clean.report.threads,
+                job.batch,
+                clean.report.clone(),
+            );
+        }
+    }
+    table.print();
+
+    if midrun_total == 0 {
+        eprintln!(
+            "no SIGKILL ever landed mid-run ({kills_total} kills) — the soak is not soaking; \
+             raise --seeds or the throttle"
+        );
+        std::process::exit(1);
+    }
+
+    let corruption_cases = run_corruption_cases(&root, thread_counts[0], throttle_ms);
+    runs_total += corruption_cases;
+
+    let _ = std::fs::remove_dir_all(&root);
+
+    println!(
+        "\nAll {kills_total} kill-and-restore runs finished bit-identical with exact logical \
+         traffic ({midrun_total} resumed mid-run, {resumed_epochs_total} epochs skipped by \
+         restore, {corruption_cases} corruption cases degraded cleanly)."
+    );
+    json.scalar("durability_seeds", seeds as f64);
+    json.scalar("durability_runs_total", runs_total as f64);
+    json.scalar("durability_kills_total", kills_total as f64);
+    json.scalar("durability_corruption_cases", corruption_cases as f64);
+    json.scalar("resumed_epochs_total", resumed_epochs_total as f64);
+    json.scalar("kills_midrun_total", midrun_total as f64);
+    json.scalar("restore_degradations_total", skipped_total as f64);
+    emit_report(&json);
+}
+
+/// The corruption matrix: every case must end in a bit-identical result
+/// (or, for a missing directory, the typed-error exit code) — never a
+/// panic, never a wrong answer.
+fn run_corruption_cases(root: &Path, threads: usize, throttle_ms: u64) -> u64 {
+    let approach = Approach::HybridMultiple;
+    let strategy = strategy_for::<f64>(approach);
+    let job = soak_job(threads, 0);
+    let clean = run_native::<f64>(&job, strategy.as_ref()).unwrap_or_else(|e| {
+        eprintln!("corruption baseline run failed: {e}");
+        std::process::exit(2);
+    });
+    let clean_digest = run_digest(&clean.sets);
+    let policy = retry_policy();
+
+    // A finished durable run to vandalize, regenerated per case.
+    let complete_run = |dir: &Path| {
+        let durability = DurabilityConfig::new(dir);
+        supervise_durable::<f64>(&job, strategy.as_ref(), &policy, &durability).unwrap_or_else(
+            |e| {
+                eprintln!("corruption setup run failed: {e}");
+                std::process::exit(2);
+            },
+        );
+    };
+    let newest_epoch_file = |dir: &Path| -> PathBuf {
+        let store = DurableStore::open(dir).expect("open spill dir");
+        let epochs = store.epochs_on_disk().expect("list epochs");
+        let newest = *epochs.last().expect("a completed run spilled epochs");
+        store.epoch_path(newest)
+    };
+    let restore = |dir: &Path| -> (u64, usize, usize) {
+        let durability = DurabilityConfig::new(dir).with_restore(true);
+        let dr = supervise_durable::<f64>(&job, strategy.as_ref(), &policy, &durability)
+            .unwrap_or_else(|e| {
+                eprintln!("restore after corruption failed (it must degrade, not fail): {e}");
+                std::process::exit(1);
+            });
+        (
+            run_digest(&dr.run.sets),
+            dr.durable.resumed_from,
+            dr.durable.degraded.len(),
+        )
+    };
+    let check =
+        |what: &str, digest: u64, resumed_from: usize, degraded: usize, max_resume: usize| {
+            if digest != clean_digest {
+                eprintln!("{what}: restored run diverged ({digest:016x} vs {clean_digest:016x})");
+                std::process::exit(1);
+            }
+            if resumed_from > max_resume {
+                eprintln!(
+                    "{what}: resumed from epoch {resumed_from}, but the newest epoch was \
+                 corrupted — it must degrade to at most epoch {max_resume}"
+                );
+                std::process::exit(1);
+            }
+            if degraded == 0 {
+                eprintln!("{what}: corruption left no degradation trail — it was not noticed");
+                std::process::exit(1);
+            }
+            println!(
+                "  {what}: degraded to epoch {resumed_from}, bit-identical ({degraded} noted)"
+            );
+        };
+
+    println!("\nCorruption cases (hybrid-multiple, {threads} threads):");
+
+    // 1. Bit-flip in the newest epoch file: the CRC must catch it and
+    // recovery must fall back to the retained previous epoch.
+    let dir = root.join("corrupt_bitflip");
+    complete_run(&dir);
+    let path = newest_epoch_file(&dir);
+    let mut bytes = std::fs::read(&path).expect("read epoch file");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).expect("write flipped epoch file");
+    let (digest, resumed, degraded) = restore(&dir);
+    check("bit-flip", digest, resumed, degraded, job.sweeps - 1);
+
+    // 2. Torn write: the newest epoch file truncated mid-record.
+    let dir = root.join("corrupt_truncate");
+    complete_run(&dir);
+    let path = newest_epoch_file(&dir);
+    let bytes = std::fs::read(&path).expect("read epoch file");
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate epoch file");
+    let (digest, resumed, degraded) = restore(&dir);
+    check("truncation", digest, resumed, degraded, job.sweeps - 1);
+
+    // 3. Everything garbled (manifest included): recovery must fall all
+    // the way back to a fresh start and still finish bit-identical.
+    let dir = root.join("corrupt_all");
+    complete_run(&dir);
+    for entry in std::fs::read_dir(&dir).expect("list spill dir") {
+        let p = entry.expect("dir entry").path();
+        std::fs::write(&p, b"not a checkpoint").expect("garble file");
+    }
+    let (digest, resumed, degraded) = restore(&dir);
+    check("all-garbled", digest, resumed, degraded, 0);
+
+    // 4. Missing directory: a child told to restore from nowhere must
+    // exit with the typed-error code, not a panic or a hang.
+    let missing = root.join("no_such_checkpoint_dir");
+    let out = spawn_child("hybrid-multiple", threads, &missing, throttle_ms, true)
+        .output()
+        .expect("spawn missing-dir child");
+    if out.status.code() != Some(EXIT_DURABLE) {
+        eprintln!(
+            "missing-dir restore exited {:?}, expected the typed-error code {EXIT_DURABLE}:\n{}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::process::exit(1);
+    }
+    println!("  missing-dir: typed error, exit code {EXIT_DURABLE}");
+
+    4
+}
+
+fn run_child(args: &[String]) -> ! {
+    let mut approach = None;
+    let mut threads = 4usize;
+    let mut dir = None;
+    let mut spill_every = 1usize;
+    let mut throttle_ms = 0u64;
+    let mut restore = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--child" => i += 1,
+            "--approach" if i + 1 < args.len() => {
+                approach = parse_approach(&args[i + 1]);
+                i += 2;
+            }
+            "--threads" if i + 1 < args.len() => {
+                threads = args[i + 1].parse().expect("--threads takes a number");
+                i += 2;
+            }
+            "--dir" if i + 1 < args.len() => {
+                dir = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
+            "--spill-every" if i + 1 < args.len() => {
+                spill_every = args[i + 1].parse().expect("--spill-every takes a number");
+                i += 2;
+            }
+            "--throttle-ms" if i + 1 < args.len() => {
+                throttle_ms = args[i + 1].parse().expect("--throttle-ms takes a number");
+                i += 2;
+            }
+            "--restore" => {
+                restore = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown child argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (Some(approach), Some(dir)) = (approach, dir) else {
+        eprintln!("--child needs --approach and --dir");
+        std::process::exit(2);
+    };
+    child_main(ChildArgs {
+        approach,
+        threads,
+        dir,
+        spill_every,
+        throttle_ms,
+        restore,
+    })
+}

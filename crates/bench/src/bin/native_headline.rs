@@ -17,11 +17,19 @@
 //! blocking exchange per dimension).
 //!
 //! Usage: `native_headline [--threads N] [--repeats N] [--quick]
-//!                         [--approach <name>] [--trace-out <chrome-trace.json>]`
+//!                         [--approach <name>] [--trace-out <chrome-trace.json>]
+//!                         [--checkpoint-dir <dir>] [--spill-every N] [--restore]`
 //!
 //! `--approach` narrows the suite to one approach — any of the compiler's
 //! five, including `flat-static` (§VII), which has no native code of its
 //! own: the shared interpreter simply executes its compiled programs.
+//!
+//! `--checkpoint-dir` makes each run *durable*: consistent epochs spill
+//! into `<dir>/<approach-slug>` as they complete, and `--restore` resumes
+//! each approach from its newest durable epoch first (forcing
+//! `--repeats 1`, since a restored repeat would have nothing left to do).
+//! A missing or garbled checkpoint directory is a typed error and exit
+//! code 3 — never a panic.
 
 use gpaw_bench::{emit_report, mb, secs, Table};
 use gpaw_des::SpanKind;
@@ -29,7 +37,11 @@ use gpaw_fd::config::Approach;
 use gpaw_fd::exec::{max_error_vs_reference_planned, sequential_reference};
 use gpaw_fd::{ChromeTrace, ExperimentReport};
 use gpaw_grid::stencil::StencilCoeffs;
-use gpaw_hybrid_rt::{run_native, strategy_for, NativeJob, NativeRun, Strategy};
+use gpaw_hybrid_rt::{
+    run_native, strategy_for, supervise_durable, DurabilityConfig, NativeJob, NativeRun,
+    RetryPolicy, RunError, Strategy,
+};
+use std::path::PathBuf;
 
 fn parse_approach(name: &str) -> Option<Approach> {
     match name {
@@ -42,12 +54,27 @@ fn parse_approach(name: &str) -> Option<Approach> {
     }
 }
 
+/// The inverse of [`parse_approach`] — the per-approach spill
+/// subdirectory name under `--checkpoint-dir`.
+fn approach_slug(a: Approach) -> &'static str {
+    match a {
+        Approach::FlatOriginal => "flat-original",
+        Approach::FlatOptimized => "flat-optimized",
+        Approach::HybridMultiple => "hybrid-multiple",
+        Approach::HybridMasterOnly => "hybrid-master-only",
+        Approach::FlatStatic => "flat-static",
+    }
+}
+
 fn main() {
     let mut threads = 4usize;
     let mut repeats = 3usize;
     let mut quick = false;
     let mut approach: Option<Approach> = None;
     let mut trace_out: Option<String> = None;
+    let mut checkpoint_dir: Option<PathBuf> = None;
+    let mut spill_every = 1usize;
+    let mut restore = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -79,17 +106,40 @@ fn main() {
                 trace_out = Some(args[i + 1].clone());
                 i += 2;
             }
+            "--checkpoint-dir" if i + 1 < args.len() => {
+                checkpoint_dir = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
+            "--spill-every" if i + 1 < args.len() => {
+                spill_every = args[i + 1].parse().expect("--spill-every takes a number");
+                i += 2;
+            }
+            "--restore" => {
+                restore = true;
+                i += 1;
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: native_headline [--threads N] [--repeats N] [--quick] \
-                     [--approach <name>] [--trace-out <path>]"
+                     [--approach <name>] [--trace-out <path>] \
+                     [--checkpoint-dir <dir>] [--spill-every N] [--restore]"
                 );
                 std::process::exit(2);
             }
         }
     }
     assert!(repeats >= 1, "--repeats must be at least 1");
+    if restore && checkpoint_dir.is_none() {
+        eprintln!("--restore needs --checkpoint-dir");
+        std::process::exit(2);
+    }
+    if checkpoint_dir.is_some() && repeats != 1 {
+        // A second repeat of a durable run would restore a finished
+        // checkpoint and measure nothing; one timed pass is the contract.
+        println!("[durable] --checkpoint-dir set: forcing --repeats 1\n");
+        repeats = 1;
+    }
     let suite: Vec<Box<dyn Strategy<f64>>> = match approach {
         Some(a) => vec![strategy_for(a)],
         None => Approach::GRAPHED.iter().map(|&a| strategy_for(a)).collect(),
@@ -128,10 +178,47 @@ fn main() {
         let cfg = job.config(s.approach());
         let mut best: Option<NativeRun<f64>> = None;
         for _ in 0..repeats {
-            let run = run_native::<f64>(&job, s.as_ref()).unwrap_or_else(|e| {
-                eprintln!("{}: {e}", s.name());
-                std::process::exit(2);
-            });
+            let run = match &checkpoint_dir {
+                // Durable pass: spill while running; --restore resumes
+                // this approach from its newest durable epoch first.
+                Some(dir) => {
+                    let durability = DurabilityConfig::new(dir.join(approach_slug(s.approach())))
+                        .with_spill_every(spill_every)
+                        .with_restore(restore);
+                    match supervise_durable::<f64>(
+                        &job,
+                        s.as_ref(),
+                        &RetryPolicy::default(),
+                        &durability,
+                    ) {
+                        Ok(dr) => {
+                            if dr.durable.resumed_from > 0 {
+                                println!(
+                                    "[durable] {}: resumed from epoch {}",
+                                    s.name(),
+                                    dr.durable.resumed_from
+                                );
+                            }
+                            for note in &dr.durable.degraded {
+                                println!("[durable] {}: degraded: {note}", s.name());
+                            }
+                            dr.run
+                        }
+                        Err(RunError::Durable(e)) => {
+                            eprintln!("{}: durable checkpoint error: {e}", s.name());
+                            std::process::exit(3);
+                        }
+                        Err(e) => {
+                            eprintln!("{}: {e}", s.name());
+                            std::process::exit(2);
+                        }
+                    }
+                }
+                None => run_native::<f64>(&job, s.as_ref()).unwrap_or_else(|e| {
+                    eprintln!("{}: {e}", s.name());
+                    std::process::exit(2);
+                }),
+            };
             let err =
                 max_error_vs_reference_planned(&run.sets, &run.map, job.grid_ext, &reference, &cfg);
             assert_eq!(

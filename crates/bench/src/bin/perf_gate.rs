@@ -34,7 +34,11 @@
 //! * `chaos/` points get the native treatment (counts exact, timing
 //!   loose); `service/` scalars pin the deterministic counters (jobs,
 //!   tenants, cache traffic, parity failures, logical totals) exactly
-//!   and sanity-bound throughput and latency percentiles loosely.
+//!   and sanity-bound throughput and latency percentiles loosely;
+//! * `durability/` points get the native treatment, and the soak-shape
+//!   counters (`durability_seeds/runs/kills/corruption_cases`) stay
+//!   exact; resume depths and degradation totals are informational —
+//!   they depend on where each SIGKILL happened to land.
 //!
 //! Usage: `perf_gate [--baseline <path>] [--out <path>] [--report <path>]`
 //! With `--report`, the gate skips the simulated suite and instead
@@ -95,6 +99,34 @@ fn tolerance_for(path: &str) -> Tol {
         // treatment: logical counts exact, timing loose.
         if path.contains("utilization") || path.contains("phase_fractions") {
             Tol::Abs(0.75)
+        } else {
+            Tol::Rel(30.0)
+        }
+    } else if path.contains("/durability/") || path.contains("durability_") {
+        // Durability-soak metrics. The soak's hard assertions (digest and
+        // traffic equality, typed-error exits) already ran inside the
+        // binary; here the gate pins the soak's *shape* — how many seeds,
+        // kills, runs, and corruption cases executed — exactly, since all
+        // are deterministic. Where each SIGKILL happened to land (resume
+        // depths, mid-run counts, degradation notes) is host scheduling,
+        // so those totals are informational. Point counts (messages,
+        // bytes) were already matched by the exact-suffix rule above;
+        // their timings fall through to the loose native treatment.
+        const DURABILITY_EXACT: [&str; 4] = [
+            "durability_seeds",
+            "durability_runs_total",
+            "durability_kills_total",
+            "durability_corruption_cases",
+        ];
+        if DURABILITY_EXACT.iter().any(|s| path.ends_with(s)) {
+            Tol::Exact
+        } else if path.contains("utilization") || path.contains("phase_fractions") {
+            Tol::Abs(0.75)
+        } else if path.contains("resumed_epochs")
+            || path.contains("kills_midrun")
+            || path.contains("restore_degradations")
+        {
+            Tol::Abs(1e12)
         } else {
             Tol::Rel(30.0)
         }

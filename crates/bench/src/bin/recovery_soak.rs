@@ -12,7 +12,16 @@
 //! Exits non-zero on the first unrecovered failure or divergence, so CI
 //! can run it as a gate.
 //!
-//! Usage: `recovery_soak [--seeds N] [--threads 2,4] [--quick]`
+//! Usage: `recovery_soak [--seeds N] [--threads 2,4] [--quick]
+//!                       [--checkpoint-dir <dir>] [--spill-every N] [--restore]`
+//!
+//! `--checkpoint-dir` layers the durability plane under the fault plane:
+//! every supervised run also spills its consistent epochs to disk (one
+//! subdirectory per run), proving the spiller thread coexists with
+//! checkpoint/replay recovery; `--restore` additionally resumes each run
+//! from its subdirectory when one survives from a previous soak. A
+//! missing or garbled checkpoint directory is a typed error and exit
+//! code 3 — never a panic.
 
 use gpaw_bench::{emit_report, Table};
 use gpaw_fd::exec::{max_error_vs_reference, sequential_reference};
@@ -20,8 +29,10 @@ use gpaw_fd::plan::RankPlan;
 use gpaw_fd::ExperimentReport;
 use gpaw_grid::stencil::StencilCoeffs;
 use gpaw_hybrid_rt::{
-    all_strategies, run_native, supervise, FaultPlan, NativeJob, NativeRun, RetryPolicy, Strategy,
+    all_strategies, run_native, supervise, supervise_durable, DurabilityConfig, FaultPlan,
+    NativeJob, NativeRun, RetryPolicy, RunError, Strategy, SupervisedRun,
 };
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Rank 0's first neighbor under this strategy's geometry — flat
@@ -46,6 +57,9 @@ fn main() {
     let mut seeds = 6u64;
     let mut thread_counts: Vec<usize> = vec![2, 4];
     let mut quick = false;
+    let mut checkpoint_dir: Option<PathBuf> = None;
+    let mut spill_every = 1usize;
+    let mut restore = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -65,14 +79,33 @@ fn main() {
                 quick = true;
                 i += 1;
             }
+            "--checkpoint-dir" if i + 1 < args.len() => {
+                checkpoint_dir = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
+            "--spill-every" if i + 1 < args.len() => {
+                spill_every = args[i + 1].parse().expect("--spill-every takes a number");
+                i += 2;
+            }
+            "--restore" => {
+                restore = true;
+                i += 1;
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: recovery_soak [--seeds N] [--threads 2,4] [--quick]");
+                eprintln!(
+                    "usage: recovery_soak [--seeds N] [--threads 2,4] [--quick] \
+                     [--checkpoint-dir <dir>] [--spill-every N] [--restore]"
+                );
                 std::process::exit(2);
             }
         }
     }
     assert!(seeds >= 1, "--seeds must be at least 1");
+    if restore && checkpoint_dir.is_none() {
+        eprintln!("--restore needs --checkpoint-dir");
+        std::process::exit(2);
+    }
 
     let recv_timeout_ms = 300;
     let base = if quick {
@@ -140,11 +173,59 @@ fn main() {
                     ),
                 ];
                 for (what, plan) in injectors {
-                    let sup = supervise::<f64>(&job.with_fault(plan), s.as_ref(), &policy)
-                        .unwrap_or_else(|e| {
-                            eprintln!("{} seed {seed} ({what}): recovery failed: {e}", s.name());
-                            std::process::exit(1);
-                        });
+                    let faulted = job.with_fault(plan);
+                    let mut resumed_from = 0usize;
+                    let sup: SupervisedRun<f64> = match &checkpoint_dir {
+                        // Durability under fire: the spiller runs while
+                        // the fault plane panics and black-holes; the
+                        // recovery invariants below must hold unchanged.
+                        Some(root) => {
+                            let dir = root.join(format!(
+                                "{}_{threads}t_s{seed}_{what}",
+                                s.name().replace(' ', "-")
+                            ));
+                            let durability = DurabilityConfig::new(&dir)
+                                .with_spill_every(spill_every)
+                                .with_restore(restore && dir.is_dir());
+                            match supervise_durable::<f64>(
+                                &faulted,
+                                s.as_ref(),
+                                &policy,
+                                &durability,
+                            ) {
+                                Ok(dr) => {
+                                    resumed_from = dr.durable.resumed_from;
+                                    SupervisedRun {
+                                        run: dr.run,
+                                        recovery: dr.recovery,
+                                    }
+                                }
+                                Err(RunError::Durable(e)) => {
+                                    eprintln!(
+                                        "{} seed {seed} ({what}): durable checkpoint error: {e}",
+                                        s.name()
+                                    );
+                                    std::process::exit(3);
+                                }
+                                Err(e) => {
+                                    eprintln!(
+                                        "{} seed {seed} ({what}): recovery failed: {e}",
+                                        s.name()
+                                    );
+                                    std::process::exit(1);
+                                }
+                            }
+                        }
+                        None => {
+                            supervise::<f64>(&faulted, s.as_ref(), &policy).unwrap_or_else(|e| {
+                                eprintln!(
+                                    "{} seed {seed} ({what}): recovery failed: {e}",
+                                    s.name()
+                                );
+                                std::process::exit(1);
+                            })
+                        }
+                    };
                     let err = max_error_vs_reference(
                         &sup.run.sets,
                         &sup.run.map,
@@ -171,7 +252,9 @@ fn main() {
                         );
                         std::process::exit(1);
                     }
-                    if sup.recovery.attempts < 2 {
+                    // A restored run may resume past the sweep the fault
+                    // targets, so only fresh runs must show the fault.
+                    if sup.recovery.attempts < 2 && resumed_from == 0 {
                         eprintln!(
                             "{} seed {seed} ({what}, {threads} threads): the lethal fault \
                              never fired — the soak is not soaking",

@@ -20,6 +20,7 @@
 //! steady-state memory is one or two epochs per thread regardless of
 //! sweep count.
 
+use crate::durable::SnapshotRecord;
 use gpaw_grid::grid3::Grid3;
 use gpaw_grid::scalar::Scalar;
 use std::collections::HashMap;
@@ -35,6 +36,8 @@ struct Inner<T> {
     /// Snapshots by `(rank, slot, epoch)`: the thread's input grids, in
     /// its own local order, right after the epoch's buffer swap.
     snaps: HashMap<(usize, usize, Epoch), Vec<Grid3<T>>>,
+    /// The most snapshots ever held at once — the memory-bound witness.
+    high_water: usize,
 }
 
 /// Shared store of per-thread epoch snapshots for one supervised run.
@@ -57,6 +60,7 @@ impl<T: Scalar> CheckpointStore<T> {
             inner: Mutex::new(Inner {
                 latest: keys.into_iter().map(|k| (k, 0)).collect(),
                 snaps: HashMap::new(),
+                high_water: 0,
             }),
         }
     }
@@ -73,6 +77,8 @@ impl<T: Scalar> CheckpointStore<T> {
     pub fn deposit(&self, rank: usize, slot: usize, epoch: Epoch, grids: Vec<Grid3<T>>) {
         let mut st = self.lock();
         st.snaps.insert((rank, slot, epoch), grids);
+        // Peak is measured before pruning: the transient counts too.
+        st.high_water = st.high_water.max(st.snaps.len());
         let cur = st.latest.entry((rank, slot)).or_insert(0);
         if epoch > *cur {
             *cur = epoch;
@@ -119,6 +125,38 @@ impl<T: Scalar> CheckpointStore<T> {
     /// Snapshots currently held (tests; bounds the memory claim).
     pub fn snapshot_count(&self) -> usize {
         self.lock().snaps.len()
+    }
+
+    /// The most snapshots ever held at once. Flat over a long run — that
+    /// is the memory-bound guarantee the durability spiller relies on
+    /// (the store stages at most the window between the consistent floor
+    /// and the fastest thread, never the whole history).
+    pub fn high_water(&self) -> usize {
+        self.lock().high_water
+    }
+
+    /// Atomically clone out *every* registered key's snapshot of `epoch`,
+    /// sorted by `(rank, slot)` — the unit a durable spill serializes.
+    /// `None` if any key lacks that epoch (not yet consistent, or already
+    /// pruned), so a spill is always all-keys-or-nothing.
+    pub fn epoch_records(&self, epoch: Epoch) -> Option<Vec<SnapshotRecord<T>>> {
+        let st = self.lock();
+        let mut keys: Vec<(usize, usize)> = st.latest.keys().copied().collect();
+        keys.sort_unstable();
+        let mut records = Vec::with_capacity(keys.len());
+        for (rank, slot) in keys {
+            let grids = st.snaps.get(&(rank, slot, epoch))?.clone();
+            records.push(SnapshotRecord { rank, slot, grids });
+        }
+        Some(records)
+    }
+
+    /// Drop every snapshot strictly below `epoch` — called once a spill
+    /// has made `epoch` durable on disk, so memory never retains what
+    /// the disk already guarantees.
+    pub fn prune_below(&self, epoch: Epoch) {
+        let mut st = self.lock();
+        st.snaps.retain(|&(_, _, e), _| e >= epoch);
     }
 }
 
@@ -186,6 +224,60 @@ mod tests {
         // Re-depositing the replayed epoch works.
         s.deposit(0, 0, 2, vec![grid(2.0)]);
         assert_eq!(s.rank_epoch(0), 2);
+    }
+
+    #[test]
+    fn high_water_stays_flat_over_a_long_run() {
+        // The memory-bound claim: 200 epochs of deposits from two keys
+        // (one lagging a step behind, the realistic skew) must not grow
+        // the live set — the peak is a small constant, not O(epochs).
+        let s = store();
+        for e in 1..=200 {
+            s.deposit(0, 0, e, vec![grid(e as f64)]);
+            if e > 1 {
+                s.deposit(1, 0, e - 1, vec![grid(e as f64)]);
+            }
+        }
+        // Bound: keys × (skew window + 1) + the one in-flight deposit
+        // = 2 × 2 + 1 — a constant in the epoch count.
+        assert!(
+            s.high_water() <= 5,
+            "high water {} snapshots after 200 epochs — memory is not bounded",
+            s.high_water()
+        );
+        assert!(s.snapshot_count() <= s.high_water());
+    }
+
+    #[test]
+    fn epoch_records_is_all_keys_or_nothing() {
+        let s = store();
+        s.deposit(0, 0, 1, vec![grid(1.0)]);
+        assert!(
+            s.epoch_records(1).is_none(),
+            "epoch 1 is not consistent yet — a spill now would tear"
+        );
+        s.deposit(1, 0, 1, vec![grid(2.0)]);
+        let recs = s.epoch_records(1).expect("both keys deposited");
+        assert_eq!(recs.len(), 2);
+        assert_eq!(
+            (recs[0].rank, recs[0].slot),
+            (0, 0),
+            "sorted by (rank, slot)"
+        );
+        assert_eq!(recs[1].grids[0].data()[0], 2.0);
+    }
+
+    #[test]
+    fn prune_below_drops_spilled_epochs_but_keeps_the_floor() {
+        let s = store();
+        s.deposit(0, 0, 1, vec![grid(1.0)]);
+        s.deposit(0, 0, 2, vec![grid(2.0)]);
+        // Only rank 0 progressed, so the consistent floor has not moved
+        // and both snapshots are live. A durable spill of epoch 2 for
+        // rank 0's key lets us drop epoch 1 from memory explicitly.
+        s.prune_below(2);
+        assert!(s.restore(0, 0, 1).is_none());
+        assert!(s.restore(0, 0, 2).is_some());
     }
 
     #[test]

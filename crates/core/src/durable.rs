@@ -1,0 +1,830 @@
+//! Durable, versioned, checksummed on-disk checkpoints.
+//!
+//! [`CheckpointStore`](crate::checkpoint::CheckpointStore) snapshots live
+//! only as long as the process; this module is where they go to survive a
+//! `kill -9`. The format is dependency-free binary framing over
+//! [`Scalar::bit_pattern`] words, so a restored grid is bit-identical to
+//! the one that was spilled — signed zeros, NaN payloads and all.
+//!
+//! # Frame layout
+//!
+//! One *epoch file* (`epoch_<e>.ckpt`, little-endian throughout) holds
+//! every registered `(rank, slot)` key's snapshot of one consistent epoch:
+//!
+//! ```text
+//! header   magic "GPWD" (4) · schema u32 · epoch u64 · record_count u32
+//!          · header_crc u32 (CRC-32 over the 20 bytes before it)
+//! records  payload_len u64 · payload_crc u32 · payload bytes
+//! payload  rank u64 · slot u64 · n_grids u64, then per grid:
+//!          n0 n1 n2 halo words data_words (u64 each) · data_words × u64
+//!          bit-pattern words (the grid's full padded storage, halos
+//!          included, `words` words per point: 1 for f64, 2 for C64)
+//! ```
+//!
+//! # Manifest protocol and crash consistency
+//!
+//! Every file — epoch files and the `MANIFEST` (magic · schema · epoch u64
+//! · crc u32) — is written to a `.tmp` sibling and atomically renamed into
+//! place, in this order: epoch file first, then the manifest. A reader can
+//! therefore never observe a half-written *named* file after a process
+//! kill; the worst cases are a leftover `.tmp` (ignored) or a manifest one
+//! epoch behind the newest complete file. Recovery ([`DurableStore::recover`])
+//! treats the manifest as the newest-complete-epoch pointer but trusts
+//! only checksums: it tries every on-disk epoch newest-first, skipping any
+//! file that fails validation (torn, truncated, bit-flipped, wrong
+//! schema), and falls back as far as epoch 0 — the synthetic fill, always
+//! re-derivable from the seed — rather than ever panicking. Durability is
+//! against process death (the page cache survives a SIGKILL); powering
+//! off the machine mid-spill would additionally need `fsync`, which this
+//! simulation-scale store deliberately skips.
+
+use crate::checkpoint::Epoch;
+use gpaw_grid::grid3::Grid3;
+use gpaw_grid::scalar::Scalar;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// First four bytes of every durable file.
+pub const MAGIC: [u8; 4] = *b"GPWD";
+
+/// On-disk schema version; files from a different version are rejected
+/// (forward compat is an explicit re-encode, never a silent misparse).
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// magic + schema + epoch + record_count + header crc.
+const HEADER_LEN: usize = 4 + 4 + 8 + 4 + 4;
+/// magic + schema + epoch + crc.
+const MANIFEST_LEN: usize = 4 + 4 + 8 + 4;
+const MANIFEST: &str = "MANIFEST";
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial), bitwise and dependency-free.
+/// These files are a few hundred KB at simulation scale, so the simple
+/// loop beats carrying a table or a crate.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Why a durable read or write failed. Every corruption mode is a value,
+/// not a panic: callers degrade to an older epoch (or the synthetic
+/// fill) and keep running.
+#[derive(Debug)]
+pub enum DurableError {
+    /// Filesystem error reading or writing `path`.
+    Io {
+        /// The file or directory the operation touched.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// `--restore` pointed at a directory that does not exist.
+    MissingDir(PathBuf),
+    /// The file does not start with [`MAGIC`] — not a checkpoint at all.
+    BadMagic(PathBuf),
+    /// The file's schema version is not [`SCHEMA_VERSION`]. A newer
+    /// writer's files are rejected loudly instead of misparsed.
+    SchemaMismatch {
+        /// The offending file.
+        path: PathBuf,
+        /// Version found in the file header.
+        found: u32,
+        /// The only version this reader supports.
+        supported: u32,
+    },
+    /// Structurally invalid or checksum-failing content: truncation, a
+    /// torn frame, a bit flip, or fields that contradict each other.
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// What exactly failed to validate.
+        detail: String,
+    },
+}
+
+impl fmt::Display for DurableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableError::Io { path, source } => {
+                write!(f, "checkpoint I/O error at {}: {source}", path.display())
+            }
+            DurableError::MissingDir(dir) => {
+                write!(f, "checkpoint directory {} does not exist", dir.display())
+            }
+            DurableError::BadMagic(path) => write!(
+                f,
+                "{} is not a durable checkpoint (bad magic)",
+                path.display()
+            ),
+            DurableError::SchemaMismatch {
+                path,
+                found,
+                supported,
+            } => write!(
+                f,
+                "{}: schema version {found} is not supported (this build reads version \
+                 {supported}); re-encode the checkpoint or upgrade",
+                path.display()
+            ),
+            DurableError::Corrupt { path, detail } => {
+                write!(f, "{} is corrupt: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for DurableError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DurableError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// One `(rank, slot)` key's grids at some epoch — the unit a
+/// [`CheckpointStore`](crate::checkpoint::CheckpointStore) deposits and
+/// an epoch file frames.
+#[derive(Clone, Debug)]
+pub struct SnapshotRecord<T> {
+    /// Depositing rank.
+    pub rank: usize,
+    /// Depositing thread slot within the rank.
+    pub slot: usize,
+    /// The thread's input grids in its own local order.
+    pub grids: Vec<Grid3<T>>,
+}
+
+/// What [`DurableStore::recover`] salvaged from a directory.
+pub struct Recovered<T> {
+    /// The newest epoch that validated end-to-end; 0 means nothing did
+    /// (or nothing was ever spilled) and the run restarts from the
+    /// synthetic fill.
+    pub epoch: Epoch,
+    /// Every registered key's snapshot at that epoch (empty at epoch 0).
+    pub records: Vec<SnapshotRecord<T>>,
+    /// Typed errors for every newer epoch that was tried and rejected —
+    /// surfaced so callers can report the degradation, never a panic.
+    pub skipped: Vec<DurableError>,
+}
+
+/// A directory of epoch files plus a manifest — the durable face of a
+/// checkpoint store.
+pub struct DurableStore {
+    dir: PathBuf,
+}
+
+impl DurableStore {
+    /// Open-or-create: makes the directory (and parents) if missing.
+    /// This is the spill-side constructor.
+    pub fn create(dir: &Path) -> Result<DurableStore, DurableError> {
+        fs::create_dir_all(dir).map_err(|source| DurableError::Io {
+            path: dir.to_path_buf(),
+            source,
+        })?;
+        Ok(DurableStore {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// Open an existing directory; a missing one is a typed error. This
+    /// is the `--restore` constructor — restoring from a directory that
+    /// was never written is a caller mistake worth naming.
+    pub fn open(dir: &Path) -> Result<DurableStore, DurableError> {
+        if !dir.is_dir() {
+            return Err(DurableError::MissingDir(dir.to_path_buf()));
+        }
+        Ok(DurableStore {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The directory this store reads and writes.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Where `epoch`'s frame lives (or would live) on disk — public so
+    /// corruption harnesses can vandalize exactly the right file.
+    pub fn epoch_path(&self, epoch: Epoch) -> PathBuf {
+        self.dir.join(format!("epoch_{epoch:08}.ckpt"))
+    }
+
+    fn manifest_path(&self) -> PathBuf {
+        self.dir.join(MANIFEST)
+    }
+
+    /// Write `bytes` to `path` atomically: a `.tmp` sibling first, then
+    /// rename. A reader never sees a torn named file.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> Result<(), DurableError> {
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        let io = |p: &Path, source| DurableError::Io {
+            path: p.to_path_buf(),
+            source,
+        };
+        fs::write(&tmp, bytes).map_err(|e| io(&tmp, e))?;
+        fs::rename(&tmp, path).map_err(|e| io(path, e))
+    }
+
+    /// Spill one complete consistent epoch: every registered key's
+    /// snapshot, framed and checksummed, atomically renamed into place,
+    /// then the manifest advanced to point at it.
+    pub fn spill_epoch<T: Scalar>(
+        &self,
+        epoch: Epoch,
+        records: &[SnapshotRecord<T>],
+    ) -> Result<PathBuf, DurableError> {
+        let words = T::BYTES / 8;
+        let mut file = Vec::new();
+        file.extend_from_slice(&MAGIC);
+        push_u32(&mut file, SCHEMA_VERSION);
+        push_u64(&mut file, epoch as u64);
+        push_u32(&mut file, records.len() as u32);
+        let hcrc = crc32(&file);
+        push_u32(&mut file, hcrc);
+        for rec in records {
+            let mut payload = Vec::new();
+            push_u64(&mut payload, rec.rank as u64);
+            push_u64(&mut payload, rec.slot as u64);
+            push_u64(&mut payload, rec.grids.len() as u64);
+            for g in &rec.grids {
+                let n = g.n();
+                push_u64(&mut payload, n[0] as u64);
+                push_u64(&mut payload, n[1] as u64);
+                push_u64(&mut payload, n[2] as u64);
+                push_u64(&mut payload, g.halo() as u64);
+                push_u64(&mut payload, words as u64);
+                push_u64(&mut payload, (g.data().len() * words) as u64);
+                for &v in g.data() {
+                    let w = v.bit_pattern();
+                    for &word in w.iter().take(words) {
+                        push_u64(&mut payload, word);
+                    }
+                }
+            }
+            push_u64(&mut file, payload.len() as u64);
+            push_u32(&mut file, crc32(&payload));
+            file.extend_from_slice(&payload);
+        }
+        let path = self.epoch_path(epoch);
+        self.write_atomic(&path, &file)?;
+        self.write_manifest(epoch)?;
+        Ok(path)
+    }
+
+    fn write_manifest(&self, epoch: Epoch) -> Result<(), DurableError> {
+        let mut bytes = Vec::with_capacity(MANIFEST_LEN);
+        bytes.extend_from_slice(&MAGIC);
+        push_u32(&mut bytes, SCHEMA_VERSION);
+        push_u64(&mut bytes, epoch as u64);
+        let crc = crc32(&bytes);
+        push_u32(&mut bytes, crc);
+        self.write_atomic(&self.manifest_path(), &bytes)
+    }
+
+    /// The epoch the manifest points at; `Ok(None)` when no manifest has
+    /// been written yet, a typed error when one exists but is invalid.
+    pub fn manifest_epoch(&self) -> Result<Option<Epoch>, DurableError> {
+        let path = self.manifest_path();
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(source) => return Err(DurableError::Io { path, source }),
+        };
+        if bytes.len() != MANIFEST_LEN {
+            return Err(DurableError::Corrupt {
+                path,
+                detail: format!("manifest is {} bytes, expected {MANIFEST_LEN}", bytes.len()),
+            });
+        }
+        if bytes[..4] != MAGIC {
+            return Err(DurableError::BadMagic(path));
+        }
+        let schema = read_u32(&bytes, 4);
+        if schema != SCHEMA_VERSION {
+            return Err(DurableError::SchemaMismatch {
+                path,
+                found: schema,
+                supported: SCHEMA_VERSION,
+            });
+        }
+        let stored = read_u32(&bytes, 16);
+        if crc32(&bytes[..16]) != stored {
+            return Err(DurableError::Corrupt {
+                path,
+                detail: "manifest checksum mismatch".to_string(),
+            });
+        }
+        Ok(Some(read_u64(&bytes, 8) as Epoch))
+    }
+
+    /// Epochs with a (named, hence completely renamed) file on disk,
+    /// ascending. Leftover `.tmp` files and foreign names are ignored.
+    pub fn epochs_on_disk(&self) -> Result<Vec<Epoch>, DurableError> {
+        let entries = fs::read_dir(&self.dir).map_err(|source| DurableError::Io {
+            path: self.dir.clone(),
+            source,
+        })?;
+        let mut epochs = Vec::new();
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(num) = name
+                .strip_prefix("epoch_")
+                .and_then(|rest| rest.strip_suffix(".ckpt"))
+            {
+                if let Ok(e) = num.parse::<Epoch>() {
+                    epochs.push(e);
+                }
+            }
+        }
+        epochs.sort_unstable();
+        Ok(epochs)
+    }
+
+    /// Load and fully validate one epoch file. Every failure mode —
+    /// truncation, bad magic, bumped schema, checksum mismatch,
+    /// self-contradictory geometry — is a typed error.
+    pub fn load_epoch<T: Scalar>(
+        &self,
+        epoch: Epoch,
+    ) -> Result<Vec<SnapshotRecord<T>>, DurableError> {
+        let path = self.epoch_path(epoch);
+        let bytes = fs::read(&path).map_err(|source| DurableError::Io {
+            path: path.clone(),
+            source,
+        })?;
+        let corrupt = |detail: String| DurableError::Corrupt {
+            path: path.clone(),
+            detail,
+        };
+        if bytes.len() < HEADER_LEN {
+            return Err(corrupt(format!(
+                "truncated header: {} bytes, need {HEADER_LEN}",
+                bytes.len()
+            )));
+        }
+        if bytes[..4] != MAGIC {
+            return Err(DurableError::BadMagic(path));
+        }
+        let schema = read_u32(&bytes, 4);
+        if schema != SCHEMA_VERSION {
+            return Err(DurableError::SchemaMismatch {
+                path,
+                found: schema,
+                supported: SCHEMA_VERSION,
+            });
+        }
+        if crc32(&bytes[..20]) != read_u32(&bytes, 20) {
+            return Err(corrupt("header checksum mismatch".to_string()));
+        }
+        let file_epoch = read_u64(&bytes, 8) as Epoch;
+        if file_epoch != epoch {
+            return Err(corrupt(format!(
+                "file claims epoch {file_epoch}, name says {epoch}"
+            )));
+        }
+        let count = read_u32(&bytes, 16) as usize;
+        let words = T::BYTES / 8;
+        let mut records = Vec::with_capacity(count);
+        let mut at = HEADER_LEN;
+        for i in 0..count {
+            if bytes.len() < at + 12 {
+                return Err(corrupt(format!("truncated frame header for record {i}")));
+            }
+            let len = read_u64(&bytes, at) as usize;
+            let stored_crc = read_u32(&bytes, at + 8);
+            at += 12;
+            if bytes.len() < at + len {
+                return Err(corrupt(format!(
+                    "truncated payload for record {i}: need {len} bytes, have {}",
+                    bytes.len() - at
+                )));
+            }
+            let payload = &bytes[at..at + len];
+            at += len;
+            if crc32(payload) != stored_crc {
+                return Err(corrupt(format!("checksum mismatch on record {i}")));
+            }
+            records.push(parse_record::<T>(payload, words, i, &corrupt)?);
+        }
+        Ok(records)
+    }
+
+    /// Salvage the newest valid epoch: manifest as a hint, checksums as
+    /// the truth. Tries every on-disk epoch newest-first; each rejected
+    /// file's typed error lands in [`Recovered::skipped`]. Never panics —
+    /// a directory with nothing valid recovers to epoch 0, the synthetic
+    /// fill.
+    pub fn recover<T: Scalar>(&self) -> Result<Recovered<T>, DurableError> {
+        let mut skipped = Vec::new();
+        let mut candidates = self.epochs_on_disk()?;
+        match self.manifest_epoch() {
+            Ok(Some(m)) if !candidates.contains(&m) => skipped.push(DurableError::Corrupt {
+                path: self.manifest_path(),
+                detail: format!("manifest points at epoch {m} but no such file exists"),
+            }),
+            Ok(_) => {}
+            Err(e) => skipped.push(e),
+        }
+        candidates.reverse();
+        for e in candidates {
+            match self.load_epoch::<T>(e) {
+                Ok(records) => {
+                    return Ok(Recovered {
+                        epoch: e,
+                        records,
+                        skipped,
+                    })
+                }
+                Err(err) => skipped.push(err),
+            }
+        }
+        Ok(Recovered {
+            epoch: 0,
+            records: Vec::new(),
+            skipped,
+        })
+    }
+
+    /// Keep only the newest `keep` epoch files (the fallback chain);
+    /// delete the rest. Best-effort per file: a delete failure is
+    /// returned but the newer files are already safe.
+    pub fn retain_newest(&self, keep: usize) -> Result<(), DurableError> {
+        let epochs = self.epochs_on_disk()?;
+        if epochs.len() <= keep {
+            return Ok(());
+        }
+        for &e in &epochs[..epochs.len() - keep] {
+            let path = self.epoch_path(e);
+            fs::remove_file(&path).map_err(|source| DurableError::Io { path, source })?;
+        }
+        Ok(())
+    }
+}
+
+fn parse_record<T: Scalar>(
+    payload: &[u8],
+    words: usize,
+    index: usize,
+    corrupt: &dyn Fn(String) -> DurableError,
+) -> Result<SnapshotRecord<T>, DurableError> {
+    let mut at = 0usize;
+    let next_u64 = |at: &mut usize| -> Result<u64, DurableError> {
+        if payload.len() < *at + 8 {
+            return Err(corrupt(format!("record {index} payload ends mid-field")));
+        }
+        let v = read_u64(payload, *at);
+        *at += 8;
+        Ok(v)
+    };
+    let rank = next_u64(&mut at)? as usize;
+    let slot = next_u64(&mut at)? as usize;
+    let n_grids = next_u64(&mut at)? as usize;
+    let mut grids = Vec::with_capacity(n_grids);
+    for gi in 0..n_grids {
+        let n = [
+            next_u64(&mut at)? as usize,
+            next_u64(&mut at)? as usize,
+            next_u64(&mut at)? as usize,
+        ];
+        let halo = next_u64(&mut at)? as usize;
+        let file_words = next_u64(&mut at)? as usize;
+        let data_words = next_u64(&mut at)? as usize;
+        if file_words != words {
+            return Err(corrupt(format!(
+                "record {index} grid {gi}: {file_words} words per point on disk, this scalar \
+                 type has {words}"
+            )));
+        }
+        if n.iter().any(|&d| d == 0 || d > 1 << 20) || halo > 8 {
+            return Err(corrupt(format!(
+                "record {index} grid {gi}: implausible geometry {n:?} halo {halo}"
+            )));
+        }
+        let mut g = Grid3::<T>::zeros(n, halo);
+        if data_words != g.data().len() * words {
+            return Err(corrupt(format!(
+                "record {index} grid {gi}: {data_words} data words for geometry {n:?} halo \
+                 {halo}, expected {}",
+                g.data().len() * words
+            )));
+        }
+        if payload.len() < at + data_words * 8 {
+            return Err(corrupt(format!(
+                "record {index} grid {gi}: payload truncated inside grid data"
+            )));
+        }
+        for v in g.data_mut() {
+            let mut w = [0u64; 2];
+            for word in w.iter_mut().take(words) {
+                *word = read_u64(payload, at);
+                at += 8;
+            }
+            *v = T::from_bit_pattern(w);
+        }
+        grids.push(g);
+    }
+    if at != payload.len() {
+        return Err(corrupt(format!(
+            "record {index}: {} trailing bytes after the last grid",
+            payload.len() - at
+        )));
+    }
+    Ok(SnapshotRecord { rank, slot, grids })
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&bytes[at..at + 4]);
+    u32::from_le_bytes(b)
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&bytes[at..at + 8]);
+    u64::from_le_bytes(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpaw_grid::scalar::C64;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let d = std::env::temp_dir().join(format!(
+            "gpwd_{tag}_{}_{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::SeqCst)
+        ));
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    /// A deterministic pseudo-random grid with adversarial bit patterns
+    /// sprinkled in (NaN, -0.0) — the values a lossy codec would destroy.
+    fn filled_grid(n: [usize; 3], halo: usize, seed: u64) -> Grid3<f64> {
+        let mut g = Grid3::<f64>::zeros(n, halo);
+        let mut s = seed;
+        for (i, v) in g.data_mut().iter_mut().enumerate() {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *v = match i % 97 {
+                0 => f64::NAN,
+                1 => -0.0,
+                _ => f64::from_bits((s >> 2) | 0x3ff0_0000_0000_0000),
+            };
+        }
+        g
+    }
+
+    fn bitwise_eq<T: Scalar>(a: &Grid3<T>, b: &Grid3<T>) -> bool {
+        a.n() == b.n()
+            && a.halo() == b.halo()
+            && a.data()
+                .iter()
+                .zip(b.data())
+                .all(|(x, y)| x.bit_pattern() == y.bit_pattern())
+    }
+
+    fn sample_records(seed: u64) -> Vec<SnapshotRecord<f64>> {
+        vec![
+            SnapshotRecord {
+                rank: 0,
+                slot: 0,
+                grids: vec![
+                    filled_grid([4, 3, 5], 1, seed),
+                    filled_grid([4, 3, 5], 1, seed ^ 7),
+                ],
+            },
+            SnapshotRecord {
+                rank: 1,
+                slot: 2,
+                grids: vec![filled_grid([2, 6, 3], 2, seed ^ 99)],
+            },
+        ]
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The IEEE check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical_across_shapes_and_scalars() {
+        let dir = tmpdir("roundtrip");
+        let store = DurableStore::create(&dir).unwrap();
+        for seed in [1u64, 42, 1234567] {
+            let recs = sample_records(seed);
+            store.spill_epoch(3, &recs).unwrap();
+            let back = store.load_epoch::<f64>(3).unwrap();
+            assert_eq!(back.len(), recs.len());
+            for (a, b) in recs.iter().zip(&back) {
+                assert_eq!((a.rank, a.slot), (b.rank, b.slot));
+                assert_eq!(a.grids.len(), b.grids.len());
+                for (ga, gb) in a.grids.iter().zip(&b.grids) {
+                    assert!(bitwise_eq(ga, gb), "seed {seed}: payload not bit-identical");
+                }
+            }
+        }
+        // Complex scalars: two words per point, same guarantee.
+        let mut g = Grid3::<C64>::zeros([3, 4, 2], 1);
+        for (i, v) in g.data_mut().iter_mut().enumerate() {
+            *v = C64::new(
+                i as f64 * 0.1 - 1.0,
+                if i % 31 == 0 { f64::NAN } else { -0.0 },
+            );
+        }
+        let recs = vec![SnapshotRecord {
+            rank: 0,
+            slot: 1,
+            grids: vec![g.clone()],
+        }];
+        store.spill_epoch(9, &recs).unwrap();
+        let back = store.load_epoch::<C64>(9).unwrap();
+        assert!(bitwise_eq(&g, &back[0].grids[0]));
+        // Manifest tracks the newest spill.
+        assert_eq!(store.manifest_epoch().unwrap(), Some(9));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scalar_width_mismatch_is_rejected() {
+        let dir = tmpdir("width");
+        let store = DurableStore::create(&dir).unwrap();
+        store.spill_epoch(1, &sample_records(5)).unwrap();
+        // Reading an f64 checkpoint as C64 must fail typed, not misparse.
+        let err = store.load_epoch::<C64>(1).unwrap_err();
+        assert!(matches!(err, DurableError::Corrupt { .. }), "got {err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_files_fail_typed_at_every_cut_point() {
+        let dir = tmpdir("trunc");
+        let store = DurableStore::create(&dir).unwrap();
+        let path = store.spill_epoch(2, &sample_records(11)).unwrap();
+        let full = fs::read(&path).unwrap();
+        // Cut the file at a spread of offsets: inside the header, inside
+        // a frame header, inside a payload, just short of the end.
+        for cut in [
+            0,
+            3,
+            HEADER_LEN - 1,
+            HEADER_LEN + 5,
+            full.len() / 2,
+            full.len() - 1,
+        ] {
+            fs::write(&path, &full[..cut]).unwrap();
+            let err = store.load_epoch::<f64>(2).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    DurableError::Corrupt { .. } | DurableError::BadMagic(_)
+                ),
+                "cut at {cut}: got {err}"
+            );
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bit_flips_anywhere_fail_the_crc() {
+        let dir = tmpdir("flip");
+        let store = DurableStore::create(&dir).unwrap();
+        let path = store.spill_epoch(4, &sample_records(13)).unwrap();
+        let full = fs::read(&path).unwrap();
+        for at in [6, 9, 17, HEADER_LEN + 2, HEADER_LEN + 40, full.len() - 3] {
+            let mut bad = full.clone();
+            bad[at] ^= 0x40;
+            fs::write(&path, &bad).unwrap();
+            assert!(
+                store.load_epoch::<f64>(4).is_err(),
+                "flip at byte {at} went undetected"
+            );
+        }
+        // Restore the pristine bytes: it must load again.
+        fs::write(&path, &full).unwrap();
+        assert!(store.load_epoch::<f64>(4).is_ok());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bumped_schema_version_is_rejected_with_a_clear_error() {
+        let dir = tmpdir("schema");
+        let store = DurableStore::create(&dir).unwrap();
+        let path = store.spill_epoch(1, &sample_records(17)).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        // A future writer: schema bumped, header checksum recomputed so
+        // only the version check can reject it.
+        let future = SCHEMA_VERSION + 1;
+        bytes[4..8].copy_from_slice(&future.to_le_bytes());
+        let hcrc = crc32(&bytes[..20]);
+        bytes[20..24].copy_from_slice(&hcrc.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        match store.load_epoch::<f64>(1).unwrap_err() {
+            DurableError::SchemaMismatch {
+                found, supported, ..
+            } => {
+                assert_eq!(found, future);
+                assert_eq!(supported, SCHEMA_VERSION);
+            }
+            other => panic!("expected SchemaMismatch, got {other}"),
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recover_falls_back_to_the_previous_durable_epoch() {
+        let dir = tmpdir("fallback");
+        let store = DurableStore::create(&dir).unwrap();
+        store.spill_epoch(1, &sample_records(1)).unwrap();
+        store.spill_epoch(2, &sample_records(2)).unwrap();
+        let p3 = store.spill_epoch(3, &sample_records(3)).unwrap();
+        // Corrupt the newest epoch: recovery must degrade to epoch 2 and
+        // report the rejection, not crash and not silently succeed.
+        let mut bytes = fs::read(&p3).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(&p3, &bytes).unwrap();
+        let rec = store.recover::<f64>().unwrap();
+        assert_eq!(rec.epoch, 2);
+        assert_eq!(
+            rec.skipped.len(),
+            1,
+            "the rejected epoch 3 must be reported"
+        );
+        assert!(!rec.records.is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recover_survives_a_garbled_manifest_and_an_empty_dir() {
+        let dir = tmpdir("manifest");
+        let store = DurableStore::create(&dir).unwrap();
+        // Empty directory: epoch 0, nothing skipped, no error.
+        let rec = store.recover::<f64>().unwrap();
+        assert_eq!(rec.epoch, 0);
+        assert!(rec.records.is_empty());
+        assert!(rec.skipped.is_empty());
+        // Garbage manifest + one good epoch: the epoch file wins.
+        store.spill_epoch(5, &sample_records(23)).unwrap();
+        fs::write(dir.join(MANIFEST), b"not a manifest at all").unwrap();
+        let rec = store.recover::<f64>().unwrap();
+        assert_eq!(rec.epoch, 5);
+        assert_eq!(rec.skipped.len(), 1, "the bad manifest is reported");
+        // Everything garbled: degrade all the way to the synthetic fill.
+        for e in store.epochs_on_disk().unwrap() {
+            fs::write(store.epoch_path(e), b"zzzz").unwrap();
+        }
+        let rec = store.recover::<f64>().unwrap();
+        assert_eq!(rec.epoch, 0);
+        assert!(!rec.skipped.is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_requires_an_existing_directory() {
+        let ghost = std::env::temp_dir().join("gpwd_definitely_missing_xyz");
+        match DurableStore::open(&ghost) {
+            Err(DurableError::MissingDir(d)) => assert_eq!(d, ghost),
+            other => panic!("expected MissingDir, got {:?}", other.is_ok()),
+        }
+    }
+
+    #[test]
+    fn retain_newest_prunes_the_oldest_epoch_files() {
+        let dir = tmpdir("retain");
+        let store = DurableStore::create(&dir).unwrap();
+        for e in 1..=5 {
+            store.spill_epoch(e, &sample_records(e as u64)).unwrap();
+        }
+        store.retain_newest(2).unwrap();
+        assert_eq!(store.epochs_on_disk().unwrap(), vec![4, 5]);
+        // The survivors still validate.
+        assert!(store.load_epoch::<f64>(5).is_ok());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -43,6 +43,7 @@
 pub mod checkpoint;
 pub mod chrome;
 pub mod config;
+pub mod durable;
 pub mod exec;
 pub mod plan;
 pub mod progcache;
@@ -56,6 +57,7 @@ pub mod transport;
 pub use checkpoint::CheckpointStore;
 pub use chrome::ChromeTrace;
 pub use config::{Approach, FdConfig};
+pub use durable::{DurableError, DurableStore, Recovered, SnapshotRecord};
 pub use plan::RankPlan;
 pub use progcache::{CacheStats, JobPrograms, ProgramCache, ProgramKey};
 pub use program::{compile_rank, DirSet, SweepOp, SweepProgram, ThreadRole};

@@ -43,6 +43,12 @@ pub trait Scalar:
     /// the second zero for real scalars. Two values digest equal iff they
     /// are bit-identical (`0.0` and `-0.0` differ; NaN payloads count).
     fn bit_pattern(self) -> [u64; 2];
+
+    /// Rebuild a point from its raw bit pattern — the exact inverse of
+    /// [`Scalar::bit_pattern`], so checkpoints serialized as bit words
+    /// restore bit-identical values (signed zeros and NaN payloads
+    /// included). Real scalars ignore the second word.
+    fn from_bit_pattern(words: [u64; 2]) -> Self;
 }
 
 impl Scalar for f64 {
@@ -70,6 +76,10 @@ impl Scalar for f64 {
 
     fn bit_pattern(self) -> [u64; 2] {
         [self.to_bits(), 0]
+    }
+
+    fn from_bit_pattern(words: [u64; 2]) -> Self {
+        f64::from_bits(words[0])
     }
 }
 
@@ -171,6 +181,10 @@ impl Scalar for C64 {
     fn bit_pattern(self) -> [u64; 2] {
         [self.re.to_bits(), self.im.to_bits()]
     }
+
+    fn from_bit_pattern(words: [u64; 2]) -> Self {
+        C64::new(f64::from_bits(words[0]), f64::from_bits(words[1]))
+    }
 }
 
 #[cfg(test)]
@@ -214,6 +228,20 @@ mod tests {
             C64::new(1.5, -2.5).bit_pattern(),
             [1.5f64.to_bits(), (-2.5f64).to_bits()]
         );
+    }
+
+    #[test]
+    fn bit_patterns_round_trip_exactly() {
+        // from_bit_pattern must invert bit_pattern bit-for-bit, including
+        // the values numeric equality cannot see.
+        for v in [0.0f64, -0.0, 1.5, -2.5e-300, f64::NAN, f64::INFINITY] {
+            let back = f64::from_bit_pattern(v.bit_pattern());
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+        let c = C64::new(-0.0, f64::NAN);
+        let back = C64::from_bit_pattern(c.bit_pattern());
+        assert_eq!(back.re.to_bits(), c.re.to_bits());
+        assert_eq!(back.im.to_bits(), c.im.to_bits());
     }
 
     #[test]

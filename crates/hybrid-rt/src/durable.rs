@@ -1,0 +1,356 @@
+//! Durable supervision: kill -9 the process, restore bit-identical.
+//!
+//! [`supervise_durable`] is [`supervise`](crate::supervisor::supervise)
+//! plus a disk: a background *spiller* thread watches the run's
+//! [`CheckpointStore`] and serializes every new consistent epoch (at a
+//! configurable stride) into a [`DurableStore`] directory — atomic
+//! write-rename frames, per-record CRCs, a manifest pointing at the
+//! newest complete epoch (`gpaw_fd::durable` has the format). Once an
+//! epoch is on disk, older in-memory snapshots are pruned, so RAM holds
+//! only the staging window.
+//!
+//! The restore path (`DurabilityConfig::restore`) inverts it: recover
+//! the newest epoch that passes its checksums (corrupt or torn files
+//! degrade to the previous durable epoch — worst case the synthetic
+//! fill — with typed errors reported, never a panic), rehydrate a fresh
+//! checkpoint store, seed the fabric's *logical* traffic counters with
+//! the statically-known messages of the already-completed sweeps, and
+//! resume mid-program through the ordinary supervisor retry loop via
+//! [`RankCtx::start_sweep`](crate::strategy::RankCtx). Because every
+//! sweep's traffic is a pure function of the compiled programs, a
+//! restored run finishes with the same `run_digest` *and* the same
+//! logical message/byte counts as a run that was never killed.
+
+use crate::error::RunError;
+use crate::fabric::NativeFabric;
+use crate::fault::FabricConfig;
+use crate::runtime::{fabric_config, resolve_geometry_cached, NativeJob, NativeRun};
+use crate::strategy::Strategy;
+use crate::supervisor::{checkpoint_keys, retry_loop, RecoveryReport, RetryPolicy};
+use gpaw_fd::checkpoint::CheckpointStore;
+use gpaw_fd::durable::{DurableError, DurableStore, SnapshotRecord};
+use gpaw_fd::exec::SyntheticFill;
+use gpaw_fd::progcache::{JobPrograms, ProgramCache};
+use gpaw_fd::program::SweepOp;
+use gpaw_grid::scalar::Scalar;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// How many epoch files the spiller keeps on disk: the newest plus one
+/// fallback, so a file corrupted after the fact still leaves a durable
+/// epoch to degrade to.
+const KEEP_EPOCH_FILES: usize = 2;
+
+/// Where and how often a supervised run spills, and whether it first
+/// restores.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// The checkpoint directory (one run — or one resumable job — per
+    /// directory).
+    pub dir: PathBuf,
+    /// Spill every `n` consistent epochs (≥ 1). The final epoch is
+    /// always spilled regardless, so a completed run is durable.
+    pub spill_every: usize,
+    /// Recover the newest valid epoch from `dir` before running, and
+    /// resume from it. With `false` the directory is created if missing
+    /// and only written.
+    pub restore: bool,
+}
+
+impl DurabilityConfig {
+    /// Spill into `dir` after every consistent epoch, no restore.
+    pub fn new(dir: impl Into<PathBuf>) -> DurabilityConfig {
+        DurabilityConfig {
+            dir: dir.into(),
+            spill_every: 1,
+            restore: false,
+        }
+    }
+
+    /// Set the spill stride in epochs.
+    pub fn with_spill_every(mut self, n: usize) -> DurabilityConfig {
+        self.spill_every = n.max(1);
+        self
+    }
+
+    /// Set whether the run restores from `dir` before executing.
+    pub fn with_restore(mut self, restore: bool) -> DurabilityConfig {
+        self.restore = restore;
+        self
+    }
+}
+
+/// What the durability layer did for one run.
+#[derive(Debug, Clone, Default)]
+pub struct DurableReport {
+    /// The epoch the run resumed from: 0 = a fresh start (no restore, an
+    /// empty directory, or nothing on disk validated), `job.sweeps` = the
+    /// killed run had already finished and only the report was rebuilt.
+    pub resumed_from: usize,
+    /// Epoch files written by this run.
+    pub epochs_spilled: u64,
+    /// Typed errors absorbed along the way, stringified: epochs rejected
+    /// during recovery (the degradation trail) and non-fatal spill
+    /// failures. Empty on a clean run.
+    pub degraded: Vec<String>,
+}
+
+/// A durably supervised run that completed.
+pub struct DurableRun<T: Scalar> {
+    /// The completed run — bit-identical to an uninterrupted one.
+    pub run: NativeRun<T>,
+    /// Retry/retransmission overhead (the in-process recovery plane).
+    pub recovery: RecoveryReport,
+    /// Spill/restore overhead (the cross-process durability plane).
+    pub durable: DurableReport,
+}
+
+/// Execute `job` under `strategy` with supervision *and* durability:
+/// spills while running, restores first when asked. See the module docs
+/// for the guarantees; see [`supervise_durable_cached`] to share a
+/// [`ProgramCache`] across jobs.
+pub fn supervise_durable<T: SyntheticFill>(
+    job: &NativeJob,
+    strategy: &dyn Strategy<T>,
+    policy: &RetryPolicy,
+    durability: &DurabilityConfig,
+) -> Result<DurableRun<T>, RunError> {
+    // A one-shot cache: compiled programs are needed up front anyway to
+    // seed restored traffic, so the cached resolution path is the only
+    // one durability uses.
+    let cache = ProgramCache::new(1);
+    supervise_durable_cached(job, strategy, policy, durability, &cache)
+}
+
+/// [`supervise_durable`] resolving programs through a shared `cache` —
+/// the variant the job service uses.
+pub fn supervise_durable_cached<T: SyntheticFill>(
+    job: &NativeJob,
+    strategy: &dyn Strategy<T>,
+    policy: &RetryPolicy,
+    durability: &DurabilityConfig,
+    cache: &ProgramCache,
+) -> Result<DurableRun<T>, RunError> {
+    let geo = resolve_geometry_cached(job, strategy.approach(), cache, T::BYTES)?;
+    let programs = geo
+        .programs
+        .clone()
+        .unwrap_or_else(|| unreachable!("cached resolution always carries programs"));
+    let dstore = if durability.restore {
+        DurableStore::open(&durability.dir)?
+    } else {
+        DurableStore::create(&durability.dir)?
+    };
+
+    let ranks = geo.map.ranks();
+    let keys = checkpoint_keys(strategy.approach(), ranks, geo.threads);
+    let store: CheckpointStore<T> = CheckpointStore::new(keys.iter().copied());
+    let cfg = FabricConfig {
+        retain_history: true,
+        ..fabric_config(job)
+    };
+    let fabric: NativeFabric<T> = NativeFabric::with_config(&geo.map, cfg);
+
+    let mut degraded: Vec<String> = Vec::new();
+    let mut resumed_from = 0usize;
+    if durability.restore {
+        let rec = dstore.recover::<T>()?;
+        degraded.extend(rec.skipped.iter().map(|e| e.to_string()));
+        if rec.epoch > 0 {
+            validate_restored(
+                job,
+                &durability.dir,
+                &keys,
+                &programs,
+                rec.epoch,
+                &rec.records,
+            )?;
+            for r in rec.records {
+                store.deposit(r.rank, r.slot, rec.epoch, r.grids);
+            }
+            seed_restored_traffic(&fabric, &programs, rec.epoch);
+            resumed_from = rec.epoch;
+        }
+    }
+
+    let stop = AtomicBool::new(false);
+    let spilled = AtomicU64::new(0);
+    let last_spilled = AtomicUsize::new(resumed_from);
+    let spill_errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let stride = durability.spill_every.max(1);
+
+    let result = std::thread::scope(|s| {
+        let spiller = s.spawn(|| {
+            while !stop.load(Ordering::Relaxed) {
+                try_spill(
+                    &store,
+                    &dstore,
+                    &last_spilled,
+                    &spilled,
+                    stride,
+                    false,
+                    &spill_errors,
+                );
+                std::thread::park_timeout(Duration::from_millis(1));
+            }
+        });
+        let result = retry_loop(job, strategy, policy, &geo, &fabric, &store, resumed_from);
+        stop.store(true, Ordering::Relaxed);
+        spiller.thread().unpark();
+        let _ = spiller.join();
+        result
+    });
+
+    // Final spill, stride ignored: a successful run's last epoch (and a
+    // failed run's best consistent epoch) must be durable so the next
+    // process can pick up exactly here.
+    try_spill(
+        &store,
+        &dstore,
+        &last_spilled,
+        &spilled,
+        stride,
+        true,
+        &spill_errors,
+    );
+    degraded.extend(
+        spill_errors
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..),
+    );
+
+    let sup = result?;
+    Ok(DurableRun {
+        run: sup.run,
+        recovery: sup.recovery,
+        durable: DurableReport {
+            resumed_from,
+            epochs_spilled: spilled.load(Ordering::Relaxed),
+            degraded,
+        },
+    })
+}
+
+/// Spill the current consistent epoch if it advanced far enough past the
+/// last spilled one (`force` ignores the stride). Failures are recorded,
+/// never raised — the run itself must not die of a full disk; the next
+/// spill (or the final forced one) retries.
+fn try_spill<T: Scalar>(
+    store: &CheckpointStore<T>,
+    dstore: &DurableStore,
+    last_spilled: &AtomicUsize,
+    spilled: &AtomicU64,
+    stride: usize,
+    force: bool,
+    errors: &Mutex<Vec<String>>,
+) {
+    let ce = store.consistent_epoch();
+    let last = last_spilled.load(Ordering::Relaxed);
+    if ce <= last || (!force && ce - last < stride) {
+        return;
+    }
+    // All-keys-or-nothing: a None means the floor already moved on —
+    // the next tick spills the newer epoch instead.
+    let Some(records) = store.epoch_records(ce) else {
+        return;
+    };
+    let push_err = |e: DurableError| {
+        errors
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(e.to_string());
+    };
+    match dstore.spill_epoch(ce, &records) {
+        Ok(_) => {
+            last_spilled.store(ce, Ordering::Relaxed);
+            spilled.fetch_add(1, Ordering::Relaxed);
+            // Disk now guarantees `ce`; memory only stages newer epochs.
+            store.prune_below(ce);
+            if let Err(e) = dstore.retain_newest(KEEP_EPOCH_FILES) {
+                push_err(e);
+            }
+        }
+        Err(e) => push_err(e),
+    }
+}
+
+/// A restored epoch must actually fit this job: right key set, plausible
+/// epoch, grids of each rank's subdomain shape. Violations are typed
+/// errors — restoring yesterday's checkpoint into a different geometry
+/// is a caller mistake, not a reason to panic mid-rank.
+fn validate_restored<T: Scalar>(
+    job: &NativeJob,
+    dir: &std::path::Path,
+    keys: &[(usize, usize)],
+    programs: &JobPrograms,
+    epoch: usize,
+    records: &[SnapshotRecord<T>],
+) -> Result<(), RunError> {
+    let corrupt = |detail: String| {
+        RunError::Durable(DurableError::Corrupt {
+            path: dir.to_path_buf(),
+            detail,
+        })
+    };
+    if epoch > job.sweeps {
+        return Err(corrupt(format!(
+            "restored epoch {epoch} exceeds the job's {} sweeps — not this job's checkpoint",
+            job.sweeps
+        )));
+    }
+    let mut expected: Vec<(usize, usize)> = keys.to_vec();
+    expected.sort_unstable();
+    let mut found: Vec<(usize, usize)> = records.iter().map(|r| (r.rank, r.slot)).collect();
+    found.sort_unstable();
+    if expected != found {
+        return Err(corrupt(format!(
+            "checkpoint keys do not match the job: disk has {} records, the geometry \
+             registers {} (approach/threads/nodes changed?)",
+            found.len(),
+            expected.len()
+        )));
+    }
+    for r in records {
+        let ext = programs[r.rank][0].plan.sub.ext;
+        if let Some(g) = r.grids.iter().find(|g| g.n() != ext) {
+            return Err(corrupt(format!(
+                "rank {} slot {}: restored grid is {:?}, this geometry's subdomain is {:?}",
+                r.rank,
+                r.slot,
+                g.n(),
+                ext
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Charge the fabric for the traffic of sweeps `0..epochs`, which the
+/// killed process already sent: per compiled `SendFace` direction with a
+/// neighbor, `epochs` messages of the plan's static size. Per-tag
+/// sequence state needs no seeding — resuming at `start_sweep = epochs`
+/// means those tags are never used again.
+fn seed_restored_traffic<T: Scalar>(
+    fabric: &NativeFabric<T>,
+    programs: &JobPrograms,
+    epochs: usize,
+) {
+    for (rank, progs) in programs.iter().enumerate() {
+        for prog in progs {
+            for op in &prog.ops {
+                if let SweepOp::SendFace { batch, dirs } = *op {
+                    let grids = prog.batches.size(batch);
+                    for ld in dirs.dirs() {
+                        if let Some(nb) = prog.plan.neighbors[ld.index()] {
+                            let bytes = prog.plan.msg_bytes(ld.axis, grids);
+                            fabric.credit_logical(rank, nb, epochs as u64, bytes * epochs as u64);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -12,6 +12,7 @@
 
 use crate::fault::RecvTimeout;
 use gpaw_bgp_hw::MapError;
+use gpaw_fd::durable::DurableError;
 use std::fmt;
 
 /// Why one rank of a native run failed.
@@ -123,6 +124,12 @@ pub enum RunError {
         /// Every rank failure observed, ordered worst-first.
         failures: Vec<RankFailure>,
     },
+    /// The durable checkpoint layer failed in a way recovery cannot paper
+    /// over: a missing `--restore` directory, an unwritable spill target,
+    /// or a restored state that contradicts the job's geometry. (A merely
+    /// *corrupt* epoch file never lands here — recovery degrades to an
+    /// older epoch instead.)
+    Durable(DurableError),
 }
 
 impl RunError {
@@ -153,11 +160,25 @@ impl fmt::Display for RunError {
                 }
                 Ok(())
             }
+            RunError::Durable(e) => write!(f, "durable checkpoint error: {e}"),
         }
     }
 }
 
-impl std::error::Error for RunError {}
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Durable(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DurableError> for RunError {
+    fn from(e: DurableError) -> RunError {
+        RunError::Durable(e)
+    }
+}
 
 impl From<MapError> for RunError {
     fn from(e: MapError) -> RunError {

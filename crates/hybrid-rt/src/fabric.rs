@@ -592,6 +592,26 @@ impl<T: Scalar> NativeFabric<T> {
         }
     }
 
+    /// Credit `messages` logical messages of `bytes` total payload from
+    /// `src` to `dst` without moving any data — the durable-restore path
+    /// seeds a fresh process's counters with the traffic the killed
+    /// process already sent for sweeps `0..restore_epoch`. That traffic
+    /// is *statically known* (each compiled program sends the same
+    /// messages every sweep), so a restored run's final report carries
+    /// exactly an uninterrupted run's logical counts. Charged like
+    /// [`send`](NativeFabric::send): to the sending node, with the
+    /// network counters only when the pair crosses nodes.
+    pub fn credit_logical(&self, src: usize, dst: usize, messages: u64, bytes: u64) {
+        let src_node = self.node_of[src];
+        self.messages.fetch_add(messages, Ordering::Relaxed);
+        self.bytes_per_node[src_node].fetch_add(bytes, Ordering::Relaxed);
+        if src_node != self.node_of[dst] {
+            self.network_messages.fetch_add(messages, Ordering::Relaxed);
+            self.network_bytes_per_node[src_node].fetch_add(bytes, Ordering::Relaxed);
+            self.network_messages_per_node[src_node].fetch_add(messages, Ordering::Relaxed);
+        }
+    }
+
     /// Snapshot the traffic counters.
     pub fn stats(&self) -> FabricStats {
         let load =

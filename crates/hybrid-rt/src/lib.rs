@@ -40,6 +40,14 @@
 //!   epoch and resume mid-program — completed runs are bitwise identical
 //!   to fault-free ones, with retries and retransmissions itemized in a
 //!   [`RecoveryReport`];
+//! * [`durable`] — [`supervise_durable`]: the durability plane. A
+//!   background spiller serializes every consistent epoch to disk
+//!   (`gpaw_fd::durable`'s checksummed, atomically-renamed format);
+//!   `--restore` recovers the newest valid epoch — degrading past
+//!   corrupt files with typed errors, never a panic — seeds the fabric
+//!   with the killed process's statically-known logical traffic, and
+//!   resumes mid-program, so a SIGKILLed run finishes bit-identical to
+//!   an uninterrupted one;
 //! * [`service`] — [`JobService`]: the multi-tenant job server. A
 //!   bounded submission queue with admission control, a shared worker
 //!   pool multiplexing many jobs, per-tenant fair scheduling with
@@ -56,6 +64,7 @@
 
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod durable;
 pub mod error;
 pub mod fabric;
 pub mod fault;
@@ -65,6 +74,9 @@ pub mod service;
 pub mod strategy;
 pub mod supervisor;
 
+pub use durable::{
+    supervise_durable, supervise_durable_cached, DurabilityConfig, DurableReport, DurableRun,
+};
 pub use error::{FailureKind, RankFailure, RunError, StrategyError};
 pub use fabric::{FabricStats, NativeFabric};
 pub use fault::{

@@ -73,6 +73,11 @@ pub struct NativeJob {
     /// [`FabricConfig::recv_timeout`]). A receive that waits longer fails
     /// the run with a fabric snapshot instead of hanging.
     pub recv_timeout_ms: u64,
+    /// Sleep this long at every sweep boundary (each `AdvanceBuffer`),
+    /// per thread. 0 (the default) means full speed; the durability soak
+    /// stretches runs with it so a SIGKILL can land at any sweep. Pure
+    /// wall-clock — grids and logical traffic are unaffected.
+    pub sweep_throttle_ms: u64,
     /// Optional deterministic fault plan perturbing the fabric.
     pub fault: Option<FaultPlan>,
 }
@@ -92,6 +97,7 @@ impl NativeJob {
             bc: BoundaryCond::Periodic,
             spacing: [0.2, 0.25, 0.3],
             recv_timeout_ms: 30_000,
+            sweep_throttle_ms: 0,
             fault: None,
         }
     }
@@ -117,6 +123,18 @@ impl NativeJob {
     /// Set the deadlock-watchdog budget per receive.
     pub fn with_recv_timeout_ms(mut self, ms: u64) -> NativeJob {
         self.recv_timeout_ms = ms;
+        self
+    }
+
+    /// Set the per-sweep wall-clock throttle (see `sweep_throttle_ms`).
+    pub fn with_sweep_throttle_ms(mut self, ms: u64) -> NativeJob {
+        self.sweep_throttle_ms = ms;
+        self
+    }
+
+    /// Set the synthetic-fill seed.
+    pub fn with_seed(mut self, seed: u64) -> NativeJob {
+        self.seed = seed;
         self
     }
 
@@ -371,6 +389,7 @@ pub(crate) fn run_attempt<T: SyntheticFill>(
                             epoch,
                             start_sweep: start_epoch,
                             ckpt,
+                            throttle: Duration::from_millis(job.sweep_throttle_ms),
                         };
                         strategy.run_rank(&ctx, inputs, outputs)
                     }));

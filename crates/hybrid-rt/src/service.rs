@@ -32,6 +32,7 @@
 //! Shutdown is graceful: [`JobService::join`] drains the queue, stops the
 //! workers, and returns the [`ServiceStats`] ledger.
 
+use crate::durable::{supervise_durable_cached, DurabilityConfig};
 use crate::error::RunError;
 use crate::runtime::{resolve_geometry, NativeJob};
 use crate::strategy::strategy_for;
@@ -42,6 +43,7 @@ use gpaw_fd::progcache::{CacheStats, ProgramCache};
 use gpaw_grid::gridset::GridSet;
 use gpaw_grid::scalar::Scalar;
 use std::collections::{BTreeMap, VecDeque};
+use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -79,6 +81,12 @@ pub enum AdmissionError {
     },
     /// The job can never run: its geometry failed validation.
     Rejected(RunError),
+    /// A durable submission on a service with no
+    /// [`ServiceConfig::durable_root`] configured.
+    DurabilityUnavailable,
+    /// A durable job name that could escape the durable root: empty, a
+    /// path separator, or a `..` component.
+    InvalidDurableName(String),
     /// The service is shutting down and accepts no new work.
     ShuttingDown,
 }
@@ -90,6 +98,15 @@ impl std::fmt::Display for AdmissionError {
                 write!(f, "submission queue full (capacity {capacity})")
             }
             AdmissionError::Rejected(e) => write!(f, "job rejected at admission: {e}"),
+            AdmissionError::DurabilityUnavailable => {
+                write!(f, "durable submission on a service with no durable_root")
+            }
+            AdmissionError::InvalidDurableName(name) => {
+                write!(
+                    f,
+                    "invalid durable job name {name:?}: must be a single path component"
+                )
+            }
             AdmissionError::ShuttingDown => write!(f, "service is shutting down"),
         }
     }
@@ -98,7 +115,7 @@ impl std::fmt::Display for AdmissionError {
 impl std::error::Error for AdmissionError {}
 
 /// Knobs of a [`JobService`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServiceConfig {
     /// Worker threads sharing the queue (min 1). Each runs one job at a
     /// time, so this bounds the jobs in flight.
@@ -118,6 +135,16 @@ pub struct ServiceConfig {
     /// [`JobService::resume`]. Lets a caller stage a deterministic
     /// backlog before the workers race for it.
     pub start_paused: bool,
+    /// Root directory for durable jobs. `None` (the default) turns
+    /// [`JobService::submit_durable`] away with
+    /// [`AdmissionError::DurabilityUnavailable`]; `Some(root)` gives each
+    /// durable job the spill directory `root/<name>`, so a job
+    /// resubmitted under the same name after a server restart resumes
+    /// from its newest durable epoch.
+    pub durable_root: Option<PathBuf>,
+    /// Spill stride for durable jobs: write every Nth consistent epoch
+    /// (clamped to at least 1). The final epoch is always spilled.
+    pub spill_every: usize,
 }
 
 impl Default for ServiceConfig {
@@ -129,6 +156,8 @@ impl Default for ServiceConfig {
             retry: RetryPolicy::default(),
             keep_grids: false,
             start_paused: false,
+            durable_root: None,
+            spill_every: 1,
         }
     }
 }
@@ -145,6 +174,9 @@ pub struct JobResult<T: Scalar> {
     pub network_bytes: u64,
     /// Supervision overhead: attempts, replays, retransmissions.
     pub recovery: RecoveryReport,
+    /// For a durable job, the epoch it resumed from (0 = ran from the
+    /// start). Always 0 for plain submissions.
+    pub resumed_from_epoch: usize,
     /// The final grids, kept only under [`ServiceConfig::keep_grids`].
     pub sets: Option<Vec<GridSet<T>>>,
 }
@@ -215,6 +247,9 @@ struct QueuedJob<T: Scalar> {
     priority: Priority,
     approach: Approach,
     job: NativeJob,
+    /// `Some(dir)` makes the run durable under that spill directory
+    /// (resolved to `durable_root/<name>` at admission).
+    durable: Option<PathBuf>,
     submitted: Instant,
     slot: Arc<Slot<T>>,
 }
@@ -279,6 +314,8 @@ struct Shared<T: SyntheticFill> {
     retry: RetryPolicy,
     keep_grids: bool,
     queue_capacity: usize,
+    durable_root: Option<PathBuf>,
+    spill_every: usize,
 }
 
 /// The job server. Generic over the grid scalar, like the runtime it
@@ -310,6 +347,8 @@ impl<T: SyntheticFill> JobService<T> {
             retry: config.retry,
             keep_grids: config.keep_grids,
             queue_capacity: config.queue_capacity.max(1),
+            durable_root: config.durable_root,
+            spill_every: config.spill_every.max(1),
         });
         let workers = (0..config.workers.max(1))
             .map(|_| {
@@ -330,6 +369,46 @@ impl<T: SyntheticFill> JobService<T> {
         priority: Priority,
         approach: Approach,
         job: NativeJob,
+    ) -> Result<JobHandle<T>, AdmissionError> {
+        self.submit_inner(tenant, priority, approach, job, None)
+    }
+
+    /// Submit a *durable* job: it spills consistent epochs to
+    /// `durable_root/<name>` while it runs, and — the restart contract —
+    /// a job resubmitted under the same `name` (to this service or a
+    /// later one sharing the root) resumes from the newest durable epoch
+    /// instead of starting over. `name` must be a single path component
+    /// (no separators, not `..`); the result's
+    /// [`JobResult::resumed_from_epoch`] reports where the run picked up.
+    pub fn submit_durable(
+        &self,
+        tenant: &str,
+        priority: Priority,
+        approach: Approach,
+        job: NativeJob,
+        name: &str,
+    ) -> Result<JobHandle<T>, AdmissionError> {
+        let Some(root) = &self.shared.durable_root else {
+            return Err(AdmissionError::DurabilityUnavailable);
+        };
+        let escapes = name.is_empty()
+            || name == "."
+            || name == ".."
+            || name.contains('/')
+            || name.contains('\\');
+        if escapes {
+            return Err(AdmissionError::InvalidDurableName(name.to_string()));
+        }
+        self.submit_inner(tenant, priority, approach, job, Some(root.join(name)))
+    }
+
+    fn submit_inner(
+        &self,
+        tenant: &str,
+        priority: Priority,
+        approach: Approach,
+        job: NativeJob,
+        durable: Option<PathBuf>,
     ) -> Result<JobHandle<T>, AdmissionError> {
         if let Err(e) = resolve_geometry(&job, approach) {
             return Err(AdmissionError::Rejected(e));
@@ -361,6 +440,7 @@ impl<T: SyntheticFill> JobService<T> {
                     priority,
                     approach,
                     job,
+                    durable,
                     submitted: Instant::now(),
                     slot: Arc::clone(&slot),
                 });
@@ -475,19 +555,41 @@ fn worker_loop<T: SyntheticFill>(shared: &Shared<T>) {
         let queued = qjob.submitted.elapsed();
         let started = Instant::now();
         let strategy = strategy_for::<T>(qjob.approach);
-        let run = supervise_cached(&qjob.job, strategy.as_ref(), &shared.retry, &shared.cache);
-        let ran = started.elapsed();
-
-        let result = match run {
-            Ok(sup) => Ok(JobResult {
-                digest: run_digest(&sup.run.sets),
-                messages: sup.run.report.messages,
-                network_bytes: sup.run.report.total_network_bytes,
-                recovery: sup.recovery,
-                sets: shared.keep_grids.then_some(sup.run.sets),
-            }),
-            Err(e) => Err(e),
+        let result = match &qjob.durable {
+            // Durable lane: spill under root/<name>, and restore first if
+            // that directory already exists — a same-name resubmission
+            // after a restart picks up where the dead server left off.
+            Some(dir) => {
+                let durability = DurabilityConfig::new(dir)
+                    .with_spill_every(shared.spill_every)
+                    .with_restore(dir.is_dir());
+                supervise_durable_cached(
+                    &qjob.job,
+                    strategy.as_ref(),
+                    &shared.retry,
+                    &durability,
+                    &shared.cache,
+                )
+                .map(|dr| JobResult {
+                    digest: run_digest(&dr.run.sets),
+                    messages: dr.run.report.messages,
+                    network_bytes: dr.run.report.total_network_bytes,
+                    recovery: dr.recovery,
+                    resumed_from_epoch: dr.durable.resumed_from,
+                    sets: shared.keep_grids.then_some(dr.run.sets),
+                })
+            }
+            None => supervise_cached(&qjob.job, strategy.as_ref(), &shared.retry, &shared.cache)
+                .map(|sup| JobResult {
+                    digest: run_digest(&sup.run.sets),
+                    messages: sup.run.report.messages,
+                    network_bytes: sup.run.report.total_network_bytes,
+                    recovery: sup.recovery,
+                    resumed_from_epoch: 0,
+                    sets: shared.keep_grids.then_some(sup.run.sets),
+                }),
         };
+        let ran = started.elapsed();
         {
             let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
             if result.is_ok() {

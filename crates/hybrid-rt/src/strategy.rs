@@ -75,6 +75,10 @@ pub struct RankCtx<'a, T: Scalar> {
     /// `AdvanceBuffer` swap. `None` (plain runs) skips checkpointing
     /// entirely — no clones, no locks.
     pub ckpt: Option<&'a CheckpointStore<T>>,
+    /// Sleep per `AdvanceBuffer`, after the swap-and-deposit. Zero in
+    /// normal runs; the durability soak stretches sweeps with it so a
+    /// SIGKILL lands at an arbitrary epoch boundary.
+    pub throttle: std::time::Duration,
 }
 
 /// One native thread's outcome: the aggregate phase breakdown plus the raw
@@ -331,6 +335,9 @@ fn run_single<T: Scalar>(
                 if let Some(store) = ctx.ckpt {
                     store.deposit(ctx.plan.rank, 0, sweep + 1, inputs.clone());
                 }
+                if !ctx.throttle.is_zero() {
+                    std::thread::sleep(ctx.throttle);
+                }
                 continue;
             }
             if let Err(e) = exec_comm_op(&env, op, sweep, &mut inputs, &mut outputs, &mut tr) {
@@ -409,6 +416,9 @@ fn run_endpoints<T: Scalar>(
                                     // so rollback lands where it last swapped.
                                     if let Some(store) = ctx.ckpt {
                                         store.deposit(ctx.plan.rank, t, sweep + 1, ins.clone());
+                                    }
+                                    if !ctx.throttle.is_zero() {
+                                        std::thread::sleep(ctx.throttle);
                                     }
                                 }
                             }
@@ -669,6 +679,10 @@ fn run_master_pool<T: Scalar>(
                             // pool never owns grids across sweeps.
                             if let Some(store) = ctx.ckpt {
                                 store.deposit(ctx.plan.rank, 0, sweep + 1, ins.clone());
+                            }
+                            // Workers idle at the next slab fence meanwhile.
+                            if !ctx.throttle.is_zero() {
+                                std::thread::sleep(ctx.throttle);
                             }
                         }
                     }

@@ -143,7 +143,11 @@ fn classify(f: &RankFailure) -> FailureClass {
 /// The checkpoint keys a supervised run registers: hybrid-multiple ranks
 /// deposit per endpoint slot, every other approach deposits the whole
 /// rank under slot 0.
-fn checkpoint_keys(approach: Approach, ranks: usize, threads: usize) -> Vec<(usize, usize)> {
+pub(crate) fn checkpoint_keys(
+    approach: Approach,
+    ranks: usize,
+    threads: usize,
+) -> Vec<(usize, usize)> {
     match approach {
         Approach::HybridMultiple => (0..ranks)
             .flat_map(|r| (0..threads).map(move |t| (r, t)))
@@ -198,13 +202,29 @@ fn supervise_geo<T: SyntheticFill>(
     let ranks = geo.map.ranks();
     let store: CheckpointStore<T> =
         CheckpointStore::new(checkpoint_keys(strategy.approach(), ranks, geo.threads));
+    retry_loop(job, strategy, policy, geo, &fabric, &store, 0)
+}
 
+/// The bounded retry loop on caller-provided fabric and checkpoint state,
+/// resuming from `start_epoch`. [`supervise_geo`] hands it fresh state at
+/// epoch 0; the durable layer (`crate::durable`) hands it a fabric seeded
+/// with restored logical traffic and a store rehydrated from disk, while
+/// a spiller thread watches the same store in parallel.
+pub(crate) fn retry_loop<T: SyntheticFill>(
+    job: &NativeJob,
+    strategy: &dyn Strategy<T>,
+    policy: &RetryPolicy,
+    geo: &JobGeometry,
+    fabric: &NativeFabric<T>,
+    store: &CheckpointStore<T>,
+    mut start_epoch: usize,
+) -> Result<SupervisedRun<T>, RunError> {
+    let ranks = geo.map.ranks();
     let max_attempts = policy.max_attempts.max(1);
     let mut failures: Vec<FailureSummary> = Vec::new();
     let mut epochs_replayed = 0usize;
-    let mut start_epoch = 0usize;
     for attempt in 1..=max_attempts {
-        match run_attempt(job, strategy, geo, &fabric, Some(&store), start_epoch) {
+        match run_attempt(job, strategy, geo, fabric, Some(store), start_epoch) {
             Ok(run) => {
                 let stats = fabric.stats();
                 return Ok(SupervisedRun {

@@ -1,0 +1,391 @@
+//! The durability plane, end to end: kill -9 the process, restore
+//! bit-identical.
+//!
+//! The acceptance bar:
+//!
+//! * **prefix property** — a run killed after `e` sweeps and restored
+//!   with `--restore` finishes with the same `run_digest` *and* the same
+//!   logical message/byte counts as a run that was never interrupted,
+//!   for every strategy, thread count, and kill epoch. The kill is
+//!   simulated exactly: a durable run with `sweeps = e` leaves precisely
+//!   the on-disk state of a process SIGKILLed right after its epoch-`e`
+//!   spill, since spill files are atomically renamed and carry no
+//!   state about the process's future;
+//! * **degradation, not failure** — a corrupted newest epoch restores
+//!   from the retained previous epoch (garbling *everything* restores
+//!   from scratch), still bit-identical, with the damage reported in the
+//!   [`DurableReport::degraded`] trail; only a caller mistake (missing
+//!   directory, wrong geometry) is a typed [`RunError::Durable`];
+//! * **service restart** — a durable job resubmitted under its name to a
+//!   fresh [`JobService`] sharing the same `durable_root` resumes from
+//!   the dead server's newest durable epoch instead of starting over.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use gpaw_fd::config::Approach;
+use gpaw_fd::durable::DurableStore;
+use gpaw_hybrid_rt::{
+    run_digest, run_native, strategy_for, supervise_durable, AdmissionError, DurabilityConfig,
+    NativeJob, Priority, RetryPolicy, RunError, ServiceConfig,
+};
+use gpaw_hybrid_rt::{DurableRun, JobService};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const ALL_FIVE: [Approach; 5] = [
+    Approach::FlatOriginal,
+    Approach::FlatOptimized,
+    Approach::HybridMultiple,
+    Approach::HybridMasterOnly,
+    Approach::FlatStatic,
+];
+
+fn base_job(threads: usize, sweeps: usize) -> NativeJob {
+    NativeJob::new([10, 8, 6], 4, 2)
+        .with_threads(threads)
+        .with_sweeps(sweeps)
+        .with_recv_timeout_ms(1000)
+}
+
+fn policy() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 3,
+        base_backoff: Duration::from_millis(1),
+    }
+}
+
+/// A fresh scratch directory per call, removed by the next test run of
+/// the same tag (leaking one tempdir per tag on abort is acceptable).
+fn tmpdir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "gpwd_it_{tag}_{}_{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run_durable(job: &NativeJob, approach: Approach, cfg: &DurabilityConfig) -> DurableRun<f64> {
+    let strategy = strategy_for::<f64>(approach);
+    supervise_durable::<f64>(job, strategy.as_ref(), &policy(), cfg).expect("durable run completes")
+}
+
+/// Assert `dr` is indistinguishable from the uninterrupted `clean` run:
+/// same digest, same logical traffic.
+fn assert_bit_identical(what: &str, dr: &DurableRun<f64>, clean: &gpaw_hybrid_rt::NativeRun<f64>) {
+    assert_eq!(
+        run_digest(&dr.run.sets),
+        run_digest(&clean.sets),
+        "{what}: digest diverged from the uninterrupted run"
+    );
+    assert_eq!(
+        dr.run.report.messages, clean.report.messages,
+        "{what}: logical message count diverged"
+    );
+    assert_eq!(
+        dr.run.report.total_network_bytes, clean.report.total_network_bytes,
+        "{what}: logical network bytes diverged"
+    );
+}
+
+// ---------------------------------------------------------------------
+// The prefix property: killed after e sweeps, restored, bit-identical.
+// ---------------------------------------------------------------------
+
+#[test]
+fn kill_and_restore_is_bit_identical_for_every_strategy() {
+    let sweeps = 4;
+    for approach in ALL_FIVE {
+        let strategy = strategy_for::<f64>(approach);
+        for threads in [2, 4] {
+            let job = base_job(threads, sweeps);
+            let clean = run_native::<f64>(&job, strategy.as_ref()).expect("clean run");
+            for kill_after in [1, 2, 3] {
+                let dir = tmpdir("prefix");
+                // The "kill": a durable run of only `kill_after` sweeps
+                // leaves exactly a SIGKILLed run's newest durable state.
+                let killed = run_durable(
+                    &base_job(threads, kill_after),
+                    approach,
+                    &DurabilityConfig::new(&dir),
+                );
+                assert!(
+                    killed.durable.epochs_spilled >= 1,
+                    "the victim spilled nothing"
+                );
+                // The restart: same job, full sweep count, --restore.
+                let restored = run_durable(
+                    &job,
+                    approach,
+                    &DurabilityConfig::new(&dir).with_restore(true),
+                );
+                assert_eq!(
+                    restored.durable.resumed_from,
+                    kill_after,
+                    "{} {threads}t: restore must resume at the victim's last epoch",
+                    strategy.name()
+                );
+                assert_bit_identical(
+                    &format!("{} {threads}t kill@{kill_after}", strategy.name()),
+                    &restored,
+                    &clean,
+                );
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+        }
+    }
+}
+
+#[test]
+fn restore_of_a_completed_run_rebuilds_the_report_without_rerunning() {
+    let job = base_job(2, 3);
+    let clean = run_native::<f64>(&job, strategy_for::<f64>(Approach::HybridMultiple).as_ref())
+        .expect("clean run");
+    let dir = tmpdir("complete");
+    let first = run_durable(&job, Approach::HybridMultiple, &DurabilityConfig::new(&dir));
+    assert_eq!(first.durable.resumed_from, 0);
+    let again = run_durable(
+        &job,
+        Approach::HybridMultiple,
+        &DurabilityConfig::new(&dir).with_restore(true),
+    );
+    assert_eq!(
+        again.durable.resumed_from, job.sweeps,
+        "a finished job restores at its final epoch and has nothing to re-run"
+    );
+    assert_bit_identical("restore-after-complete", &again, &clean);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Corruption: degrade to the previous durable epoch, never fail.
+// ---------------------------------------------------------------------
+
+fn newest_epoch_file(dir: &Path) -> PathBuf {
+    let store = DurableStore::open(dir).expect("open store");
+    let epochs = store.epochs_on_disk().expect("list epochs");
+    store.epoch_path(*epochs.last().expect("at least one epoch on disk"))
+}
+
+#[test]
+fn corrupt_newest_epoch_degrades_to_previous_and_stays_bit_identical() {
+    let job = base_job(2, 4);
+    let clean = run_native::<f64>(&job, strategy_for::<f64>(Approach::HybridMultiple).as_ref())
+        .expect("clean run");
+    let dir = tmpdir("flip");
+    run_durable(&job, Approach::HybridMultiple, &DurabilityConfig::new(&dir));
+    let path = newest_epoch_file(&dir);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let restored = run_durable(
+        &job,
+        Approach::HybridMultiple,
+        &DurabilityConfig::new(&dir).with_restore(true),
+    );
+    assert!(
+        restored.durable.resumed_from < job.sweeps,
+        "the corrupt newest epoch must not be the resume point"
+    );
+    assert!(
+        restored.durable.resumed_from > 0,
+        "the retained previous epoch should have been valid"
+    );
+    assert!(
+        !restored.durable.degraded.is_empty(),
+        "silent degradation: the corruption left no trail"
+    );
+    assert_bit_identical("bit-flip degradation", &restored, &clean);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fully_garbled_directory_restores_from_scratch_and_stays_bit_identical() {
+    let job = base_job(2, 3);
+    let clean = run_native::<f64>(&job, strategy_for::<f64>(Approach::FlatOptimized).as_ref())
+        .expect("clean run");
+    let dir = tmpdir("garble");
+    run_durable(&job, Approach::FlatOptimized, &DurabilityConfig::new(&dir));
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        std::fs::write(entry.unwrap().path(), b"zeros all the way down").unwrap();
+    }
+    let restored = run_durable(
+        &job,
+        Approach::FlatOptimized,
+        &DurabilityConfig::new(&dir).with_restore(true),
+    );
+    assert_eq!(
+        restored.durable.resumed_from, 0,
+        "nothing on disk is valid, so the run must start over"
+    );
+    assert!(!restored.durable.degraded.is_empty());
+    assert_bit_identical("all-garbled degradation", &restored, &clean);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Caller mistakes are typed errors, not panics.
+// ---------------------------------------------------------------------
+
+#[test]
+fn restoring_a_missing_directory_is_a_typed_error() {
+    let job = base_job(2, 2);
+    let dir = tmpdir("missing"); // never created
+    let strategy = strategy_for::<f64>(Approach::HybridMultiple);
+    let err = supervise_durable::<f64>(
+        &job,
+        strategy.as_ref(),
+        &policy(),
+        &DurabilityConfig::new(&dir).with_restore(true),
+    )
+    .err()
+    .expect("restoring from nowhere must fail");
+    assert!(
+        matches!(err, RunError::Durable(_)),
+        "expected RunError::Durable, got: {err}"
+    );
+}
+
+#[test]
+fn restoring_into_a_different_geometry_is_a_typed_error() {
+    let dir = tmpdir("geometry");
+    run_durable(
+        &base_job(2, 3),
+        Approach::HybridMultiple,
+        &DurabilityConfig::new(&dir),
+    );
+    // Same directory, different approach: the checkpoint's key set
+    // (one slot per thread) cannot satisfy the master-only geometry.
+    let strategy = strategy_for::<f64>(Approach::HybridMasterOnly);
+    let err = supervise_durable::<f64>(
+        &base_job(2, 3),
+        strategy.as_ref(),
+        &policy(),
+        &DurabilityConfig::new(&dir).with_restore(true),
+    )
+    .err()
+    .expect("a mismatched geometry must be rejected");
+    assert!(
+        matches!(err, RunError::Durable(_)),
+        "expected RunError::Durable, got: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Service restart: durable jobs survive the server.
+// ---------------------------------------------------------------------
+
+#[test]
+fn durable_job_resumes_across_a_service_restart() {
+    let root = tmpdir("service");
+    let config = ServiceConfig {
+        workers: 1,
+        durable_root: Some(root.clone()),
+        ..ServiceConfig::default()
+    };
+    let full = base_job(2, 6);
+    let clean = run_native::<f64>(
+        &full,
+        strategy_for::<f64>(Approach::HybridMultiple).as_ref(),
+    )
+    .expect("clean run");
+
+    // Server 1 runs the job's first 3 sweeps durably, then "dies" (join
+    // is a graceful stand-in: what matters is that only the disk
+    // survives into server 2).
+    let first: JobService<f64> = JobService::start(config.clone());
+    let h = first
+        .submit_durable(
+            "tenant-a",
+            Priority::Normal,
+            Approach::HybridMultiple,
+            base_job(2, 3),
+            "job-1",
+        )
+        .expect("durable submission admitted");
+    let outcome = h.wait();
+    let r = outcome.result.expect("first half completes");
+    assert_eq!(r.resumed_from_epoch, 0);
+    first.join();
+
+    // Server 2, same root: resubmitting the full job under the same name
+    // must resume at epoch 3, not recompute it, and finish bit-identical
+    // to the uninterrupted run.
+    let second: JobService<f64> = JobService::start(ServiceConfig {
+        keep_grids: true,
+        ..config
+    });
+    let h = second
+        .submit_durable(
+            "tenant-a",
+            Priority::Normal,
+            Approach::HybridMultiple,
+            full,
+            "job-1",
+        )
+        .expect("resubmission admitted");
+    let outcome = h.wait();
+    let r = outcome.result.expect("resumed job completes");
+    assert_eq!(
+        r.resumed_from_epoch, 3,
+        "the restarted service must resume at the dead server's last durable epoch"
+    );
+    assert_eq!(r.digest, run_digest(&clean.sets));
+    assert_eq!(r.messages, clean.report.messages);
+    assert_eq!(r.network_bytes, clean.report.total_network_bytes);
+    let sets = r.sets.expect("keep_grids retains the result");
+    assert_eq!(run_digest(&sets), run_digest(&clean.sets));
+    second.join();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn durable_submission_is_guarded_at_admission() {
+    // No durable_root configured: durable submissions bounce, typed.
+    let service: JobService<f64> = JobService::start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let err = service
+        .submit_durable(
+            "t",
+            Priority::Normal,
+            Approach::HybridMultiple,
+            base_job(2, 2),
+            "job",
+        )
+        .expect_err("no durable_root must be rejected");
+    assert!(matches!(err, AdmissionError::DurabilityUnavailable));
+    service.join();
+
+    // A name that could escape the root is rejected before any IO.
+    let root = tmpdir("badname");
+    let service: JobService<f64> = JobService::start(ServiceConfig {
+        workers: 1,
+        durable_root: Some(root.clone()),
+        ..ServiceConfig::default()
+    });
+    for bad in ["", ".", "..", "a/b", "a\\b"] {
+        let err = service
+            .submit_durable(
+                "t",
+                Priority::Normal,
+                Approach::HybridMultiple,
+                base_job(2, 2),
+                bad,
+            )
+            .expect_err("escaping names must be rejected");
+        assert!(
+            matches!(err, AdmissionError::InvalidDurableName(_)),
+            "name {bad:?} was admitted"
+        );
+    }
+    service.join();
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -2,10 +2,11 @@
 # Regenerate EVERY committed baseline from the current tree, in one
 # invocation:
 #
-#   results/baseline.json                the simulated headline suite
-#   results/baseline_chaos_soak.json     chaos_soak    --seeds 10 --threads 2,4
-#   results/baseline_recovery_soak.json  recovery_soak --seeds 6  --threads 2,4
-#   results/baseline_service_soak.json   service_soak  --jobs 1000 --workers 2,4
+#   results/baseline.json                  the simulated headline suite
+#   results/baseline_chaos_soak.json       chaos_soak      --seeds 10 --threads 2,4
+#   results/baseline_recovery_soak.json    recovery_soak   --seeds 6  --threads 2,4
+#   results/baseline_service_soak.json     service_soak    --jobs 1000 --workers 2,4
+#   results/baseline_durability_soak.json  durability_soak --seeds 10 --threads 2,4
 #
 # Each soak runs with the exact arguments CI uses, so the logical
 # counters the gate pins exactly (messages, bytes, cache compiles, job
@@ -46,8 +47,20 @@ fail() {
 
 cargo build --release --offline -p gpaw-bench \
     --bin perf_gate --bin chaos_soak --bin recovery_soak --bin service_soak \
+    --bin durability_soak \
     || fail "cargo build failed; no baseline was touched"
 mkdir -p results
+
+# A soak that crashes mid-emit (or a disk that fills) can leave a torn
+# BENCH_*.json; committing that as a baseline would brick the gate for
+# every later PR. So every report must parse before it overwrites a
+# committed baseline — perf_gate compared against itself is a pure
+# parse-and-self-compare, exiting >= 2 exactly when the file is not
+# valid JSON.
+validate_json() {
+    ./target/release/perf_gate --report "$1" --baseline "$1" >/dev/null \
+        || fail "$1 did not parse as valid JSON; baselines NOT updated"
+}
 
 # 1. Headline suite. --out writes the fresh report before the (old)
 #    baseline comparison runs, so a mismatch exit of 1 is expected here;
@@ -57,15 +70,18 @@ status=0
 if [ "$status" -ge 2 ]; then
     fail "perf_gate exited $status regenerating the headline baseline"
 fi
+validate_json results/baseline.json
 
 # 2. Chaos soak: seeded fault sweep, bit-exact per seed.
 ./target/release/chaos_soak --seeds 10 --threads 2,4 \
     || fail "chaos_soak failed; baseline_chaos_soak.json NOT updated"
+validate_json BENCH_chaos_soak.json
 cp BENCH_chaos_soak.json results/baseline_chaos_soak.json
 
 # 3. Recovery soak: lethal faults supervised to completion.
 ./target/release/recovery_soak --seeds 6 --threads 2,4 \
     || fail "recovery_soak failed; baseline_recovery_soak.json NOT updated"
+validate_json BENCH_recovery_soak.json
 cp BENCH_recovery_soak.json results/baseline_recovery_soak.json
 
 # 4. Service soak: 1000 mixed-size jobs across five tenants through the
@@ -73,8 +89,17 @@ cp BENCH_recovery_soak.json results/baseline_recovery_soak.json
 #    trusted as a baseline.
 ./target/release/service_soak --jobs 1000 --workers 2,4 \
     || fail "service_soak failed; baseline_service_soak.json NOT updated"
+validate_json BENCH_service_soak.json
 cp BENCH_service_soak.json results/baseline_service_soak.json
 
+# 5. Durability soak: SIGKILL-and-restore across all five strategies,
+#    every restored run held bit-identical with exact logical traffic
+#    before the report is trusted as a baseline.
+./target/release/durability_soak --seeds 10 --threads 2,4 \
+    || fail "durability_soak failed; baseline_durability_soak.json NOT updated"
+validate_json BENCH_durability_soak.json
+cp BENCH_durability_soak.json results/baseline_durability_soak.json
+
 echo
-echo "all four baselines updated; review the diff and commit it:"
+echo "all five baselines updated; review the diff and commit it:"
 git --no-pager diff --stat -- results/
