@@ -9,21 +9,52 @@
 //! terminate within the watchdog budget with a diagnostic naming the
 //! blocked rank and awaited `(src, tag)` — never hang.
 //!
-//! Exits non-zero on the first divergence, so CI can run it as a gate.
+//! With `--corrupt`, a seeded-corruption arm joins the sweep: each seed
+//! flips one bit of one in-flight payload (`CorruptPayload`), the
+//! unsupervised run must fail with the *typed* [`RunError::Integrity`]
+//! (exit 4 when corruption surfaces any other way), and the same job under
+//! the supervisor must complete bitwise with exact logical traffic.
 //!
-//! Usage: `chaos_soak [--seeds N] [--threads 2,4] [--quick]`
+//! Exits non-zero on the first divergence, so CI can run it as a gate.
+//! Exit codes: 1 divergence/unrecovered, 2 usage, 4 corruption that did
+//! not surface as a typed integrity error.
+//!
+//! Usage: `chaos_soak [--seeds N] [--threads 2,4] [--quick] [--corrupt]`
 
 use gpaw_bench::{emit_report, Table};
 use gpaw_fd::exec::{max_error_vs_reference, sequential_reference};
+use gpaw_fd::plan::RankPlan;
 use gpaw_fd::ExperimentReport;
 use gpaw_grid::stencil::StencilCoeffs;
-use gpaw_hybrid_rt::{all_strategies, run_native, FaultPlan, NativeJob, RunError};
-use std::time::Instant;
+use gpaw_hybrid_rt::{
+    all_strategies, run_native, supervise, FaultPlan, NativeJob, NativeRun, RetryPolicy, RunError,
+    Strategy,
+};
+use std::time::{Duration, Instant};
+
+/// Rank 0's first neighbor under this strategy's geometry — flat
+/// strategies run virtual ranks, where rank 1 need not be adjacent to
+/// rank 0, so the injector must target a real plan edge.
+fn neighbor_of_rank0(
+    job: &NativeJob,
+    strategy: &dyn Strategy<f64>,
+    clean: &NativeRun<f64>,
+) -> usize {
+    let cfg = job.config(strategy.approach());
+    let plan = RankPlan::for_rank(&clean.map, job.grid_ext, 0, 8, &cfg);
+    plan.neighbors
+        .iter()
+        .flatten()
+        .copied()
+        .next()
+        .expect("rank 0 always has a neighbor on a 2-node partition")
+}
 
 fn main() {
     let mut seeds = 20u64;
     let mut thread_counts: Vec<usize> = vec![2, 4];
     let mut quick = false;
+    let mut corrupt = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -43,9 +74,13 @@ fn main() {
                 quick = true;
                 i += 1;
             }
+            "--corrupt" => {
+                corrupt = true;
+                i += 1;
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: chaos_soak [--seeds N] [--threads 2,4] [--quick]");
+                eprintln!("usage: chaos_soak [--seeds N] [--threads 2,4] [--quick] [--corrupt]");
                 std::process::exit(2);
             }
         }
@@ -77,6 +112,12 @@ fn main() {
     let mut json = ExperimentReport::new("chaos_soak");
     let mut table = Table::new(vec!["approach", "threads", "runs", "messages", "soak time"]);
     let mut total_runs = 0u64;
+    let mut corrupt_runs_total = 0u64;
+    let mut corruptions_detected_total = 0u64;
+    let policy = RetryPolicy {
+        max_attempts: 4,
+        base_backoff: Duration::from_millis(2),
+    };
     for &threads in &thread_counts {
         for s in all_strategies::<f64>() {
             let job = base.with_threads(threads);
@@ -113,6 +154,66 @@ fn main() {
                     std::process::exit(1);
                 }
                 total_runs += 1;
+            }
+            // The corruption arm: a flipped payload bit must fail *typed*
+            // unsupervised, and supervise to bitwise parity.
+            if corrupt {
+                let dst = neighbor_of_rank0(&job, s.as_ref(), &clean);
+                let timeout_job = job.with_recv_timeout_ms(300);
+                for seed in 0..seeds {
+                    let plan = FaultPlan::quiet(seed).with_corrupt_payload(0, dst, 1 + seed % 2);
+                    match run_native::<f64>(&timeout_job.with_fault(plan), s.as_ref()) {
+                        Ok(_) => {
+                            eprintln!(
+                                "{} seed {seed}: corrupted run completed — the flip was lost",
+                                s.name()
+                            );
+                            std::process::exit(4);
+                        }
+                        Err(RunError::Integrity { .. }) => {}
+                        Err(e) => {
+                            eprintln!(
+                                "{} seed {seed}: corruption surfaced untyped \
+                                 (expected RunError::Integrity): {e}",
+                                s.name()
+                            );
+                            std::process::exit(4);
+                        }
+                    }
+                    let plan = FaultPlan::quiet(seed).with_corrupt_payload(0, dst, 1 + seed % 2);
+                    let sup = supervise::<f64>(&timeout_job.with_fault(plan), s.as_ref(), &policy)
+                        .unwrap_or_else(|e| {
+                            eprintln!("{} seed {seed}: corrupt recovery failed: {e}", s.name());
+                            std::process::exit(1);
+                        });
+                    let err = max_error_vs_reference(
+                        &sup.run.sets,
+                        &sup.run.map,
+                        job.grid_ext,
+                        &reference,
+                    );
+                    if err != 0.0
+                        || sup.run.report.messages != clean.report.messages
+                        || sup.run.report.total_network_bytes != clean.report.total_network_bytes
+                    {
+                        eprintln!(
+                            "{} seed {seed} ({threads} threads): corrupt recovery diverged \
+                             (max err {err:e})",
+                            s.name()
+                        );
+                        std::process::exit(1);
+                    }
+                    if sup.recovery.corruptions_detected < 1 {
+                        eprintln!(
+                            "{} seed {seed}: no detection counted — the soak is not soaking",
+                            s.name()
+                        );
+                        std::process::exit(1);
+                    }
+                    corruptions_detected_total += sup.recovery.corruptions_detected;
+                    corrupt_runs_total += 1;
+                    total_runs += 1;
+                }
             }
             table.row(vec![
                 s.name().to_string(),
@@ -165,8 +266,19 @@ fn main() {
     }
 
     println!("All {total_runs} chaos runs held bitwise parity and exact traffic counts.");
+    if corrupt {
+        println!(
+            "Corruption arm: {corrupt_runs_total} corrupt runs all failed typed and \
+             recovered bitwise ({corruptions_detected_total} detections counted)."
+        );
+    }
     json.scalar("seeds", seeds as f64);
     json.scalar("runs_total", total_runs as f64);
     json.scalar("watchdog_ms", watchdog_ms as f64);
+    json.scalar("corrupt_runs_total", corrupt_runs_total as f64);
+    json.scalar(
+        "corruptions_detected_total",
+        corruptions_detected_total as f64,
+    );
     emit_report(&json);
 }

@@ -1,0 +1,297 @@
+//! Integrity soak: the end-to-end corruption plane as a CI gate.
+//!
+//! Sweeps seeded payload corruption (one deterministic bit flip on one
+//! in-flight message, layered over benign chaos) across **all five**
+//! strategies and a set of thread counts, running every corrupted job
+//! under the supervisor. Every run must complete **bitwise identical**
+//! to the fault-free run with **exact logical traffic**, counting each
+//! detection separately from the logical counters. Each group also runs:
+//!
+//! * one **unsupervised probe** — a corrupted payload must fail with the
+//!   typed [`RunError::Integrity`], never a generic stall (exit 4 when
+//!   corruption surfaces any other way);
+//! * one **snapshot-poison scan** — a checkpoint snapshot is poisoned
+//!   after deposit and a send panic is scanned upward until a rollback
+//!   reaches it; the digest must convict the poisoned snapshot
+//!   (`snapshot_digest_failures >= 1`) and the degraded resume must
+//!   still complete bitwise.
+//!
+//! Exits non-zero on the first divergence, so CI can run it as a gate.
+//! Exit codes: 1 divergence/unrecovered/unconvicted, 2 usage, 4
+//! corruption that did not surface as a typed integrity error.
+//!
+//! The emitted scalars are prefixed `integrity_` so the perf gate can pin
+//! the deterministic ones (seeds, run and detection totals, conviction
+//! counts) exactly; see `perf_gate::tolerance_for`.
+//!
+//! Usage: `integrity_soak [--seeds N] [--threads 2,4] [--quick]`
+
+use gpaw_bench::{emit_report, Table};
+use gpaw_fd::config::Approach;
+use gpaw_fd::plan::RankPlan;
+use gpaw_fd::ExperimentReport;
+use gpaw_hybrid_rt::{
+    run_digest, run_native, strategy_for, supervise, FaultPlan, NativeJob, NativeRun, RetryPolicy,
+    RunError, Strategy,
+};
+use std::time::{Duration, Instant};
+
+const ALL_FIVE: [Approach; 5] = [
+    Approach::FlatOriginal,
+    Approach::FlatOptimized,
+    Approach::HybridMultiple,
+    Approach::HybridMasterOnly,
+    Approach::FlatStatic,
+];
+
+/// Rank 0's first neighbor under this strategy's geometry — flat
+/// strategies run virtual ranks, where rank 1 need not be adjacent to
+/// rank 0, so the injector must target a real plan edge.
+fn neighbor_of_rank0(
+    job: &NativeJob,
+    strategy: &dyn Strategy<f64>,
+    clean: &NativeRun<f64>,
+) -> usize {
+    let cfg = job.config(strategy.approach());
+    let plan = RankPlan::for_rank(&clean.map, job.grid_ext, 0, 8, &cfg);
+    plan.neighbors
+        .iter()
+        .flatten()
+        .copied()
+        .next()
+        .expect("rank 0 always has a neighbor on a 2-node partition")
+}
+
+/// Bitwise + exact-traffic acceptance: the recovered run must be
+/// indistinguishable from the fault-free one.
+fn check_parity(
+    what: &str,
+    name: &str,
+    threads: usize,
+    clean: &NativeRun<f64>,
+    run: &NativeRun<f64>,
+) {
+    if run_digest(&run.sets) != run_digest(&clean.sets) {
+        eprintln!("{name} ({what}, {threads} threads): recovered bits diverged from the clean run");
+        std::process::exit(1);
+    }
+    if run.report.messages != clean.report.messages
+        || run.report.total_network_bytes != clean.report.total_network_bytes
+    {
+        eprintln!(
+            "{name} ({what}, {threads} threads): logical traffic drifted \
+             ({} vs {} messages)",
+            run.report.messages, clean.report.messages
+        );
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let mut seeds = 6u64;
+    let mut thread_counts: Vec<usize> = vec![2, 4];
+    let mut quick = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seeds" if i + 1 < args.len() => {
+                seeds = args[i + 1].parse().expect("--seeds takes a number");
+                i += 2;
+            }
+            "--threads" if i + 1 < args.len() => {
+                thread_counts = args[i + 1]
+                    .split(',')
+                    .map(|t| t.parse().expect("--threads takes e.g. 2,4"))
+                    .collect();
+                i += 2;
+            }
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: integrity_soak [--seeds N] [--threads 2,4] [--quick]");
+                std::process::exit(2);
+            }
+        }
+    }
+    assert!(seeds >= 1, "--seeds must be at least 1");
+
+    let recv_timeout_ms = 300;
+    let base = if quick {
+        NativeJob::new([10, 8, 6], 4, 2)
+    } else {
+        NativeJob::new([12, 10, 8], 4, 2)
+    }
+    .with_sweeps(2)
+    .with_recv_timeout_ms(recv_timeout_ms);
+    let policy = RetryPolicy {
+        max_attempts: 4,
+        base_backoff: Duration::from_millis(2),
+    };
+
+    println!(
+        "Integrity soak: {} grids of {:?}, {} sweeps, 2 nodes, {} seeds x {:?} threads, \
+         all five strategies, payload flips + snapshot poison, watchdog {recv_timeout_ms}ms\n",
+        base.n_grids, base.grid_ext, base.sweeps, seeds, thread_counts
+    );
+
+    let mut json = ExperimentReport::new("integrity_soak");
+    let mut table = Table::new(vec![
+        "approach",
+        "threads",
+        "runs",
+        "detections",
+        "soak time",
+    ]);
+    let mut runs_total = 0u64;
+    let mut corruptions_total = 0u64;
+    let mut digest_failures_total = 0u64;
+    let mut snapshot_cases = 0u64;
+    let mut attempts_total = 0u64;
+    let mut retrans_total = 0u64;
+    for &threads in &thread_counts {
+        for approach in ALL_FIVE {
+            let s = strategy_for::<f64>(approach);
+            let job = base.with_threads(threads);
+            let clean = run_native::<f64>(&job, s.as_ref()).unwrap_or_else(|e| {
+                eprintln!("{} clean run failed: {e}", s.name());
+                std::process::exit(2);
+            });
+            let dst = neighbor_of_rank0(&job, s.as_ref(), &clean);
+            let started = Instant::now();
+
+            // The unsupervised probe: corruption must be a *typed* error.
+            let probe = job.with_fault(FaultPlan::quiet(11).with_corrupt_payload(0, dst, 1));
+            match run_native::<f64>(&probe, s.as_ref()) {
+                Ok(_) => {
+                    eprintln!("{}: corrupted run completed — the flip was lost", s.name());
+                    std::process::exit(4);
+                }
+                Err(RunError::Integrity { .. }) => {}
+                Err(e) => {
+                    eprintln!(
+                        "{}: corruption surfaced untyped (expected RunError::Integrity): {e}",
+                        s.name()
+                    );
+                    std::process::exit(4);
+                }
+            }
+
+            // The payload sweep: supervised corrupt runs, bitwise bar.
+            let mut group_detections = 0u64;
+            let mut last_report = clean.report.clone();
+            for seed in 0..seeds {
+                let plan = FaultPlan::benign(seed).with_corrupt_payload(0, dst, 1 + seed % 2);
+                let sup = supervise::<f64>(&job.with_fault(plan), s.as_ref(), &policy)
+                    .unwrap_or_else(|e| {
+                        eprintln!("{} seed {seed}: corrupt recovery failed: {e}", s.name());
+                        std::process::exit(1);
+                    });
+                check_parity("payload flip", s.name(), threads, &clean, &sup.run);
+                if sup.recovery.corruptions_detected < 1 {
+                    eprintln!(
+                        "{} seed {seed}: no detection counted — the soak is not soaking",
+                        s.name()
+                    );
+                    std::process::exit(1);
+                }
+                group_detections += sup.recovery.corruptions_detected;
+                attempts_total += u64::from(sup.recovery.attempts);
+                retrans_total += sup.recovery.messages_retransmitted;
+                last_report = sup.run.report.clone();
+                runs_total += 1;
+            }
+            corruptions_total += group_detections;
+
+            // The snapshot-poison scan: the panic ordinal climbs until a
+            // rollback reaches the poisoned epoch-1 snapshot; the digest
+            // must convict it and the degraded resume must stay bitwise.
+            let snap_base = base.with_threads(threads).with_sweeps(3);
+            let snap_clean = run_native::<f64>(&snap_base, s.as_ref()).unwrap_or_else(|e| {
+                eprintln!("{} snapshot clean run failed: {e}", s.name());
+                std::process::exit(2);
+            });
+            let mut convicted = false;
+            for after_sends in [4u64, 6, 8, 12, 16, 24, 32, 48] {
+                let plan = FaultPlan::quiet(9)
+                    .with_panic_on_send(0, after_sends)
+                    .with_corrupt_snapshot(0, 0, 1);
+                let sup = supervise::<f64>(&snap_base.with_fault(plan), s.as_ref(), &policy)
+                    .unwrap_or_else(|e| {
+                        eprintln!(
+                            "{} after_sends {after_sends}: poisoned-snapshot recovery failed: {e}",
+                            s.name()
+                        );
+                        std::process::exit(1);
+                    });
+                if sup.recovery.attempts == 1 {
+                    // The ordinal exceeded the run's sends: the panic never
+                    // fired and the poison was never on a rollback path.
+                    break;
+                }
+                check_parity("snapshot poison", s.name(), threads, &snap_clean, &sup.run);
+                if sup.recovery.snapshot_digest_failures >= 1 {
+                    digest_failures_total += sup.recovery.snapshot_digest_failures;
+                    convicted = true;
+                    break;
+                }
+            }
+            if !convicted {
+                eprintln!(
+                    "{} ({threads} threads): no panic ordinal convicted the poisoned \
+                     snapshot — the digest check never fired",
+                    s.name()
+                );
+                std::process::exit(1);
+            }
+            snapshot_cases += 1;
+
+            table.row(vec![
+                s.name().to_string(),
+                threads.to_string(),
+                seeds.to_string(),
+                group_detections.to_string(),
+                format!("{:.2}s", started.elapsed().as_secs_f64()),
+            ]);
+            // The point carries a *recovered* run's report: its logical
+            // traffic is asserted identical to the clean run's above, so
+            // the gate's exact message/byte checks watch the integrity
+            // invariant itself.
+            json.push(
+                format!("integrity/{threads}/{}", s.name()),
+                s.name(),
+                last_report.threads,
+                base.batch,
+                last_report,
+            );
+        }
+    }
+    table.print();
+
+    println!(
+        "\nAll {runs_total} corrupted runs recovered to bitwise parity with exact logical \
+         traffic ({corruptions_total} detections counted separately); {snapshot_cases} \
+         poisoned snapshots convicted by digest ({digest_failures_total} digest failures)."
+    );
+    json.scalar("integrity_seeds", seeds as f64);
+    json.scalar("integrity_runs_total", runs_total as f64);
+    json.scalar(
+        "integrity_corruptions_detected_total",
+        corruptions_total as f64,
+    );
+    json.scalar("integrity_snapshot_cases", snapshot_cases as f64);
+    json.scalar(
+        "integrity_snapshot_digest_failures_total",
+        digest_failures_total as f64,
+    );
+    json.scalar("integrity_attempts_total", attempts_total as f64);
+    json.scalar(
+        "integrity_messages_retransmitted_total",
+        retrans_total as f64,
+    );
+    json.scalar("integrity_recv_timeout_ms", recv_timeout_ms as f64);
+    emit_report(&json);
+}

@@ -9,10 +9,16 @@
 //! retransmitted messages) is accumulated and emitted as report scalars
 //! so the perf gate can watch it drift.
 //!
-//! Exits non-zero on the first unrecovered failure or divergence, so CI
-//! can run it as a gate.
+//! With `--corrupt`, a third injector joins the sweep: a seeded bit flip
+//! on one in-flight payload (`CorruptPayload`). Fresh corrupt runs must
+//! count at least one detection (exit 4 when the flip is silently lost)
+//! and recover to the same bitwise/exact-traffic bar as the lethal arms.
 //!
-//! Usage: `recovery_soak [--seeds N] [--threads 2,4] [--quick]
+//! Exits non-zero on the first unrecovered failure or divergence, so CI
+//! can run it as a gate. Exit codes: 1 divergence/unrecovered, 2 usage,
+//! 3 durable checkpoint error, 4 corruption that was never detected.
+//!
+//! Usage: `recovery_soak [--seeds N] [--threads 2,4] [--quick] [--corrupt]
 //!                       [--checkpoint-dir <dir>] [--spill-every N] [--restore]`
 //!
 //! `--checkpoint-dir` layers the durability plane under the fault plane:
@@ -57,6 +63,7 @@ fn main() {
     let mut seeds = 6u64;
     let mut thread_counts: Vec<usize> = vec![2, 4];
     let mut quick = false;
+    let mut corrupt = false;
     let mut checkpoint_dir: Option<PathBuf> = None;
     let mut spill_every = 1usize;
     let mut restore = false;
@@ -79,6 +86,10 @@ fn main() {
                 quick = true;
                 i += 1;
             }
+            "--corrupt" => {
+                corrupt = true;
+                i += 1;
+            }
             "--checkpoint-dir" if i + 1 < args.len() => {
                 checkpoint_dir = Some(PathBuf::from(&args[i + 1]));
                 i += 2;
@@ -94,7 +105,7 @@ fn main() {
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: recovery_soak [--seeds N] [--threads 2,4] [--quick] \
+                    "usage: recovery_soak [--seeds N] [--threads 2,4] [--quick] [--corrupt] \
                      [--checkpoint-dir <dir>] [--spill-every N] [--restore]"
                 );
                 std::process::exit(2);
@@ -149,6 +160,8 @@ fn main() {
     let mut attempts_total = 0u64;
     let mut retrans_total = 0u64;
     let mut epochs_replayed_total = 0u64;
+    let mut corruptions_detected_total = 0u64;
+    let injector_count: u64 = if corrupt { 3 } else { 2 };
     for &threads in &thread_counts {
         for s in all_strategies::<f64>() {
             let job = base.with_threads(threads);
@@ -162,7 +175,7 @@ fn main() {
             let mut group_retrans = 0u64;
             let mut last_report = clean.report.clone();
             for seed in 0..seeds {
-                let injectors = [
+                let mut injectors = vec![
                     (
                         "panic",
                         FaultPlan::benign(seed).with_panic_on_send(0, seed % 3),
@@ -172,6 +185,12 @@ fn main() {
                         FaultPlan::benign(seed).with_black_hole(0, dst, 1 + seed % 2),
                     ),
                 ];
+                if corrupt {
+                    injectors.push((
+                        "corrupt",
+                        FaultPlan::benign(seed).with_corrupt_payload(0, dst, 1 + seed % 2),
+                    ));
+                }
                 for (what, plan) in injectors {
                     let faulted = job.with_fault(plan);
                     let mut resumed_from = 0usize;
@@ -262,6 +281,18 @@ fn main() {
                         );
                         std::process::exit(1);
                     }
+                    if what == "corrupt"
+                        && resumed_from == 0
+                        && sup.recovery.corruptions_detected < 1
+                    {
+                        eprintln!(
+                            "{} seed {seed} ({threads} threads): the flipped payload was \
+                             never detected as corruption",
+                            s.name()
+                        );
+                        std::process::exit(4);
+                    }
+                    corruptions_detected_total += sup.recovery.corruptions_detected;
                     group_attempts += u64::from(sup.recovery.attempts);
                     group_retrans += sup.recovery.messages_retransmitted;
                     epochs_replayed_total += sup.recovery.epochs_replayed as u64;
@@ -274,7 +305,7 @@ fn main() {
             table.row(vec![
                 s.name().to_string(),
                 threads.to_string(),
-                (seeds * 2).to_string(),
+                (seeds * injector_count).to_string(),
                 group_attempts.to_string(),
                 group_retrans.to_string(),
                 format!("{:.2}s", started.elapsed().as_secs_f64()),
@@ -304,6 +335,10 @@ fn main() {
     json.scalar("attempts_total", attempts_total as f64);
     json.scalar("messages_retransmitted_total", retrans_total as f64);
     json.scalar("epochs_replayed_total", epochs_replayed_total as f64);
+    json.scalar(
+        "corruptions_detected_total",
+        corruptions_detected_total as f64,
+    );
     json.scalar("recv_timeout_ms", recv_timeout_ms as f64);
     emit_report(&json);
 }

@@ -19,8 +19,19 @@
 //! snapshots below `e` can never be a rollback target and are dropped, so
 //! steady-state memory is one or two epochs per thread regardless of
 //! sweep count.
+//!
+//! **Integrity:** every snapshot carries a
+//! [`grids_digest`](crate::integrity::grids_digest) computed at deposit
+//! time, and every read path (`restore`, `epoch_records`,
+//! [`CheckpointStore::verified_consistent_epoch`]) re-derives and checks
+//! it. A snapshot whose bits changed between deposit and restore — a
+//! memory fault, or the seeded `CorruptSnapshot` injector — is detected,
+//! counted, and *purged*, so recovery degrades to an older verified epoch
+//! (possibly all the way to the synthetic fill) instead of silently
+//! replaying poisoned state.
 
 use crate::durable::SnapshotRecord;
+use crate::integrity::grids_digest;
 use gpaw_grid::grid3::Grid3;
 use gpaw_grid::scalar::Scalar;
 use std::collections::HashMap;
@@ -29,15 +40,27 @@ use std::sync::{Mutex, MutexGuard};
 /// The number of completed sweeps a snapshot reflects.
 pub type Epoch = usize;
 
+/// One deposited snapshot with the digest that convicts later bit rot.
+struct Snap<T> {
+    /// `grids_digest` of `grids` at deposit time.
+    digest: u64,
+    /// The thread's input grids, in its own local order.
+    grids: Vec<Grid3<T>>,
+}
+
 struct Inner<T> {
     /// Latest deposited epoch per registered `(rank, slot)` key; 0 until
     /// the key's first deposit (epoch 0 is the synthetic fill).
     latest: HashMap<(usize, usize), Epoch>,
     /// Snapshots by `(rank, slot, epoch)`: the thread's input grids, in
     /// its own local order, right after the epoch's buffer swap.
-    snaps: HashMap<(usize, usize, Epoch), Vec<Grid3<T>>>,
+    snaps: HashMap<(usize, usize, Epoch), Snap<T>>,
     /// The most snapshots ever held at once — the memory-bound witness.
     high_water: usize,
+    /// Digest verifications performed across all read paths.
+    digest_checks: u64,
+    /// Verifications that failed (each also purged the bad snapshot).
+    digest_failures: u64,
 }
 
 /// Shared store of per-thread epoch snapshots for one supervised run.
@@ -61,6 +84,8 @@ impl<T: Scalar> CheckpointStore<T> {
                 latest: keys.into_iter().map(|k| (k, 0)).collect(),
                 snaps: HashMap::new(),
                 high_water: 0,
+                digest_checks: 0,
+                digest_failures: 0,
             }),
         }
     }
@@ -75,8 +100,9 @@ impl<T: Scalar> CheckpointStore<T> {
     /// grids after the sweep's buffer swap, in the thread's local order).
     /// Prunes every snapshot below the new fleet-wide consistent epoch.
     pub fn deposit(&self, rank: usize, slot: usize, epoch: Epoch, grids: Vec<Grid3<T>>) {
+        let digest = grids_digest(&grids);
         let mut st = self.lock();
-        st.snaps.insert((rank, slot, epoch), grids);
+        st.snaps.insert((rank, slot, epoch), Snap { digest, grids });
         // Peak is measured before pruning: the transient counts too.
         st.high_water = st.high_water.max(st.snaps.len());
         let cur = st.latest.entry((rank, slot)).or_insert(0);
@@ -105,10 +131,94 @@ impl<T: Scalar> CheckpointStore<T> {
             .unwrap_or(0)
     }
 
-    /// Clone out `(rank, slot)`'s snapshot of `epoch`. `None` for epoch 0
-    /// (the synthetic fill — re-derive it) or for an unknown key/epoch.
+    /// Clone out `(rank, slot)`'s snapshot of `epoch`, verifying its
+    /// digest first. `None` for epoch 0 (the synthetic fill — re-derive
+    /// it), for an unknown key/epoch, or for a snapshot whose bits no
+    /// longer match its deposit-time digest (the poisoned snapshot is
+    /// purged and counted, so the caller falls back like any other miss).
     pub fn restore(&self, rank: usize, slot: usize, epoch: Epoch) -> Option<Vec<Grid3<T>>> {
-        self.lock().snaps.get(&(rank, slot, epoch)).cloned()
+        let mut st = self.lock();
+        let inner = &mut *st;
+        let snap = inner.snaps.get(&(rank, slot, epoch))?;
+        inner.digest_checks += 1;
+        if grids_digest(&snap.grids) != snap.digest {
+            inner.digest_failures += 1;
+            inner.snaps.remove(&(rank, slot, epoch));
+            return None;
+        }
+        Some(snap.grids.clone())
+    }
+
+    /// The newest epoch every registered key has deposited **and whose
+    /// snapshots all verify** — the rollback target recovery uses when
+    /// corruption is in play. Walks down from [`consistent_epoch`],
+    /// purging every poisoned snapshot it convicts; degrades to 0 (full
+    /// restart from the synthetic fill) when no stored epoch survives —
+    /// still bit-identical, just more replay.
+    ///
+    /// [`consistent_epoch`]: CheckpointStore::consistent_epoch
+    pub fn verified_consistent_epoch(&self) -> Epoch {
+        let mut st = self.lock();
+        let inner = &mut *st;
+        let keys: Vec<(usize, usize)> = inner.latest.keys().copied().collect();
+        let mut epoch = inner.latest.values().copied().min().unwrap_or(0);
+        while epoch > 0 {
+            let mut ok = true;
+            for &(rank, slot) in &keys {
+                let key = (rank, slot, epoch);
+                match inner.snaps.get(&key) {
+                    Some(snap) => {
+                        inner.digest_checks += 1;
+                        if grids_digest(&snap.grids) != snap.digest {
+                            inner.digest_failures += 1;
+                            inner.snaps.remove(&key);
+                            ok = false;
+                        }
+                    }
+                    // Pruned (or never deposited): older epochs cannot be
+                    // complete either, but keep walking — a lower epoch may
+                    // still hold every key if pruning has not caught up.
+                    None => ok = false,
+                }
+            }
+            if ok {
+                return epoch;
+            }
+            epoch -= 1;
+        }
+        0
+    }
+
+    /// Digest verifications performed across all read paths.
+    pub fn digest_checks(&self) -> u64 {
+        self.lock().digest_checks
+    }
+
+    /// Digest verifications that failed (each purged the bad snapshot).
+    pub fn digest_failures(&self) -> u64 {
+        self.lock().digest_failures
+    }
+
+    /// Flip one bit of `(rank, slot, epoch)`'s stored snapshot *without*
+    /// updating its digest — the seeded `CorruptSnapshot` injector's
+    /// deterministic model of a memory fault striking a checkpoint
+    /// buffer. Returns whether a stored data word existed to corrupt.
+    /// Fault-injection/test hook, same spirit as the durable store's
+    /// `epoch_path`; production code never calls it.
+    pub fn corrupt_snapshot(&self, rank: usize, slot: usize, epoch: Epoch) -> bool {
+        let mut st = self.lock();
+        let Some(snap) = st.snaps.get_mut(&(rank, slot, epoch)) else {
+            return false;
+        };
+        for g in snap.grids.iter_mut() {
+            if let Some(w) = g.data_mut().first_mut() {
+                let mut words = w.bit_pattern();
+                words[0] ^= 1;
+                *w = T::from_bit_pattern(words);
+                return true;
+            }
+        }
+        false
     }
 
     /// Discard every snapshot past `epoch` and clamp each key's progress
@@ -138,15 +248,28 @@ impl<T: Scalar> CheckpointStore<T> {
     /// Atomically clone out *every* registered key's snapshot of `epoch`,
     /// sorted by `(rank, slot)` — the unit a durable spill serializes.
     /// `None` if any key lacks that epoch (not yet consistent, or already
-    /// pruned), so a spill is always all-keys-or-nothing.
+    /// pruned) **or fails its digest check** (the poisoned snapshot is
+    /// purged), so a spill is always all-keys-or-nothing and never writes
+    /// silently-corrupted state to disk.
     pub fn epoch_records(&self, epoch: Epoch) -> Option<Vec<SnapshotRecord<T>>> {
-        let st = self.lock();
-        let mut keys: Vec<(usize, usize)> = st.latest.keys().copied().collect();
+        let mut st = self.lock();
+        let inner = &mut *st;
+        let mut keys: Vec<(usize, usize)> = inner.latest.keys().copied().collect();
         keys.sort_unstable();
         let mut records = Vec::with_capacity(keys.len());
         for (rank, slot) in keys {
-            let grids = st.snaps.get(&(rank, slot, epoch))?.clone();
-            records.push(SnapshotRecord { rank, slot, grids });
+            let snap = inner.snaps.get(&(rank, slot, epoch))?;
+            inner.digest_checks += 1;
+            if grids_digest(&snap.grids) != snap.digest {
+                inner.digest_failures += 1;
+                inner.snaps.remove(&(rank, slot, epoch));
+                return None;
+            }
+            records.push(SnapshotRecord {
+                rank,
+                slot,
+                grids: snap.grids.clone(),
+            });
         }
         Some(records)
     }
@@ -285,5 +408,74 @@ mod tests {
         let s: CheckpointStore<f64> = CheckpointStore::new([]);
         assert_eq!(s.consistent_epoch(), 0);
         assert_eq!(s.rank_epoch(3), 0);
+    }
+
+    #[test]
+    fn poisoned_snapshot_is_rejected_purged_and_counted_at_restore() {
+        let s = store();
+        s.deposit(0, 0, 1, vec![grid(7.0)]);
+        assert!(s.corrupt_snapshot(0, 0, 1), "snapshot exists to poison");
+        assert!(
+            s.restore(0, 0, 1).is_none(),
+            "a bit-flipped snapshot must never restore"
+        );
+        assert_eq!(s.digest_checks(), 1);
+        assert_eq!(s.digest_failures(), 1);
+        // Purged: a second restore is a plain miss, not a second failure.
+        assert!(s.restore(0, 0, 1).is_none());
+        assert_eq!(s.digest_failures(), 1);
+        // Clean snapshots still verify and count.
+        s.deposit(0, 0, 2, vec![grid(2.0)]);
+        assert!(s.restore(0, 0, 2).is_some());
+        assert_eq!(s.digest_checks(), 2);
+        assert_eq!(s.digest_failures(), 1);
+    }
+
+    #[test]
+    fn verified_consistent_epoch_degrades_past_a_poisoned_epoch() {
+        let s = store();
+        for e in 1..=2 {
+            s.deposit(0, 0, e, vec![grid(e as f64)]);
+            s.deposit(1, 0, e, vec![grid(e as f64)]);
+        }
+        // Aggressive pruning dropped epoch 1, so poisoning epoch 2 leaves
+        // nothing verifiable: the verified floor is the synthetic fill.
+        assert_eq!(s.consistent_epoch(), 2);
+        assert!(s.corrupt_snapshot(1, 0, 2));
+        assert_eq!(s.verified_consistent_epoch(), 0);
+        assert!(s.digest_failures() >= 1);
+        // The unverifiable epoch's poisoned snap was purged; the clean
+        // sibling still restores (it is simply not part of a full epoch).
+        assert!(s.restore(1, 0, 2).is_none());
+        assert!(s.restore(0, 0, 2).is_some());
+    }
+
+    #[test]
+    fn verified_consistent_epoch_matches_plain_floor_when_clean() {
+        let s = store();
+        s.deposit(0, 0, 1, vec![grid(1.0)]);
+        s.deposit(1, 0, 1, vec![grid(2.0)]);
+        assert_eq!(s.verified_consistent_epoch(), s.consistent_epoch());
+        assert_eq!(s.digest_failures(), 0);
+    }
+
+    #[test]
+    fn epoch_records_refuse_to_spill_a_poisoned_epoch() {
+        let s = store();
+        s.deposit(0, 0, 1, vec![grid(1.0)]);
+        s.deposit(1, 0, 1, vec![grid(2.0)]);
+        assert!(s.corrupt_snapshot(0, 0, 1));
+        assert!(
+            s.epoch_records(1).is_none(),
+            "a spill must never serialize corrupted state"
+        );
+        assert!(s.digest_failures() >= 1);
+    }
+
+    #[test]
+    fn corrupting_an_absent_snapshot_is_a_no_op() {
+        let s = store();
+        assert!(!s.corrupt_snapshot(0, 0, 5));
+        assert_eq!(s.digest_failures(), 0);
     }
 }

@@ -58,20 +58,9 @@ const HEADER_LEN: usize = 4 + 4 + 8 + 4 + 4;
 const MANIFEST_LEN: usize = 4 + 4 + 8 + 4;
 const MANIFEST: &str = "MANIFEST";
 
-/// CRC-32 (IEEE 802.3, the zlib polynomial), bitwise and dependency-free.
-/// These files are a few hundred KB at simulation scale, so the simple
-/// loop beats carrying a table or a crate.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc: u32 = 0xFFFF_FFFF;
-    for &b in bytes {
-        crc ^= u32::from(b);
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
-    }
-    !crc
-}
+/// The on-disk checksum, re-exported from the shared integrity module so
+/// the frame format and its callers are unchanged.
+pub use crate::integrity::crc32;
 
 /// Why a durable read or write failed. Every corruption mode is a value,
 /// not a panic: callers degrade to an older epoch (or the synthetic

@@ -1,0 +1,249 @@
+//! One shared checksum/digest module — the integrity plane's primitives.
+//!
+//! Every plane that moves or stores bits verifies them with a digest from
+//! this module, each over its own domain:
+//!
+//! * [`crc32`] — the on-disk domain: durable checkpoint frames
+//!   ([`crate::durable`]) CRC their headers and payloads with the IEEE
+//!   802.3 polynomial, byte-oriented because files are bytes;
+//! * [`payload_digest`] — the in-flight domain: every native-fabric
+//!   message carries an FNV-1a digest of its payload's
+//!   [`Scalar::bit_pattern`] words, computed at send over the intact
+//!   payload and verified at recv before the sequence cursor advances;
+//! * [`grids_digest`] — the in-memory domain:
+//!   [`CheckpointStore`](crate::checkpoint::CheckpointStore) snapshots
+//!   carry a digest of their full padded storage (halos included),
+//!   verified before any rollback target or durable spill trusts them;
+//! * [`run_digest`] — the result domain: two runs digest equal iff their
+//!   interior points are bitwise identical (the job service's parity
+//!   check).
+//!
+//! The FNV-1a step `h ← (h ⊕ w) · PRIME` is a bijection of the state for
+//! any fixed word `w` (the prime is odd, so multiplication is invertible
+//! mod 2⁶⁴). Two equal-length word streams differing in even a single
+//! bit therefore *always* digest differently — single-bit flips are
+//! rejected exactly, not probabilistically. That property is what lets
+//! the fault plane's corruption tests sweep every bit position and
+//! assert detection, and it is tested here the same way.
+
+use gpaw_grid::grid3::Grid3;
+use gpaw_grid::gridset::GridSet;
+use gpaw_grid::scalar::Scalar;
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial), bitwise and dependency-free.
+/// Durable files are a few hundred KB at simulation scale, so the simple
+/// loop beats carrying a table or a crate.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn mix(h: &mut u64, w: u64) {
+    *h ^= w;
+    *h = h.wrapping_mul(FNV_PRIME);
+}
+
+/// FNV-1a digest of a run's grids: every interior point's raw bit
+/// pattern, walked in rank order, grid order, then row-major index
+/// order, with the set and grid shapes folded in. Two runs digest equal
+/// iff their results are bitwise identical.
+pub fn run_digest<T: Scalar>(sets: &[GridSet<T>]) -> u64 {
+    let mut h = FNV_OFFSET;
+    mix(&mut h, sets.len() as u64);
+    for set in sets {
+        mix(&mut h, set.len() as u64);
+        for g in 0..set.len() {
+            for ([_, _, _], v) in set.grid(g).iter_interior() {
+                let [a, b] = v.bit_pattern();
+                mix(&mut h, a);
+                mix(&mut h, b);
+            }
+        }
+    }
+    h
+}
+
+/// FNV-1a digest of one message payload: length, then each element's
+/// occupied [`Scalar::bit_pattern`] words (1 for `f64`, 2 for `C64`).
+/// Computed by the fabric at send over the intact payload; verified at
+/// recv before the per-tag sequence cursor advances, so a flipped bit is
+/// detected before it can influence any grid.
+pub fn payload_digest<T: Scalar>(payload: &[T]) -> u64 {
+    let words = T::BYTES / 8;
+    let mut h = FNV_OFFSET;
+    mix(&mut h, payload.len() as u64);
+    for v in payload {
+        let pattern = v.bit_pattern();
+        for &w in &pattern[..words] {
+            mix(&mut h, w);
+        }
+    }
+    h
+}
+
+/// FNV-1a digest of one checkpoint snapshot: per grid the shape, halo and
+/// the *full padded storage* (halos included — exactly the words a
+/// restore copies back), after the grid count. This is what
+/// [`CheckpointStore`](crate::checkpoint::CheckpointStore) records at
+/// deposit and re-derives before trusting a snapshot at rollback,
+/// restore, or durable spill.
+pub fn grids_digest<T: Scalar>(grids: &[Grid3<T>]) -> u64 {
+    let words = T::BYTES / 8;
+    let mut h = FNV_OFFSET;
+    mix(&mut h, grids.len() as u64);
+    for g in grids {
+        let [n0, n1, n2] = g.n();
+        for d in [n0, n1, n2, g.halo()] {
+            mix(&mut h, d as u64);
+        }
+        mix(&mut h, g.data().len() as u64);
+        for v in g.data() {
+            let pattern = v.bit_pattern();
+            for &w in &pattern[..words] {
+                mix(&mut h, w);
+            }
+        }
+    }
+    h
+}
+
+/// Flip exactly one bit of `payload`, selected by `raw` modulo the
+/// payload's occupied bit count. This is the corruption the fault
+/// plane's `CorruptPayload` injector applies — a pure function of its
+/// seeded draw, so the same injection reproduces the same flipped bit.
+/// Empty payloads are left untouched (there is nothing to corrupt).
+pub fn flip_bit<T: Scalar>(payload: &mut [T], raw: u64) {
+    let words = (T::BYTES / 8) as u64;
+    let total_bits = payload.len() as u64 * words * 64;
+    if total_bits == 0 {
+        return;
+    }
+    let b = raw % total_bits;
+    let elem = (b / (words * 64)) as usize;
+    let word = ((b / 64) % words) as usize;
+    let mut pattern = payload[elem].bit_pattern();
+    pattern[word] ^= 1u64 << (b % 64);
+    payload[elem] = T::from_bit_pattern(pattern);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpaw_grid::scalar::C64;
+
+    /// Deterministic pseudo-random payload, no `rand` dependency.
+    fn seeded_payload(seed: u64, len: usize) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                f64::from_bits((state >> 12) | 0x3FF0_0000_0000_0000) - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn payload_digest_accepts_every_valid_payload() {
+        for seed in 0..32u64 {
+            let p = seeded_payload(seed, 1 + (seed as usize % 7));
+            assert_eq!(payload_digest(&p), payload_digest(&p.clone()));
+        }
+    }
+
+    /// The core single-bit-flip property: for seeded payloads, flipping
+    /// *any* single bit changes the digest, and flipping it back
+    /// restores it — detection is exact, not probabilistic.
+    #[test]
+    fn payload_digest_rejects_any_single_bit_flip() {
+        for seed in 0..8u64 {
+            let clean = seeded_payload(seed, 5);
+            let digest = payload_digest(&clean);
+            let total_bits = clean.len() as u64 * 64;
+            for bit in 0..total_bits {
+                let mut flipped = clean.clone();
+                flip_bit(&mut flipped, bit);
+                assert_ne!(
+                    payload_digest(&flipped),
+                    digest,
+                    "seed {seed}: flipping bit {bit} went undetected"
+                );
+                flip_bit(&mut flipped, bit);
+                assert_eq!(payload_digest(&flipped), digest);
+            }
+        }
+    }
+
+    #[test]
+    fn complex_payloads_cover_both_words() {
+        let clean: Vec<C64> = seeded_payload(3, 4)
+            .chunks(2)
+            .map(|c| C64::new(c[0], c[1]))
+            .collect();
+        let digest = payload_digest(&clean);
+        let total_bits = clean.len() as u64 * 128;
+        for bit in 0..total_bits {
+            let mut flipped = clean.clone();
+            flip_bit(&mut flipped, bit);
+            assert_ne!(
+                payload_digest(&flipped),
+                digest,
+                "C64: flipping bit {bit} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn flip_bit_wraps_and_ignores_empty() {
+        let mut empty: Vec<f64> = Vec::new();
+        flip_bit(&mut empty, 17); // must not panic
+        let mut p = seeded_payload(1, 2);
+        let q = p.clone();
+        flip_bit(&mut p, 128); // wraps to bit 0
+        assert_ne!(p[0].to_bits(), q[0].to_bits());
+        assert_eq!(p[1].to_bits(), q[1].to_bits());
+    }
+
+    #[test]
+    fn grids_digest_sees_every_stored_word() {
+        let mut g = Grid3::<f64>::zeros([3, 3, 3], 1);
+        for (i, v) in g.data_mut().iter_mut().enumerate() {
+            *v = i as f64 * 0.25 - 3.0;
+        }
+        let grids = vec![g];
+        let digest = grids_digest(&grids);
+        // Flip one bit of a *halo* word: still detected, because the
+        // digest covers the full padded storage a restore copies back.
+        let mut tampered = grids.clone();
+        let d = tampered[0].data_mut();
+        let w = d[0].to_bits() ^ 1;
+        d[0] = f64::from_bits(w);
+        assert_ne!(grids_digest(&tampered), digest);
+        // Shape is folded in: same words, different halo digests apart.
+        let other = vec![Grid3::<f64>::zeros([3, 3, 3], 2)];
+        let same = vec![Grid3::<f64>::zeros([3, 3, 3], 2)];
+        assert_eq!(grids_digest(&other), grids_digest(&same));
+    }
+}

@@ -45,6 +45,7 @@ pub mod chrome;
 pub mod config;
 pub mod durable;
 pub mod exec;
+pub mod integrity;
 pub mod plan;
 pub mod progcache;
 pub mod program;
@@ -58,6 +59,7 @@ pub use checkpoint::CheckpointStore;
 pub use chrome::ChromeTrace;
 pub use config::{Approach, FdConfig};
 pub use durable::{DurableError, DurableStore, Recovered, SnapshotRecord};
+pub use integrity::{crc32, flip_bit, grids_digest, payload_digest, run_digest};
 pub use plan::RankPlan;
 pub use progcache::{CacheStats, JobPrograms, ProgramCache, ProgramKey};
 pub use program::{compile_rank, DirSet, SweepOp, SweepProgram, ThreadRole};

@@ -10,7 +10,7 @@
 //! expiries) the full [`FabricDiagnostic`](crate::fault::FabricDiagnostic)
 //! snapshot.
 
-use crate::fault::RecvTimeout;
+use crate::fault::{PayloadCorruption, RecvError, RecvTimeout};
 use gpaw_bgp_hw::MapError;
 use gpaw_fd::durable::DurableError;
 use std::fmt;
@@ -21,6 +21,9 @@ pub enum FailureKind {
     /// A receive hit the deadlock watchdog; the snapshot names the
     /// blocked rank, the awaited `(src, tag)`, and all queue depths.
     RecvTimeout(Box<RecvTimeout>),
+    /// A receive detected a corrupted payload — the proven integrity
+    /// failure, with the rejected message's full identity.
+    Corrupt(Box<PayloadCorruption>),
     /// A thread of the rank panicked; the payload message is preserved.
     Panic(String),
     /// The rank's schedule completed but left undelivered messages in the
@@ -29,16 +32,18 @@ pub enum FailureKind {
 }
 
 impl FailureKind {
-    /// Severity class for worst-first ordering: panics (0) before
-    /// watchdog timeouts (1) before undrained fabrics (2). Failure lists
-    /// sort by `(severity, rank)` — the rank tie-break keeps the order
-    /// fully deterministic when several ranks fail the same way, which
-    /// recovery tests rely on to compare failure sequences across runs.
+    /// Severity class for worst-first ordering: panics (0) before proven
+    /// corruption (1) before watchdog timeouts (2) before undrained
+    /// fabrics (3). Failure lists sort by `(severity, rank)` — the rank
+    /// tie-break keeps the order fully deterministic when several ranks
+    /// fail the same way, which recovery tests rely on to compare
+    /// failure sequences across runs.
     pub fn severity(&self) -> u8 {
         match self {
             FailureKind::Panic(_) => 0,
-            FailureKind::RecvTimeout(_) => 1,
-            FailureKind::Undrained => 2,
+            FailureKind::Corrupt(_) => 1,
+            FailureKind::RecvTimeout(_) => 2,
+            FailureKind::Undrained => 3,
         }
     }
 }
@@ -60,6 +65,9 @@ impl fmt::Display for RankFailure {
             FailureKind::RecvTimeout(t) => {
                 write!(f, "rank {} failed in {}: {}", self.rank, self.phase, t)
             }
+            FailureKind::Corrupt(c) => {
+                write!(f, "rank {} failed in {}: {}", self.rank, self.phase, c)
+            }
             FailureKind::Panic(msg) => {
                 write!(f, "rank {} panicked in {}: {}", self.rank, self.phase, msg)
             }
@@ -77,6 +85,8 @@ impl fmt::Display for RankFailure {
 pub enum StrategyError {
     /// A receive hit the deadlock watchdog.
     Recv(Box<RecvTimeout>),
+    /// A receive rejected a corrupted payload.
+    Corrupt(Box<PayloadCorruption>),
     /// A worker/endpoint thread of the schedule panicked.
     ThreadPanic {
         /// The thread slot within the rank.
@@ -95,11 +105,25 @@ impl StrategyError {
                 phase: "halo-wait",
                 kind: FailureKind::RecvTimeout(t),
             },
+            StrategyError::Corrupt(c) => RankFailure {
+                rank,
+                phase: "halo-verify",
+                kind: FailureKind::Corrupt(c),
+            },
             StrategyError::ThreadPanic { slot, message } => RankFailure {
                 rank,
                 phase: "thread-pool",
                 kind: FailureKind::Panic(format!("slot {slot}: {message}")),
             },
+        }
+    }
+}
+
+impl From<RecvError> for StrategyError {
+    fn from(e: RecvError) -> StrategyError {
+        match e {
+            RecvError::Timeout(t) => StrategyError::Recv(t),
+            RecvError::Corrupt(c) => StrategyError::Corrupt(c),
         }
     }
 }
@@ -124,6 +148,20 @@ pub enum RunError {
         /// Every rank failure observed, ordered worst-first.
         failures: Vec<RankFailure>,
     },
+    /// One or more ranks detected silent data corruption — a payload
+    /// whose checksum did not match at receive. Shaped like [`Failed`]
+    /// (every failure listed, worst first) but typed separately so
+    /// callers and the supervisor can classify integrity failures
+    /// without string matching.
+    ///
+    /// [`Failed`]: RunError::Failed
+    Integrity {
+        /// The strategy that was running.
+        strategy: &'static str,
+        /// Every rank failure observed, ordered worst-first; at least
+        /// one is a [`FailureKind::Corrupt`].
+        failures: Vec<RankFailure>,
+    },
     /// The durable checkpoint layer failed in a way recovery cannot paper
     /// over: a missing `--restore` directory, an unwritable spill target,
     /// or a restored state that contradicts the job's geometry. (A merely
@@ -136,7 +174,9 @@ impl RunError {
     /// The first (worst) rank failure, when the run failed mid-flight.
     pub fn first_failure(&self) -> Option<&RankFailure> {
         match self {
-            RunError::Failed { failures, .. } => failures.first(),
+            RunError::Failed { failures, .. } | RunError::Integrity { failures, .. } => {
+                failures.first()
+            }
             _ => None,
         }
     }
@@ -155,6 +195,17 @@ impl fmt::Display for RunError {
             RunError::Map(e) => write!(f, "geometry rejected: {e}"),
             RunError::Failed { strategy, failures } => {
                 write!(f, "{strategy}: {} rank(s) failed", failures.len())?;
+                for fail in failures {
+                    write!(f, "\n{fail}")?;
+                }
+                Ok(())
+            }
+            RunError::Integrity { strategy, failures } => {
+                write!(
+                    f,
+                    "{strategy}: silent data corruption detected; {} rank(s) failed",
+                    failures.len()
+                )?;
                 for fail in failures {
                     write!(f, "\n{fail}")?;
                 }
@@ -214,6 +265,16 @@ mod tests {
         })
     }
 
+    fn corruption() -> Box<PayloadCorruption> {
+        Box::new(PayloadCorruption {
+            rank: 1,
+            src: 0,
+            tag: 42,
+            seq: 7,
+            diagnostic: FabricDiagnostic::default(),
+        })
+    }
+
     #[test]
     fn run_error_display_names_rank_strategy_and_pending_recv() {
         let e = RunError::Failed {
@@ -248,8 +309,9 @@ mod tests {
     #[test]
     fn failure_ordering_is_deterministic_with_rank_tie_break() {
         // Build failures out of order: equal-severity entries must sort by
-        // rank, and panics outrank timeouts outrank undrained — always the
-        // same sequence regardless of completion interleaving.
+        // rank, and panics outrank corruption outrank timeouts outrank
+        // undrained — always the same sequence regardless of completion
+        // interleaving.
         let mut failures = [
             RankFailure {
                 rank: 3,
@@ -271,12 +333,31 @@ mod tests {
                 phase: "run",
                 kind: FailureKind::Panic("boom".into()),
             },
+            RankFailure {
+                rank: 3,
+                phase: "halo-verify",
+                kind: FailureKind::Corrupt(corruption()),
+            },
         ];
         failures.sort_by_key(|f| (f.kind.severity(), f.rank));
         let order: Vec<(u8, usize)> = failures
             .iter()
             .map(|f| (f.kind.severity(), f.rank))
             .collect();
-        assert_eq!(order, vec![(0, 2), (1, 1), (1, 3), (2, 2)]);
+        assert_eq!(order, vec![(0, 2), (1, 3), (2, 1), (2, 3), (3, 2)]);
+    }
+
+    #[test]
+    fn integrity_error_display_names_corruption_and_identity() {
+        let e = RunError::Integrity {
+            strategy: "Hybrid multiple",
+            failures: vec![StrategyError::Corrupt(corruption()).into_rank_failure(1)],
+        };
+        let text = e.to_string();
+        assert!(text.contains("silent data corruption detected"), "{text}");
+        assert!(text.contains("rank 1"), "{text}");
+        assert!(text.contains("halo-verify"), "{text}");
+        assert!(text.contains("checksum mismatch"), "{text}");
+        assert!(e.first_failure().is_some());
     }
 }

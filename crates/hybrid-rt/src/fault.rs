@@ -15,7 +15,13 @@
 //! and, for lethal experiments,
 //!
 //! * **black-hole** one chosen message forever (an unmatched receive),
-//! * **panic** inside one chosen rank's send path (a crashing rank).
+//! * **panic** inside one chosen rank's send path (a crashing rank),
+//! * **corrupt** a payload — flip one seeded bit of a message's delivered
+//!   copy ([`CorruptPayload`], or probabilistically via
+//!   [`FaultPlan::corrupt_prob`]), or poison one checkpoint snapshot
+//!   after deposit ([`CorruptSnapshot`]). The send-side retransmission
+//!   buffer always keeps the *intact* bits, so a supervised replay
+//!   delivers the true payload.
 //!
 //! None of the benign actions can break per-`(src, tag)` FIFO order: the
 //! fabric delivers strictly in sequence order, which is exactly the
@@ -47,6 +53,15 @@ pub enum FaultAction {
         /// Redelivery ticks the message stays invisible for.
         ticks: u32,
     },
+    /// Deliver the message with one bit of its payload flipped. `raw`
+    /// (reduced modulo the payload's bit count) selects the bit; it is
+    /// drawn from the same seeded identity chain as the action itself,
+    /// so the same message corrupts the same bit on every run. The
+    /// receive-side checksum detects the flip before any data is used.
+    Corrupt {
+        /// Seeded draw selecting the flipped bit.
+        raw: u64,
+    },
 }
 
 /// Swallow the `nth` (1-based) message from `src` to `dst` forever — a
@@ -71,6 +86,37 @@ pub struct PanicInjection {
     pub after_sends: u64,
 }
 
+/// Flip one seeded bit in the `nth` (1-based) `src → dst` message's
+/// delivered payload — silent data corruption in flight. Keyed on the
+/// shard's monotonic send count (like [`BlackHole`]), so the injection
+/// is one-shot: the replayed resend after a supervised rollback carries
+/// the true bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorruptPayload {
+    /// Sending rank.
+    pub src: usize,
+    /// Receiving rank.
+    pub dst: usize,
+    /// Which `src → dst` message (1-based) is corrupted.
+    pub nth: u64,
+}
+
+/// Flip one bit inside the checkpoint snapshot `(rank, slot)` deposits
+/// for `epoch` — silent corruption at rest. The snapshot's recorded
+/// digest is *not* updated, so the poison is exactly what
+/// `CheckpointStore`'s verified rollback must detect and discard.
+/// Re-deposits of the same epoch after a rollback are re-poisoned, which
+/// is harmless: a completed run never rolls back to them again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorruptSnapshot {
+    /// The depositing rank.
+    pub rank: usize,
+    /// The rank's checkpoint slot (endpoint index for hybrid-multiple).
+    pub slot: usize,
+    /// The poisoned epoch.
+    pub epoch: usize,
+}
+
 /// A seeded, deterministic fault schedule for one native run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultPlan {
@@ -85,10 +131,19 @@ pub struct FaultPlan {
     pub drop_prob: f64,
     /// Bound on extra redelivery ticks for dropped messages.
     pub drop_retries: u32,
+    /// Probability a message's delivered copy has one seeded bit
+    /// flipped. Detected at recv, contained, and recovered under
+    /// supervision; `0.0` leaves every existing schedule untouched.
+    pub corrupt_prob: f64,
     /// Optional lethal fault: one message that never arrives.
     pub black_hole: Option<BlackHole>,
     /// Optional lethal fault: one send that panics.
     pub panic_on_send: Option<PanicInjection>,
+    /// Optional integrity fault: one message delivered with a flipped bit.
+    pub corrupt_payload: Option<CorruptPayload>,
+    /// Optional integrity fault: one checkpoint snapshot poisoned after
+    /// deposit.
+    pub corrupt_snapshot: Option<CorruptSnapshot>,
 }
 
 impl FaultPlan {
@@ -102,8 +157,11 @@ impl FaultPlan {
             dup_prob: 0.10,
             drop_prob: 0.10,
             drop_retries: 3,
+            corrupt_prob: 0.0,
             black_hole: None,
             panic_on_send: None,
+            corrupt_payload: None,
+            corrupt_snapshot: None,
         }
     }
 
@@ -115,8 +173,11 @@ impl FaultPlan {
             dup_prob: 0.0,
             drop_prob: 0.0,
             drop_retries: 0,
+            corrupt_prob: 0.0,
             black_hole: None,
             panic_on_send: None,
+            corrupt_payload: None,
+            corrupt_snapshot: None,
         }
     }
 
@@ -133,14 +194,28 @@ impl FaultPlan {
         self
     }
 
+    /// Corrupt each message's delivered copy with probability `prob`.
+    pub fn with_corruption(mut self, prob: f64) -> FaultPlan {
+        self.corrupt_prob = prob;
+        self
+    }
+
+    /// Flip one seeded bit in the `nth` `src → dst` message's payload.
+    pub fn with_corrupt_payload(mut self, src: usize, dst: usize, nth: u64) -> FaultPlan {
+        self.corrupt_payload = Some(CorruptPayload { src, dst, nth });
+        self
+    }
+
+    /// Poison the snapshot `(rank, slot)` deposits for `epoch`.
+    pub fn with_corrupt_snapshot(mut self, rank: usize, slot: usize, epoch: usize) -> FaultPlan {
+        self.corrupt_snapshot = Some(CorruptSnapshot { rank, slot, epoch });
+        self
+    }
+
     /// The action for one message, a pure function of the plan's seed and
     /// the message identity — independent of wall clock and interleaving.
     pub fn action(&self, src: usize, dst: usize, tag: u64, seq: u64) -> FaultAction {
-        let mut state = self.seed;
-        for v in [src as u64, dst as u64, tag, seq] {
-            state = SplitMix64::new(state ^ v.wrapping_mul(0xA24B_AED4_963E_E407)).next_u64();
-        }
-        let mut rng = SplitMix64::new(state);
+        let mut rng = self.identity_rng(src, dst, tag, seq);
         let f = rng.next_f64();
         if f < self.drop_prob {
             // Dropped once, then redelivered within the retry bound.
@@ -151,9 +226,33 @@ impl FaultPlan {
             FaultAction::Park { ticks: 1 }
         } else if f < self.drop_prob + self.delay_prob + self.dup_prob {
             FaultAction::Duplicate
+        } else if f < self.drop_prob + self.delay_prob + self.dup_prob + self.corrupt_prob {
+            FaultAction::Corrupt {
+                raw: self.corrupt_raw(src, dst, tag, seq),
+            }
         } else {
             FaultAction::Deliver
         }
+    }
+
+    /// The seeded draw selecting which payload bit a corruption flips —
+    /// pure in seed + identity like [`FaultPlan::action`], but on a
+    /// decorrelated stream so the flipped bit is independent of the
+    /// action draw.
+    pub fn corrupt_raw(&self, src: usize, dst: usize, tag: u64, seq: u64) -> u64 {
+        let mut state = self.seed ^ 0x9E37_79B9_7F4A_7C15;
+        for v in [src as u64, dst as u64, tag, seq] {
+            state = SplitMix64::new(state ^ v.wrapping_mul(0xA24B_AED4_963E_E407)).next_u64();
+        }
+        SplitMix64::new(state).next_u64()
+    }
+
+    fn identity_rng(&self, src: usize, dst: usize, tag: u64, seq: u64) -> SplitMix64 {
+        let mut state = self.seed;
+        for v in [src as u64, dst as u64, tag, seq] {
+            state = SplitMix64::new(state ^ v.wrapping_mul(0xA24B_AED4_963E_E407)).next_u64();
+        }
+        SplitMix64::new(state)
     }
 }
 
@@ -229,16 +328,46 @@ pub struct QueueStat {
     pub parked: usize,
 }
 
+/// The last corrupted payload one rank detected: its sender, tag, and
+/// per-`(src, tag)` sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BadPayload {
+    /// The sending rank of the rejected payload.
+    pub src: usize,
+    /// The rejected payload's tag.
+    pub tag: u64,
+    /// The rejected payload's sequence number.
+    pub seq: u64,
+}
+
+/// Per-rank integrity counters: how many payloads the rank's receives
+/// verified, how many it rejected as corrupted, and the most recent
+/// rejection's identity — so a watchdog report names corruption
+/// explicitly instead of a generic stall.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntegrityStat {
+    /// The receiving rank.
+    pub rank: usize,
+    /// Payloads whose checksum verified at this rank's receives.
+    pub verified: u64,
+    /// Payloads this rank rejected as corrupted.
+    pub corrupted: u64,
+    /// The most recent rejected payload, if any.
+    pub last_bad: Option<BadPayload>,
+}
+
 /// A structured snapshot of the whole fabric, taken when a receive hits
 /// the watchdog: every blocked receive (rank, awaited `(src, tag)`, time
-/// blocked) and every non-empty queue — the native plane's counterpart of
-/// the timed machine's deadlock report.
+/// blocked), every non-empty queue, and each rank's integrity counters —
+/// the native plane's counterpart of the timed machine's deadlock report.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct FabricDiagnostic {
     /// Receives blocked at snapshot time, the watchdog's own first.
     pub blocked: Vec<BlockedRecv>,
     /// Queues with undelivered or parked traffic.
     pub queues: Vec<QueueStat>,
+    /// Per-rank payload-verification counters (ranks with activity only).
+    pub integrity: Vec<IntegrityStat>,
 }
 
 impl fmt::Display for FabricDiagnostic {
@@ -260,6 +389,24 @@ impl fmt::Display for FabricDiagnostic {
                     "  {} -> {} tag {}: {} queued, {} parked",
                     q.src, q.dst, q.tag, q.queued, q.parked
                 )?;
+            }
+        }
+        if self.integrity.iter().any(|s| s.corrupted > 0) {
+            writeln!(f, "corruption detected:")?;
+            for s in self.integrity.iter().filter(|s| s.corrupted > 0) {
+                write!(
+                    f,
+                    "  rank {}: {} corrupted payload(s) rejected, {} verified",
+                    s.rank, s.corrupted, s.verified
+                )?;
+                if let Some(b) = s.last_bad {
+                    write!(
+                        f,
+                        " (last bad: src {}, tag {}, seq {})",
+                        b.src, b.tag, b.seq
+                    )?;
+                }
+                writeln!(f)?;
             }
         }
         Ok(())
@@ -295,6 +442,60 @@ impl fmt::Display for RecvTimeout {
 }
 
 impl std::error::Error for RecvTimeout {}
+
+/// A receive that found its next-in-sequence payload corrupted: the
+/// checksum computed at send does not match the delivered bits. The
+/// sequence cursor did *not* advance, so after a supervised rollback the
+/// replayed intact copy satisfies the same receive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PayloadCorruption {
+    /// The rank whose receive rejected the payload.
+    pub rank: usize,
+    /// The sending rank.
+    pub src: usize,
+    /// The message tag.
+    pub tag: u64,
+    /// The corrupted message's per-`(src, tag)` sequence number.
+    pub seq: u64,
+    /// The fabric-wide snapshot at detection.
+    pub diagnostic: FabricDiagnostic,
+}
+
+impl fmt::Display for PayloadCorruption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "integrity: rank {} rejected corrupted payload from {} (seq {}): checksum mismatch\n{}",
+            self.rank,
+            diag::pending_recv(self.src, self.tag),
+            self.seq,
+            self.diagnostic
+        )
+    }
+}
+
+impl std::error::Error for PayloadCorruption {}
+
+/// Why a fabric receive failed: the watchdog expired, or the awaited
+/// payload arrived with corrupted bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecvError {
+    /// The deadlock watchdog expired before a matching send arrived.
+    Timeout(Box<RecvTimeout>),
+    /// The next-in-sequence payload failed checksum verification.
+    Corrupt(Box<PayloadCorruption>),
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvError::Timeout(t) => t.fmt(f),
+            RecvError::Corrupt(c) => c.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
 
 #[cfg(test)]
 mod tests {
@@ -341,9 +542,47 @@ mod tests {
                     saw_park = true;
                 }
                 FaultAction::Deliver => saw_deliver = true,
+                FaultAction::Corrupt { .. } => {
+                    unreachable!("benign plans have corrupt_prob 0")
+                }
             }
         }
         assert!(saw_dup && saw_park && saw_deliver);
+    }
+
+    /// `corrupt_prob: 0` leaves every draw of every pre-existing schedule
+    /// untouched — the corruption arm sits past the old ladder's end.
+    #[test]
+    fn zero_corruption_preserves_existing_schedules() {
+        let old = FaultPlan::benign(7);
+        let extended = FaultPlan {
+            corrupt_prob: 0.0,
+            ..FaultPlan::benign(7)
+        };
+        for seq in 0..400 {
+            assert_eq!(old.action(0, 1, 3, seq), extended.action(0, 1, 3, seq));
+        }
+    }
+
+    #[test]
+    fn corruption_draws_are_deterministic_and_seeded() {
+        let plan = FaultPlan::quiet(11).with_corruption(1.0);
+        for seq in 0..50 {
+            let a = plan.action(0, 1, 7, seq);
+            assert_eq!(a, plan.action(0, 1, 7, seq));
+            assert!(matches!(a, FaultAction::Corrupt { .. }), "{a:?}");
+        }
+        // The flipped-bit draw is decorrelated from the action stream
+        // and differs across identities.
+        let r0 = plan.corrupt_raw(0, 1, 7, 0);
+        assert_eq!(r0, plan.corrupt_raw(0, 1, 7, 0));
+        assert_ne!(r0, plan.corrupt_raw(0, 1, 7, 1));
+        assert_ne!(
+            r0,
+            FaultPlan::quiet(12)
+                .with_corruption(1.0)
+                .corrupt_raw(0, 1, 7, 0)
+        );
     }
 
     #[test]
@@ -362,10 +601,40 @@ mod tests {
                 queued: 2,
                 parked: 1,
             }],
+            integrity: vec![IntegrityStat {
+                rank: 1,
+                verified: 9,
+                corrupted: 1,
+                last_bad: Some(BadPayload {
+                    src: 0,
+                    tag: 3,
+                    seq: 4,
+                }),
+            }],
         };
         let text = d.to_string();
         assert!(text.contains("recv(src=0, tag=77)"), "{text}");
         assert!(text.contains("rank 1 blocked 250ms"), "{text}");
         assert!(text.contains("0 -> 1 tag 3: 2 queued, 1 parked"), "{text}");
+        assert!(
+            text.contains("rank 1: 1 corrupted payload(s) rejected, 9 verified"),
+            "{text}"
+        );
+        assert!(text.contains("last bad: src 0, tag 3, seq 4"), "{text}");
+    }
+
+    /// Clean diagnostics do not mention corruption at all.
+    #[test]
+    fn clean_diagnostics_stay_silent_about_corruption() {
+        let d = FabricDiagnostic {
+            integrity: vec![IntegrityStat {
+                rank: 0,
+                verified: 12,
+                corrupted: 0,
+                last_bad: None,
+            }],
+            ..FabricDiagnostic::default()
+        };
+        assert!(!d.to_string().contains("corrupt"), "{d}");
     }
 }

@@ -80,7 +80,9 @@ pub use durable::{
 pub use error::{FailureKind, RankFailure, RunError, StrategyError};
 pub use fabric::{FabricStats, NativeFabric};
 pub use fault::{
-    BlackHole, FabricConfig, FabricDiagnostic, FaultAction, FaultPlan, PanicInjection, RecvTimeout,
+    BadPayload, BlackHole, CorruptPayload, CorruptSnapshot, FabricConfig, FabricDiagnostic,
+    FaultAction, FaultPlan, IntegrityStat, PanicInjection, PayloadCorruption, RecvError,
+    RecvTimeout,
 };
 pub use report::native_run_report;
 pub use runtime::{run_native, run_native_cached, NativeJob, NativeRun};

@@ -103,6 +103,8 @@ mod tests {
             network_messages_per_node: vec![4, 2],
             retransmitted_messages: 0,
             retransmitted_bytes: 0,
+            messages_verified: 10,
+            corruptions_detected: 0,
         }
     }
 

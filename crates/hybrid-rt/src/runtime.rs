@@ -444,6 +444,19 @@ pub(crate) fn run_attempt<T: SyntheticFill>(
     }
     if !failures.is_empty() {
         failures.sort_by_key(|f| (f.kind.severity(), f.rank));
+        // Any proven checksum mismatch makes the whole run an integrity
+        // failure: the typed variant is what lets the supervisor (and the
+        // soaks' exit codes) treat corruption as its own class, not a
+        // generic stall.
+        if failures
+            .iter()
+            .any(|f| matches!(f.kind, FailureKind::Corrupt(_)))
+        {
+            return Err(RunError::Integrity {
+                strategy: strategy.name(),
+                failures,
+            });
+        }
         return Err(RunError::Failed {
             strategy: strategy.name(),
             failures,

@@ -214,31 +214,10 @@ pub struct ServiceStats {
     pub served: BTreeMap<String, u64>,
 }
 
-/// FNV-1a digest of a run's grids: every interior point's raw bit
-/// pattern, walked in rank order, grid order, then row-major index
-/// order, with the set and grid shapes folded in. Two runs digest equal
-/// iff their results are bitwise identical.
-pub fn run_digest<T: Scalar>(sets: &[GridSet<T>]) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    let mix = |h: &mut u64, w: u64| {
-        *h ^= w;
-        *h = h.wrapping_mul(PRIME);
-    };
-    mix(&mut h, sets.len() as u64);
-    for set in sets {
-        mix(&mut h, set.len() as u64);
-        for g in 0..set.len() {
-            for ([_, _, _], v) in set.grid(g).iter_interior() {
-                let [a, b] = v.bit_pattern();
-                mix(&mut h, a);
-                mix(&mut h, b);
-            }
-        }
-    }
-    h
-}
+/// The run-parity digest, re-exported from the shared integrity module
+/// so every digest value (and therefore every recorded solo-run parity
+/// check) is unchanged.
+pub use gpaw_fd::integrity::run_digest;
 
 /// One queued submission.
 struct QueuedJob<T: Scalar> {

@@ -36,7 +36,7 @@
 
 use crate::error::{panic_message, StrategyError};
 use crate::fabric::NativeFabric;
-use crate::fault::RecvTimeout;
+use crate::fault::RecvError;
 use gpaw_bgp_hw::topology::Dir;
 use gpaw_fd::checkpoint::CheckpointStore;
 use gpaw_fd::config::Approach;
@@ -209,6 +209,32 @@ fn recv_side(dir: Dir) -> Side {
     }
 }
 
+/// Deposit one thread's post-swap snapshot, then apply any scheduled
+/// snapshot poisoning from the fault plan. Poisoning happens *after* the
+/// deposit — exactly where a DMA or memory fault would strike a real
+/// checkpoint buffer — so the store's digest (computed at deposit) is the
+/// witness that convicts the flipped bit at restore time.
+fn deposit_snapshot<T: Scalar>(
+    ctx: &RankCtx<'_, T>,
+    store: &CheckpointStore<T>,
+    slot: usize,
+    epoch: usize,
+    grids: Vec<Grid3<T>>,
+) {
+    store.deposit(ctx.plan.rank, slot, epoch, grids);
+    let scheduled = ctx
+        .fabric
+        .config()
+        .plan
+        .as_ref()
+        .and_then(|p| p.corrupt_snapshot);
+    if let Some(cs) = scheduled {
+        if cs.rank == ctx.plan.rank && cs.slot == slot && cs.epoch == epoch {
+            store.corrupt_snapshot(cs.rank, cs.slot, cs.epoch);
+        }
+    }
+}
+
 /// What every op of one program executes against: the fabric, the
 /// program itself, and the stencil.
 #[derive(Clone, Copy)]
@@ -229,7 +255,7 @@ fn exec_comm_op<T: Scalar>(
     inputs: &mut [Grid3<T>],
     outputs: &mut [Grid3<T>],
     tr: &mut WallTracer,
-) -> Result<(), Box<RecvTimeout>> {
+) -> Result<(), RecvError> {
     let OpEnv { fabric, prog, coef } = *env;
     let plan = &prog.plan;
     match op {
@@ -333,7 +359,7 @@ fn run_single<T: Scalar>(
             if op == SweepOp::AdvanceBuffer {
                 std::mem::swap(&mut inputs, &mut outputs);
                 if let Some(store) = ctx.ckpt {
-                    store.deposit(ctx.plan.rank, 0, sweep + 1, inputs.clone());
+                    deposit_snapshot(ctx, store, 0, sweep + 1, inputs.clone());
                 }
                 if !ctx.throttle.is_zero() {
                     std::thread::sleep(ctx.throttle);
@@ -342,7 +368,7 @@ fn run_single<T: Scalar>(
             }
             if let Err(e) = exec_comm_op(&env, op, sweep, &mut inputs, &mut outputs, &mut tr) {
                 tr.close_all();
-                return Err(StrategyError::Recv(e));
+                return Err(e.into());
             }
         }
     }
@@ -415,7 +441,7 @@ fn run_endpoints<T: Scalar>(
                                     // stale epoch pins the consistent floor,
                                     // so rollback lands where it last swapped.
                                     if let Some(store) = ctx.ckpt {
-                                        store.deposit(ctx.plan.rank, t, sweep + 1, ins.clone());
+                                        deposit_snapshot(ctx, store, t, sweep + 1, ins.clone());
                                     }
                                     if !ctx.throttle.is_zero() {
                                         std::thread::sleep(ctx.throttle);
@@ -433,7 +459,7 @@ fn run_endpoints<T: Scalar>(
                                     Ok(Ok(())) => {}
                                     Ok(Err(e)) => {
                                         tr.close_all();
-                                        err = Some(StrategyError::Recv(e));
+                                        err = Some(e.into());
                                     }
                                     Err(p) => {
                                         tr.close_all();
@@ -678,7 +704,7 @@ fn run_master_pool<T: Scalar>(
                             // Master-only: one deposit covers the rank; the
                             // pool never owns grids across sweeps.
                             if let Some(store) = ctx.ckpt {
-                                store.deposit(ctx.plan.rank, 0, sweep + 1, ins.clone());
+                                deposit_snapshot(ctx, store, 0, sweep + 1, ins.clone());
                             }
                             // Workers idle at the next slab fence meanwhile.
                             if !ctx.throttle.is_zero() {
@@ -701,7 +727,7 @@ fn run_master_pool<T: Scalar>(
                             Ok(Ok(())) => {}
                             Ok(Err(e)) => {
                                 tr.close_all();
-                                master_err = Some(StrategyError::Recv(e));
+                                master_err = Some(e.into());
                             }
                             Err(p) => {
                                 tr.close_all();

@@ -5,12 +5,15 @@
 //! [`CheckpointStore`] live across every attempt; when an attempt fails
 //! with [`RunError::Failed`], the supervisor
 //!
-//! 1. **classifies** each rank failure (panic, starved receive — the
-//!    black-hole shape, where the awaited queue is empty — or a stalled
-//!    receive with traffic still in flight),
+//! 1. **classifies** each rank failure (panic, detected payload
+//!    corruption, starved receive — the black-hole shape, where the
+//!    awaited queue is empty — or a stalled receive with traffic still in
+//!    flight),
 //! 2. **rolls back** the checkpoint store and the fabric to the newest
-//!    epoch every thread of every rank has deposited (the *consistent*
-//!    epoch — see `gpaw_fd::checkpoint`),
+//!    epoch every thread of every rank has deposited **and whose
+//!    snapshots all pass their digest checks** (the *verified consistent*
+//!    epoch — see `gpaw_fd::checkpoint`; a poisoned snapshot degrades the
+//!    target, never replays corrupted state),
 //! 3. **backs off** exponentially from [`RetryPolicy::base_backoff`], and
 //! 4. **respawns** every rank's workers to resume interpretation at that
 //!    epoch: tags embed the absolute sweep, so the interpreter re-enters
@@ -69,6 +72,10 @@ impl Default for RetryPolicy {
 pub enum FailureClass {
     /// The rank (or one of its threads) panicked.
     Panic,
+    /// A receive rejected a payload whose checksum did not match — proven
+    /// silent data corruption, named explicitly instead of surfacing as a
+    /// generic stall.
+    Corrupted,
     /// A receive timed out with the awaited `(src, tag)` queue empty —
     /// the message never arrived (the black-hole shape).
     Starved,
@@ -106,6 +113,14 @@ pub struct RecoveryReport {
     pub messages_retransmitted: u64,
     /// Payload bytes of those retransmissions.
     pub bytes_retransmitted: u64,
+    /// Corrupted message payloads the fabric detected and rejected over
+    /// the whole supervised run — counted separately from logical
+    /// traffic, like retransmissions.
+    pub corruptions_detected: u64,
+    /// Checkpoint snapshots that failed their digest check at
+    /// rollback/restore time (each was purged and the rollback target
+    /// degraded past it).
+    pub snapshot_digest_failures: u64,
     /// Every rank failure absorbed on the way to completion.
     pub failures: Vec<FailureSummary>,
 }
@@ -123,6 +138,7 @@ pub struct SupervisedRun<T: Scalar> {
 fn classify(f: &RankFailure) -> FailureClass {
     match &f.kind {
         FailureKind::Panic(_) => FailureClass::Panic,
+        FailureKind::Corrupt(_) => FailureClass::Corrupted,
         FailureKind::RecvTimeout(t) => {
             let in_flight = t.diagnostic.queues.iter().any(|q| {
                 q.dst == t.rank
@@ -234,15 +250,21 @@ pub(crate) fn retry_loop<T: SyntheticFill>(
                         epochs_replayed,
                         messages_retransmitted: stats.retransmitted_messages,
                         bytes_retransmitted: stats.retransmitted_bytes,
+                        corruptions_detected: stats.corruptions_detected,
+                        snapshot_digest_failures: store.digest_failures(),
                         failures,
                     },
                 });
             }
             Err(err) => {
-                let RunError::Failed {
+                let (RunError::Failed {
                     failures: rank_failures,
                     ..
-                } = &err
+                }
+                | RunError::Integrity {
+                    failures: rank_failures,
+                    ..
+                }) = &err
                 else {
                     // Geometry/config errors are deterministic; retrying
                     // cannot change them.
@@ -251,7 +273,10 @@ pub(crate) fn retry_loop<T: SyntheticFill>(
                 if attempt == max_attempts {
                     return Err(err);
                 }
-                let epoch = store.consistent_epoch();
+                // The *verified* floor: a poisoned snapshot never becomes
+                // a rollback target — the walk purges it and degrades,
+                // possibly to the synthetic fill (epoch 0, full replay).
+                let epoch = store.verified_consistent_epoch();
                 for r in 0..ranks {
                     epochs_replayed += store.rank_epoch(r).saturating_sub(epoch);
                 }
@@ -294,8 +319,8 @@ mod tests {
                 tag: 7,
                 waited: Duration::from_millis(300),
                 diagnostic: FabricDiagnostic {
-                    blocked: Vec::new(),
                     queues,
+                    ..FabricDiagnostic::default()
                 },
             })),
         }
@@ -328,6 +353,23 @@ mod tests {
             parked: 1,
         }]);
         assert_eq!(classify(&stalled), FailureClass::Stalled);
+    }
+
+    #[test]
+    fn detected_corruption_classifies_as_corrupted() {
+        use crate::fault::PayloadCorruption;
+        let c = RankFailure {
+            rank: 1,
+            phase: "halo-verify",
+            kind: FailureKind::Corrupt(Box::new(PayloadCorruption {
+                rank: 1,
+                src: 0,
+                tag: 7,
+                seq: 3,
+                diagnostic: FabricDiagnostic::default(),
+            })),
+        };
+        assert_eq!(classify(&c), FailureClass::Corrupted);
     }
 
     #[test]

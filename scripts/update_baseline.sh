@@ -3,10 +3,11 @@
 # invocation:
 #
 #   results/baseline.json                  the simulated headline suite
-#   results/baseline_chaos_soak.json       chaos_soak      --seeds 10 --threads 2,4
-#   results/baseline_recovery_soak.json    recovery_soak   --seeds 6  --threads 2,4
+#   results/baseline_chaos_soak.json       chaos_soak      --seeds 10 --threads 2,4 --corrupt
+#   results/baseline_recovery_soak.json    recovery_soak   --seeds 6  --threads 2,4 --corrupt
 #   results/baseline_service_soak.json     service_soak    --jobs 1000 --workers 2,4
 #   results/baseline_durability_soak.json  durability_soak --seeds 10 --threads 2,4
+#   results/baseline_integrity_soak.json   integrity_soak  --seeds 6  --threads 2,4
 #
 # Each soak runs with the exact arguments CI uses, so the logical
 # counters the gate pins exactly (messages, bytes, cache compiles, job
@@ -47,7 +48,7 @@ fail() {
 
 cargo build --release --offline -p gpaw-bench \
     --bin perf_gate --bin chaos_soak --bin recovery_soak --bin service_soak \
-    --bin durability_soak \
+    --bin durability_soak --bin integrity_soak \
     || fail "cargo build failed; no baseline was touched"
 mkdir -p results
 
@@ -72,14 +73,17 @@ if [ "$status" -ge 2 ]; then
 fi
 validate_json results/baseline.json
 
-# 2. Chaos soak: seeded fault sweep, bit-exact per seed.
-./target/release/chaos_soak --seeds 10 --threads 2,4 \
+# 2. Chaos soak: seeded fault sweep, bit-exact per seed, plus the
+#    corruption arm (typed failure unsupervised, bitwise recovery under
+#    supervision).
+./target/release/chaos_soak --seeds 10 --threads 2,4 --corrupt \
     || fail "chaos_soak failed; baseline_chaos_soak.json NOT updated"
 validate_json BENCH_chaos_soak.json
 cp BENCH_chaos_soak.json results/baseline_chaos_soak.json
 
-# 3. Recovery soak: lethal faults supervised to completion.
-./target/release/recovery_soak --seeds 6 --threads 2,4 \
+# 3. Recovery soak: lethal faults supervised to completion, plus the
+#    seeded-corruption injector.
+./target/release/recovery_soak --seeds 6 --threads 2,4 --corrupt \
     || fail "recovery_soak failed; baseline_recovery_soak.json NOT updated"
 validate_json BENCH_recovery_soak.json
 cp BENCH_recovery_soak.json results/baseline_recovery_soak.json
@@ -100,6 +104,15 @@ cp BENCH_service_soak.json results/baseline_service_soak.json
 validate_json BENCH_durability_soak.json
 cp BENCH_durability_soak.json results/baseline_durability_soak.json
 
+# 6. Integrity soak: payload flips, typed unsupervised probes, and
+#    snapshot poison across all five strategies, every recovered run held
+#    bitwise with exact logical traffic before the report is trusted as
+#    a baseline.
+./target/release/integrity_soak --seeds 6 --threads 2,4 \
+    || fail "integrity_soak failed; baseline_integrity_soak.json NOT updated"
+validate_json BENCH_integrity_soak.json
+cp BENCH_integrity_soak.json results/baseline_integrity_soak.json
+
 echo
-echo "all five baselines updated; review the diff and commit it:"
+echo "all six baselines updated; review the diff and commit it:"
 git --no-pager diff --stat -- results/
