@@ -1,8 +1,8 @@
 //! Chaos soak: the native plane's parity under sustained perturbation.
 //!
 //! Sweeps seeded benign fault schedules (delays, duplicates,
-//! drop-with-redelivery — `FaultPlan::benign`) across all four strategies
-//! and a set of thread counts, validating every single run bitwise
+//! drop-with-redelivery — `FaultPlan::benign`) across every registered
+//! strategy and a set of thread counts, validating every single run bitwise
 //! against the sequential reference and checking that the reported
 //! message/byte counts match the clean run exactly. One lethal section
 //! then verifies the failure path end to end: a black-holed message must
@@ -21,14 +21,14 @@
 //!
 //! Usage: `chaos_soak [--seeds N] [--threads 2,4] [--quick] [--corrupt]`
 
-use gpaw_bench::{emit_report, Table};
-use gpaw_fd::exec::{max_error_vs_reference, sequential_reference};
+use gpaw_bench::{all_approaches, emit_report, Table};
+use gpaw_fd::exec::{max_error_vs_reference_planned, sequential_reference};
 use gpaw_fd::plan::RankPlan;
 use gpaw_fd::ExperimentReport;
 use gpaw_grid::stencil::StencilCoeffs;
 use gpaw_hybrid_rt::{
-    all_strategies, run_native, supervise, FaultPlan, NativeJob, NativeRun, RetryPolicy, RunError,
-    Strategy,
+    all_strategies, run_native, supervise, FaultPlan, HybridMultiple, NativeJob, NativeRun,
+    RetryPolicy, RunError, Strategy,
 };
 use std::time::{Duration, Instant};
 
@@ -87,8 +87,10 @@ fn main() {
     }
     assert!(seeds >= 1, "--seeds must be at least 1");
 
+    // Both shapes keep every sub-extent ≥ 4, the temporal-blocked ghost
+    // depth (block 2 × halo 2), so the fused strategy soaks too.
     let base = if quick {
-        NativeJob::new([10, 8, 6], 4, 2)
+        NativeJob::new([12, 10, 8], 4, 2)
     } else {
         NativeJob::new([16, 16, 16], 6, 2)
     }
@@ -132,7 +134,14 @@ fn main() {
                     eprintln!("{} seed {seed}: benign chaos run failed: {e}", s.name());
                     std::process::exit(1);
                 });
-                let err = max_error_vs_reference(&run.sets, &run.map, job.grid_ext, &reference);
+                let cfg = job.config(s.approach());
+                let err = max_error_vs_reference_planned(
+                    &run.sets,
+                    &run.map,
+                    job.grid_ext,
+                    &reference,
+                    &cfg,
+                );
                 if err != 0.0 {
                     eprintln!(
                         "{} seed {seed} ({threads} threads): diverged from the \
@@ -186,11 +195,13 @@ fn main() {
                             eprintln!("{} seed {seed}: corrupt recovery failed: {e}", s.name());
                             std::process::exit(1);
                         });
-                    let err = max_error_vs_reference(
+                    let cfg = job.config(s.approach());
+                    let err = max_error_vs_reference_planned(
                         &sup.run.sets,
                         &sup.run.map,
                         job.grid_ext,
                         &reference,
+                        &cfg,
                     );
                     if err != 0.0
                         || sup.run.report.messages != clean.report.messages
@@ -240,9 +251,8 @@ fn main() {
         .with_recv_timeout_ms(watchdog_ms)
         .with_fault(FaultPlan::quiet(1).with_black_hole(0, 1, 1));
     let started = Instant::now();
-    let strategies = all_strategies::<f64>();
-    let hybrid = &strategies[2]; // Hybrid multiple: 2 ranks on 2 nodes
-    match run_native::<f64>(&lethal, hybrid.as_ref()) {
+    let hybrid = HybridMultiple; // 2 ranks on 2 nodes
+    match run_native::<f64>(&lethal, &hybrid) {
         Ok(_) => {
             eprintln!("black-holed run completed — the lethal fault was lost");
             std::process::exit(1);
@@ -272,6 +282,7 @@ fn main() {
              recovered bitwise ({corruptions_detected_total} detections counted)."
         );
     }
+    json.scalar("strategies_total", all_approaches().len() as f64);
     json.scalar("seeds", seeds as f64);
     json.scalar("runs_total", total_runs as f64);
     json.scalar("watchdog_ms", watchdog_ms as f64);

@@ -26,7 +26,7 @@
 //! Usage: `durability_soak [--seeds N] [--threads 2,4] [--quick]`
 //! (the `--child` spelling is internal).
 
-use gpaw_bench::{emit_report, Table};
+use gpaw_bench::{all_approaches, approach_slug, emit_report, parse_approach, Table};
 use gpaw_fd::config::Approach;
 use gpaw_fd::durable::DurableStore;
 use gpaw_fd::ExperimentReport;
@@ -43,22 +43,11 @@ use std::time::{Duration, Instant};
 /// 2 (usage), so the parent can assert "typed error, not a panic".
 const EXIT_DURABLE: i32 = 3;
 
-const APPROACHES: [(&str, Approach); 5] = [
-    ("flat-original", Approach::FlatOriginal),
-    ("flat-optimized", Approach::FlatOptimized),
-    ("hybrid-multiple", Approach::HybridMultiple),
-    ("hybrid-master-only", Approach::HybridMasterOnly),
-    ("flat-static", Approach::FlatStatic),
-];
-
-fn parse_approach(slug: &str) -> Option<Approach> {
-    APPROACHES.iter().find(|(s, _)| *s == slug).map(|&(_, a)| a)
-}
-
 /// The soak job: small grids so compute is cheap, throttled sweeps so a
-/// SIGKILL has a wide mid-run window to land in.
+/// SIGKILL has a wide mid-run window to land in. 12×10×8 keeps every
+/// sub-extent ≥ 4, the temporal-blocked ghost depth (block 2 × halo 2).
 fn soak_job(threads: usize, throttle_ms: u64) -> NativeJob {
-    NativeJob::new([10, 8, 6], 4, 2)
+    NativeJob::new([12, 10, 8], 4, 2)
         .with_threads(threads)
         .with_sweeps(6)
         .with_recv_timeout_ms(2000)
@@ -249,7 +238,8 @@ fn main() {
     let mut skipped_total = 0u64;
 
     for &threads in &thread_counts {
-        for (slug, approach) in APPROACHES {
+        for &approach in all_approaches() {
+            let slug = approach_slug(approach);
             let strategy = strategy_for::<f64>(approach);
             let name = strategy.name();
             let job = soak_job(threads, 0);
@@ -365,6 +355,7 @@ fn main() {
          traffic ({midrun_total} resumed mid-run, {resumed_epochs_total} epochs skipped by \
          restore, {corruption_cases} corruption cases degraded cleanly)."
     );
+    json.scalar("strategies_total", all_approaches().len() as f64);
     json.scalar("durability_seeds", seeds as f64);
     json.scalar("durability_runs_total", runs_total as f64);
     json.scalar("durability_kills_total", kills_total as f64);

@@ -31,7 +31,7 @@
 //! A missing or garbled checkpoint directory is a typed error and exit
 //! code 3 — never a panic.
 
-use gpaw_bench::{emit_report, mb, secs, Table};
+use gpaw_bench::{approach_slug, approach_slugs, emit_report, mb, parse_approach, secs, Table};
 use gpaw_des::SpanKind;
 use gpaw_fd::config::Approach;
 use gpaw_fd::exec::{max_error_vs_reference_planned, sequential_reference};
@@ -42,29 +42,6 @@ use gpaw_hybrid_rt::{
     RetryPolicy, RunError, Strategy,
 };
 use std::path::PathBuf;
-
-fn parse_approach(name: &str) -> Option<Approach> {
-    match name {
-        "flat-original" => Some(Approach::FlatOriginal),
-        "flat-optimized" => Some(Approach::FlatOptimized),
-        "hybrid-multiple" => Some(Approach::HybridMultiple),
-        "hybrid-master-only" => Some(Approach::HybridMasterOnly),
-        "flat-static" => Some(Approach::FlatStatic),
-        _ => None,
-    }
-}
-
-/// The inverse of [`parse_approach`] — the per-approach spill
-/// subdirectory name under `--checkpoint-dir`.
-fn approach_slug(a: Approach) -> &'static str {
-    match a {
-        Approach::FlatOriginal => "flat-original",
-        Approach::FlatOptimized => "flat-optimized",
-        Approach::HybridMultiple => "hybrid-multiple",
-        Approach::HybridMasterOnly => "hybrid-master-only",
-        Approach::FlatStatic => "flat-static",
-    }
-}
 
 fn main() {
     let mut threads = 4usize;
@@ -94,9 +71,9 @@ fn main() {
             "--approach" if i + 1 < args.len() => {
                 approach = Some(parse_approach(&args[i + 1]).unwrap_or_else(|| {
                     eprintln!(
-                        "unknown approach {:?}; expected flat-original, flat-optimized, \
-                         hybrid-multiple, hybrid-master-only, or flat-static",
-                        args[i + 1]
+                        "unknown approach {:?}; expected one of: {}",
+                        args[i + 1],
+                        approach_slugs()
                     );
                     std::process::exit(2);
                 }));

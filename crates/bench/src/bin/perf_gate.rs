@@ -12,10 +12,13 @@
 //!   full-machine scope exercises the mesh network;
 //! * headline job (2816×192³) at 1024 cores, Flat optimized + Hybrid
 //!   multiple, batch 32 — full scope at real scale;
-//! * headline job at 16 384 cores, all five approaches, best batch —
+//! * headline job at 16 384 cores, every registered approach, best batch —
 //!   unit-cell scope; carries the paper's 36 % vs 70 % utilization claim;
-//! * one native-runtime point (Hybrid multiple, 4×16³, 2 real threads),
-//!   validated bitwise against the sequential reference;
+//! * temporal-blocking pair (Fig. 5 job, 2 sweeps, 256 cores): Hybrid
+//!   multiple vs Temporal blocked; the fused schedule must move the same
+//!   faces in ≥ 40 % fewer exchange epochs (block 2 halves them exactly);
+//! * native-runtime points (Hybrid multiple and Temporal blocked, 4×16³,
+//!   2 real threads), validated bitwise against the sequential reference;
 //! * Fig. 2 ping at 10³/10⁵/10⁷ bytes.
 //!
 //! Tolerances (two-sided, applied per metric path):
@@ -295,14 +298,10 @@ fn run_suite() -> ExperimentReport {
     }
 
     // 3. Headline job at 16 384 cores, unit-cell scope, every approach at
-    //    its best batch — the paper's utilization claim.
-    for a in [
-        Approach::FlatOriginal,
-        Approach::FlatOptimized,
-        Approach::HybridMultiple,
-        Approach::HybridMasterOnly,
-        Approach::FlatStatic,
-    ] {
+    //    its best batch — the paper's utilization claim. Iterating the
+    //    canonical registry keeps this suite honest: a newly compiled
+    //    approach gets a gated point the moment it exists.
+    for a in Approach::ALL {
         let (batch, r) = f7.best_batch(16_384, a, &BIG_JOB_BATCHES, &model, ScopeSel::Cell);
         add(
             &mut json,
@@ -315,42 +314,97 @@ fn run_suite() -> ExperimentReport {
         );
     }
 
-    // 4. One native-runtime point: Hybrid multiple on real threads, small
-    //    enough for CI. Counts pin the schedule; times are wide-tolerance
-    //    (native wall clock is host-dependent, see tolerance_for).
+    // 4. Temporal blocking at equal sweeps: the fused schedule must move
+    //    the same faces in at least 40% fewer exchange epochs (block 2
+    //    halves them exactly) than Hybrid multiple on the DES plane. Both
+    //    points are gated (message counts exact), and the reduction is
+    //    asserted here so the gate cannot pass on a regressed fusion.
     {
-        use gpaw_fd::exec::{max_error_vs_reference, sequential_reference};
-        use gpaw_grid::stencil::StencilCoeffs;
-        use gpaw_hybrid_rt::{run_native, HybridMultiple, NativeJob};
-        let job = NativeJob::new([16, 16, 16], 4, 1).with_threads(2);
-        let run = run_native::<f64>(&job, &HybridMultiple).expect("2 threads divide 4 cores");
-        let coef = StencilCoeffs::laplacian(job.spacing);
-        let reference = sequential_reference::<f64>(
-            job.grid_ext,
-            job.n_grids,
-            job.seed,
-            &coef,
-            job.bc,
-            job.sweeps,
+        let mut fused = fig5_experiment();
+        fused.sweeps = 2;
+        let hm = fused.run(256, Approach::HybridMultiple, 8, &model, ScopeSel::Full);
+        let tb = fused.run(256, Approach::TemporalBlocked, 8, &model, ScopeSel::Full);
+        assert!(
+            tb.messages * 10 <= hm.messages * 6,
+            "temporal blocking must cut exchange epochs by >= 40% at equal sweeps \
+             ({} vs {} messages)",
+            tb.messages,
+            hm.messages
         );
-        assert_eq!(
-            max_error_vs_reference(&run.sets, &run.map, job.grid_ext, &reference),
-            0.0,
-            "native run diverged from the sequential reference"
+        let reduction = 1.0 - tb.messages as f64 / hm.messages as f64;
+        println!(
+            "Temporal blocking @256 (2 sweeps): {} vs {} messages ({:.0}% fewer epochs)",
+            tb.messages,
+            hm.messages,
+            reduction * 100.0
         );
         add(
             &mut json,
             &mut t,
-            "native/2/Hybrid multiple".to_string(),
+            "temporal/256/Hybrid multiple".to_string(),
             Approach::HybridMultiple,
-            2,
-            job.batch,
-            run.report,
+            256,
+            8,
+            hm,
         );
+        add(
+            &mut json,
+            &mut t,
+            "temporal/256/Temporal blocked".to_string(),
+            Approach::TemporalBlocked,
+            256,
+            8,
+            tb,
+        );
+        json.scalar("temporal_blocking_message_reduction", reduction);
+    }
+
+    // 5. Native-runtime points: Hybrid multiple and the fused temporal-
+    //    blocked schedule on real threads, small enough for CI. Counts pin
+    //    the schedules; times are wide-tolerance (native wall clock is
+    //    host-dependent, see tolerance_for).
+    {
+        use gpaw_fd::exec::{max_error_vs_reference, sequential_reference};
+        use gpaw_grid::stencil::StencilCoeffs;
+        use gpaw_hybrid_rt::{run_native, strategy_for, NativeJob};
+        for (approach, sweeps) in [
+            (Approach::HybridMultiple, 1),
+            // Two sweeps so the fused block really engages (block 2).
+            (Approach::TemporalBlocked, 2),
+        ] {
+            let job = NativeJob::new([16, 16, 16], 4, 1)
+                .with_threads(2)
+                .with_sweeps(sweeps);
+            let run = run_native::<f64>(&job, strategy_for(approach).as_ref())
+                .expect("2 threads divide 4 cores");
+            let coef = StencilCoeffs::laplacian(job.spacing);
+            let reference = sequential_reference::<f64>(
+                job.grid_ext,
+                job.n_grids,
+                job.seed,
+                &coef,
+                job.bc,
+                job.sweeps,
+            );
+            assert_eq!(
+                max_error_vs_reference(&run.sets, &run.map, job.grid_ext, &reference),
+                0.0,
+                "{approach:?}: native run diverged from the sequential reference"
+            );
+            add(
+                &mut json,
+                &mut t,
+                format!("native/2/{}", approach.label()),
+                approach,
+                2,
+                job.batch,
+                run.report,
+            );
+        }
         t.print();
     }
 
-    // 5. Fig. 2 ping bandwidths.
+    // 6. Fig. 2 ping bandwidths.
     for bytes in [1_000u64, 100_000, 10_000_000] {
         let s = p2p_bandwidth(&model, bytes);
         json.scalar(&format!("fig2_bandwidth_{bytes}"), s.bandwidth);
@@ -403,9 +457,21 @@ fn main() -> ExitCode {
                 report_path = Some(args[i + 1].clone());
                 i += 2;
             }
+            // Print the canonical strategy registry, one slug per line:
+            // scripts (update_baseline.sh) diff this against the soak
+            // reports so a strategy can never silently drop out of a soak.
+            "--approaches" => {
+                for a in Approach::ALL {
+                    println!("{}", a.slug());
+                }
+                return ExitCode::SUCCESS;
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: perf_gate [--baseline <path>] [--out <path>] [--report <path>]");
+                eprintln!(
+                    "usage: perf_gate [--baseline <path>] [--out <path>] [--report <path>] \
+                     [--approaches]"
+                );
                 return ExitCode::from(2);
             }
         }

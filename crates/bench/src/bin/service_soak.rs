@@ -20,7 +20,7 @@
 //!
 //! Usage: `service_soak [--jobs N] [--workers 2,4] [--quick]`
 
-use gpaw_bench::{emit_report, Table};
+use gpaw_bench::{all_approaches, emit_report, Table};
 use gpaw_fd::plan::RankPlan;
 use gpaw_fd::{Approach, ExperimentReport};
 use gpaw_hybrid_rt::{
@@ -85,13 +85,7 @@ fn generate_mix(jobs: usize) -> Vec<MixJob> {
         ([8, 8, 8], 2),
         ([12, 10, 8], 4),
     ];
-    let approaches = [
-        Approach::FlatOriginal,
-        Approach::FlatOptimized,
-        Approach::HybridMultiple,
-        Approach::HybridMasterOnly,
-        Approach::FlatStatic,
-    ];
+    let approaches = all_approaches();
     let mut rng = 0x5eed_5eed_5eed_5eedu64;
     let mut mix = Vec::with_capacity(jobs);
     for i in 0..jobs {
@@ -122,13 +116,15 @@ fn generate_mix(jobs: usize) -> Vec<MixJob> {
             continue;
         }
         let tenant = CLEAN_TENANTS[(r % 4) as usize];
-        let approach = approaches[((r >> 16) % 5) as usize];
-        let (grid_ext, n_grids) = if approach == Approach::FlatStatic {
+        let approach = approaches[((r >> 16) % approaches.len() as u64) as usize];
+        let (grid_ext, n_grids) = match approach {
             // Flat static-groups owns grids per core group: it needs at
             // least one grid per core, so it always gets the 4-grid shape.
-            shapes[3]
-        } else {
-            shapes[((r >> 8) % 4) as usize]
+            // Temporal blocking fuses two sweeps into a depth-4 ghost
+            // exchange, so its subdomains must stay ≥ 4 deep on every
+            // axis — only the 12×10×8 shape survives a 2-node split.
+            Approach::FlatStatic | Approach::TemporalBlocked => shapes[3],
+            _ => shapes[((r >> 8) % 4) as usize],
         };
         let nodes = 1 + ((r >> 24) % 2) as usize;
         let threads = if (r >> 32).is_multiple_of(2) { 2 } else { 4 };
@@ -186,6 +182,17 @@ fn generate_mix(jobs: usize) -> Vec<MixJob> {
     mix
 }
 
+/// Every registered approach must appear in the generated mix — a soak
+/// that silently skips a strategy is not soaking it.
+fn assert_mix_covers_every_approach(mix: &[MixJob]) {
+    for &a in all_approaches() {
+        if !mix.iter().any(|m| m.approach == a) {
+            eprintln!("the job mix never exercises {a:?} — the approach rotation is broken");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
     if sorted_ms.is_empty() {
         return 0.0;
@@ -237,6 +244,7 @@ fn main() {
 
     let mix = generate_mix(jobs);
     let faulty_total = mix.iter().filter(|m| m.faulty).count();
+    assert_mix_covers_every_approach(&mix);
 
     // Solo identities, one per distinct clean configuration: the digest
     // and logical traffic every serviced run must reproduce exactly.
@@ -442,5 +450,6 @@ fn main() {
          runs and exact logical traffic ({faulty_total} lethal-fault jobs recovered in \
          isolation)."
     );
+    json.scalar("strategies_total", all_approaches().len() as f64);
     emit_report(&json);
 }

@@ -21,7 +21,7 @@
 //! sweep count.
 //!
 //! **Integrity:** every snapshot carries a
-//! [`grids_digest`](crate::integrity::grids_digest) computed at deposit
+//! [`grids_digest`] computed at deposit
 //! time, and every read path (`restore`, `epoch_records`,
 //! [`CheckpointStore::verified_consistent_epoch`]) re-derives and checks
 //! it. A snapshot whose bits changed between deposit and restore — a

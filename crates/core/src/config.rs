@@ -1,7 +1,7 @@
 //! Approach selection and engine parameters.
 
 use gpaw_bgp_hw::ExecMode;
-use gpaw_grid::stencil::BoundaryCond;
+use gpaw_grid::stencil::{BoundaryCond, StencilCoeffs};
 use gpaw_simmpi::ThreadMode;
 
 /// The programming approaches of §VI (plus the §VII diagnostic variant).
@@ -29,10 +29,17 @@ pub enum Approach {
     /// excluded from the paper's graphs but runnable on all three planes
     /// since its schedule lives in the compiler like everyone else's.
     FlatStatic,
+    /// Temporal blocking (Wittmann–Hager–Wellein): fuse `k` stencil sweeps
+    /// into one pass with ghost layers of depth `k·h`, exchanging once per
+    /// block instead of once per sweep — the same bytes move in `1/k` as
+    /// many messages and exchange epochs. Runs in SMP mode with every
+    /// thread communicating for its own grids, like `HybridMultiple`; the
+    /// fused block is `FdConfig::effective_block`.
+    TemporalBlocked,
 }
 
 impl Approach {
-    /// All approaches of the paper's graphs (excludes the diagnostic).
+    /// All approaches of the paper's graphs (excludes the diagnostics).
     pub const GRAPHED: [Approach; 4] = [
         Approach::FlatOriginal,
         Approach::FlatOptimized,
@@ -40,20 +47,52 @@ impl Approach {
         Approach::HybridMasterOnly,
     ];
 
+    /// Every approach the compiler can emit, in canonical order. This is
+    /// THE strategy list: soaks, suites, and `all_strategies()` all derive
+    /// from it, so a new approach registers everywhere at once.
+    pub const ALL: [Approach; 6] = [
+        Approach::FlatOriginal,
+        Approach::FlatOptimized,
+        Approach::HybridMultiple,
+        Approach::HybridMasterOnly,
+        Approach::FlatStatic,
+        Approach::TemporalBlocked,
+    ];
+
+    /// Parse the kebab-case command-line name of an approach.
+    pub fn parse(name: &str) -> Option<Approach> {
+        Approach::ALL.into_iter().find(|a| a.slug() == name)
+    }
+
+    /// The kebab-case name: command-line `--approach` values and per-
+    /// approach checkpoint subdirectories. Inverse of [`Approach::parse`].
+    pub fn slug(self) -> &'static str {
+        match self {
+            Approach::FlatOriginal => "flat-original",
+            Approach::FlatOptimized => "flat-optimized",
+            Approach::HybridMultiple => "hybrid-multiple",
+            Approach::HybridMasterOnly => "hybrid-master-only",
+            Approach::FlatStatic => "flat-static",
+            Approach::TemporalBlocked => "temporal-blocked",
+        }
+    }
+
     /// Node execution mode this approach requires.
     pub fn exec_mode(self) -> ExecMode {
         match self {
             Approach::FlatOriginal | Approach::FlatOptimized | Approach::FlatStatic => {
                 ExecMode::Virtual
             }
-            Approach::HybridMultiple | Approach::HybridMasterOnly => ExecMode::Smp,
+            Approach::HybridMultiple | Approach::HybridMasterOnly | Approach::TemporalBlocked => {
+                ExecMode::Smp
+            }
         }
     }
 
     /// MPI thread support level this approach requires.
     pub fn thread_mode(self) -> ThreadMode {
         match self {
-            Approach::HybridMultiple => ThreadMode::Multiple,
+            Approach::HybridMultiple | Approach::TemporalBlocked => ThreadMode::Multiple,
             _ => ThreadMode::Single,
         }
     }
@@ -73,6 +112,7 @@ impl Approach {
             Approach::HybridMultiple => "Hybrid multiple",
             Approach::HybridMasterOnly => "Hybrid master-only",
             Approach::FlatStatic => "Flat static-groups",
+            Approach::TemporalBlocked => "Temporal blocked",
         }
     }
 }
@@ -96,6 +136,10 @@ pub struct FdConfig {
     pub bc: BoundaryCond,
     /// Applications of the FD operator per run.
     pub sweeps: usize,
+    /// Maximum sweeps fused per temporal block (`TemporalBlocked` only;
+    /// every other approach exchanges per sweep regardless). The block
+    /// actually compiled is [`FdConfig::effective_block`].
+    pub temporal_depth: usize,
 }
 
 impl FdConfig {
@@ -110,6 +154,11 @@ impl FdConfig {
             double_buffer: optimized,
             bc: BoundaryCond::Periodic,
             sweeps: 1,
+            temporal_depth: if matches!(approach, Approach::TemporalBlocked) {
+                2
+            } else {
+                1
+            },
         }
     }
 
@@ -127,6 +176,13 @@ impl FdConfig {
         self
     }
 
+    /// Set the maximum temporal block depth (≥ 1).
+    pub fn with_temporal_depth(mut self, depth: usize) -> FdConfig {
+        assert!(depth >= 1);
+        self.temporal_depth = depth;
+        self
+    }
+
     /// Effective batch size (FlatOriginal always exchanges per grid).
     pub fn effective_batch(&self) -> usize {
         if self.approach == Approach::FlatOriginal {
@@ -134,6 +190,27 @@ impl FdConfig {
         } else {
             self.batch
         }
+    }
+
+    /// Sweeps actually fused per exchange: 1 for every non-blocked
+    /// approach; for `TemporalBlocked` the largest divisor of `sweeps`
+    /// that is at most `temporal_depth`, so the run always decomposes
+    /// into whole blocks (a prime sweep count degrades gracefully toward
+    /// depth 1 rather than needing a ragged tail block).
+    pub fn effective_block(&self) -> usize {
+        if self.approach != Approach::TemporalBlocked {
+            return 1;
+        }
+        let cap = self.temporal_depth.max(1);
+        (1..=cap.min(self.sweeps))
+            .filter(|&k| self.sweeps.is_multiple_of(k))
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// Ghost-layer depth the grids need: one stencil halo per fused sweep.
+    pub fn halo_depth(&self) -> usize {
+        self.effective_block() * StencilCoeffs::HALO
     }
 }
 
@@ -170,5 +247,51 @@ mod tests {
         let opt = FdConfig::paper(Approach::FlatOptimized).with_batch(8);
         assert!(opt.double_buffer);
         assert_eq!(opt.effective_batch(), 8);
+    }
+
+    #[test]
+    fn slugs_round_trip_through_parse() {
+        for a in Approach::ALL {
+            assert_eq!(Approach::parse(a.slug()), Some(a));
+        }
+        assert_eq!(Approach::parse("no-such-approach"), None);
+        assert_eq!(Approach::ALL.len(), 6);
+        // The graphed set is a strict prefix of the canonical order.
+        assert_eq!(&Approach::ALL[..4], &Approach::GRAPHED[..]);
+    }
+
+    #[test]
+    fn temporal_block_divides_the_sweep_count() {
+        let tb = FdConfig::paper(Approach::TemporalBlocked);
+        assert_eq!(tb.temporal_depth, 2);
+        assert_eq!(tb.with_sweeps(4).effective_block(), 2);
+        assert_eq!(tb.with_sweeps(4).halo_depth(), 4);
+        // A prime sweep count has no divisor ≤ 2 other than 1.
+        assert_eq!(tb.with_sweeps(3).effective_block(), 1);
+        assert_eq!(tb.with_sweeps(3).halo_depth(), 2);
+        // Depth 3 over 9 sweeps fuses 3 at a time.
+        assert_eq!(
+            tb.with_temporal_depth(3).with_sweeps(9).effective_block(),
+            3
+        );
+        // A depth larger than the sweep count clamps to the sweep count.
+        assert_eq!(
+            tb.with_temporal_depth(8).with_sweeps(4).effective_block(),
+            4
+        );
+        // Every non-blocked approach exchanges per sweep regardless.
+        let hm = FdConfig::paper(Approach::HybridMultiple)
+            .with_sweeps(4)
+            .with_temporal_depth(2);
+        assert_eq!(hm.effective_block(), 1);
+        assert_eq!(hm.halo_depth(), StencilCoeffs::HALO);
+    }
+
+    #[test]
+    fn temporal_blocked_modes_match_hybrid_multiple() {
+        use Approach::TemporalBlocked;
+        assert_eq!(TemporalBlocked.exec_mode(), ExecMode::Smp);
+        assert_eq!(TemporalBlocked.thread_mode(), ThreadMode::Multiple);
+        assert!(TemporalBlocked.node_level_decomposition());
     }
 }

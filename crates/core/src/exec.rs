@@ -4,7 +4,7 @@
 //! the hybrid approaches, exactly the paper's thread-per-core layout),
 //! real packed faces through [`crate::transport::Transport`], and the real
 //! stencil kernel. The schedule itself is *not* decided here:
-//! [`interpret_sweep`] walks the [`SweepProgram`] op stream compiled by
+//! `interpret_sweep` walks the [`SweepProgram`] op stream compiled by
 //! [`crate::program::compile_rank`] — the same stream the timed and
 //! native planes execute — and maps each op to real data movement.
 //! Everything is verified against [`sequential_reference`], the
@@ -21,10 +21,10 @@ use gpaw_grid::decomp::{Decomposition, Subdomain};
 use gpaw_grid::generator;
 use gpaw_grid::grid3::Grid3;
 use gpaw_grid::gridset::GridSet;
-use gpaw_grid::halo::{pack_batch, unpack_batch, zero_face, Side};
+use gpaw_grid::halo::{pack_batch_region, unpack_batch_region, zero_face_region, Side};
 use gpaw_grid::scalar::{Scalar, C64};
 use gpaw_grid::stencil::{
-    apply, apply_sequential, apply_slab, slab_bounds, BoundaryCond, StencilCoeffs,
+    apply, apply_region, apply_sequential, apply_slab, slab_bounds, BoundaryCond, StencilCoeffs,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -65,7 +65,9 @@ fn recv_side(dir: Dir) -> Side {
     }
 }
 
-/// Post the face sends of one batch along the given directions.
+/// Post the face sends of one batch along the given directions, `depth`
+/// ghost planes deep. A widened (fused-exchange) send packs the
+/// just-filled earlier-axis ghosts too ([`RankPlan::exchange_wide`]).
 #[allow(clippy::too_many_arguments)] // mirrors the schedule's parameter list
 fn send_batch<T: Scalar>(
     tp: &Transport<T>,
@@ -75,6 +77,7 @@ fn send_batch<T: Scalar>(
     first_global: usize,
     sweep: usize,
     dirs: &[LinkDir],
+    depth: usize,
     tr: &mut WallTracer,
 ) {
     for &ld in dirs {
@@ -82,11 +85,13 @@ fn send_batch<T: Scalar>(
             let points = plan.face_points[ld.axis.index()] * local_ids.len();
             let mut buf = Vec::with_capacity(points);
             tr.open(SpanKind::HaloPack);
-            pack_batch(
+            pack_batch_region(
                 grids,
                 local_ids,
                 ld.axis.index(),
                 send_side(ld.dir),
+                depth,
+                plan.exchange_wide(ld.axis),
                 &mut buf,
             );
             tr.close();
@@ -99,7 +104,8 @@ fn send_batch<T: Scalar>(
 }
 
 /// Receive and unpack the face data of one batch along the given
-/// directions (zero-filling ghost planes at non-periodic edges).
+/// directions (zero-filling ghost planes at non-periodic edges), `depth`
+/// ghost planes deep with the plan's cross-section widening.
 #[allow(clippy::too_many_arguments)] // mirrors the schedule's parameter list
 fn recv_batch<T: Scalar>(
     tp: &Transport<T>,
@@ -109,22 +115,38 @@ fn recv_batch<T: Scalar>(
     first_global: usize,
     sweep: usize,
     dirs: &[LinkDir],
+    depth: usize,
     tr: &mut WallTracer,
 ) {
     for &ld in dirs {
+        let wide = plan.exchange_wide(ld.axis);
         match plan.neighbors[ld.index()] {
             Some(nb) => {
                 tr.open(SpanKind::Wait);
                 let buf = tp.recv(plan.rank, nb, recv_tag(sweep, first_global, ld));
                 tr.close();
                 tr.open(SpanKind::HaloUnpack);
-                unpack_batch(grids, local_ids, ld.axis.index(), recv_side(ld.dir), &buf);
+                unpack_batch_region(
+                    grids,
+                    local_ids,
+                    ld.axis.index(),
+                    recv_side(ld.dir),
+                    depth,
+                    wide,
+                    &buf,
+                );
                 tr.close();
             }
             None => {
                 tr.open(SpanKind::HaloUnpack);
                 for &g in local_ids {
-                    zero_face(&mut grids[g], ld.axis.index(), recv_side(ld.dir));
+                    zero_face_region(
+                        &mut grids[g],
+                        ld.axis.index(),
+                        recv_side(ld.dir),
+                        depth,
+                        wide,
+                    );
                 }
                 tr.close();
             }
@@ -132,15 +154,18 @@ fn recv_batch<T: Scalar>(
     }
 }
 
-/// One sweep of one thread's compiled program, interpreted on real data.
+/// One replay of one thread's compiled program, interpreted on real
+/// data. `sweep` is the replay's base sweep (a multiple of the block).
 ///
 /// The op semantics on this plane: `PostRecv` is a no-op (the in-process
 /// transport buffers sends internally, so a receive needs no pre-posting),
-/// `WaitAll` is the blocking receive+unpack, `ApplyBoundarySlab` runs one
-/// grid through an ephemeral slab-thread scope (the scope join *is* the
-/// barrier pair), and `ThreadBarrier`/`AdvanceBuffer` are no-ops (sibling
-/// endpoint threads share no data mid-sweep, and [`run_sweeps`] swaps the
-/// buffers).
+/// `WaitAll` is the blocking receive+unpack, `ComputeWavefront` applies
+/// the stencil over the extended box of its step (even steps read
+/// `inputs`, odd steps read back what the previous step wrote),
+/// `ApplyBoundarySlab` runs one grid through an ephemeral slab-thread
+/// scope (the scope join *is* the barrier pair), and
+/// `ThreadBarrier`/`AdvanceBuffer` are no-ops (sibling endpoint threads
+/// share no data mid-replay, and [`run_sweeps`] swaps the buffers).
 fn interpret_sweep<T: Scalar>(
     tp: &Transport<T>,
     prog: &SweepProgram,
@@ -151,10 +176,11 @@ fn interpret_sweep<T: Scalar>(
     tr: &mut WallTracer,
 ) {
     let plan = &prog.plan;
+    let block = prog.block();
     for op in &prog.ops {
         match *op {
             SweepOp::PostRecv { .. } => {}
-            SweepOp::SendFace { batch, dirs } => {
+            SweepOp::SendFace { batch, dirs, depth } => {
                 let ids: Vec<usize> = prog.locals_of(batch).collect();
                 send_batch(
                     tp,
@@ -164,10 +190,11 @@ fn interpret_sweep<T: Scalar>(
                     prog.first_global(batch),
                     sweep,
                     dirs.dirs(),
+                    depth,
                     tr,
                 );
             }
-            SweepOp::WaitAll { batch, dirs } => {
+            SweepOp::WaitAll { batch, dirs, depth } => {
                 let ids: Vec<usize> = prog.locals_of(batch).collect();
                 recv_batch(
                     tp,
@@ -177,6 +204,7 @@ fn interpret_sweep<T: Scalar>(
                     prog.first_global(batch),
                     sweep,
                     dirs.dirs(),
+                    depth,
                     tr,
                 );
             }
@@ -184,6 +212,39 @@ fn interpret_sweep<T: Scalar>(
                 tr.open(SpanKind::Compute);
                 for g in prog.locals_of(batch) {
                     apply(coef, &inputs[g], &mut outputs[g]);
+                }
+                tr.close();
+            }
+            SweepOp::ComputeWavefront {
+                batch,
+                step,
+                shrink,
+            } => {
+                // Extension of this step's output box: shrinks by
+                // `shrink` per step toward the exact subdomain, and is
+                // clamped to zero at faces with no neighbor (zero-BC
+                // ghosts are zero at *every* intermediate sweep, so
+                // there is nothing beyond the boundary to compute).
+                let ext = shrink * (block - 1 - step);
+                let mut em = [0usize; 3];
+                let mut ep = [0usize; 3];
+                for ld in LinkDir::ALL {
+                    if plan.neighbors[ld.index()].is_some() {
+                        match ld.dir {
+                            Dir::Minus => em[ld.axis.index()] = ext,
+                            Dir::Plus => ep[ld.axis.index()] = ext,
+                        }
+                    }
+                }
+                tr.open(SpanKind::Compute);
+                for g in prog.locals_of(batch) {
+                    // Even steps read the freshly exchanged inputs; odd
+                    // steps read the box the previous step just wrote.
+                    if step % 2 == 0 {
+                        apply_region(coef, &inputs[g], &mut outputs[g], em, ep);
+                    } else {
+                        apply_region(coef, &outputs[g], &mut inputs[g], em, ep);
+                    }
                 }
                 tr.close();
             }
@@ -256,17 +317,23 @@ fn compute_grids_slabs<T: Scalar>(
     });
 }
 
-/// Run `sweeps` sweeps via `one_sweep(inputs, outputs, sweep)`, swapping
-/// the roles between sweeps; returns the grids holding the final result.
+/// Run `sweeps` sweeps as `sweeps / block` replays of
+/// `one_replay(inputs, outputs, base_sweep)`; returns the grids holding
+/// the final result. A replay advancing an odd number of sweeps leaves
+/// its result in `outputs` (so the roles swap); an even block's
+/// wavefront lands back in `inputs` and no swap happens.
 fn run_sweeps<T: Scalar>(
     mut inputs: Vec<Grid3<T>>,
     mut outputs: Vec<Grid3<T>>,
     sweeps: usize,
-    mut one_sweep: impl FnMut(&mut [Grid3<T>], &mut [Grid3<T>], usize),
+    block: usize,
+    mut one_replay: impl FnMut(&mut [Grid3<T>], &mut [Grid3<T>], usize),
 ) -> Vec<Grid3<T>> {
-    for sweep in 0..sweeps {
-        one_sweep(&mut inputs, &mut outputs, sweep);
-        std::mem::swap(&mut inputs, &mut outputs);
+    for sweep in (0..sweeps).step_by(block) {
+        one_replay(&mut inputs, &mut outputs, sweep);
+        if block % 2 == 1 {
+            std::mem::swap(&mut inputs, &mut outputs);
+        }
     }
     inputs
 }
@@ -293,7 +360,9 @@ fn process_body<T: SyntheticFill>(
     // The grids this rank owns data for: all of them, except flat
     // static's quarter (local index i ↔ global id rank_asg.id(i)).
     let rank_asg = rank_assignment(cfg.approach, n_grids, map, rank);
-    let halo = StencilCoeffs::HALO;
+    // Ghost allocation follows the exchange depth: one stencil halo per
+    // fused sweep.
+    let halo = plan.halo;
     let mut inputs: Vec<Grid3<T>> = Vec::with_capacity(rank_asg.count);
     for i in 0..rank_asg.count {
         let mut grid = Grid3::zeros(plan.sub.ext, halo);
@@ -316,7 +385,7 @@ fn process_body<T: SyntheticFill>(
         // functional existence.
         ThreadRole::Single | ThreadRole::Master => {
             let prog = &programs[0];
-            let r = run_sweeps(inputs, outputs, prog.sweeps, |i, o, s| {
+            let r = run_sweeps(inputs, outputs, prog.sweeps, prog.block(), |i, o, s| {
                 interpret_sweep(tp, prog, coef, i, o, s, &mut tr)
             });
             (r, vec![tr.finish(rank, 0)])
@@ -378,7 +447,7 @@ fn hybrid_multiple_process<T: Scalar>(
                     None => WallTracer::disabled(),
                 };
                 debug_assert_eq!(prog.asg.count, ins.len());
-                let r = run_sweeps(ins, outs, prog.sweeps, |i, o, sweep| {
+                let r = run_sweeps(ins, outs, prog.sweeps, prog.block(), |i, o, sweep| {
                     interpret_sweep(tp, prog, coef, i, o, sweep, &mut tr)
                 });
                 (r, tr.finish(rank, t))
@@ -802,6 +871,80 @@ mod tests {
         let grid = [9, 9, 9];
         let map = smp_map(1, grid);
         let cfg = FdConfig::paper(Approach::HybridMultiple).with_batch(2);
+        check::<f64>(&cfg, &map, grid, 5);
+    }
+
+    #[test]
+    fn temporal_blocked_matches_reference() {
+        // 4 sweeps fused 2 at a time: two depth-4 ordered exchanges
+        // replace four depth-2 ones, bitwise against the reference.
+        let grid = [12, 10, 8];
+        let map = smp_map(2, grid);
+        let cfg = FdConfig::paper(Approach::TemporalBlocked)
+            .with_batch(2)
+            .with_sweeps(4);
+        check::<f64>(&cfg, &map, grid, 9);
+    }
+
+    #[test]
+    fn temporal_blocked_zero_boundary_matches_reference() {
+        // Zero BC: the wavefront clamps its extension at no-neighbor
+        // faces and forwarded ghost zeros are the correct outside data.
+        let grid = [12, 10, 8];
+        let map = smp_map(2, grid);
+        let mut cfg = FdConfig::paper(Approach::TemporalBlocked)
+            .with_batch(2)
+            .with_sweeps(4);
+        cfg.bc = BoundaryCond::Zero;
+        check::<f64>(&cfg, &map, grid, 5);
+    }
+
+    #[test]
+    fn temporal_blocked_single_process_self_exchange() {
+        // Every neighbor is the rank itself: the fused ordered exchange
+        // must still reproduce periodic wrap semantics.
+        let grid = [9, 9, 9];
+        let map = smp_map(1, grid);
+        let cfg = FdConfig::paper(Approach::TemporalBlocked)
+            .with_batch(2)
+            .with_sweeps(4);
+        check::<f64>(&cfg, &map, grid, 5);
+    }
+
+    #[test]
+    fn temporal_blocked_complex_grids_match_reference() {
+        let grid = [10, 10, 10];
+        let map = smp_map(2, grid);
+        let cfg = FdConfig::paper(Approach::TemporalBlocked)
+            .with_batch(3)
+            .with_sweeps(2);
+        check::<C64>(&cfg, &map, grid, 4);
+    }
+
+    #[test]
+    fn temporal_blocked_prime_sweeps_degrade_to_depth_one() {
+        // 3 sweeps have no divisor ≤ 2 except 1: the block degrades
+        // gracefully to per-sweep exchange and must still be exact.
+        let grid = [12, 10, 8];
+        let map = smp_map(2, grid);
+        let cfg = FdConfig::paper(Approach::TemporalBlocked)
+            .with_batch(2)
+            .with_sweeps(3);
+        assert_eq!(cfg.effective_block(), 1);
+        check::<f64>(&cfg, &map, grid, 6);
+    }
+
+    #[test]
+    fn temporal_blocked_depth_three_matches_reference() {
+        // An odd block (3): the wavefront ends in `outputs` and the
+        // buffers swap, unlike the even case.
+        let grid = [16, 14, 12];
+        let map = smp_map(2, grid);
+        let cfg = FdConfig::paper(Approach::TemporalBlocked)
+            .with_batch(2)
+            .with_sweeps(3)
+            .with_temporal_depth(3);
+        assert_eq!(cfg.effective_block(), 3);
         check::<f64>(&cfg, &map, grid, 5);
     }
 }

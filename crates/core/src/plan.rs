@@ -187,10 +187,18 @@ pub struct RankPlan {
     /// Neighbor rank per directed face (`LinkDir::index()` order); `None`
     /// at a non-periodic global edge.
     pub neighbors: [Option<usize>; 6],
-    /// Face points per grid per side, by axis (`halo × transverse area`).
+    /// Face points per grid per side, by axis: `exchange depth ×
+    /// cross-section area`, where a temporal-blocked exchange widens the
+    /// cross-section of later axes by the depth on each earlier axis (the
+    /// ordered exchange that fills edge and corner ghosts).
     pub face_points: [usize; 3],
     /// Bytes per grid point.
     pub bytes_per_point: usize,
+    /// Exchange depth: ghost planes filled per face per exchange
+    /// (`cfg.halo_depth()` — the stencil halo times the fused block).
+    pub halo: usize,
+    /// Sweeps fused per exchange (`cfg.effective_block()`).
+    pub block: usize,
 }
 
 impl RankPlan {
@@ -206,7 +214,9 @@ impl RankPlan {
         bytes_per_point: usize,
         cfg: &FdConfig,
     ) -> RankPlan {
-        let halo = StencilCoeffs::HALO;
+        let halo = cfg.halo_depth();
+        let block = cfg.effective_block();
+        debug_assert!(halo >= StencilCoeffs::HALO);
         let (sub, neighbors) = if cfg.approach == Approach::FlatStatic {
             // Node-level decomposition; neighbors are the same core on the
             // adjacent node (proc-coordinate step of one node block).
@@ -253,10 +263,15 @@ impl RankPlan {
                 sub.ext[d]
             );
         }
+        // A fused (block > 1) exchange runs the axes in order and widens
+        // each later axis's cross-section by the depth on the earlier
+        // axes, forwarding the just-received ghosts so edge and corner
+        // ghost boxes fill without diagonal messages.
+        let wide = if block > 1 { halo } else { 0 };
         let face_points = [
             halo * sub.ext[1] * sub.ext[2],
-            halo * sub.ext[0] * sub.ext[2],
-            halo * sub.ext[0] * sub.ext[1],
+            halo * (sub.ext[0] + 2 * wide) * sub.ext[2],
+            halo * (sub.ext[0] + 2 * wide) * (sub.ext[1] + 2 * wide),
         ];
         RankPlan {
             rank,
@@ -264,7 +279,23 @@ impl RankPlan {
             neighbors,
             face_points,
             bytes_per_point,
+            halo,
+            block,
         }
+    }
+
+    /// Cross-section widening of one face exchange along `axis`: ghost
+    /// planes included per other axis. Zero everywhere for depth-1
+    /// exchanges; for fused exchanges, `halo` on every axis exchanged
+    /// *before* `axis`.
+    pub fn exchange_wide(&self, axis: Axis) -> [usize; 3] {
+        let mut wide = [0; 3];
+        if self.block > 1 {
+            for w in wide.iter_mut().take(axis.index()) {
+                *w = self.halo;
+            }
+        }
+        wide
     }
 
     /// Bytes of one face message carrying `batch` grids along `axis`.
@@ -283,7 +314,9 @@ impl RankPlan {
         threads: usize,
     ) -> GridAssignment {
         match approach {
-            Approach::HybridMultiple => GridAssignment::round_robin(n_grids, t, threads),
+            Approach::HybridMultiple | Approach::TemporalBlocked => {
+                GridAssignment::round_robin(n_grids, t, threads)
+            }
             Approach::FlatStatic => GridAssignment::round_robin(n_grids, map.core_of(rank), 4),
             _ => GridAssignment::all(n_grids),
         }
@@ -519,6 +552,78 @@ mod tests {
         };
         let total: u64 = (0..4).map(|t| slab_share(&sub, t, 4).0).sum();
         assert_eq!(total, sub.points() as u64);
+    }
+
+    #[test]
+    fn fused_tags_land_on_block_boundaries() {
+        // A temporal-blocked run tags every message with its block's base
+        // sweep — always a multiple of the block — so `sweep_of_tag` maps
+        // any in-flight message to a valid resume epoch.
+        let block = 2;
+        let sweeps = 8;
+        for base in (0..sweeps).step_by(block) {
+            for ld in LinkDir::ALL {
+                let tag = message_tag(base, 4, ld);
+                assert_eq!(sweep_of_tag(tag), base);
+                assert_eq!(sweep_of_tag(tag) % block, 0, "base sweep off-block");
+            }
+        }
+        // The fused epochs are strictly monotone across block boundaries
+        // even though intermediate sweep values are skipped.
+        let n_batches = 3;
+        let mut last = None;
+        for base in (0..sweeps).step_by(block) {
+            for b in 0..n_batches {
+                let e = exchange_epoch(base, b, n_batches);
+                if let Some(prev) = last {
+                    assert!(e > prev, "epoch not monotone at sweep {base} batch {b}");
+                }
+                last = Some(e);
+            }
+        }
+        // The final block's epoch stays below the next run's first epoch.
+        assert!(
+            exchange_epoch(sweeps - block, n_batches - 1, n_batches)
+                < exchange_epoch(sweeps, 0, n_batches)
+        );
+    }
+
+    #[test]
+    fn temporal_blocked_plan_widens_later_axes() {
+        let p = Partition::standard(8, ExecMode::Smp).unwrap();
+        let map = CartMap::new(p, [2, 2, 2]).unwrap();
+        let c = cfg(Approach::TemporalBlocked).with_sweeps(4);
+        assert_eq!(c.effective_block(), 2);
+        let plan = RankPlan::for_rank(&map, [16, 16, 16], 0, 8, &c);
+        let h = c.halo_depth();
+        assert_eq!(h, 4);
+        assert_eq!(plan.halo, 4);
+        assert_eq!(plan.block, 2);
+        assert_eq!(plan.sub.ext, [8, 8, 8]);
+        // Axis 0 exchanges first (interior cross-section); axis 1 carries
+        // axis 0's ghosts; axis 2 carries both.
+        assert_eq!(
+            plan.face_points,
+            [
+                h * 8 * 8,
+                h * (8 + 2 * h) * 8,
+                h * (8 + 2 * h) * (8 + 2 * h)
+            ]
+        );
+        assert_eq!(plan.exchange_wide(Axis::X), [0, 0, 0]);
+        assert_eq!(plan.exchange_wide(Axis::Y), [h, 0, 0]);
+        assert_eq!(plan.exchange_wide(Axis::Z), [h, h, 0]);
+        // A depth-1 plan keeps the classic face geometry and no widening.
+        let hm = RankPlan::for_rank(
+            &map,
+            [16, 16, 16],
+            0,
+            8,
+            &cfg(Approach::HybridMultiple).with_sweeps(4),
+        );
+        assert_eq!(hm.halo, 2);
+        assert_eq!(hm.block, 1);
+        assert_eq!(hm.exchange_wide(Axis::Z), [0, 0, 0]);
     }
 
     #[test]

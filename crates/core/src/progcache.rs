@@ -53,6 +53,7 @@ pub struct ProgramKey {
     double_buffer: bool,
     periodic: bool,
     sweeps: usize,
+    temporal_depth: usize,
     node_dims: [usize; 3],
     wrap: bool,
     smp: bool,
@@ -82,6 +83,7 @@ impl ProgramKey {
             double_buffer: cfg.double_buffer,
             periodic: matches!(cfg.bc, BoundaryCond::Periodic),
             sweeps: cfg.sweeps,
+            temporal_depth: cfg.temporal_depth,
             node_dims: map.partition.node_shape.dims,
             wrap: map.partition.node_shape.wrap,
             smp: matches!(map.partition.mode, ExecMode::Smp),

@@ -15,6 +15,7 @@ use crate::config::FdConfig;
 use crate::plan::{recv_tag, send_tag, RankPlan};
 use crate::program::{compile_rank, SweepOp, SweepProgram};
 use gpaw_bgp_hw::spec::CostModel;
+use gpaw_bgp_hw::topology::{Axis, LinkDir};
 use gpaw_bgp_hw::{CartMap, Partition};
 use gpaw_simmpi::{Instr, Machine, Program, RunReport, Scope};
 use std::collections::VecDeque;
@@ -75,14 +76,16 @@ impl StreamProgram {
     }
 
     /// Lower the op under the cursor into the instruction queue and
-    /// advance; wraps to the next sweep at the end of the op list.
+    /// advance; wraps to the next replay at the end of the op list. One
+    /// replay of a fused program covers `block` sweeps, so the cursor
+    /// advances the sweep counter by the block size.
     fn expand(&mut self) {
         let op = self.prog.ops[self.op_idx];
         self.lower(op);
         self.op_idx += 1;
         if self.op_idx == self.prog.ops.len() {
             self.op_idx = 0;
-            self.sweep += 1;
+            self.sweep += self.prog.block();
             if self.sweep >= self.prog.sweeps {
                 self.done = true;
             }
@@ -93,7 +96,7 @@ impl StreamProgram {
     fn lower(&mut self, op: SweepOp) {
         let plan = &self.prog.plan;
         match op {
-            SweepOp::PostRecv { batch, dirs } => {
+            SweepOp::PostRecv { batch, dirs, .. } => {
                 let size = self.prog.batches.size(batch);
                 let first = self.prog.first_global(batch);
                 let epoch = self.prog.epoch(self.sweep, batch);
@@ -108,7 +111,7 @@ impl StreamProgram {
                     }
                 }
             }
-            SweepOp::SendFace { batch, dirs } => {
+            SweepOp::SendFace { batch, dirs, .. } => {
                 let size = self.prog.batches.size(batch);
                 let first = self.prog.first_global(batch);
                 let epoch = self.prog.epoch(self.sweep, batch);
@@ -134,6 +137,36 @@ impl StreamProgram {
                     self.queue.push_back(Instr::Compute {
                         points: self.unit_points * size,
                         rows: self.unit_rows * size,
+                        grids: size,
+                    });
+                }
+            }
+            // One wavefront step of a fused block: the subdomain extended
+            // by `shrink * (block - 1 - step)` ghost layers on every side
+            // that has a neighbor. Redundant ghost-zone compute is exactly
+            // what temporal blocking trades for fewer exchange epochs, so
+            // the cost model charges the full extended box.
+            SweepOp::ComputeWavefront {
+                batch,
+                step,
+                shrink,
+            } => {
+                let size = self.prog.batches.size(batch) as u64;
+                if size > 0 {
+                    let ext = shrink * (self.prog.block() - 1 - step);
+                    let mut dims = [0u64; 3];
+                    for axis in Axis::ALL {
+                        let mut d = plan.sub.ext[axis.index()];
+                        for ld in LinkDir::ALL {
+                            if ld.axis == axis && plan.neighbors[ld.index()].is_some() {
+                                d += ext;
+                            }
+                        }
+                        dims[axis.index()] = d as u64;
+                    }
+                    self.queue.push_back(Instr::Compute {
+                        points: dims[0] * dims[1] * dims[2] * size,
+                        rows: dims[0] * dims[1] * size,
                         grids: size,
                     });
                 }
@@ -328,6 +361,22 @@ mod tests {
         let j = job(32, Approach::FlatStatic, 4);
         let r = run_timed(&j, &model(), ScopeSel::Full);
         assert!(r.messages > 0);
+    }
+
+    #[test]
+    fn temporal_blocking_halves_timed_messages() {
+        // Same decomposition, same batches, same endpoints — but the
+        // fused schedule exchanges once per block of 2 sweeps, so the
+        // simulated machine observes exactly half the messages.
+        let mut tb = job(32, Approach::TemporalBlocked, 4);
+        tb.config = tb.config.with_sweeps(4);
+        let mut hm = job(32, Approach::HybridMultiple, 4);
+        hm.config = hm.config.with_sweeps(4);
+        let rt = run_timed(&tb, &model(), ScopeSel::Full);
+        let rh = run_timed(&hm, &model(), ScopeSel::Full);
+        assert!(rt.messages > 0);
+        assert_eq!(rt.messages * 2, rh.messages);
+        assert!(rt.makespan.as_ps() > 0);
     }
 
     #[test]

@@ -38,59 +38,117 @@ impl Side {
 /// Points in one face of `g` along `axis` (halo-depth planes × the two
 /// other interior extents).
 pub fn face_points<T: Scalar>(g: &Grid3<T>, axis: usize) -> usize {
+    face_points_depth(g, axis, g.halo())
+}
+
+/// Points in one depth-`h` face of `g` along `axis`.
+pub fn face_points_depth<T: Scalar>(g: &Grid3<T>, axis: usize, h: usize) -> usize {
+    face_points_region(g, axis, h, [0; 3])
+}
+
+/// Points in one depth-`h` face of `g` along `axis` whose cross-section
+/// extends `wide[b]` planes beyond the interior on *both* sides of each
+/// other axis `b` (`wide[axis]` is ignored).
+///
+/// Widened cross-sections are how a multi-sweep (temporal-blocked)
+/// exchange fills edge and corner ghosts without diagonal messages: the
+/// axes are exchanged in ascending order and each later axis's face
+/// carries the ghost planes just received on the earlier axes.
+pub fn face_points_region<T: Scalar>(
+    g: &Grid3<T>,
+    axis: usize,
+    h: usize,
+    wide: [usize; 3],
+) -> usize {
+    assert!(axis < 3, "axis out of range");
+    assert!(h <= g.halo(), "face depth {h} exceeds halo {}", g.halo());
     let n = g.n();
-    let h = g.halo();
-    match axis {
-        0 => h * n[1] * n[2],
-        1 => h * n[0] * n[2],
-        2 => h * n[0] * n[1],
-        _ => panic!("axis out of range"),
+    let mut points = h;
+    for b in 0..3 {
+        if b != axis {
+            assert!(
+                wide[b] <= g.halo(),
+                "cross-section width {} exceeds halo {}",
+                wide[b],
+                g.halo()
+            );
+            points *= n[b] + 2 * wide[b];
+        }
     }
+    points
+}
+
+/// The per-axis index ranges of one face region: `h` planes adjacent to
+/// `boundary` of `axis` (interior planes when `pack`, ghost planes when
+/// not), crossed with the `wide`-extended extents of the other axes.
+fn face_region_ranges<T: Scalar>(
+    g: &Grid3<T>,
+    axis: usize,
+    boundary: Side,
+    h: usize,
+    wide: [usize; 3],
+    pack: bool,
+) -> [(isize, isize); 3] {
+    let n = g.n();
+    let mut ranges = [(0isize, 0isize); 3];
+    for b in 0..3 {
+        ranges[b] = if b == axis {
+            let ext = n[b] as isize;
+            let h = h as isize;
+            match (boundary, pack) {
+                (Side::Low, true) => (0, h),
+                (Side::High, true) => (ext - h, ext),
+                (Side::Low, false) => (-h, 0),
+                (Side::High, false) => (ext, ext + h),
+            }
+        } else {
+            (-(wide[b] as isize), (n[b] + wide[b]) as isize)
+        };
+    }
+    ranges
 }
 
 /// Append the `halo` interior planes adjacent to the `side` boundary of
 /// `axis` to `buf`, in ascending global order.
 pub fn pack_face<T: Scalar>(g: &Grid3<T>, axis: usize, side: Side, buf: &mut Vec<T>) {
-    let n = g.n();
-    let h = g.halo();
-    let range = |ext: usize| -> (isize, isize) {
-        match side {
-            Side::Low => (0, h as isize),
-            Side::High => ((ext - h) as isize, ext as isize),
-        }
-    };
-    match axis {
-        0 => {
-            let (a, b) = range(n[0]);
-            for i in a..b {
-                for j in 0..n[1] as isize {
-                    for k in 0..n[2] as isize {
-                        buf.push(g.get(i, j, k));
-                    }
-                }
+    pack_face_depth(g, axis, side, g.halo(), buf);
+}
+
+/// Append the `h` interior planes adjacent to the `side` boundary of
+/// `axis` to `buf`, in ascending global order. `h` may be any depth up to
+/// the grid's allocated halo; a depth-`h` exchange fills `h` ghost planes
+/// on the receiving side.
+pub fn pack_face_depth<T: Scalar>(
+    g: &Grid3<T>,
+    axis: usize,
+    side: Side,
+    h: usize,
+    buf: &mut Vec<T>,
+) {
+    pack_face_region(g, axis, side, h, [0; 3], buf);
+}
+
+/// Append a depth-`h`, `wide`-cross-section face region adjacent to the
+/// `side` boundary of `axis` to `buf`, in ascending global order. The
+/// cross-section reaches `wide[b]` *ghost* planes beyond the interior on
+/// the other axes, so a sender whose earlier-axis ghosts are current
+/// forwards edge and corner data to its neighbor.
+pub fn pack_face_region<T: Scalar>(
+    g: &Grid3<T>,
+    axis: usize,
+    side: Side,
+    h: usize,
+    wide: [usize; 3],
+    buf: &mut Vec<T>,
+) {
+    face_points_region(g, axis, h, wide); // validate depth and widths
+    let r = face_region_ranges(g, axis, side, h, wide, true);
+    for i in r[0].0..r[0].1 {
+        for j in r[1].0..r[1].1 {
+            for k in r[2].0..r[2].1 {
+                buf.push(g.get(i, j, k));
             }
         }
-        1 => {
-            let (a, b) = range(n[1]);
-            for i in 0..n[0] as isize {
-                for j in a..b {
-                    for k in 0..n[2] as isize {
-                        buf.push(g.get(i, j, k));
-                    }
-                }
-            }
-        }
-        2 => {
-            let (a, b) = range(n[2]);
-            for i in 0..n[0] as isize {
-                for j in 0..n[1] as isize {
-                    for k in a..b {
-                        buf.push(g.get(i, j, k));
-                    }
-                }
-            }
-        }
-        _ => panic!("axis out of range"),
     }
 }
 
@@ -101,53 +159,48 @@ pub fn pack_face<T: Scalar>(g: &Grid3<T>, axis: usize, side: Side, buf: &mut Vec
 /// Data from the `High` neighbor fills the ghost planes above the interior
 /// (`n .. n+h`); data from the `Low` neighbor fills `-h .. 0`.
 pub fn unpack_face<T: Scalar>(g: &mut Grid3<T>, axis: usize, from: Side, buf: &[T]) -> usize {
-    let n = g.n();
-    let h = g.halo();
-    let points = face_points(g, axis);
+    unpack_face_depth(g, axis, from, g.halo(), buf)
+}
+
+/// Write a depth-`h` face received *from* the `from` side of `axis` into
+/// the `h` ghost planes nearest that boundary. Returns the number of
+/// points consumed from `buf`.
+pub fn unpack_face_depth<T: Scalar>(
+    g: &mut Grid3<T>,
+    axis: usize,
+    from: Side,
+    h: usize,
+    buf: &[T],
+) -> usize {
+    unpack_face_region(g, axis, from, h, [0; 3], buf)
+}
+
+/// Write a depth-`h`, `wide`-cross-section face region received *from*
+/// the `from` side of `axis` into the ghost planes beyond that boundary
+/// (the exact mirror of [`pack_face_region`] on the sender). Returns the
+/// number of points consumed from `buf`.
+pub fn unpack_face_region<T: Scalar>(
+    g: &mut Grid3<T>,
+    axis: usize,
+    from: Side,
+    h: usize,
+    wide: [usize; 3],
+    buf: &[T],
+) -> usize {
+    let points = face_points_region(g, axis, h, wide);
     assert!(
         buf.len() >= points,
         "halo buffer underrun: have {}, need {points}",
         buf.len()
     );
     let mut it = buf.iter().copied();
-    let range = |ext: usize| -> (isize, isize) {
-        match from {
-            Side::Low => (-(h as isize), 0),
-            Side::High => (ext as isize, (ext + h) as isize),
-        }
-    };
-    match axis {
-        0 => {
-            let (a, b) = range(n[0]);
-            for i in a..b {
-                for j in 0..n[1] as isize {
-                    for k in 0..n[2] as isize {
-                        g.set(i, j, k, it.next().expect("length checked"));
-                    }
-                }
+    let r = face_region_ranges(g, axis, from, h, wide, false);
+    for i in r[0].0..r[0].1 {
+        for j in r[1].0..r[1].1 {
+            for k in r[2].0..r[2].1 {
+                g.set(i, j, k, it.next().expect("length checked"));
             }
         }
-        1 => {
-            let (a, b) = range(n[1]);
-            for i in 0..n[0] as isize {
-                for j in a..b {
-                    for k in 0..n[2] as isize {
-                        g.set(i, j, k, it.next().expect("length checked"));
-                    }
-                }
-            }
-        }
-        2 => {
-            let (a, b) = range(n[2]);
-            for i in 0..n[0] as isize {
-                for j in 0..n[1] as isize {
-                    for k in a..b {
-                        g.set(i, j, k, it.next().expect("length checked"));
-                    }
-                }
-            }
-        }
-        _ => panic!("axis out of range"),
     }
     points
 }
@@ -162,6 +215,36 @@ pub fn pack_batch<T: Scalar>(
 ) {
     for &g in ids {
         pack_face(&grids[g], axis, side, buf);
+    }
+}
+
+/// Pack one depth-`h` face of several grids into a single buffer.
+pub fn pack_batch_depth<T: Scalar>(
+    grids: &[Grid3<T>],
+    ids: &[usize],
+    axis: usize,
+    side: Side,
+    h: usize,
+    buf: &mut Vec<T>,
+) {
+    for &g in ids {
+        pack_face_depth(&grids[g], axis, side, h, buf);
+    }
+}
+
+/// Pack one depth-`h`, `wide`-cross-section face region of several grids
+/// into a single buffer.
+pub fn pack_batch_region<T: Scalar>(
+    grids: &[Grid3<T>],
+    ids: &[usize],
+    axis: usize,
+    side: Side,
+    h: usize,
+    wide: [usize; 3],
+    buf: &mut Vec<T>,
+) {
+    for &g in ids {
+        pack_face_region(&grids[g], axis, side, h, wide, buf);
     }
 }
 
@@ -180,11 +263,58 @@ pub fn unpack_batch<T: Scalar>(
     assert_eq!(off, buf.len(), "batched buffer length mismatch");
 }
 
+/// Unpack a batched depth-`h` face buffer into several grids' ghosts.
+pub fn unpack_batch_depth<T: Scalar>(
+    grids: &mut [Grid3<T>],
+    ids: &[usize],
+    axis: usize,
+    from: Side,
+    h: usize,
+    buf: &[T],
+) {
+    unpack_batch_region(grids, ids, axis, from, h, [0; 3], buf);
+}
+
+/// Unpack a batched depth-`h`, `wide`-cross-section face buffer into
+/// several grids' ghost regions.
+pub fn unpack_batch_region<T: Scalar>(
+    grids: &mut [Grid3<T>],
+    ids: &[usize],
+    axis: usize,
+    from: Side,
+    h: usize,
+    wide: [usize; 3],
+    buf: &[T],
+) {
+    let mut off = 0;
+    for &g in ids {
+        off += unpack_face_region(&mut grids[g], axis, from, h, wide, &buf[off..]);
+    }
+    assert_eq!(off, buf.len(), "batched buffer length mismatch");
+}
+
 /// Zero the ghost planes beyond one boundary (non-periodic global edges).
 pub fn zero_face<T: Scalar>(g: &mut Grid3<T>, axis: usize, from: Side) {
-    let points = face_points(g, axis);
+    zero_face_depth(g, axis, from, g.halo());
+}
+
+/// Zero the `h` ghost planes nearest one boundary.
+pub fn zero_face_depth<T: Scalar>(g: &mut Grid3<T>, axis: usize, from: Side, h: usize) {
+    zero_face_region(g, axis, from, h, [0; 3]);
+}
+
+/// Zero a depth-`h`, `wide`-cross-section ghost region beyond one
+/// boundary (the no-neighbor arm of a widened exchange).
+pub fn zero_face_region<T: Scalar>(
+    g: &mut Grid3<T>,
+    axis: usize,
+    from: Side,
+    h: usize,
+    wide: [usize; 3],
+) {
+    let points = face_points_region(g, axis, h, wide);
     let zeros = vec![T::zero(); points];
-    unpack_face(g, axis, from, &zeros);
+    unpack_face_region(g, axis, from, h, wide, &zeros);
 }
 
 #[cfg(test)]
@@ -313,5 +443,82 @@ mod tests {
         let mut g = grid([3, 3, 3]);
         let buf = vec![0.0; 3];
         unpack_face(&mut g, 0, Side::Low, &buf);
+    }
+
+    #[test]
+    fn depth_variants_at_full_halo_match_the_classics() {
+        let g = grid([4, 3, 3]);
+        let mut classic = Vec::new();
+        pack_face(&g, 0, Side::High, &mut classic);
+        let mut depth = Vec::new();
+        pack_face_depth(&g, 0, Side::High, g.halo(), &mut depth);
+        assert_eq!(classic, depth);
+        assert_eq!(face_points(&g, 0), face_points_depth(&g, 0, g.halo()));
+    }
+
+    #[test]
+    fn shallow_depth_moves_the_planes_nearest_the_boundary() {
+        // Allocate halo 4 but exchange only depth 1: exactly the single
+        // interior plane at the boundary travels, into the single ghost
+        // plane nearest it; deeper ghosts stay untouched.
+        let a = Grid3::from_fn([4, 3, 3], 4, |i, j, k| (i * 100 + j * 10 + k) as f64);
+        let mut b = Grid3::<f64>::zeros([4, 3, 3], 4);
+        let mut buf = Vec::new();
+        pack_face_depth(&a, 0, Side::High, 1, &mut buf);
+        assert_eq!(buf.len(), face_points_depth(&a, 0, 1));
+        let consumed = unpack_face_depth(&mut b, 0, Side::Low, 1, &buf);
+        assert_eq!(consumed, buf.len());
+        for j in 0..3isize {
+            for k in 0..3isize {
+                assert_eq!(b.get(-1, j, k), a.get(3, j, k));
+                assert_eq!(b.get(-2, j, k), 0.0, "deeper ghosts untouched");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_face_depth_clears_only_the_nearest_planes() {
+        let mut g = Grid3::from_fn([3, 3, 3], 4, |_, _, _| 1.0);
+        g.fill_halo_periodic();
+        zero_face_depth(&mut g, 0, Side::Low, 2);
+        for j in 0..3isize {
+            for k in 0..3isize {
+                assert_eq!(g.get(-1, j, k), 0.0);
+                assert_eq!(g.get(-2, j, k), 0.0);
+                assert_eq!(g.get(-3, j, k), 1.0, "plane beyond depth untouched");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds halo")]
+    fn depth_beyond_the_allocated_halo_is_rejected() {
+        let g = grid([3, 3, 3]);
+        let mut buf = Vec::new();
+        pack_face_depth(&g, 0, Side::Low, 3, &mut buf);
+    }
+
+    #[test]
+    fn widened_cross_section_forwards_edge_ghosts() {
+        // Ordered multi-axis exchange in miniature: the sender's x-ghosts
+        // are already current, so its y-face packed with an x-widened
+        // cross-section hands the receiver correct (x,y) edge ghosts.
+        let h = 2;
+        let mut a = Grid3::from_fn([4, 4, 4], h, |i, j, k| (i * 100 + j * 10 + k) as f64);
+        a.fill_halo_periodic(); // stands in for a completed x exchange
+        let mut b = Grid3::<f64>::zeros([4, 4, 4], h);
+        let mut buf = Vec::new();
+        pack_face_region(&a, 1, Side::High, h, [h, 0, 0], &mut buf);
+        assert_eq!(buf.len(), face_points_region(&a, 1, h, [h, 0, 0]));
+        assert_eq!(buf.len(), h * (4 + 2 * h) * 4);
+        let consumed = unpack_face_region(&mut b, 1, Side::Low, h, [h, 0, 0], &buf);
+        assert_eq!(consumed, buf.len());
+        // b's (x-ghost, y-ghost) edge region holds a's x-ghost face data.
+        for i in -(h as isize)..(4 + h) as isize {
+            for k in 0..4isize {
+                assert_eq!(b.get(i, -1, k), a.get(i, 3, k), "edge ghost ({i},-1,{k})");
+                assert_eq!(b.get(i, -2, k), a.get(i, 2, k));
+            }
+        }
     }
 }

@@ -151,6 +151,77 @@ pub fn apply_xrange<T: Scalar>(
     }
 }
 
+/// Apply the stencil to the interior *extended* outward by `em[a]` planes
+/// below and `ep[a]` planes above on each axis — the unit of one temporal-
+/// blocking wavefront step. Sub-sweep `s` of a fused block of `k` sweeps
+/// computes with extension `(k−1−s)·HALO` so that after the final step
+/// (extension 0) the interior holds exactly `k` sweeps' worth of updates
+/// from one depth-`k·HALO` exchange.
+///
+/// Reads reach `extension + HALO` ghost planes of `input`; writes land in
+/// the interior plus `extension` ghost planes of `out`. Per-point
+/// accumulation order is identical to [`apply`], so a fused run is bitwise
+/// equal to the sweep-at-a-time run.
+pub fn apply_region<T: Scalar>(
+    coef: &StencilCoeffs,
+    input: &Grid3<T>,
+    out: &mut Grid3<T>,
+    em: [usize; 3],
+    ep: [usize; 3],
+) {
+    let n = input.n();
+    assert_eq!(n, out.n(), "input/output extents must match");
+    for a in 0..3 {
+        assert!(
+            input.halo() >= em[a].max(ep[a]) + StencilCoeffs::HALO,
+            "input halo {} too shallow for extension {}/{} on axis {a}",
+            input.halo(),
+            em[a],
+            ep[a],
+        );
+        assert!(out.halo() >= em[a].max(ep[a]), "output halo too shallow");
+    }
+
+    let (zs_in, xs_in) = input.strides();
+    let src = input.data();
+    let c0 = coef.c0;
+    let [mx1, my1, mz1] = coef.m1;
+    let [px1, py1, pz1] = coef.p1;
+    let [mx2, my2, mz2] = coef.m2;
+    let [px2, py2, pz2] = coef.p2;
+
+    let z0 = -(em[2] as isize);
+    let z_len = n[2] + em[2] + ep[2];
+    for i in -(em[0] as isize)..(n[0] + ep[0]) as isize {
+        for j in -(em[1] as isize)..(n[1] + ep[1]) as isize {
+            let base_in = input.idx(i, j, z0);
+            let base_out = out.idx(i, j, z0);
+            let dst = &mut out.data_mut()[base_out..base_out + z_len];
+            for (k, d) in dst.iter_mut().enumerate() {
+                let c = base_in + k;
+                let mut acc = src[c].scale(c0);
+                // z neighbors: contiguous (ghosts are contiguous with the
+                // interior in the padded layout).
+                acc += src[c - 1].scale(mz1);
+                acc += src[c + 1].scale(pz1);
+                acc += src[c - 2].scale(mz2);
+                acc += src[c + 2].scale(pz2);
+                // y neighbors: one row away.
+                acc += src[c - zs_in].scale(my1);
+                acc += src[c + zs_in].scale(py1);
+                acc += src[c - 2 * zs_in].scale(my2);
+                acc += src[c + 2 * zs_in].scale(py2);
+                // x neighbors: one plane away.
+                acc += src[c - xs_in].scale(mx1);
+                acc += src[c + xs_in].scale(px1);
+                acc += src[c - 2 * xs_in].scale(mx2);
+                acc += src[c + 2 * xs_in].scale(px2);
+                *d = acc;
+            }
+        }
+    }
+}
+
 /// Apply the stencil for interior x range `x0..x1`, writing into a raw
 /// output slab as produced by [`Grid3::split_x_slabs`] (the slab's first
 /// plane is interior plane `x0`; y/z keep the padded layout).
@@ -401,6 +472,62 @@ mod tests {
             apply_slab(&coef, &input, bounds[s], bounds[s + 1], slab);
         }
         assert_eq!(full, slabbed);
+    }
+
+    #[test]
+    fn region_with_zero_extension_is_exactly_apply() {
+        let coef = StencilCoeffs::laplacian([0.2, 0.2, 0.2]);
+        let mut input: Grid3<f64> =
+            Grid3::from_fn([6, 5, 7], 4, |i, j, k| ((i * 13 + j * 5 + k) % 11) as f64);
+        input.fill_halo_periodic();
+        let mut plain = Grid3::zeros([6, 5, 7], 4);
+        apply(&coef, &input, &mut plain);
+        let mut region = Grid3::zeros([6, 5, 7], 4);
+        apply_region(&coef, &input, &mut region, [0; 3], [0; 3]);
+        assert_eq!(plain, region);
+    }
+
+    #[test]
+    fn two_fused_sweeps_match_two_plain_sweeps_bitwise() {
+        // Temporal blocking in miniature on one periodic rank with halo 4:
+        // fill ghosts once at depth 4, compute sweep 0 at extension 2 and
+        // sweep 1 at extension 0; the interior must be bitwise equal to two
+        // plain sweeps with a (depth-2) ghost fill before each.
+        let coef = StencilCoeffs::laplacian([0.3, 0.25, 0.2]);
+        let n = [6, 6, 8];
+        let init = |i: usize, j: usize, k: usize| ((i * 31 + j * 7 + k * 3) % 17) as f64;
+
+        // Reference: sweep-at-a-time with halo refills.
+        let mut a: Grid3<f64> = Grid3::from_fn(n, 2, &init);
+        let mut b = Grid3::zeros(n, 2);
+        a.fill_halo_periodic();
+        apply(&coef, &a, &mut b);
+        b.fill_halo_periodic();
+        apply(&coef, &b, &mut a);
+
+        // Fused: one depth-4 fill, then a shrinking wavefront.
+        let mut x: Grid3<f64> = Grid3::from_fn(n, 4, &init);
+        let mut y = Grid3::zeros(n, 4);
+        x.fill_halo_periodic();
+        apply_region(&coef, &x, &mut y, [2; 3], [2; 3]);
+        apply_region(&coef, &y, &mut x, [0; 3], [0; 3]);
+
+        for ([i, j, k], v) in a.iter_interior() {
+            assert_eq!(
+                v,
+                x.get(i as isize, j as isize, k as isize),
+                "fused result differs at ({i},{j},{k})"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too shallow")]
+    fn region_extension_beyond_input_halo_is_rejected() {
+        let coef = StencilCoeffs::laplacian([0.2; 3]);
+        let input: Grid3<f64> = Grid3::zeros([4, 4, 4], 2);
+        let mut out = Grid3::zeros([4, 4, 4], 2);
+        apply_region(&coef, &input, &mut out, [1; 3], [1; 3]);
     }
 
     #[test]

@@ -10,7 +10,10 @@
 
 use gpaw_grid::decomp::Decomposition;
 use gpaw_grid::grid3::Grid3;
-use gpaw_grid::halo::{face_points, pack_batch, pack_face, unpack_batch, unpack_face, Side};
+use gpaw_grid::halo::{
+    face_points, face_points_region, pack_batch, pack_batch_region, pack_face, pack_face_region,
+    unpack_batch, unpack_batch_region, unpack_face, unpack_face_region, Side,
+};
 
 const HALO: usize = 2;
 
@@ -27,8 +30,14 @@ fn wrap(x: isize, n: usize) -> usize {
 
 /// Build one rank's local grid, interior filled from the global function.
 fn local_grid(d: &Decomposition, pc: [usize; 3], grid: usize) -> Grid3<f64> {
+    local_grid_halo(d, pc, grid, HALO)
+}
+
+/// Same, with an explicit halo allocation (depth-`d` exchanges need
+/// halo >= d; ghosts start zeroed, which the depth tests exploit).
+fn local_grid_halo(d: &Decomposition, pc: [usize; 3], grid: usize, halo: usize) -> Grid3<f64> {
     let sub = d.subdomain(pc);
-    Grid3::from_fn(sub.ext, HALO, |i, j, k| {
+    Grid3::from_fn(sub.ext, halo, |i, j, k| {
         global_value(grid, sub.start[0] + i, sub.start[1] + j, sub.start[2] + k)
     })
 }
@@ -264,6 +273,233 @@ fn pack_then_unpack_is_lossless_for_every_face() {
                     }
                 }
             }
+        }
+    }
+}
+
+/// The neighbor process coordinate on `side` of `axis`, wrapping.
+fn neighbor_pc(d: &Decomposition, pc: [usize; 3], axis: usize, side: Side) -> [usize; 3] {
+    let mut npc = pc;
+    let step = match side {
+        Side::Low => -1,
+        Side::High => 1,
+    };
+    npc[axis] = wrap(pc[axis] as isize + step, d.proc_dims[axis]);
+    npc
+}
+
+/// Exchange every face at depth `h`, axes in ascending order. With
+/// `widen`, each later axis's face region reaches `h` ghost planes into
+/// the earlier axes — the ordered (GCE) exchange a temporal-blocked
+/// sweep uses, which fills edge and corner ghosts without diagonal
+/// messages. Axis rounds are sequential on purpose: a later axis's pack
+/// reads the ghosts the earlier rounds just filled.
+fn exchange_all_faces_ordered(d: &Decomposition, grids: &mut [Grid3<f64>], h: usize, widen: bool) {
+    let rank_of =
+        |pc: [usize; 3]| -> usize { (pc[0] * d.proc_dims[1] + pc[1]) * d.proc_dims[2] + pc[2] };
+    let coords: Vec<[usize; 3]> = d.iter().map(|(pc, _)| pc).collect();
+    for axis in 0..3 {
+        let mut wide = [0usize; 3];
+        if widen {
+            for w in wide.iter_mut().take(axis) {
+                *w = h;
+            }
+        }
+        for &pc in &coords {
+            for side in Side::BOTH {
+                let npc = neighbor_pc(d, pc, axis, side);
+                let mut buf = Vec::new();
+                pack_face_region(
+                    &grids[rank_of(npc)],
+                    axis,
+                    side.opposite(),
+                    h,
+                    wide,
+                    &mut buf,
+                );
+                let consumed =
+                    unpack_face_region(&mut grids[rank_of(pc)], axis, side, h, wide, &buf);
+                assert_eq!(
+                    consumed,
+                    buf.len(),
+                    "region pack/unpack moved unequal points"
+                );
+            }
+        }
+    }
+}
+
+/// Assert the full depth-`h` ghost shell (faces, edges, AND corners) of
+/// every rank equals the periodic global grid.
+fn assert_shell_matches(d: &Decomposition, grids: &[Grid3<f64>], grid_id: usize, h: usize) {
+    let h = h as isize;
+    for (rank, (_, sub)) in d.iter().enumerate() {
+        let g = &grids[rank];
+        for i in -h..sub.ext[0] as isize + h {
+            for j in -h..sub.ext[1] as isize + h {
+                for k in -h..sub.ext[2] as isize + h {
+                    let local = [i, j, k];
+                    if (0..3).all(|a| (0..sub.ext[a] as isize).contains(&local[a])) {
+                        continue; // interior: never written by an exchange
+                    }
+                    let gi = [
+                        wrap(sub.start[0] as isize + i, d.grid_ext[0]),
+                        wrap(sub.start[1] as isize + j, d.grid_ext[1]),
+                        wrap(sub.start[2] as isize + k, d.grid_ext[2]),
+                    ];
+                    assert_eq!(
+                        g.get(i, j, k),
+                        global_value(grid_id, gi[0], gi[1], gi[2]),
+                        "rank {rank} {sub} ghost ({i},{j},{k}) depth {h}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Uneven decompositions where every sub-extent is >= 3, so depths 1-3
+/// are all legal (a depth-`h` sender must own `h` interior planes).
+fn deep_cases() -> Vec<([usize; 3], [usize; 3])> {
+    vec![
+        ([13, 7, 9], [4, 2, 3]),
+        ([11, 13, 5], [2, 3, 1]),
+        ([9, 6, 17], [3, 2, 4]),
+        ([5, 4, 6], [1, 1, 1]),
+    ]
+}
+
+#[test]
+fn depth_d_exchange_fills_exactly_d_planes() {
+    // At every depth h in 1..=3 over grids allocated with halo 3: the h
+    // ghost planes nearest each face boundary round-trip to the periodic
+    // global values, while planes beyond h — and all edge/corner ghosts,
+    // which an unwidened face exchange never carries — stay at their
+    // zeroed initial state. Grid id 1 keeps 0.0 out of the value range.
+    const DEEP: usize = 3;
+    for h in 1..=DEEP {
+        for (grid_ext, proc_dims) in deep_cases() {
+            let d = Decomposition::new(grid_ext, proc_dims);
+            let mut grids: Vec<Grid3<f64>> = d
+                .iter()
+                .map(|(pc, _)| local_grid_halo(&d, pc, 1, DEEP))
+                .collect();
+            exchange_all_faces_ordered(&d, &mut grids, h, false);
+            for (rank, (_, sub)) in d.iter().enumerate() {
+                let g = &grids[rank];
+                let hs = h as isize;
+                for i in -(DEEP as isize)..(sub.ext[0] + DEEP) as isize {
+                    for j in -(DEEP as isize)..(sub.ext[1] + DEEP) as isize {
+                        for k in -(DEEP as isize)..(sub.ext[2] + DEEP) as isize {
+                            let local = [i, j, k];
+                            let out: Vec<usize> = (0..3)
+                                .filter(|&a| !(0..sub.ext[a] as isize).contains(&local[a]))
+                                .collect();
+                            if out.is_empty() {
+                                continue;
+                            }
+                            let face_within_h = out.len() == 1 && {
+                                let a = out[0];
+                                local[a] >= -hs && local[a] < sub.ext[a] as isize + hs
+                            };
+                            let got = g.get(i, j, k);
+                            if face_within_h {
+                                let gi = [
+                                    wrap(sub.start[0] as isize + i, d.grid_ext[0]),
+                                    wrap(sub.start[1] as isize + j, d.grid_ext[1]),
+                                    wrap(sub.start[2] as isize + k, d.grid_ext[2]),
+                                ];
+                                assert_eq!(
+                                    got,
+                                    global_value(1, gi[0], gi[1], gi[2]),
+                                    "rank {rank} depth {h} face ghost ({i},{j},{k})"
+                                );
+                            } else {
+                                assert_eq!(
+                                    got, 0.0,
+                                    "rank {rank} depth {h} ghost ({i},{j},{k}) \
+                                     written outside the exchanged region"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn ordered_widened_exchange_fills_the_full_shell_at_depths_1_to_3() {
+    // The temporal-blocking invariant: an ascending-axis exchange whose
+    // later axes carry the earlier axes' just-filled ghosts makes the
+    // ENTIRE depth-h shell current — faces, edges, and corners — with
+    // exactly six messages per rank per grid and no diagonal traffic.
+    for h in 1..=3usize {
+        for (grid_ext, proc_dims) in deep_cases() {
+            let d = Decomposition::new(grid_ext, proc_dims);
+            let mut grids: Vec<Grid3<f64>> = d
+                .iter()
+                .map(|(pc, _)| local_grid_halo(&d, pc, 0, h))
+                .collect();
+            exchange_all_faces_ordered(&d, &mut grids, h, true);
+            assert_shell_matches(&d, &grids, 0, h);
+        }
+    }
+}
+
+#[test]
+fn batched_region_round_trip_at_depths_1_to_3() {
+    // The batched form the interpreters actually emit: several grids'
+    // face regions through one buffer per (axis, side) message, at every
+    // depth, with the ordered widening. Each grid's full shell must be
+    // current afterwards, in batch order, with nothing left over.
+    let n_grids = 3;
+    for h in 1..=3usize {
+        let (grid_ext, proc_dims) = ([9, 6, 17], [3, 2, 4]);
+        let d = Decomposition::new(grid_ext, proc_dims);
+        let rank_of =
+            |pc: [usize; 3]| -> usize { (pc[0] * d.proc_dims[1] + pc[1]) * d.proc_dims[2] + pc[2] };
+        let coords: Vec<[usize; 3]> = d.iter().map(|(pc, _)| pc).collect();
+        let mut ranks: Vec<Vec<Grid3<f64>>> = coords
+            .iter()
+            .map(|&pc| {
+                (0..n_grids)
+                    .map(|g| local_grid_halo(&d, pc, g, h))
+                    .collect()
+            })
+            .collect();
+        let ids: Vec<usize> = (0..n_grids).collect();
+        for axis in 0..3 {
+            let mut wide = [0usize; 3];
+            for w in wide.iter_mut().take(axis) {
+                *w = h;
+            }
+            for &pc in &coords {
+                for side in Side::BOTH {
+                    let npc = neighbor_pc(&d, pc, axis, side);
+                    let mut buf = Vec::new();
+                    pack_batch_region(
+                        &ranks[rank_of(npc)],
+                        &ids,
+                        axis,
+                        side.opposite(),
+                        h,
+                        wide,
+                        &mut buf,
+                    );
+                    assert_eq!(
+                        buf.len(),
+                        n_grids * face_points_region(&ranks[rank_of(pc)][0], axis, h, wide),
+                        "batched region buffer length"
+                    );
+                    unpack_batch_region(&mut ranks[rank_of(pc)], &ids, axis, side, h, wide, &buf);
+                }
+            }
+        }
+        for g in 0..n_grids {
+            let grids: Vec<Grid3<f64>> = ranks.iter().map(|r| r[g].clone()).collect();
+            assert_shell_matches(&d, &grids, g, h);
         }
     }
 }

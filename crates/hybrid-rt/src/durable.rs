@@ -301,6 +301,15 @@ fn validate_restored<T: Scalar>(
             job.sweeps
         )));
     }
+    // A fused program can only resume at a block boundary: deposits only
+    // happen there, so anything else is another job's checkpoint.
+    let block = programs[0][0].block();
+    if !epoch.is_multiple_of(block) {
+        return Err(corrupt(format!(
+            "restored epoch {epoch} is not a multiple of the temporal block {block} — \
+             not this job's checkpoint",
+        )));
+    }
     let mut expected: Vec<(usize, usize)> = keys.to_vec();
     expected.sort_unstable();
     let mut found: Vec<(usize, usize)> = records.iter().map(|r| (r.rank, r.slot)).collect();
@@ -330,9 +339,11 @@ fn validate_restored<T: Scalar>(
 
 /// Charge the fabric for the traffic of sweeps `0..epochs`, which the
 /// killed process already sent: per compiled `SendFace` direction with a
-/// neighbor, `epochs` messages of the plan's static size. Per-tag
-/// sequence state needs no seeding — resuming at `start_sweep = epochs`
-/// means those tags are never used again.
+/// neighbor, one message of the plan's static size per *replay* of the
+/// program — `epochs` replays classically, `epochs / block` when the
+/// program fuses `block` sweeps per exchange. Per-tag sequence state
+/// needs no seeding — resuming at `start_sweep = epochs` means those
+/// tags are never used again.
 fn seed_restored_traffic<T: Scalar>(
     fabric: &NativeFabric<T>,
     programs: &JobPrograms,
@@ -340,13 +351,14 @@ fn seed_restored_traffic<T: Scalar>(
 ) {
     for (rank, progs) in programs.iter().enumerate() {
         for prog in progs {
+            let replays = (epochs / prog.block()) as u64;
             for op in &prog.ops {
-                if let SweepOp::SendFace { batch, dirs } = *op {
+                if let SweepOp::SendFace { batch, dirs, .. } = *op {
                     let grids = prog.batches.size(batch);
                     for ld in dirs.dirs() {
                         if let Some(nb) = prog.plan.neighbors[ld.index()] {
                             let bytes = prog.plan.msg_bytes(ld.axis, grids);
-                            fabric.credit_logical(rank, nb, epochs as u64, bytes * epochs as u64);
+                            fabric.credit_logical(rank, nb, replays, bytes * replays);
                         }
                     }
                 }

@@ -17,7 +17,8 @@
 //!   `bytes_per_node` / `network_bytes_per_node` split the timed machine
 //!   reports. Counters are charged once per *logical* message, so fault
 //!   injection (duplicates, redelivery) never changes the counts;
-//! * **the fault plane** — an optional seeded [`FaultPlan`] perturbs
+//! * **the fault plane** — an optional seeded
+//!   [`FaultPlan`](crate::fault::FaultPlan) perturbs
 //!   delivery (delay, duplicate-then-dedup, drop-with-redelivery) within
 //!   the bounds the real torus permits: messages carry per-`(src, tag)`
 //!   sequence numbers and [`NativeFabric::recv`] delivers strictly in

@@ -92,7 +92,7 @@ pub use service::{
 };
 pub use strategy::{
     all_strategies, strategy_for, FlatOptimized, FlatOriginal, FlatStatic, HybridMasterOnly,
-    HybridMultiple, RankCtx, Strategy, ThreadResult,
+    HybridMultiple, RankCtx, Strategy, TemporalBlocked, ThreadResult,
 };
 pub use supervisor::{
     supervise, supervise_cached, FailureClass, FailureSummary, RecoveryReport, RetryPolicy,

@@ -2,7 +2,7 @@
 //!
 //! [`run_native`] is the native counterpart of
 //! `gpaw_fd::exec::run_distributed_traced`: it builds the same
-//! [`CartMap`]/[`RankPlan`](gpaw_fd::plan::RankPlan) geometry, fills the
+//! [`CartMap`]/[`RankPlan`] geometry, fills the
 //! same synthetic grids, then hands each rank to a [`Strategy`] instead of
 //! the functional executor. The outcome carries the final grids (for
 //! bitwise validation), a [`RunReport`] in the timed plane's shape, and
@@ -16,7 +16,7 @@
 //! [`NativeJob::with_recv_timeout_ms`].
 //!
 //! Internally a run is split into *geometry resolution*
-//! ([`resolve_geometry`]) and *one attempt* ([`run_attempt`]); `run_native`
+//! (`resolve_geometry`) and *one attempt* (`run_attempt`); `run_native`
 //! is resolve + a fresh fabric + one attempt from epoch 0. The supervisor
 //! (`crate::supervisor`) reuses both to replay attempts against the same
 //! fabric from a checkpointed epoch.
@@ -195,7 +195,9 @@ pub(crate) fn resolve_geometry(
         .ok_or(RunError::UnsupportedNodeCount { nodes: job.nodes })?;
     let map = CartMap::best(partition, job.grid_ext);
     let threads = match approach {
-        Approach::HybridMultiple | Approach::HybridMasterOnly => job.threads,
+        Approach::HybridMultiple | Approach::HybridMasterOnly | Approach::TemporalBlocked => {
+            job.threads
+        }
         _ => 1,
     };
     map.cores_per_thread(threads)?;
@@ -331,7 +333,9 @@ pub(crate) fn run_attempt<T: SyntheticFill>(
 ) -> Result<NativeRun<T>, RunError> {
     let JobGeometry { map, cfg, coef, .. } = geo;
     let threads = geo.threads;
-    let halo = StencilCoeffs::HALO;
+    // Fused programs need `block · h` ghost layers; everything else gets
+    // the classic stencil halo (`halo_depth()` returns it for block 1).
+    let halo = cfg.halo_depth();
     let ranks = map.ranks();
     let epoch = Instant::now();
 

@@ -37,7 +37,7 @@
 use crate::error::{panic_message, StrategyError};
 use crate::fabric::NativeFabric;
 use crate::fault::RecvError;
-use gpaw_bgp_hw::topology::Dir;
+use gpaw_bgp_hw::topology::{Dir, LinkDir};
 use gpaw_fd::checkpoint::CheckpointStore;
 use gpaw_fd::config::Approach;
 use gpaw_fd::exec::SyntheticFill;
@@ -45,9 +45,9 @@ use gpaw_fd::plan::{recv_tag, send_tag, RankPlan};
 use gpaw_fd::program::{SweepOp, SweepProgram, ThreadRole};
 use gpaw_fd::trace::{Span, SpanKind, ThreadPhases, WallTracer};
 use gpaw_grid::grid3::Grid3;
-use gpaw_grid::halo::{pack_batch, unpack_batch, zero_face, Side};
+use gpaw_grid::halo::{pack_batch_region, unpack_batch_region, zero_face_region, Side};
 use gpaw_grid::scalar::Scalar;
-use gpaw_grid::stencil::{apply, apply_slab, slab_bounds, StencilCoeffs};
+use gpaw_grid::stencil::{apply, apply_region, apply_slab, slab_bounds, StencilCoeffs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Barrier, Mutex};
 use std::time::Instant;
@@ -154,6 +154,14 @@ pub struct HybridMasterOnly;
 /// line of plane-specific code.
 pub struct FlatStatic;
 
+/// *Temporal blocked* (Wittmann–Hager–Wellein): `k` sweeps fused per
+/// exchange — one depth-`k·h` ordered exchange, then a shrinking
+/// wavefront of `k` stencil applications over the widened ghost zone.
+/// Like `FlatStatic`, it gained this plane without one line of
+/// plane-specific scheduling: the fused schedule is entirely in the
+/// compiled op stream.
+pub struct TemporalBlocked;
+
 macro_rules! marker_strategy {
     ($ty:ident) => {
         impl<T: SyntheticFill> Strategy<T> for $ty {
@@ -169,18 +177,15 @@ marker_strategy!(FlatOptimized);
 marker_strategy!(HybridMultiple);
 marker_strategy!(HybridMasterOnly);
 marker_strategy!(FlatStatic);
+marker_strategy!(TemporalBlocked);
 
-/// The four paper strategies, in the paper's figure order.
+/// Every registered strategy, derived from [`Approach::ALL`] so a new
+/// approach registers in every soak and suite at once.
 pub fn all_strategies<T: SyntheticFill>() -> Vec<Box<dyn Strategy<T>>> {
-    vec![
-        Box::new(FlatOriginal),
-        Box::new(FlatOptimized),
-        Box::new(HybridMultiple),
-        Box::new(HybridMasterOnly),
-    ]
+    Approach::ALL.into_iter().map(strategy_for).collect()
 }
 
-/// The strategy for any approach, including the §VII diagnostic.
+/// The strategy for any approach, including the diagnostics.
 pub fn strategy_for<T: SyntheticFill>(approach: Approach) -> Box<dyn Strategy<T>> {
     match approach {
         Approach::FlatOriginal => Box::new(FlatOriginal),
@@ -188,6 +193,7 @@ pub fn strategy_for<T: SyntheticFill>(approach: Approach) -> Box<dyn Strategy<T>
         Approach::HybridMultiple => Box::new(HybridMultiple),
         Approach::HybridMasterOnly => Box::new(HybridMasterOnly),
         Approach::FlatStatic => Box::new(FlatStatic),
+        Approach::TemporalBlocked => Box::new(TemporalBlocked),
     }
 }
 
@@ -262,19 +268,22 @@ fn exec_comm_op<T: Scalar>(
         // The native fabric buffers sends internally; a receive needs no
         // pre-posting.
         SweepOp::PostRecv { .. } => {}
-        SweepOp::SendFace { batch, dirs } => {
+        SweepOp::SendFace { batch, dirs, depth } => {
             let local_ids: Vec<usize> = prog.locals_of(batch).collect();
             let first = prog.first_global(batch);
             for &ld in dirs.dirs() {
                 if let Some(nb) = plan.neighbors[ld.index()] {
+                    let wide = plan.exchange_wide(ld.axis);
                     let points = plan.face_points[ld.axis.index()] * local_ids.len();
                     let mut buf = Vec::with_capacity(points);
                     tr.open(SpanKind::HaloPack);
-                    pack_batch(
+                    pack_batch_region(
                         inputs,
                         &local_ids,
                         ld.axis.index(),
                         send_side(ld.dir),
+                        depth,
+                        wide,
                         &mut buf,
                     );
                     tr.close();
@@ -285,10 +294,11 @@ fn exec_comm_op<T: Scalar>(
                 }
             }
         }
-        SweepOp::WaitAll { batch, dirs } => {
+        SweepOp::WaitAll { batch, dirs, depth } => {
             let local_ids: Vec<usize> = prog.locals_of(batch).collect();
             let first = prog.first_global(batch);
             for &ld in dirs.dirs() {
+                let wide = plan.exchange_wide(ld.axis);
                 match plan.neighbors[ld.index()] {
                     Some(nb) => {
                         tr.open(SpanKind::Wait);
@@ -296,13 +306,27 @@ fn exec_comm_op<T: Scalar>(
                         tr.close();
                         let buf = res?;
                         tr.open(SpanKind::HaloUnpack);
-                        unpack_batch(inputs, &local_ids, ld.axis.index(), recv_side(ld.dir), &buf);
+                        unpack_batch_region(
+                            inputs,
+                            &local_ids,
+                            ld.axis.index(),
+                            recv_side(ld.dir),
+                            depth,
+                            wide,
+                            &buf,
+                        );
                         tr.close();
                     }
                     None => {
                         tr.open(SpanKind::HaloUnpack);
                         for &g in &local_ids {
-                            zero_face(&mut inputs[g], ld.axis.index(), recv_side(ld.dir));
+                            zero_face_region(
+                                &mut inputs[g],
+                                ld.axis.index(),
+                                recv_side(ld.dir),
+                                depth,
+                                wide,
+                            );
                         }
                         tr.close();
                     }
@@ -313,6 +337,38 @@ fn exec_comm_op<T: Scalar>(
             tr.open(SpanKind::Compute);
             for g in prog.locals_of(batch) {
                 apply(coef, &inputs[g], &mut outputs[g]);
+            }
+            tr.close();
+        }
+        // One wavefront step of a fused block: apply over the subdomain
+        // extended `shrink * (block - 1 - step)` layers into the ghost
+        // zone on every neighbored side. Even steps read `inputs`, odd
+        // steps read back from `outputs` — the same alternation as the
+        // functional plane, so the accumulation order (and the bits) are
+        // identical.
+        SweepOp::ComputeWavefront {
+            batch,
+            step,
+            shrink,
+        } => {
+            let ext = shrink * (prog.block() - 1 - step);
+            let mut em = [0usize; 3];
+            let mut ep = [0usize; 3];
+            for ld in LinkDir::ALL {
+                if plan.neighbors[ld.index()].is_some() {
+                    match ld.dir {
+                        Dir::Minus => em[ld.axis.index()] = ext,
+                        Dir::Plus => ep[ld.axis.index()] = ext,
+                    }
+                }
+            }
+            tr.open(SpanKind::Compute);
+            for g in prog.locals_of(batch) {
+                if step % 2 == 0 {
+                    apply_region(coef, &inputs[g], &mut outputs[g], em, ep);
+                } else {
+                    apply_region(coef, &outputs[g], &mut inputs[g], em, ep);
+                }
             }
             tr.close();
         }
@@ -354,12 +410,18 @@ fn run_single<T: Scalar>(
         coef: ctx.coef,
     };
     let mut tr = WallTracer::new(ctx.epoch);
-    for sweep in ctx.start_sweep..prog.sweeps {
+    let block = prog.block();
+    for sweep in (ctx.start_sweep..prog.sweeps).step_by(block) {
         for &op in &prog.ops {
             if op == SweepOp::AdvanceBuffer {
-                std::mem::swap(&mut inputs, &mut outputs);
+                // An even fused block ends with the result already back
+                // in `inputs`; only odd blocks (including the classic
+                // depth-1 programs) need the swap.
+                if block % 2 == 1 {
+                    std::mem::swap(&mut inputs, &mut outputs);
+                }
                 if let Some(store) = ctx.ckpt {
-                    deposit_snapshot(ctx, store, 0, sweep + 1, inputs.clone());
+                    deposit_snapshot(ctx, store, 0, sweep + block, inputs.clone());
                 }
                 if !ctx.throttle.is_zero() {
                     std::thread::sleep(ctx.throttle);
@@ -420,8 +482,9 @@ fn run_endpoints<T: Scalar>(
                 };
                 let mut tr = WallTracer::new(ctx.epoch);
                 debug_assert_eq!(prog.asg.count, ins.len());
+                let block = prog.block();
                 let mut err: Option<StrategyError> = None;
-                for sweep in ctx.start_sweep..prog.sweeps {
+                for sweep in (ctx.start_sweep..prog.sweeps).step_by(block) {
                     for &op in &prog.ops {
                         match op {
                             SweepOp::ThreadBarrier => {
@@ -436,12 +499,16 @@ fn run_endpoints<T: Scalar>(
                             }
                             SweepOp::AdvanceBuffer => {
                                 if err.is_none() {
-                                    std::mem::swap(&mut ins, &mut outs);
+                                    // Even fused blocks land the result in
+                                    // `ins` already; odd blocks swap.
+                                    if block % 2 == 1 {
+                                        std::mem::swap(&mut ins, &mut outs);
+                                    }
                                     // A failed endpoint never deposits: its
                                     // stale epoch pins the consistent floor,
                                     // so rollback lands where it last swapped.
                                     if let Some(store) = ctx.ckpt {
-                                        deposit_snapshot(ctx, store, t, sweep + 1, ins.clone());
+                                        deposit_snapshot(ctx, store, t, sweep + block, ins.clone());
                                     }
                                     if !ctx.throttle.is_zero() {
                                         std::thread::sleep(ctx.throttle);
@@ -608,7 +675,7 @@ fn run_master_pool<T: Scalar>(
             handles.push(s.spawn(move || -> Result<ThreadResult, StrategyError> {
                 let mut tr = WallTracer::new(ctx.epoch);
                 let mut err: Option<StrategyError> = None;
-                for _ in ctx.start_sweep..prog.sweeps {
+                for _ in (ctx.start_sweep..prog.sweeps).step_by(prog.block()) {
                     for &op in &prog.ops {
                         match op {
                             SweepOp::ApplyBoundarySlab { .. } => {
@@ -661,8 +728,9 @@ fn run_master_pool<T: Scalar>(
         let mut tr = WallTracer::new(ctx.epoch);
         let mut ins = inputs;
         let mut outs = outputs;
+        let block = prog.block();
         let mut master_err: Option<StrategyError> = None;
-        for sweep in ctx.start_sweep..prog.sweeps {
+        for sweep in (ctx.start_sweep..prog.sweeps).step_by(block) {
             for &op in &prog.ops {
                 match op {
                     SweepOp::ApplyBoundarySlab { batch, index } => {
@@ -700,11 +768,13 @@ fn run_master_pool<T: Scalar>(
                     }
                     SweepOp::AdvanceBuffer => {
                         if master_err.is_none() {
-                            std::mem::swap(&mut ins, &mut outs);
+                            if block % 2 == 1 {
+                                std::mem::swap(&mut ins, &mut outs);
+                            }
                             // Master-only: one deposit covers the rank; the
                             // pool never owns grids across sweeps.
                             if let Some(store) = ctx.ckpt {
-                                deposit_snapshot(ctx, store, 0, sweep + 1, ins.clone());
+                                deposit_snapshot(ctx, store, 0, sweep + block, ins.clone());
                             }
                             // Workers idle at the next slab fence meanwhile.
                             if !ctx.throttle.is_zero() {

@@ -165,7 +165,7 @@ pub(crate) fn checkpoint_keys(
     threads: usize,
 ) -> Vec<(usize, usize)> {
     match approach {
-        Approach::HybridMultiple => (0..ranks)
+        Approach::HybridMultiple | Approach::TemporalBlocked => (0..ranks)
             .flat_map(|r| (0..threads).map(move |t| (r, t)))
             .collect(),
         _ => (0..ranks).map(|r| (r, 0)).collect(),

@@ -23,19 +23,15 @@ use gpaw_grid::scalar::Scalar;
 use gpaw_grid::stencil::StencilCoeffs;
 use gpaw_hybrid_rt::{run_native, strategy_for, NativeJob};
 
-const APPROACHES: [Approach; 5] = [
-    Approach::FlatOriginal,
-    Approach::FlatOptimized,
-    Approach::HybridMultiple,
-    Approach::HybridMasterOnly,
-    Approach::FlatStatic,
-];
+const APPROACHES: [Approach; 6] = Approach::ALL;
 
 /// Threads per rank the native run will actually use for `approach`
 /// (flat approaches are pinned to one by virtual node mode).
 fn effective_threads(approach: Approach, job_threads: usize) -> usize {
     match approach {
-        Approach::HybridMultiple | Approach::HybridMasterOnly => job_threads,
+        Approach::HybridMultiple | Approach::HybridMasterOnly | Approach::TemporalBlocked => {
+            job_threads
+        }
         _ => 1,
     }
 }
@@ -154,7 +150,9 @@ fn predicted_program_traffic_equals_observed_fabric_traffic() {
     // threads) point.
     for &approach in &APPROACHES {
         let thread_counts: &[usize] = match approach {
-            Approach::HybridMultiple | Approach::HybridMasterOnly => &[1, 2, 4],
+            Approach::HybridMultiple | Approach::HybridMasterOnly | Approach::TemporalBlocked => {
+                &[1, 2, 4]
+            }
             _ => &[1],
         };
         for &batch in &[1usize, 2, 4] {

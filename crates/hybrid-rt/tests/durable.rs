@@ -33,16 +33,11 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-const ALL_FIVE: [Approach; 5] = [
-    Approach::FlatOriginal,
-    Approach::FlatOptimized,
-    Approach::HybridMultiple,
-    Approach::HybridMasterOnly,
-    Approach::FlatStatic,
-];
+const ALL_APPROACHES: [Approach; 6] = Approach::ALL;
 
 fn base_job(threads: usize, sweeps: usize) -> NativeJob {
-    NativeJob::new([10, 8, 6], 4, 2)
+    // Every sub-extent stays ≥ 4, the fused temporal-blocked ghost depth.
+    NativeJob::new([12, 10, 8], 4, 2)
         .with_threads(threads)
         .with_sweeps(sweeps)
         .with_recv_timeout_ms(1000)
@@ -98,12 +93,16 @@ fn assert_bit_identical(what: &str, dr: &DurableRun<f64>, clean: &gpaw_hybrid_rt
 #[test]
 fn kill_and_restore_is_bit_identical_for_every_strategy() {
     let sweeps = 4;
-    for approach in ALL_FIVE {
+    for approach in ALL_APPROACHES {
         let strategy = strategy_for::<f64>(approach);
         for threads in [2, 4] {
             let job = base_job(threads, sweeps);
+            // A fused program deposits (and therefore can be killed and
+            // restored) only at block boundaries, so the kill points must
+            // land on multiples of the approach's temporal block.
+            let block = job.config(approach).effective_block();
             let clean = run_native::<f64>(&job, strategy.as_ref()).expect("clean run");
-            for kill_after in [1, 2, 3] {
+            for kill_after in [1, 2, 3].into_iter().filter(|k| k % block == 0) {
                 let dir = tmpdir("prefix");
                 // The "kill": a durable run of only `kill_after` sweeps
                 // leaves exactly a SIGKILLed run's newest durable state.

@@ -28,16 +28,11 @@ use gpaw_hybrid_rt::{
 };
 use std::time::Duration;
 
-const ALL_FIVE: [Approach; 5] = [
-    Approach::FlatOriginal,
-    Approach::FlatOptimized,
-    Approach::HybridMultiple,
-    Approach::HybridMasterOnly,
-    Approach::FlatStatic,
-];
+const ALL_APPROACHES: [Approach; 6] = Approach::ALL;
 
 fn base_job(threads: usize) -> NativeJob {
-    NativeJob::new([10, 8, 6], 4, 2)
+    // Every sub-extent stays ≥ 4, the fused temporal-blocked ghost depth.
+    NativeJob::new([12, 10, 8], 4, 2)
         .with_threads(threads)
         .with_sweeps(2)
         .with_recv_timeout_ms(300)
@@ -102,7 +97,7 @@ fn assert_bitwise_with_exact_traffic(
 /// counted separately from logical traffic.
 #[test]
 fn corrupted_payloads_supervise_to_bitwise_parity_across_twenty_seeds() {
-    for approach in ALL_FIVE {
+    for approach in ALL_APPROACHES {
         let s = strategy_for::<f64>(approach);
         for threads in [2, 4] {
             let base = base_job(threads);
@@ -155,7 +150,7 @@ fn corrupted_payloads_supervise_to_bitwise_parity_across_twenty_seeds() {
 #[test]
 fn unsupervised_corruption_is_a_typed_integrity_error() {
     let base = base_job(2);
-    for approach in ALL_FIVE {
+    for approach in ALL_APPROACHES {
         let s = strategy_for::<f64>(approach);
         let clean = run_native::<f64>(&base, s.as_ref()).expect("clean run");
         let dst = neighbor_of_rank0(&base, s.as_ref(), &clean);
@@ -188,7 +183,7 @@ fn unsupervised_corruption_is_a_typed_integrity_error() {
 /// is still bitwise with exact traffic — for every strategy.
 #[test]
 fn poisoned_snapshots_degrade_the_rollback_and_recover_bitwise() {
-    for approach in ALL_FIVE {
+    for approach in ALL_APPROACHES {
         let s = strategy_for::<f64>(approach);
         let base = base_job(2).with_sweeps(3);
         let clean = run_native::<f64>(&base, s.as_ref()).expect("clean run");
@@ -238,7 +233,7 @@ fn poisoned_snapshots_degrade_the_rollback_and_recover_bitwise() {
 /// still completing bitwise.
 #[test]
 fn clean_runs_report_zero_detections_under_always_on_verification() {
-    for approach in ALL_FIVE {
+    for approach in ALL_APPROACHES {
         let s = strategy_for::<f64>(approach);
         let job = base_job(2);
         let clean = run_native::<f64>(&job, s.as_ref()).expect("clean run");

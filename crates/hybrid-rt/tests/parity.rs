@@ -7,7 +7,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use gpaw_des::SimDuration;
-use gpaw_fd::exec::{max_error_vs_reference, run_distributed, sequential_reference};
+use gpaw_fd::exec::{max_error_vs_reference_planned, run_distributed, sequential_reference};
 use gpaw_fd::trace::SpanKind;
 use gpaw_grid::scalar::C64;
 use gpaw_grid::stencil::BoundaryCond;
@@ -29,7 +29,8 @@ fn check_bitwise<T: gpaw_fd::exec::SyntheticFill>(job: &NativeJob, strategy: &dy
         job.bc,
         job.sweeps,
     );
-    let err = max_error_vs_reference(&run.sets, &run.map, job.grid_ext, &reference);
+    let cfg = job.config(strategy.approach());
+    let err = max_error_vs_reference_planned(&run.sets, &run.map, job.grid_ext, &reference, &cfg);
     assert_eq!(
         err,
         0.0,

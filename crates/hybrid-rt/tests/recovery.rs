@@ -17,7 +17,7 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use gpaw_fd::exec::{max_error_vs_reference, sequential_reference};
+use gpaw_fd::exec::{max_error_vs_reference_planned, sequential_reference};
 use gpaw_fd::plan::RankPlan;
 use gpaw_hybrid_rt::{
     all_strategies, run_native, supervise, FailureClass, FaultPlan, HybridMultiple, NativeJob,
@@ -26,7 +26,8 @@ use gpaw_hybrid_rt::{
 use std::time::Duration;
 
 fn base_job() -> NativeJob {
-    NativeJob::new([10, 8, 6], 4, 2)
+    // Every sub-extent stays ≥ 4, the fused temporal-blocked ghost depth.
+    NativeJob::new([12, 10, 8], 4, 2)
         .with_threads(2)
         .with_sweeps(2)
         .with_recv_timeout_ms(300)
@@ -76,7 +77,9 @@ fn assert_recovered_bitwise(
         job.bc,
         job.sweeps,
     );
-    let err = max_error_vs_reference(&sup.run.sets, &sup.run.map, job.grid_ext, &reference);
+    let cfg = job.config(strategy.approach());
+    let err =
+        max_error_vs_reference_planned(&sup.run.sets, &sup.run.map, job.grid_ext, &reference, &cfg);
     assert_eq!(
         err,
         0.0,

@@ -63,6 +63,22 @@ validate_json() {
         || fail "$1 did not parse as valid JSON; baselines NOT updated"
 }
 
+# Every soak must have exercised the FULL strategy registry: a soak that
+# silently skips a registered strategy (say, after a new Approach lands
+# but a soak keeps a stale hardcoded list) would bake that gap into the
+# baseline and the gate would never notice. Each soak emits a
+# `strategies_total` scalar; it must equal the registry size the
+# perf_gate binary reports.
+expected_strategies=$(./target/release/perf_gate --approaches | wc -l)
+[ "$expected_strategies" -ge 1 ] || fail "perf_gate --approaches printed no strategies"
+check_strategy_count() {
+    local got
+    got=$(sed -n 's/.*"strategies_total": *\([0-9][0-9]*\).*/\1/p' "$1" | head -n 1)
+    [ -n "$got" ] || fail "$1 carries no strategies_total scalar; rerun its soak from this tree"
+    [ "$got" -eq "$expected_strategies" ] || fail \
+        "$1 soaked $got strategies but the registry has $expected_strategies; a strategy is missing from the soak"
+}
+
 # 1. Headline suite. --out writes the fresh report before the (old)
 #    baseline comparison runs, so a mismatch exit of 1 is expected here;
 #    anything >= 2 means the suite itself failed.
@@ -79,6 +95,7 @@ validate_json results/baseline.json
 ./target/release/chaos_soak --seeds 10 --threads 2,4 --corrupt \
     || fail "chaos_soak failed; baseline_chaos_soak.json NOT updated"
 validate_json BENCH_chaos_soak.json
+check_strategy_count BENCH_chaos_soak.json
 cp BENCH_chaos_soak.json results/baseline_chaos_soak.json
 
 # 3. Recovery soak: lethal faults supervised to completion, plus the
@@ -86,6 +103,7 @@ cp BENCH_chaos_soak.json results/baseline_chaos_soak.json
 ./target/release/recovery_soak --seeds 6 --threads 2,4 --corrupt \
     || fail "recovery_soak failed; baseline_recovery_soak.json NOT updated"
 validate_json BENCH_recovery_soak.json
+check_strategy_count BENCH_recovery_soak.json
 cp BENCH_recovery_soak.json results/baseline_recovery_soak.json
 
 # 4. Service soak: 1000 mixed-size jobs across five tenants through the
@@ -94,23 +112,26 @@ cp BENCH_recovery_soak.json results/baseline_recovery_soak.json
 ./target/release/service_soak --jobs 1000 --workers 2,4 \
     || fail "service_soak failed; baseline_service_soak.json NOT updated"
 validate_json BENCH_service_soak.json
+check_strategy_count BENCH_service_soak.json
 cp BENCH_service_soak.json results/baseline_service_soak.json
 
-# 5. Durability soak: SIGKILL-and-restore across all five strategies,
+# 5. Durability soak: SIGKILL-and-restore across every registered strategy,
 #    every restored run held bit-identical with exact logical traffic
 #    before the report is trusted as a baseline.
 ./target/release/durability_soak --seeds 10 --threads 2,4 \
     || fail "durability_soak failed; baseline_durability_soak.json NOT updated"
 validate_json BENCH_durability_soak.json
+check_strategy_count BENCH_durability_soak.json
 cp BENCH_durability_soak.json results/baseline_durability_soak.json
 
 # 6. Integrity soak: payload flips, typed unsupervised probes, and
-#    snapshot poison across all five strategies, every recovered run held
-#    bitwise with exact logical traffic before the report is trusted as
-#    a baseline.
+#    snapshot poison across every registered strategy, every recovered
+#    run held bitwise with exact logical traffic before the report is
+#    trusted as a baseline.
 ./target/release/integrity_soak --seeds 6 --threads 2,4 \
     || fail "integrity_soak failed; baseline_integrity_soak.json NOT updated"
 validate_json BENCH_integrity_soak.json
+check_strategy_count BENCH_integrity_soak.json
 cp BENCH_integrity_soak.json results/baseline_integrity_soak.json
 
 echo
