@@ -125,14 +125,14 @@ fn main() {
             let job = base.with_threads(threads);
             let clean = run_native::<f64>(&job, s.as_ref()).unwrap_or_else(|e| {
                 eprintln!("{} clean run failed: {e}", s.name());
-                std::process::exit(2);
+                std::process::exit(e.exit_code());
             });
             let started = Instant::now();
             for seed in 0..seeds {
                 let chaotic_job = job.with_fault(FaultPlan::benign(seed));
                 let run = run_native::<f64>(&chaotic_job, s.as_ref()).unwrap_or_else(|e| {
                     eprintln!("{} seed {seed}: benign chaos run failed: {e}", s.name());
-                    std::process::exit(1);
+                    std::process::exit(e.exit_code());
                 });
                 let cfg = job.config(s.approach());
                 let err = max_error_vs_reference_planned(
@@ -193,7 +193,7 @@ fn main() {
                     let sup = supervise::<f64>(&timeout_job.with_fault(plan), s.as_ref(), &policy)
                         .unwrap_or_else(|e| {
                             eprintln!("{} seed {seed}: corrupt recovery failed: {e}", s.name());
-                            std::process::exit(1);
+                            std::process::exit(e.exit_code());
                         });
                     let cfg = job.config(s.approach());
                     let err = max_error_vs_reference_planned(
@@ -271,7 +271,7 @@ fn main() {
         }
         Err(e) => {
             eprintln!("black-holed run failed for the wrong reason: {e}");
-            std::process::exit(1);
+            std::process::exit(e.exit_code());
         }
     }
 

@@ -1,0 +1,464 @@
+//! Degradation soak: permanent rank loss becomes a completed run on
+//! fewer ranks — repeatedly, under the gate.
+//!
+//! The degradation plane's operating claim is stronger than recovery's:
+//! when a rank is *permanently* gone (its sends panic on every attempt,
+//! so no retry budget can outrun it), the supervisor must gather the
+//! last verified epoch, shrink onto the largest supported smaller
+//! geometry, and still finish **bit-identical** with **exact** logical
+//! traffic per geometry segment. This harness soaks that claim two ways:
+//!
+//! * **in-process rounds** — per strategy × thread count × seed, a
+//!   2-node job with a lethal rank (dead from sweep 2, layered over
+//!   benign chaos) runs under `supervise_degradable`. Every run must
+//!   degrade exactly once to the 1-node geometry, match the sequential
+//!   reference bitwise, and report each segment's logical traffic equal
+//!   to the statically-predicted span (`predicted_logical_span`) — the
+//!   degraded-away geometry's committed epochs and the survivor's
+//!   remainder both exact;
+//! * **kill rounds** — spawn this binary as a `--child` running the
+//!   2-node job durably with a per-sweep throttle, SIGKILL it after a
+//!   seed-derived delay, then `--restore` the spilled epoch **onto 1
+//!   node** in the parent. A mid-run kill must produce a cross-geometry
+//!   restore (a `DegradationReport` with `from_ranks > to_ranks`) that
+//!   finishes bit-identical with both segments exact.
+//!
+//! Exits non-zero on the first violation so CI runs it as a gate; the
+//! outcome counters flow through `BENCH_degradation_soak.json` into the
+//! perf gate's `/degradation/` arm (outcome counts exact, wall clock
+//! loose).
+//!
+//! Exit codes: 1 divergence/unrecovered, 2 usage, 3 durable checkpoint
+//! error, 4 undetected corruption — `RunError::exit_code`'s taxonomy.
+//!
+//! Usage: `degradation_soak [--seeds N] [--threads 2,4] [--quick]`
+//! (the `--child` spelling is internal).
+
+use gpaw_bench::{all_approaches, approach_slug, emit_report, parse_approach, Table};
+use gpaw_bgp_hw::{CartMap, Partition};
+use gpaw_fd::config::Approach;
+use gpaw_fd::exec::{max_error_vs_reference_planned, sequential_reference};
+use gpaw_fd::plan::RankPlan;
+use gpaw_fd::program::{compile_rank, predicted_logical_span, SweepProgram};
+use gpaw_fd::ExperimentReport;
+use gpaw_grid::stencil::StencilCoeffs;
+use gpaw_hybrid_rt::{
+    strategy_for, supervise_degradable, supervise_durable, DegradePolicy, DurabilityConfig,
+    FaultPlan, NativeJob, RetryPolicy, SupervisedRun,
+};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// The lethal rank starts failing at this sweep, so epochs 1 and 2
+/// commit first and the shrink resumes from a real mid-run checkpoint
+/// (2 is also a temporal block boundary).
+const LETHAL_FROM: usize = 2;
+const SWEEPS: usize = 4;
+
+/// Every sub-extent stays ≥ 4 (the temporal-blocked ghost depth) on
+/// both the 2-node and the degraded 1-node geometry.
+fn soak_job(threads: usize, throttle_ms: u64) -> NativeJob {
+    NativeJob::new([12, 10, 8], 4, 2)
+        .with_threads(threads)
+        .with_sweeps(SWEEPS)
+        .with_recv_timeout_ms(300)
+        .with_sweep_throttle_ms(throttle_ms)
+}
+
+fn retry_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 2,
+        base_backoff: Duration::from_millis(2),
+    }
+}
+
+/// SplitMix64 — the kill-delay schedule, a pure function of the seed.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Compile every rank's programs for `approach` at `nodes` — the static
+/// traffic model the per-segment exactness checks compare against.
+fn programs_for(job: &NativeJob, approach: Approach, nodes: usize) -> Vec<Vec<SweepProgram>> {
+    let part = Partition::standard(nodes, approach.exec_mode()).expect("standard node count");
+    let map = CartMap::best(part, job.grid_ext);
+    let threads = match approach {
+        Approach::HybridMultiple | Approach::HybridMasterOnly | Approach::TemporalBlocked => {
+            job.threads
+        }
+        _ => 1,
+    };
+    let cfg = job.config(approach);
+    (0..map.ranks())
+        .map(|r| {
+            let plan = RankPlan::for_rank(&map, job.grid_ext, r, 8, &cfg);
+            compile_rank(&cfg, &map, &plan, job.n_grids, threads)
+        })
+        .collect()
+}
+
+fn assert_bitwise(job: &NativeJob, approach: Approach, sup: &SupervisedRun<f64>, what: &str) {
+    let coef = StencilCoeffs::laplacian(job.spacing);
+    let reference = sequential_reference::<f64>(
+        job.grid_ext,
+        job.n_grids,
+        job.seed,
+        &coef,
+        job.bc,
+        job.sweeps,
+    );
+    let cfg = job.config(approach);
+    let err =
+        max_error_vs_reference_planned(&sup.run.sets, &sup.run.map, job.grid_ext, &reference, &cfg);
+    if err != 0.0 {
+        eprintln!("{what}: degraded run diverged from the sequential reference (max err {err:e})");
+        std::process::exit(1);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Child mode: run the 2-node job durably until SIGKILLed.
+// ---------------------------------------------------------------------
+
+fn run_child(args: &[String]) -> ! {
+    let mut approach = None;
+    let mut threads = 2usize;
+    let mut dir: Option<PathBuf> = None;
+    let mut throttle_ms = 0u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--child" => i += 1,
+            "--approach" if i + 1 < args.len() => {
+                approach = parse_approach(&args[i + 1]);
+                i += 2;
+            }
+            "--threads" if i + 1 < args.len() => {
+                threads = args[i + 1].parse().expect("--threads takes a number");
+                i += 2;
+            }
+            "--dir" if i + 1 < args.len() => {
+                dir = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
+            "--throttle-ms" if i + 1 < args.len() => {
+                throttle_ms = args[i + 1].parse().expect("--throttle-ms takes a number");
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown child argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (Some(approach), Some(dir)) = (approach, dir) else {
+        eprintln!("--child needs --approach and --dir");
+        std::process::exit(2);
+    };
+    let job = soak_job(threads, throttle_ms);
+    let strategy = strategy_for::<f64>(approach);
+    let durability = DurabilityConfig::new(&dir).with_spill_every(1);
+    match supervise_durable::<f64>(&job, strategy.as_ref(), &retry_policy(), &durability) {
+        Ok(_) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("victim run failed before the kill: {e}");
+            std::process::exit(e.exit_code());
+        }
+    }
+}
+
+fn spawn_child(slug: &str, threads: usize, dir: &Path, throttle_ms: u64) -> Command {
+    let exe = std::env::current_exe().expect("current_exe resolves");
+    let mut cmd = Command::new(exe);
+    cmd.arg("--child")
+        .arg("--approach")
+        .arg(slug)
+        .arg("--threads")
+        .arg(threads.to_string())
+        .arg("--dir")
+        .arg(dir)
+        .arg("--throttle-ms")
+        .arg(throttle_ms.to_string());
+    cmd
+}
+
+// ---------------------------------------------------------------------
+// Parent mode: the soak.
+// ---------------------------------------------------------------------
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--child") {
+        run_child(&args);
+    }
+
+    let mut seeds = 4u64;
+    let mut thread_counts: Vec<usize> = vec![2, 4];
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seeds" if i + 1 < args.len() => {
+                seeds = args[i + 1].parse().expect("--seeds takes a number");
+                i += 2;
+            }
+            "--threads" if i + 1 < args.len() => {
+                thread_counts = args[i + 1]
+                    .split(',')
+                    .map(|t| t.parse().expect("--threads takes e.g. 2,4"))
+                    .collect();
+                i += 2;
+            }
+            "--quick" => {
+                seeds = seeds.min(2);
+                thread_counts = vec![2];
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: degradation_soak [--seeds N] [--threads 2,4] [--quick]");
+                std::process::exit(2);
+            }
+        }
+    }
+    assert!(seeds >= 1, "--seeds must be at least 1");
+
+    let base = soak_job(thread_counts[0], 0);
+    println!(
+        "Degradation soak: {} grids of {:?}, {} sweeps, 2 nodes -> 1, lethal rank from sweep \
+         {LETHAL_FROM}, {} seeds x {:?} threads, {} attempts before shrinking\n",
+        base.n_grids,
+        base.grid_ext,
+        base.sweeps,
+        seeds,
+        thread_counts,
+        retry_policy().max_attempts
+    );
+
+    let mut json = ExperimentReport::new("degradation_soak");
+    let mut table = Table::new(vec![
+        "approach",
+        "threads",
+        "runs",
+        "degrades",
+        "retries charged",
+        "soak time",
+    ]);
+    let mut runs_total = 0u64;
+    let mut degrades_total = 0u64;
+    let mut segments_total = 0u64;
+    let mut retries_charged_total = 0u64;
+
+    // In-process rounds: every strategy must shrink and stay exact.
+    for &threads in &thread_counts {
+        for &approach in all_approaches() {
+            let strategy = strategy_for::<f64>(approach);
+            let name = strategy.name();
+            let job = soak_job(threads, 0);
+            let old_programs = programs_for(&job, approach, 2);
+            let new_programs = programs_for(&job, approach, 1);
+            let started = Instant::now();
+            let mut group_degrades = 0u64;
+            let mut group_retries = 0u64;
+            let mut last_report = None;
+            for seed in 0..seeds {
+                let faulted =
+                    job.with_fault(FaultPlan::benign(seed).with_lethal_rank_from(1, LETHAL_FROM));
+                let what = format!("{name} seed {seed} ({threads} threads)");
+                let sup = supervise_degradable::<f64>(
+                    &faulted,
+                    strategy.as_ref(),
+                    &retry_policy(),
+                    &DegradePolicy::default(),
+                )
+                .unwrap_or_else(|e| {
+                    eprintln!("{what}: degradation failed: {e}");
+                    std::process::exit(e.exit_code());
+                });
+                assert_bitwise(&faulted, approach, &sup, &what);
+                let Some(deg) = sup.recovery.degradation.as_ref() else {
+                    eprintln!("{what}: the lethal rank never forced a shrink — not soaking");
+                    std::process::exit(1);
+                };
+                if deg.from_ranks <= deg.to_ranks || deg.segments.len() != 2 {
+                    eprintln!(
+                        "{what}: malformed degradation ({} -> {} ranks, {} segments)",
+                        deg.from_ranks,
+                        deg.to_ranks,
+                        deg.segments.len()
+                    );
+                    std::process::exit(1);
+                }
+                // Per-segment exactness: committed spans at the static
+                // prediction, nothing leaked between geometries.
+                for (seg, programs) in deg.segments.iter().zip([&old_programs, &new_programs]) {
+                    let (m, b) = predicted_logical_span(programs, seg.start_epoch, seg.end_epoch);
+                    if seg.logical_messages != m || seg.logical_bytes != b {
+                        eprintln!(
+                            "{what}: segment {}..{} traffic is not exact ({}/{} vs predicted \
+                             {m}/{b})",
+                            seg.start_epoch, seg.end_epoch, seg.logical_messages, seg.logical_bytes
+                        );
+                        std::process::exit(1);
+                    }
+                }
+                group_degrades += u64::from(deg.degrades);
+                segments_total += deg.segments.len() as u64;
+                group_retries += sup
+                    .recovery
+                    .rank_escalations
+                    .iter()
+                    .map(|e| u64::from(e.retries))
+                    .sum::<u64>();
+                last_report = Some(sup.run.report.clone());
+                runs_total += 1;
+            }
+            degrades_total += group_degrades;
+            retries_charged_total += group_retries;
+            table.row(vec![
+                name.to_string(),
+                threads.to_string(),
+                seeds.to_string(),
+                group_degrades.to_string(),
+                group_retries.to_string(),
+                format!("{:.2}s", started.elapsed().as_secs_f64()),
+            ]);
+            // The point carries the *degraded* run's report: its final-
+            // segment traffic was asserted equal to the 1-node static
+            // prediction above, so the gate's exact message/byte checks
+            // watch the degradation invariant itself.
+            let report = last_report.expect("at least one seed ran");
+            json.push(
+                format!("degradation/{threads}/{name}"),
+                name,
+                report.threads,
+                job.batch,
+                report,
+            );
+        }
+    }
+    table.print();
+
+    // Kill rounds: SIGKILL a durable 2-node child, restore onto 1 node.
+    let throttle_ms = 30u64;
+    let root = std::env::temp_dir().join(format!("degradation_soak_{}", std::process::id()));
+    std::fs::create_dir_all(&root).expect("create soak root");
+    let durable_arm = [
+        Approach::FlatOptimized,
+        Approach::HybridMultiple,
+        Approach::TemporalBlocked,
+    ];
+    let mut kills_total = 0u64;
+    let mut cross_geometry_restores = 0u64;
+    println!();
+    for approach in durable_arm {
+        let slug = approach_slug(approach);
+        let strategy = strategy_for::<f64>(approach);
+        let name = strategy.name();
+        let threads = thread_counts[0];
+        let full = NativeJob {
+            nodes: 1,
+            ..soak_job(threads, 0)
+        };
+        let new_programs = programs_for(&full, approach, 1);
+        for seed in 0..seeds {
+            let dir = root.join(format!("{slug}_seed{seed}"));
+            // Kill anywhere from before the first sweep to past the
+            // ~120ms (4 sweeps x 30ms) run: the schedule must cover
+            // "nothing durable yet", "mid-run", and "already done".
+            let delay = Duration::from_millis(10 + splitmix(seed) % 200);
+            let mut victim = spawn_child(slug, threads, &dir, throttle_ms)
+                .stdout(Stdio::null())
+                .stderr(Stdio::null())
+                .spawn()
+                .expect("spawn victim child");
+            std::thread::sleep(delay);
+            let _ = victim.kill(); // SIGKILL — no chance to flush.
+            let _ = victim.wait();
+            kills_total += 1;
+
+            // The operator's restart has one node left. A very early
+            // kill can beat the victim to creating the directory; the
+            // restart then simply starts fresh on the small geometry.
+            let durability = DurabilityConfig::new(&dir).with_restore(dir.is_dir());
+            let what = format!("{name} kill seed {seed} (killed at {delay:?})");
+            let dr =
+                supervise_durable::<f64>(&full, strategy.as_ref(), &retry_policy(), &durability)
+                    .unwrap_or_else(|e| {
+                        eprintln!("{what}: restore onto 1 node failed: {e}");
+                        std::process::exit(e.exit_code());
+                    });
+            let sup = SupervisedRun {
+                run: dr.run,
+                recovery: dr.recovery.clone(),
+            };
+            assert_bitwise(&full, approach, &sup, &what);
+            if dr.durable.resumed_from > 0 {
+                // The spilled epoch came from the 2-node geometry, so a
+                // real resume must be a cross-geometry restore.
+                let Some(deg) = dr.recovery.degradation.as_ref() else {
+                    eprintln!("{what}: resumed from a 2-node epoch without a degradation report");
+                    std::process::exit(1);
+                };
+                if deg.from_ranks <= deg.to_ranks {
+                    eprintln!(
+                        "{what}: restore did not shrink ({} -> {} ranks)",
+                        deg.from_ranks, deg.to_ranks
+                    );
+                    std::process::exit(1);
+                }
+                let last = deg.segments.last().expect("restored segment");
+                let (m, b) = predicted_logical_span(&new_programs, last.start_epoch, SWEEPS);
+                if last.logical_messages != m || last.logical_bytes != b {
+                    eprintln!(
+                        "{what}: restored segment traffic is not exact ({}/{} vs predicted \
+                         {m}/{b})",
+                        last.logical_messages, last.logical_bytes
+                    );
+                    std::process::exit(1);
+                }
+                if dr.durable.resumed_from < SWEEPS {
+                    cross_geometry_restores += 1;
+                }
+            }
+            runs_total += 1;
+        }
+        println!("{name}: {seeds} kill-and-shrink restores held bitwise parity");
+    }
+    if cross_geometry_restores == 0 {
+        eprintln!(
+            "no SIGKILL ever landed mid-run ({kills_total} kills) — the soak is not soaking; \
+             raise --seeds or the throttle"
+        );
+        std::process::exit(1);
+    }
+    let _ = std::fs::remove_dir_all(&root);
+
+    println!(
+        "\nAll {runs_total} degraded runs finished bit-identical with exact per-segment \
+         traffic ({degrades_total} shrinks, {retries_charged_total} retries charged, \
+         {cross_geometry_restores} cross-geometry restores from {kills_total} kills)."
+    );
+    json.scalar("strategies_total", all_approaches().len() as f64);
+    json.scalar("degradation_seeds", seeds as f64);
+    json.scalar("degradation_runs_total", runs_total as f64);
+    json.scalar("degradation_degrades_total", degrades_total as f64);
+    json.scalar("degradation_segments_total", segments_total as f64);
+    json.scalar("degradation_kills_total", kills_total as f64);
+    // Where each SIGKILL lands (and hence how many restores are cross-
+    // geometry mid-run) is host scheduling — informational, not gated
+    // exactly; the in-process counters above are deterministic.
+    json.scalar(
+        "degradation_retries_charged_total",
+        retries_charged_total as f64,
+    );
+    json.scalar(
+        "degradation_cross_geometry_restores_total",
+        cross_geometry_restores as f64,
+    );
+    emit_report(&json);
+}

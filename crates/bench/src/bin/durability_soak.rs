@@ -32,7 +32,7 @@ use gpaw_fd::durable::DurableStore;
 use gpaw_fd::ExperimentReport;
 use gpaw_hybrid_rt::{
     run_digest, run_native, strategy_for, supervise_durable, DurabilityConfig, NativeJob,
-    RetryPolicy, RunError,
+    RetryPolicy,
 };
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
@@ -110,13 +110,12 @@ fn child_main(args: ChildArgs) -> ! {
             );
             std::process::exit(0);
         }
-        Err(RunError::Durable(e)) => {
-            eprintln!("durable error: {e}");
-            std::process::exit(EXIT_DURABLE);
-        }
+        // The shared taxonomy: the parent's missing-dir check keys on
+        // exit code 3 (`RunError::Durable`), pinned by
+        // `RunError::exit_code`'s unit test.
         Err(e) => {
             eprintln!("run failed: {e}");
-            std::process::exit(1);
+            std::process::exit(e.exit_code());
         }
     }
 }
@@ -245,7 +244,7 @@ fn main() {
             let job = soak_job(threads, 0);
             let clean = run_native::<f64>(&job, strategy.as_ref()).unwrap_or_else(|e| {
                 eprintln!("{name} clean run failed: {e}");
-                std::process::exit(2);
+                std::process::exit(e.exit_code());
             });
             let clean_digest = run_digest(&clean.sets);
             let started = Instant::now();
@@ -375,7 +374,7 @@ fn run_corruption_cases(root: &Path, threads: usize, throttle_ms: u64) -> u64 {
     let job = soak_job(threads, 0);
     let clean = run_native::<f64>(&job, strategy.as_ref()).unwrap_or_else(|e| {
         eprintln!("corruption baseline run failed: {e}");
-        std::process::exit(2);
+        std::process::exit(e.exit_code());
     });
     let clean_digest = run_digest(&clean.sets);
     let policy = retry_policy();
@@ -386,7 +385,7 @@ fn run_corruption_cases(root: &Path, threads: usize, throttle_ms: u64) -> u64 {
         supervise_durable::<f64>(&job, strategy.as_ref(), &policy, &durability).unwrap_or_else(
             |e| {
                 eprintln!("corruption setup run failed: {e}");
-                std::process::exit(2);
+                std::process::exit(e.exit_code());
             },
         );
     };
@@ -401,7 +400,7 @@ fn run_corruption_cases(root: &Path, threads: usize, throttle_ms: u64) -> u64 {
         let dr = supervise_durable::<f64>(&job, strategy.as_ref(), &policy, &durability)
             .unwrap_or_else(|e| {
                 eprintln!("restore after corruption failed (it must degrade, not fail): {e}");
-                std::process::exit(1);
+                std::process::exit(e.exit_code());
             });
         (
             run_digest(&dr.run.sets),

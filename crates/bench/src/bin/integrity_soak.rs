@@ -158,7 +158,7 @@ fn main() {
             let job = base.with_threads(threads);
             let clean = run_native::<f64>(&job, s.as_ref()).unwrap_or_else(|e| {
                 eprintln!("{} clean run failed: {e}", s.name());
-                std::process::exit(2);
+                std::process::exit(e.exit_code());
             });
             let dst = neighbor_of_rank0(&job, s.as_ref(), &clean);
             let started = Instant::now();
@@ -188,7 +188,7 @@ fn main() {
                 let sup = supervise::<f64>(&job.with_fault(plan), s.as_ref(), &policy)
                     .unwrap_or_else(|e| {
                         eprintln!("{} seed {seed}: corrupt recovery failed: {e}", s.name());
-                        std::process::exit(1);
+                        std::process::exit(e.exit_code());
                     });
                 check_parity("payload flip", s.name(), threads, &clean, &sup.run);
                 if sup.recovery.corruptions_detected < 1 {
@@ -212,7 +212,7 @@ fn main() {
             let snap_base = base.with_threads(threads).with_sweeps(3);
             let snap_clean = run_native::<f64>(&snap_base, s.as_ref()).unwrap_or_else(|e| {
                 eprintln!("{} snapshot clean run failed: {e}", s.name());
-                std::process::exit(2);
+                std::process::exit(e.exit_code());
             });
             let mut convicted = false;
             for after_sends in [4u64, 6, 8, 12, 16, 24, 32, 48] {
@@ -225,7 +225,7 @@ fn main() {
                             "{} after_sends {after_sends}: poisoned-snapshot recovery failed: {e}",
                             s.name()
                         );
-                        std::process::exit(1);
+                        std::process::exit(e.exit_code());
                     });
                 if sup.recovery.attempts == 1 {
                     // The ordinal exceeded the run's sends: the panic never

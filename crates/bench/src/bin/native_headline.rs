@@ -39,7 +39,7 @@ use gpaw_fd::{ChromeTrace, ExperimentReport};
 use gpaw_grid::stencil::StencilCoeffs;
 use gpaw_hybrid_rt::{
     run_native, strategy_for, supervise_durable, DurabilityConfig, NativeJob, NativeRun,
-    RetryPolicy, RunError, Strategy,
+    RetryPolicy, Strategy,
 };
 use std::path::PathBuf;
 
@@ -181,19 +181,17 @@ fn main() {
                             }
                             dr.run
                         }
-                        Err(RunError::Durable(e)) => {
-                            eprintln!("{}: durable checkpoint error: {e}", s.name());
-                            std::process::exit(3);
-                        }
+                        // One shared taxonomy: Durable → 3, Integrity
+                        // → 4, other failures → 1.
                         Err(e) => {
                             eprintln!("{}: {e}", s.name());
-                            std::process::exit(2);
+                            std::process::exit(e.exit_code());
                         }
                     }
                 }
                 None => run_native::<f64>(&job, s.as_ref()).unwrap_or_else(|e| {
                     eprintln!("{}: {e}", s.name());
-                    std::process::exit(2);
+                    std::process::exit(e.exit_code());
                 }),
             };
             let err =

@@ -47,7 +47,12 @@
 //!   exact: a targeted payload flip detects exactly once per run and a
 //!   poisoned snapshot is convicted by exactly one digest failure. The
 //!   chaos/recovery soaks' bare `corruptions_detected_total` gets
-//!   absolute slack (restored runs may resume past the flip).
+//!   absolute slack (restored runs may resume past the flip);
+//! * `degradation/` points get the native treatment, and the soak-shape
+//!   counters (`degradation_seeds/runs/degrades/segments/kills`) stay
+//!   exact: every in-process run shrinks exactly once onto the smaller
+//!   geometry. Retries charged before each shrink and cross-geometry
+//!   restore counts are informational (host scheduling decides them).
 //!
 //! Usage: `perf_gate [--baseline <path>] [--out <path>] [--report <path>]`
 //! With `--report`, the gate skips the simulated suite and instead
@@ -169,6 +174,34 @@ fn tolerance_for(path: &str) -> Tol {
             || path.contains("restore_degradations")
         {
             Tol::Abs(1e12)
+        } else {
+            Tol::Rel(30.0)
+        }
+    } else if path.contains("/degradation/") || path.contains("degradation_") {
+        // Degradation-soak metrics. The soak's hard assertions (bitwise
+        // parity after the shrink, per-segment traffic equal to the
+        // static prediction) already ran inside the binary; the gate
+        // pins the soak's *shape* exactly — every in-process run
+        // degrades exactly once onto the smaller geometry, so the
+        // outcome counters are deterministic. How many retries were
+        // charged before each shrink and where each SIGKILL landed
+        // (cross-geometry restore counts) is host scheduling, so those
+        // stay informational. Point counts (messages, bytes) were
+        // already matched by the exact-suffix rule above; their timings
+        // fall through to the loose native treatment.
+        const DEGRADATION_EXACT: [&str; 5] = [
+            "degradation_seeds",
+            "degradation_runs_total",
+            "degradation_degrades_total",
+            "degradation_segments_total",
+            "degradation_kills_total",
+        ];
+        if DEGRADATION_EXACT.iter().any(|s| path.ends_with(s)) {
+            Tol::Exact
+        } else if path.contains("retries_charged") || path.contains("cross_geometry_restores") {
+            Tol::Abs(1e12)
+        } else if path.contains("utilization") || path.contains("phase_fractions") {
+            Tol::Abs(0.75)
         } else {
             Tol::Rel(30.0)
         }

@@ -36,7 +36,7 @@ use gpaw_fd::ExperimentReport;
 use gpaw_grid::stencil::StencilCoeffs;
 use gpaw_hybrid_rt::{
     all_strategies, run_native, supervise, supervise_durable, DurabilityConfig, FaultPlan,
-    NativeJob, NativeRun, RetryPolicy, RunError, Strategy, SupervisedRun,
+    NativeJob, NativeRun, RetryPolicy, Strategy, SupervisedRun,
 };
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -169,7 +169,7 @@ fn main() {
             let job = base.with_threads(threads);
             let clean = run_native::<f64>(&job, s.as_ref()).unwrap_or_else(|e| {
                 eprintln!("{} clean run failed: {e}", s.name());
-                std::process::exit(2);
+                std::process::exit(e.exit_code());
             });
             let dst = neighbor_of_rank0(&job, s.as_ref(), &clean);
             let started = Instant::now();
@@ -221,19 +221,14 @@ fn main() {
                                         recovery: dr.recovery,
                                     }
                                 }
-                                Err(RunError::Durable(e)) => {
-                                    eprintln!(
-                                        "{} seed {seed} ({what}): durable checkpoint error: {e}",
-                                        s.name()
-                                    );
-                                    std::process::exit(3);
-                                }
+                                // One shared taxonomy: Durable → 3,
+                                // Integrity → 4, other failures → 1.
                                 Err(e) => {
                                     eprintln!(
                                         "{} seed {seed} ({what}): recovery failed: {e}",
                                         s.name()
                                     );
-                                    std::process::exit(1);
+                                    std::process::exit(e.exit_code());
                                 }
                             }
                         }
@@ -243,7 +238,7 @@ fn main() {
                                     "{} seed {seed} ({what}): recovery failed: {e}",
                                     s.name()
                                 );
-                                std::process::exit(1);
+                                std::process::exit(e.exit_code());
                             })
                         }
                     };

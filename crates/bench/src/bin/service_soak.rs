@@ -164,7 +164,7 @@ fn generate_mix(jobs: usize) -> Vec<MixJob> {
                     let run = run_native::<f64>(&clean, strategy_for::<f64>(m.approach).as_ref())
                         .unwrap_or_else(|e| {
                             eprintln!("chaos geometry probe failed: {e}");
-                            std::process::exit(2);
+                            std::process::exit(e.exit_code());
                         });
                     let cfg = m.job.config(m.approach);
                     let plan = RankPlan::for_rank(&run.map, m.job.grid_ext, 0, 8, &cfg);
@@ -262,7 +262,7 @@ fn main() {
         let run = run_native::<f64>(&clean, strategy_for::<f64>(m.approach).as_ref())
             .unwrap_or_else(|e| {
                 eprintln!("solo run failed for {:?}: {e}", key);
-                std::process::exit(2);
+                std::process::exit(e.exit_code());
             });
         solos.insert(
             key,

@@ -32,9 +32,12 @@
 
 use crate::durable::SnapshotRecord;
 use crate::integrity::grids_digest;
+use crate::program::{SweepProgram, ThreadRole};
+use gpaw_grid::decomp::Subdomain;
 use gpaw_grid::grid3::Grid3;
 use gpaw_grid::scalar::Scalar;
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::{Mutex, MutexGuard};
 
 /// The number of completed sweeps a snapshot reflects.
@@ -281,6 +284,259 @@ impl<T: Scalar> CheckpointStore<T> {
         let mut st = self.lock();
         st.snaps.retain(|&(_, _, e), _| e >= epoch);
     }
+}
+
+/// Where one `(rank, slot)` snapshot's grids live in the global domain —
+/// the bridge between one geometry's checkpoint keys and the
+/// geometry-free global state a degradation re-shards.
+///
+/// A layout is derived from a geometry's compiled programs
+/// ([`shard_layout`]) and mirrors exactly what each depositing thread
+/// snapshots: its subdomain of every grid it holds, in its own local
+/// grid order.
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// Depositing rank.
+    pub rank: usize,
+    /// Thread slot within the rank (0 for single-key ranks).
+    pub slot: usize,
+    /// The subdomain of every grid this key's snapshot covers.
+    pub sub: Subdomain,
+    /// Global grid ids, in the snapshot's local order.
+    pub grid_ids: Vec<usize>,
+}
+
+/// The checkpoint layout of one geometry's compiled programs: one
+/// [`ShardSpec`] per `(rank, slot)` checkpoint key, in key order.
+///
+/// Mirrors the runtime's deposit/restore convention: ranks whose slot
+/// programs are peer endpoints (hybrid multiple, temporal blocked)
+/// deposit one snapshot per thread slot holding that slot's round-robin
+/// grid share; every other role deposits a single slot-0 snapshot
+/// holding the rank's whole grid assignment (which for flat static is
+/// the core's quarter of the set).
+pub fn shard_layout(programs: &[Vec<SweepProgram>]) -> Vec<ShardSpec> {
+    let mut layout = Vec::new();
+    for (rank, progs) in programs.iter().enumerate() {
+        let multi = progs.len() > 1 && matches!(progs[0].role, ThreadRole::Endpoint);
+        let slots: &[SweepProgram] = if multi { progs } else { &progs[..1] };
+        for (slot, prog) in slots.iter().enumerate() {
+            layout.push(ShardSpec {
+                rank,
+                slot,
+                sub: prog.plan.sub,
+                grid_ids: prog.asg.ids(),
+            });
+        }
+    }
+    layout
+}
+
+/// Why a cross-geometry gather failed. Every mismatch between the
+/// records and the layout they claim to implement is a typed value —
+/// degradation falls back to an older epoch (or the synthetic fill)
+/// instead of assembling a half-covered global grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegridError {
+    /// The layout expects a `(rank, slot)` key the records lack.
+    MissingRecord {
+        /// Expected depositing rank.
+        rank: usize,
+        /// Expected thread slot.
+        slot: usize,
+    },
+    /// A record holds a different number of grids than its layout key.
+    GridCountMismatch {
+        /// Depositing rank.
+        rank: usize,
+        /// Thread slot.
+        slot: usize,
+        /// Grids in the record.
+        got: usize,
+        /// Grids the layout expects.
+        want: usize,
+    },
+    /// A record's grid extent is not the layout subdomain's extent.
+    ExtentMismatch {
+        /// Depositing rank.
+        rank: usize,
+        /// Thread slot.
+        slot: usize,
+        /// Extent found in the record.
+        got: [usize; 3],
+        /// Extent the layout expects.
+        want: [usize; 3],
+    },
+    /// After all records were placed, a grid's interior was not covered
+    /// exactly once (a gap or an overlap in the layout).
+    Uncovered {
+        /// Global grid id.
+        grid: usize,
+        /// Interior points written.
+        covered: usize,
+        /// Interior points the global grid has.
+        points: usize,
+    },
+}
+
+impl fmt::Display for RegridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegridError::MissingRecord { rank, slot } => {
+                write!(f, "gather: no snapshot record for key ({rank}, {slot})")
+            }
+            RegridError::GridCountMismatch {
+                rank,
+                slot,
+                got,
+                want,
+            } => write!(
+                f,
+                "gather: key ({rank}, {slot}) holds {got} grids, layout expects {want}"
+            ),
+            RegridError::ExtentMismatch {
+                rank,
+                slot,
+                got,
+                want,
+            } => write!(
+                f,
+                "gather: key ({rank}, {slot}) grid extent {got:?} does not match subdomain \
+                 extent {want:?}"
+            ),
+            RegridError::Uncovered {
+                grid,
+                covered,
+                points,
+            } => write!(
+                f,
+                "gather: grid {grid} covered {covered} of {points} interior points"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RegridError {}
+
+/// Assemble one epoch's per-shard snapshots into full global grids.
+///
+/// Grid state at an epoch boundary is geometry-independent in the
+/// *interior* (ghosts are refilled by the halo exchange that opens every
+/// sweep), so only interiors are copied; the returned grids' halos are
+/// zero. Coverage is checked exactly: every interior point of every
+/// grid must be written once, which catches a layout/record mismatch
+/// before it can become a silent bitwise diff on the shrunken geometry.
+pub fn gather_epoch<T: Scalar>(
+    records: &[SnapshotRecord<T>],
+    layout: &[ShardSpec],
+    grid_ext: [usize; 3],
+    n_grids: usize,
+    halo: usize,
+) -> Result<Vec<Grid3<T>>, RegridError> {
+    let by_key: HashMap<(usize, usize), &SnapshotRecord<T>> =
+        records.iter().map(|r| ((r.rank, r.slot), r)).collect();
+    let mut global: Vec<Grid3<T>> = (0..n_grids).map(|_| Grid3::zeros(grid_ext, halo)).collect();
+    let mut covered = vec![0usize; n_grids];
+    for spec in layout {
+        let rec = by_key
+            .get(&(spec.rank, spec.slot))
+            .ok_or(RegridError::MissingRecord {
+                rank: spec.rank,
+                slot: spec.slot,
+            })?;
+        if rec.grids.len() != spec.grid_ids.len() {
+            return Err(RegridError::GridCountMismatch {
+                rank: spec.rank,
+                slot: spec.slot,
+                got: rec.grids.len(),
+                want: spec.grid_ids.len(),
+            });
+        }
+        for (g, &id) in rec.grids.iter().zip(&spec.grid_ids) {
+            if g.n() != spec.sub.ext {
+                return Err(RegridError::ExtentMismatch {
+                    rank: spec.rank,
+                    slot: spec.slot,
+                    got: g.n(),
+                    want: spec.sub.ext,
+                });
+            }
+            let dst = &mut global[id];
+            let [si, sj, sk] = spec.sub.start;
+            for i in 0..spec.sub.ext[0] {
+                for j in 0..spec.sub.ext[1] {
+                    for k in 0..spec.sub.ext[2] {
+                        dst.set(
+                            (si + i) as isize,
+                            (sj + j) as isize,
+                            (sk + k) as isize,
+                            g.get(i as isize, j as isize, k as isize),
+                        );
+                    }
+                }
+            }
+            covered[id] += spec.sub.points();
+        }
+    }
+    let points = grid_ext[0] * grid_ext[1] * grid_ext[2];
+    for (id, &c) in covered.iter().enumerate() {
+        if c != points {
+            return Err(RegridError::Uncovered {
+                grid: id,
+                covered: c,
+                points,
+            });
+        }
+    }
+    Ok(global)
+}
+
+/// Cut global grids back into per-shard snapshot records for a (possibly
+/// different) geometry's `layout` — the inverse of [`gather_epoch`].
+/// Each record's grids get `halo` ghost planes, zero-filled: the resumed
+/// run's first exchange refills them, exactly as it would after any
+/// rollback.
+pub fn reshard_epoch<T: Scalar>(
+    global: &[Grid3<T>],
+    layout: &[ShardSpec],
+    halo: usize,
+) -> Vec<SnapshotRecord<T>> {
+    layout
+        .iter()
+        .map(|spec| {
+            let grids = spec
+                .grid_ids
+                .iter()
+                .map(|&id| {
+                    let src = &global[id];
+                    let mut g = Grid3::zeros(spec.sub.ext, halo);
+                    let [si, sj, sk] = spec.sub.start;
+                    for i in 0..spec.sub.ext[0] {
+                        for j in 0..spec.sub.ext[1] {
+                            for k in 0..spec.sub.ext[2] {
+                                g.set(
+                                    i as isize,
+                                    j as isize,
+                                    k as isize,
+                                    src.get(
+                                        (si + i) as isize,
+                                        (sj + j) as isize,
+                                        (sk + k) as isize,
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                    g
+                })
+                .collect();
+            SnapshotRecord {
+                rank: spec.rank,
+                slot: spec.slot,
+                grids,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]

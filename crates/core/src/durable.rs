@@ -445,17 +445,50 @@ impl DurableStore {
         })
     }
 
-    /// Keep only the newest `keep` epoch files (the fallback chain);
-    /// delete the rest. Best-effort per file: a delete failure is
-    /// returned but the newer files are already safe.
+    /// The record count a file's header claims — the number of
+    /// `(rank, slot)` keys it frames, which is this store's geometry
+    /// discriminator: shrinking onto fewer ranks always changes it.
+    /// `None` when the header is unreadable or fails validation.
+    fn header_record_count(&self, epoch: Epoch) -> Option<u32> {
+        let path = self.epoch_path(epoch);
+        let mut header = [0u8; HEADER_LEN];
+        let mut f = fs::File::open(&path).ok()?;
+        std::io::Read::read_exact(&mut f, &mut header).ok()?;
+        if header[..4] != MAGIC
+            || read_u32(&header, 4) != SCHEMA_VERSION
+            || crc32(&header[..20]) != read_u32(&header, 20)
+        {
+            return None;
+        }
+        Some(read_u32(&header, 16))
+    }
+
+    /// Keep only the newest `keep` epoch files **per geometry** (the
+    /// fallback chain); delete the rest. Files are grouped by the
+    /// geometry that wrote them — a degrade-restore spills a different
+    /// record count per epoch, and pruning newest-*global* would delete
+    /// the previous geometry's newest epoch while the cross-geometry
+    /// restore still needs it as a fallback. Files whose headers cannot
+    /// be classified are left alone (recovery will skip them with a
+    /// typed error; pruning never guesses). Best-effort per file: a
+    /// delete failure is returned but the newer files are already safe.
     pub fn retain_newest(&self, keep: usize) -> Result<(), DurableError> {
         let epochs = self.epochs_on_disk()?;
-        if epochs.len() <= keep {
-            return Ok(());
+        let mut by_geometry: std::collections::BTreeMap<u32, Vec<Epoch>> =
+            std::collections::BTreeMap::new();
+        for &e in &epochs {
+            if let Some(count) = self.header_record_count(e) {
+                by_geometry.entry(count).or_default().push(e);
+            }
         }
-        for &e in &epochs[..epochs.len() - keep] {
-            let path = self.epoch_path(e);
-            fs::remove_file(&path).map_err(|source| DurableError::Io { path, source })?;
+        for group in by_geometry.values() {
+            if group.len() <= keep {
+                continue;
+            }
+            for &e in &group[..group.len() - keep] {
+                let path = self.epoch_path(e);
+                fs::remove_file(&path).map_err(|source| DurableError::Io { path, source })?;
+            }
         }
         Ok(())
     }
@@ -814,6 +847,37 @@ mod tests {
         assert_eq!(store.epochs_on_disk().unwrap(), vec![4, 5]);
         // The survivors still validate.
         assert!(store.load_epoch::<f64>(5).is_ok());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retain_newest_keeps_the_newest_epoch_of_each_geometry() {
+        let dir = tmpdir("retain_geo");
+        let store = DurableStore::create(&dir).unwrap();
+        // Epochs 1..=3 from the original geometry (two records), then a
+        // degrade-restore spills 4..=5 from a smaller one (one record).
+        for e in 1..=3 {
+            store.spill_epoch(e, &sample_records(e as u64)).unwrap();
+        }
+        let shrunk = vec![SnapshotRecord {
+            rank: 0,
+            slot: 0,
+            grids: vec![filled_grid([4, 3, 5], 1, 77)],
+        }];
+        for e in 4..=5 {
+            store.spill_epoch(e, &shrunk).unwrap();
+        }
+        // Newest-global pruning would delete epoch 3 — the previous
+        // geometry's newest, still the cross-geometry fallback. Per-
+        // geometry pruning keeps the newest of *each* group.
+        store.retain_newest(1).unwrap();
+        assert_eq!(store.epochs_on_disk().unwrap(), vec![3, 5]);
+        assert_eq!(store.load_epoch::<f64>(3).unwrap().len(), 2);
+        assert_eq!(store.load_epoch::<f64>(5).unwrap().len(), 1);
+        // An unclassifiable file is never pruned.
+        fs::write(store.epoch_path(2), b"zzzz").unwrap();
+        store.retain_newest(1).unwrap();
+        assert_eq!(store.epochs_on_disk().unwrap(), vec![2, 3, 5]);
         fs::remove_dir_all(&dir).ok();
     }
 }

@@ -55,14 +55,18 @@ pub mod timed;
 pub mod trace;
 pub mod transport;
 
-pub use checkpoint::CheckpointStore;
+pub use checkpoint::{
+    gather_epoch, reshard_epoch, shard_layout, CheckpointStore, RegridError, ShardSpec,
+};
 pub use chrome::ChromeTrace;
 pub use config::{Approach, FdConfig};
 pub use durable::{DurableError, DurableStore, Recovered, SnapshotRecord};
 pub use integrity::{crc32, flip_bit, grids_digest, payload_digest, run_digest};
-pub use plan::RankPlan;
+pub use plan::{decomposition_supports, RankPlan};
 pub use progcache::{CacheStats, JobPrograms, ProgramCache, ProgramKey};
-pub use program::{compile_rank, DirSet, SweepOp, SweepProgram, ThreadRole};
+pub use program::{
+    compile_rank, predicted_logical_span, DirSet, SweepOp, SweepProgram, ThreadRole,
+};
 pub use report::{ExperimentReport, Json, PointReport};
 pub use runner::FdExperiment;
 pub use trace::{SpanKind, ThreadSpans, TraceReport, WallTracer};

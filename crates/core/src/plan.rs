@@ -323,6 +323,24 @@ impl RankPlan {
     }
 }
 
+/// Whether `map` can legally decompose `grid_ext` under `cfg` — the
+/// panicking geometry asserts of [`RankPlan::for_rank`] and
+/// `Decomposition::new`, asked as a question. A degradation candidate
+/// geometry must pass this before any program is compiled for it: every
+/// axis needs at least one plane per part, and the *smallest* sub-extent
+/// (the floor share) must still admit the exchange depth
+/// (`cfg.halo_depth()` — the stencil halo times the fused block, so a
+/// temporal-blocked shrink is checked against its widened ghosts).
+pub fn decomposition_supports(map: &CartMap, grid_ext: [usize; 3], cfg: &FdConfig) -> bool {
+    let halo = cfg.halo_depth();
+    let parts = if cfg.approach == Approach::FlatStatic {
+        map.partition.node_shape.dims
+    } else {
+        map.proc_dims
+    };
+    (0..3).all(|d| parts[d] >= 1 && parts[d] <= grid_ext[d] && grid_ext[d] / parts[d] >= halo)
+}
+
 /// True when the face `ld` of position `pc` in a `dims` grid lies on a
 /// non-periodic global edge.
 fn at_zero_edge(bc: BoundaryCond, pc: [usize; 3], dims: [usize; 3], ld: LinkDir) -> bool {

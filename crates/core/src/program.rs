@@ -694,6 +694,34 @@ impl SweepProgram {
     }
 }
 
+/// Logical `(messages, bytes)` every rank of `programs` sends for the
+/// sweep span `from_epoch..to_epoch` — the statically-known traffic of
+/// those completed epochs, summed over every thread slot. A fused
+/// program exchanges once per `block` sweeps, so the span contributes
+/// `to/block − from/block` replays; spans are expected to start and end
+/// on replay boundaries (deposits only happen there).
+///
+/// This is the arithmetic the durable layer uses to seed a restored
+/// fabric and the degradation plane uses to report (and the tests to
+/// verify, exactly) per-geometry-segment traffic.
+pub fn predicted_logical_span(
+    programs: &[Vec<SweepProgram>],
+    from_epoch: usize,
+    to_epoch: usize,
+) -> (u64, u64) {
+    let mut messages = 0u64;
+    let mut bytes = 0u64;
+    for progs in programs {
+        for prog in progs {
+            let block = prog.block();
+            let replays = (to_epoch / block).saturating_sub(from_epoch / block) as u64;
+            messages += prog.messages_per_sweep() * replays;
+            bytes += prog.bytes_per_sweep() * replays;
+        }
+    }
+    (messages, bytes)
+}
+
 /// Compile one rank's schedule: one [`SweepProgram`] per thread slot.
 ///
 /// Flat approaches (single-threaded ranks) get one program; hybrid

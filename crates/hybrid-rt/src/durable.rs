@@ -24,14 +24,17 @@
 use crate::error::RunError;
 use crate::fabric::NativeFabric;
 use crate::fault::FabricConfig;
-use crate::runtime::{fabric_config, resolve_geometry_cached, NativeJob, NativeRun};
+use crate::runtime::{fabric_config, resolve_geometry_cached, JobGeometry, NativeJob, NativeRun};
 use crate::strategy::Strategy;
-use crate::supervisor::{checkpoint_keys, retry_loop, RecoveryReport, RetryPolicy};
-use gpaw_fd::checkpoint::CheckpointStore;
+use crate::supervisor::{
+    checkpoint_keys, retry_loop, DegradationReport, GeometrySegment, RecoveryCarry, RecoveryReport,
+    RetryPolicy,
+};
+use gpaw_fd::checkpoint::{gather_epoch, reshard_epoch, shard_layout, CheckpointStore};
 use gpaw_fd::durable::{DurableError, DurableStore, SnapshotRecord};
 use gpaw_fd::exec::SyntheticFill;
 use gpaw_fd::progcache::{JobPrograms, ProgramCache};
-use gpaw_fd::program::SweepOp;
+use gpaw_fd::program::{predicted_logical_span, SweepOp};
 use gpaw_grid::scalar::Scalar;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -155,22 +158,61 @@ pub fn supervise_durable_cached<T: SyntheticFill>(
 
     let mut degraded: Vec<String> = Vec::new();
     let mut resumed_from = 0usize;
+    // Filled when the checkpoint on disk was written by a *different*
+    // geometry (the killed process ran on more — or fewer — ranks):
+    // the restore gathers it globally and re-shards onto this one, and
+    // the completed run reports both geometry segments.
+    let mut cross: Option<DegradationReport> = None;
     if durability.restore {
         let rec = dstore.recover::<T>()?;
         degraded.extend(rec.skipped.iter().map(|e| e.to_string()));
         if rec.epoch > 0 {
-            validate_restored(
-                job,
-                &durability.dir,
-                &keys,
-                &programs,
-                rec.epoch,
-                &rec.records,
-            )?;
-            for r in rec.records {
-                store.deposit(r.rank, r.slot, rec.epoch, r.grids);
+            let disk_ranks = rec
+                .records
+                .iter()
+                .map(|r| r.rank)
+                .max()
+                .map_or(0, |m| m + 1);
+            if disk_ranks == ranks {
+                validate_restored(
+                    job,
+                    &durability.dir,
+                    &keys,
+                    &programs,
+                    rec.epoch,
+                    &rec.records,
+                )?;
+                for r in rec.records {
+                    store.deposit(r.rank, r.slot, rec.epoch, r.grids);
+                }
+                seed_restored_traffic(&fabric, &programs, rec.epoch);
+            } else {
+                let old_segment = restore_cross_geometry(
+                    job,
+                    strategy,
+                    durability,
+                    cache,
+                    &geo,
+                    &programs,
+                    &store,
+                    disk_ranks,
+                    rec.epoch,
+                    &rec.records,
+                )?;
+                // Survivors carry the scar; the new fabric's logical
+                // counters stay unseeded — they measure exactly the new
+                // geometry's segment, reported separately below.
+                for r in 0..ranks {
+                    fabric.note_degrade_survived(r);
+                }
+                cross = Some(DegradationReport {
+                    from_ranks: disk_ranks,
+                    to_ranks: ranks,
+                    degrades: 1,
+                    triggers: Vec::new(),
+                    segments: vec![old_segment],
+                });
             }
-            seed_restored_traffic(&fabric, &programs, rec.epoch);
             resumed_from = rec.epoch;
         }
     }
@@ -196,7 +238,17 @@ pub fn supervise_durable_cached<T: SyntheticFill>(
                 std::thread::park_timeout(Duration::from_millis(1));
             }
         });
-        let result = retry_loop(job, strategy, policy, &geo, &fabric, &store, resumed_from);
+        let mut carry = RecoveryCarry::default();
+        let result = retry_loop(
+            job,
+            strategy,
+            policy,
+            &geo,
+            &fabric,
+            &store,
+            resumed_from,
+            &mut carry,
+        );
         stop.store(true, Ordering::Relaxed);
         spiller.thread().unpark();
         let _ = spiller.join();
@@ -222,7 +274,22 @@ pub fn supervise_durable_cached<T: SyntheticFill>(
             .drain(..),
     );
 
-    let sup = result?;
+    let mut sup = result?;
+    if let Some(mut deg) = cross {
+        let stats = fabric.stats();
+        deg.segments.push(GeometrySegment {
+            nodes: job.nodes,
+            ranks,
+            proc_dims: geo.map.proc_dims,
+            start_epoch: resumed_from,
+            end_epoch: job.sweeps,
+            logical_messages: stats.messages_total,
+            logical_bytes: stats.bytes_per_node.iter().sum(),
+            messages_discarded: 0,
+            bytes_discarded: 0,
+        });
+        sup.recovery.degradation = Some(deg);
+    }
     Ok(DurableRun {
         run: sup.run,
         recovery: sup.recovery,
@@ -231,6 +298,91 @@ pub fn supervise_durable_cached<T: SyntheticFill>(
             epochs_spilled: spilled.load(Ordering::Relaxed),
             degraded,
         },
+    })
+}
+
+/// Restore a spilled epoch written by a geometry with `disk_ranks` ranks
+/// onto the current (different) geometry: rebuild the writer's geometry
+/// from the rank count, validate the records against *it*, gather them
+/// into global grids, re-shard onto this geometry's layout, and deposit.
+/// Returns the old geometry's [`GeometrySegment`] — its committed span
+/// at the statically-known traffic (the killed process's measured
+/// counters died with it).
+#[allow(clippy::too_many_arguments)]
+fn restore_cross_geometry<T: SyntheticFill>(
+    job: &NativeJob,
+    strategy: &dyn Strategy<T>,
+    durability: &DurabilityConfig,
+    cache: &ProgramCache,
+    geo: &JobGeometry,
+    programs: &JobPrograms,
+    store: &CheckpointStore<T>,
+    disk_ranks: usize,
+    epoch: usize,
+    records: &[SnapshotRecord<T>],
+) -> Result<GeometrySegment, RunError> {
+    let corrupt = |detail: String| {
+        RunError::Durable(DurableError::Corrupt {
+            path: durability.dir.clone(),
+            detail,
+        })
+    };
+    let approach = strategy.approach();
+    let ppn = approach.exec_mode().processes_per_node();
+    if disk_ranks == 0 || !disk_ranks.is_multiple_of(ppn) {
+        return Err(corrupt(format!(
+            "checkpoint was written by {disk_ranks} ranks, which is not a whole number of \
+             {ppn}-rank nodes in this approach's mode"
+        )));
+    }
+    let mut old_job = *job;
+    old_job.nodes = disk_ranks / ppn;
+    let old_geo = resolve_geometry_cached(&old_job, approach, cache, T::BYTES)?;
+    if old_geo.map.ranks() != disk_ranks {
+        return Err(corrupt(format!(
+            "checkpoint was written by {disk_ranks} ranks but {} nodes resolve to {} — \
+             not a standard partition's checkpoint",
+            old_job.nodes,
+            old_geo.map.ranks()
+        )));
+    }
+    let old_programs = old_geo
+        .programs
+        .clone()
+        .unwrap_or_else(|| unreachable!("cached resolution always carries programs"));
+    let old_keys = checkpoint_keys(approach, disk_ranks, old_geo.threads);
+    validate_restored(
+        &old_job,
+        &durability.dir,
+        &old_keys,
+        &old_programs,
+        epoch,
+        records,
+    )?;
+    let old_layout = shard_layout(&old_programs);
+    let global = gather_epoch(
+        records,
+        &old_layout,
+        job.grid_ext,
+        job.n_grids,
+        old_geo.cfg.halo_depth(),
+    )
+    .map_err(|e| corrupt(format!("gathering the spilled epoch {epoch} failed: {e}")))?;
+    let new_layout = shard_layout(programs);
+    for rec in reshard_epoch(&global, &new_layout, geo.cfg.halo_depth()) {
+        store.deposit(rec.rank, rec.slot, epoch, rec.grids);
+    }
+    let (messages, bytes) = predicted_logical_span(&old_programs, 0, epoch);
+    Ok(GeometrySegment {
+        nodes: old_job.nodes,
+        ranks: disk_ranks,
+        proc_dims: old_geo.map.proc_dims,
+        start_epoch: 0,
+        end_epoch: epoch,
+        logical_messages: messages,
+        logical_bytes: bytes,
+        messages_discarded: 0,
+        bytes_discarded: 0,
     })
 }
 

@@ -180,6 +180,27 @@ impl RunError {
             _ => None,
         }
     }
+
+    /// The process exit code every soak binary maps this error to — one
+    /// taxonomy instead of per-binary constants. Reserved codes: 0 is
+    /// success and 2 is a usage error (bad CLI flags), neither of which
+    /// is a `RunError`; the remaining classes are
+    ///
+    /// * **3** — durable checkpoint layer failure ([`RunError::Durable`]:
+    ///   missing `--restore` dir, unwritable spill target, geometry
+    ///   contradiction), distinguishable so kill/restore harnesses can
+    ///   tell a typed durability refusal from a mid-run crash;
+    /// * **4** — proven silent data corruption ([`RunError::Integrity`]),
+    ///   distinguishable so integrity gates can tell "detected and
+    ///   refused" from any other failure;
+    /// * **1** — everything else (geometry rejections, rank failures).
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            RunError::Durable(_) => 3,
+            RunError::Integrity { .. } => 4,
+            _ => 1,
+        }
+    }
 }
 
 impl fmt::Display for RunError {
@@ -345,6 +366,30 @@ mod tests {
             .map(|f| (f.kind.severity(), f.rank))
             .collect();
         assert_eq!(order, vec![(0, 2), (1, 3), (2, 1), (2, 3), (3, 2)]);
+    }
+
+    #[test]
+    fn exit_codes_are_pinned_per_error_class() {
+        // The taxonomy every soak binary and CI harness relies on:
+        // durable = 3, integrity = 4, anything else = 1. Changing these
+        // breaks kill/restore scripts that match on child exit codes —
+        // this test is the contract.
+        use gpaw_fd::durable::DurableError;
+        use std::path::PathBuf;
+        let durable = RunError::Durable(DurableError::MissingDir(PathBuf::from("/nope")));
+        assert_eq!(durable.exit_code(), 3);
+        let integrity = RunError::Integrity {
+            strategy: "Hybrid multiple",
+            failures: vec![StrategyError::Corrupt(corruption()).into_rank_failure(1)],
+        };
+        assert_eq!(integrity.exit_code(), 4);
+        let failed = RunError::Failed {
+            strategy: "Hybrid multiple",
+            failures: vec![StrategyError::Recv(timeout()).into_rank_failure(1)],
+        };
+        assert_eq!(failed.exit_code(), 1);
+        assert_eq!(RunError::NoGrids.exit_code(), 1);
+        assert_eq!(RunError::UnsupportedNodeCount { nodes: 3 }.exit_code(), 1);
     }
 
     #[test]

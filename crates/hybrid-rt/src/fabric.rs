@@ -40,15 +40,15 @@
 //! the interconnect model's per-node injection counters).
 
 use crate::fault::{
-    BadPayload, BlockedRecv, FabricConfig, FabricDiagnostic, FaultAction, IntegrityStat,
-    PayloadCorruption, QueueStat, RecvError, RecvTimeout,
+    BadPayload, BlockedRecv, EscalationStat, FabricConfig, FabricDiagnostic, FaultAction,
+    IntegrityStat, PayloadCorruption, QueueStat, RecvError, RecvTimeout,
 };
 use gpaw_bgp_hw::CartMap;
 use gpaw_fd::integrity::{flip_bit, payload_digest};
 use gpaw_fd::plan::sweep_of_tag;
 use gpaw_grid::scalar::Scalar;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Instant;
 
@@ -362,6 +362,13 @@ pub struct NativeFabric<T> {
     /// Fabric-wide corruption-detection ordinal, stamped onto each
     /// shard's `last_bad` so diagnostics can name the newest rejection.
     detections: AtomicU64,
+    /// Supervised retry attempts charged to failures on each rank —
+    /// recorded by the supervisor so watchdog diagnostics can explain an
+    /// escalation history, not just the current stall.
+    retries_of_rank: Vec<AtomicU32>,
+    /// Geometry degradations each rank of *this* fabric was carried
+    /// through (re-sharded state from a larger geometry).
+    degrades_of_rank: Vec<AtomicU32>,
 }
 
 impl<T: Scalar> NativeFabric<T> {
@@ -393,6 +400,8 @@ impl<T: Scalar> NativeFabric<T> {
             retrans_messages: AtomicU64::new(0),
             retrans_bytes: AtomicU64::new(0),
             detections: AtomicU64::new(0),
+            retries_of_rank: (0..ranks).map(|_| AtomicU32::new(0)).collect(),
+            degrades_of_rank: (0..ranks).map(|_| AtomicU32::new(0)).collect(),
         }
     }
 
@@ -429,6 +438,18 @@ impl<T: Scalar> NativeFabric<T> {
                         done + 1
                     );
                 }
+            }
+        }
+        // Permanent rank loss: once the tagged sweep reaches the plan's
+        // onset, *every* send from the lethal rank panics, on every
+        // attempt — retries cannot outrun it; only a geometry that
+        // excludes the rank can.
+        if let Some(pl) = self.config.plan.as_ref() {
+            if pl.lethal_rank == Some(src) && sweep_of_tag(tag) >= pl.lethal_from_sweep {
+                panic!(
+                    "chaos: permanent rank loss — rank {src}'s send (to {dst}, tag {tag}) \
+                     panicked; this rank fails every attempt"
+                );
             }
         }
 
@@ -695,7 +716,38 @@ impl<T: Scalar> NativeFabric<T> {
             blocked,
             queues,
             integrity: self.integrity_stats(),
+            escalations: self.escalation_stats(),
         }
+    }
+
+    /// Charge one retry attempt against `rank` — called by the
+    /// supervisor when a failure pinned to this rank sends the strategy
+    /// back through the retry loop.
+    pub fn note_retry(&self, rank: usize) {
+        self.retries_of_rank[rank].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record that `rank` survived a degradation: it was re-sharded
+    /// onto this (smaller) geometry after another rank was lost.
+    pub fn note_degrade_survived(&self, rank: usize) {
+        self.degrades_of_rank[rank].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Per-rank escalation counters: retry attempts charged and
+    /// degradations survived. Ranks with no escalation history are
+    /// omitted.
+    pub fn escalation_stats(&self) -> Vec<EscalationStat> {
+        (0..self.ranks)
+            .filter_map(|rank| {
+                let retries = self.retries_of_rank[rank].load(Ordering::Relaxed);
+                let degrades_survived = self.degrades_of_rank[rank].load(Ordering::Relaxed);
+                (retries > 0 || degrades_survived > 0).then_some(EscalationStat {
+                    rank,
+                    retries,
+                    degrades_survived,
+                })
+            })
+            .collect()
     }
 
     /// Per-rank integrity counters: payloads verified and rejected by

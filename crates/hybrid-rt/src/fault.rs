@@ -144,6 +144,20 @@ pub struct FaultPlan {
     /// Optional integrity fault: one checkpoint snapshot poisoned after
     /// deposit.
     pub corrupt_snapshot: Option<CorruptSnapshot>,
+    /// Optional *permanent* lethal fault: every send from this rank
+    /// panics, on every attempt — the model of a rank whose hardware is
+    /// gone for good. Unlike [`PanicInjection`] (one-shot by send
+    /// ordinal), retrying cannot outrun this; it exists to force the
+    /// supervisor's escalation from retry to shrink. A degraded geometry
+    /// strips it ([`FaultPlan::without_lethal`]) because the dead rank
+    /// is, by construction, not part of the surviving partition.
+    pub lethal_rank: Option<usize>,
+    /// First sweep (0-based, read from the message tag) at which
+    /// `lethal_rank` starts panicking. 0 models a rank dead from the
+    /// start; a positive value lets the doomed rank commit that many
+    /// epochs first, so the escalation resumes from a real mid-run
+    /// checkpoint instead of the synthetic fill.
+    pub lethal_from_sweep: usize,
 }
 
 impl FaultPlan {
@@ -162,6 +176,8 @@ impl FaultPlan {
             panic_on_send: None,
             corrupt_payload: None,
             corrupt_snapshot: None,
+            lethal_rank: None,
+            lethal_from_sweep: 0,
         }
     }
 
@@ -178,6 +194,8 @@ impl FaultPlan {
             panic_on_send: None,
             corrupt_payload: None,
             corrupt_snapshot: None,
+            lethal_rank: None,
+            lethal_from_sweep: 0,
         }
     }
 
@@ -209,6 +227,32 @@ impl FaultPlan {
     /// Poison the snapshot `(rank, slot)` deposits for `epoch`.
     pub fn with_corrupt_snapshot(mut self, rank: usize, slot: usize, epoch: usize) -> FaultPlan {
         self.corrupt_snapshot = Some(CorruptSnapshot { rank, slot, epoch });
+        self
+    }
+
+    /// Make every send from `rank` panic, permanently — retries can
+    /// never complete while this rank is part of the geometry.
+    pub fn with_lethal_rank(mut self, rank: usize) -> FaultPlan {
+        self.lethal_rank = Some(rank);
+        self
+    }
+
+    /// Like [`with_lethal_rank`](FaultPlan::with_lethal_rank), but the
+    /// rank only starts dying at sweep `sweep` (0-based): every earlier
+    /// epoch commits normally, so the escalation path must gather a real
+    /// mid-run checkpoint rather than refill synthetically.
+    pub fn with_lethal_rank_from(mut self, rank: usize, sweep: usize) -> FaultPlan {
+        self.lethal_rank = Some(rank);
+        self.lethal_from_sweep = sweep;
+        self
+    }
+
+    /// The same plan with the permanent lethal rank removed — what a
+    /// degraded geometry runs under, since the dead rank's hardware is
+    /// excluded from the surviving partition.
+    pub fn without_lethal(mut self) -> FaultPlan {
+        self.lethal_rank = None;
+        self.lethal_from_sweep = 0;
         self
     }
 
@@ -356,10 +400,26 @@ pub struct IntegrityStat {
     pub last_bad: Option<BadPayload>,
 }
 
+/// Per-rank escalation counters: how many supervised retry attempts were
+/// charged to failures pinned on this rank, and how many geometry
+/// degradations the rank has survived (been re-sharded through). A
+/// degraded run's report carries these so it can explain *why* it shrank
+/// — which rank exhausted the retry budget — instead of just that it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EscalationStat {
+    /// The rank the counters describe (within its geometry segment).
+    pub rank: usize,
+    /// Supervised retry attempts charged to failures on this rank.
+    pub retries: u32,
+    /// Geometry degradations this rank has been carried through.
+    pub degrades_survived: u32,
+}
+
 /// A structured snapshot of the whole fabric, taken when a receive hits
 /// the watchdog: every blocked receive (rank, awaited `(src, tag)`, time
-/// blocked), every non-empty queue, and each rank's integrity counters —
-/// the native plane's counterpart of the timed machine's deadlock report.
+/// blocked), every non-empty queue, each rank's integrity counters, and
+/// each rank's escalation counters — the native plane's counterpart of
+/// the timed machine's deadlock report.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct FabricDiagnostic {
     /// Receives blocked at snapshot time, the watchdog's own first.
@@ -368,6 +428,9 @@ pub struct FabricDiagnostic {
     pub queues: Vec<QueueStat>,
     /// Per-rank payload-verification counters (ranks with activity only).
     pub integrity: Vec<IntegrityStat>,
+    /// Per-rank escalation counters (ranks with recorded retries or
+    /// survived degrades only).
+    pub escalations: Vec<EscalationStat>,
 }
 
 impl fmt::Display for FabricDiagnostic {
@@ -407,6 +470,16 @@ impl fmt::Display for FabricDiagnostic {
                     )?;
                 }
                 writeln!(f)?;
+            }
+        }
+        if !self.escalations.is_empty() {
+            writeln!(f, "escalation history:")?;
+            for e in &self.escalations {
+                writeln!(
+                    f,
+                    "  rank {}: {} retry attempt(s) charged, {} degrade(s) survived",
+                    e.rank, e.retries, e.degrades_survived
+                )?;
             }
         }
         Ok(())
@@ -611,6 +684,11 @@ mod tests {
                     seq: 4,
                 }),
             }],
+            escalations: vec![EscalationStat {
+                rank: 1,
+                retries: 3,
+                degrades_survived: 1,
+            }],
         };
         let text = d.to_string();
         assert!(text.contains("recv(src=0, tag=77)"), "{text}");
@@ -621,6 +699,10 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("last bad: src 0, tag 3, seq 4"), "{text}");
+        assert!(
+            text.contains("rank 1: 3 retry attempt(s) charged, 1 degrade(s) survived"),
+            "{text}"
+        );
     }
 
     /// Clean diagnostics do not mention corruption at all.

@@ -80,9 +80,9 @@ pub use durable::{
 pub use error::{FailureKind, RankFailure, RunError, StrategyError};
 pub use fabric::{FabricStats, NativeFabric};
 pub use fault::{
-    BadPayload, BlackHole, CorruptPayload, CorruptSnapshot, FabricConfig, FabricDiagnostic,
-    FaultAction, FaultPlan, IntegrityStat, PanicInjection, PayloadCorruption, RecvError,
-    RecvTimeout,
+    BadPayload, BlackHole, CorruptPayload, CorruptSnapshot, EscalationStat, FabricConfig,
+    FabricDiagnostic, FaultAction, FaultPlan, IntegrityStat, PanicInjection, PayloadCorruption,
+    RecvError, RecvTimeout,
 };
 pub use report::native_run_report;
 pub use runtime::{run_native, run_native_cached, NativeJob, NativeRun};
@@ -95,6 +95,7 @@ pub use strategy::{
     HybridMultiple, RankCtx, Strategy, TemporalBlocked, ThreadResult,
 };
 pub use supervisor::{
-    supervise, supervise_cached, FailureClass, FailureSummary, RecoveryReport, RetryPolicy,
-    SupervisedRun,
+    supervise, supervise_cached, supervise_degradable, supervise_degradable_cached,
+    DegradationReport, DegradePolicy, FailureClass, FailureSummary, GeometrySegment,
+    RecoveryReport, RetryPolicy, SupervisedRun,
 };

@@ -36,7 +36,7 @@ use crate::durable::{supervise_durable_cached, DurabilityConfig};
 use crate::error::RunError;
 use crate::runtime::{resolve_geometry, NativeJob};
 use crate::strategy::strategy_for;
-use crate::supervisor::{supervise_cached, RecoveryReport, RetryPolicy};
+use crate::supervisor::{supervise_degradable_cached, DegradePolicy, RecoveryReport, RetryPolicy};
 use gpaw_fd::config::Approach;
 use gpaw_fd::exec::SyntheticFill;
 use gpaw_fd::progcache::{CacheStats, ProgramCache};
@@ -127,6 +127,11 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// Supervisor retry policy every job runs under.
     pub retry: RetryPolicy,
+    /// Escalation policy past exhausted retries: non-durable jobs whose
+    /// geometry keeps failing shrink onto fewer ranks (reporting
+    /// [`JobResult::degraded_to_ranks`]) instead of failing the tenant.
+    /// [`DegradePolicy::disabled`] restores the old fail-fast behavior.
+    pub degrade: DegradePolicy,
     /// Keep each job's final grids in its outcome. Off by default: the
     /// digest already pins the result bitwise, and grids are the one
     /// outcome field whose memory scales with job size.
@@ -154,6 +159,7 @@ impl Default for ServiceConfig {
             queue_capacity: 64,
             cache_capacity: 32,
             retry: RetryPolicy::default(),
+            degrade: DegradePolicy::default(),
             keep_grids: false,
             start_paused: false,
             durable_root: None,
@@ -177,6 +183,11 @@ pub struct JobResult<T: Scalar> {
     /// For a durable job, the epoch it resumed from (0 = ran from the
     /// start). Always 0 for plain submissions.
     pub resumed_from_epoch: usize,
+    /// `Some(ranks)` when the job only completed by degrading onto a
+    /// smaller geometry (an escalated shrink, or a durable restore onto
+    /// a different partition); the tenant still gets a completed,
+    /// bit-identical result. `None` for a run that kept its geometry.
+    pub degraded_to_ranks: Option<usize>,
     /// The final grids, kept only under [`ServiceConfig::keep_grids`].
     pub sets: Option<Vec<GridSet<T>>>,
 }
@@ -291,6 +302,7 @@ struct Shared<T: SyntheticFill> {
     work: Condvar,
     cache: ProgramCache,
     retry: RetryPolicy,
+    degrade: DegradePolicy,
     keep_grids: bool,
     queue_capacity: usize,
     durable_root: Option<PathBuf>,
@@ -324,6 +336,7 @@ impl<T: SyntheticFill> JobService<T> {
             work: Condvar::new(),
             cache: ProgramCache::new(config.cache_capacity),
             retry: config.retry,
+            degrade: config.degrade,
             keep_grids: config.keep_grids,
             queue_capacity: config.queue_capacity.max(1),
             durable_root: config.durable_root,
@@ -553,20 +566,28 @@ fn worker_loop<T: SyntheticFill>(shared: &Shared<T>) {
                     digest: run_digest(&dr.run.sets),
                     messages: dr.run.report.messages,
                     network_bytes: dr.run.report.total_network_bytes,
+                    degraded_to_ranks: dr.recovery.degradation.as_ref().map(|d| d.to_ranks),
                     recovery: dr.recovery,
                     resumed_from_epoch: dr.durable.resumed_from,
                     sets: shared.keep_grids.then_some(dr.run.sets),
                 })
             }
-            None => supervise_cached(&qjob.job, strategy.as_ref(), &shared.retry, &shared.cache)
-                .map(|sup| JobResult {
-                    digest: run_digest(&sup.run.sets),
-                    messages: sup.run.report.messages,
-                    network_bytes: sup.run.report.total_network_bytes,
-                    recovery: sup.recovery,
-                    resumed_from_epoch: 0,
-                    sets: shared.keep_grids.then_some(sup.run.sets),
-                }),
+            None => supervise_degradable_cached(
+                &qjob.job,
+                strategy.as_ref(),
+                &shared.retry,
+                &shared.degrade,
+                &shared.cache,
+            )
+            .map(|sup| JobResult {
+                digest: run_digest(&sup.run.sets),
+                messages: sup.run.report.messages,
+                network_bytes: sup.run.report.total_network_bytes,
+                degraded_to_ranks: sup.recovery.degradation.as_ref().map(|d| d.to_ranks),
+                recovery: sup.recovery,
+                resumed_from_epoch: 0,
+                sets: shared.keep_grids.then_some(sup.run.sets),
+            }),
         };
         let ran = started.elapsed();
         {

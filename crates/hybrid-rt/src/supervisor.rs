@@ -35,17 +35,21 @@
 
 use crate::error::{FailureKind, RankFailure, RunError};
 use crate::fabric::NativeFabric;
-use crate::fault::FabricConfig;
+use crate::fault::{EscalationStat, FabricConfig, FaultPlan};
 use crate::runtime::{
     fabric_config, resolve_geometry, resolve_geometry_cached, run_attempt, JobGeometry, NativeJob,
     NativeRun,
 };
 use crate::strategy::Strategy;
-use gpaw_fd::checkpoint::CheckpointStore;
+use gpaw_fd::checkpoint::{gather_epoch, reshard_epoch, shard_layout, CheckpointStore};
 use gpaw_fd::config::Approach;
 use gpaw_fd::exec::SyntheticFill;
-use gpaw_fd::progcache::ProgramCache;
+use gpaw_fd::plan::{decomposition_supports, RankPlan};
+use gpaw_fd::progcache::{JobPrograms, ProgramCache};
+use gpaw_fd::program::{compile_rank, predicted_logical_span};
+use gpaw_grid::grid3::Grid3;
 use gpaw_grid::scalar::Scalar;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// How hard the supervisor tries before giving up.
@@ -63,6 +67,40 @@ impl Default for RetryPolicy {
         RetryPolicy {
             max_attempts: 3,
             base_backoff: Duration::from_millis(25),
+        }
+    }
+}
+
+/// How far the supervisor escalates once retries are exhausted: shrink
+/// the job onto fewer ranks (gathering the last verified epoch, picking
+/// the largest supported smaller geometry, re-sharding, and resuming
+/// mid-program) at most `max_degrades` times before failing for real.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradePolicy {
+    /// Geometry shrinks allowed per supervised run. 0 disables
+    /// escalation entirely — exhausted retries fail as before.
+    pub max_degrades: u32,
+    /// Never degrade below this many ranks; a candidate geometry with
+    /// fewer is skipped (and the run fails if none remains).
+    pub min_ranks: usize,
+}
+
+impl Default for DegradePolicy {
+    fn default() -> DegradePolicy {
+        DegradePolicy {
+            max_degrades: 1,
+            min_ranks: 1,
+        }
+    }
+}
+
+impl DegradePolicy {
+    /// No escalation: exhausted retries fail the run (the plain
+    /// [`supervise`] behavior).
+    pub fn disabled() -> DegradePolicy {
+        DegradePolicy {
+            max_degrades: 0,
+            min_ranks: 1,
         }
     }
 }
@@ -100,6 +138,58 @@ pub struct FailureSummary {
     pub resumed_from: usize,
 }
 
+/// One geometry's share of a (possibly degraded) supervised run: the
+/// epoch span it committed and the logical traffic of that span.
+///
+/// For a geometry that was degraded away, the logical counts are the
+/// statically-known traffic of its *committed* epochs
+/// ([`gpaw_fd::program::predicted_logical_span`] — the same arithmetic
+/// the durable layer seeds restored fabrics with); sends charged beyond
+/// the gather epoch were rolled back by the shrink and are itemized as
+/// discarded. The final (completing) segment reports the fabric's
+/// measured logical counters, which cover exactly its span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GeometrySegment {
+    /// Nodes of the segment's partition.
+    pub nodes: usize,
+    /// Ranks of the segment's geometry.
+    pub ranks: usize,
+    /// The geometry's process grid.
+    pub proc_dims: [usize; 3],
+    /// First epoch of the span (the state the segment started from).
+    pub start_epoch: usize,
+    /// Last epoch the segment committed (the gather epoch for a
+    /// degraded-away segment, `job.sweeps` for the final one).
+    pub end_epoch: usize,
+    /// Logical messages of the committed span.
+    pub logical_messages: u64,
+    /// Logical payload bytes of the committed span.
+    pub logical_bytes: u64,
+    /// Messages charged on this geometry beyond the committed span —
+    /// work the shrink threw away. 0 for the final segment.
+    pub messages_discarded: u64,
+    /// Payload bytes of the discarded messages.
+    pub bytes_discarded: u64,
+}
+
+/// What a degraded run survived: the geometry walk from the original
+/// rank count to the one that completed, with per-segment traffic.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DegradationReport {
+    /// Ranks the run started with.
+    pub from_ranks: usize,
+    /// Ranks of the geometry that completed.
+    pub to_ranks: usize,
+    /// Geometry shrinks performed.
+    pub degrades: u32,
+    /// The rank failures that triggered each shrink (their
+    /// `resumed_from` is the epoch the next geometry resumed at).
+    pub triggers: Vec<FailureSummary>,
+    /// Every geometry the run executed on, in order; the last one
+    /// completed the job.
+    pub segments: Vec<GeometrySegment>,
+}
+
 /// Recovery overhead of a supervised run that completed.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RecoveryReport {
@@ -123,6 +213,15 @@ pub struct RecoveryReport {
     pub snapshot_digest_failures: u64,
     /// Every rank failure absorbed on the way to completion.
     pub failures: Vec<FailureSummary>,
+    /// Per-rank escalation counters: retry attempts charged against each
+    /// rank and degradations each rank survived, merged across every
+    /// geometry the run executed on (rank indices refer to the geometry
+    /// active when the counter was charged).
+    pub rank_escalations: Vec<EscalationStat>,
+    /// The geometry walk, when the run only completed by shrinking onto
+    /// fewer ranks. `None` for a run that finished on its original
+    /// geometry.
+    pub degradation: Option<DegradationReport>,
 }
 
 /// A run the supervisor carried to completion: the ordinary outcome plus
@@ -218,14 +317,48 @@ fn supervise_geo<T: SyntheticFill>(
     let ranks = geo.map.ranks();
     let store: CheckpointStore<T> =
         CheckpointStore::new(checkpoint_keys(strategy.approach(), ranks, geo.threads));
-    retry_loop(job, strategy, policy, geo, &fabric, &store, 0)
+    let mut carry = RecoveryCarry::default();
+    retry_loop(job, strategy, policy, geo, &fabric, &store, 0, &mut carry)
+}
+
+/// Recovery totals accumulated *before* the current geometry's retry
+/// loop — zero for an ordinary supervised run, the prior geometries'
+/// overhead for a degraded one. `retry_loop` adds its own attempts and
+/// failures into it as it goes (so they survive an `Err` return) and
+/// folds its fabric/store counters on top when it completes.
+#[derive(Debug, Default)]
+pub(crate) struct RecoveryCarry {
+    pub attempts: u32,
+    pub epochs_replayed: usize,
+    pub messages_retransmitted: u64,
+    pub bytes_retransmitted: u64,
+    pub corruptions_detected: u64,
+    pub snapshot_digest_failures: u64,
+    pub failures: Vec<FailureSummary>,
+    pub rank_escalations: Vec<EscalationStat>,
+}
+
+/// Merge per-rank escalation counters, summing where ranks collide.
+pub(crate) fn merge_escalations(into: &mut Vec<EscalationStat>, from: &[EscalationStat]) {
+    for s in from {
+        if let Some(e) = into.iter_mut().find(|e| e.rank == s.rank) {
+            e.retries += s.retries;
+            e.degrades_survived += s.degrades_survived;
+        } else {
+            into.push(*s);
+        }
+    }
+    into.sort_unstable_by_key(|e| e.rank);
 }
 
 /// The bounded retry loop on caller-provided fabric and checkpoint state,
 /// resuming from `start_epoch`. [`supervise_geo`] hands it fresh state at
-/// epoch 0; the durable layer (`crate::durable`) hands it a fabric seeded
-/// with restored logical traffic and a store rehydrated from disk, while
-/// a spiller thread watches the same store in parallel.
+/// epoch 0 and an empty carry; the durable layer (`crate::durable`) hands
+/// it a fabric seeded with restored logical traffic and a store
+/// rehydrated from disk, while a spiller thread watches the same store in
+/// parallel; the degradation driver hands it each successive geometry
+/// with the prior ones' overhead carried over.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn retry_loop<T: SyntheticFill>(
     job: &NativeJob,
     strategy: &dyn Strategy<T>,
@@ -234,25 +367,32 @@ pub(crate) fn retry_loop<T: SyntheticFill>(
     fabric: &NativeFabric<T>,
     store: &CheckpointStore<T>,
     mut start_epoch: usize,
+    carry: &mut RecoveryCarry,
 ) -> Result<SupervisedRun<T>, RunError> {
     let ranks = geo.map.ranks();
     let max_attempts = policy.max_attempts.max(1);
-    let mut failures: Vec<FailureSummary> = Vec::new();
-    let mut epochs_replayed = 0usize;
     for attempt in 1..=max_attempts {
+        carry.attempts += 1;
         match run_attempt(job, strategy, geo, fabric, Some(store), start_epoch) {
             Ok(run) => {
                 let stats = fabric.stats();
+                let mut rank_escalations = carry.rank_escalations.clone();
+                merge_escalations(&mut rank_escalations, &fabric.escalation_stats());
                 return Ok(SupervisedRun {
                     run,
                     recovery: RecoveryReport {
-                        attempts: attempt,
-                        epochs_replayed,
-                        messages_retransmitted: stats.retransmitted_messages,
-                        bytes_retransmitted: stats.retransmitted_bytes,
-                        corruptions_detected: stats.corruptions_detected,
-                        snapshot_digest_failures: store.digest_failures(),
-                        failures,
+                        attempts: carry.attempts,
+                        epochs_replayed: carry.epochs_replayed,
+                        messages_retransmitted: carry.messages_retransmitted
+                            + stats.retransmitted_messages,
+                        bytes_retransmitted: carry.bytes_retransmitted + stats.retransmitted_bytes,
+                        corruptions_detected: carry.corruptions_detected
+                            + stats.corruptions_detected,
+                        snapshot_digest_failures: carry.snapshot_digest_failures
+                            + store.digest_failures(),
+                        failures: carry.failures.clone(),
+                        rank_escalations,
+                        degradation: None,
                     },
                 });
             }
@@ -270,6 +410,12 @@ pub(crate) fn retry_loop<T: SyntheticFill>(
                     // cannot change them.
                     return Err(err);
                 };
+                // Every failed attempt is charged against its ranks,
+                // whether the next step is a retry here or an escalation
+                // in the caller.
+                for f in rank_failures {
+                    fabric.note_retry(f.rank);
+                }
                 if attempt == max_attempts {
                     return Err(err);
                 }
@@ -278,11 +424,11 @@ pub(crate) fn retry_loop<T: SyntheticFill>(
                 // possibly to the synthetic fill (epoch 0, full replay).
                 let epoch = store.verified_consistent_epoch();
                 for r in 0..ranks {
-                    epochs_replayed += store.rank_epoch(r).saturating_sub(epoch);
+                    carry.epochs_replayed += store.rank_epoch(r).saturating_sub(epoch);
                 }
                 for f in rank_failures {
-                    failures.push(FailureSummary {
-                        attempt,
+                    carry.failures.push(FailureSummary {
+                        attempt: carry.attempts,
                         rank: f.rank,
                         class: classify(f),
                         resumed_from: epoch,
@@ -302,6 +448,267 @@ pub(crate) fn retry_loop<T: SyntheticFill>(
         }
     }
     unreachable!("the final attempt always returns")
+}
+
+/// [`supervise`], escalating past exhausted retries: when a geometry's
+/// retry budget runs out on rank-pinned failures, gather the last
+/// *verified* consistent epoch into global grids, pick the largest
+/// supported smaller geometry, recompile, re-shard, and resume
+/// mid-program — at most `degrade.max_degrades` times. A degraded run
+/// completes bit-identical to an uninterrupted one and reports the
+/// geometry walk in [`RecoveryReport::degradation`].
+pub fn supervise_degradable<T: SyntheticFill>(
+    job: &NativeJob,
+    strategy: &dyn Strategy<T>,
+    policy: &RetryPolicy,
+    degrade: &DegradePolicy,
+) -> Result<SupervisedRun<T>, RunError> {
+    supervise_degradable_inner(job, strategy, policy, degrade, None)
+}
+
+/// [`supervise_degradable`] resolving every geometry's compiled programs
+/// through `cache` — shrink targets hit the cache too, so repeat
+/// degradations of same-shaped jobs skip recompilation.
+pub fn supervise_degradable_cached<T: SyntheticFill>(
+    job: &NativeJob,
+    strategy: &dyn Strategy<T>,
+    policy: &RetryPolicy,
+    degrade: &DegradePolicy,
+    cache: &ProgramCache,
+) -> Result<SupervisedRun<T>, RunError> {
+    supervise_degradable_inner(job, strategy, policy, degrade, Some(cache))
+}
+
+/// Resolve `job`'s geometry, through `cache` when one is shared.
+fn resolve_either<T: SyntheticFill>(
+    job: &NativeJob,
+    approach: Approach,
+    cache: Option<&ProgramCache>,
+) -> Result<JobGeometry, RunError> {
+    match cache {
+        Some(c) => resolve_geometry_cached(job, approach, c, T::BYTES),
+        None => resolve_geometry(job, approach),
+    }
+}
+
+/// Every rank's compiled programs for `geo` — the cached set when the
+/// geometry carries one, a fresh compilation otherwise (compilation is a
+/// pure function of the geometry, so the two are identical).
+fn all_programs<T: Scalar>(job: &NativeJob, geo: &JobGeometry) -> Arc<JobPrograms> {
+    if let Some(progs) = &geo.programs {
+        return progs.clone();
+    }
+    Arc::new(
+        (0..geo.map.ranks())
+            .map(|r| {
+                let plan = RankPlan::for_rank(&geo.map, job.grid_ext, r, T::BYTES, &geo.cfg);
+                compile_rank(&geo.cfg, &geo.map, &plan, job.n_grids, geo.threads)
+            })
+            .collect(),
+    )
+}
+
+/// The largest supported geometry strictly below `job.nodes`: standard
+/// partition, valid thread split, every sub-extent at least the exchange
+/// depth, and at least `degrade.min_ranks` ranks. The shrunken job runs
+/// with the permanent lethal fault stripped — the dead rank's hardware
+/// is not part of the surviving partition.
+fn shrink_target<T: SyntheticFill>(
+    job: &NativeJob,
+    approach: Approach,
+    cache: Option<&ProgramCache>,
+    degrade: &DegradePolicy,
+) -> Option<(NativeJob, JobGeometry)> {
+    for nodes in (1..job.nodes).rev() {
+        let mut smaller = *job;
+        smaller.nodes = nodes;
+        smaller.fault = smaller.fault.map(FaultPlan::without_lethal);
+        let Ok(geo) = resolve_either::<T>(&smaller, approach, cache) else {
+            continue;
+        };
+        if geo.map.ranks() < degrade.min_ranks.max(1)
+            || !decomposition_supports(&geo.map, smaller.grid_ext, &geo.cfg)
+        {
+            continue;
+        }
+        return Some((smaller, geo));
+    }
+    None
+}
+
+/// The escalation state machine: retry → shrink → fail.
+///
+/// Each geometry gets a full retry budget. When it is exhausted on
+/// rank-pinned failures and a shrink is still allowed, the driver
+/// gathers the last verified epoch's snapshots into global grids
+/// (falling back to the synthetic fill when nothing is deposited),
+/// closes the geometry's [`GeometrySegment`] with the statically-exact
+/// traffic of its committed span, re-shards onto the shrink target's
+/// layout, and resumes the retry loop there. Failures that are not
+/// rank-pinned — and exhaustion with no supported smaller geometry —
+/// propagate unchanged.
+fn supervise_degradable_inner<T: SyntheticFill>(
+    job: &NativeJob,
+    strategy: &dyn Strategy<T>,
+    policy: &RetryPolicy,
+    degrade: &DegradePolicy,
+    cache: Option<&ProgramCache>,
+) -> Result<SupervisedRun<T>, RunError> {
+    let approach = strategy.approach();
+    let mut cur_job = *job;
+    let mut geo = resolve_either::<T>(&cur_job, approach, cache)?;
+    let from_ranks = geo.map.ranks();
+    let mut carry = RecoveryCarry::default();
+    let mut degrades = 0u32;
+    let mut triggers: Vec<FailureSummary> = Vec::new();
+    let mut segments: Vec<GeometrySegment> = Vec::new();
+    // The state the next geometry resumes from: a gathered epoch's
+    // global grids, or `None` for the synthetic fill at epoch 0.
+    let mut resume: Option<(usize, Vec<Grid3<T>>)> = None;
+
+    loop {
+        let ranks = geo.map.ranks();
+        let fcfg = FabricConfig {
+            retain_history: true,
+            ..fabric_config(&cur_job)
+        };
+        let fabric: NativeFabric<T> = NativeFabric::with_config(&geo.map, fcfg);
+        let store: CheckpointStore<T> =
+            CheckpointStore::new(checkpoint_keys(approach, ranks, geo.threads));
+        let mut start_epoch = 0usize;
+        if degrades > 0 {
+            // Every rank of a degraded geometry carries the scar.
+            for r in 0..ranks {
+                fabric.note_degrade_survived(r);
+            }
+        }
+        if let Some((epoch, global)) = &resume {
+            let layout = shard_layout(&all_programs::<T>(&cur_job, &geo));
+            for rec in reshard_epoch(global, &layout, geo.cfg.halo_depth()) {
+                store.deposit(rec.rank, rec.slot, *epoch, rec.grids);
+            }
+            start_epoch = *epoch;
+        }
+        let seg_start = start_epoch;
+        match retry_loop(
+            &cur_job,
+            strategy,
+            policy,
+            &geo,
+            &fabric,
+            &store,
+            start_epoch,
+            &mut carry,
+        ) {
+            Ok(mut sup) => {
+                if degrades == 0 {
+                    return Ok(sup);
+                }
+                let stats = fabric.stats();
+                segments.push(GeometrySegment {
+                    nodes: cur_job.nodes,
+                    ranks,
+                    proc_dims: geo.map.proc_dims,
+                    start_epoch: seg_start,
+                    end_epoch: cur_job.sweeps,
+                    logical_messages: stats.messages_total,
+                    logical_bytes: stats.bytes_per_node.iter().sum(),
+                    messages_discarded: 0,
+                    bytes_discarded: 0,
+                });
+                sup.recovery.degradation = Some(DegradationReport {
+                    from_ranks,
+                    to_ranks: ranks,
+                    degrades,
+                    triggers,
+                    segments,
+                });
+                return Ok(sup);
+            }
+            Err(err) => {
+                let (RunError::Failed {
+                    failures: rank_failures,
+                    ..
+                }
+                | RunError::Integrity {
+                    failures: rank_failures,
+                    ..
+                }) = &err
+                else {
+                    return Err(err);
+                };
+                if degrades >= degrade.max_degrades {
+                    return Err(err);
+                }
+                let Some((next_job, next_geo)) =
+                    shrink_target::<T>(&cur_job, approach, cache, degrade)
+                else {
+                    return Err(err);
+                };
+                // Gather the last verified epoch; anything unverifiable
+                // degrades the resume point to the synthetic fill.
+                let programs = all_programs::<T>(&cur_job, &geo);
+                let epoch = store.verified_consistent_epoch();
+                let gathered = if epoch > 0 {
+                    store.epoch_records(epoch).and_then(|records| {
+                        let layout = shard_layout(&programs);
+                        gather_epoch(
+                            &records,
+                            &layout,
+                            cur_job.grid_ext,
+                            cur_job.n_grids,
+                            geo.cfg.halo_depth(),
+                        )
+                        .ok()
+                    })
+                } else {
+                    None
+                };
+                let resume_epoch = if gathered.is_some() { epoch } else { 0 };
+                for f in rank_failures {
+                    let summary = FailureSummary {
+                        attempt: carry.attempts,
+                        rank: f.rank,
+                        class: classify(f),
+                        resumed_from: resume_epoch,
+                    };
+                    triggers.push(summary);
+                    carry.failures.push(summary);
+                }
+                // Fold this geometry's overhead into the carry before its
+                // fabric and store are dropped.
+                let stats = fabric.stats();
+                carry.messages_retransmitted += stats.retransmitted_messages;
+                carry.bytes_retransmitted += stats.retransmitted_bytes;
+                carry.corruptions_detected += stats.corruptions_detected;
+                carry.snapshot_digest_failures += store.digest_failures();
+                merge_escalations(&mut carry.rank_escalations, &fabric.escalation_stats());
+                for r in 0..ranks {
+                    carry.epochs_replayed += store.rank_epoch(r).saturating_sub(resume_epoch);
+                }
+                // Close the segment: committed span at its statically
+                // exact traffic, everything charged beyond it discarded.
+                let (committed_msgs, committed_bytes) =
+                    predicted_logical_span(&programs, seg_start, resume_epoch);
+                let total_bytes: u64 = stats.bytes_per_node.iter().sum();
+                segments.push(GeometrySegment {
+                    nodes: cur_job.nodes,
+                    ranks,
+                    proc_dims: geo.map.proc_dims,
+                    start_epoch: seg_start,
+                    end_epoch: resume_epoch,
+                    logical_messages: committed_msgs,
+                    logical_bytes: committed_bytes,
+                    messages_discarded: stats.messages_total.saturating_sub(committed_msgs),
+                    bytes_discarded: total_bytes.saturating_sub(committed_bytes),
+                });
+                degrades += 1;
+                resume = gathered.map(|global| (resume_epoch, global));
+                cur_job = next_job;
+                geo = next_geo;
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 #   results/baseline_service_soak.json     service_soak    --jobs 1000 --workers 2,4
 #   results/baseline_durability_soak.json  durability_soak --seeds 10 --threads 2,4
 #   results/baseline_integrity_soak.json   integrity_soak  --seeds 6  --threads 2,4
+#   results/baseline_degradation_soak.json degradation_soak --seeds 4 --threads 2,4
 #
 # Each soak runs with the exact arguments CI uses, so the logical
 # counters the gate pins exactly (messages, bytes, cache compiles, job
@@ -48,7 +49,7 @@ fail() {
 
 cargo build --release --offline -p gpaw-bench \
     --bin perf_gate --bin chaos_soak --bin recovery_soak --bin service_soak \
-    --bin durability_soak --bin integrity_soak \
+    --bin durability_soak --bin integrity_soak --bin degradation_soak \
     || fail "cargo build failed; no baseline was touched"
 mkdir -p results
 
@@ -134,6 +135,16 @@ validate_json BENCH_integrity_soak.json
 check_strategy_count BENCH_integrity_soak.json
 cp BENCH_integrity_soak.json results/baseline_integrity_soak.json
 
+# 7. Degradation soak: permanently lethal ranks escalated to a shrink
+#    onto fewer ranks, every degraded run held bit-identical with exact
+#    per-geometry-segment logical traffic, plus SIGKILL kill rounds that
+#    restore a 2-node durable store onto 1 node.
+./target/release/degradation_soak --seeds 4 --threads 2,4 \
+    || fail "degradation_soak failed; baseline_degradation_soak.json NOT updated"
+validate_json BENCH_degradation_soak.json
+check_strategy_count BENCH_degradation_soak.json
+cp BENCH_degradation_soak.json results/baseline_degradation_soak.json
+
 echo
-echo "all six baselines updated; review the diff and commit it:"
+echo "all seven baselines updated; review the diff and commit it:"
 git --no-pager diff --stat -- results/
